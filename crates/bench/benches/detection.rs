@@ -1,0 +1,93 @@
+//! Benchmarks of the paper's detection algorithms: search-and-subtract vs
+//! the threshold baseline, and the matched-filter bank's scaling with the
+//! number of pulse shapes N_PS (the run-time cost of identification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use concurrent_ranging::detection::{
+    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
+};
+use rand::SeedableRng;
+use std::hint::black_box;
+use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_dsp::Complex64;
+use uwb_radio::{Channel, Cir, Prf, PulseShape, RadioConfig, TcPgDelay};
+
+fn three_response_cir() -> Cir {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    let arrivals: Vec<Arrival> = [(100.0, 1.0), (120.0, 0.6), (147.0, 0.35)]
+        .iter()
+        .map(|&(t, a): &(f64, f64)| Arrival {
+            delay_s: t * 1e-9,
+            amplitude: Complex64::from_polar(a, t),
+            pulse,
+        })
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    CirSynthesizer::new(Prf::Mhz64)
+        .with_noise_sigma(0.003)
+        .render(&arrivals, &mut rng)
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let cir = three_response_cir();
+    let mut group = c.benchmark_group("detect_3_responses");
+    let ss = SearchSubtractDetector::from_registers(
+        &[TcPgDelay::DEFAULT],
+        Channel::Ch7,
+        SearchSubtractConfig::default(),
+    )
+    .unwrap();
+    group.bench_function("search_subtract", |b| {
+        b.iter(|| ss.detect(black_box(&cir), 3).unwrap())
+    });
+    let th = ThresholdDetector::new(ThresholdConfig::default()).unwrap();
+    group.bench_function("threshold_baseline", |b| {
+        b.iter(|| th.detect(black_box(&cir), 3).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_template_bank_scaling(c: &mut Criterion) {
+    let cir = three_response_cir();
+    let mut group = c.benchmark_group("template_bank_scaling");
+    for &n_ps in &[1usize, 3, 6, 12] {
+        let detector = SearchSubtractDetector::from_registers(
+            &TcPgDelay::spread(n_ps).unwrap(),
+            Channel::Ch7,
+            SearchSubtractConfig::default(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n_ps), &n_ps, |b, _| {
+            b.iter(|| detector.detect(black_box(&cir), 3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_upsampling_factor(c: &mut Criterion) {
+    let cir = three_response_cir();
+    let mut group = c.benchmark_group("upsampling_factor");
+    for &factor in &[1usize, 4, 8, 16] {
+        let detector = SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig {
+                upsample: factor,
+                ..SearchSubtractConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter(|| detector.detect(black_box(&cir), 3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_template_bank_scaling,
+    bench_upsampling_factor
+);
+criterion_main!(benches);

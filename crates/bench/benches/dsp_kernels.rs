@@ -1,0 +1,82 @@
+//! Microbenchmarks of the DSP substrate: the FFT (radix-2 and the
+//! Bluestein path the 1016-tap CIR requires), CIR upsampling and CIR
+//! synthesis — the per-round costs of the detection pipeline's step 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_dsp::{upsample_fft, BluesteinPlan, Complex64, FftPlan};
+use uwb_radio::{Prf, PulseShape, RadioConfig};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n).unwrap();
+        let data = signal(n);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    // The DW1000 accumulator length is not a power of two.
+    let plan = BluesteinPlan::new(1016).unwrap();
+    let data = signal(1016);
+    group.bench_function("bluestein_1016", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(black_box(&mut buf));
+            buf
+        })
+    });
+    group.finish();
+}
+
+fn bench_upsample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upsample_cir");
+    let data = signal(1016);
+    for &factor in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| upsample_fft(black_box(&data), f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cir_synthesis(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    let mut group = c.benchmark_group("cir_synthesis");
+    for &n_arrivals in &[3usize, 10, 50] {
+        let arrivals: Vec<Arrival> = (0..n_arrivals)
+            .map(|i| Arrival {
+                delay_s: (50.0 + 10.0 * i as f64) * 1e-9,
+                amplitude: Complex64::from_polar(1.0 / (1 + i) as f64, i as f64),
+                pulse,
+            })
+            .collect();
+        let synth = CirSynthesizer::new(Prf::Mhz64).with_noise_sigma(1e-3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_arrivals),
+            &n_arrivals,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                    synth.render(black_box(&arrivals), &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_upsample, bench_cir_synthesis);
+criterion_main!(benches);

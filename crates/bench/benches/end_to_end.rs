@@ -1,0 +1,64 @@
+//! End-to-end protocol benchmarks: a full concurrent ranging round
+//! (broadcast → concurrent replies → CIR → detection → identification)
+//! vs an SS-TWR round, and scaling with the number of responders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, SlotPlan, SsTwrEngine,
+};
+use std::hint::black_box;
+use uwb_channel::ChannelModel;
+use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+
+fn run_concurrent_round(n_responders: usize, seed: u64) -> usize {
+    let scheme = CombinedScheme::new(
+        SlotPlan::new(4).unwrap(),
+        n_responders.div_ceil(4).max(1),
+    )
+    .unwrap();
+    let mut sim: Simulator<RangingMessage> =
+        Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let responders: Vec<_> = (0..n_responders)
+        .map(|k| {
+            let id = k as u32;
+            let reg = scheme.assign(id).unwrap().register;
+            (
+                sim.add_node(NodeConfig::at(3.0 + 1.5 * k as f64, 0.3 * k as f64).with_pulse_shape(reg)),
+                id,
+            )
+        })
+        .collect();
+    let mut engine =
+        ConcurrentEngine::new(initiator, responders, ConcurrentConfig::new(scheme), seed).unwrap();
+    sim.run(&mut engine, 1.0);
+    engine.outcomes.len()
+}
+
+fn bench_concurrent_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_round");
+    group.sample_size(20);
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_concurrent_round(n, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_twr_round(c: &mut Criterion) {
+    c.bench_function("ss_twr_round", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(ChannelModel::free_space(), SimConfig::default(), 11);
+            let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+            let bb = sim.add_node(NodeConfig::at(5.0, 0.0));
+            let mut engine = SsTwrEngine::new(a, bb, 1);
+            sim.run(&mut engine, 1.0);
+            black_box(engine.measurements.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_concurrent_round, bench_twr_round);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Design ablation: overlap resolution vs joint-refinement passes.
+fn main() {
+    let trials = repro_bench::trials_from_env(800);
+    println!("{}", repro_bench::experiments::design_ablations::run_refinement(trials, 3));
+}

@@ -1,0 +1,5 @@
+//! Ablation: detection success vs CIR SNR.
+fn main() {
+    let trials = repro_bench::trials_from_env(300);
+    println!("{}", repro_bench::experiments::ablations::run_snr(trials, 5));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1: multipath resolvability at 900 MHz vs 50 MHz.
+fn main() {
+    println!("{}", repro_bench::experiments::fig1::run());
+}

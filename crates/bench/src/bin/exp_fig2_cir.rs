@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2: an estimated CIR in an indoor environment.
+fn main() {
+    println!("{}", repro_bench::experiments::fig2::run(7));
+}

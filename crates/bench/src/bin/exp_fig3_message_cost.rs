@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3: SS-TWR vs concurrent ranging message/energy cost.
+fn main() {
+    println!("{}", repro_bench::experiments::fig3::run(10, 1));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4: the response detection algorithm stage by stage.
+fn main() {
+    println!("{}", repro_bench::experiments::fig4::run(42));
+}

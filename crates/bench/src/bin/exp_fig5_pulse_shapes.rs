@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5: pulse shapes per TC_PGDELAY register value.
+fn main() {
+    println!("{}", repro_bench::experiments::fig5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6: pulse-shape identification of two responders.
+fn main() {
+    println!("{}", repro_bench::experiments::fig6::run(5));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 / Sect. VI: detection of overlapping responses.
+//! The paper uses 2000 trials; set REPRO_TRIALS to change.
+fn main() {
+    let trials = repro_bench::trials_from_env(2000);
+    println!("{}", repro_bench::experiments::fig7::run(trials, 17));
+}

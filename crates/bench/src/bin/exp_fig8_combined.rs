@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8: the combined RPM × pulse-shaping round.
+fn main() {
+    println!("{}", repro_bench::experiments::fig8::run(21));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Sect. V precision evaluation (σ per pulse shape).
+//! The paper uses 5000 SS-TWR operations; set REPRO_TRIALS to change.
+fn main() {
+    let rounds = repro_bench::trials_from_env(5000) as u32;
+    println!("{}", repro_bench::experiments::sec5::run(rounds, 11));
+}

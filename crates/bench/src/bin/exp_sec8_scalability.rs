@@ -1,0 +1,4 @@
+//! Regenerates the Sect. VIII scalability analysis.
+fn main() {
+    println!("{}", repro_bench::experiments::sec8::run());
+}

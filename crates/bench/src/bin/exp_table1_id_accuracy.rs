@@ -1,0 +1,6 @@
+//! Regenerates Table I: % of pulse shapes identified correctly.
+//! The paper uses 1000 rounds per cell; set REPRO_TRIALS to change.
+fn main() {
+    let rounds = repro_bench::trials_from_env(1000) as u32;
+    println!("{}", repro_bench::experiments::table1::run(rounds, 3));
+}

@@ -1,0 +1,416 @@
+//! Ablation studies beyond the paper's own figures: SNR sensitivity,
+//! upsampling factor, clock drift / TX quantization, and the NLOS impact
+//! the paper defers to future work.
+
+use crate::scenarios::{rng, synthesize_responses, Deployment};
+use crate::table::{fmt_f, Table};
+use concurrent_ranging::detection::{
+    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
+};
+use concurrent_ranging::{CombinedScheme, ConcurrentConfig, SlotPlan};
+use rand::Rng;
+use std::fmt;
+use uwb_channel::{ChannelConfig, ChannelModel, NlosConfig, Point2, Room};
+use uwb_dsp::stats;
+use uwb_netsim::{ClockModel, NodeConfig, SimConfig, Simulator};
+use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
+
+// ---------------------------------------------------------------- SNR --
+
+/// One SNR sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrRow {
+    /// CIR SNR in dB.
+    pub snr_db: f64,
+    /// Search-and-subtract success rate (both responses found).
+    pub search_subtract_rate: f64,
+    /// Threshold baseline success rate.
+    pub threshold_rate: f64,
+}
+
+/// Result of the SNR ablation.
+#[derive(Debug, Clone)]
+pub struct SnrReport {
+    /// One row per SNR point.
+    pub rows: Vec<SnrRow>,
+}
+
+/// Detection success vs SNR for two well-separated responses.
+pub fn run_snr(trials: usize, seed: u64) -> SnrReport {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    let ss = SearchSubtractDetector::from_registers(
+        &[TcPgDelay::DEFAULT],
+        Channel::Ch7,
+        SearchSubtractConfig::default(),
+    )
+    .expect("detector");
+    let th = ThresholdDetector::new(ThresholdConfig::default()).expect("baseline");
+    let tol_ns = 1.0;
+
+    let rows = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+        .into_iter()
+        .map(|snr_db| {
+            let mut r = rng(seed + snr_db as u64);
+            let mut ss_ok = 0;
+            let mut th_ok = 0;
+            for _ in 0..trials {
+                let t1 = 100.0 + r.random::<f64>();
+                let t2 = t1 + 20.0; // paper Fig. 4's 3 m vs 6 m spacing
+                let amp2 = 0.4 + 0.4 * r.random::<f64>();
+                let cir = synthesize_responses(
+                    &[(t1, 1.0, pulse), (t2, amp2, pulse)],
+                    snr_db,
+                    &mut r,
+                );
+                let hit = |taus: &[f64]| {
+                    taus.iter().any(|&t| (t - t1).abs() < tol_ns)
+                        && taus.iter().any(|&t| (t - t2).abs() < tol_ns)
+                };
+                let ss_taus: Vec<f64> = ss
+                    .detect(&cir, 2)
+                    .expect("detection")
+                    .responses
+                    .iter()
+                    .map(|p| p.tau_s * 1e9)
+                    .collect();
+                if hit(&ss_taus) {
+                    ss_ok += 1;
+                }
+                let th_taus: Vec<f64> = th
+                    .detect(&cir, 2)
+                    .expect("baseline")
+                    .iter()
+                    .map(|p| p.tau_s * 1e9)
+                    .collect();
+                if hit(&th_taus) {
+                    th_ok += 1;
+                }
+            }
+            SnrRow {
+                snr_db,
+                search_subtract_rate: ss_ok as f64 / trials as f64,
+                threshold_rate: th_ok as f64 / trials as f64,
+            }
+        })
+        .collect();
+    SnrReport { rows }
+}
+
+impl fmt::Display for SnrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation — detection success vs CIR SNR (responses 20 ns apart)")?;
+        let mut t = Table::new(vec![
+            "SNR [dB]".into(),
+            "search & subtract [%]".into(),
+            "threshold [%]".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                fmt_f(r.snr_db, 0),
+                fmt_f(r.search_subtract_rate * 100.0, 1),
+                fmt_f(r.threshold_rate * 100.0, 1),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+// --------------------------------------------------------- upsampling --
+
+/// One upsampling sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpsamplingRow {
+    /// FFT upsampling factor.
+    pub factor: usize,
+    /// RMS delay-estimation error in picoseconds.
+    pub rmse_ps: f64,
+}
+
+/// Result of the upsampling ablation.
+#[derive(Debug, Clone)]
+pub struct UpsamplingReport {
+    /// One row per factor.
+    pub rows: Vec<UpsamplingRow>,
+}
+
+/// Delay-estimation error vs upsampling factor for a single pulse at
+/// random sub-tap positions. Sub-sample refinement is disabled so the
+/// sweep isolates the grid resolution that step 1 of the paper's
+/// algorithm buys (with refinement on, even factor 1 reaches tens of ps).
+pub fn run_upsampling(trials: usize, seed: u64) -> UpsamplingReport {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    let rows = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|factor| {
+            let detector = SearchSubtractDetector::from_registers(
+                &[TcPgDelay::DEFAULT],
+                Channel::Ch7,
+                SearchSubtractConfig {
+                    upsample: factor,
+                    refine: false,
+                    refinement_passes: 0,
+                },
+            )
+            .expect("detector");
+            let mut r = rng(seed + factor as u64);
+            let mut errors = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let truth_ns = 200.0 + r.random::<f64>() * 2.0;
+                let cir = synthesize_responses(&[(truth_ns, 1.0, pulse)], 30.0, &mut r);
+                let out = detector.detect(&cir, 1).expect("detection");
+                errors.push((out.responses[0].tau_s * 1e9 - truth_ns) * 1e3);
+            }
+            let zeros = vec![0.0; errors.len()];
+            UpsamplingRow {
+                factor,
+                rmse_ps: stats::rmse(&errors, &zeros),
+            }
+        })
+        .collect();
+    UpsamplingReport { rows }
+}
+
+impl fmt::Display for UpsamplingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation — delay estimation error vs FFT upsampling factor")?;
+        let mut t = Table::new(vec![
+            "factor".into(),
+            "RMSE [ps]".into(),
+            "≈ distance [mm]".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                r.factor.to_string(),
+                fmt_f(r.rmse_ps, 1),
+                fmt_f(r.rmse_ps * 1e-12 * uwb_radio::SPEED_OF_LIGHT * 1e3, 1),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+// -------------------------------------------------------------- drift --
+
+/// One clock-drift sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftRow {
+    /// Responder clock drift in ppm.
+    pub drift_ppm: f64,
+    /// Mean SS-TWR ranging bias, meters.
+    pub bias_m: f64,
+    /// Predicted bias `−c·drift·Δ_RESP/2`, meters.
+    pub predicted_bias_m: f64,
+}
+
+/// Result of the drift ablation.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// One row per drift value.
+    pub rows: Vec<DriftRow>,
+}
+
+/// SS-TWR bias vs responder clock drift.
+pub fn run_drift(rounds: u32, seed: u64) -> DriftReport {
+    let distance = 5.0;
+    let rows = [0.0, 1.0, 2.0, 5.0, 10.0, 20.0]
+        .into_iter()
+        .map(|drift_ppm: f64| {
+            let mut sim = Simulator::new(
+                ChannelModel::free_space(),
+                SimConfig::default(),
+                seed + drift_ppm as u64,
+            );
+            let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+            let b = sim.add_node(
+                NodeConfig::at(distance, 0.0).with_clock(ClockModel::new(0.0, drift_ppm)),
+            );
+            let mut engine = concurrent_ranging::SsTwrEngine::new(a, b, rounds);
+            sim.run(&mut engine, rounds as f64 * 2e-3 + 1.0);
+            let bias = stats::mean(&engine.distances_m()) - distance;
+            DriftRow {
+                drift_ppm,
+                bias_m: bias,
+                predicted_bias_m: -uwb_radio::SPEED_OF_LIGHT
+                    * drift_ppm
+                    * 1e-6
+                    * uwb_radio::PAPER_RESPONSE_DELAY_S
+                    / 2.0,
+            }
+        })
+        .collect();
+    DriftReport { rows }
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation — SS-TWR bias vs responder clock drift (Δ_RESP = 290 µs)")?;
+        let mut t = Table::new(vec![
+            "drift [ppm]".into(),
+            "measured bias [m]".into(),
+            "predicted −c·ppm·Δ/2 [m]".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                fmt_f(r.drift_ppm, 0),
+                fmt_f(r.bias_m, 4),
+                fmt_f(r.predicted_bias_m, 4),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+// --------------------------------------------------------------- NLOS --
+
+/// One NLOS sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NlosRow {
+    /// Extra direct-path attenuation in dB.
+    pub extra_loss_db: f64,
+    /// Fraction of rounds where both responders were recovered with the
+    /// correct ID and a sane distance.
+    pub recovery_rate: f64,
+    /// Mean absolute distance error over recovered responders, meters.
+    pub mean_abs_error_m: f64,
+}
+
+/// Result of the NLOS ablation (the paper's declared future work).
+#[derive(Debug, Clone)]
+pub struct NlosReport {
+    /// One row per attenuation level.
+    pub rows: Vec<NlosRow>,
+}
+
+/// Concurrent ranging under progressively blocked direct paths.
+pub fn run_nlos(rounds: u32, seed: u64) -> NlosReport {
+    let rows = [0.0, 5.0, 10.0, 15.0, 20.0]
+        .into_iter()
+        .map(|extra_loss_db: f64| {
+            let mut channel_config = ChannelConfig::default();
+            if extra_loss_db > 0.0 {
+                channel_config.nlos = Some(NlosConfig {
+                    extra_loss_db,
+                    excess_delay_ns: 0.1 * extra_loss_db,
+                });
+            }
+            let channel = ChannelModel::with_config(
+                Some(Room::rectangular(20.0, 8.0, 0.6)),
+                channel_config,
+            );
+            let scheme =
+                CombinedScheme::new(SlotPlan::new(4).expect("slots"), 1).expect("scheme");
+            let deployment = Deployment {
+                initiator: Point2::new(2.0, 4.0),
+                responders: vec![(Point2::new(8.0, 4.0), 0), (Point2::new(14.0, 4.0), 1)],
+                scheme: scheme.clone(),
+                channel,
+            };
+            let config = ConcurrentConfig::new(scheme).with_mpc_guard();
+            let outcomes = deployment.run(config, rounds, seed + extra_loss_db as u64);
+            let truths = [6.0, 12.0];
+            let mut recovered_rounds = 0usize;
+            let mut errors = Vec::new();
+            for o in &outcomes {
+                let mut all = true;
+                for (id, truth) in truths.iter().enumerate() {
+                    match o.estimate_for(id as u32) {
+                        // NLOS excess delay biases estimates; accept a wide
+                        // sanity window and record the error.
+                        Some(e) if (e.distance_m - truth).abs() < 3.0 => {
+                            errors.push((e.distance_m - truth).abs());
+                        }
+                        _ => all = false,
+                    }
+                }
+                if all {
+                    recovered_rounds += 1;
+                }
+            }
+            NlosRow {
+                extra_loss_db,
+                recovery_rate: recovered_rounds as f64 / rounds.max(1) as f64,
+                mean_abs_error_m: stats::mean(&errors),
+            }
+        })
+        .collect();
+    NlosReport { rows }
+}
+
+impl fmt::Display for NlosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation — NLOS impact on concurrent ranging (paper's future work)"
+        )?;
+        let mut t = Table::new(vec![
+            "extra loss [dB]".into(),
+            "recovery rate [%]".into(),
+            "mean |error| [m]".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                fmt_f(r.extra_loss_db, 0),
+                fmt_f(r.recovery_rate * 100.0, 1),
+                fmt_f(r.mean_abs_error_m, 3),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_success_is_monotone_ish_and_high_at_30db() {
+        let report = run_snr(40, 5);
+        let last = report.rows.last().unwrap();
+        assert!(last.search_subtract_rate > 0.9, "{report:?}");
+        // Search-and-subtract at least matches the baseline everywhere.
+        for r in &report.rows {
+            assert!(
+                r.search_subtract_rate >= r.threshold_rate - 0.1,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn upsampling_reduces_error() {
+        let report = run_upsampling(30, 6);
+        let first = report.rows.first().unwrap();
+        let last = report.rows.last().unwrap();
+        assert!(
+            last.rmse_ps < first.rmse_ps,
+            "upsampling did not help: {report:?}"
+        );
+        // 16× upsampling with refinement reaches tens of picoseconds.
+        assert!(last.rmse_ps < 100.0, "{:?}", last);
+    }
+
+    #[test]
+    fn drift_bias_matches_theory() {
+        let report = run_drift(30, 7);
+        for r in &report.rows {
+            assert!(
+                (r.bias_m - r.predicted_bias_m).abs() < 0.05,
+                "drift {} ppm: measured {} predicted {}",
+                r.drift_ppm,
+                r.bias_m,
+                r.predicted_bias_m
+            );
+        }
+    }
+
+    #[test]
+    fn nlos_degrades_gracefully() {
+        let report = run_nlos(10, 8);
+        let clear = report.rows.first().unwrap();
+        assert!(clear.recovery_rate > 0.8, "{report:?}");
+        // Recovery never improves as the LOS gets more blocked (within
+        // sampling noise of the small CI trial count).
+        let worst = report.rows.last().unwrap();
+        assert!(worst.recovery_rate <= clear.recovery_rate + 0.1);
+    }
+}

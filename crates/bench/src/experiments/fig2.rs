@@ -1,0 +1,119 @@
+//! Fig. 2 — an estimated DW1000 channel impulse response in an indoor
+//! environment, showing the LOS component τ₀ and significant multipath
+//! reflections τ₁…τ₅.
+
+use crate::scenarios::rng;
+use crate::table::{fmt_f, sparkline, Table};
+use std::fmt;
+use uwb_channel::{ChannelConfig, ChannelModel, CirSynthesizer, DiffuseConfig, Point2, Room};
+use uwb_radio::{Cir, Prf, PulseShape, RadioConfig};
+
+/// Result of the Fig. 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Report {
+    /// The synthesized accumulator contents.
+    pub cir: Cir,
+    /// Detected MPC taps `(tap index, magnitude)`, strongest LOS first by
+    /// delay.
+    pub mpc_taps: Vec<(usize, f64)>,
+    /// Estimated peak SNR in dB.
+    pub peak_snr_db: f64,
+}
+
+/// Runs the experiment: one transmission across an office room rendered
+/// into a DW1000 accumulator.
+pub fn run(seed: u64) -> Fig2Report {
+    let mut config = ChannelConfig {
+        max_reflection_order: 2,
+        amplitude_jitter_db: 0.5,
+        ..ChannelConfig::default()
+    };
+    config.diffuse = Some(DiffuseConfig {
+        count: 60,
+        onset_power_db: -18.0,
+        decay_ns: 25.0,
+        max_excess_ns: 150.0,
+    });
+    let model = ChannelModel::with_config(Some(Room::rectangular(9.0, 5.0, 0.65)), config);
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    let mut r = rng(seed);
+    let arrivals = model.propagate(
+        Point2::new(1.5, 2.0),
+        Point2::new(7.0, 3.2),
+        pulse,
+        0.0462,
+        &mut r,
+    );
+
+    // Place the first path near tap 40 with a realistic noise floor.
+    let los_delay = arrivals[0].delay_s;
+    let strongest = arrivals
+        .iter()
+        .map(|a| a.amplitude.abs())
+        .fold(0.0, f64::max);
+    let cir = CirSynthesizer::new(Prf::Mhz64)
+        .with_window_start(los_delay - 40.0 * uwb_radio::CIR_SAMPLE_PERIOD_S)
+        .with_noise_sigma(strongest * 10f64.powf(-30.0 / 20.0))
+        .render(&arrivals, &mut r);
+
+    let mags = cir.magnitudes();
+    let floor = cir.noise_floor();
+    let mut peaks = uwb_dsp::find_peaks(&mags, 4.0 * floor, 3);
+    peaks.truncate(6); // τ₀…τ₅ as in the paper's figure
+    peaks.sort_by_key(|p| p.index);
+    Fig2Report {
+        peak_snr_db: cir.peak_snr_db(),
+        mpc_taps: peaks.into_iter().map(|p| (p.index, p.value)).collect(),
+        cir,
+    }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 2 — estimated CIR in an indoor environment (peak SNR {:.1} dB)",
+            self.peak_snr_db
+        )?;
+        writeln!(f, "|h(t)|: {}", sparkline(&self.cir.magnitudes()[..400], 100))?;
+        let mut t = Table::new(vec![
+            "component".into(),
+            "tap".into(),
+            "delay [ns]".into(),
+            "magnitude".into(),
+        ]);
+        for (k, &(tap, mag)) in self.mpc_taps.iter().enumerate() {
+            t.push(vec![
+                format!("τ{k}"),
+                tap.to_string(),
+                fmt_f(tap as f64 * self.cir.sample_period_s() * 1e9, 1),
+                fmt_f(mag / self.mpc_taps[0].1, 3),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cir_shows_los_and_multiple_mpcs() {
+        let report = run(7);
+        // At least τ₀ plus three reflections, like the paper's figure.
+        assert!(report.mpc_taps.len() >= 4, "{:?}", report.mpc_taps);
+        // The first detected component sits near the configured tap 40.
+        let first = report.mpc_taps[0].0;
+        assert!((38..=42).contains(&first), "first path at tap {first}");
+        // Peaks are separated and the SNR is healthy.
+        assert!(report.peak_snr_db > 20.0);
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.mpc_taps, b.mpc_taps);
+    }
+}

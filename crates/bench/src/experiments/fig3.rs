@@ -1,0 +1,208 @@
+//! Fig. 3 — the cost of SS-TWR scheduling vs concurrent ranging: message
+//! counts, initiator energy and wall-clock time for one initiator to range
+//! to all of its N−1 neighbors (and the paper's N·(N−1) vs N network-wide
+//! message claim).
+
+use crate::table::{fmt_f, Table};
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, SlotPlan, SsTwrEngine,
+};
+use std::fmt;
+use uwb_channel::ChannelModel;
+use uwb_netsim::{NodeConfig, SimConfig, Simulator, TraceEvent};
+use uwb_radio::EnergyModel;
+
+/// Costs for one network size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostRow {
+    /// Number of nodes `N` (1 initiator + N−1 responders).
+    pub n: usize,
+    /// Network-wide messages for all-pairs TWR: `N·(N−1)`.
+    pub msgs_twr_network: usize,
+    /// Network-wide messages for concurrent ranging: `N`.
+    pub msgs_concurrent_network: usize,
+    /// Transmissions observed in the simulated one-initiator TWR schedule.
+    pub tx_twr_measured: usize,
+    /// Transmissions observed in the simulated concurrent round.
+    pub tx_concurrent_measured: usize,
+    /// Initiator energy for the TWR schedule, millijoules.
+    pub initiator_energy_twr_mj: f64,
+    /// Initiator energy for the concurrent round, millijoules.
+    pub initiator_energy_concurrent_mj: f64,
+    /// Wall-clock duration of the TWR schedule, milliseconds.
+    pub duration_twr_ms: f64,
+    /// Wall-clock duration of the concurrent round, milliseconds.
+    pub duration_concurrent_ms: f64,
+}
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Report {
+    /// One row per network size.
+    pub rows: Vec<CostRow>,
+}
+
+fn measure_twr(n_responders: usize, seed: u64) -> (usize, f64, f64) {
+    // Sequential pairwise ranging: one sim per pair; the initiator's cost
+    // accumulates across them (the schedule is strictly serial).
+    let model = EnergyModel::dw1000();
+    let mut tx_total = 0;
+    let mut energy_mj = 0.0;
+    let mut duration_s = 0.0;
+    for k in 0..n_responders {
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed + k as u64);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(3.0 + 2.0 * k as f64, 0.0));
+        let mut engine = SsTwrEngine::new(a, b, 1);
+        sim.run(&mut engine, 1.0);
+        tx_total += sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TxFired { .. }))
+            .count();
+        energy_mj += sim.node_ledger(a).total_energy_mj(&model);
+        duration_s += sim
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ReceptionEmitted { global_s, .. } => Some(*global_s),
+                TraceEvent::TxFired { .. } => None,
+            })
+            .fold(0.0, f64::max);
+    }
+    (tx_total, energy_mj, duration_s)
+}
+
+fn measure_concurrent(n_responders: usize, seed: u64) -> (usize, f64, f64) {
+    let model = EnergyModel::dw1000();
+    let scheme = CombinedScheme::new(
+        SlotPlan::new(4).expect("4 slots valid"),
+        n_responders.div_ceil(4).max(1),
+    )
+    .expect("scheme valid");
+    let mut sim: Simulator<RangingMessage> =
+        Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let mut responders = Vec::new();
+    for k in 0..n_responders {
+        let id = k as u32;
+        let register = scheme.assign(id).expect("id fits").register;
+        let node = sim.add_node(
+            NodeConfig::at(3.0 + 2.0 * k as f64, 0.5 * k as f64).with_pulse_shape(register),
+        );
+        responders.push((node, id));
+    }
+    let config = ConcurrentConfig::new(scheme);
+    let mut engine = ConcurrentEngine::new(initiator, responders, config, seed)
+        .expect("engine construction");
+    sim.run(&mut engine, 1.0);
+    let tx = sim
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TxFired { .. }))
+        .count();
+    let energy = sim.node_ledger(initiator).total_energy_mj(&model);
+    let duration = sim
+        .trace()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ReceptionEmitted { node, global_s, .. } if *node == initiator => {
+                Some(*global_s)
+            }
+            _ => None,
+        })
+        .fold(0.0, f64::max);
+    (tx, energy, duration)
+}
+
+/// Runs the experiment for `N ∈ {2, …, max_n}`.
+pub fn run(max_n: usize, seed: u64) -> Fig3Report {
+    let rows = (2..=max_n)
+        .map(|n| {
+            let (tx_twr, e_twr, t_twr) = measure_twr(n - 1, seed);
+            let (tx_conc, e_conc, t_conc) = measure_concurrent(n - 1, seed + 1000);
+            CostRow {
+                n,
+                msgs_twr_network: n * (n - 1),
+                msgs_concurrent_network: n,
+                tx_twr_measured: tx_twr,
+                tx_concurrent_measured: tx_conc,
+                initiator_energy_twr_mj: e_twr,
+                initiator_energy_concurrent_mj: e_conc,
+                duration_twr_ms: t_twr * 1e3,
+                duration_concurrent_ms: t_conc * 1e3,
+            }
+        })
+        .collect();
+    Fig3Report { rows }
+}
+
+impl fmt::Display for Fig3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 3 — SS-TWR vs concurrent ranging cost (one initiator, N−1 neighbors)"
+        )?;
+        let mut t = Table::new(vec![
+            "N".into(),
+            "msgs net TWR".into(),
+            "msgs net CR".into(),
+            "tx TWR".into(),
+            "tx CR".into(),
+            "E_init TWR [mJ]".into(),
+            "E_init CR [mJ]".into(),
+            "t TWR [ms]".into(),
+            "t CR [ms]".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                r.n.to_string(),
+                r.msgs_twr_network.to_string(),
+                r.msgs_concurrent_network.to_string(),
+                r.tx_twr_measured.to_string(),
+                r.tx_concurrent_measured.to_string(),
+                fmt_f(r.initiator_energy_twr_mj, 3),
+                fmt_f(r.initiator_energy_concurrent_mj, 3),
+                fmt_f(r.duration_twr_ms, 2),
+                fmt_f(r.duration_concurrent_ms, 2),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_counts_match_paper_formulas() {
+        let report = run(6, 1);
+        for r in &report.rows {
+            assert_eq!(r.msgs_twr_network, r.n * (r.n - 1));
+            assert_eq!(r.msgs_concurrent_network, r.n);
+            // Simulated one-initiator schedule: 2(N−1) TWR transmissions vs
+            // N for concurrent (1 INIT + N−1 RESP).
+            assert_eq!(r.tx_twr_measured, 2 * (r.n - 1));
+            assert_eq!(r.tx_concurrent_measured, r.n);
+        }
+    }
+
+    #[test]
+    fn concurrent_saves_energy_and_time_for_n_at_least_3() {
+        let report = run(8, 2);
+        for r in report.rows.iter().filter(|r| r.n >= 3) {
+            assert!(
+                r.initiator_energy_concurrent_mj < r.initiator_energy_twr_mj,
+                "N={}: {} vs {}",
+                r.n,
+                r.initiator_energy_concurrent_mj,
+                r.initiator_energy_twr_mj
+            );
+            assert!(r.duration_concurrent_ms < r.duration_twr_ms);
+        }
+        // The gap widens with N.
+        let gain = |r: &CostRow| r.initiator_energy_twr_mj / r.initiator_energy_concurrent_mj;
+        assert!(gain(report.rows.last().unwrap()) > gain(&report.rows[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 5 — transmit pulse shapes for different `TC_PGDELAY` values
+//! (0x93 default, 0xC8, 0xE6, 0xF0), unit-energy normalized.
+
+use crate::table::{fmt_f, sparkline, Table};
+use std::fmt;
+use uwb_radio::{Channel, PulseShape, TcPgDelay, CIR_SAMPLE_PERIOD_S};
+
+/// One pulse shape entry.
+#[derive(Debug, Clone)]
+pub struct ShapeEntry {
+    /// Register value.
+    pub register: TcPgDelay,
+    /// Width multiplier relative to the default.
+    pub width_scale: f64,
+    /// Effective bandwidth in MHz.
+    pub bandwidth_mhz: f64,
+    /// Pulse duration `T_p` in ns.
+    pub duration_ns: f64,
+    /// Template length `N_p` at the CIR sample rate.
+    pub np_samples: usize,
+    /// Waveform samples (unit energy) at 8× the CIR rate.
+    pub waveform: Vec<f64>,
+}
+
+/// Result of the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Report {
+    /// One entry per register value.
+    pub shapes: Vec<ShapeEntry>,
+}
+
+/// Runs the experiment over the paper's four register values.
+pub fn run() -> Fig5Report {
+    let shapes = TcPgDelay::paper_figure5()
+        .into_iter()
+        .map(|register| {
+            let pulse = PulseShape::from_register(register, Channel::Ch7);
+            let fine = pulse.sample(CIR_SAMPLE_PERIOD_S / 8.0);
+            let coarse = pulse.sample(CIR_SAMPLE_PERIOD_S);
+            ShapeEntry {
+                register,
+                width_scale: register.width_scale(),
+                bandwidth_mhz: pulse.bandwidth_hz() / 1e6,
+                duration_ns: pulse.duration_s() * 1e9,
+                np_samples: coarse.len(),
+                waveform: fine.samples,
+            }
+        })
+        .collect();
+    Fig5Report { shapes }
+}
+
+impl fmt::Display for Fig5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 5 — pulse shapes s_i(t) per TC_PGDELAY value")?;
+        let mut t = Table::new(vec![
+            "shape".into(),
+            "TC_PGDELAY".into(),
+            "width ×".into(),
+            "bandwidth [MHz]".into(),
+            "T_p [ns]".into(),
+            "N_p".into(),
+        ]);
+        for (i, s) in self.shapes.iter().enumerate() {
+            t.push(vec![
+                format!("s{}", i + 1),
+                format!("{:#04x}", s.register.value()),
+                fmt_f(s.width_scale, 2),
+                fmt_f(s.bandwidth_mhz, 0),
+                fmt_f(s.duration_ns, 1),
+                s.np_samples.to_string(),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        for (i, s) in self.shapes.iter().enumerate() {
+            let rectified: Vec<f64> = s.waveform.iter().map(|x| x.abs()).collect();
+            writeln!(f, "s{} |{}|", i + 1, sparkline(&rectified, 72))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_shapes_with_growing_width() {
+        let report = run();
+        assert_eq!(report.shapes.len(), 4);
+        assert_eq!(report.shapes[0].register, TcPgDelay::DEFAULT);
+        for pair in report.shapes.windows(2) {
+            assert!(pair[1].duration_ns > pair[0].duration_ns);
+            assert!(pair[1].bandwidth_mhz < pair[0].bandwidth_mhz);
+        }
+        // Default shape: 900 MHz bandwidth.
+        assert!((report.shapes[0].bandwidth_mhz - 900.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn waveforms_are_unit_energy() {
+        for s in run().shapes {
+            let energy: f64 = s.waveform.iter().map(|x| x * x).sum();
+            assert!((energy - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Fig. 7 / Sect. VI — detection of overlapping responses.
+//!
+//! Two responders at the same distance (d₁ = d₂ = 4 m) reply concurrently;
+//! the DW1000's delayed-TX truncation leaves a residual offset within
+//! ±8 ns, and — as in the paper — only trials whose responses actually
+//! overlap (offset within a pulse width) are scored. The paper reports the
+//! search-and-subtract algorithm succeeding in 92.6 % of overlapping
+//! trials vs 48 % for the threshold baseline.
+
+use crate::scenarios::{rng, synthesize_responses, tx_grid_offset_ns};
+use crate::table::{fmt_f, Table};
+use concurrent_ranging::detection::{
+    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
+};
+use rand::Rng;
+use std::fmt;
+use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
+
+/// Result of the overlap experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Report {
+    /// Trials generated.
+    pub total_trials: usize,
+    /// Trials whose responses actually overlapped (scored).
+    pub overlapping_trials: usize,
+    /// Search-and-subtract success rate over overlapping trials.
+    pub search_subtract_rate: f64,
+    /// Threshold-baseline success rate over overlapping trials.
+    pub threshold_rate: f64,
+}
+
+/// Success: every true response is matched by a distinct detected peak
+/// within `tol_ns`.
+fn matches_both(detected: &[f64], truth: &[f64], tol_ns: f64) -> bool {
+    if detected.len() < truth.len() {
+        return false;
+    }
+    let mut used = vec![false; detected.len()];
+    'outer: for &t in truth {
+        for (i, &d) in detected.iter().enumerate() {
+            if !used[i] && (d - t).abs() <= tol_ns {
+                used[i] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Runs `trials` concurrent-reply trials and scores the overlapping subset,
+/// with the paper-matched default overlap window and success tolerance.
+pub fn run(trials: usize, seed: u64) -> Fig7Report {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    run_with(trials, seed, pulse.main_lobe_s() * 1e9, 0.75)
+}
+
+/// Like [`run`], with an explicit overlap-window (ns) — the pulse duration
+/// `T_p` used both as the "actually overlapping" criterion and as the
+/// threshold detector's scan window — and success tolerance (ns).
+pub fn run_with(trials: usize, seed: u64, overlap_window_ns: f64, tol_ns: f64) -> Fig7Report {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+
+    let ss = SearchSubtractDetector::from_registers(
+        &[TcPgDelay::DEFAULT],
+        Channel::Ch7,
+        SearchSubtractConfig::default(),
+    )
+    .expect("detector construction");
+    let th = ThresholdDetector::new(ThresholdConfig {
+        pulse_duration_s: overlap_window_ns * 1e-9,
+        ..ThresholdConfig::default()
+    })
+    .expect("baseline construction");
+
+    let mut r = rng(seed);
+    let mut overlapping = 0usize;
+    let mut ss_ok = 0usize;
+    let mut th_ok = 0usize;
+    for _ in 0..trials {
+        let offset_ns = tx_grid_offset_ns(&mut r);
+        if offset_ns.abs() >= overlap_window_ns {
+            continue; // paper: only actually-overlapping trials are scored
+        }
+        overlapping += 1;
+        let base_ns = 100.0 + r.random::<f64>(); // sub-tap phase varies
+        let amp2 = 0.7 + 0.6 * r.random::<f64>();
+        let truth = [base_ns, base_ns + offset_ns];
+        let cir = synthesize_responses(
+            &[(truth[0], 1.0, pulse), (truth[1], amp2, pulse)],
+            30.0,
+            &mut r,
+        );
+
+        let ss_out = ss.detect(&cir, 2).expect("detection runs");
+        let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
+        if matches_both(&ss_taus, &truth, tol_ns) {
+            ss_ok += 1;
+        }
+
+        let th_out = th.detect(&cir, 2).expect("baseline runs");
+        let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
+        if matches_both(&th_taus, &truth, tol_ns) {
+            th_ok += 1;
+        }
+    }
+
+    Fig7Report {
+        total_trials: trials,
+        overlapping_trials: overlapping,
+        search_subtract_rate: ss_ok as f64 / overlapping.max(1) as f64,
+        threshold_rate: th_ok as f64 / overlapping.max(1) as f64,
+    }
+}
+
+impl fmt::Display for Fig7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 7 / Sect. VI — overlapping responses (d1 = d2 = 4 m), {} of {} trials overlapped",
+            self.overlapping_trials, self.total_trials
+        )?;
+        let mut t = Table::new(vec!["algorithm".into(), "success [%]".into(), "paper [%]".into()]);
+        t.push(vec![
+            "search & subtract".into(),
+            fmt_f(self.search_subtract_rate * 100.0, 1),
+            "92.6".into(),
+        ]);
+        t.push(vec![
+            "threshold (Falsi et al.)".into(),
+            fmt_f(self.threshold_rate * 100.0, 1),
+            "48.0".into(),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_subtract_beats_threshold_on_overlap() {
+        let report = run(400, 17);
+        assert!(report.overlapping_trials > 50, "{report:?}");
+        // The paper's qualitative result: S&S far ahead of the baseline.
+        assert!(
+            report.search_subtract_rate > 0.75,
+            "S&S rate {}",
+            report.search_subtract_rate
+        );
+        assert!(
+            report.threshold_rate < 0.70,
+            "threshold rate {}",
+            report.threshold_rate
+        );
+        assert!(
+            report.search_subtract_rate > report.threshold_rate + 0.2,
+            "gap too small: {} vs {}",
+            report.search_subtract_rate,
+            report.threshold_rate
+        );
+    }
+
+    #[test]
+    fn matcher_requires_distinct_peaks() {
+        assert!(matches_both(&[10.0, 11.0], &[10.1, 10.9], 0.5));
+        // One detected peak cannot satisfy two truths.
+        assert!(!matches_both(&[10.0], &[10.0, 10.2], 0.5));
+        assert!(!matches_both(&[10.0, 50.0], &[10.0, 12.0], 0.5));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure plus the ablation studies. Each
+//! exposes a `run` function returning a displayable report, so the same
+//! code backs the experiment binaries, the integration tests and
+//! EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod design_ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod sec5;
+pub mod sec8;
+pub mod table1;

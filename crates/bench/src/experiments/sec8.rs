@@ -1,0 +1,126 @@
+//! Sect. VIII — scalability of the combined scheme: supported responders
+//! vs communication range, and the message savings against scheduled TWR.
+
+use crate::table::{fmt_f, Table};
+use concurrent_ranging::{CombinedScheme, SlotPlan};
+use std::fmt;
+use uwb_radio::TcPgDelay;
+
+/// One row of the scalability table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleRow {
+    /// Maximum communication range, meters.
+    pub r_max_m: f64,
+    /// Slots by the paper's formula `δ_max·c / r_max`.
+    pub slots_paper: usize,
+    /// Slots by the physically-consistent formula (round-trip + 30 ns
+    /// delay spread).
+    pub slots_physical: usize,
+    /// Capacity with ~100 pulse shapes (paper formula slots).
+    pub capacity_100_shapes: u32,
+    /// Capacity with all 108 usable shapes.
+    pub capacity_108_shapes: u32,
+    /// Messages for full-network TWR at N = capacity.
+    pub msgs_twr: u64,
+    /// Messages for concurrent ranging at N = capacity.
+    pub msgs_concurrent: u64,
+}
+
+/// Result of the scalability analysis.
+#[derive(Debug, Clone)]
+pub struct Sec8Report {
+    /// One row per communication range.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// Runs the analysis for the paper's range points.
+pub fn run() -> Sec8Report {
+    let rows = [75.0, 50.0, 30.0, 20.0, 10.0]
+        .into_iter()
+        .map(|r_max_m: f64| {
+            let slots_paper = SlotPlan::paper_supported_slots(r_max_m);
+            let slots_physical = SlotPlan::supported_slots(r_max_m, 30e-9);
+            let capacity = |shapes: usize| {
+                CombinedScheme::new(
+                    SlotPlan::new(slots_paper.max(1)).expect("slots valid"),
+                    shapes,
+                )
+                .expect("scheme valid")
+                .capacity()
+            };
+            let capacity_100 = capacity(100);
+            let n = u64::from(capacity_100) + 1; // responders + initiator
+            ScaleRow {
+                r_max_m,
+                slots_paper,
+                slots_physical,
+                capacity_100_shapes: capacity_100,
+                capacity_108_shapes: capacity(TcPgDelay::SHAPE_COUNT),
+                msgs_twr: n * (n - 1),
+                msgs_concurrent: n,
+            }
+        })
+        .collect();
+    Sec8Report { rows }
+}
+
+impl fmt::Display for Sec8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Sect. VIII — scalability of RPM × pulse shaping")?;
+        let mut t = Table::new(vec![
+            "r_max [m]".into(),
+            "N_RPM (paper)".into(),
+            "N_RPM (physical)".into(),
+            "N_max (100 shapes)".into(),
+            "N_max (108 shapes)".into(),
+            "msgs TWR".into(),
+            "msgs CR".into(),
+        ]);
+        for r in &self.rows {
+            t.push(vec![
+                fmt_f(r.r_max_m, 0),
+                r.slots_paper.to_string(),
+                r.slots_physical.to_string(),
+                r.capacity_100_shapes.to_string(),
+                r.capacity_108_shapes.to_string(),
+                r.msgs_twr.to_string(),
+                r.msgs_concurrent.to_string(),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper claims: N_RPM ≈ 4 at 75 m; > 1500 responders at 20 m (the physical \
+             column includes the round-trip factor the paper omits — see DESIGN.md)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        let report = run();
+        let at_75 = report.rows.iter().find(|r| r.r_max_m == 75.0).unwrap();
+        assert_eq!(at_75.slots_paper, 4);
+        let at_20 = report.rows.iter().find(|r| r.r_max_m == 20.0).unwrap();
+        assert!(at_20.capacity_108_shapes > 1500);
+        assert_eq!(at_20.capacity_100_shapes, 1500);
+    }
+
+    #[test]
+    fn physical_capacity_is_more_conservative() {
+        for r in run().rows {
+            assert!(r.slots_physical <= r.slots_paper, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn message_savings_are_quadratic() {
+        for r in run().rows {
+            assert_eq!(r.msgs_twr, r.msgs_concurrent * (r.msgs_concurrent - 1));
+        }
+    }
+}

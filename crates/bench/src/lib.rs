@@ -1,0 +1,22 @@
+//! # repro-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the ICDCS 2018 concurrent-ranging
+//! paper (plus ablations) on top of the simulated DW1000 stack. Each
+//! experiment lives in [`experiments`] and is exposed both as a library
+//! function (used by the integration tests) and as a binary
+//! (`cargo run --release -p repro-bench --bin exp_…`).
+//!
+//! Set `REPRO_TRIALS` to override per-cell trial counts for full
+//! paper-scale runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod scenarios;
+mod table;
+
+pub use scenarios::{
+    rng, run_twr_rounds, synthesize_responses, tx_grid_offset_ns, Deployment,
+};
+pub use table::{fmt_f, sparkline, trials_from_env, Table};

@@ -1,0 +1,161 @@
+//! Shared scenario builders for the experiment binaries: standard node
+//! layouts, engines and synthetic CIR generators used across figures.
+
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, RoundOutcome, SsTwrEngine,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uwb_channel::{random, Arrival, ChannelModel, CirSynthesizer, Point2};
+use uwb_dsp::Complex64;
+use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+use uwb_radio::{Cir, Prf, PulseShape, TcPgDelay};
+
+/// Runs `rounds` of SS-TWR between two nodes `distance_m` apart, with the
+/// responder transmitting the given pulse shape. Returns the distance
+/// estimates.
+pub fn run_twr_rounds(
+    distance_m: f64,
+    rounds: u32,
+    responder_shape: TcPgDelay,
+    channel: ChannelModel,
+    seed: u64,
+) -> Vec<f64> {
+    let mut sim = Simulator::new(channel, SimConfig::default(), seed);
+    let a = sim.add_node(NodeConfig::at(0.0, 1.0));
+    let b = sim.add_node(NodeConfig::at(distance_m, 1.0).with_pulse_shape(responder_shape));
+    let mut engine = SsTwrEngine::new(a, b, rounds);
+    // Budget: rounds × (round gap + response delay) plus margin.
+    sim.run(&mut engine, rounds as f64 * 2e-3 + 1.0);
+    engine.distances_m()
+}
+
+/// A concurrent-ranging deployment: initiator at a position, responders at
+/// positions with explicit IDs.
+pub struct Deployment {
+    /// Initiator position.
+    pub initiator: Point2,
+    /// `(position, responder id)` pairs.
+    pub responders: Vec<(Point2, u32)>,
+    /// The slot/shape scheme.
+    pub scheme: CombinedScheme,
+    /// Channel model.
+    pub channel: ChannelModel,
+}
+
+impl Deployment {
+    /// Runs `rounds` concurrent ranging rounds and returns the outcomes
+    /// (failed rounds are skipped; check `len()` against `rounds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine cannot be constructed (invalid IDs for the
+    /// scheme — a bug in the experiment definition).
+    pub fn run(&self, config: ConcurrentConfig, rounds: u32, seed: u64) -> Vec<RoundOutcome> {
+        let mut sim: Simulator<RangingMessage> =
+            Simulator::new(self.channel.clone(), SimConfig::default(), seed);
+        let initiator = sim.add_node(NodeConfig::at(self.initiator.x, self.initiator.y));
+        let mut responder_nodes = Vec::new();
+        for &(pos, id) in &self.responders {
+            let register = self
+                .scheme
+                .assign(id)
+                .expect("experiment ids fit the scheme")
+                .register;
+            let node = sim.add_node(NodeConfig::at(pos.x, pos.y).with_pulse_shape(register));
+            responder_nodes.push((node, id));
+        }
+        let config = config.with_rounds(rounds);
+        let mut engine = ConcurrentEngine::new(initiator, responder_nodes, config, seed)
+            .expect("experiment deployments are valid");
+        sim.run(&mut engine, rounds as f64 * 4e-3 + 1.0);
+        engine.outcomes
+    }
+
+    /// True initiator-to-responder distance for a responder index.
+    pub fn true_distance(&self, responder_index: usize) -> f64 {
+        self.initiator.distance_to(self.responders[responder_index].0)
+    }
+}
+
+/// Synthesizes the CIR of `n` concurrent responses with given delays (ns),
+/// amplitudes and pulse shapes, plus receiver noise at `snr_db` below the
+/// strongest response — the low-level generator used by the overlap and
+/// SNR experiments, where ground-truth offsets must be controlled exactly.
+pub fn synthesize_responses(
+    responses: &[(f64, f64, PulseShape)],
+    snr_db: f64,
+    rng: &mut StdRng,
+) -> Cir {
+    let strongest = responses.iter().map(|r| r.1).fold(0.0, f64::max);
+    let noise = strongest * 10f64.powf(-snr_db / 20.0);
+    let arrivals: Vec<Arrival> = responses
+        .iter()
+        .map(|&(delay_ns, amp, pulse)| Arrival {
+            delay_s: delay_ns * 1e-9,
+            amplitude: Complex64::from_polar(amp, random::uniform_phase(rng)),
+            pulse,
+        })
+        .collect();
+    CirSynthesizer::new(Prf::Mhz64)
+        .with_noise_sigma(noise)
+        .render(&arrivals, rng)
+}
+
+/// Draws the concurrency offset between two "simultaneous" responders
+/// induced by the DW1000's delayed-TX truncation: the difference of two
+/// independent uniform [0, 8 ns) grid phases, i.e. triangular on ±8 ns.
+pub fn tx_grid_offset_ns(rng: &mut StdRng) -> f64 {
+    let grid_ns = uwb_radio::TX_GRANULARITY_SECONDS * 1e9;
+    rng.random::<f64>() * grid_ns - rng.random::<f64>() * grid_ns
+}
+
+/// Deterministic experiment RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concurrent_ranging::SlotPlan;
+    use uwb_radio::RadioConfig;
+
+    #[test]
+    fn twr_rounds_return_estimates() {
+        let d = run_twr_rounds(4.0, 5, TcPgDelay::DEFAULT, ChannelModel::free_space(), 1);
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|x| (x - 4.0).abs() < 0.2));
+    }
+
+    #[test]
+    fn deployment_runs_rounds() {
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+        let dep = Deployment {
+            initiator: Point2::new(0.0, 0.0),
+            responders: vec![(Point2::new(5.0, 0.0), 0), (Point2::new(0.0, 8.0), 1)],
+            scheme: scheme.clone(),
+            channel: ChannelModel::free_space(),
+        };
+        let outcomes = dep.run(ConcurrentConfig::new(scheme), 3, 2);
+        assert_eq!(outcomes.len(), 3);
+        assert!((dep.true_distance(1) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesized_cir_has_responses() {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut r = rng(3);
+        let cir = synthesize_responses(&[(100.0, 1.0, pulse), (150.0, 0.5, pulse)], 30.0, &mut r);
+        assert_eq!(cir.strongest_tap(), Some(100));
+    }
+
+    #[test]
+    fn grid_offset_is_bounded() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let off = tx_grid_offset_ns(&mut r);
+            assert!(off.abs() < 8.1, "offset {off}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text result tables for the experiment binaries.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use repro_bench::Table;
+///
+/// let mut t = Table::new(vec!["d2 [m]".into(), "accuracy [%]".into()]);
+/// t.push(vec!["6".into(), "99.9".into()]);
+/// assert!(t.to_string().contains("accuracy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Reads the per-cell trial count from `REPRO_TRIALS`, defaulting to
+/// `default` — lets quick runs and full paper-scale runs share binaries.
+pub fn trials_from_env(default: usize) -> usize {
+    std::env::var("REPRO_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders a crude ASCII sparkline of a series (for CIR/pulse plots in
+/// terminal output).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let chunk = (values.len() as f64 / width as f64).max(1.0);
+    (0..width.min(values.len()))
+        .map(|i| {
+            let lo = (i as f64 * chunk) as usize;
+            let hi = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(lo + 1);
+            let peak = values[lo..hi].iter().cloned().fold(0.0, f64::max);
+            let level = ((peak / max) * 7.0).round() as usize;
+            LEVELS[level.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_content() {
+        let mut t = Table::new(vec!["a".into(), "long header".into()]);
+        t.push(vec!["x".into(), "1".into()]);
+        t.push(vec!["yyyy".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("long header"));
+        assert!(s.contains("yyyy"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn fmt_f_decimals() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(99.9, 1), "99.9");
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin().abs()).collect();
+        let s = sparkline(&values, 20);
+        assert_eq!(s.chars().count(), 20);
+        assert_eq!(sparkline(&[], 10), "");
+    }
+
+    #[test]
+    fn sparkline_peaks_render_high() {
+        let mut values = vec![0.01; 64];
+        values[32] = 1.0;
+        let s = sparkline(&values, 64);
+        assert!(s.contains('█'));
+    }
+}

@@ -1,0 +1,309 @@
+//! Responder ID → (slot, pulse shape) assignment — the combined scheme of
+//! the paper's Sect. VIII.
+//!
+//! Response position modulation alone supports only `N_RPM` responders;
+//! pulse shaping alone degrades for shapes that are too similar. The
+//! combined scheme assigns each responder a slot *and* a shape, giving
+//! `N_max = N_RPM · N_PS` concurrent responders:
+//!
+//! - slot:  `n_RPM = ID % N_RPM` (the paper's formula),
+//! - shape: `n_PS = ⌊ID / N_RPM⌋`.
+//!
+//! Note: the paper prints the shape formula as `⌊ID / N_PS⌋`, which is
+//! inconsistent with its own slot formula and Fig. 8 (it would produce
+//! shape indices ≥ N_PS). We use the bijective variant above and document
+//! the discrepancy in DESIGN.md.
+
+use crate::error::RangingError;
+use crate::rpm::SlotPlan;
+use uwb_radio::TcPgDelay;
+
+/// A single responder's assignment in the combined scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResponderAssignment {
+    /// The responder's identifier.
+    pub id: u32,
+    /// RPM slot index (`n_RPM`).
+    pub slot: usize,
+    /// Pulse shape index (`n_PS`).
+    pub shape: usize,
+    /// The `TC_PGDELAY` register value implementing the shape.
+    pub register: TcPgDelay,
+}
+
+/// The combined RPM × pulse-shaping scheme.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::{CombinedScheme, SlotPlan};
+///
+/// // The paper's Fig. 8 example: 4 slots × 3 shapes = 12 responders.
+/// let scheme = CombinedScheme::new(SlotPlan::new(4)?, 3)?;
+/// assert_eq!(scheme.capacity(), 12);
+/// let a = scheme.assign(7)?;
+/// assert_eq!(a.slot, 3);  // 7 % 4
+/// assert_eq!(a.shape, 1); // 7 / 4
+/// # Ok::<(), concurrent_ranging::RangingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedScheme {
+    plan: SlotPlan,
+    shapes: Vec<TcPgDelay>,
+}
+
+impl CombinedScheme {
+    /// Builds a scheme with `n_shapes` pulse shapes spread over the usable
+    /// `TC_PGDELAY` range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::InvalidSchemeParameters`] for zero shapes,
+    /// or a radio error if more shapes are requested than registers exist.
+    pub fn new(plan: SlotPlan, n_shapes: usize) -> Result<Self, RangingError> {
+        if n_shapes == 0 {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        let shapes = TcPgDelay::spread(n_shapes)?;
+        Ok(Self { plan, shapes })
+    }
+
+    /// Builds a scheme with explicit register values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::InvalidSchemeParameters`] for an empty list.
+    pub fn with_registers(plan: SlotPlan, shapes: Vec<TcPgDelay>) -> Result<Self, RangingError> {
+        if shapes.is_empty() {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        Ok(Self { plan, shapes })
+    }
+
+    /// The slot plan.
+    pub fn plan(&self) -> &SlotPlan {
+        &self.plan
+    }
+
+    /// The pulse-shape registers, indexed by shape index.
+    pub fn shapes(&self) -> &[TcPgDelay] {
+        &self.shapes
+    }
+
+    /// Number of pulse shapes `N_PS`.
+    pub fn n_shapes(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Maximum number of concurrent responders
+    /// `N_max = N_RPM · N_PS` (Sect. VIII).
+    pub fn capacity(&self) -> u32 {
+        (self.plan.n_slots() * self.shapes.len()) as u32
+    }
+
+    /// Assigns slot and shape for a responder ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::IdBeyondCapacity`] when `id >= capacity`.
+    pub fn assign(&self, id: u32) -> Result<ResponderAssignment, RangingError> {
+        if id >= self.capacity() {
+            return Err(RangingError::IdBeyondCapacity {
+                id,
+                capacity: self.capacity(),
+            });
+        }
+        let slot = (id as usize) % self.plan.n_slots();
+        let shape = (id as usize) / self.plan.n_slots();
+        Ok(ResponderAssignment {
+            id,
+            slot,
+            shape,
+            register: self.shapes[shape],
+        })
+    }
+
+    /// Recovers the responder ID from a decoded (slot, shape) pair.
+    ///
+    /// Returns `None` for out-of-range indices.
+    pub fn id_from(&self, slot: usize, shape: usize) -> Option<u32> {
+        if slot >= self.plan.n_slots() || shape >= self.shapes.len() {
+            return None;
+        }
+        Some((shape * self.plan.n_slots() + slot) as u32)
+    }
+
+    /// The additional response delay `δ_i` for a responder ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::IdBeyondCapacity`] when `id >= capacity`.
+    pub fn response_offset_s(&self, id: u32) -> Result<f64, RangingError> {
+        let a = self.assign(id)?;
+        Ok(self.plan.slot_delay_s(a.slot))
+    }
+
+    /// Plans a scheme for a deployment: the *maximum* physically-safe slot
+    /// count for the operating range (round-trip spread + channel delay
+    /// spread per slot, Sect. VII/VIII), then just enough pulse shapes to
+    /// cover `n_users`. Maximizing slots first minimizes both overlap
+    /// probability and the number of near-identical pulse shapes the
+    /// identification stage must distinguish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::InvalidSchemeParameters`] when no slot fits
+    /// the requested range, and a radio-layer error (wrapped in
+    /// [`RangingError::Radio`]) when even all 108 shapes cannot cover
+    /// `n_users`.
+    pub fn plan_for(
+        n_users: u32,
+        max_range_m: f64,
+        delay_spread_s: f64,
+    ) -> Result<Self, RangingError> {
+        if n_users == 0 {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        let slots = SlotPlan::supported_slots(max_range_m, delay_spread_s);
+        if slots == 0 {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        let shapes = (n_users as usize).div_ceil(slots);
+        Self::new(SlotPlan::new(slots)?, shapes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme(slots: usize, shapes: usize) -> CombinedScheme {
+        CombinedScheme::new(SlotPlan::new(slots).unwrap(), shapes).unwrap()
+    }
+
+    #[test]
+    fn capacity_is_product() {
+        assert_eq!(scheme(4, 3).capacity(), 12);
+        assert_eq!(scheme(1, 1).capacity(), 1);
+        assert_eq!(scheme(8, 5).capacity(), 40);
+    }
+
+    #[test]
+    fn assignment_is_bijective() {
+        let s = scheme(4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..s.capacity() {
+            let a = s.assign(id).unwrap();
+            assert!(a.slot < 4);
+            assert!(a.shape < 3);
+            assert!(seen.insert((a.slot, a.shape)), "duplicate for id {id}");
+            assert_eq!(s.id_from(a.slot, a.shape), Some(id));
+        }
+    }
+
+    #[test]
+    fn paper_fig8_assignments() {
+        // Fig. 8: responders with ID 0, 1, 2 use pulse shapes s1, s2, s3…
+        // is satisfiable only by shape = ID % N_PS for those IDs; our
+        // bijection (shape = ID / N_RPM) instead gives IDs 0..3 shape 0 —
+        // both are valid bijections; verify ours matches its documentation.
+        let s = scheme(4, 3);
+        let a5 = s.assign(5).unwrap();
+        assert_eq!((a5.slot, a5.shape), (1, 1));
+        let a11 = s.assign(11).unwrap();
+        assert_eq!((a11.slot, a11.shape), (3, 2));
+    }
+
+    #[test]
+    fn rejects_id_beyond_capacity() {
+        let s = scheme(4, 3);
+        assert!(matches!(
+            s.assign(12),
+            Err(RangingError::IdBeyondCapacity { id: 12, capacity: 12 })
+        ));
+    }
+
+    #[test]
+    fn first_shape_is_default_register() {
+        let s = scheme(2, 3);
+        assert_eq!(s.assign(0).unwrap().register, TcPgDelay::DEFAULT);
+        assert_eq!(s.assign(1).unwrap().register, TcPgDelay::DEFAULT);
+        assert_ne!(s.assign(2).unwrap().register, TcPgDelay::DEFAULT);
+    }
+
+    #[test]
+    fn response_offsets_are_slot_delays() {
+        let s = scheme(4, 3);
+        let delta = s.plan().slot_spacing_s();
+        for id in 0..12u32 {
+            let offset = s.response_offset_s(id).unwrap();
+            assert!((offset - (id as usize % 4) as f64 * delta).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn paper_scalability_claim_1500_responders() {
+        // Sect. VIII: with r_max limited to 20 m and ~100 pulse shapes,
+        // "the number of supported responders becomes more than 1500".
+        let slots = SlotPlan::paper_supported_slots(20.0);
+        assert_eq!(slots, 15);
+        let s = CombinedScheme::new(
+            SlotPlan::new(slots).unwrap(),
+            TcPgDelay::SHAPE_COUNT, // all 108 usable shapes
+        )
+        .unwrap();
+        assert!(s.capacity() > 1500, "capacity {}", s.capacity());
+        // With exactly 100 shapes the capacity reaches the paper's 1500.
+        let s100 = CombinedScheme::new(SlotPlan::new(slots).unwrap(), 100).unwrap();
+        assert_eq!(s100.capacity(), 1500);
+    }
+
+    #[test]
+    fn id_from_rejects_out_of_range() {
+        let s = scheme(4, 3);
+        assert_eq!(s.id_from(4, 0), None);
+        assert_eq!(s.id_from(0, 3), None);
+    }
+
+    #[test]
+    fn rejects_zero_shapes() {
+        assert!(CombinedScheme::new(SlotPlan::new(4).unwrap(), 0).is_err());
+        assert!(CombinedScheme::with_registers(SlotPlan::new(4).unwrap(), vec![]).is_err());
+    }
+
+    #[test]
+    fn plan_for_covers_users_with_max_slots() {
+        // 20 users at 15 m with 30 ns delay spread.
+        let s = CombinedScheme::plan_for(20, 15.0, 30e-9).unwrap();
+        assert!(s.capacity() >= 20);
+        // Slots are maximized for the range…
+        assert_eq!(
+            s.plan().n_slots(),
+            SlotPlan::supported_slots(15.0, 30e-9)
+        );
+        // …and each slot stays physically safe.
+        assert!(s.plan().max_range_m(30e-9) >= 15.0);
+        // Shapes are minimal for the load.
+        assert_eq!(
+            s.n_shapes(),
+            20usize.div_ceil(s.plan().n_slots())
+        );
+    }
+
+    #[test]
+    fn plan_for_rejects_impossible_deployments() {
+        // Zero users.
+        assert!(CombinedScheme::plan_for(0, 10.0, 0.0).is_err());
+        // Range so large no slot fits the CIR window.
+        assert!(CombinedScheme::plan_for(4, 200.0, 0.0).is_err());
+        // More users than 108 shapes × slots can serve.
+        assert!(CombinedScheme::plan_for(10_000, 140.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn plan_for_single_user_single_shape() {
+        let s = CombinedScheme::plan_for(1, 10.0, 20e-9).unwrap();
+        assert_eq!(s.n_shapes(), 1);
+        assert!(s.capacity() >= 1);
+    }
+}

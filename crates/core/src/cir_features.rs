@@ -1,0 +1,278 @@
+//! CIR feature extraction and LOS/NLOS classification.
+//!
+//! The paper notes the CIR "can be used to detect a degrading channel as
+//! well as any change of the surrounding environment" (Sect. II) and
+//! defers NLOS handling to future work (Sect. IX). This module provides
+//! that machinery: the standard channel-statistics features used by the
+//! UWB literature (first-path-to-peak ratio, rise time, RMS delay spread,
+//! kurtosis) and a rule-based LOS/NLOS classifier over them — letting a
+//! deployment flag responder estimates whose direct path looks obstructed.
+
+use uwb_radio::Cir;
+
+/// Channel statistics extracted from one CIR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CirFeatures {
+    /// Leading-edge (first path) tap index.
+    pub first_path_tap: usize,
+    /// Strongest tap index.
+    pub peak_tap: usize,
+    /// First-path amplitude divided by peak amplitude, in `[0, 1]`. Near 1
+    /// for line-of-sight (the direct path *is* the peak), small when the
+    /// direct path is attenuated below later reflections.
+    pub first_path_to_peak: f64,
+    /// Rise time from leading edge to peak, seconds. LOS channels rise
+    /// within a pulse width; obstructed channels build up slowly.
+    pub rise_time_s: f64,
+    /// RMS delay spread of the power-weighted delay profile, seconds.
+    pub rms_delay_spread_s: f64,
+    /// Kurtosis of the tap-magnitude distribution: high for one dominant
+    /// path, lower for diffuse energy.
+    pub kurtosis: f64,
+    /// Peak SNR estimate in dB.
+    pub peak_snr_db: f64,
+}
+
+/// Channel condition verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelCondition {
+    /// Clear line of sight: direct path dominates.
+    LineOfSight,
+    /// Obstructed: the direct path is attenuated or delayed relative to
+    /// reflections — range estimates are likely biased late.
+    NonLineOfSight,
+}
+
+/// Extracts channel features from a CIR.
+///
+/// The leading edge is detected at `edge_factor` times the noise floor
+/// (6 is a robust default).
+///
+/// Returns `None` for an all-zero CIR (nothing received).
+pub fn extract_features(cir: &Cir, edge_factor: f64) -> Option<CirFeatures> {
+    let mags = cir.magnitudes();
+    let peak_tap = cir.strongest_tap()?;
+    let peak = mags[peak_tap];
+    let floor = cir.noise_floor();
+    let threshold = (floor * edge_factor).max(peak * 0.05);
+    let first_path_tap = uwb_dsp::leading_edge(&mags, threshold)?;
+    let ts = cir.sample_period_s();
+
+    // Power-weighted mean excess delay and RMS spread over taps clearly
+    // above the noise floor (3× gate), so residual noise across the ~1 µs
+    // window cannot dominate the spread.
+    let gate = 3.0 * floor;
+    let mut p_total = 0.0;
+    let mut mean_delay = 0.0;
+    for (i, &m) in mags.iter().enumerate().skip(first_path_tap) {
+        if m > gate {
+            let p = m * m;
+            p_total += p;
+            mean_delay += p * (i - first_path_tap) as f64 * ts;
+        }
+    }
+    if p_total <= 0.0 {
+        return None;
+    }
+    mean_delay /= p_total;
+    let mut var = 0.0;
+    for (i, &m) in mags.iter().enumerate().skip(first_path_tap) {
+        if m > gate {
+            let p = m * m;
+            let d = (i - first_path_tap) as f64 * ts - mean_delay;
+            var += p * d * d;
+        }
+    }
+    let rms_delay_spread_s = (var / p_total).sqrt();
+
+    // Kurtosis of the magnitude samples.
+    let n = mags.len() as f64;
+    let mean = mags.iter().sum::<f64>() / n;
+    let m2 = mags.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / n;
+    let m4 = mags.iter().map(|m| (m - mean).powi(4)).sum::<f64>() / n;
+    let kurtosis = if m2 > 0.0 { m4 / (m2 * m2) } else { 0.0 };
+
+    // First-path amplitude: the local maximum within one pulse main lobe
+    // after the leading edge (the edge tap itself sits on the rising
+    // slope).
+    let fp_window_end = (first_path_tap + 3).min(mags.len());
+    let first_path_amp = mags[first_path_tap..fp_window_end]
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+
+    Some(CirFeatures {
+        first_path_tap,
+        peak_tap,
+        first_path_to_peak: (first_path_amp / peak).min(1.0),
+        rise_time_s: peak_tap.saturating_sub(first_path_tap) as f64 * ts,
+        rms_delay_spread_s,
+        kurtosis,
+        peak_snr_db: cir.peak_snr_db(),
+    })
+}
+
+/// A rule-based LOS/NLOS classifier over [`CirFeatures`], using the
+/// canonical indicators from the UWB channel-identification literature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NlosClassifier {
+    /// Classify NLOS when the first-path-to-peak ratio falls below this.
+    pub min_first_path_ratio: f64,
+    /// Classify NLOS when the rise time exceeds this (seconds).
+    pub max_rise_time_s: f64,
+    /// Leading-edge detection factor over the noise floor.
+    pub edge_factor: f64,
+}
+
+impl Default for NlosClassifier {
+    fn default() -> Self {
+        Self {
+            min_first_path_ratio: 0.55,
+            max_rise_time_s: 6e-9,
+            edge_factor: 6.0,
+        }
+    }
+}
+
+impl NlosClassifier {
+    /// Classifies a CIR. Returns `None` when no signal is present.
+    pub fn classify(&self, cir: &Cir) -> Option<ChannelCondition> {
+        let f = extract_features(cir, self.edge_factor)?;
+        Some(self.classify_features(&f))
+    }
+
+    /// Classifies already-extracted features.
+    pub fn classify_features(&self, f: &CirFeatures) -> ChannelCondition {
+        if f.first_path_to_peak < self.min_first_path_ratio
+            || f.rise_time_s > self.max_rise_time_s
+        {
+            ChannelCondition::NonLineOfSight
+        } else {
+            ChannelCondition::LineOfSight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uwb_channel::{
+        ChannelConfig, ChannelModel, CirSynthesizer, NlosConfig, Point2, Room,
+    };
+    use uwb_radio::{Prf, PulseShape, RadioConfig};
+
+    fn render_cir(nlos_db: f64, seed: u64) -> Cir {
+        let mut config = ChannelConfig::default();
+        config.max_reflection_order = 1;
+        if nlos_db > 0.0 {
+            // Through-obstacle propagation adds little delay (~1–2 ns for
+            // a person or door) while attenuating strongly.
+            config.nlos = Some(NlosConfig {
+                extra_loss_db: nlos_db,
+                excess_delay_ns: 0.1 * nlos_db,
+            });
+        }
+        // A realistically reflective office (plaster-ish walls), with the
+        // link placed asymmetrically so first-order reflections do not
+        // pile up coherently.
+        let model =
+            ChannelModel::with_config(Some(Room::rectangular(12.0, 6.0, 0.45)), config);
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = model.propagate(
+            Point2::new(1.5, 2.2),
+            Point2::new(9.0, 3.4),
+            pulse,
+            0.0462,
+            &mut rng,
+        );
+        let strongest = arrivals
+            .iter()
+            .map(|a| a.amplitude.abs())
+            .fold(0.0, f64::max);
+        CirSynthesizer::new(Prf::Mhz64)
+            .with_window_start(arrivals[0].delay_s - 30.0 * uwb_radio::CIR_SAMPLE_PERIOD_S)
+            .with_noise_sigma(strongest * 10f64.powf(-30.0 / 20.0))
+            .render(&arrivals, &mut rng)
+    }
+
+    #[test]
+    fn features_of_clean_los_channel() {
+        let cir = render_cir(0.0, 1);
+        let f = extract_features(&cir, 6.0).expect("signal present");
+        // Direct path at the configured tap 30, and it is the peak.
+        assert!((28..=32).contains(&f.first_path_tap), "{f:?}");
+        assert!(f.first_path_to_peak > 0.8, "{f:?}");
+        assert!(f.rise_time_s < 4e-9, "{f:?}");
+        assert!(f.peak_snr_db > 20.0);
+    }
+
+    #[test]
+    fn blocked_path_shifts_features() {
+        let los = extract_features(&render_cir(0.0, 2), 6.0).unwrap();
+        let nlos = extract_features(&render_cir(18.0, 2), 6.0).unwrap();
+        // With the direct path 18 dB down, a reflection dominates.
+        assert!(nlos.first_path_to_peak < los.first_path_to_peak);
+        assert!(nlos.rise_time_s > los.rise_time_s);
+    }
+
+    #[test]
+    fn classifier_separates_los_from_nlos() {
+        let clf = NlosClassifier::default();
+        let mut correct = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            if clf.classify(&render_cir(0.0, 100 + seed)) == Some(ChannelCondition::LineOfSight)
+            {
+                correct += 1;
+            }
+            if clf.classify(&render_cir(18.0, 200 + seed))
+                == Some(ChannelCondition::NonLineOfSight)
+            {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / (2 * trials) as f64;
+        assert!(accuracy >= 0.85, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn empty_cir_yields_none() {
+        let cir = Cir::zeroed(Prf::Mhz64);
+        assert!(extract_features(&cir, 6.0).is_none());
+        assert!(NlosClassifier::default().classify(&cir).is_none());
+    }
+
+    #[test]
+    fn kurtosis_higher_for_single_dominant_path() {
+        use uwb_channel::Arrival;
+        use uwb_dsp::Complex64;
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let single = CirSynthesizer::new(Prf::Mhz64)
+            .with_noise_sigma(1e-4)
+            .render(
+                &[Arrival {
+                    delay_s: 100e-9,
+                    amplitude: Complex64::from_real(1.0),
+                    pulse,
+                }],
+                &mut rng,
+            );
+        let spread: Vec<Arrival> = (0..40)
+            .map(|i| Arrival {
+                delay_s: (100.0 + 5.0 * i as f64) * 1e-9,
+                amplitude: Complex64::from_polar(0.16, i as f64),
+                pulse,
+            })
+            .collect();
+        let diffuse = CirSynthesizer::new(Prf::Mhz64)
+            .with_noise_sigma(1e-4)
+            .render(&spread, &mut rng);
+        let k_single = extract_features(&single, 6.0).unwrap().kurtosis;
+        let k_diffuse = extract_features(&diffuse, 6.0).unwrap().kurtosis;
+        assert!(k_single > k_diffuse, "{k_single} vs {k_diffuse}");
+    }
+}

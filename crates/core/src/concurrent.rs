@@ -1,0 +1,840 @@
+//! The concurrent ranging engine: one broadcast, N−1 simultaneous replies,
+//! all distances from a single CIR (paper, Sect. III–VIII).
+//!
+//! Round structure (Fig. 3):
+//!
+//! 1. The initiator broadcasts INIT (delayed TX, so `t_tx,init` is exact).
+//! 2. Every responder `i` schedules RESP at
+//!    `t_rx,i + Δ_RESP + δ_i` — where `δ_i` is its RPM slot delay
+//!    (Sect. VII) — transmitting with its assigned pulse shape (Sect. V),
+//!    and embeds `(t_rx,i, t_tx,i)` in the payload.
+//! 3. The replies overlap at the initiator into one accumulation window.
+//!    The strongest payload decodes (capture), giving the SS-TWR anchor
+//!    distance `d_TWR` (Eq. 2). The CIR contains every responder's pulse.
+//! 4. Search-and-subtract detection (Sect. IV) extracts the responses;
+//!    the matched-filter bank identifies each pulse shape; slot decoding
+//!    maps delays to RPM slots; `(slot, shape) → ID`; distances follow
+//!    from Eq. 4 with slot-delay compensation.
+
+use crate::assignment::CombinedScheme;
+use crate::detection::{
+    DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector,
+};
+use crate::error::RangingError;
+use crate::estimate::{concurrent_distance_with_rpm_m, TwrTimestamps};
+use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_netsim::{NodeApi, NodeId, Protocol, ReceivedFrame, Reception};
+use uwb_radio::{
+    Cir, DeviceTime, Prf, CIR_SAMPLE_PERIOD_S, PAPER_RESPONSE_DELAY_S,
+};
+
+/// Configuration of a concurrent ranging deployment.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// The slot/shape assignment scheme (Sect. VIII).
+    pub scheme: CombinedScheme,
+    /// The common response delay `Δ_RESP` (paper: 290 µs).
+    pub response_delay_s: f64,
+    /// Detector configuration (Sect. IV).
+    pub detector: SearchSubtractConfig,
+    /// CIR signal-to-noise ratio in dB, referenced to the strongest
+    /// arrival (models receiver noise + AGC).
+    pub cir_snr_db: f64,
+    /// Nominal accumulator tap where the receiver places the first path of
+    /// the frame it locked onto (the DW1000's `FP_INDEX` neighbourhood).
+    pub first_path_tap: usize,
+    /// Number of ranging rounds to run.
+    pub rounds: u32,
+    /// Gap between rounds, seconds.
+    pub round_gap_s: f64,
+    /// Multipath rejection (Sect. VII's payoff): when enabled, the
+    /// detector extracts `expected + extra_detections` peaks and keeps one
+    /// response per decoded `(slot, shape)` pair: the *earliest* among the
+    /// candidates within [`ConcurrentConfig::mpc_guard_margin_db`] of the
+    /// group's strongest — a direct path precedes its reflections, while
+    /// the margin discards weak subtraction artefacts and noise peaks that
+    /// happen to land early in the slot. Only meaningful with a scheme
+    /// that actually separates responders (capacity > 1).
+    pub mpc_guard: bool,
+    /// Additional detections to run when `mpc_guard` is enabled, giving
+    /// the dedup step candidates beyond the strongest MPCs.
+    pub extra_detections: usize,
+    /// Amplitude margin (dB) below a slot's strongest candidate within
+    /// which an earlier candidate is still accepted as the direct path.
+    pub mpc_guard_margin_db: f64,
+    /// Model the DW1000's delayed-TX truncation in the engine's scheduled
+    /// transmissions (default true). Set false — together with
+    /// [`uwb_netsim::SimConfig::tx_quantization`] — to quantify what an
+    /// ideal-resolution transmitter would buy (the hardware limitation of
+    /// Sect. III).
+    pub quantize_tx: bool,
+    /// Noise gate for guard-mode candidates: responses weaker than this
+    /// factor times the CIR noise-floor estimate (the mean noise
+    /// magnitude, ≈1.25 σ) are discarded as matched-filter noise peaks.
+    /// The maximum over the ~1000 independent noise positions in the
+    /// window reaches ≈3.7 σ ≈ 3× the floor, so the default of 4 (≈5 σ)
+    /// rejects noise with margin while keeping responses ≥13 dB over σ.
+    pub mpc_noise_gate: f64,
+}
+
+impl ConcurrentConfig {
+    /// A configuration with the paper's defaults for a given scheme.
+    pub fn new(scheme: CombinedScheme) -> Self {
+        Self {
+            scheme,
+            response_delay_s: PAPER_RESPONSE_DELAY_S,
+            detector: SearchSubtractConfig::default(),
+            cir_snr_db: 30.0,
+            first_path_tap: 16,
+            rounds: 1,
+            round_gap_s: 2e-3,
+            mpc_guard: false,
+            extra_detections: 4,
+            mpc_guard_margin_db: 12.0,
+            mpc_noise_gate: 4.0,
+            quantize_tx: true,
+        }
+    }
+
+    /// Enables multipath rejection via slot/shape deduplication.
+    #[must_use]
+    pub fn with_mpc_guard(mut self) -> Self {
+        self.mpc_guard = true;
+        self
+    }
+
+    /// Sets the number of rounds.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the CIR SNR.
+    #[must_use]
+    pub fn with_snr_db(mut self, snr_db: f64) -> Self {
+        self.cir_snr_db = snr_db;
+        self
+    }
+}
+
+/// One responder's estimate out of a concurrent round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponderEstimate {
+    /// Decoded responder ID (`shape · N_RPM + slot`), if slot decoding
+    /// succeeded.
+    pub id: Option<u32>,
+    /// Decoded pulse-shape index.
+    pub shape_index: usize,
+    /// Decoded RPM slot.
+    pub slot: Option<usize>,
+    /// Estimated distance (Eq. 4 with RPM compensation), meters.
+    pub distance_m: f64,
+    /// The response's CIR delay.
+    pub tau_s: f64,
+    /// Estimated amplitude magnitude.
+    pub amplitude: f64,
+}
+
+/// The result of one concurrent ranging round at the initiator.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Round counter.
+    pub round: u32,
+    /// The SS-TWR anchor distance from the decoded payload (Eq. 2).
+    pub d_twr_m: f64,
+    /// ID of the responder whose payload decoded (the anchor).
+    pub anchor_id: u32,
+    /// Per-responder estimates, sorted by delay (includes the anchor).
+    pub estimates: Vec<ResponderEstimate>,
+    /// The synthesized accumulator the estimates came from.
+    pub cir: Cir,
+    /// The receiver's reported first-path index (taps, fractional).
+    pub fp_index: f64,
+    /// Full detection output (responses + diagnostics).
+    pub detection: DetectionOutcome,
+}
+
+impl RoundOutcome {
+    /// The estimate decoded as responder `id`, if any.
+    pub fn estimate_for(&self, id: u32) -> Option<&ResponderEstimate> {
+        self.estimates.iter().find(|e| e.id == Some(id))
+    }
+}
+
+/// Timer-token bit marking a round watchdog (low 32 bits carry the round).
+const WATCHDOG_BIT: u64 = 1 << 32;
+
+/// The concurrent ranging protocol engine.
+///
+/// Drive it with [`uwb_netsim::Simulator::run`]; collect results from
+/// [`ConcurrentEngine::outcomes`].
+#[derive(Debug)]
+pub struct ConcurrentEngine {
+    initiator: NodeId,
+    /// Responder node ↔ responder ID (determines slot + pulse shape).
+    responder_ids: Vec<(NodeId, u32)>,
+    config: ConcurrentConfig,
+    detector: SearchSubtractDetector,
+    synth_prf: Prf,
+    rng: StdRng,
+    current_round: u32,
+    init_tx: Option<DeviceTime>,
+    /// Completed round outcomes.
+    pub outcomes: Vec<RoundOutcome>,
+    /// Rounds that failed (no decodable payload / detection error).
+    pub failed_rounds: Vec<(u32, RangingError)>,
+}
+
+impl ConcurrentEngine {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction errors (empty template bank,
+    /// invalid upsampling) and rejects responder IDs beyond the scheme
+    /// capacity.
+    pub fn new(
+        initiator: NodeId,
+        responder_ids: Vec<(NodeId, u32)>,
+        config: ConcurrentConfig,
+        seed: u64,
+    ) -> Result<Self, RangingError> {
+        for &(_, id) in &responder_ids {
+            config.scheme.assign(id)?;
+        }
+        let detector = SearchSubtractDetector::from_registers(
+            config.scheme.shapes(),
+            uwb_radio::Channel::Ch7,
+            config.detector,
+        )?;
+        Ok(Self {
+            initiator,
+            responder_ids,
+            config,
+            detector,
+            synth_prf: Prf::Mhz64,
+            rng: StdRng::seed_from_u64(seed),
+            current_round: 0,
+            init_tx: None,
+            outcomes: Vec::new(),
+            failed_rounds: Vec::new(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ConcurrentConfig {
+        &self.config
+    }
+
+    /// Number of responders in the deployment.
+    pub fn responder_count(&self) -> usize {
+        self.responder_ids.len()
+    }
+
+    fn responder_id(&self, node: NodeId) -> Option<u32> {
+        self.responder_ids
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, id)| id)
+    }
+
+    fn quantize(&self, t: DeviceTime) -> DeviceTime {
+        if self.config.quantize_tx {
+            t.quantize_tx()
+        } else {
+            t
+        }
+    }
+
+    fn start_round(&mut self, api: &mut NodeApi<RangingMessage>) {
+        let at = self.quantize(
+            api.device_now()
+                .wrapping_add_seconds(200e-6)
+                .expect("margin is positive"),
+        );
+        self.init_tx = Some(at);
+        api.transmit_at(
+            at,
+            RangingMessage::Init {
+                round: self.current_round,
+            },
+            INIT_PAYLOAD_BYTES,
+        );
+        // Listen across the response delay plus the RPM slot span.
+        api.record_listen(self.config.response_delay_s + crate::rpm::DELTA_MAX_S);
+        // Watchdog: a lost or undecodable reply window must not stall the
+        // remaining rounds.
+        let timeout = self.config.response_delay_s + crate::rpm::DELTA_MAX_S + 1e-3;
+        api.set_timer(timeout, WATCHDOG_BIT | u64::from(self.current_round));
+    }
+
+    /// Builds the initiator's accumulator from every frame in the window.
+    fn build_cir(&mut self, reception: &Reception<RangingMessage>) -> (Cir, f64) {
+        // The receiver locks to the decoded frame's first path and places
+        // it near `first_path_tap`; the sub-tap phase is unknown (the
+        // "unknown time offset" of Sect. IV) but the DW1000 reports the
+        // resulting FP_INDEX, which we model here.
+        let sub_tap: f64 = self.rng.random::<f64>();
+        let fp_index = self.config.first_path_tap as f64 + sub_tap;
+        let window_start = reception.rx_true_global_s - fp_index * CIR_SAMPLE_PERIOD_S;
+
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        let mut strongest: f64 = 0.0;
+        for frame in &reception.frames {
+            for a in &frame.arrivals {
+                let absolute = Arrival {
+                    delay_s: frame.tx_rmarker_global_s + a.delay_s,
+                    amplitude: a.amplitude,
+                    pulse: a.pulse,
+                };
+                strongest = strongest.max(absolute.amplitude.abs());
+                arrivals.push(absolute);
+            }
+        }
+        let noise_sigma = strongest * 10f64.powf(-self.config.cir_snr_db / 20.0);
+        let synth = CirSynthesizer::new(self.synth_prf)
+            .with_window_start(window_start)
+            .with_noise_sigma(noise_sigma);
+        (synth.render(&arrivals, &mut self.rng), fp_index)
+    }
+
+    fn process_round(
+        &mut self,
+        reception: &Reception<RangingMessage>,
+        decoded: &ReceivedFrame<RangingMessage>,
+    ) -> Result<RoundOutcome, RangingError> {
+        let RangingMessage::Resp {
+            round,
+            responder_id: anchor_id,
+            rx_timestamp,
+            tx_timestamp,
+        } = decoded.payload
+        else {
+            return Err(RangingError::NoDecodablePayload);
+        };
+        let init_tx = self.init_tx.ok_or(RangingError::RoundTimeout)?;
+
+        // Eq. 2: the anchor distance. The anchor's own RPM slot delay is
+        // part of its reply time and cancels in (t_tx − t_rx) — SS-TWR is
+        // agnostic to the actual reply delay.
+        let timestamps = TwrTimestamps {
+            init_tx,
+            init_rx: reception.rx_device_time,
+            resp_rx: rx_timestamp,
+            resp_tx: tx_timestamp,
+        };
+        let d_twr_m = timestamps.distance_m();
+        let anchor_slot = self.config.scheme.assign(anchor_id)?.slot;
+
+        // Physics: synthesize what the accumulator holds.
+        let (cir, fp_index) = self.build_cir(reception);
+
+        // Sect. IV: detect the N−1 strongest responses (plus extra
+        // candidates when multipath rejection is on).
+        let expected = self.responder_ids.len();
+        let detect_count = if self.config.mpc_guard {
+            expected + self.config.extra_detections
+        } else {
+            expected
+        };
+        let detection = self.detector.detect(&cir, detect_count)?;
+
+        // The anchor response is the one nearest the reported FP_INDEX.
+        let tau_anchor_nominal = fp_index * CIR_SAMPLE_PERIOD_S;
+        let anchor_tau = detection
+            .responses
+            .iter()
+            .map(|r| r.tau_s)
+            .min_by(|a, b| {
+                (a - tau_anchor_nominal)
+                    .abs()
+                    .partial_cmp(&(b - tau_anchor_nominal).abs())
+                    .expect("finite delays")
+            })
+            .ok_or(RangingError::InsufficientResponses {
+                requested: expected,
+                found: 0,
+            })?;
+
+        let plan = *self.config.scheme.plan();
+        let mut estimates: Vec<ResponderEstimate> = detection
+            .responses
+            .iter()
+            .map(|resp| {
+                let offset = resp.tau_s - anchor_tau;
+                let slot = plan.decode_slot(offset, anchor_slot, d_twr_m);
+                let id = slot.and_then(|s| self.config.scheme.id_from(s, resp.shape_index));
+                let distance_m = concurrent_distance_with_rpm_m(
+                    d_twr_m,
+                    resp.tau_s,
+                    anchor_tau,
+                    slot.unwrap_or(anchor_slot),
+                    anchor_slot,
+                    plan.slot_spacing_s(),
+                );
+                ResponderEstimate {
+                    id,
+                    shape_index: resp.shape_index,
+                    slot,
+                    distance_m,
+                    tau_s: resp.tau_s,
+                    amplitude: resp.amplitude.abs(),
+                }
+            })
+            .collect();
+
+        if self.config.mpc_guard {
+            // Per (slot, shape) group: the direct path precedes its
+            // reflections, but weak noise/subtraction artefacts can land
+            // anywhere in the slot — so accept the earliest candidate
+            // within an amplitude margin of the group's strongest, and
+            // drop responses that decode to no slot at all. When a
+            // candidate's best-scoring shape is already taken in its slot
+            // and the runner-up template scored nearly as well (weak
+            // responses misclassify between neighbouring shapes), fall
+            // back to the runner-up — a constraint-aware decode exploiting
+            // that (slot, shape) pairs are unique by construction.
+            let margin = 10f64.powf(-self.config.mpc_guard_margin_db / 20.0);
+            // Robust mean-noise-magnitude estimate from the detector's
+            // FINAL residual — every detected response has been
+            // subtracted, so the residual is signal-free even in a
+            // crowded window (median = 1.1774σ, mean = 1.2533σ for
+            // Rayleigh magnitudes).
+            let noise_reference = detection
+                .diagnostics
+                .residual_mf_magnitude
+                .last()
+                .unwrap_or(&detection.diagnostics.upsampled_magnitude);
+            let noise_gate = self.config.mpc_noise_gate
+                * uwb_dsp::stats::median(noise_reference)
+                * (1.2533 / 1.1774);
+            let mut strongest: std::collections::HashMap<(usize, usize), f64> =
+                std::collections::HashMap::new();
+            for e in &estimates {
+                if let Some(slot) = e.slot {
+                    let entry = strongest.entry((slot, e.shape_index)).or_insert(0.0);
+                    *entry = entry.max(e.amplitude);
+                }
+            }
+            let scores: std::collections::HashMap<u64, Vec<f64>> = detection
+                .responses
+                .iter()
+                .map(|r| (r.tau_s.to_bits(), r.shape_scores.clone()))
+                .collect();
+            let mut taken: std::collections::HashSet<(usize, usize)> =
+                std::collections::HashSet::new();
+            let mut kept: Vec<ResponderEstimate> = Vec::new();
+            for e in &estimates {
+                let Some(slot) = e.slot else { continue };
+                if e.amplitude < noise_gate {
+                    continue;
+                }
+                let group_peak = strongest[&(slot, e.shape_index)];
+                if e.amplitude < group_peak * margin {
+                    continue;
+                }
+                // Shapes ranked by identification score, best first.
+                let response_scores = scores.get(&e.tau_s.to_bits());
+                let ranked: Vec<usize> = match response_scores {
+                    Some(s) => {
+                        let mut idx: Vec<usize> = (0..s.len()).collect();
+                        idx.sort_by(|&a, &b| {
+                            s[b].partial_cmp(&s[a]).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        idx
+                    }
+                    None => vec![e.shape_index],
+                };
+                let best_score = response_scores
+                    .and_then(|s| ranked.first().map(|&i| s[i]))
+                    .unwrap_or(0.0);
+                for &shape in &ranked {
+                    let close_enough = response_scores
+                        .map_or(shape == e.shape_index, |s| s[shape] >= best_score / 1.2);
+                    if !close_enough {
+                        break; // ranked order: the rest score even lower
+                    }
+                    if taken.insert((slot, shape)) {
+                        let mut accepted = e.clone();
+                        accepted.shape_index = shape;
+                        accepted.id = self.config.scheme.id_from(slot, shape);
+                        kept.push(accepted);
+                        break;
+                    }
+                }
+            }
+            estimates = kept;
+        }
+
+        Ok(RoundOutcome {
+            round,
+            d_twr_m,
+            anchor_id,
+            estimates,
+            cir,
+            fp_index,
+            detection,
+        })
+    }
+}
+
+impl Protocol<RangingMessage> for ConcurrentEngine {
+    fn on_start(&mut self, node: NodeId, api: &mut NodeApi<RangingMessage>) {
+        if node == self.initiator && self.config.rounds > 0 {
+            self.start_round(api);
+        }
+    }
+
+    fn on_reception(
+        &mut self,
+        node: NodeId,
+        reception: &Reception<RangingMessage>,
+        api: &mut NodeApi<RangingMessage>,
+    ) {
+        let Some(decoded) = reception.decoded() else {
+            return;
+        };
+        match decoded.payload {
+            RangingMessage::Init { round } => {
+                let Some(my_id) = self.responder_id(node) else {
+                    return;
+                };
+                let offset = self
+                    .config
+                    .scheme
+                    .response_offset_s(my_id)
+                    .expect("ids validated at construction");
+                let tx = self.quantize(
+                    reception
+                        .rx_device_time
+                        .wrapping_add_seconds(self.config.response_delay_s + offset)
+                        .expect("delay is positive"),
+                );
+                api.transmit_at(
+                    tx,
+                    RangingMessage::Resp {
+                        round,
+                        responder_id: my_id,
+                        rx_timestamp: reception.rx_device_time,
+                        tx_timestamp: tx,
+                    },
+                    RESP_PAYLOAD_BYTES,
+                );
+            }
+            RangingMessage::Resp { round, .. }
+                if node == self.initiator && round == self.current_round =>
+            {
+                let decoded = decoded.clone();
+                match self.process_round(reception, &decoded) {
+                    Ok(outcome) => self.outcomes.push(outcome),
+                    Err(e) => self.failed_rounds.push((round, e)),
+                }
+                self.current_round += 1;
+                if self.current_round < self.config.rounds {
+                    api.set_timer(self.config.round_gap_s, u64::from(self.current_round));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, token: u64, api: &mut NodeApi<RangingMessage>) {
+        if node != self.initiator {
+            return;
+        }
+        if token & WATCHDOG_BIT != 0 {
+            let round = (token & u64::from(u32::MAX)) as u32;
+            if round == self.current_round {
+                // The round never completed (lost INIT/RESP or nothing
+                // decodable): record it and move on.
+                self.failed_rounds.push((round, RangingError::RoundTimeout));
+                self.current_round += 1;
+                if self.current_round < self.config.rounds {
+                    self.start_round(api);
+                }
+            }
+        } else {
+            self.start_round(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpm::SlotPlan;
+    use uwb_channel::{ChannelModel, Room};
+    use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+
+    /// Builds a simulator with an initiator at the origin and responders at
+    /// the given positions with sequential IDs modulo the scheme capacity
+    /// (ID reuse = anonymous ranging, as in the paper's Fig. 4 setup where
+    /// all responders share the default pulse shape and slot).
+    fn setup(
+        positions: &[(f64, f64)],
+        scheme: CombinedScheme,
+        channel: ChannelModel,
+        seed: u64,
+    ) -> (Simulator<RangingMessage>, ConcurrentEngine) {
+        let mut sim = Simulator::new(channel, SimConfig::default(), seed);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let mut responders = Vec::new();
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let id = (i as u32) % scheme.capacity();
+            let assignment = scheme.assign(id).unwrap();
+            let node = sim.add_node(NodeConfig::at(x, y).with_pulse_shape(assignment.register));
+            responders.push((node, id));
+        }
+        let config = ConcurrentConfig::new(scheme);
+        let engine = ConcurrentEngine::new(initiator, responders, config, seed).unwrap();
+        (sim, engine)
+    }
+
+    fn single_slot_scheme(shapes: usize) -> CombinedScheme {
+        CombinedScheme::new(SlotPlan::new(1).unwrap(), shapes).unwrap()
+    }
+
+    #[test]
+    fn three_responders_fig4_distances() {
+        // The paper's Fig. 4 scenario: responders at 3, 6 and 10 m.
+        let scheme = single_slot_scheme(1);
+        let (mut sim, mut engine) = setup(
+            &[(3.0, 0.0), (6.0, 0.0), (10.0, 0.0)],
+            scheme,
+            ChannelModel::free_space(),
+            42,
+        );
+        sim.run(&mut engine, 1.0);
+        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        let outcome = &engine.outcomes[0];
+        assert_eq!(outcome.estimates.len(), 3);
+        // Estimates sorted by delay → by distance here. The anchor (first)
+        // is TWR-exact; the others carry the DW1000's ±8 ns delayed-TX
+        // truncation (up to ±1.2 m — the hardware limit the paper declares
+        // out of scope in Sect. III).
+        let dists: Vec<f64> = outcome.estimates.iter().map(|e| e.distance_m).collect();
+        assert!((dists[0] - 3.0).abs() < 0.1, "anchor {dists:?}");
+        for (est, truth) in dists.iter().zip([3.0, 6.0, 10.0]) {
+            assert!(
+                (est - truth).abs() < 1.3,
+                "estimated {est} m for true {truth} m (all: {dists:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_distance_comes_from_twr() {
+        let scheme = single_slot_scheme(1);
+        let (mut sim, mut engine) = setup(
+            &[(4.0, 0.0), (9.0, 0.0)],
+            scheme,
+            ChannelModel::free_space(),
+            7,
+        );
+        sim.run(&mut engine, 1.0);
+        let outcome = &engine.outcomes[0];
+        // The anchor (strongest = closest in free space) is responder 0.
+        assert_eq!(outcome.anchor_id, 0);
+        assert!((outcome.d_twr_m - 4.0).abs() < 0.1, "d_twr {}", outcome.d_twr_m);
+    }
+
+    #[test]
+    fn pulse_shapes_identify_responders() {
+        // Two responders with different shapes (Sect. V / Fig. 6 setup:
+        // d1 = 4 m with s1, d2 = 10 m with s3).
+        let scheme = single_slot_scheme(3);
+        // IDs 0,1,2 within a single slot map to shapes 0,1,2; use ids 0 and 2.
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 9);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r0 = sim.add_node(
+            NodeConfig::at(4.0, 0.0).with_pulse_shape(scheme.assign(0).unwrap().register),
+        );
+        let r2 = sim.add_node(
+            NodeConfig::at(10.0, 0.0).with_pulse_shape(scheme.assign(2).unwrap().register),
+        );
+        let config = ConcurrentConfig::new(scheme);
+        let mut engine =
+            ConcurrentEngine::new(initiator, vec![(r0, 0), (r2, 2)], config, 9).unwrap();
+        sim.run(&mut engine, 1.0);
+        let outcome = &engine.outcomes[0];
+        assert_eq!(outcome.estimates.len(), 2);
+        assert_eq!(outcome.estimates[0].shape_index, 0);
+        assert_eq!(outcome.estimates[1].shape_index, 2);
+        assert_eq!(outcome.estimates[0].id, Some(0));
+        assert_eq!(outcome.estimates[1].id, Some(2));
+    }
+
+    #[test]
+    fn rpm_slots_separate_and_decode() {
+        // Two responders at the SAME distance in different slots: without
+        // RPM their responses would overlap; with it they separate and the
+        // slot indices decode their IDs.
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+        let (mut sim, mut engine) = setup(
+            &[(6.0, 0.0), (0.0, 6.0)], // ids 0, 1 → slots 0, 1
+            scheme,
+            ChannelModel::free_space(),
+            11,
+        );
+        sim.run(&mut engine, 1.0);
+        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        let outcome = &engine.outcomes[0];
+        let ids: Vec<Option<u32>> = outcome.estimates.iter().map(|e| e.id).collect();
+        assert!(ids.contains(&Some(0)) && ids.contains(&Some(1)), "ids {ids:?}");
+        for e in &outcome.estimates {
+            // Non-anchor distances carry the ±8 ns TX-grid error (≤1.2 m).
+            assert!(
+                (e.distance_m - 6.0).abs() < 1.3,
+                "distance {} for id {:?}",
+                e.distance_m,
+                e.id
+            );
+        }
+    }
+
+    #[test]
+    fn combined_scheme_nine_responders_fig8() {
+        // The paper's Fig. 8: 9 responders, 4 slots × 3 shapes.
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 3).unwrap();
+        let positions: Vec<(f64, f64)> = (0..9)
+            .map(|i| {
+                let angle = i as f64 * 0.7;
+                let radius = 3.0 + i as f64 * 0.9;
+                (radius * angle.cos(), radius * angle.sin())
+            })
+            .collect();
+        let (mut sim, mut engine) = setup(&positions, scheme, ChannelModel::free_space(), 13);
+        sim.run(&mut engine, 1.0);
+        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        let outcome = &engine.outcomes[0];
+        assert_eq!(outcome.estimates.len(), 9);
+        let mut correct = 0;
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let truth = (x * x + y * y).sqrt();
+            if let Some(est) = outcome.estimate_for(i as u32) {
+                // ±8 ns TX-grid error bounds non-anchor accuracy.
+                if (est.distance_m - truth).abs() < 1.3 {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 8, "only {correct}/9 responders correctly resolved");
+    }
+
+    #[test]
+    fn multiple_rounds_accumulate() {
+        let scheme = single_slot_scheme(1);
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 17);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let config = ConcurrentConfig::new(scheme).with_rounds(5);
+        let mut engine = ConcurrentEngine::new(initiator, vec![(r, 0)], config, 17).unwrap();
+        sim.run(&mut engine, 1.0);
+        assert_eq!(engine.outcomes.len(), 5);
+        for o in &engine.outcomes {
+            assert!((o.d_twr_m - 5.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn rpm_with_mpc_guard_resolves_multipath_room() {
+        // The Sect. VII scenario: a far responder (10 m, weak) competes
+        // with the near responder's strong wall reflections. Without RPM
+        // the detector can pick an MPC instead of the far responder; with
+        // RPM slots + the earliest-per-(slot, shape) guard, both resolve.
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+        let room = Room::rectangular(25.0, 8.0, 0.6);
+        let channel = ChannelModel::in_room(room);
+        let mut sim = Simulator::new(channel, SimConfig::default(), 19);
+        let initiator = sim.add_node(NodeConfig::at(2.0, 4.0));
+        let r0 = sim.add_node(NodeConfig::at(5.0, 4.0)); // 3 m, slot 0
+        let r1 = sim.add_node(NodeConfig::at(12.0, 4.0)); // 10 m, slot 1
+        let config = ConcurrentConfig::new(scheme).with_mpc_guard();
+        let mut engine =
+            ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 19).unwrap();
+        sim.run(&mut engine, 1.0);
+        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        let o = &engine.outcomes[0];
+        let d0 = o.estimate_for(0).map(|e| e.distance_m);
+        let d1 = o.estimate_for(1).map(|e| e.distance_m);
+        assert!(
+            matches!(d0, Some(d) if (d - 3.0).abs() < 1.3),
+            "responder 0: {d0:?}"
+        );
+        assert!(
+            matches!(d1, Some(d) if (d - 10.0).abs() < 1.3),
+            "responder 1: {d1:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_ids_beyond_capacity() {
+        let scheme = CombinedScheme::new(SlotPlan::new(2).unwrap(), 1).unwrap();
+        let mut sim: Simulator<RangingMessage> =
+            Simulator::new(ChannelModel::free_space(), SimConfig::default(), 23);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(3.0, 0.0));
+        let result = ConcurrentEngine::new(
+            a,
+            vec![(b, 5)], // capacity is 2
+            ConcurrentConfig::new(scheme),
+            23,
+        );
+        assert!(matches!(result, Err(RangingError::IdBeyondCapacity { .. })));
+    }
+
+    #[test]
+    fn lost_receptions_do_not_stall_rounds() {
+        // Receiver sensitivity set impossibly high: no frame ever decodes.
+        // The watchdog must record every round as timed out instead of
+        // silently stalling after round 0.
+        let scheme = single_slot_scheme(1);
+        let mut sim_config = SimConfig::default();
+        sim_config.min_decode_amplitude = 1.0;
+        let mut sim: Simulator<RangingMessage> =
+            Simulator::new(ChannelModel::free_space(), sim_config, 51);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let config = ConcurrentConfig::new(scheme).with_rounds(4);
+        let mut engine = ConcurrentEngine::new(initiator, vec![(r, 0)], config, 51).unwrap();
+        sim.run(&mut engine, 1.0);
+        assert!(engine.outcomes.is_empty());
+        assert_eq!(engine.failed_rounds.len(), 4, "{:?}", engine.failed_rounds);
+        assert!(engine
+            .failed_rounds
+            .iter()
+            .all(|(_, e)| matches!(e, RangingError::RoundTimeout)));
+    }
+
+    #[test]
+    fn message_count_is_n_per_round() {
+        // Sect. III's headline: one initiator TX + N−1 responder TX = N
+        // transmissions; the initiator receives once.
+        let scheme = single_slot_scheme(1);
+        let (mut sim, mut engine) = setup(
+            &[(3.0, 0.0), (7.0, 0.0), (11.0, 0.0), (15.0, 0.0)],
+            scheme,
+            ChannelModel::free_space(),
+            29,
+        );
+        sim.run(&mut engine, 1.0);
+        let tx_count = sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, uwb_netsim::TraceEvent::TxFired { .. }))
+            .count();
+        assert_eq!(tx_count, 5); // 1 INIT + 4 RESP
+        let initiator_receptions = sim
+            .trace()
+            .iter()
+            .filter(
+                |e| matches!(e, uwb_netsim::TraceEvent::ReceptionEmitted { node, .. } if node.0 == 0),
+            )
+            .count();
+        assert_eq!(initiator_receptions, 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Cooperative localization — the other half of the paper's future work
+//! ("an efficient cooperative or anchor-based localization system").
+//!
+//! One [`crate::NetworkRanging`] cycle yields the all-pairs distance
+//! matrix for `N` messages of airtime. With a few nodes at known positions
+//! (anchors), the remaining positions follow from a joint nonlinear
+//! least-squares over *every* measured pair — including tag↔tag ranges,
+//! which is what makes the solution *cooperative*: tags with poor anchor
+//! geometry are pulled into place by their neighbors.
+
+use crate::error::RangingError;
+use crate::network::DistanceMatrix;
+use uwb_channel::Point2;
+
+/// A node in the cooperative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeRole {
+    /// Fixed, known position (not optimized).
+    Anchor(Point2),
+    /// Unknown position, optionally with an initial guess.
+    Tag(Option<Point2>),
+}
+
+/// Result of a cooperative solve.
+#[derive(Debug, Clone)]
+pub struct CooperativeFix {
+    /// Solved position per node (anchors echoed unchanged).
+    pub positions: Vec<Point2>,
+    /// RMS residual over measured pairs, meters.
+    pub residual_rms_m: f64,
+    /// Gauss–Newton iterations used.
+    pub iterations: usize,
+}
+
+/// Jointly solves tag positions from a distance matrix.
+///
+/// Pairs measured in both directions are averaged; unresolved pairs are
+/// skipped. Requires at least three anchors (2-D rigidity) and at least
+/// one measurement per tag.
+///
+/// # Errors
+///
+/// Returns [`RangingError::InvalidSchemeParameters`] when the problem is
+/// underdetermined (fewer than 3 anchors, a tag without measurements, or
+/// a matrix/roles size mismatch).
+pub fn solve_cooperative(
+    roles: &[NodeRole],
+    matrix: &DistanceMatrix,
+) -> Result<CooperativeFix, RangingError> {
+    let n = roles.len();
+    if matrix.len() != n {
+        return Err(RangingError::InvalidSchemeParameters);
+    }
+    let anchors: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| matches!(r, NodeRole::Anchor(_)).then_some(i))
+        .collect();
+    if anchors.len() < 3 {
+        return Err(RangingError::InvalidSchemeParameters);
+    }
+
+    // Symmetrized measurement list (i < j).
+    let mut measurements: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = match (matrix.get(i, j), matrix.get(j, i)) {
+                (Some(a), Some(b)) => Some((a + b) / 2.0),
+                (Some(a), None) | (None, Some(a)) => Some(a),
+                (None, None) => None,
+            };
+            if let Some(d) = d {
+                measurements.push((i, j, d));
+            }
+        }
+    }
+
+    let tags: Vec<usize> = roles
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| matches!(r, NodeRole::Tag(_)).then_some(i))
+        .collect();
+    for &t in &tags {
+        let covered = measurements.iter().any(|&(i, j, _)| i == t || j == t);
+        if !covered {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+    }
+
+    // Initial positions: anchors fixed; tags at their guess, else
+    // incremental trilateration — repeatedly multilaterate any tag with
+    // ≥3 already-placed references (anchors or previously placed tags),
+    // which avoids the mirror-image local minima a centroid start can
+    // fall into. Tags that never gather 3 references start at the anchor
+    // centroid with a symmetry-breaking nudge.
+    let centroid = {
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for &a in &anchors {
+            if let NodeRole::Anchor(p) = roles[a] {
+                cx += p.x;
+                cy += p.y;
+            }
+        }
+        Point2::new(cx / anchors.len() as f64, cy / anchors.len() as f64)
+    };
+    let mut positions: Vec<Point2> = roles
+        .iter()
+        .map(|r| match r {
+            NodeRole::Anchor(p) => *p,
+            NodeRole::Tag(Some(p)) => *p,
+            NodeRole::Tag(None) => centroid,
+        })
+        .collect();
+    let mut placed: Vec<bool> = roles
+        .iter()
+        .map(|r| !matches!(r, NodeRole::Tag(None)))
+        .collect();
+    loop {
+        let mut progressed = false;
+        for &t in &tags {
+            if placed[t] {
+                continue;
+            }
+            let refs: Vec<crate::localization::RangeToAnchor> = measurements
+                .iter()
+                .filter_map(|&(i, j, d)| {
+                    let other = if i == t { j } else if j == t { i } else { return None };
+                    placed[other].then_some(crate::localization::RangeToAnchor {
+                        anchor: positions[other],
+                        distance_m: d,
+                    })
+                })
+                .collect();
+            if refs.len() >= 3 {
+                if let Ok(fix) = crate::localization::multilaterate(&refs) {
+                    positions[t] = fix.position;
+                    placed[t] = true;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for (i, p) in positions.iter_mut().enumerate() {
+        if !placed[i] {
+            p.x += 0.1 * (i as f64 + 1.0);
+            p.y -= 0.07 * (i as f64 + 1.0);
+        }
+    }
+
+    let cost = |pos: &[Point2]| -> f64 {
+        measurements
+            .iter()
+            .map(|&(i, j, d)| (pos[i].distance_to(pos[j]) - d).powi(2))
+            .sum()
+    };
+
+    // Block-coordinate Gauss–Newton: update each tag against the current
+    // positions of all its neighbors (anchors and other tags). Simple,
+    // matrix-free, and robust for the small networks the scheme supports.
+    let mut iterations = 0;
+    for _ in 0..100 {
+        iterations += 1;
+        let mut moved = 0.0_f64;
+        for &t in &tags {
+            let (mut jtj00, mut jtj01, mut jtj11) = (0.0, 0.0, 0.0);
+            let (mut jtr0, mut jtr1) = (0.0, 0.0);
+            for &(i, j, d) in &measurements {
+                let other = if i == t {
+                    j
+                } else if j == t {
+                    i
+                } else {
+                    continue;
+                };
+                let dx = positions[t].x - positions[other].x;
+                let dy = positions[t].y - positions[other].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+                let res = dist - d;
+                let (jx, jy) = (dx / dist, dy / dist);
+                jtj00 += jx * jx;
+                jtj01 += jx * jy;
+                jtj11 += jy * jy;
+                jtr0 += jx * res;
+                jtr1 += jy * res;
+            }
+            // Levenberg damping keeps poorly-conditioned tags stable.
+            let lambda = 1e-6;
+            let det = (jtj00 + lambda) * (jtj11 + lambda) - jtj01 * jtj01;
+            if det.abs() < 1e-12 {
+                continue;
+            }
+            let step_x = -((jtj11 + lambda) * jtr0 - jtj01 * jtr1) / det;
+            let step_y = -(-jtj01 * jtr0 + (jtj00 + lambda) * jtr1) / det;
+
+            // Step-halving line search on the global cost.
+            let before = cost(&positions);
+            let mut scale = 1.0;
+            for _ in 0..6 {
+                let candidate = Point2::new(
+                    positions[t].x + scale * step_x,
+                    positions[t].y + scale * step_y,
+                );
+                let saved = positions[t];
+                positions[t] = candidate;
+                if cost(&positions) < before {
+                    moved += scale * step_x.hypot(step_y);
+                    break;
+                }
+                positions[t] = saved;
+                scale *= 0.5;
+            }
+        }
+        if moved < 1e-9 {
+            break;
+        }
+    }
+
+    let rms = (cost(&positions) / measurements.len().max(1) as f64).sqrt();
+    Ok(CooperativeFix {
+        positions,
+        residual_rms_m: rms,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DistanceMatrix;
+
+    fn matrix_from_truth(truth: &[Point2]) -> DistanceMatrix {
+        let mut m = DistanceMatrix::new(truth.len());
+        for i in 0..truth.len() {
+            for j in 0..truth.len() {
+                if i != j {
+                    m.set_entry(i, j, truth[i].distance_to(truth[j]));
+                }
+            }
+        }
+        m
+    }
+
+    fn layout() -> (Vec<Point2>, Vec<NodeRole>) {
+        let truth = vec![
+            Point2::new(0.0, 0.0),   // anchor
+            Point2::new(12.0, 0.0),  // anchor
+            Point2::new(6.0, 10.0),  // anchor
+            Point2::new(4.0, 3.0),   // tag
+            Point2::new(8.0, 5.0),   // tag
+            Point2::new(2.5, 6.5),   // tag
+        ];
+        let roles = vec![
+            NodeRole::Anchor(truth[0]),
+            NodeRole::Anchor(truth[1]),
+            NodeRole::Anchor(truth[2]),
+            NodeRole::Tag(None),
+            NodeRole::Tag(None),
+            NodeRole::Tag(None),
+        ];
+        (truth, roles)
+    }
+
+    #[test]
+    fn exact_matrix_gives_exact_positions() {
+        let (truth, roles) = layout();
+        let matrix = matrix_from_truth(&truth);
+        let fix = solve_cooperative(&roles, &matrix).unwrap();
+        for (i, p) in fix.positions.iter().enumerate() {
+            assert!(
+                p.distance_to(truth[i]) < 1e-4,
+                "node {i}: solved {p:?}, truth {:?}",
+                truth[i]
+            );
+        }
+        assert!(fix.residual_rms_m < 1e-4);
+    }
+
+    #[test]
+    fn tag_to_tag_ranges_rescue_poor_anchor_geometry() {
+        // Tag 4 only ranges to ONE anchor plus the other tags: anchor-only
+        // multilateration is impossible for it, but cooperation places it.
+        let (truth, roles) = layout();
+        let mut matrix = matrix_from_truth(&truth);
+        // Remove tag 4's ranges to anchors 1 and 2 (both directions).
+        for a in [1usize, 2] {
+            matrix.clear_entry(4, a);
+            matrix.clear_entry(a, 4);
+        }
+        let fix = solve_cooperative(&roles, &matrix).unwrap();
+        assert!(
+            fix.positions[4].distance_to(truth[4]) < 1e-3,
+            "tag 4 solved at {:?}",
+            fix.positions[4]
+        );
+    }
+
+    #[test]
+    fn noisy_matrix_gives_small_errors() {
+        let (truth, roles) = layout();
+        let mut matrix = DistanceMatrix::new(truth.len());
+        // ±5 cm deterministic perturbations.
+        let noise = [0.05, -0.04, 0.03, -0.05, 0.02, -0.03, 0.04];
+        let mut k = 0;
+        for i in 0..truth.len() {
+            for j in 0..truth.len() {
+                if i != j {
+                    let d = truth[i].distance_to(truth[j]) + noise[k % noise.len()];
+                    matrix.set_entry(i, j, d);
+                    k += 1;
+                }
+            }
+        }
+        let fix = solve_cooperative(&roles, &matrix).unwrap();
+        for (i, p) in fix.positions.iter().enumerate() {
+            assert!(
+                p.distance_to(truth[i]) < 0.15,
+                "node {i} error {}",
+                p.distance_to(truth[i])
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_underdetermined_problems() {
+        let (truth, mut roles) = layout();
+        let matrix = matrix_from_truth(&truth);
+        // Only two anchors.
+        roles[2] = NodeRole::Tag(None);
+        assert!(solve_cooperative(&roles, &matrix).is_err());
+
+        // A tag with no measurements at all.
+        let (truth, roles) = layout();
+        let mut matrix = matrix_from_truth(&truth);
+        for other in 0..truth.len() {
+            matrix.clear_entry(5, other);
+            matrix.clear_entry(other, 5);
+        }
+        assert!(solve_cooperative(&roles, &matrix).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let (_, roles) = layout();
+        let matrix = DistanceMatrix::new(2);
+        assert!(solve_cooperative(&roles, &matrix).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Detection templates: sampled pulse shapes ready for matched filtering.
+//!
+//! The paper identifies the DW1000 pulse shape with a cable measurement
+//! campaign (Sect. IV); our substitute is the analytic [`PulseShape`]. A
+//! [`DetectionTemplate`] samples one shape at the detection sample rate
+//! (the upsampled CIR rate), normalized to unit energy so that matched
+//! filter outputs of *different* templates are directly comparable — the
+//! property the pulse-shape identification (Sect. V) relies on.
+
+use uwb_dsp::{Complex64, MatchedFilter};
+use uwb_radio::{PulseShape, TcPgDelay};
+
+/// A pulse template prepared for detection at a fixed sample rate.
+#[derive(Debug, Clone)]
+pub struct DetectionTemplate {
+    /// Index of this shape within the template bank.
+    pub shape_index: usize,
+    /// The register value the shape corresponds to, if built from one.
+    pub register: Option<TcPgDelay>,
+    pulse: PulseShape,
+    filter: MatchedFilter,
+    /// Offset in samples from template start to the pulse center.
+    peak_offset: usize,
+    sample_period_s: f64,
+}
+
+impl DetectionTemplate {
+    /// Samples `pulse` at `sample_period_s` and builds the matched filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample period is not strictly positive and finite
+    /// (propagated from [`PulseShape::sample`]).
+    pub fn new(pulse: PulseShape, shape_index: usize, sample_period_s: f64) -> Self {
+        let sampled = pulse.sample(sample_period_s);
+        let filter = MatchedFilter::from_real(&sampled.samples)
+            .expect("pulse templates are never empty");
+        Self {
+            shape_index,
+            register: pulse.register(),
+            pulse,
+            filter,
+            peak_offset: sampled.peak_index,
+            sample_period_s,
+        }
+    }
+
+    /// The analytic pulse behind this template.
+    pub fn pulse(&self) -> &PulseShape {
+        &self.pulse
+    }
+
+    /// Template length `N_p` in samples.
+    pub fn len(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// `true` when the template holds no samples (never for a constructed
+    /// template; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.filter.is_empty()
+    }
+
+    /// The sample period this template was built for.
+    pub fn sample_period_s(&self) -> f64 {
+        self.sample_period_s
+    }
+
+    /// Offset in samples from template start to the pulse center.
+    pub fn peak_offset(&self) -> usize {
+        self.peak_offset
+    }
+
+    /// Matched-filter output (complex, template-start-aligned, same length
+    /// as the signal). Because the template is unit-energy, outputs are
+    /// comparable across templates of different widths.
+    pub fn matched_filter(&self, signal: &[Complex64]) -> Vec<Complex64> {
+        self.filter
+            .apply(signal)
+            .expect("signal validated by caller")
+    }
+
+    /// Converts a start-aligned matched-filter peak index to the pulse
+    /// center delay in seconds.
+    pub fn center_delay_s(&self, start_index_frac: f64) -> f64 {
+        (start_index_frac + self.peak_offset as f64) * self.sample_period_s
+    }
+
+    /// Estimates the complex pulse amplitude at a fractional center delay
+    /// `tau_s` by projecting the signal onto the analytically shifted
+    /// pulse — exact even for off-grid delays.
+    pub fn amplitude_at(&self, signal: &[Complex64], tau_s: f64) -> Complex64 {
+        let (lo, hi) = self.support_range(signal.len(), tau_s);
+        let mut num = Complex64::ZERO;
+        let mut den = 0.0;
+        for n in lo..hi {
+            let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
+            if p != 0.0 {
+                num += signal[n].scale(p);
+                den += p * p;
+            }
+        }
+        if den > 0.0 {
+            num.scale(1.0 / den)
+        } else {
+            Complex64::ZERO
+        }
+    }
+
+    /// Identification score of this template for a pulse centered at
+    /// `tau_s`: the magnitude of the unit-energy-normalized correlation
+    /// (`α̂_{k,i}` in the paper's Sect. V).
+    pub fn score_at(&self, signal: &[Complex64], tau_s: f64) -> f64 {
+        let (lo, hi) = self.support_range(signal.len(), tau_s);
+        let mut num = Complex64::ZERO;
+        let mut energy = 0.0;
+        for n in lo..hi {
+            let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
+            if p != 0.0 {
+                num += signal[n].scale(p);
+                energy += p * p;
+            }
+        }
+        if energy > 0.0 {
+            num.abs() / energy.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Subtracts `amplitude · p(t − tau_s)` from the signal in place —
+    /// step 5 of the paper's detection algorithm.
+    pub fn subtract(&self, signal: &mut [Complex64], tau_s: f64, amplitude: Complex64) {
+        let (lo, hi) = self.support_range(signal.len(), tau_s);
+        for n in lo..hi {
+            let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
+            if p != 0.0 {
+                signal[n] -= amplitude.scale(p);
+            }
+        }
+    }
+
+    /// Sample-index range covering the pulse support around `tau_s`.
+    fn support_range(&self, signal_len: usize, tau_s: f64) -> (usize, usize) {
+        let half = self.pulse.duration_s() / 2.0;
+        let lo = ((tau_s - half) / self.sample_period_s).floor().max(0.0) as usize;
+        let hi = (((tau_s + half) / self.sample_period_s).ceil() as usize + 1).min(signal_len);
+        (lo.min(signal_len), hi)
+    }
+}
+
+/// Builds a bank of detection templates from register values.
+pub fn template_bank(
+    registers: &[TcPgDelay],
+    channel: uwb_radio::Channel,
+    sample_period_s: f64,
+) -> Vec<DetectionTemplate> {
+    registers
+        .iter()
+        .enumerate()
+        .map(|(i, &reg)| {
+            DetectionTemplate::new(PulseShape::from_register(reg, channel), i, sample_period_s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_radio::{Channel, RadioConfig};
+
+    const TS: f64 = 1.0016e-9 / 8.0; // upsampled by 8
+
+    fn template() -> DetectionTemplate {
+        DetectionTemplate::new(PulseShape::from_config(&RadioConfig::default()), 0, TS)
+    }
+
+    fn render(pulse: &PulseShape, tau_s: f64, amp: Complex64, len: usize) -> Vec<Complex64> {
+        (0..len)
+            .map(|n| amp.scale(pulse.evaluate(n as f64 * TS - tau_s)))
+            .collect()
+    }
+
+    #[test]
+    fn matched_filter_peak_locates_pulse_center() {
+        let t = template();
+        let tau = 300.0 * TS;
+        let signal = render(t.pulse(), tau, Complex64::from_real(0.8), 1000);
+        let out = t.matched_filter(&signal);
+        let mags: Vec<f64> = out.iter().map(|z| z.abs()).collect();
+        let (l, _) = uwb_dsp::argmax(&mags).unwrap();
+        let recovered = t.center_delay_s(l as f64);
+        assert!((recovered - tau).abs() < TS, "recovered {recovered}, true {tau}");
+    }
+
+    #[test]
+    fn amplitude_at_recovers_complex_amplitude() {
+        let t = template();
+        let amp = Complex64::from_polar(0.37, 2.1);
+        // Off-grid delay.
+        let tau = 123.456 * TS;
+        let signal = render(t.pulse(), tau, amp, 600);
+        let est = t.amplitude_at(&signal, tau);
+        assert!((est - amp).abs() < 1e-9, "est {est}, true {amp}");
+    }
+
+    #[test]
+    fn subtract_removes_pulse_completely() {
+        let t = template();
+        let amp = Complex64::from_polar(1.3, -0.4);
+        let tau = 200.7 * TS;
+        let mut signal = render(t.pulse(), tau, amp, 600);
+        t.subtract(&mut signal, tau, amp);
+        let residual: f64 = signal.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        assert!(residual < 1e-12, "residual {residual}");
+    }
+
+    #[test]
+    fn score_is_highest_for_matching_template() {
+        let bank = template_bank(
+            &TcPgDelay::spread(3).unwrap(),
+            Channel::Ch7,
+            TS,
+        );
+        for (i, source) in bank.iter().enumerate() {
+            let tau = 400.0 * TS;
+            let signal = render(source.pulse(), tau, Complex64::from_real(1.0), 1200);
+            let scores: Vec<f64> = bank.iter().map(|t| t.score_at(&signal, tau)).collect();
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(best, i, "scores {scores:?}");
+        }
+    }
+
+    #[test]
+    fn score_scales_linearly_with_amplitude() {
+        let t = template();
+        let tau = 250.0 * TS;
+        let s1 = render(t.pulse(), tau, Complex64::from_real(1.0), 800);
+        let s2 = render(t.pulse(), tau, Complex64::from_real(2.5), 800);
+        let r = t.score_at(&s2, tau) / t.score_at(&s1, tau);
+        assert!((r - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_near_signal_edges_is_clipped() {
+        let t = template();
+        // Pulse centered right at sample 0 and at the end: no panic.
+        let signal = vec![Complex64::ONE; 100];
+        let _ = t.amplitude_at(&signal, 0.0);
+        let _ = t.score_at(&signal, 99.0 * TS);
+        let mut sig = signal;
+        t.subtract(&mut sig, 0.0, Complex64::ONE);
+    }
+
+    #[test]
+    fn bank_indices_and_registers() {
+        let regs = TcPgDelay::spread(4).unwrap();
+        let bank = template_bank(&regs, Channel::Ch7, TS);
+        assert_eq!(bank.len(), 4);
+        for (i, t) in bank.iter().enumerate() {
+            assert_eq!(t.shape_index, i);
+            assert_eq!(t.register, Some(regs[i]));
+        }
+    }
+}

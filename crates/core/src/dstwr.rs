@@ -1,0 +1,438 @@
+//! Double-sided two-way ranging (DS-TWR) — the standard remedy for the
+//! clock-drift error that limits SS-TWR.
+//!
+//! SS-TWR's distance error grows as `c · δ · Δ_RESP / 2` with relative
+//! crystal drift δ (see the drift ablation). DS-TWR adds a third message so
+//! each side measures both a round-trip and a reply interval; the
+//! asymmetric-reply formula (Neirynck et al., the DW1000 application-note
+//! method) cancels drift to first order:
+//!
+//! ```text
+//! ToF = (Ra·Rb − Da·Db) / (Ra + Rb + Da + Db)
+//! ```
+//!
+//! where `Ra`/`Da` are the initiator's round/reply intervals and `Rb`/`Db`
+//! the responder's. The paper uses SS-TWR throughout (the concurrent scheme
+//! needs only one reply); DS-TWR is provided as the comparison baseline any
+//! practical deployment would evaluate against.
+
+use crate::estimate::TwrTimestamps;
+use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
+use uwb_netsim::{NodeApi, NodeId, Protocol, Reception};
+use uwb_radio::{DeviceTime, DTU_SECONDS, PAPER_RESPONSE_DELAY_S, SPEED_OF_LIGHT};
+
+/// The DS-TWR FINAL message payload piggybacks on [`RangingMessage::Resp`]
+/// with this responder pseudo-ID, distinguishing it from first replies.
+const FINAL_MARKER: u32 = u32::MAX;
+
+/// Timer-token bit marking a round watchdog (low 32 bits carry the round).
+const WATCHDOG_BIT: u64 = 1 << 32;
+
+/// The six timestamps of a double-sided exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DsTwrTimestamps {
+    /// Initiator POLL transmit time (its clock).
+    pub poll_tx: DeviceTime,
+    /// Responder POLL receive time (its clock).
+    pub poll_rx: DeviceTime,
+    /// Responder RESPONSE transmit time (its clock).
+    pub resp_tx: DeviceTime,
+    /// Initiator RESPONSE receive time (its clock).
+    pub resp_rx: DeviceTime,
+    /// Initiator FINAL transmit time (its clock).
+    pub final_tx: DeviceTime,
+    /// Responder FINAL receive time (its clock).
+    pub final_rx: DeviceTime,
+}
+
+impl DsTwrTimestamps {
+    /// The asymmetric double-sided time-of-flight estimate, drift-immune
+    /// to first order.
+    pub fn time_of_flight_s(&self) -> f64 {
+        let ra = self.resp_rx.wrapping_sub(self.poll_tx) as f64; // initiator round
+        let da = self.final_tx.wrapping_sub(self.resp_rx) as f64; // initiator reply
+        let rb = self.final_rx.wrapping_sub(self.resp_tx) as f64; // responder round
+        let db = self.resp_tx.wrapping_sub(self.poll_rx) as f64; // responder reply
+        let denom = ra + rb + da + db;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (ra * rb - da * db) / denom * DTU_SECONDS
+    }
+
+    /// Distance estimate in meters.
+    pub fn distance_m(&self) -> f64 {
+        self.time_of_flight_s() * SPEED_OF_LIGHT
+    }
+}
+
+/// One completed DS-TWR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsTwrMeasurement {
+    /// Round counter.
+    pub round: u32,
+    /// Double-sided distance estimate, meters.
+    pub distance_m: f64,
+    /// The single-sided estimate from the same exchange's first two
+    /// messages (Eq. 2), for side-by-side drift comparisons.
+    pub ss_distance_m: f64,
+    /// The raw timestamps.
+    pub timestamps: DsTwrTimestamps,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RoundPhase {
+    Idle,
+    AwaitResponse,
+    AwaitFinalEcho,
+}
+
+/// A DS-TWR protocol engine: POLL → RESPONSE → FINAL, with the responder
+/// reporting its FINAL receive time back in a fourth report message so the
+/// initiator can compute the estimate (the common "DS-TWR with report"
+/// topology).
+#[derive(Debug)]
+pub struct DsTwrEngine {
+    initiator: NodeId,
+    responder: NodeId,
+    rounds: u32,
+    response_delay_s: f64,
+    current_round: u32,
+    phase: RoundPhase,
+    poll_tx: Option<DeviceTime>,
+    resp_rx: Option<DeviceTime>,
+    final_tx: Option<DeviceTime>,
+    resp_payload: Option<(DeviceTime, DeviceTime)>, // responder (poll_rx, resp_tx)
+    /// Completed measurements.
+    pub measurements: Vec<DsTwrMeasurement>,
+    /// Rounds that timed out mid-exchange.
+    pub timed_out_rounds: Vec<u32>,
+    // Responder-side state.
+    responder_resp_tx: Option<DeviceTime>,
+}
+
+impl DsTwrEngine {
+    /// Creates an engine running `rounds` exchanges with the paper's
+    /// 290 µs reply delay on both sides.
+    pub fn new(initiator: NodeId, responder: NodeId, rounds: u32) -> Self {
+        Self {
+            initiator,
+            responder,
+            rounds,
+            response_delay_s: PAPER_RESPONSE_DELAY_S,
+            current_round: 0,
+            phase: RoundPhase::Idle,
+            poll_tx: None,
+            resp_rx: None,
+            final_tx: None,
+            resp_payload: None,
+            measurements: Vec::new(),
+            timed_out_rounds: Vec::new(),
+            responder_resp_tx: None,
+        }
+    }
+
+    /// The distance estimates collected so far, meters.
+    pub fn distances_m(&self) -> Vec<f64> {
+        self.measurements.iter().map(|m| m.distance_m).collect()
+    }
+
+    /// The single-sided estimates from the same exchanges, meters.
+    pub fn ss_distances_m(&self) -> Vec<f64> {
+        self.measurements.iter().map(|m| m.ss_distance_m).collect()
+    }
+
+    fn start_round(&mut self, api: &mut NodeApi<RangingMessage>) {
+        let at = api
+            .device_now()
+            .wrapping_add_seconds(200e-6)
+            .expect("margin positive")
+            .quantize_tx();
+        self.poll_tx = Some(at);
+        self.phase = RoundPhase::AwaitResponse;
+        api.transmit_at(
+            at,
+            RangingMessage::Init {
+                round: self.current_round,
+            },
+            INIT_PAYLOAD_BYTES,
+        );
+        api.record_listen(self.response_delay_s);
+        // Watchdog over the full four-message exchange.
+        api.set_timer(
+            4.0 * self.response_delay_s + 1e-3,
+            WATCHDOG_BIT | u64::from(self.current_round),
+        );
+    }
+}
+
+impl Protocol<RangingMessage> for DsTwrEngine {
+    fn on_start(&mut self, node: NodeId, api: &mut NodeApi<RangingMessage>) {
+        if node == self.initiator && self.rounds > 0 {
+            self.start_round(api);
+        }
+    }
+
+    fn on_reception(
+        &mut self,
+        node: NodeId,
+        reception: &Reception<RangingMessage>,
+        api: &mut NodeApi<RangingMessage>,
+    ) {
+        let Some(decoded) = reception.decoded() else {
+            return;
+        };
+        match decoded.payload {
+            // Responder: POLL arrives → send RESPONSE.
+            RangingMessage::Init { round } if node == self.responder => {
+                let tx = reception
+                    .rx_device_time
+                    .wrapping_add_seconds(self.response_delay_s)
+                    .expect("delay positive")
+                    .quantize_tx();
+                self.responder_resp_tx = Some(tx);
+                api.transmit_at(
+                    tx,
+                    RangingMessage::Resp {
+                        round,
+                        responder_id: 0,
+                        rx_timestamp: reception.rx_device_time,
+                        tx_timestamp: tx,
+                    },
+                    RESP_PAYLOAD_BYTES,
+                );
+                api.record_listen(self.response_delay_s);
+            }
+            // Initiator: RESPONSE arrives → send FINAL.
+            RangingMessage::Resp {
+                round,
+                responder_id,
+                rx_timestamp,
+                tx_timestamp,
+            } if node == self.initiator
+                && responder_id != FINAL_MARKER
+                && round == self.current_round
+                && self.phase == RoundPhase::AwaitResponse =>
+            {
+                self.resp_rx = Some(reception.rx_device_time);
+                self.resp_payload = Some((rx_timestamp, tx_timestamp));
+                let tx = reception
+                    .rx_device_time
+                    .wrapping_add_seconds(self.response_delay_s)
+                    .expect("delay positive")
+                    .quantize_tx();
+                self.final_tx = Some(tx);
+                self.phase = RoundPhase::AwaitFinalEcho;
+                api.transmit_at(
+                    tx,
+                    RangingMessage::Resp {
+                        round,
+                        responder_id: 0,
+                        rx_timestamp: reception.rx_device_time,
+                        tx_timestamp: tx,
+                    },
+                    RESP_PAYLOAD_BYTES,
+                );
+                api.record_listen(self.response_delay_s);
+            }
+            // Responder: FINAL arrives → report its receive time back.
+            RangingMessage::Resp { round, .. }
+                if node == self.responder && self.responder_resp_tx.is_some() =>
+            {
+                let tx = reception
+                    .rx_device_time
+                    .wrapping_add_seconds(self.response_delay_s)
+                    .expect("delay positive")
+                    .quantize_tx();
+                api.transmit_at(
+                    tx,
+                    RangingMessage::Resp {
+                        round,
+                        responder_id: FINAL_MARKER,
+                        rx_timestamp: reception.rx_device_time, // final_rx
+                        tx_timestamp: tx,
+                    },
+                    RESP_PAYLOAD_BYTES,
+                );
+                self.responder_resp_tx = None;
+            }
+            // Initiator: REPORT arrives → compute the estimate.
+            RangingMessage::Resp {
+                round,
+                responder_id: FINAL_MARKER,
+                rx_timestamp: final_rx,
+                ..
+            } if node == self.initiator
+                && round == self.current_round
+                && self.phase == RoundPhase::AwaitFinalEcho =>
+            {
+                let (Some(poll_tx), Some(resp_rx), Some(final_tx), Some((poll_rx, resp_tx))) = (
+                    self.poll_tx,
+                    self.resp_rx,
+                    self.final_tx,
+                    self.resp_payload,
+                ) else {
+                    return;
+                };
+                let timestamps = DsTwrTimestamps {
+                    poll_tx,
+                    poll_rx,
+                    resp_tx,
+                    resp_rx,
+                    final_tx,
+                    final_rx,
+                };
+                let ss = TwrTimestamps {
+                    init_tx: poll_tx,
+                    init_rx: resp_rx,
+                    resp_rx: poll_rx,
+                    resp_tx,
+                };
+                self.measurements.push(DsTwrMeasurement {
+                    round,
+                    distance_m: timestamps.distance_m(),
+                    ss_distance_m: ss.distance_m(),
+                    timestamps,
+                });
+                self.phase = RoundPhase::Idle;
+                self.current_round += 1;
+                if self.current_round < self.rounds {
+                    api.set_timer(500e-6, u64::from(self.current_round));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, token: u64, api: &mut NodeApi<RangingMessage>) {
+        if node != self.initiator {
+            return;
+        }
+        if token & WATCHDOG_BIT != 0 {
+            let round = (token & u64::from(u32::MAX)) as u32;
+            if round == self.current_round && self.phase != RoundPhase::Idle {
+                self.timed_out_rounds.push(round);
+                self.phase = RoundPhase::Idle;
+                self.current_round += 1;
+                if self.current_round < self.rounds {
+                    self.start_round(api);
+                }
+            }
+        } else {
+            self.start_round(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_channel::ChannelModel;
+    use uwb_dsp::stats;
+    use uwb_netsim::{ClockModel, NodeConfig, SimConfig, Simulator};
+    use uwb_radio::meters_to_seconds;
+
+    fn dt(seconds: f64) -> DeviceTime {
+        DeviceTime::from_seconds(seconds).unwrap()
+    }
+
+    #[test]
+    fn formula_exact_for_ideal_clocks() {
+        let tof = meters_to_seconds(12.0);
+        let d = 400e-6;
+        let ts = DsTwrTimestamps {
+            poll_tx: dt(1.0),
+            poll_rx: dt(5.0 + tof),
+            resp_tx: dt(5.0 + tof + d),
+            resp_rx: dt(1.0 + 2.0 * tof + d),
+            final_tx: dt(1.0 + 2.0 * tof + 2.0 * d),
+            final_rx: dt(5.0 + 3.0 * tof + 2.0 * d),
+        };
+        assert!((ts.distance_m() - 12.0).abs() < 0.01, "{}", ts.distance_m());
+    }
+
+    #[test]
+    fn formula_cancels_drift_to_first_order() {
+        // Rigorous two-clock construction: the initiator is ideal, the
+        // responder's clock is `local = o + r·global` with r = 1 + 20 ppm.
+        let tof = meters_to_seconds(10.0);
+        let d = 400e-6; // both sides schedule replies D after reception
+        let r = 1.0 + 20e-6;
+        let o = 5.0;
+        let g0 = 1.0; // POLL RMARKER, global time
+        let g1 = g0 + tof + d / r; // RESPONSE leaves after D responder-local
+        let g2 = g1 + tof + d; // FINAL leaves after D initiator-local
+        let ts = DsTwrTimestamps {
+            poll_tx: dt(g0),
+            poll_rx: dt(o + r * (g0 + tof)),
+            resp_tx: dt(o + r * (g0 + tof) + d),
+            resp_rx: dt(g1 + tof),
+            final_tx: dt(g2),
+            final_rx: dt(o + r * (g2 + tof)),
+        };
+        // SS-TWR on the first two messages is off by ≈ c·20ppm·D/2 ≈ 0.6 m…
+        let ss = TwrTimestamps {
+            init_tx: ts.poll_tx,
+            init_rx: ts.resp_rx,
+            resp_rx: ts.poll_rx,
+            resp_tx: ts.resp_tx,
+        };
+        assert!(
+            (ss.distance_m() - 10.0).abs() > 0.5,
+            "ss {}",
+            ss.distance_m()
+        );
+        // …while DS-TWR stays centimetric.
+        assert!(
+            (ts.distance_m() - 10.0).abs() < 0.05,
+            "ds {}",
+            ts.distance_m()
+        );
+    }
+
+    fn run_engine(drift_ppm: f64, rounds: u32, seed: u64) -> DsTwrEngine {
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(
+            NodeConfig::at(7.0, 0.0).with_clock(ClockModel::new(1.0, drift_ppm)),
+        );
+        let mut engine = DsTwrEngine::new(a, b, rounds);
+        sim.run(&mut engine, rounds as f64 * 4e-3 + 1.0);
+        engine
+    }
+
+    #[test]
+    fn end_to_end_without_drift() {
+        let engine = run_engine(0.0, 10, 1);
+        assert_eq!(engine.measurements.len(), 10);
+        let mean = stats::mean(&engine.distances_m());
+        assert!((mean - 7.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn end_to_end_drift_immunity_vs_sstwr() {
+        // 20 ppm responder drift: SS-TWR biases by ≈ −0.87 m, DS-TWR stays
+        // within a few centimetres.
+        let engine = run_engine(20.0, 20, 2);
+        assert_eq!(engine.measurements.len(), 20);
+        let ds_bias = stats::mean(&engine.distances_m()) - 7.0;
+        let ss_bias = stats::mean(&engine.ss_distances_m()) - 7.0;
+        assert!(ds_bias.abs() < 0.05, "DS bias {ds_bias}");
+        assert!((ss_bias + 0.87).abs() < 0.1, "SS bias {ss_bias}");
+    }
+
+    #[test]
+    fn ds_twr_costs_four_messages_per_round() {
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 3);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let mut engine = DsTwrEngine::new(a, b, 2);
+        sim.run(&mut engine, 1.0);
+        let tx = sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, uwb_netsim::TraceEvent::TxFired { .. }))
+            .count();
+        assert_eq!(tx, 8); // 4 messages × 2 rounds
+    }
+}

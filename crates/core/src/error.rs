@@ -1,0 +1,121 @@
+//! Error types for the concurrent-ranging library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by ranging protocols and detection algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RangingError {
+    /// A detection run was asked for zero responses.
+    NoResponsesRequested,
+    /// The detector could not find the requested number of responses.
+    InsufficientResponses {
+        /// Responses requested.
+        requested: usize,
+        /// Responses found.
+        found: usize,
+    },
+    /// No template bank was supplied to a detector that needs one.
+    EmptyTemplateBank,
+    /// An invalid upsampling factor.
+    InvalidUpsampling {
+        /// The rejected factor.
+        factor: usize,
+    },
+    /// A concurrent round completed without a decodable response payload,
+    /// so no `d_TWR` anchor is available (Eq. 2).
+    NoDecodablePayload,
+    /// A ranging round timed out without the expected reception.
+    RoundTimeout,
+    /// A slot/shape assignment was requested for an ID beyond capacity.
+    IdBeyondCapacity {
+        /// The rejected responder ID.
+        id: u32,
+        /// Maximum supported responders.
+        capacity: u32,
+    },
+    /// Invalid scheme parameters (zero slots or zero pulse shapes).
+    InvalidSchemeParameters,
+    /// An underlying DSP failure (should not occur with validated inputs).
+    Dsp(uwb_dsp::DspError),
+    /// An underlying radio-model failure.
+    Radio(uwb_radio::RadioError),
+}
+
+impl fmt::Display for RangingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoResponsesRequested => write!(f, "zero responses requested from detector"),
+            Self::InsufficientResponses { requested, found } => {
+                write!(f, "detector found {found} of {requested} requested responses")
+            }
+            Self::EmptyTemplateBank => write!(f, "template bank is empty"),
+            Self::InvalidUpsampling { factor } => {
+                write!(f, "upsampling factor {factor} is invalid")
+            }
+            Self::NoDecodablePayload => {
+                write!(f, "no decodable response payload; d_TWR anchor unavailable")
+            }
+            Self::RoundTimeout => write!(f, "ranging round timed out"),
+            Self::IdBeyondCapacity { id, capacity } => {
+                write!(f, "responder id {id} exceeds scheme capacity {capacity}")
+            }
+            Self::InvalidSchemeParameters => {
+                write!(f, "scheme requires at least one slot and one pulse shape")
+            }
+            Self::Dsp(e) => write!(f, "dsp error: {e}"),
+            Self::Radio(e) => write!(f, "radio error: {e}"),
+        }
+    }
+}
+
+impl Error for RangingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Dsp(e) => Some(e),
+            Self::Radio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<uwb_dsp::DspError> for RangingError {
+    fn from(e: uwb_dsp::DspError) -> Self {
+        Self::Dsp(e)
+    }
+}
+
+impl From<uwb_radio::RadioError> for RangingError {
+    fn from(e: uwb_radio::RadioError) -> Self {
+        Self::Radio(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RangingError::InsufficientResponses {
+            requested: 3,
+            found: 1,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn source_chains_for_wrapped_errors() {
+        let e = RangingError::from(uwb_dsp::DspError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(RangingError::RoundTimeout.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RangingError>();
+    }
+}

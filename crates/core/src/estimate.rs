@@ -1,0 +1,207 @@
+//! Distance estimation math: the paper's Eq. 2 (SS-TWR) and Eq. 4
+//! (CIR-relative concurrent ranging), extended for response position
+//! modulation.
+
+use uwb_radio::{DeviceTime, DTU_SECONDS, SPEED_OF_LIGHT};
+
+/// The four timestamps of a single-sided two-way ranging exchange.
+///
+/// All values are local device times of the respective node: the initiator's
+/// transmit/receive pair and the responder's receive/transmit pair (embedded
+/// in the RESP payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwrTimestamps {
+    /// Initiator's INIT transmit timestamp (`t_tx,init`).
+    pub init_tx: DeviceTime,
+    /// Initiator's RESP receive timestamp (`t_rx,init`).
+    pub init_rx: DeviceTime,
+    /// Responder's INIT receive timestamp (`t_rx,1`).
+    pub resp_rx: DeviceTime,
+    /// Responder's RESP transmit timestamp (`t_tx,1`).
+    pub resp_tx: DeviceTime,
+}
+
+impl TwrTimestamps {
+    /// The initiator-side round-trip duration in seconds.
+    pub fn round_trip_s(&self) -> f64 {
+        self.init_rx.wrapping_sub(self.init_tx) as f64 * DTU_SECONDS
+    }
+
+    /// The responder-side reply duration in seconds.
+    pub fn reply_s(&self) -> f64 {
+        self.resp_tx.wrapping_sub(self.resp_rx) as f64 * DTU_SECONDS
+    }
+
+    /// Single-sided two-way ranging distance (the paper's Eq. 2):
+    ///
+    /// `d_TWR = c · [(t_rx,init − t_tx,init) − (t_tx,1 − t_rx,1)] / 2`
+    ///
+    /// Device-time wrap-around is handled by modular subtraction.
+    pub fn distance_m(&self) -> f64 {
+        (self.round_trip_s() - self.reply_s()) / 2.0 * SPEED_OF_LIGHT
+    }
+
+    /// Time of flight implied by the exchange, in seconds.
+    pub fn time_of_flight_s(&self) -> f64 {
+        (self.round_trip_s() - self.reply_s()) / 2.0
+    }
+
+    /// SS-TWR distance with carrier-frequency-offset correction: the
+    /// responder's clock runs `(1 + δ)` relative to the initiator's, so
+    /// its reported reply interval is rescaled before Eq. 2 — removing
+    /// the `c·δ·Δ_RESP/2` drift bias using the CFO the DW1000 measures
+    /// during reception (`δ` = `responder_cfo_ppm` × 10⁻⁶).
+    pub fn distance_cfo_corrected_m(&self, responder_cfo_ppm: f64) -> f64 {
+        let reply_true = self.reply_s() / (1.0 + responder_cfo_ppm * 1e-6);
+        (self.round_trip_s() - reply_true) / 2.0 * SPEED_OF_LIGHT
+    }
+}
+
+/// Concurrent-ranging distance from CIR path delays (the paper's Eq. 4):
+///
+/// `d_i = d_TWR + c · (τ_i − τ_1) / 2`
+///
+/// where `τ_1` is the path delay of the responder whose payload was decoded
+/// (anchoring the CIR to `d_TWR`) and `τ_i` the delay of responder `i`. The
+/// halving accounts for the extra delay affecting both the INIT and RESP
+/// directions.
+pub fn concurrent_distance_m(d_twr_m: f64, tau_i_s: f64, tau_1_s: f64) -> f64 {
+    d_twr_m + SPEED_OF_LIGHT * (tau_i_s - tau_1_s) / 2.0
+}
+
+/// Eq. 4 extended for response position modulation (Sect. VII/VIII): the
+/// intentional slot delay `(slot_i − slot_1) · δ` is removed before the
+/// delay difference is converted to distance. With both responders in the
+/// same slot this reduces to [`concurrent_distance_m`].
+pub fn concurrent_distance_with_rpm_m(
+    d_twr_m: f64,
+    tau_i_s: f64,
+    tau_1_s: f64,
+    slot_i: usize,
+    slot_1: usize,
+    slot_spacing_s: f64,
+) -> f64 {
+    let slot_delta = (slot_i as f64 - slot_1 as f64) * slot_spacing_s;
+    d_twr_m + SPEED_OF_LIGHT * ((tau_i_s - tau_1_s) - slot_delta) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_radio::meters_to_seconds;
+
+    fn dt(seconds: f64) -> DeviceTime {
+        DeviceTime::from_seconds(seconds).unwrap()
+    }
+
+    #[test]
+    fn ideal_exchange_recovers_distance() {
+        // 10 m of one-way flight, 290 µs reply delay.
+        let tof = meters_to_seconds(10.0);
+        let ts = TwrTimestamps {
+            init_tx: dt(1.0),
+            resp_rx: dt(2.0), // responder clock offset is irrelevant
+            resp_tx: dt(2.0 + 290e-6),
+            init_rx: dt(1.0 + tof + 290e-6 + tof),
+        };
+        assert!((ts.distance_m() - 10.0).abs() < 0.005);
+        assert!((ts.time_of_flight_s() - tof).abs() < 2.0 * DTU_SECONDS);
+    }
+
+    #[test]
+    fn clock_offset_cancels() {
+        let tof = meters_to_seconds(25.0);
+        // Responder timestamps shifted by an arbitrary 5 s offset.
+        let ts = TwrTimestamps {
+            init_tx: dt(1.0),
+            resp_rx: dt(7.0),
+            resp_tx: dt(7.0 + 290e-6),
+            init_rx: dt(1.0 + 2.0 * tof + 290e-6),
+        };
+        assert!((ts.distance_m() - 25.0).abs() < 0.005);
+    }
+
+    #[test]
+    fn cfo_correction_removes_drift_bias() {
+        // Responder 20 ppm fast: its reply reads 290 µs on its clock but
+        // truly lasted 290 µs/(1+20e-6).
+        let tof = meters_to_seconds(10.0);
+        let rate = 1.0 + 20e-6;
+        let reply_local = 290e-6;
+        let reply_true = reply_local / rate;
+        let ts = TwrTimestamps {
+            init_tx: dt(1.0),
+            resp_rx: dt(3.0),
+            resp_tx: dt(3.0 + reply_local),
+            init_rx: dt(1.0 + 2.0 * tof + reply_true),
+        };
+        // Uncorrected Eq. 2 is biased by ≈ −0.87 m…
+        assert!((ts.distance_m() - 10.0).abs() > 0.5);
+        // …the CFO-corrected estimate is centimetric.
+        let corrected = ts.distance_cfo_corrected_m(20.0);
+        assert!((corrected - 10.0).abs() < 0.02, "corrected {corrected}");
+        // Zero CFO reduces to Eq. 2.
+        assert!((ts.distance_cfo_corrected_m(0.0) - ts.distance_m()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapping_timestamps_still_work() {
+        // Exchange straddles the 17.2 s counter wrap.
+        let period = uwb_radio::TIMESTAMP_MODULUS as f64 * DTU_SECONDS;
+        let tof = meters_to_seconds(5.0);
+        let start = period - 100e-6; // 100 µs before the wrap
+        let ts = TwrTimestamps {
+            init_tx: dt(start),
+            resp_rx: dt(3.0),
+            resp_tx: dt(3.0 + 290e-6),
+            init_rx: dt((start + 2.0 * tof + 290e-6) % period),
+        };
+        assert!((ts.distance_m() - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn eq4_matches_paper_example() {
+        // Paper Sect. III: d_TWR = 3 m; responders at 6 m and 10 m arrive
+        // with Δτ = 2(τ_i − τ_1).
+        let d_twr = 3.0;
+        let tau1 = 0.0;
+        let tau2 = 2.0 * meters_to_seconds(6.0 - 3.0);
+        let tau3 = 2.0 * meters_to_seconds(10.0 - 3.0);
+        assert!((concurrent_distance_m(d_twr, tau2, tau1) - 6.0).abs() < 1e-9);
+        assert!((concurrent_distance_m(d_twr, tau3, tau1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_is_exact_for_anchor() {
+        assert_eq!(concurrent_distance_m(7.5, 0.4e-6, 0.4e-6), 7.5);
+    }
+
+    #[test]
+    fn rpm_compensation_removes_slot_delay() {
+        let d_twr = 4.0;
+        let delta = 250e-9; // slot spacing
+        // Responder in slot 2 (anchor in slot 0) at the same distance:
+        // observed delay difference is exactly 2δ.
+        let tau_i = 2.0 * delta;
+        let d = concurrent_distance_with_rpm_m(d_twr, tau_i, 0.0, 2, 0, delta);
+        assert!((d - 4.0).abs() < 1e-9);
+        // Without compensation the estimate would be wildly off.
+        let wrong = concurrent_distance_m(d_twr, tau_i, 0.0);
+        assert!((wrong - 4.0).abs() > 70.0);
+    }
+
+    #[test]
+    fn rpm_with_equal_slots_reduces_to_eq4() {
+        let d = concurrent_distance_with_rpm_m(3.0, 50e-9, 10e-9, 1, 1, 250e-9);
+        assert_eq!(d, concurrent_distance_m(3.0, 50e-9, 10e-9));
+    }
+
+    #[test]
+    fn anchor_slot_later_than_response_slot() {
+        let delta = 250e-9;
+        // Response in slot 0, anchor in slot 1: observed τ_i − τ_1 = −δ for
+        // equal distances.
+        let d = concurrent_distance_with_rpm_m(6.0, 0.0, delta, 0, 1, delta);
+        assert!((d - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Anchor-based localization from concurrent ranges — the paper's stated
+//! future work ("we plan to use concurrent ranging to build an efficient
+//! cooperative or anchor-based localization system").
+//!
+//! A mobile initiator obtains distances to all fixed anchors in a single
+//! concurrent round; its position follows from nonlinear least squares
+//! (Gauss–Newton) over the range equations.
+
+use crate::error::RangingError;
+use uwb_channel::Point2;
+
+/// A fixed anchor with a measured distance to the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeToAnchor {
+    /// Anchor position, meters.
+    pub anchor: Point2,
+    /// Measured distance, meters.
+    pub distance_m: f64,
+}
+
+/// Result of a multilateration solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionFix {
+    /// Estimated position.
+    pub position: Point2,
+    /// Root-mean-square range residual at the solution, meters.
+    pub residual_rms_m: f64,
+    /// Gauss–Newton iterations used.
+    pub iterations: usize,
+}
+
+/// Solves for the 2-D position minimizing squared range residuals.
+///
+/// Starts from the centroid of the anchors and runs Gauss–Newton with a
+/// simple step-halving line search.
+///
+/// # Errors
+///
+/// Returns [`RangingError::InvalidSchemeParameters`] with fewer than three
+/// anchors (the 2-D problem is underdetermined) or non-finite inputs.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::{multilaterate, RangeToAnchor};
+/// use uwb_channel::Point2;
+///
+/// let truth = Point2::new(3.0, 2.0);
+/// let anchors = [
+///     Point2::new(0.0, 0.0),
+///     Point2::new(10.0, 0.0),
+///     Point2::new(0.0, 8.0),
+/// ];
+/// let ranges: Vec<RangeToAnchor> = anchors
+///     .iter()
+///     .map(|&a| RangeToAnchor { anchor: a, distance_m: a.distance_to(truth) })
+///     .collect();
+/// let fix = multilaterate(&ranges)?;
+/// assert!(fix.position.distance_to(truth) < 1e-6);
+/// # Ok::<(), concurrent_ranging::RangingError>(())
+/// ```
+pub fn multilaterate(ranges: &[RangeToAnchor]) -> Result<PositionFix, RangingError> {
+    if ranges.len() < 3 {
+        return Err(RangingError::InvalidSchemeParameters);
+    }
+    for r in ranges {
+        if !(r.distance_m.is_finite() && r.anchor.x.is_finite() && r.anchor.y.is_finite()) {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+    }
+
+    let cost = |q: Point2| -> f64 {
+        ranges
+            .iter()
+            .map(|r| {
+                let d = q.distance_to(r.anchor);
+                (d - r.distance_m).powi(2)
+            })
+            .sum()
+    };
+
+    // Multi-start: the LS cost has mirror local minima when the target
+    // sits outside the anchor hull, so seed Gauss–Newton from the anchor
+    // centroid AND from the two circle-intersection points of the
+    // farthest-apart anchor pair, keeping the best converged solution.
+    let centroid = Point2::new(
+        ranges.iter().map(|r| r.anchor.x).sum::<f64>() / ranges.len() as f64,
+        ranges.iter().map(|r| r.anchor.y).sum::<f64>() / ranges.len() as f64,
+    );
+    let mut seeds = vec![centroid];
+    if let Some((a, b)) = farthest_pair(ranges) {
+        seeds.extend(circle_intersections(a, b));
+    }
+
+    let mut best: Option<(Point2, f64, usize)> = None;
+    for seed in seeds {
+        let (p, c, iters) = gauss_newton(ranges, seed, &cost);
+        if best.as_ref().is_none_or(|(_, bc, _)| c < *bc) {
+            best = Some((p, c, iters));
+        }
+    }
+    let (p, final_cost, iterations) = best.expect("at least one seed");
+    let rms = (final_cost / ranges.len() as f64).sqrt();
+    Ok(PositionFix {
+        position: p,
+        residual_rms_m: rms,
+        iterations,
+    })
+}
+
+/// The two ranges whose anchors are farthest apart.
+fn farthest_pair(ranges: &[RangeToAnchor]) -> Option<(&RangeToAnchor, &RangeToAnchor)> {
+    let mut best: Option<(&RangeToAnchor, &RangeToAnchor, f64)> = None;
+    for (i, a) in ranges.iter().enumerate() {
+        for b in &ranges[i + 1..] {
+            let d = a.anchor.distance_to(b.anchor);
+            if best.as_ref().is_none_or(|&(_, _, bd)| d > bd) {
+                best = Some((a, b, d));
+            }
+        }
+    }
+    best.map(|(a, b, _)| (a, b))
+}
+
+/// Intersection points of two range circles (or their closest-approach
+/// midpoint when the circles do not intersect).
+fn circle_intersections(a: &RangeToAnchor, b: &RangeToAnchor) -> Vec<Point2> {
+    let d = a.anchor.distance_to(b.anchor);
+    if d < 1e-9 {
+        return Vec::new();
+    }
+    let (r0, r1) = (a.distance_m, b.distance_m);
+    let ex = (b.anchor.x - a.anchor.x) / d;
+    let ey = (b.anchor.y - a.anchor.y) / d;
+    // Distance from anchor a along the baseline to the chord.
+    let x = ((r0 * r0 - r1 * r1 + d * d) / (2.0 * d)).clamp(-2.0 * d, 2.0 * d);
+    let h_sq = r0 * r0 - x * x;
+    let base = Point2::new(a.anchor.x + x * ex, a.anchor.y + x * ey);
+    if h_sq <= 0.0 {
+        return vec![base];
+    }
+    let h = h_sq.sqrt();
+    vec![
+        Point2::new(base.x - h * ey, base.y + h * ex),
+        Point2::new(base.x + h * ey, base.y - h * ex),
+    ]
+}
+
+/// Gauss–Newton with step-halving from a given start.
+fn gauss_newton(
+    ranges: &[RangeToAnchor],
+    start: Point2,
+    cost: &dyn Fn(Point2) -> f64,
+) -> (Point2, f64, usize) {
+    let mut p = start;
+    let max_iters = 50;
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Gauss–Newton normal equations: JᵀJ·Δ = −Jᵀr with
+        // residual_i = |p − a_i| − d_i and gradient rows (p − a_i)/|p − a_i|.
+        let (mut jtj00, mut jtj01, mut jtj11) = (0.0, 0.0, 0.0);
+        let (mut jtr0, mut jtr1) = (0.0, 0.0);
+        for r in ranges {
+            let dx = p.x - r.anchor.x;
+            let dy = p.y - r.anchor.y;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let res = dist - r.distance_m;
+            let (jx, jy) = (dx / dist, dy / dist);
+            jtj00 += jx * jx;
+            jtj01 += jx * jy;
+            jtj11 += jy * jy;
+            jtr0 += jx * res;
+            jtr1 += jy * res;
+        }
+        let det = jtj00 * jtj11 - jtj01 * jtj01;
+        if det.abs() < 1e-12 {
+            break; // degenerate geometry (collinear anchors)
+        }
+        let step_x = -(jtj11 * jtr0 - jtj01 * jtr1) / det;
+        let step_y = -(-jtj01 * jtr0 + jtj00 * jtr1) / det;
+
+        // Step halving for robustness far from the solution.
+        let current = cost(p);
+        let mut scale = 1.0;
+        let mut moved = false;
+        for _ in 0..8 {
+            let candidate = Point2::new(p.x + scale * step_x, p.y + scale * step_y);
+            if cost(candidate) < current {
+                p = candidate;
+                moved = true;
+                break;
+            }
+            scale *= 0.5;
+        }
+        if !moved || (step_x.hypot(step_y)) < 1e-10 {
+            break;
+        }
+    }
+    (p, cost(p), iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_ranges(truth: Point2, anchors: &[Point2]) -> Vec<RangeToAnchor> {
+        anchors
+            .iter()
+            .map(|&a| RangeToAnchor {
+                anchor: a,
+                distance_m: a.distance_to(truth),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_ranges_give_exact_position() {
+        let truth = Point2::new(4.2, 6.7);
+        let anchors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(12.0, 0.0),
+            Point2::new(12.0, 10.0),
+            Point2::new(0.0, 10.0),
+        ];
+        let fix = multilaterate(&exact_ranges(truth, &anchors)).unwrap();
+        assert!(fix.position.distance_to(truth) < 1e-6);
+        assert!(fix.residual_rms_m < 1e-6);
+    }
+
+    #[test]
+    fn noisy_ranges_give_small_error() {
+        let truth = Point2::new(5.0, 3.0);
+        let anchors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 8.0),
+            Point2::new(0.0, 8.0),
+        ];
+        let noise = [0.02, -0.03, 0.01, -0.015];
+        let ranges: Vec<RangeToAnchor> = anchors
+            .iter()
+            .zip(noise)
+            .map(|(&a, n)| RangeToAnchor {
+                anchor: a,
+                distance_m: a.distance_to(truth) + n,
+            })
+            .collect();
+        let fix = multilaterate(&ranges).unwrap();
+        assert!(fix.position.distance_to(truth) < 0.05);
+    }
+
+    #[test]
+    fn rejects_underdetermined_problems() {
+        let anchors = [Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)];
+        let ranges = exact_ranges(Point2::new(1.0, 1.0), &anchors);
+        assert!(matches!(
+            multilaterate(&ranges),
+            Err(RangingError::InvalidSchemeParameters)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let ranges = vec![
+            RangeToAnchor {
+                anchor: Point2::new(0.0, 0.0),
+                distance_m: f64::NAN,
+            },
+            RangeToAnchor {
+                anchor: Point2::new(1.0, 0.0),
+                distance_m: 1.0,
+            },
+            RangeToAnchor {
+                anchor: Point2::new(0.0, 1.0),
+                distance_m: 1.0,
+            },
+        ];
+        assert!(multilaterate(&ranges).is_err());
+    }
+
+    #[test]
+    fn collinear_anchors_do_not_crash() {
+        // Degenerate geometry: the solver stops gracefully.
+        let anchors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ];
+        let ranges = exact_ranges(Point2::new(3.0, 0.0), &anchors);
+        let fix = multilaterate(&ranges).unwrap();
+        assert!(fix.position.x.is_finite() && fix.position.y.is_finite());
+    }
+
+    #[test]
+    fn far_initial_guess_converges() {
+        let truth = Point2::new(1.0, 1.0);
+        // Anchors clustered far from the centroid start.
+        let anchors = [
+            Point2::new(100.0, 100.0),
+            Point2::new(110.0, 100.0),
+            Point2::new(100.0, 110.0),
+            Point2::new(90.0, 95.0),
+        ];
+        let fix = multilaterate(&exact_ranges(truth, &anchors)).unwrap();
+        assert!(
+            fix.position.distance_to(truth) < 0.01,
+            "converged to {:?}",
+            fix.position
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Network-wide concurrent ranging: every node learns its distance to
+//! every other node.
+//!
+//! The paper's headline comparison (Sect. III) is network-scale: all-pairs
+//! SS-TWR costs `N·(N−1)` messages, while concurrent ranging needs one
+//! round per initiator — `N` broadcasts total, each answered by one merged
+//! reception. This module provides the coordinator that actually runs that
+//! schedule on the simulator: a TDMA rotation where each node takes one
+//! turn as initiator while all others respond, producing the full distance
+//! matrix.
+
+use crate::assignment::CombinedScheme;
+use crate::concurrent::{ConcurrentConfig, ConcurrentEngine, RoundOutcome};
+use crate::error::RangingError;
+use crate::protocol::RangingMessage;
+use uwb_netsim::{NodeApi, NodeId, Protocol, Reception};
+
+/// The symmetric distance matrix produced by a full network round.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n`; `None` where a pair was not resolved.
+    entries: Vec<Option<f64>>,
+}
+
+impl DistanceMatrix {
+    /// An empty `n × n` matrix with no pairs resolved.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            entries: vec![None; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an empty (zero-node) matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The measured distance from node `a` to node `b` (as estimated by
+    /// `a`'s initiator round), if resolved.
+    pub fn get(&self, a: usize, b: usize) -> Option<f64> {
+        self.entries.get(a * self.n + b).copied().flatten()
+    }
+
+    fn set(&mut self, a: usize, b: usize, d: f64) {
+        if a < self.n && b < self.n {
+            self.entries[a * self.n + b] = Some(d);
+        }
+    }
+
+    /// Sets an entry directly — for building matrices from external
+    /// measurement sources (and in tests). Out-of-range indices are
+    /// ignored.
+    pub fn set_entry(&mut self, a: usize, b: usize, d: f64) {
+        self.set(a, b, d);
+    }
+
+    /// Clears an entry directly (e.g. to inject measurement loss).
+    /// Out-of-range indices are ignored.
+    pub fn clear_entry(&mut self, a: usize, b: usize) {
+        if a < self.n && b < self.n {
+            self.entries[a * self.n + b] = None;
+        }
+    }
+
+    /// Fraction of off-diagonal pairs resolved.
+    pub fn coverage(&self) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let resolved = (0..self.n)
+            .flat_map(|a| (0..self.n).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b && self.get(a, b).is_some())
+            .count();
+        resolved as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Maximum asymmetry `|d(a→b) − d(b→a)|` over resolved pairs — a
+    /// consistency diagnostic (both directions measure the same geometry).
+    pub fn max_asymmetry_m(&self) -> f64 {
+        let mut worst = 0.0_f64;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if let (Some(ab), Some(ba)) = (self.get(a, b), self.get(b, a)) {
+                    worst = worst.max((ab - ba).abs());
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Drives one full network ranging cycle: each node, in ID order, runs one
+/// concurrent round as initiator; all other nodes respond with slot/shape
+/// assignments derived from their *index among the responders* of that
+/// round.
+///
+/// Use via [`NetworkRanging::run_cycle`], which owns the per-turn engines.
+#[derive(Debug)]
+pub struct NetworkRanging {
+    scheme: CombinedScheme,
+    config: ConcurrentConfig,
+}
+
+impl NetworkRanging {
+    /// Creates a coordinator for networks of up to `scheme.capacity() + 1`
+    /// nodes.
+    pub fn new(scheme: CombinedScheme, config: ConcurrentConfig) -> Self {
+        Self { scheme, config }
+    }
+
+    /// Runs one full cycle over `positions` (node `i` at `positions[i]`)
+    /// in free space, returning the distance matrix and the per-turn
+    /// outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network exceeds the scheme capacity or an
+    /// engine cannot be constructed.
+    pub fn run_cycle(
+        &self,
+        positions: &[uwb_channel::Point2],
+        channel: &uwb_channel::ChannelModel,
+        seed: u64,
+    ) -> Result<(DistanceMatrix, Vec<RoundOutcome>), RangingError> {
+        let n = positions.len();
+        if n < 2 || (n - 1) as u32 > self.scheme.capacity() {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        let mut matrix = DistanceMatrix::new(n);
+        let mut outcomes = Vec::with_capacity(n);
+
+        for initiator_idx in 0..n {
+            // Fresh simulator per turn (turns are serial in time anyway;
+            // separate sims keep the RNG streams per-turn deterministic).
+            let mut sim: uwb_netsim::Simulator<RangingMessage> = uwb_netsim::Simulator::new(
+                channel.clone(),
+                uwb_netsim::SimConfig::default(),
+                seed.wrapping_add(initiator_idx as u64),
+            );
+            // Responder IDs are assigned by order-among-responders, a
+            // convention every node can derive from the initiator's ID.
+            let mut responder_nodes = Vec::new();
+            let mut id_to_index = Vec::new();
+            let mut initiator_node = None;
+            for (idx, p) in positions.iter().enumerate() {
+                if idx == initiator_idx {
+                    initiator_node = Some(sim.add_node(uwb_netsim::NodeConfig::at(p.x, p.y)));
+                } else {
+                    let rid = id_to_index.len() as u32;
+                    let register = self.scheme.assign(rid)?.register;
+                    let node = sim.add_node(
+                        uwb_netsim::NodeConfig::at(p.x, p.y).with_pulse_shape(register),
+                    );
+                    responder_nodes.push((node, rid));
+                    id_to_index.push(idx);
+                }
+            }
+            // Exactly one round per turn regardless of the caller's
+            // `rounds` setting — the cycle is the repetition unit here.
+            let turn_config = self.config.clone().with_rounds(1);
+            let mut engine = ConcurrentEngine::new(
+                initiator_node.expect("initiator added"),
+                responder_nodes,
+                turn_config,
+                seed.wrapping_add(1000 + initiator_idx as u64),
+            )?;
+            sim.run(&mut engine, 1.0);
+
+            if let Some(outcome) = engine.outcomes.into_iter().next() {
+                for estimate in &outcome.estimates {
+                    if let Some(rid) = estimate.id {
+                        if let Some(&other) = id_to_index.get(rid as usize) {
+                            matrix.set(initiator_idx, other, estimate.distance_m);
+                        }
+                    }
+                }
+                outcomes.push(outcome);
+            }
+        }
+        Ok((matrix, outcomes))
+    }
+}
+
+/// A passive observer protocol used in tests to count network traffic.
+#[derive(Debug, Default)]
+pub struct TrafficCounter {
+    /// Receptions seen per node.
+    pub receptions: Vec<(NodeId, usize)>,
+}
+
+impl Protocol<RangingMessage> for TrafficCounter {
+    fn on_start(&mut self, _node: NodeId, _api: &mut NodeApi<RangingMessage>) {}
+    fn on_reception(
+        &mut self,
+        node: NodeId,
+        reception: &Reception<RangingMessage>,
+        _api: &mut NodeApi<RangingMessage>,
+    ) {
+        self.receptions.push((node, reception.frames.len()));
+    }
+    fn on_timer(&mut self, _node: NodeId, _token: u64, _api: &mut NodeApi<RangingMessage>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpm::SlotPlan;
+    use uwb_channel::{ChannelModel, Point2};
+
+    fn positions(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 * 2.1;
+                let radius = 4.0 + 1.3 * i as f64;
+                Point2::new(radius * angle.cos(), radius * angle.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_cycle_fills_the_distance_matrix() {
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 2).unwrap();
+        let config = ConcurrentConfig::new(scheme.clone()).with_mpc_guard();
+        let coordinator = NetworkRanging::new(scheme, config);
+        let pos = positions(5);
+        let (matrix, outcomes) = coordinator
+            .run_cycle(&pos, &ChannelModel::free_space(), 7)
+            .unwrap();
+        assert_eq!(outcomes.len(), 5);
+        assert!(matrix.coverage() > 0.9, "coverage {}", matrix.coverage());
+        // Estimates match geometry within the TX-grid budget.
+        for a in 0..5 {
+            for b in 0..5 {
+                if a == b {
+                    continue;
+                }
+                if let Some(d) = matrix.get(a, b) {
+                    let truth = pos[a].distance_to(pos[b]);
+                    assert!(
+                        (d - truth).abs() < 1.3,
+                        "d({a},{b}) = {d}, truth {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_roughly_symmetric() {
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 2).unwrap();
+        let config = ConcurrentConfig::new(scheme.clone()).with_mpc_guard();
+        let coordinator = NetworkRanging::new(scheme, config);
+        let (matrix, _) = coordinator
+            .run_cycle(&positions(4), &ChannelModel::free_space(), 11)
+            .unwrap();
+        // Both directions carry independent TX-grid errors: bounded by
+        // twice the single-direction budget.
+        assert!(matrix.max_asymmetry_m() < 2.6, "{}", matrix.max_asymmetry_m());
+    }
+
+    #[test]
+    fn rejects_networks_beyond_capacity() {
+        let scheme = CombinedScheme::new(SlotPlan::new(2).unwrap(), 1).unwrap(); // capacity 2
+        let config = ConcurrentConfig::new(scheme.clone());
+        let coordinator = NetworkRanging::new(scheme, config);
+        let result = coordinator.run_cycle(&positions(5), &ChannelModel::free_space(), 1);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn distance_matrix_accessors() {
+        let mut m = DistanceMatrix::new(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(0, 1), None);
+        m.set(0, 1, 5.0);
+        m.set(1, 0, 5.2);
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert!((m.max_asymmetry_m() - 0.2).abs() < 1e-12);
+        assert!((m.coverage() - 2.0 / 6.0).abs() < 1e-12);
+        // Out-of-range reads are None.
+        assert_eq!(m.get(7, 0), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Response position modulation (the paper's Sect. VII).
+//!
+//! Each responder adds an individual delay `δ_i = n_RPM · δ` to the common
+//! response delay `Δ_RESP`, spreading responses (and their multipath tails)
+//! across the ≈1.017 µs CIR window so that strong multipath components of
+//! one responder cannot mask another responder's direct path.
+
+use crate::error::RangingError;
+use uwb_radio::SPEED_OF_LIGHT;
+
+/// Maximum usable CIR offset: the accumulator spans 1016 samples of
+/// ≈1.0016 ns → δ_max ≈ 1017 ns (paper, Sect. VII).
+pub const DELTA_MAX_S: f64 = 1016.0 * uwb_radio::CIR_SAMPLE_PERIOD_S;
+
+/// A slot plan: how the CIR window is divided among responders.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::SlotPlan;
+///
+/// // 4 slots over the full window (the paper's r_max = 75 m example).
+/// let plan = SlotPlan::new(4)?;
+/// assert!((plan.slot_spacing_s() * 1e9 - 254.4).abs() < 1.0);
+/// # Ok::<(), concurrent_ranging::RangingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotPlan {
+    n_slots: usize,
+    slot_spacing_s: f64,
+}
+
+impl SlotPlan {
+    /// Divides the CIR window evenly into `n_slots` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::InvalidSchemeParameters`] for zero slots.
+    pub fn new(n_slots: usize) -> Result<Self, RangingError> {
+        if n_slots == 0 {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        Ok(Self {
+            n_slots,
+            slot_spacing_s: DELTA_MAX_S / n_slots as f64,
+        })
+    }
+
+    /// A plan with an explicit slot spacing (must fit at least one slot in
+    /// the window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::InvalidSchemeParameters`] when the spacing
+    /// is non-positive or exceeds the CIR window.
+    pub fn with_spacing(n_slots: usize, slot_spacing_s: f64) -> Result<Self, RangingError> {
+        if n_slots == 0
+            || !slot_spacing_s.is_finite()
+            || slot_spacing_s <= 0.0
+            || (n_slots as f64) * slot_spacing_s > DELTA_MAX_S + 1e-15
+        {
+            return Err(RangingError::InvalidSchemeParameters);
+        }
+        Ok(Self {
+            n_slots,
+            slot_spacing_s,
+        })
+    }
+
+    /// Number of slots `N_RPM`.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Slot spacing `δ` in seconds.
+    pub fn slot_spacing_s(&self) -> f64 {
+        self.slot_spacing_s
+    }
+
+    /// The additional response delay `δ_i = slot · δ` for a slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot >= n_slots` (an assignment bug).
+    pub fn slot_delay_s(&self, slot: usize) -> f64 {
+        assert!(
+            slot < self.n_slots,
+            "slot {slot} out of range (n_slots = {})",
+            self.n_slots
+        );
+        slot as f64 * self.slot_spacing_s
+    }
+
+    /// Guard band absorbing the ±8 ns delayed-TX jitter (plus timestamp
+    /// noise) when mapping observed delays onto the slot grid.
+    pub const DECODE_GUARD_S: f64 = 9e-9;
+
+    /// Decodes which slot an observed CIR delay offset belongs to, given
+    /// the anchor responder's slot and its SS-TWR distance.
+    ///
+    /// The observed offset of responder `k` relative to the anchor is
+    /// `(slot_k − slot_a)·δ + 2(d_k − d_a)/c`. Since the initiator knows
+    /// `d_a` (= `d_TWR` from the decoded payload), adding `2·d_a/c` turns
+    /// the residual into the *absolute* round-trip time `2·d_k/c ∈
+    /// [0, δ)` — valid whenever every responder is within the plan's
+    /// [`SlotPlan::max_range_m`] — so floor semantics recover `slot_k`
+    /// with the full slot budget. [`SlotPlan::DECODE_GUARD_S`] absorbs the
+    /// delayed-TX jitter that can push the residual slightly negative.
+    ///
+    /// Returns `None` when the implied slot is outside the plan.
+    pub fn decode_slot(
+        &self,
+        delay_offset_s: f64,
+        anchor_slot: usize,
+        anchor_distance_m: f64,
+    ) -> Option<usize> {
+        let absolute = delay_offset_s
+            + 2.0 * anchor_distance_m.max(0.0) / SPEED_OF_LIGHT
+            + Self::DECODE_GUARD_S;
+        let steps = (absolute / self.slot_spacing_s).floor() as i64;
+        let slot = anchor_slot as i64 + steps;
+        (0..self.n_slots as i64)
+            .contains(&slot)
+            .then_some(slot as usize)
+    }
+
+    /// The maximum one-way communication range (meters) for which responses
+    /// within one slot cannot leak into the next: the round-trip delay
+    /// spread `2·r/c` plus the channel delay spread must stay below `δ`.
+    pub fn max_range_m(&self, delay_spread_s: f64) -> f64 {
+        ((self.slot_spacing_s - delay_spread_s).max(0.0)) * SPEED_OF_LIGHT / 2.0
+    }
+
+    /// The number of non-overlapping slots supported for a given one-way
+    /// range and channel delay spread (physically consistent version of the
+    /// paper's `N_RPM = δ_max·c / r_max`; the paper's formula omits the
+    /// round-trip factor of 2 — see DESIGN.md).
+    pub fn supported_slots(max_range_m: f64, delay_spread_s: f64) -> usize {
+        let needed = 2.0 * max_range_m / SPEED_OF_LIGHT + delay_spread_s;
+        if needed <= 0.0 {
+            return 0;
+        }
+        (DELTA_MAX_S / needed).floor() as usize
+    }
+
+    /// The paper's capacity formula `N_RPM = δ_max·c / r_max` (Sect. VIII),
+    /// reproduced verbatim for the evaluation tables.
+    pub fn paper_supported_slots(max_range_m: f64) -> usize {
+        ((DELTA_MAX_S * SPEED_OF_LIGHT) / max_range_m).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_max_matches_paper() {
+        // Paper: δ_max ≈ 1017 ns ≈ 307 m.
+        assert!((DELTA_MAX_S * 1e9 - 1017.6).abs() < 1.0);
+        assert!((DELTA_MAX_S * SPEED_OF_LIGHT - 305.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_formula_gives_4_slots_at_75m() {
+        // Paper Sect. VIII: r_max = 75 m → N_RPM ≈ 4.
+        assert_eq!(SlotPlan::paper_supported_slots(75.0), 4);
+    }
+
+    #[test]
+    fn physical_formula_accounts_for_round_trip() {
+        // With the round-trip factor, 75 m supports only 2 slots.
+        assert_eq!(SlotPlan::supported_slots(75.0, 0.0), 2);
+        // At 20 m (the paper's indoor setting) with 30 ns delay spread:
+        let slots = SlotPlan::supported_slots(20.0, 30e-9);
+        assert!(slots >= 6, "got {slots}");
+    }
+
+    #[test]
+    fn slot_delays_are_multiples_of_spacing() {
+        let plan = SlotPlan::new(4).unwrap();
+        for s in 0..4 {
+            assert!((plan.slot_delay_s(s) - s as f64 * plan.slot_spacing_s()).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_delay_out_of_range_panics() {
+        SlotPlan::new(4).unwrap().slot_delay_s(4);
+    }
+
+    #[test]
+    fn rejects_zero_slots() {
+        assert!(SlotPlan::new(0).is_err());
+        assert!(SlotPlan::with_spacing(0, 100e-9).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_spacing() {
+        assert!(SlotPlan::with_spacing(8, 200e-9).is_err()); // 1.6 µs > window
+        assert!(SlotPlan::with_spacing(4, 200e-9).is_ok());
+    }
+
+    #[test]
+    fn decode_slot_roundtrip() {
+        let plan = SlotPlan::new(4).unwrap();
+        let delta = plan.slot_spacing_s();
+        let c = SPEED_OF_LIGHT;
+        for anchor in 0..4usize {
+            let d_anchor = 8.0; // meters
+            for slot in 0..4usize {
+                // Responders anywhere within the absolute slot budget —
+                // including CLOSER than the anchor (negative residual).
+                for d_k in [0.5, 3.0, 8.0, 20.0, 36.0] {
+                    let offset = (slot as f64 - anchor as f64) * delta
+                        + 2.0 * (d_k - d_anchor) / c;
+                    assert_eq!(
+                        plan.decode_slot(offset, anchor, d_anchor),
+                        Some(slot),
+                        "anchor {anchor} slot {slot} d_k {d_k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_slot_tolerates_tx_jitter_below_zero() {
+        // A same-slot responder at (nearly) zero distance whose offset
+        // dips slightly negative from the ±8 ns TX grid still decodes
+        // into the anchor slot.
+        let plan = SlotPlan::new(4).unwrap();
+        assert_eq!(plan.decode_slot(-8e-9, 1, 0.0), Some(1));
+        assert_eq!(plan.decode_slot(-1e-9, 0, 0.0), Some(0));
+    }
+
+    #[test]
+    fn decode_slot_rejects_out_of_window() {
+        let plan = SlotPlan::new(4).unwrap();
+        let delta = plan.slot_spacing_s();
+        assert_eq!(plan.decode_slot(4.2 * delta, 0, 0.0), None);
+        assert_eq!(plan.decode_slot(-1.2 * delta, 0, 0.0), None);
+    }
+
+    #[test]
+    fn max_range_shrinks_with_delay_spread() {
+        let plan = SlotPlan::new(4).unwrap();
+        let clean = plan.max_range_m(0.0);
+        let dirty = plan.max_range_m(50e-9);
+        assert!(clean > dirty);
+        // 4 slots ≈ 254 ns each → ~38 m round-trip-safe range.
+        assert!((clean - 38.1).abs() < 0.5, "got {clean}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Multi-round aggregation: turning raw per-round outcomes into robust
+//! per-responder range estimates.
+//!
+//! A single concurrent round carries the DW1000's ±8 ns delayed-TX
+//! truncation on every non-anchor distance (paper, Sect. III). Because the
+//! truncation phase re-randomizes each round, *aggregating a handful of
+//! rounds* shrinks the error like a zero-mean noise term — a practical
+//! layer any deployment adds on top of the paper's single-round scheme.
+//! [`RangingSession`] accumulates [`RoundOutcome`]s and reports median
+//! distances with MAD-based outlier rejection plus availability statistics.
+
+use crate::concurrent::RoundOutcome;
+use std::collections::BTreeMap;
+use uwb_dsp::stats;
+
+/// Aggregated statistics for one responder across a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponderStats {
+    /// The responder ID.
+    pub id: u32,
+    /// Robust (median) distance estimate over accepted samples, meters.
+    pub distance_m: f64,
+    /// Spread (scaled MAD ≈ σ) of accepted samples, meters.
+    pub spread_m: f64,
+    /// Samples accepted after outlier rejection.
+    pub accepted: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+    /// Fraction of session rounds in which this responder was resolved.
+    pub availability: f64,
+}
+
+/// Aggregates concurrent-ranging rounds into robust per-responder ranges.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::RangingSession;
+///
+/// let mut session = RangingSession::new();
+/// assert_eq!(session.rounds(), 0);
+/// session.set_outlier_threshold(4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangingSession {
+    /// Distance samples per responder ID.
+    samples: BTreeMap<u32, Vec<f64>>,
+    rounds: usize,
+    /// Outlier threshold in scaled-MAD units (default 3.5).
+    outlier_threshold: f64,
+}
+
+impl RangingSession {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self {
+            samples: BTreeMap::new(),
+            rounds: 0,
+            outlier_threshold: 3.5,
+        }
+    }
+
+    /// Sets the outlier threshold in robust-σ units (samples farther than
+    /// this from the median are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite thresholds.
+    pub fn set_outlier_threshold(&mut self, threshold: f64) {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "invalid outlier threshold {threshold}"
+        );
+        self.outlier_threshold = threshold;
+    }
+
+    /// Number of rounds ingested.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Ingests one round outcome.
+    pub fn ingest(&mut self, outcome: &RoundOutcome) {
+        self.rounds += 1;
+        for estimate in &outcome.estimates {
+            if let Some(id) = estimate.id {
+                self.samples.entry(id).or_default().push(estimate.distance_m);
+            }
+        }
+    }
+
+    /// Raw samples recorded for a responder.
+    pub fn samples_for(&self, id: u32) -> &[f64] {
+        self.samples.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Aggregated statistics for every responder seen this session,
+    /// ordered by ID.
+    pub fn responder_stats(&self) -> Vec<ResponderStats> {
+        self.samples
+            .iter()
+            .map(|(&id, samples)| {
+                let median = stats::median(samples);
+                // Scaled MAD: a robust σ estimate (1.4826 × MAD for
+                // normally distributed errors).
+                let deviations: Vec<f64> =
+                    samples.iter().map(|s| (s - median).abs()).collect();
+                let mad_sigma = 1.4826 * stats::median(&deviations);
+                let limit = if mad_sigma > 0.0 {
+                    self.outlier_threshold * mad_sigma
+                } else {
+                    f64::INFINITY
+                };
+                let accepted: Vec<f64> = samples
+                    .iter()
+                    .copied()
+                    .filter(|s| (s - median).abs() <= limit)
+                    .collect();
+                let rejected = samples.len() - accepted.len();
+                ResponderStats {
+                    id,
+                    distance_m: stats::median(&accepted),
+                    spread_m: mad_sigma,
+                    accepted: accepted.len(),
+                    rejected,
+                    availability: samples.len() as f64 / self.rounds.max(1) as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// The aggregated distance for one responder, if seen.
+    pub fn distance_for(&self, id: u32) -> Option<f64> {
+        self.responder_stats()
+            .into_iter()
+            .find(|s| s.id == id)
+            .map(|s| s.distance_m)
+    }
+}
+
+impl Default for RangingSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CombinedScheme, ConcurrentConfig, ConcurrentEngine, SlotPlan};
+    use uwb_channel::ChannelModel;
+    use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+
+    #[test]
+    fn aggregation_beats_single_round_accuracy() {
+        // 20 rounds: the median non-anchor distance beats the typical
+        // single-round TX-grid error.
+        let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 31);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r0 = sim.add_node(NodeConfig::at(4.0, 0.0));
+        let r1 = sim.add_node(
+            NodeConfig::at(0.0, 9.0).with_pulse_shape(scheme.assign(1).unwrap().register),
+        );
+        let config = ConcurrentConfig::new(scheme).with_rounds(20);
+        let mut engine =
+            ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 31).unwrap();
+        sim.run(&mut engine, 1.0);
+
+        let mut session = RangingSession::new();
+        for o in &engine.outcomes {
+            session.ingest(o);
+        }
+        assert_eq!(session.rounds(), 20);
+        let stats = session.responder_stats();
+        assert_eq!(stats.len(), 2);
+        let far = stats.iter().find(|s| s.id == 1).unwrap();
+        assert!(
+            (far.distance_m - 9.0).abs() < 0.5,
+            "aggregated {} m",
+            far.distance_m
+        );
+        assert!(far.availability > 0.9, "availability {}", far.availability);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        let mut session = RangingSession::new();
+        // Hand-craft samples: tight cluster plus one wild value.
+        session.samples.insert(7, vec![5.0, 5.1, 4.9, 5.05, 4.95, 25.0]);
+        session.rounds = 6;
+        let stats = session.responder_stats();
+        let s = &stats[0];
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.accepted, 5);
+        assert!((s.distance_m - 5.0).abs() < 0.1, "{}", s.distance_m);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_spread_and_no_rejection() {
+        let mut session = RangingSession::new();
+        session.samples.insert(1, vec![3.0; 10]);
+        session.rounds = 10;
+        let s = &session.responder_stats()[0];
+        assert_eq!(s.spread_m, 0.0);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.distance_m, 3.0);
+    }
+
+    #[test]
+    fn availability_reflects_missed_rounds() {
+        let mut session = RangingSession::new();
+        session.samples.insert(2, vec![4.0, 4.1]);
+        session.rounds = 10;
+        let s = &session.responder_stats()[0];
+        assert!((s.availability - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_session_reports_nothing() {
+        let session = RangingSession::new();
+        assert!(session.responder_stats().is_empty());
+        assert_eq!(session.distance_for(0), None);
+        assert!(session.samples_for(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid outlier threshold")]
+    fn rejects_bad_threshold() {
+        RangingSession::new().set_outlier_threshold(0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Position tracking: a constant-velocity Kalman filter over the position
+//! fixes that concurrent ranging + multilateration produce — the mobile
+//! half of the paper's envisioned "efficient cooperative or anchor-based
+//! localization system" (Sect. IX).
+//!
+//! Each concurrent round yields one [`crate::PositionFix`]; the tracker
+//! fuses them across time, smoothing the per-fix noise (dominated by the
+//! TX-grid quantization of non-anchor ranges) and bridging rounds where
+//! too few anchors resolved.
+
+use uwb_channel::Point2;
+
+/// State of the constant-velocity tracker: position and velocity in 2-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackState {
+    /// Estimated position, meters.
+    pub position: Point2,
+    /// Estimated velocity, meters/second.
+    pub velocity: (f64, f64),
+    /// Position variance (per axis), m².
+    pub position_var: f64,
+    /// Velocity variance (per axis), m²/s².
+    pub velocity_var: f64,
+}
+
+/// A 2-D constant-velocity Kalman filter with scalar (isotropic)
+/// covariance per block — sufficient for fusing symmetric multilateration
+/// fixes, and free of matrix dependencies.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::PositionTracker;
+/// use uwb_channel::Point2;
+///
+/// let mut tracker = PositionTracker::new(0.5, 0.05);
+/// tracker.update(Point2::new(1.0, 1.0), 0.0);
+/// tracker.update(Point2::new(1.5, 1.0), 0.5);
+/// let state = tracker.state().unwrap();
+/// assert!(state.position.x > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionTracker {
+    /// (state, position↔velocity covariance, timestamp).
+    state: Option<(TrackState, f64, f64)>,
+    /// Process noise: white-acceleration intensity, (m/s²)².
+    accel_noise: f64,
+    /// Measurement noise: per-axis fix standard deviation, meters.
+    fix_sigma_m: f64,
+}
+
+impl PositionTracker {
+    /// Creates a tracker.
+    ///
+    /// `accel_sigma` is the expected acceleration magnitude (m/s²) of the
+    /// tracked node — walking people are ≈0.5; `fix_sigma_m` the per-axis
+    /// standard deviation of a single multilateration fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite parameters.
+    pub fn new(accel_sigma: f64, fix_sigma_m: f64) -> Self {
+        assert!(
+            accel_sigma.is_finite() && accel_sigma > 0.0,
+            "invalid accel sigma {accel_sigma}"
+        );
+        assert!(
+            fix_sigma_m.is_finite() && fix_sigma_m > 0.0,
+            "invalid fix sigma {fix_sigma_m}"
+        );
+        Self {
+            state: None,
+            accel_noise: accel_sigma * accel_sigma,
+            fix_sigma_m,
+        }
+    }
+
+    /// The current estimate, if any fix has been ingested.
+    pub fn state(&self) -> Option<&TrackState> {
+        self.state.as_ref().map(|(s, _, _)| s)
+    }
+
+    /// Predicts the position at a future time without ingesting a fix.
+    pub fn predict_at(&self, time_s: f64) -> Option<Point2> {
+        let (s, _, t0) = self.state.as_ref()?;
+        let dt = (time_s - t0).max(0.0);
+        Some(Point2::new(
+            s.position.x + s.velocity.0 * dt,
+            s.position.y + s.velocity.1 * dt,
+        ))
+    }
+
+    /// Ingests a position fix taken at `time_s` (monotonic, seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite inputs.
+    pub fn update(&mut self, fix: Point2, time_s: f64) {
+        assert!(
+            fix.x.is_finite() && fix.y.is_finite() && time_s.is_finite(),
+            "invalid fix ({}, {}) at {time_s}",
+            fix.x,
+            fix.y
+        );
+        let r = self.fix_sigma_m * self.fix_sigma_m;
+        match self.state.take() {
+            None => {
+                self.state = Some((
+                    TrackState {
+                        position: fix,
+                        velocity: (0.0, 0.0),
+                        position_var: r,
+                        velocity_var: 1.0, // weakly known initial velocity
+                    },
+                    0.0, // no position↔velocity correlation yet
+                    time_s,
+                ));
+            }
+            Some((s, p_pv, t0)) => {
+                let dt = (time_s - t0).max(1e-6);
+                let q = self.accel_noise;
+                // Predict (constant velocity; white-acceleration process
+                // noise integrated over dt). Full per-axis 2×2 covariance
+                // [p_pp, p_pv; p_pv, p_vv] propagated exactly.
+                let px = s.position.x + s.velocity.0 * dt;
+                let py = s.position.y + s.velocity.1 * dt;
+                let p_pp = s.position_var
+                    + 2.0 * dt * p_pv
+                    + dt * dt * s.velocity_var
+                    + q * dt.powi(4) / 4.0;
+                let p_pv_pred = p_pv + dt * s.velocity_var + q * dt.powi(3) / 2.0;
+                let p_vv = s.velocity_var + q * dt * dt;
+
+                // Kalman update with the position measurement.
+                let gain_denom = p_pp + r;
+                let k_pos = p_pp / gain_denom;
+                let k_vel = p_pv_pred / gain_denom;
+                let nx = px + k_pos * (fix.x - px);
+                let ny = py + k_pos * (fix.y - py);
+                let vx = s.velocity.0 + k_vel * (fix.x - px);
+                let vy = s.velocity.1 + k_vel * (fix.y - py);
+
+                self.state = Some((
+                    TrackState {
+                        position: Point2::new(nx, ny),
+                        velocity: (vx, vy),
+                        position_var: (1.0 - k_pos) * p_pp,
+                        velocity_var: p_vv - k_vel * p_pv_pred,
+                    },
+                    (1.0 - k_pos) * p_pv_pred,
+                    time_s,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uwb_channel::random;
+
+    #[test]
+    fn first_fix_initializes_state() {
+        let mut t = PositionTracker::new(0.5, 0.1);
+        assert!(t.state().is_none());
+        t.update(Point2::new(2.0, 3.0), 0.0);
+        let s = t.state().unwrap();
+        assert_eq!(s.position, Point2::new(2.0, 3.0));
+        assert_eq!(s.velocity, (0.0, 0.0));
+    }
+
+    #[test]
+    fn stationary_target_converges_below_fix_noise() {
+        let truth = Point2::new(5.0, 5.0);
+        let sigma = 0.3;
+        let mut tracker = PositionTracker::new(0.2, sigma);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut errors = Vec::new();
+        for k in 0..60 {
+            let fix = Point2::new(
+                truth.x + random::normal(&mut rng, 0.0, sigma),
+                truth.y + random::normal(&mut rng, 0.0, sigma),
+            );
+            tracker.update(fix, k as f64 * 0.5);
+            errors.push(tracker.state().unwrap().position.distance_to(truth));
+        }
+        // The filtered error over the last 20 steps beats the raw σ.
+        let tail = &errors[40..];
+        let mean_err = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(mean_err < sigma * 0.8, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn tracks_constant_velocity_motion() {
+        // 1 m/s along x, noisy fixes every 0.5 s: velocity is recovered
+        // and prediction extrapolates.
+        let sigma = 0.1;
+        let mut tracker = PositionTracker::new(0.3, sigma);
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 0..50 {
+            let t = k as f64 * 0.5;
+            let fix = Point2::new(
+                1.0 * t + random::normal(&mut rng, 0.0, sigma),
+                2.0 + random::normal(&mut rng, 0.0, sigma),
+            );
+            tracker.update(fix, t);
+        }
+        let s = tracker.state().unwrap();
+        assert!((s.velocity.0 - 1.0).abs() < 0.15, "vx {}", s.velocity.0);
+        assert!(s.velocity.1.abs() < 0.15, "vy {}", s.velocity.1);
+        // Predict one second ahead.
+        let predicted = tracker.predict_at(25.5).unwrap();
+        assert!((predicted.x - 25.5).abs() < 0.4, "predicted x {}", predicted.x);
+    }
+
+    #[test]
+    fn prediction_without_state_is_none() {
+        let t = PositionTracker::new(0.5, 0.1);
+        assert!(t.predict_at(1.0).is_none());
+    }
+
+    #[test]
+    fn variance_shrinks_with_updates() {
+        let mut t = PositionTracker::new(0.2, 0.5);
+        t.update(Point2::new(0.0, 0.0), 0.0);
+        let v0 = t.state().unwrap().position_var;
+        for k in 1..10 {
+            t.update(Point2::new(0.0, 0.0), k as f64 * 0.2);
+        }
+        assert!(t.state().unwrap().position_var < v0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fix sigma")]
+    fn rejects_bad_parameters() {
+        let _ = PositionTracker::new(0.5, 0.0);
+    }
+}

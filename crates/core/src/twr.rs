@@ -1,0 +1,335 @@
+//! Single-sided two-way ranging (SS-TWR) — the classical scheme of the
+//! paper's Fig. 3, used both as the baseline protocol and as the anchor
+//! (`d_TWR`) inside concurrent ranging.
+
+use crate::estimate::TwrTimestamps;
+use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
+use uwb_netsim::{NodeApi, NodeId, Protocol, Reception};
+use uwb_radio::{DeviceTime, PAPER_RESPONSE_DELAY_S};
+
+/// Timer-token bit marking a round watchdog (low 32 bits carry the round).
+const WATCHDOG_BIT: u64 = 1 << 32;
+
+/// One completed SS-TWR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwrMeasurement {
+    /// The round counter.
+    pub round: u32,
+    /// The estimated distance (Eq. 2, or CFO-corrected when enabled),
+    /// meters.
+    pub distance_m: f64,
+    /// The measured carrier frequency offset of the responder, ppm.
+    pub cfo_ppm: f64,
+    /// The raw timestamps behind the estimate.
+    pub timestamps: TwrTimestamps,
+}
+
+/// An SS-TWR protocol engine: one initiator ranges repeatedly to one
+/// responder, collecting [`TwrMeasurement`]s — the workload of the paper's
+/// pulse-shape precision evaluation (Sect. V: 5000 SS-TWR operations).
+///
+/// Drive it with [`uwb_netsim::Simulator::run`].
+#[derive(Debug)]
+pub struct SsTwrEngine {
+    initiator: NodeId,
+    responder: NodeId,
+    rounds: u32,
+    response_delay_s: f64,
+    round_gap_s: f64,
+    /// Margin between scheduling and the INIT transmission.
+    tx_margin_s: f64,
+    cfo_correction: bool,
+    current_round: u32,
+    init_tx: Option<DeviceTime>,
+    /// Completed measurements.
+    pub measurements: Vec<TwrMeasurement>,
+    /// Rounds that timed out without a usable RESP.
+    pub timed_out_rounds: Vec<u32>,
+}
+
+impl SsTwrEngine {
+    /// Creates an engine ranging `rounds` times between two nodes with the
+    /// paper's 290 µs response delay.
+    pub fn new(initiator: NodeId, responder: NodeId, rounds: u32) -> Self {
+        Self {
+            initiator,
+            responder,
+            rounds,
+            response_delay_s: PAPER_RESPONSE_DELAY_S,
+            round_gap_s: 500e-6,
+            tx_margin_s: 200e-6,
+            cfo_correction: false,
+            current_round: 0,
+            init_tx: None,
+            measurements: Vec::new(),
+            timed_out_rounds: Vec::new(),
+        }
+    }
+
+    /// Overrides the response delay `Δ_RESP`.
+    #[must_use]
+    pub fn with_response_delay(mut self, delay_s: f64) -> Self {
+        self.response_delay_s = delay_s;
+        self
+    }
+
+    /// Enables carrier-frequency-offset drift correction: the initiator
+    /// rescales the responder's reply interval by the CFO its receiver
+    /// measures, cancelling the `c·δ·Δ_RESP/2` drift bias.
+    #[must_use]
+    pub fn with_cfo_correction(mut self) -> Self {
+        self.cfo_correction = true;
+        self
+    }
+
+    /// The distance estimates collected so far, in meters.
+    pub fn distances_m(&self) -> Vec<f64> {
+        self.measurements.iter().map(|m| m.distance_m).collect()
+    }
+
+    fn start_round(&mut self, api: &mut NodeApi<RangingMessage>) {
+        // Quantize ourselves so the embedded t_tx,init matches the actual
+        // RMARKER time exactly (the radio would do the same truncation).
+        let at = api
+            .device_now()
+            .wrapping_add_seconds(self.tx_margin_s)
+            .expect("margin is positive")
+            .quantize_tx();
+        self.init_tx = Some(at);
+        api.transmit_at(
+            at,
+            RangingMessage::Init {
+                round: self.current_round,
+            },
+            INIT_PAYLOAD_BYTES,
+        );
+        // The initiator listens for the whole response window.
+        api.record_listen(self.response_delay_s);
+        // Watchdog: a lost exchange must not stall the remaining rounds.
+        api.set_timer(
+            self.response_delay_s + 1e-3,
+            WATCHDOG_BIT | u64::from(self.current_round),
+        );
+    }
+}
+
+impl Protocol<RangingMessage> for SsTwrEngine {
+    fn on_start(&mut self, node: NodeId, api: &mut NodeApi<RangingMessage>) {
+        if node == self.initiator && self.rounds > 0 {
+            self.start_round(api);
+        }
+    }
+
+    fn on_reception(
+        &mut self,
+        node: NodeId,
+        reception: &Reception<RangingMessage>,
+        api: &mut NodeApi<RangingMessage>,
+    ) {
+        let Some(decoded) = reception.decoded() else {
+            return;
+        };
+        match decoded.payload {
+            RangingMessage::Init { round } if node == self.responder => {
+                // Schedule the RESP a fixed delay after the measured
+                // reception time; embed both timestamps (Fig. 3).
+                let tx = reception
+                    .rx_device_time
+                    .wrapping_add_seconds(self.response_delay_s)
+                    .expect("delay is positive")
+                    .quantize_tx();
+                api.transmit_at(
+                    tx,
+                    RangingMessage::Resp {
+                        round,
+                        responder_id: 0,
+                        rx_timestamp: reception.rx_device_time,
+                        tx_timestamp: tx,
+                    },
+                    RESP_PAYLOAD_BYTES,
+                );
+            }
+            RangingMessage::Resp {
+                round,
+                rx_timestamp,
+                tx_timestamp,
+                ..
+            } if node == self.initiator && round == self.current_round => {
+                let Some(init_tx) = self.init_tx else {
+                    return;
+                };
+                let timestamps = TwrTimestamps {
+                    init_tx,
+                    init_rx: reception.rx_device_time,
+                    resp_rx: rx_timestamp,
+                    resp_tx: tx_timestamp,
+                };
+                let distance_m = if self.cfo_correction {
+                    timestamps.distance_cfo_corrected_m(reception.cfo_ppm)
+                } else {
+                    timestamps.distance_m()
+                };
+                self.measurements.push(TwrMeasurement {
+                    round,
+                    distance_m,
+                    cfo_ppm: reception.cfo_ppm,
+                    timestamps,
+                });
+                self.current_round += 1;
+                if self.current_round < self.rounds {
+                    api.set_timer(self.round_gap_s, u64::from(self.current_round));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, token: u64, api: &mut NodeApi<RangingMessage>) {
+        if node != self.initiator {
+            return;
+        }
+        if token & WATCHDOG_BIT != 0 {
+            let round = (token & u64::from(u32::MAX)) as u32;
+            if round == self.current_round {
+                self.timed_out_rounds.push(round);
+                self.current_round += 1;
+                if self.current_round < self.rounds {
+                    self.start_round(api);
+                }
+            }
+        } else {
+            self.start_round(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_channel::{ChannelModel, Room};
+    use uwb_dsp::stats;
+    use uwb_netsim::{ClockModel, NodeConfig, SimConfig, Simulator};
+
+    fn run_twr(
+        distance_m: f64,
+        rounds: u32,
+        sim_config: SimConfig,
+        channel: ChannelModel,
+        seed: u64,
+    ) -> SsTwrEngine {
+        let mut sim = Simulator::new(channel, sim_config, seed);
+        let a = sim.add_node(NodeConfig::at(0.0, 1.0));
+        let b = sim.add_node(NodeConfig::at(distance_m, 1.0));
+        let mut engine = SsTwrEngine::new(a, b, rounds);
+        sim.run(&mut engine, 60.0);
+        engine
+    }
+
+    #[test]
+    fn noise_free_twr_is_exact() {
+        let mut cfg = SimConfig::default();
+        cfg.rx_timestamp_noise_s = 0.0;
+        let engine = run_twr(10.0, 1, cfg, ChannelModel::free_space(), 1);
+        assert_eq!(engine.measurements.len(), 1);
+        // Only residual error: DTU rounding of timestamps (< 1 cm).
+        let err = (engine.measurements[0].distance_m - 10.0).abs();
+        assert!(err < 0.01, "error {err} m");
+    }
+
+    #[test]
+    fn multiple_rounds_complete() {
+        let engine = run_twr(5.0, 20, SimConfig::default(), ChannelModel::free_space(), 2);
+        assert_eq!(engine.measurements.len(), 20);
+        for m in &engine.measurements {
+            assert!((m.distance_m - 5.0).abs() < 0.2, "distance {}", m.distance_m);
+        }
+    }
+
+    #[test]
+    fn ranging_error_spread_matches_calibration() {
+        // With the default RX noise the distance spread must land near the
+        // paper's σ ≈ 2.3 cm (Sect. V).
+        let engine = run_twr(3.0, 300, SimConfig::default(), ChannelModel::free_space(), 3);
+        let sigma = stats::std_dev(&engine.distances_m());
+        assert!(
+            (0.015..0.032).contains(&sigma),
+            "σ = {sigma} m outside the calibrated band"
+        );
+    }
+
+    #[test]
+    fn clock_offset_does_not_bias_twr() {
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 4);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0).with_clock(ClockModel::new(3.0, 0.0)));
+        let b = sim.add_node(NodeConfig::at(7.0, 0.0).with_clock(ClockModel::new(9.0, 0.0)));
+        let mut engine = SsTwrEngine::new(a, b, 50);
+        sim.run(&mut engine, 60.0);
+        let mean = stats::mean(&engine.distances_m());
+        assert!((mean - 7.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn clock_drift_biases_twr_proportionally() {
+        // A responder clock running fast by 10 ppm over Δ_RESP = 290 µs
+        // biases the distance by ≈ −c·drift·Δ/2 ≈ −0.43 m — the known
+        // SS-TWR drift error the paper's Δ_RESP choice keeps small.
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 5);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(5.0, 0.0).with_clock(ClockModel::new(0.0, 10.0)));
+        let mut engine = SsTwrEngine::new(a, b, 50);
+        sim.run(&mut engine, 60.0);
+        let bias = stats::mean(&engine.distances_m()) - 5.0;
+        assert!(
+            (bias + 0.435).abs() < 0.05,
+            "drift bias {bias} m (expected ≈ −0.435)"
+        );
+    }
+
+    #[test]
+    fn cfo_correction_cancels_drift_end_to_end() {
+        // 20 ppm responder drift: plain SS-TWR biases by ≈ −0.87 m, the
+        // CFO-corrected engine stays within centimetres.
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 15);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(5.0, 0.0).with_clock(ClockModel::new(0.0, 20.0)));
+        let mut engine = SsTwrEngine::new(a, b, 40).with_cfo_correction();
+        sim.run(&mut engine, 60.0);
+        let mean = stats::mean(&engine.distances_m());
+        assert!((mean - 5.0).abs() < 0.05, "corrected mean {mean}");
+        // The measured CFO itself is recovered.
+        let cfo = stats::mean(
+            &engine.measurements.iter().map(|m| m.cfo_ppm).collect::<Vec<f64>>(),
+        );
+        assert!((cfo - 20.0).abs() < 0.1, "cfo {cfo}");
+    }
+
+    #[test]
+    fn multipath_room_still_ranges_on_direct_path() {
+        let channel = ChannelModel::in_room(Room::rectangular(20.0, 6.0, 0.7));
+        let mut sim = Simulator::new(channel, SimConfig::default(), 6);
+        let a = sim.add_node(NodeConfig::at(2.0, 3.0));
+        let b = sim.add_node(NodeConfig::at(8.0, 3.0));
+        let mut engine = SsTwrEngine::new(a, b, 30);
+        sim.run(&mut engine, 60.0);
+        assert_eq!(engine.measurements.len(), 30);
+        let mean = stats::mean(&engine.distances_m());
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn energy_accounting_per_round() {
+        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 7);
+        let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let b = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let mut engine = SsTwrEngine::new(a, b, 10);
+        sim.run(&mut engine, 60.0);
+        let la = sim.node_ledger(a);
+        let lb = sim.node_ledger(b);
+        // Initiator: 10 INIT transmissions + 10 RESP receptions + listen.
+        assert!(la.tx_s > 0.0 && la.rx_s > 0.0);
+        // Responder: mirror image.
+        assert!(lb.tx_s > 0.0 && lb.rx_s > 0.0);
+        // Listening dominates the initiator's receive time.
+        assert!(la.rx_s > 10.0 * 250e-6);
+    }
+}

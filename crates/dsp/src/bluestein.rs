@@ -1,0 +1,257 @@
+//! Bluestein's algorithm: FFT for arbitrary (non-power-of-two) lengths.
+//!
+//! The DW1000 CIR accumulator is 1016 taps long — not a power of two — so
+//! frequency-domain processing of raw CIR buffers needs an arbitrary-length
+//! transform. Bluestein's chirp-z trick re-expresses a length-`N` DFT as a
+//! circular convolution of length `M ≥ 2N-1`, which is evaluated with the
+//! radix-2 FFT from [`crate::fft`].
+
+use crate::complex::Complex64;
+use crate::error::DspError;
+use crate::fft::{next_power_of_two, Direction, FftPlan};
+use std::f64::consts::PI;
+
+/// A reusable arbitrary-length FFT plan based on Bluestein's algorithm.
+///
+/// For power-of-two sizes this delegates directly to [`FftPlan`], so it can
+/// be used as a universal planner.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::{BluesteinPlan, Complex64};
+///
+/// # fn main() -> Result<(), uwb_dsp::DspError> {
+/// let plan = BluesteinPlan::new(1016)?; // DW1000 CIR length
+/// let mut data = vec![Complex64::ONE; 1016];
+/// plan.forward(&mut data);
+/// assert!((data[0].re - 1016.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    size: usize,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    /// Power-of-two fast path.
+    Radix2(FftPlan),
+    /// General case.
+    Chirp {
+        /// Length of the embedded circular convolution (power of two).
+        conv_len: usize,
+        plan: FftPlan,
+        /// Chirp `w[n] = e^{-iπ n²/N}` for `n in 0..N`.
+        chirp: Vec<Complex64>,
+        /// FFT of the zero-padded conjugate-chirp kernel.
+        kernel_fft: Vec<Complex64>,
+    },
+}
+
+impl BluesteinPlan {
+    /// Creates a plan for transforms of length `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] when `size` is zero.
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if size.is_power_of_two() {
+            return Ok(Self {
+                size,
+                inner: Inner::Radix2(FftPlan::new(size)?),
+            });
+        }
+        let conv_len = next_power_of_two(2 * size - 1);
+        let plan = FftPlan::new(conv_len)?;
+        // w[n] = e^{-iπ n²/N}; compute n² mod 2N to avoid precision loss for
+        // large n (the chirp phase is periodic with period 2N in n²).
+        let chirp: Vec<Complex64> = (0..size)
+            .map(|n| {
+                let sq = (n as u128 * n as u128) % (2 * size as u128);
+                Complex64::cis(-PI * sq as f64 / size as f64)
+            })
+            .collect();
+        let mut kernel = vec![Complex64::ZERO; conv_len];
+        kernel[0] = chirp[0].conj();
+        for n in 1..size {
+            let v = chirp[n].conj();
+            kernel[n] = v;
+            kernel[conv_len - n] = v;
+        }
+        plan.forward(&mut kernel);
+        Ok(Self {
+            size,
+            inner: Inner::Chirp {
+                conv_len,
+                plan,
+                chirp,
+                kernel_fft: kernel,
+            },
+        })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse DFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn transform(&self, data: &mut [Complex64], direction: Direction) {
+        assert_eq!(
+            data.len(),
+            self.size,
+            "Bluestein plan size {} does not match buffer length {}",
+            self.size,
+            data.len()
+        );
+        match &self.inner {
+            Inner::Radix2(plan) => plan.transform(data, direction),
+            Inner::Chirp {
+                conv_len,
+                plan,
+                chirp,
+                kernel_fft,
+            } => {
+                let n = self.size;
+                // The inverse transform X[k] with exponent +2πi·kn/N equals
+                // the conjugate of the forward transform of the conjugated
+                // input, scaled by 1/N. Reuse the forward machinery.
+                if direction == Direction::Inverse {
+                    for z in data.iter_mut() {
+                        *z = z.conj();
+                    }
+                }
+
+                let mut buf = vec![Complex64::ZERO; *conv_len];
+                for i in 0..n {
+                    buf[i] = data[i] * chirp[i];
+                }
+                plan.forward(&mut buf);
+                for (b, k) in buf.iter_mut().zip(kernel_fft) {
+                    *b = *b * *k;
+                }
+                plan.inverse(&mut buf);
+                for k in 0..n {
+                    data[k] = buf[k] * chirp[k];
+                }
+
+                if direction == Direction::Inverse {
+                    let scale = 1.0 / n as f64;
+                    for z in data.iter_mut() {
+                        *z = z.conj().scale(scale);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_reference;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_size() {
+        assert!(matches!(BluesteinPlan::new(0), Err(DspError::EmptyInput)));
+    }
+
+    #[test]
+    fn matches_reference_for_odd_sizes() {
+        for &n in &[3usize, 5, 7, 15, 127, 1016] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.41).cos()))
+                .collect();
+            let expected = dft_reference(&input, Direction::Forward);
+            let mut actual = input.clone();
+            BluesteinPlan::new(n).unwrap().forward(&mut actual);
+            assert_close(&actual, &expected, 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn power_of_two_fast_path_matches_reference() {
+        let n = 64;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let expected = dft_reference(&input, Direction::Forward);
+        let mut actual = input.clone();
+        BluesteinPlan::new(n).unwrap().forward(&mut actual);
+        assert_close(&actual, &expected, 1e-8);
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_size() {
+        let n = 1016;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.77).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let plan = BluesteinPlan::new(n).unwrap();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-8);
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        let n = 33;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(1.0 / (1.0 + i as f64), (i as f64).sqrt()))
+            .collect();
+        let expected = dft_reference(&input, Direction::Inverse);
+        let mut actual = input.clone();
+        BluesteinPlan::new(n).unwrap().inverse(&mut actual);
+        assert_close(&actual, &expected, 1e-8);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 37;
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        BluesteinPlan::new(n).unwrap().forward(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-9 && z.im.abs() < 1e-9);
+        }
+    }
+}

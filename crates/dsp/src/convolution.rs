@@ -1,0 +1,210 @@
+//! Linear convolution and cross-correlation.
+//!
+//! Both direct `O(N·M)` and FFT-based `O(N log N)` implementations are
+//! provided; [`convolve`] picks the faster one heuristically. The matched
+//! filter in [`crate::matched_filter`] is built on these primitives.
+
+use crate::complex::Complex64;
+use crate::error::DspError;
+use crate::fft::{next_power_of_two, FftPlan};
+
+/// Size product above which the FFT-based convolution wins over the direct
+/// method (empirically calibrated; exact placement is not critical).
+const FFT_CROSSOVER: usize = 1 << 14;
+
+/// Full linear convolution of two complex sequences.
+///
+/// The result has length `a.len() + b.len() - 1`. Chooses between the direct
+/// and FFT implementation based on input sizes.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::{convolve, Complex64};
+/// # fn main() -> Result<(), uwb_dsp::DspError> {
+/// let a = [Complex64::from_real(1.0), Complex64::from_real(2.0)];
+/// let b = [Complex64::from_real(3.0), Complex64::from_real(4.0)];
+/// let c = convolve(&a, &b)?;
+/// assert_eq!(c.len(), 3);
+/// assert!((c[1].re - 10.0).abs() < 1e-12); // 1·4 + 2·3
+/// # Ok(())
+/// # }
+/// ```
+pub fn convolve(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if a.len() * b.len() <= FFT_CROSSOVER {
+        Ok(convolve_direct(a, b))
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+/// Direct-form linear convolution, `O(N·M)`.
+pub fn convolve_direct(a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Complex64::ZERO; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution, `O(N log N)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn convolve_fft(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_power_of_two(out_len);
+    let plan = FftPlan::new(n)?;
+
+    let mut fa = vec![Complex64::ZERO; n];
+    fa[..a.len()].copy_from_slice(a);
+    let mut fb = vec![Complex64::ZERO; n];
+    fb[..b.len()].copy_from_slice(b);
+
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    plan.inverse(&mut fa);
+    fa.truncate(out_len);
+    Ok(fa)
+}
+
+/// Full linear cross-correlation `(a ⋆ b)[k] = Σ_n a[n+k]·conj(b[n])`.
+///
+/// Returned with the same `a.len() + b.len() - 1` support as [`convolve`],
+/// where index `b.len() - 1` corresponds to zero lag.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn correlate(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    let reversed_conj: Vec<Complex64> = b.iter().rev().map(|z| z.conj()).collect();
+    convolve(a, &reversed_conj)
+}
+
+/// Index into a [`correlate`] output that corresponds to zero lag.
+pub fn zero_lag_index(b_len: usize) -> usize {
+    b_len.saturating_sub(1)
+}
+
+/// Convolution of real-valued sequences, returned as real values.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn convolve_real(a: &[f64], b: &[f64]) -> Result<Vec<f64>, DspError> {
+    let ca: Vec<Complex64> = a.iter().map(|&x| Complex64::from_real(x)).collect();
+    let cb: Vec<Complex64> = b.iter().map(|&x| Complex64::from_real(x)).collect();
+    Ok(convolve(&ca, &cb)?.into_iter().map(|z| z.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(values: &[f64]) -> Vec<Complex64> {
+        values.iter().map(|&x| Complex64::from_real(x)).collect()
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(convolve(&[], &c(&[1.0])), Err(DspError::EmptyInput)));
+        assert!(matches!(convolve(&c(&[1.0]), &[]), Err(DspError::EmptyInput)));
+    }
+
+    #[test]
+    fn known_small_convolution() {
+        let out = convolve(&c(&[1.0, 2.0, 3.0]), &c(&[0.0, 1.0, 0.5])).unwrap();
+        let expected = c(&[0.0, 1.0, 2.5, 4.0, 1.5]);
+        assert_close(&out, &expected, 1e-12);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_signal() {
+        let signal = c(&[1.0, -2.0, 3.5, 0.25]);
+        let out = convolve(&signal, &c(&[1.0])).unwrap();
+        assert_close(&out, &signal, 1e-12);
+    }
+
+    #[test]
+    fn direct_and_fft_agree() {
+        let a: Vec<Complex64> = (0..200)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let b: Vec<Complex64> = (0..150)
+            .map(|i| Complex64::new((i as f64 * 0.7).cos(), -(i as f64 * 0.05)))
+            .collect();
+        let direct = convolve_direct(&a, &b);
+        let fft = convolve_fft(&a, &b).unwrap();
+        assert_close(&direct, &fft, 1e-6);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = c(&[1.0, 2.0, -1.0]);
+        let b = c(&[0.5, 0.0, 3.0, 1.0]);
+        let ab = convolve(&a, &b).unwrap();
+        let ba = convolve(&b, &a).unwrap();
+        assert_close(&ab, &ba, 1e-12);
+    }
+
+    #[test]
+    fn correlation_peaks_at_matching_lag() {
+        // A template embedded in a longer signal should produce a correlation
+        // maximum at the embedding offset.
+        let template = c(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+        let mut signal = vec![Complex64::ZERO; 32];
+        let offset = 11;
+        for (i, &t) in template.iter().enumerate() {
+            signal[offset + i] = t;
+        }
+        let corr = correlate(&signal, &template).unwrap();
+        let (max_idx, _) = corr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        // Peak lands at zero_lag + offset.
+        assert_eq!(max_idx, zero_lag_index(template.len()) + offset);
+    }
+
+    #[test]
+    fn correlation_of_complex_uses_conjugate() {
+        let a = vec![Complex64::I];
+        let corr = correlate(&a, &a).unwrap();
+        // i · conj(i) = 1
+        assert!((corr[0] - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_convolution_wrapper() {
+        let out = convolve_real(&[1.0, 1.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!((out[1] - 2.0).abs() < 1e-12);
+    }
+}

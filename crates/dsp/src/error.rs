@@ -1,0 +1,90 @@
+//! Error types for the DSP substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by DSP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A radix-2 FFT was requested for a length that is not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        size: usize,
+    },
+    /// An operation received an empty input buffer.
+    EmptyInput,
+    /// A resampling factor was zero or otherwise unusable.
+    InvalidFactor {
+        /// The offending factor.
+        factor: usize,
+    },
+    /// Mismatched buffer lengths were supplied to an operation that
+    /// requires equal lengths.
+    LengthMismatch {
+        /// Length of the first buffer.
+        left: usize,
+        /// Length of the second buffer.
+        right: usize,
+    },
+    /// A template/kernel was longer than the signal it should be applied to.
+    KernelTooLong {
+        /// Kernel length.
+        kernel: usize,
+        /// Signal length.
+        signal: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { size } => {
+                write!(f, "length {size} is not a power of two")
+            }
+            Self::EmptyInput => write!(f, "input buffer is empty"),
+            Self::InvalidFactor { factor } => {
+                write!(f, "resampling factor {factor} is invalid")
+            }
+            Self::LengthMismatch { left, right } => {
+                write!(f, "buffer lengths differ: {left} vs {right}")
+            }
+            Self::KernelTooLong { kernel, signal } => {
+                write!(f, "kernel length {kernel} exceeds signal length {signal}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            DspError::NotPowerOfTwo { size: 3 },
+            DspError::EmptyInput,
+            DspError::InvalidFactor { factor: 0 },
+            DspError::LengthMismatch { left: 1, right: 2 },
+            DspError::KernelTooLong {
+                kernel: 9,
+                signal: 4,
+            },
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

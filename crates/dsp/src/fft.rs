@@ -1,0 +1,349 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The module provides an in-place, iterative Cooley–Tukey FFT for
+//! power-of-two lengths plus a [`FftPlan`] that caches twiddle factors for
+//! repeated transforms of the same size (the dominant use case when
+//! processing a stream of fixed-length CIR buffers).
+//!
+//! Arbitrary (non-power-of-two) lengths are handled by the
+//! [`bluestein`](crate::bluestein) module, which builds on this one.
+//!
+//! # Conventions
+//!
+//! The forward transform computes `X[k] = Σ_n x[n]·e^{-2πi·kn/N}` and the
+//! inverse transform includes the `1/N` normalization, so
+//! `inverse(forward(x)) == x` up to floating-point error.
+
+use crate::complex::Complex64;
+use crate::error::DspError;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Time domain to frequency domain (negative exponent).
+    Forward,
+    /// Frequency domain to time domain (positive exponent, normalized by 1/N).
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Precomputes the bit-reversal permutation and twiddle factors once, so
+/// repeated transforms avoid redundant trigonometry.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::{Complex64, FftPlan};
+///
+/// # fn main() -> Result<(), uwb_dsp::DspError> {
+/// let plan = FftPlan::new(8)?;
+/// let mut data = vec![Complex64::ONE; 8];
+/// plan.forward(&mut data);
+/// // The DFT of a constant is an impulse at bin zero.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1..].iter().all(|z| z.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    size: usize,
+    /// Bit-reversed index for each position.
+    reversed: Vec<u32>,
+    /// Twiddles `e^{-2πi·k/N}` for `k in 0..N/2` (forward direction).
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] unless `size` is a power of two
+    /// and at least 1.
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { size });
+        }
+        let bits = size.trailing_zeros();
+        let reversed = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)) as u32)
+            .map(|i| if size == 1 { 0 } else { i })
+            .collect();
+        let twiddles = (0..size / 2)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / size as f64))
+            .collect();
+        Ok(Self {
+            size,
+            reversed,
+            twiddles,
+        })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan::size`].
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse FFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan::size`].
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan::size`].
+    pub fn transform(&self, data: &mut [Complex64], direction: Direction) {
+        assert_eq!(
+            data.len(),
+            self.size,
+            "FFT plan size {} does not match buffer length {}",
+            self.size,
+            data.len()
+        );
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.reversed[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        // Iterative butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if direction == Direction::Inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+
+        if direction == Direction::Inverse {
+            let scale = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+    }
+}
+
+/// Convenience one-shot forward FFT for power-of-two slices.
+///
+/// Prefer [`FftPlan`] when transforming many buffers of the same size.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] for invalid lengths.
+pub fn fft(data: &mut [Complex64]) -> Result<(), DspError> {
+    FftPlan::new(data.len()).map(|plan| plan.forward(data))
+}
+
+/// Convenience one-shot inverse FFT for power-of-two slices.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] for invalid lengths.
+pub fn ifft(data: &mut [Complex64]) -> Result<(), DspError> {
+    FftPlan::new(data.len()).map(|plan| plan.inverse(data))
+}
+
+/// Naive `O(N²)` DFT used as a reference implementation in tests and for
+/// very small sizes where setup cost dominates.
+pub fn dft_reference(input: &[Complex64], direction: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, &x) in input.iter().enumerate() {
+            acc += x * Complex64::cis(sign * 2.0 * PI * (k * i % n) as f64 / n as f64);
+        }
+        if direction == Direction::Inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Returns the smallest power of two `>= n`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(uwb_dsp::next_power_of_two(1000), 1024);
+/// assert_eq!(uwb_dsp::next_power_of_two(1024), 1024);
+/// ```
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(DspError::NotPowerOfTwo { size: 12 })
+        ));
+        assert!(matches!(
+            FftPlan::new(0),
+            Err(DspError::NotPowerOfTwo { size: 0 })
+        ));
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut data = [Complex64::new(3.0, -1.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -1.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let plan = FftPlan::new(16).unwrap();
+        let mut data = vec![Complex64::ZERO; 16];
+        data[0] = Complex64::ONE;
+        plan.forward(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_has_linear_phase() {
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = vec![Complex64::ZERO; n];
+        data[3] = Complex64::ONE;
+        plan.forward(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            let expected = Complex64::cis(-2.0 * PI * 3.0 * k as f64 / n as f64);
+            assert!((*z - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for &n in &[2usize, 4, 8, 64, 256] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 1.71).cos()))
+                .collect();
+            let expected = dft_reference(&input, Direction::Forward);
+            let mut actual = input.clone();
+            fft(&mut actual).unwrap();
+            assert_close(&actual, &expected, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_input() {
+        let n = 128;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut data = input.clone();
+        fft(&mut data).unwrap();
+        ifft(&mut data).unwrap();
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.9).cos(), 0.1 * i as f64))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = input.clone();
+        fft(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let n = 64;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i as f64 * 0.2).sin()))
+            .collect();
+        let alpha = Complex64::new(2.0, -0.5);
+
+        let mut lhs: Vec<Complex64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| alpha * x + y)
+            .collect();
+        fft(&mut lhs).unwrap();
+
+        let mut fa = a.clone();
+        fft(&mut fa).unwrap();
+        let mut fb = b.clone();
+        fft(&mut fb).unwrap();
+        let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| alpha * x + y).collect();
+
+        assert_close(&lhs, &rhs, 1e-8);
+    }
+
+    #[test]
+    fn plan_panics_on_wrong_length() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut data = vec![Complex64::ZERO; 4];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.forward(&mut data);
+        }));
+        assert!(result.is_err());
+    }
+}

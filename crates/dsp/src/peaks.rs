@@ -1,0 +1,222 @@
+//! Peak analysis utilities: maxima, local peaks, noise-floor estimation and
+//! leading-edge detection.
+//!
+//! These are the generic building blocks underneath the paper's detection
+//! algorithms; the algorithms themselves (search-and-subtract, threshold
+//! scanning) live in the `concurrent-ranging` crate because they encode
+//! paper-specific policy.
+
+/// Index and value of the global maximum of a real sequence.
+///
+/// Returns `None` for an empty slice. NaN values are ignored (never selected
+/// as the maximum unless all values are NaN, in which case `None` is
+/// returned).
+///
+/// # Examples
+///
+/// ```
+/// let (idx, val) = uwb_dsp::argmax(&[1.0, 5.0, 3.0]).unwrap();
+/// assert_eq!(idx, 1);
+/// assert_eq!(val, 5.0);
+/// ```
+pub fn argmax(values: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// A detected local peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the peak.
+    pub index: usize,
+    /// Value at the peak.
+    pub value: f64,
+}
+
+/// Finds local maxima that exceed `min_height`, requiring each peak to be at
+/// least `min_distance` samples from any previously accepted (higher) peak.
+///
+/// Peaks are returned sorted by descending value.
+pub fn find_peaks(values: &[f64], min_height: f64, min_distance: usize) -> Vec<Peak> {
+    let n = values.len();
+    let mut candidates: Vec<Peak> = (0..n)
+        .filter(|&i| {
+            let v = values[i];
+            if !(v >= min_height) {
+                return false;
+            }
+            let left_ok = i == 0 || values[i - 1] <= v;
+            let right_ok = i + 1 == n || values[i + 1] < v;
+            left_ok && right_ok
+        })
+        .map(|i| Peak {
+            index: i,
+            value: values[i],
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut accepted: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if accepted
+            .iter()
+            .all(|p| c.index.abs_diff(p.index) >= min_distance)
+        {
+            accepted.push(c);
+        }
+    }
+    accepted
+}
+
+/// Estimates the noise floor of a magnitude sequence as the mean of the
+/// lowest `fraction` of samples (robust to a sparse set of strong peaks).
+///
+/// `fraction` is clamped to `(0, 1]`. Returns 0.0 for an empty input.
+pub fn noise_floor(values: &[f64], fraction: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let fraction = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let count = ((sorted.len() as f64 * fraction).ceil() as usize).clamp(1, sorted.len());
+    sorted[..count].iter().sum::<f64>() / count as f64
+}
+
+/// Finds the first sample whose value crosses `threshold` (leading-edge
+/// detection, as a first-path estimator would do).
+///
+/// Returns `None` if no sample reaches the threshold.
+pub fn leading_edge(values: &[f64], threshold: f64) -> Option<usize> {
+    values.iter().position(|&v| v >= threshold)
+}
+
+/// Refines a peak position to sub-sample precision by fitting a parabola
+/// through the peak sample and its two neighbours.
+///
+/// Returns the interpolated index as `f64`. Falls back to the integer index
+/// at the boundaries or for degenerate (flat) neighbourhoods.
+pub fn parabolic_interpolation(values: &[f64], index: usize) -> f64 {
+    if index == 0 || index + 1 >= values.len() {
+        return index as f64;
+    }
+    let (a, b, c) = (values[index - 1], values[index], values[index + 1]);
+    let denom = a - 2.0 * b + c;
+    if denom.abs() < 1e-300 {
+        return index as f64;
+    }
+    let delta = 0.5 * (a - c) / denom;
+    // A genuine local max yields |delta| <= 0.5; clamp against noise.
+    index as f64 + delta.clamp(-0.5, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[2.0]), Some((0, 2.0)));
+        assert_eq!(argmax(&[1.0, 3.0, 2.0, 3.0]), Some((1, 3.0)));
+    }
+
+    #[test]
+    fn argmax_ignores_nan() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, f64::NAN]), Some((1, 1.0)));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), None);
+    }
+
+    #[test]
+    fn find_peaks_detects_separated_maxima() {
+        let mut values = vec![0.0; 50];
+        values[10] = 5.0;
+        values[11] = 1.0;
+        values[30] = 3.0;
+        let peaks = find_peaks(&values, 0.5, 3);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 10);
+        assert_eq!(peaks[1].index, 30);
+    }
+
+    #[test]
+    fn find_peaks_enforces_min_distance() {
+        let mut values = vec![0.0; 20];
+        values[5] = 4.0;
+        values[7] = 3.0; // too close to index 5
+        values[15] = 2.0;
+        let peaks = find_peaks(&values, 0.5, 4);
+        let indices: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(indices, vec![5, 15]);
+    }
+
+    #[test]
+    fn find_peaks_respects_min_height() {
+        let mut values = vec![0.0; 10];
+        values[3] = 0.4;
+        values[7] = 2.0;
+        let peaks = find_peaks(&values, 1.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 7);
+    }
+
+    #[test]
+    fn find_peaks_handles_boundaries() {
+        let values = [5.0, 1.0, 0.0, 1.0, 6.0];
+        let peaks = find_peaks(&values, 0.5, 1);
+        let indices: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert!(indices.contains(&0));
+        assert!(indices.contains(&4));
+    }
+
+    #[test]
+    fn noise_floor_robust_to_peaks() {
+        let mut values = vec![1.0; 100];
+        values[50] = 1000.0;
+        let floor = noise_floor(&values, 0.5);
+        assert!((floor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_floor_empty_is_zero() {
+        assert_eq!(noise_floor(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn leading_edge_finds_first_crossing() {
+        let values = [0.1, 0.2, 0.9, 0.4, 1.5];
+        assert_eq!(leading_edge(&values, 0.8), Some(2));
+        assert_eq!(leading_edge(&values, 2.0), None);
+    }
+
+    #[test]
+    fn parabolic_interpolation_recovers_subsample_peak() {
+        // Samples of a parabola peaking at x = 10.3.
+        let peak_x = 10.3;
+        let values: Vec<f64> = (0..20)
+            .map(|i| 10.0 - (i as f64 - peak_x).powi(2))
+            .collect();
+        let (idx, _) = argmax(&values).unwrap();
+        let refined = parabolic_interpolation(&values, idx);
+        assert!((refined - peak_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parabolic_interpolation_boundary_fallback() {
+        let values = [3.0, 1.0, 0.5];
+        assert_eq!(parabolic_interpolation(&values, 0), 0.0);
+        assert_eq!(parabolic_interpolation(&values, 2), 2.0);
+    }
+}

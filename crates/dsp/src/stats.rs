@@ -1,0 +1,179 @@
+//! Small statistics helpers used by the experiment harness and evaluations
+//! (mean, standard deviation, percentiles, RMSE).
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected, `n-1` denominator),
+/// matching how the paper reports ranging spreads (e.g. σ₁ = 0.0228 m).
+///
+/// Returns 0.0 for fewer than two samples.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Population standard deviation (`n` denominator).
+pub fn std_dev_population(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Root-mean-square error between estimates and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(estimates: &[f64], references: &[f64]) -> f64 {
+    assert_eq!(
+        estimates.len(),
+        references.len(),
+        "rmse requires equal-length inputs"
+    );
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = estimates
+        .iter()
+        .zip(references)
+        .map(|(e, r)| (e - r).powi(2))
+        .sum();
+    (sum / estimates.len() as f64).sqrt()
+}
+
+/// Mean absolute error between estimates and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(estimates: &[f64], references: &[f64]) -> f64 {
+    assert_eq!(
+        estimates.len(),
+        references.len(),
+        "mae requires equal-length inputs"
+    );
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(references)
+        .map(|(e, r)| (e - r).abs())
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// Percentile via linear interpolation between closest ranks.
+///
+/// `p` is in `[0, 100]` and is clamped. Returns 0.0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Converts a linear power ratio to decibels. Returns negative infinity for
+/// non-positive ratios.
+pub fn to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Converts decibels to a linear power ratio.
+pub fn from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert!((mean(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn std_dev_of_known_values() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Sample std of {2,4,4,4,5,5,7,9} with n-1: sqrt(32/7).
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&values) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((std_dev_population(&values) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let est = [1.0, 2.0, 3.0];
+        let truth = [1.0, 2.0, 5.0];
+        assert!((rmse(&est, &truth) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&est, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rmse_panics_on_length_mismatch() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&values, 100.0), 4.0);
+        assert!((median(&values) - 2.5).abs() < 1e-12);
+        assert!((percentile(&values, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let values = [1.0, 2.0];
+        assert_eq!(percentile(&values, -5.0), 1.0);
+        assert_eq!(percentile(&values, 150.0), 2.0);
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for &x in &[0.001, 1.0, 42.0, 1e6] {
+            assert!((from_db(to_db(x)) - x).abs() < 1e-9 * x);
+        }
+        assert_eq!(to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(to_db(-1.0), f64::NEG_INFINITY);
+    }
+}

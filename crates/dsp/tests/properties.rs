@@ -1,0 +1,166 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use uwb_dsp::{
+    convolve, correlate, dft_reference, fft, fractional_delay, ifft, noise_floor,
+    parabolic_interpolation, stats, upsample_fft, BluesteinPlan, Complex64, Direction,
+    MatchedFilter,
+};
+
+fn complex_vec(len: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex64::new(re, im)),
+        len,
+    )
+}
+
+fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrip_power_of_two(exp in 0usize..9, data in complex_vec(1..=256)) {
+        let n = 1usize << exp;
+        let mut buf: Vec<Complex64> = data.into_iter().cycle().take(n).collect();
+        let original = buf.clone();
+        fft(&mut buf).unwrap();
+        ifft(&mut buf).unwrap();
+        prop_assert!(max_abs_diff(&buf, &original) < 1e-6);
+    }
+
+    #[test]
+    fn bluestein_matches_reference(data in complex_vec(1..64)) {
+        let expected = dft_reference(&data, Direction::Forward);
+        let mut actual = data.clone();
+        BluesteinPlan::new(data.len()).unwrap().forward(&mut actual);
+        prop_assert!(max_abs_diff(&actual, &expected) < 1e-5 * data.len() as f64);
+    }
+
+    #[test]
+    fn bluestein_roundtrip(data in complex_vec(1..200)) {
+        let plan = BluesteinPlan::new(data.len()).unwrap();
+        let mut buf = data.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        prop_assert!(max_abs_diff(&buf, &data) < 1e-5);
+    }
+
+    #[test]
+    fn fft_preserves_energy(data in complex_vec(1..128)) {
+        let n = data.len().next_power_of_two();
+        let mut buf = data.clone();
+        buf.resize(n, Complex64::ZERO);
+        let time_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum();
+        fft(&mut buf).unwrap();
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn convolution_commutes(a in complex_vec(1..40), b in complex_vec(1..40)) {
+        let ab = convolve(&a, &b).unwrap();
+        let ba = convolve(&b, &a).unwrap();
+        prop_assert!(max_abs_diff(&ab, &ba) < 1e-6);
+    }
+
+    #[test]
+    fn convolution_output_length(a in complex_vec(1..40), b in complex_vec(1..40)) {
+        let out = convolve(&a, &b).unwrap();
+        prop_assert_eq!(out.len(), a.len() + b.len() - 1);
+    }
+
+    #[test]
+    fn convolution_distributes_over_addition(
+        a in complex_vec(8..16),
+        b in complex_vec(8..16),
+    ) {
+        // conv(a, b + b) == 2·conv(a, b)
+        let doubled: Vec<Complex64> = b.iter().map(|z| z.scale(2.0)).collect();
+        let lhs = convolve(&a, &doubled).unwrap();
+        let rhs: Vec<Complex64> = convolve(&a, &b).unwrap().iter().map(|z| z.scale(2.0)).collect();
+        prop_assert!(max_abs_diff(&lhs, &rhs) < 1e-6);
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag(a in complex_vec(2..64)) {
+        // Skip degenerate all-zero inputs.
+        let energy: f64 = a.iter().map(|z| z.norm_sqr()).sum();
+        prop_assume!(energy > 1e-9);
+        let corr = correlate(&a, &a).unwrap();
+        let zero = uwb_dsp::zero_lag_index(a.len());
+        let peak = corr[zero].abs();
+        for (i, z) in corr.iter().enumerate() {
+            if i != zero {
+                prop_assert!(z.abs() <= peak + 1e-6 * peak.max(1.0));
+            }
+        }
+        // Zero-lag autocorrelation equals the energy.
+        prop_assert!((corr[zero].re - energy).abs() < 1e-6 * energy.max(1.0));
+        prop_assert!(corr[zero].im.abs() < 1e-6 * energy.max(1.0));
+    }
+
+    #[test]
+    fn upsample_preserves_samples(data in complex_vec(2..80), factor in 2usize..6) {
+        let up = upsample_fft(&data, factor).unwrap();
+        prop_assert_eq!(up.len(), data.len() * factor);
+        for (k, &orig) in data.iter().enumerate() {
+            prop_assert!((up[k * factor] - orig).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fractional_delay_roundtrip(data in complex_vec(2..64), delay in -8.0f64..8.0) {
+        let shifted = fractional_delay(&data, delay).unwrap();
+        let back = fractional_delay(&shifted, -delay).unwrap();
+        prop_assert!(max_abs_diff(&back, &data) < 1e-5);
+    }
+
+    #[test]
+    fn matched_filter_peak_scales_linearly(
+        template in proptest::collection::vec(0.01f64..1.0, 3..12),
+        amp in 0.1f64..10.0,
+        offset in 0usize..20,
+    ) {
+        let filter = MatchedFilter::from_real(&template).unwrap();
+        let mut signal = vec![Complex64::ZERO; 40];
+        for (i, &t) in template.iter().enumerate() {
+            signal[offset + i] = Complex64::from_real(amp * t);
+        }
+        let out = filter.apply(&signal).unwrap();
+        let expected = amp * filter.energy();
+        prop_assert!((out[offset].abs() - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn noise_floor_below_max(values in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+        let floor = noise_floor(&values, 0.4);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(floor <= max + 1e-12);
+    }
+
+    #[test]
+    fn parabolic_interpolation_stays_within_half_sample(
+        values in proptest::collection::vec(0.0f64..10.0, 3..50),
+        idx in 1usize..48,
+    ) {
+        prop_assume!(idx + 1 < values.len());
+        let refined = parabolic_interpolation(&values, idx);
+        prop_assert!((refined - idx as f64).abs() <= 0.5);
+    }
+
+    #[test]
+    fn percentile_is_monotone(values in proptest::collection::vec(-1e3f64..1e3, 1..60), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(stats::percentile(&values, lo) <= stats::percentile(&values, hi) + 1e-12);
+    }
+
+    #[test]
+    fn std_dev_is_translation_invariant(values in proptest::collection::vec(-1e3f64..1e3, 2..60), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        prop_assert!((stats::std_dev(&values) - stats::std_dev(&shifted)).abs() < 1e-6);
+    }
+}

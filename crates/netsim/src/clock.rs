@@ -1,0 +1,139 @@
+//! Per-node clock models.
+//!
+//! Every node in a non-synchronized UWB network runs its own crystal with an
+//! unknown offset and a frequency error of a few ppm. SS-TWR is specifically
+//! designed to cancel the *offset*; the residual *drift* error grows with the
+//! response delay (drift · Δ_RESP · c/2 in distance terms), which is why the
+//! drift model matters for reproducing the paper's ranging precision and for
+//! the drift ablation experiment.
+
+use uwb_radio::{DeviceTime, RadioError};
+
+/// A node's local clock: a linear map from global (true) time to local time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Offset of local time from global time at global t = 0, in seconds.
+    pub offset_s: f64,
+    /// Frequency error in parts per million (positive = fast clock).
+    pub drift_ppm: f64,
+}
+
+impl ClockModel {
+    /// An ideal clock: zero offset, zero drift.
+    pub const fn ideal() -> Self {
+        Self {
+            offset_s: 0.0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// Creates a clock with the given offset and drift.
+    pub const fn new(offset_s: f64, drift_ppm: f64) -> Self {
+        Self { offset_s, drift_ppm }
+    }
+
+    /// The local-clock rate relative to true time (`1 + ppm·1e-6`).
+    pub fn rate(&self) -> f64 {
+        1.0 + self.drift_ppm * 1e-6
+    }
+
+    /// Converts a global time to this node's local time, in seconds.
+    pub fn local_from_global(&self, global_s: f64) -> f64 {
+        self.offset_s + self.rate() * global_s
+    }
+
+    /// Converts a local time back to global time, in seconds.
+    pub fn global_from_local(&self, local_s: f64) -> f64 {
+        (local_s - self.offset_s) / self.rate()
+    }
+
+    /// Reads the node's 40-bit device timestamp counter at a global time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::UnrepresentableDuration`] if the local time is
+    /// negative (global time before the node's counter started).
+    pub fn device_time_at(&self, global_s: f64) -> Result<DeviceTime, RadioError> {
+        DeviceTime::from_seconds(self.local_from_global(global_s))
+    }
+
+    /// Converts a *local* duration measured by this clock into true
+    /// (global) elapsed seconds.
+    pub fn true_duration(&self, local_duration_s: f64) -> f64 {
+        local_duration_s / self.rate()
+    }
+
+    /// Converts a true (global) duration into the duration this clock
+    /// would measure.
+    pub fn local_duration(&self, true_duration_s: f64) -> f64 {
+        true_duration_s * self.rate()
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = ClockModel::ideal();
+        assert_eq!(c.local_from_global(1.5), 1.5);
+        assert_eq!(c.global_from_local(1.5), 1.5);
+        assert_eq!(c.rate(), 1.0);
+    }
+
+    #[test]
+    fn offset_shifts_local_time() {
+        let c = ClockModel::new(0.25, 0.0);
+        assert_eq!(c.local_from_global(1.0), 1.25);
+        assert_eq!(c.global_from_local(1.25), 1.0);
+    }
+
+    #[test]
+    fn drift_scales_durations() {
+        // A +20 ppm clock measures 20 µs extra per second.
+        let c = ClockModel::new(0.0, 20.0);
+        let measured = c.local_duration(1.0);
+        assert!((measured - 1.000020).abs() < 1e-12);
+        assert!((c.true_duration(measured) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_with_offset_and_drift() {
+        let c = ClockModel::new(-3.7, -12.5);
+        for t in [0.0, 0.001, 1.0, 16.9] {
+            let back = c.global_from_local(c.local_from_global(t));
+            assert!((back - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn device_time_reflects_local_clock() {
+        let c = ClockModel::new(0.5, 0.0);
+        let dt = c.device_time_at(1.0).unwrap();
+        assert!((dt.as_seconds() - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn device_time_rejects_negative_local_time() {
+        let c = ClockModel::new(-2.0, 0.0);
+        assert!(c.device_time_at(1.0).is_err());
+    }
+
+    #[test]
+    fn drift_error_magnitude_over_response_delay() {
+        // Sanity-check the drift impact the paper's Δ_RESP implies: a 1 ppm
+        // mismatch over 290 µs is 0.29 ns ≈ 4.3 cm of one-way distance.
+        let delta_resp = 290e-6;
+        let drift_ppm: f64 = 1.0;
+        let time_error = delta_resp * drift_ppm * 1e-6;
+        let distance_error = time_error * uwb_radio::SPEED_OF_LIGHT / 2.0;
+        assert!((distance_error - 0.0435).abs() < 0.001, "{distance_error}");
+    }
+}

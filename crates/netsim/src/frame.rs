@@ -1,0 +1,154 @@
+//! Frames, receptions and node identity.
+//!
+//! The simulator is generic over the protocol payload type `P` (the core
+//! crate instantiates it with its ranging messages). A [`Reception`] models
+//! what a DW1000 receiver actually observes when one *or several* frames
+//! arrive within a single accumulation window: at most one decodable
+//! payload (capture of the strongest preamble — the paper relies on still
+//! decoding one RESP payload) plus the raw channel arrivals of *every*
+//! frame, from which the initiator's CIR is synthesized.
+
+use uwb_channel::Arrival;
+use uwb_radio::DeviceTime;
+
+/// Identifier of a node in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// One frame as observed at a receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedFrame<P> {
+    /// The transmitting node.
+    pub src: NodeId,
+    /// Protocol payload.
+    pub payload: P,
+    /// MAC payload size in bytes (drives airtime and energy accounting).
+    pub payload_bytes: usize,
+    /// Whether this frame's payload was decodable (at most one per
+    /// reception; the strongest).
+    pub decodable: bool,
+    /// The sender's own RMARKER timestamp on its local device clock —
+    /// what the sender could embed in the payload (`t_tx,i` in the paper).
+    pub tx_device_time: DeviceTime,
+    /// Ground-truth global time of the RMARKER emission, in seconds.
+    /// Used only by the physics layer to place arrivals; protocol code
+    /// must not read it (a real radio has no access to global time).
+    pub tx_rmarker_global_s: f64,
+    /// Channel arrivals for this frame, with delays relative to
+    /// `tx_rmarker_global_s`, sorted by increasing delay.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl<P> ReceivedFrame<P> {
+    /// True global arrival time of this frame's first (direct) path.
+    pub fn first_path_global_s(&self) -> f64 {
+        self.tx_rmarker_global_s + self.arrivals.first().map_or(0.0, |a| a.delay_s)
+    }
+
+    /// Peak arrival amplitude (used for capture arbitration).
+    pub fn peak_amplitude(&self) -> f64 {
+        self.arrivals
+            .iter()
+            .map(|a| a.amplitude.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Everything a receiver observes in one accumulation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reception<P> {
+    /// The receiving node.
+    pub node: NodeId,
+    /// The receiver's noisy RX timestamp (local device time of the decoded
+    /// frame's first path) — `t_rx` in the paper's Eq. 2.
+    pub rx_device_time: DeviceTime,
+    /// Ground-truth global time of the decoded frame's first-path arrival.
+    /// Physics-layer information; protocol code must not read it.
+    pub rx_true_global_s: f64,
+    /// Measured carrier frequency offset of the decoded frame's sender
+    /// relative to this receiver, in ppm (the DW1000's carrier integrator
+    /// readout, `DRX_CARRIER_INT`). Positive = sender's clock runs fast.
+    /// Includes measurement noise; enables CFO-corrected SS-TWR.
+    pub cfo_ppm: f64,
+    /// All frames that arrived within the window, in arrival order.
+    /// Exactly one has `decodable == true` (the strongest), unless the
+    /// window is empty of valid frames.
+    pub frames: Vec<ReceivedFrame<P>>,
+}
+
+impl<P> Reception<P> {
+    /// The decodable frame, if any.
+    pub fn decoded(&self) -> Option<&ReceivedFrame<P>> {
+        self.frames.iter().find(|f| f.decodable)
+    }
+
+    /// Number of distinct transmitters observed in this window.
+    pub fn transmitter_count(&self) -> usize {
+        let mut srcs: Vec<NodeId> = self.frames.iter().map(|f| f.src).collect();
+        srcs.sort();
+        srcs.dedup();
+        srcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwb_dsp::Complex64;
+    use uwb_radio::{PulseShape, RadioConfig};
+
+    fn frame(src: u32, amp: f64, decodable: bool) -> ReceivedFrame<u8> {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        ReceivedFrame {
+            src: NodeId(src),
+            payload: 0,
+            payload_bytes: 14,
+            decodable,
+            tx_device_time: DeviceTime::ZERO,
+            tx_rmarker_global_s: 1.0,
+            arrivals: vec![
+                uwb_channel::Arrival {
+                    delay_s: 10e-9,
+                    amplitude: Complex64::from_real(amp),
+                    pulse,
+                },
+                uwb_channel::Arrival {
+                    delay_s: 20e-9,
+                    amplitude: Complex64::from_real(amp / 2.0),
+                    pulse,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn node_id_displays() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+    }
+
+    #[test]
+    fn first_path_and_peak() {
+        let f = frame(1, 0.5, true);
+        assert!((f.first_path_global_s() - 1.00000001).abs() < 1e-12);
+        assert_eq!(f.peak_amplitude(), 0.5);
+    }
+
+    #[test]
+    fn decoded_and_transmitter_count() {
+        let r = Reception {
+            node: NodeId(0),
+            rx_device_time: DeviceTime::ZERO,
+            rx_true_global_s: 1.0,
+            cfo_ppm: 0.0,
+            frames: vec![frame(1, 0.5, false), frame(2, 0.9, true), frame(1, 0.2, false)],
+        };
+        assert_eq!(r.decoded().unwrap().src, NodeId(2));
+        assert_eq!(r.transmitter_count(), 2);
+    }
+}

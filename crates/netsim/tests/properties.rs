@@ -1,0 +1,95 @@
+//! Property-based tests for the discrete-event simulator substrate.
+
+use proptest::prelude::*;
+use uwb_netsim::{ClockModel, EventQueue};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0.0f64..1000.0, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_equal_times_preserve_insertion_order(
+        n in 1usize..100,
+        t in 0.0f64..100.0,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(t, i);
+        }
+        for expected in 0..n {
+            let (_, got) = q.pop().unwrap();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn event_queue_interleaved_operations_never_lose_events(
+        ops in proptest::collection::vec((0.0f64..100.0, proptest::bool::ANY), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut pushed = 0usize;
+        let mut popped = 0usize;
+        for (t, pop) in ops {
+            if pop {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            } else {
+                q.push(t, ());
+                pushed += 1;
+            }
+        }
+        prop_assert_eq!(pushed, popped + q.len());
+    }
+
+    #[test]
+    fn clock_roundtrip_is_identity(
+        offset in -100.0f64..100.0,
+        drift_ppm in -50.0f64..50.0,
+        t in 0.0f64..1e4,
+    ) {
+        let clock = ClockModel::new(offset, drift_ppm);
+        let back = clock.global_from_local(clock.local_from_global(t));
+        prop_assert!((back - t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clock_duration_conversions_are_inverse(
+        drift_ppm in -50.0f64..50.0,
+        duration in 0.0f64..100.0,
+    ) {
+        let clock = ClockModel::new(0.0, drift_ppm);
+        let roundtrip = clock.true_duration(clock.local_duration(duration));
+        prop_assert!((roundtrip - duration).abs() < 1e-9);
+        // Fast clocks measure longer durations.
+        if drift_ppm > 0.0 {
+            prop_assert!(clock.local_duration(duration) >= duration);
+        }
+    }
+
+    #[test]
+    fn clock_local_time_is_monotone(
+        offset in -10.0f64..10.0,
+        drift_ppm in -100.0f64..100.0,
+        t1 in 0.0f64..1e4,
+        dt in 0.0f64..100.0,
+    ) {
+        let clock = ClockModel::new(offset, drift_ppm);
+        prop_assert!(clock.local_from_global(t1 + dt) >= clock.local_from_global(t1));
+    }
+}

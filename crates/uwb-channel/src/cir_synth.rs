@@ -1,0 +1,269 @@
+//! CIR synthesis: rendering arrivals into a DW1000 accumulator buffer.
+//!
+//! The initiator in a concurrent ranging round receives the *sum* of every
+//! responder's preamble through its own channel; the DW1000 accumulator
+//! shows that sum as overlapping band-limited pulses plus receiver noise.
+//! [`CirSynthesizer`] renders any set of [`Arrival`]s — from one transmitter
+//! or many — into a [`Cir`], which is what the detection algorithms consume.
+
+use crate::channel::Arrival;
+use crate::random;
+use rand::Rng;
+use uwb_dsp::Complex64;
+use uwb_radio::{Cir, Prf, CIR_SAMPLE_PERIOD_S};
+
+/// Renders arrivals into DW1000 CIR buffers.
+///
+/// The synthesizer maps absolute arrival delays into the accumulator
+/// window: tap `n` corresponds to absolute time `window_start_s + n·T_s`.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_channel::{Arrival, CirSynthesizer};
+/// use uwb_dsp::Complex64;
+/// use uwb_radio::{Prf, PulseShape, RadioConfig};
+/// use rand::SeedableRng;
+///
+/// let pulse = PulseShape::from_config(&RadioConfig::default());
+/// let arrival = Arrival {
+///     delay_s: 100e-9,
+///     amplitude: Complex64::from_real(1.0),
+///     pulse,
+/// };
+/// let synth = CirSynthesizer::new(Prf::Mhz64).with_noise_sigma(0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cir = synth.render(&[arrival], &mut rng);
+/// // The pulse peaks at tap ≈ 100 ns / 1.0016 ns ≈ 100.
+/// assert_eq!(cir.strongest_tap(), Some(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CirSynthesizer {
+    prf: Prf,
+    noise_sigma: f64,
+    window_start_s: f64,
+}
+
+impl CirSynthesizer {
+    /// A synthesizer with the window starting at absolute time zero and no
+    /// receiver noise.
+    pub fn new(prf: Prf) -> Self {
+        Self {
+            prf,
+            noise_sigma: 0.0,
+            window_start_s: 0.0,
+        }
+    }
+
+    /// Sets the per-tap complex-noise standard deviation (per component).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite sigma.
+    #[must_use]
+    pub fn with_noise_sigma(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "invalid noise sigma {sigma}"
+        );
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Sets the absolute time of tap 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite start time.
+    #[must_use]
+    pub fn with_window_start(mut self, start_s: f64) -> Self {
+        assert!(start_s.is_finite(), "invalid window start {start_s}");
+        self.window_start_s = start_s;
+        self
+    }
+
+    /// The configured PRF.
+    pub fn prf(&self) -> Prf {
+        self.prf
+    }
+
+    /// The absolute time of tap 0 in seconds.
+    pub fn window_start_s(&self) -> f64 {
+        self.window_start_s
+    }
+
+    /// The configured noise sigma.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
+    /// Renders arrivals into a fresh CIR, adding receiver noise.
+    pub fn render<R: Rng + ?Sized>(&self, arrivals: &[Arrival], rng: &mut R) -> Cir {
+        let mut cir = Cir::zeroed(self.prf);
+        self.accumulate(&mut cir, arrivals);
+        self.add_noise(&mut cir, rng);
+        cir
+    }
+
+    /// Adds arrivals into an existing CIR without touching noise — used to
+    /// overlay multiple responders' signals into the initiator's single
+    /// accumulator.
+    pub fn accumulate(&self, cir: &mut Cir, arrivals: &[Arrival]) {
+        let taps = cir.taps_mut();
+        let n_taps = taps.len() as i64;
+        for arrival in arrivals {
+            let half = arrival.pulse.duration_s() / 2.0;
+            let center = (arrival.delay_s - self.window_start_s) / CIR_SAMPLE_PERIOD_S;
+            let half_taps = (half / CIR_SAMPLE_PERIOD_S).ceil() as i64 + 1;
+            let lo = ((center.floor() as i64) - half_taps).max(0);
+            let hi = ((center.ceil() as i64) + half_taps).min(n_taps - 1);
+            for n in lo..=hi {
+                let t = self.window_start_s + n as f64 * CIR_SAMPLE_PERIOD_S - arrival.delay_s;
+                let v = arrival.pulse.evaluate(t);
+                if v != 0.0 {
+                    taps[n as usize] += arrival.amplitude.scale(v);
+                }
+            }
+        }
+    }
+
+    /// Adds circular complex Gaussian receiver noise to every tap.
+    pub fn add_noise<R: Rng + ?Sized>(&self, cir: &mut Cir, rng: &mut R) {
+        if self.noise_sigma == 0.0 {
+            return;
+        }
+        for tap in cir.taps_mut() {
+            *tap += Complex64::new(
+                random::normal(rng, 0.0, self.noise_sigma),
+                random::normal(rng, 0.0, self.noise_sigma),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uwb_radio::{PulseShape, RadioConfig, TcPgDelay};
+
+    fn pulse() -> PulseShape {
+        PulseShape::from_config(&RadioConfig::default())
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn arrival(delay_ns: f64, amp: f64) -> Arrival {
+        Arrival {
+            delay_s: delay_ns * 1e-9,
+            amplitude: Complex64::from_real(amp),
+            pulse: pulse(),
+        }
+    }
+
+    #[test]
+    fn single_arrival_peaks_at_expected_tap() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let cir = synth.render(&[arrival(250.4, 1.0)], &mut rng());
+        // 250.4 ns / 1.0016 ns = 250.0 taps.
+        assert_eq!(cir.strongest_tap(), Some(250));
+    }
+
+    #[test]
+    fn window_start_shifts_tap_position() {
+        let synth = CirSynthesizer::new(Prf::Mhz64).with_window_start(100e-9);
+        let cir = synth.render(&[arrival(250.4, 1.0)], &mut rng());
+        let expected = ((250.4e-9 - 100e-9) / CIR_SAMPLE_PERIOD_S).round() as usize;
+        assert_eq!(cir.strongest_tap(), Some(expected));
+    }
+
+    #[test]
+    fn arrival_outside_window_is_dropped() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        // 2 µs is beyond the ~1.017 µs window.
+        let cir = synth.render(&[arrival(2000.0, 1.0)], &mut rng());
+        assert_eq!(cir.peak_magnitude(), 0.0);
+        // Negative relative delay also dropped.
+        let synth2 = CirSynthesizer::new(Prf::Mhz64).with_window_start(500e-9);
+        let cir2 = synth2.render(&[arrival(100.0, 1.0)], &mut rng());
+        assert_eq!(cir2.peak_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn two_arrivals_superpose_linearly() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let a = synth.render(&[arrival(100.0, 1.0)], &mut rng());
+        let b = synth.render(&[arrival(400.0, 0.5)], &mut rng());
+        let both = synth.render(&[arrival(100.0, 1.0), arrival(400.0, 0.5)], &mut rng());
+        for i in 0..both.len() {
+            let sum = a.taps()[i] + b.taps()[i];
+            assert!((both.taps()[i] - sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subsample_delay_shifts_energy_between_taps() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let on_grid = synth.render(&[arrival(100.16, 1.0)], &mut rng());
+        let off_grid = synth.render(&[arrival(100.66, 1.0)], &mut rng());
+        // Off-grid arrival has a lower peak tap (energy split across taps).
+        assert!(off_grid.peak_magnitude() < on_grid.peak_magnitude());
+        assert!(off_grid.peak_magnitude() > 0.5 * on_grid.peak_magnitude());
+    }
+
+    #[test]
+    fn noise_raises_the_floor() {
+        let clean = CirSynthesizer::new(Prf::Mhz64).render(&[arrival(100.0, 1.0)], &mut rng());
+        let noisy = CirSynthesizer::new(Prf::Mhz64)
+            .with_noise_sigma(0.01)
+            .render(&[arrival(100.0, 1.0)], &mut rng());
+        assert_eq!(clean.noise_floor(), 0.0);
+        assert!(noisy.noise_floor() > 0.005);
+        // Peak still dominates.
+        assert_eq!(noisy.strongest_tap(), Some(100));
+    }
+
+    #[test]
+    fn complex_amplitudes_preserve_phase() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let a = Arrival {
+            delay_s: 100e-9 * 1.0016,
+            amplitude: Complex64::from_polar(1.0, 1.2),
+            pulse: pulse(),
+        };
+        let cir = synth.render(&[a], &mut rng());
+        let tap = cir.taps()[100];
+        assert!((tap.arg() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_pulse_shapes_render_different_widths() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let narrow = synth.render(&[arrival(300.0, 1.0)], &mut rng());
+        let wide_pulse = PulseShape::from_register(
+            TcPgDelay::new(0xF0).unwrap(),
+            uwb_radio::Channel::Ch7,
+        );
+        let wide = synth.render(
+            &[Arrival {
+                delay_s: 300e-9,
+                amplitude: Complex64::from_real(1.0),
+                pulse: wide_pulse,
+            }],
+            &mut rng(),
+        );
+        let count_above = |cir: &Cir| {
+            cir.magnitudes().iter().filter(|&&m| m > 0.1).count()
+        };
+        assert!(count_above(&wide) > count_above(&narrow));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid noise sigma")]
+    fn rejects_negative_noise() {
+        let _ = CirSynthesizer::new(Prf::Mhz64).with_noise_sigma(-0.1);
+    }
+}

@@ -1,0 +1,282 @@
+//! 2-D geometry for indoor propagation: points, walls, rooms and the
+//! mirror-image construction used by specular ray tracing.
+//!
+//! The paper's Fig. 1a shows exactly this setup: a rectangular floor plan
+//! with a transmitter, a receiver, the line-of-sight path and first-order
+//! wall reflections (MPC1–MPC4). [`Room::rectangular`] reproduces that
+//! floor plan; [`crate::raytrace`] finds the reflection paths.
+
+/// A point (or position vector) in the 2-D floor plan, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from coordinates in meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point, in meters.
+    pub fn distance_to(self, other: Point2) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl std::ops::Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Add for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+/// A flat reflecting wall segment with an amplitude reflection coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// One endpoint, in meters.
+    pub a: Point2,
+    /// The other endpoint, in meters.
+    pub b: Point2,
+    /// Amplitude reflection coefficient in `[0, 1]` (see
+    /// [`Material`](crate::Material) for typical values).
+    pub reflectivity: f64,
+}
+
+impl Wall {
+    /// Creates a wall between two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate (zero-length) walls or a reflectivity outside
+    /// `[0, 1]`.
+    pub fn new(a: Point2, b: Point2, reflectivity: f64) -> Self {
+        assert!(
+            a.distance_to(b) > 1e-9,
+            "wall endpoints coincide at ({}, {})",
+            a.x,
+            a.y
+        );
+        assert!(
+            (0.0..=1.0).contains(&reflectivity),
+            "reflectivity {reflectivity} outside [0, 1]"
+        );
+        Self { a, b, reflectivity }
+    }
+
+    /// Wall length in meters.
+    pub fn length(&self) -> f64 {
+        self.a.distance_to(self.b)
+    }
+
+    /// Mirrors a point across the infinite line through this wall — the
+    /// *image source* of the image method for specular reflections.
+    pub fn mirror(&self, p: Point2) -> Point2 {
+        let d = self.b - self.a;
+        let len_sq = d.x * d.x + d.y * d.y;
+        let ap = p - self.a;
+        let t = (ap.x * d.x + ap.y * d.y) / len_sq;
+        let foot = Point2::new(self.a.x + t * d.x, self.a.y + t * d.y);
+        Point2::new(2.0 * foot.x - p.x, 2.0 * foot.y - p.y)
+    }
+
+    /// Intersection of the segment `p`→`q` with this wall segment.
+    ///
+    /// Returns the intersection point when it lies strictly within both
+    /// segments (endpoints excluded within a small tolerance), else `None`.
+    pub fn intersect_segment(&self, p: Point2, q: Point2) -> Option<Point2> {
+        let r = q - p;
+        let s = self.b - self.a;
+        let denom = r.x * s.y - r.y * s.x;
+        if denom.abs() < 1e-12 {
+            return None; // parallel
+        }
+        let pa = self.a - p;
+        let t = (pa.x * s.y - pa.y * s.x) / denom;
+        let u = (pa.x * r.y - pa.y * r.x) / denom;
+        let eps = 1e-9;
+        if t > eps && t < 1.0 - eps && u > eps && u < 1.0 - eps {
+            Some(Point2::new(p.x + t * r.x, p.y + t * r.y))
+        } else {
+            None
+        }
+    }
+}
+
+/// A room: a collection of reflecting walls.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_channel::{Point2, Room};
+///
+/// let room = Room::rectangular(5.0, 4.0, 0.6);
+/// assert_eq!(room.walls().len(), 4);
+/// assert!(room.contains(Point2::new(2.0, 2.0)));
+/// assert!(!room.contains(Point2::new(9.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Room {
+    walls: Vec<Wall>,
+    bounds: Option<(Point2, Point2)>,
+}
+
+impl Room {
+    /// A rectangular room with corners `(0,0)` and `(width, height)` and a
+    /// uniform wall reflectivity — the paper's Fig. 1a floor plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive dimensions (via [`Wall::new`]) or an invalid
+    /// reflectivity.
+    pub fn rectangular(width: f64, height: f64, reflectivity: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "room dimensions must be positive: {width} x {height}"
+        );
+        let c00 = Point2::new(0.0, 0.0);
+        let c10 = Point2::new(width, 0.0);
+        let c11 = Point2::new(width, height);
+        let c01 = Point2::new(0.0, height);
+        Self {
+            walls: vec![
+                Wall::new(c00, c10, reflectivity),
+                Wall::new(c10, c11, reflectivity),
+                Wall::new(c11, c01, reflectivity),
+                Wall::new(c01, c00, reflectivity),
+            ],
+            bounds: Some((c00, c11)),
+        }
+    }
+
+    /// A room from an explicit wall list (e.g. an L-shaped hallway).
+    pub fn from_walls(walls: Vec<Wall>) -> Self {
+        Self {
+            walls,
+            bounds: None,
+        }
+    }
+
+    /// The walls of the room.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Whether a point lies inside the room bounds. Only meaningful for
+    /// rooms built with [`Room::rectangular`]; rooms from explicit walls
+    /// report `true` for any point.
+    pub fn contains(&self, p: Point2) -> bool {
+        match self.bounds {
+            Some((lo, hi)) => p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_midpoint() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.midpoint(b), Point2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn mirror_across_horizontal_wall() {
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 0.7);
+        let image = wall.mirror(Point2::new(3.0, 2.0));
+        assert!((image.x - 3.0).abs() < 1e-12);
+        assert!((image.y + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_across_diagonal_wall() {
+        // The line y = x swaps coordinates.
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), 0.5);
+        let image = wall.mirror(Point2::new(2.0, 0.0));
+        assert!((image.x - 0.0).abs() < 1e-12);
+        assert!((image.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let wall = Wall::new(Point2::new(1.0, -2.0), Point2::new(4.0, 5.0), 0.5);
+        let p = Point2::new(-3.0, 7.0);
+        let back = wall.mirror(wall.mirror(p));
+        assert!(p.distance_to(back) < 1e-9);
+    }
+
+    #[test]
+    fn mirror_fixes_points_on_the_wall() {
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(6.0, 2.0), 0.5);
+        let on_wall = Point2::new(3.0, 1.0);
+        assert!(on_wall.distance_to(wall.mirror(on_wall)) < 1e-9);
+    }
+
+    #[test]
+    fn segment_intersection_inside() {
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 0.7);
+        let hit = wall
+            .intersect_segment(Point2::new(5.0, -1.0), Point2::new(5.0, 1.0))
+            .expect("should intersect");
+        assert!((hit.x - 5.0).abs() < 1e-12);
+        assert!(hit.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_intersection_misses_outside_wall() {
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 0.7);
+        assert!(wall
+            .intersect_segment(Point2::new(15.0, -1.0), Point2::new(15.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let wall = Wall::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 0.7);
+        assert!(wall
+            .intersect_segment(Point2::new(0.0, 1.0), Point2::new(10.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn rectangular_room_walls_and_containment() {
+        let room = Room::rectangular(5.0, 4.0, 0.6);
+        assert_eq!(room.walls().len(), 4);
+        let perimeter: f64 = room.walls().iter().map(Wall::length).sum();
+        assert!((perimeter - 18.0).abs() < 1e-12);
+        assert!(room.contains(Point2::new(0.0, 0.0)));
+        assert!(!room.contains(Point2::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_degenerate_room() {
+        Room::rectangular(0.0, 4.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reflectivity")]
+    fn rejects_invalid_reflectivity() {
+        Wall::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), 1.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Typical amplitude reflection coefficients of indoor surfaces.
+//!
+//! The CIR model of the paper (Eq. 1) attributes deterministic multipath
+//! components to "specular reflections from walls, windows, or doors"; these
+//! constants give each surface type a plausible amplitude reflection
+//! coefficient for the image-method ray tracer. Values are representative of
+//! measurements at UWB frequencies, not calibrated to a specific site.
+
+/// Indoor surface material with an associated reflection coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Material {
+    /// Reinforced concrete — strong reflector.
+    Concrete,
+    /// Brick masonry.
+    Brick,
+    /// Plasterboard / drywall partition.
+    Plasterboard,
+    /// Glass window.
+    Glass,
+    /// Wooden door or panel.
+    Wood,
+    /// Metal surface (cabinet, whiteboard) — near-total reflection.
+    Metal,
+}
+
+impl Material {
+    /// Amplitude reflection coefficient in `[0, 1]`.
+    pub const fn reflectivity(self) -> f64 {
+        match self {
+            Self::Concrete => 0.70,
+            Self::Brick => 0.60,
+            Self::Plasterboard => 0.40,
+            Self::Glass => 0.50,
+            Self::Wood => 0.35,
+            Self::Metal => 0.95,
+        }
+    }
+}
+
+impl Default for Material {
+    /// Concrete, the common structural wall in the paper's office/hallway
+    /// environments.
+    fn default() -> Self {
+        Self::Concrete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reflectivities_in_unit_interval() {
+        let all = [
+            Material::Concrete,
+            Material::Brick,
+            Material::Plasterboard,
+            Material::Glass,
+            Material::Wood,
+            Material::Metal,
+        ];
+        for m in all {
+            let r = m.reflectivity();
+            assert!((0.0..=1.0).contains(&r), "{m:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn metal_is_strongest_wood_is_weakest() {
+        assert!(Material::Metal.reflectivity() > Material::Concrete.reflectivity());
+        assert!(Material::Wood.reflectivity() < Material::Plasterboard.reflectivity() + 0.1);
+    }
+
+    #[test]
+    fn default_is_concrete() {
+        assert_eq!(Material::default(), Material::Concrete);
+    }
+}

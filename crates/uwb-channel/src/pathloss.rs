@@ -1,0 +1,130 @@
+//! Large-scale path loss models.
+//!
+//! The paper criticizes detection heuristics that rely on the idealized
+//! Friis equation (Sect. I, challenge IV): "the Friis equation is idealized
+//! and does not hold true in typical UWB operational areas". We therefore
+//! provide both the idealized [`PathLoss::Friis`] model and a
+//! [`PathLoss::LogDistance`] model with a configurable exponent, so
+//! experiments can show the paper's amplitude-independent detector working
+//! where Friis-based power bounds would fail.
+
+/// A large-scale path loss model mapping distance to an amplitude gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathLoss {
+    /// Free-space Friis model: amplitude gain `λ / (4πd)`.
+    Friis,
+    /// Log-distance model: Friis at the reference distance, then a power
+    /// law with the given exponent (2.0 = free space; indoor UWB is
+    /// typically 1.6–3.5 depending on LOS/NLOS).
+    LogDistance {
+        /// Path loss exponent `n`.
+        exponent: f64,
+        /// Reference distance `d₀` in meters.
+        reference_m: f64,
+    },
+}
+
+impl PathLoss {
+    /// Amplitude gain (field ratio, not power) over `distance_m` at carrier
+    /// wavelength `wavelength_m`.
+    ///
+    /// Distances below 1 cm are clamped to avoid the singular near field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uwb_channel::PathLoss;
+    /// // Channel 7 wavelength ≈ 4.6 cm; at 1 m Friis gives λ/4π ≈ 3.7e-3.
+    /// let g = PathLoss::Friis.amplitude_gain(1.0, 0.0462);
+    /// assert!((g - 0.0462 / (4.0 * std::f64::consts::PI)).abs() < 1e-9);
+    /// ```
+    pub fn amplitude_gain(&self, distance_m: f64, wavelength_m: f64) -> f64 {
+        let d = distance_m.max(0.01);
+        match *self {
+            Self::Friis => wavelength_m / (4.0 * std::f64::consts::PI * d),
+            Self::LogDistance {
+                exponent,
+                reference_m,
+            } => {
+                let d0 = reference_m.max(0.01);
+                let at_ref = wavelength_m / (4.0 * std::f64::consts::PI * d0);
+                at_ref * (d0 / d).powf(exponent / 2.0)
+            }
+        }
+    }
+
+    /// Path loss in dB (power) over `distance_m`.
+    pub fn loss_db(&self, distance_m: f64, wavelength_m: f64) -> f64 {
+        let g = self.amplitude_gain(distance_m, wavelength_m);
+        -20.0 * g.log10()
+    }
+}
+
+impl Default for PathLoss {
+    /// Indoor LOS log-distance model with exponent 2.0 at 1 m reference —
+    /// equal to Friis beyond the reference, the common default.
+    fn default() -> Self {
+        Self::LogDistance {
+            exponent: 2.0,
+            reference_m: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.0462; // channel 7
+
+    #[test]
+    fn friis_inverse_distance() {
+        let g1 = PathLoss::Friis.amplitude_gain(1.0, LAMBDA);
+        let g2 = PathLoss::Friis.amplitude_gain(2.0, LAMBDA);
+        assert!((g1 / g2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_distance_exponent_two_matches_friis() {
+        let model = PathLoss::LogDistance {
+            exponent: 2.0,
+            reference_m: 1.0,
+        };
+        for d in [1.0, 3.0, 10.0, 75.0] {
+            let a = model.amplitude_gain(d, LAMBDA);
+            let b = PathLoss::Friis.amplitude_gain(d, LAMBDA);
+            assert!((a - b).abs() < 1e-12, "d={d}");
+        }
+    }
+
+    #[test]
+    fn higher_exponent_attenuates_more() {
+        let steep = PathLoss::LogDistance {
+            exponent: 3.0,
+            reference_m: 1.0,
+        };
+        assert!(steep.amplitude_gain(10.0, LAMBDA) < PathLoss::Friis.amplitude_gain(10.0, LAMBDA));
+        // ... but matches at the reference distance.
+        let at_ref = steep.amplitude_gain(1.0, LAMBDA);
+        assert!((at_ref - PathLoss::Friis.amplitude_gain(1.0, LAMBDA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        let g0 = PathLoss::Friis.amplitude_gain(0.0, LAMBDA);
+        let g1cm = PathLoss::Friis.amplitude_gain(0.01, LAMBDA);
+        assert_eq!(g0, g1cm);
+        assert!(g0.is_finite());
+    }
+
+    #[test]
+    fn loss_db_is_positive_and_grows() {
+        let l3 = PathLoss::Friis.loss_db(3.0, LAMBDA);
+        let l10 = PathLoss::Friis.loss_db(10.0, LAMBDA);
+        assert!(l3 > 0.0);
+        assert!(l10 > l3);
+        // Free-space: +20 dB per decade.
+        let l30 = PathLoss::Friis.loss_db(30.0, LAMBDA);
+        assert!((l30 - l3 - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Random-variate helpers on top of `rand`.
+//!
+//! The workspace's dependency policy allows `rand` but not `rand_distr`, so
+//! the (few) needed distributions are implemented here: Gaussian via
+//! Box–Muller, plus Rayleigh and a dB-domain log-normal used for shadowing
+//! and amplitude jitter.
+
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics on a negative or non-finite standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "invalid standard deviation {std_dev}"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a Rayleigh variate with the given scale σ (mode).
+///
+/// # Panics
+///
+/// Panics on a negative or non-finite scale.
+pub fn rayleigh<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "invalid scale {sigma}");
+    let u: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    sigma * (-2.0 * u.ln()).sqrt()
+}
+
+/// Draws a multiplicative amplitude factor that is log-normal in the dB
+/// power domain with standard deviation `sigma_db` — the classic shadowing /
+/// amplitude-jitter model. Returns 1.0 exactly when `sigma_db` is zero.
+pub fn db_jitter<R: Rng + ?Sized>(rng: &mut R, sigma_db: f64) -> f64 {
+    if sigma_db == 0.0 {
+        return 1.0;
+    }
+    let db = normal(rng, 0.0, sigma_db);
+    // Power jitter in dB -> amplitude factor.
+    10f64.powf(db / 20.0)
+}
+
+/// Draws a uniform phase in `[0, 2π)`.
+pub fn uniform_phase<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.random::<f64>() * 2.0 * std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn normal_zero_std_is_deterministic() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 3.5, 0.0), 3.5);
+    }
+
+    #[test]
+    fn rayleigh_mean_matches_theory() {
+        // E[Rayleigh(σ)] = σ·sqrt(π/2).
+        let mut r = rng();
+        let n = 100_000;
+        let sigma = 2.0;
+        let mean = (0..n).map(|_| rayleigh(&mut r, sigma)).sum::<f64>() / n as f64;
+        let expected = sigma * (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean - expected).abs() < 0.02, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn rayleigh_is_nonnegative() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(rayleigh(&mut r, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn db_jitter_identity_at_zero_sigma() {
+        let mut r = rng();
+        assert_eq!(db_jitter(&mut r, 0.0), 1.0);
+    }
+
+    #[test]
+    fn db_jitter_median_near_one() {
+        let mut r = rng();
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| db_jitter(&mut r, 3.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn uniform_phase_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let p = uniform_phase(&mut r);
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid standard deviation")]
+    fn normal_rejects_negative_std() {
+        normal(&mut rng(), 0.0, -1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the channel substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uwb_channel::{
+    trace_paths, Arrival, ChannelConfig, ChannelModel, CirSynthesizer, PathLoss, Point2, Room,
+    Wall,
+};
+use uwb_dsp::Complex64;
+use uwb_radio::{Prf, PulseShape, RadioConfig};
+
+const LAMBDA: f64 = 0.0462;
+
+fn interior_point(w: f64, h: f64) -> impl Strategy<Value = Point2> {
+    (0.2..w - 0.2, 0.2..h - 0.2).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn mirror_preserves_distance_to_wall_line(
+        px in -50.0f64..50.0, py in -50.0f64..50.0,
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in 11.0f64..30.0, by in 11.0f64..30.0,
+    ) {
+        let wall = Wall::new(Point2::new(ax, ay), Point2::new(bx, by), 0.5);
+        let p = Point2::new(px, py);
+        let m = wall.mirror(p);
+        // Any point on the wall line is equidistant from p and its mirror.
+        for t in [0.0, 0.5, 1.0] {
+            let on_line = Point2::new(ax + t * (bx - ax), ay + t * (by - ay));
+            prop_assert!((on_line.distance_to(p) - on_line.distance_to(m)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn traced_paths_sorted_and_los_first(
+        tx in interior_point(8.0, 5.0),
+        rx in interior_point(8.0, 5.0),
+        order in 0u8..=2,
+    ) {
+        prop_assume!(tx.distance_to(rx) > 0.1);
+        let room = Room::rectangular(8.0, 5.0, 0.6);
+        let paths = trace_paths(&room, tx, rx, order);
+        prop_assert_eq!(paths[0].order, 0);
+        prop_assert!((paths[0].length_m - tx.distance_to(rx)).abs() < 1e-9);
+        for pair in paths.windows(2) {
+            prop_assert!(pair[0].length_m <= pair[1].length_m + 1e-12);
+        }
+        // Reflection gains are products of wall reflectivities.
+        for p in &paths {
+            let expected = 0.6f64.powi(p.order as i32);
+            prop_assert!((p.reflection_gain - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reflected_paths_are_longer_than_los(
+        tx in interior_point(8.0, 5.0),
+        rx in interior_point(8.0, 5.0),
+    ) {
+        prop_assume!(tx.distance_to(rx) > 0.1);
+        let room = Room::rectangular(8.0, 5.0, 0.6);
+        let paths = trace_paths(&room, tx, rx, 2);
+        let los = paths[0].length_m;
+        for p in &paths[1..] {
+            prop_assert!(p.length_m >= los - 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance(
+        d1 in 0.1f64..100.0,
+        d2 in 0.1f64..100.0,
+        exponent in 1.5f64..4.0,
+    ) {
+        prop_assume!((d1 - d2).abs() > 1e-6);
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        for model in [PathLoss::Friis, PathLoss::LogDistance { exponent, reference_m: 0.5 }] {
+            prop_assert!(model.amplitude_gain(lo, LAMBDA) >= model.amplitude_gain(hi, LAMBDA));
+        }
+    }
+
+    #[test]
+    fn propagate_arrivals_sorted_and_finite(
+        tx in interior_point(12.0, 6.0),
+        rx in interior_point(12.0, 6.0),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(tx.distance_to(rx) > 0.2);
+        let model = ChannelModel::in_room(Room::rectangular(12.0, 6.0, 0.7));
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = model.propagate(tx, rx, pulse, LAMBDA, &mut rng);
+        prop_assert!(!arrivals.is_empty());
+        for pair in arrivals.windows(2) {
+            prop_assert!(pair[0].delay_s <= pair[1].delay_s);
+        }
+        for a in &arrivals {
+            prop_assert!(a.delay_s.is_finite() && a.delay_s > 0.0);
+            prop_assert!(a.amplitude.is_finite());
+        }
+        // First arrival is the direct path.
+        prop_assert!((arrivals[0].path_length_m() - tx.distance_to(rx)).abs() < 0.02);
+    }
+
+    #[test]
+    fn rendering_is_linear_in_amplitude(
+        delay_ns in 20.0f64..900.0,
+        amp in 0.01f64..10.0,
+    ) {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let mut rng = StdRng::seed_from_u64(0);
+        let unit = synth.render(&[Arrival {
+            delay_s: delay_ns * 1e-9,
+            amplitude: Complex64::from_real(1.0),
+            pulse,
+        }], &mut rng);
+        let scaled = synth.render(&[Arrival {
+            delay_s: delay_ns * 1e-9,
+            amplitude: Complex64::from_real(amp),
+            pulse,
+        }], &mut rng);
+        prop_assert!((scaled.peak_magnitude() - amp * unit.peak_magnitude()).abs()
+            < 1e-9 * amp.max(1.0));
+    }
+
+    #[test]
+    fn render_peak_tracks_delay(delay_ns in 20.0f64..900.0) {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cir = synth.render(&[Arrival {
+            delay_s: delay_ns * 1e-9,
+            amplitude: Complex64::from_real(1.0),
+            pulse,
+        }], &mut rng);
+        let tap = cir.strongest_tap().unwrap() as f64;
+        let expected = delay_ns * 1e-9 / cir.sample_period_s();
+        prop_assert!((tap - expected).abs() <= 1.0, "tap {tap} expected {expected}");
+    }
+
+    #[test]
+    fn free_space_amplitude_matches_friis(d in 0.5f64..60.0) {
+        let model = ChannelModel::free_space();
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let arrivals = model.propagate(
+            Point2::new(0.0, 0.0), Point2::new(d, 0.0), pulse, LAMBDA, &mut rng);
+        prop_assert_eq!(arrivals.len(), 1);
+        let expected = PathLoss::Friis.amplitude_gain(d, LAMBDA);
+        prop_assert!((arrivals[0].amplitude.abs() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_config_is_reproducible(seed in 0u64..500) {
+        let model = ChannelModel::with_config(
+            Some(Room::rectangular(10.0, 4.0, 0.7)),
+            ChannelConfig::default(),
+        );
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            model.propagate(Point2::new(1.0, 2.0), Point2::new(8.0, 2.0), pulse, LAMBDA, &mut rng)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,357 @@
+//! Physical-layer configuration of the DW1000.
+//!
+//! Models the subset of IEEE 802.15.4a / DW1000 PHY parameters the paper
+//! exercises: channel (center frequency & bandwidth), pulse repetition
+//! frequency, data rate and preamble length. The paper's evaluation uses
+//! channel 7 (900 MHz bandwidth), PRF 64 MHz, 6.8 Mbps and a 128-symbol
+//! preamble; [`RadioConfig::default`] reproduces that configuration.
+
+use crate::error::RadioError;
+use crate::registers::TcPgDelay;
+
+/// UWB channels implemented by the DW1000 (channels 1–5 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// 3494.4 MHz center, 499.2 MHz bandwidth.
+    Ch1,
+    /// 3993.6 MHz center, 499.2 MHz bandwidth.
+    Ch2,
+    /// 4492.8 MHz center, 499.2 MHz bandwidth.
+    Ch3,
+    /// 3993.6 MHz center, 900 MHz (wide) bandwidth.
+    Ch4,
+    /// 6489.6 MHz center, 499.2 MHz bandwidth.
+    Ch5,
+    /// 6489.6 MHz center, 900 MHz (wide) bandwidth — the paper's channel.
+    Ch7,
+}
+
+impl Channel {
+    /// Constructs a channel from its IEEE channel number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::InvalidChannel`] for numbers the DW1000 does
+    /// not implement (0, 6, ≥8).
+    pub fn from_number(channel: u8) -> Result<Self, RadioError> {
+        match channel {
+            1 => Ok(Self::Ch1),
+            2 => Ok(Self::Ch2),
+            3 => Ok(Self::Ch3),
+            4 => Ok(Self::Ch4),
+            5 => Ok(Self::Ch5),
+            7 => Ok(Self::Ch7),
+            _ => Err(RadioError::InvalidChannel { channel }),
+        }
+    }
+
+    /// The IEEE channel number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Self::Ch1 => 1,
+            Self::Ch2 => 2,
+            Self::Ch3 => 3,
+            Self::Ch4 => 4,
+            Self::Ch5 => 5,
+            Self::Ch7 => 7,
+        }
+    }
+
+    /// Center frequency in Hz.
+    pub const fn center_frequency_hz(self) -> f64 {
+        match self {
+            Self::Ch1 => 3_494.4e6,
+            Self::Ch2 | Self::Ch4 => 3_993.6e6,
+            Self::Ch3 => 4_492.8e6,
+            Self::Ch5 | Self::Ch7 => 6_489.6e6,
+        }
+    }
+
+    /// Nominal bandwidth in Hz (900 MHz on the wide channels 4 and 7,
+    /// 499.2 MHz otherwise).
+    pub const fn bandwidth_hz(self) -> f64 {
+        match self {
+            Self::Ch4 | Self::Ch7 => 900.0e6,
+            _ => 499.2e6,
+        }
+    }
+
+    /// Carrier wavelength in meters.
+    pub fn wavelength_m(self) -> f64 {
+        crate::SPEED_OF_LIGHT / self.center_frequency_hz()
+    }
+}
+
+/// Pulse repetition frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Prf {
+    /// 16 MHz nominal PRF.
+    Mhz16,
+    /// 64 MHz nominal PRF (the paper's setting).
+    #[default]
+    Mhz64,
+}
+
+impl Prf {
+    /// Preamble symbol duration in nanoseconds
+    /// (DW1000 User Manual: 993.59 ns @ 16 MHz, 1017.63 ns @ 64 MHz).
+    pub const fn preamble_symbol_ns(self) -> f64 {
+        match self {
+            Self::Mhz16 => 993.59,
+            Self::Mhz64 => 1017.63,
+        }
+    }
+
+    /// Number of taps in the CIR accumulator for this PRF
+    /// (992 @ 16 MHz, 1016 @ 64 MHz).
+    pub const fn cir_length(self) -> usize {
+        match self {
+            Self::Mhz16 => 992,
+            Self::Mhz64 => 1016,
+        }
+    }
+}
+
+/// Payload data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataRate {
+    /// 110 kbps.
+    Kbps110,
+    /// 850 kbps.
+    Kbps850,
+    /// 6.8 Mbps (the paper's setting).
+    #[default]
+    Mbps6_8,
+}
+
+impl DataRate {
+    /// Data symbol duration in nanoseconds (IEEE 802.15.4a BPM-BPSK).
+    pub const fn symbol_ns(self) -> f64 {
+        match self {
+            Self::Kbps110 => 8_205.13,
+            Self::Kbps850 => 1_025.64,
+            Self::Mbps6_8 => 128.21,
+        }
+    }
+
+    /// Nominal bit rate in bits per second.
+    pub const fn bits_per_second(self) -> f64 {
+        match self {
+            Self::Kbps110 => 110e3,
+            Self::Kbps850 => 850e3,
+            Self::Mbps6_8 => 6.8e6,
+        }
+    }
+
+    /// Number of SFD symbols used at this data rate (the DW1000 uses a
+    /// 64-symbol SFD at 110 kbps and a short 8-symbol SFD otherwise).
+    pub const fn sfd_symbols(self) -> u32 {
+        match self {
+            Self::Kbps110 => 64,
+            _ => 8,
+        }
+    }
+}
+
+/// Preamble length in symbols (PSR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PreambleLength {
+    /// 64 symbols.
+    Psr64,
+    /// 128 symbols (the paper's setting).
+    #[default]
+    Psr128,
+    /// 256 symbols.
+    Psr256,
+    /// 512 symbols.
+    Psr512,
+    /// 1024 symbols.
+    Psr1024,
+    /// 1536 symbols.
+    Psr1536,
+    /// 2048 symbols.
+    Psr2048,
+    /// 4096 symbols.
+    Psr4096,
+}
+
+impl PreambleLength {
+    /// Constructs from a symbol count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::InvalidPreambleLength`] for unsupported counts.
+    pub fn from_symbols(symbols: u32) -> Result<Self, RadioError> {
+        match symbols {
+            64 => Ok(Self::Psr64),
+            128 => Ok(Self::Psr128),
+            256 => Ok(Self::Psr256),
+            512 => Ok(Self::Psr512),
+            1024 => Ok(Self::Psr1024),
+            1536 => Ok(Self::Psr1536),
+            2048 => Ok(Self::Psr2048),
+            4096 => Ok(Self::Psr4096),
+            _ => Err(RadioError::InvalidPreambleLength { symbols }),
+        }
+    }
+
+    /// The number of preamble symbols.
+    pub const fn symbols(self) -> u32 {
+        match self {
+            Self::Psr64 => 64,
+            Self::Psr128 => 128,
+            Self::Psr256 => 256,
+            Self::Psr512 => 512,
+            Self::Psr1024 => 1024,
+            Self::Psr1536 => 1536,
+            Self::Psr2048 => 2048,
+            Self::Psr4096 => 4096,
+        }
+    }
+}
+
+/// Complete PHY configuration of a DW1000.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::{Channel, RadioConfig};
+///
+/// // The paper's configuration is the default.
+/// let config = RadioConfig::default();
+/// assert_eq!(config.channel, Channel::Ch7);
+/// assert_eq!(config.channel.bandwidth_hz(), 900.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioConfig {
+    /// UWB channel.
+    pub channel: Channel,
+    /// Pulse repetition frequency.
+    pub prf: Prf,
+    /// Payload data rate.
+    pub data_rate: DataRate,
+    /// Preamble length (PSR).
+    pub preamble: PreambleLength,
+    /// Transmit pulse-generator delay (pulse shape).
+    pub tc_pgdelay: TcPgDelay,
+}
+
+impl Default for RadioConfig {
+    /// The configuration used throughout the paper's evaluation:
+    /// channel 7, PRF 64 MHz, 6.8 Mbps, PSR 128, default pulse shape.
+    fn default() -> Self {
+        Self {
+            channel: Channel::Ch7,
+            prf: Prf::Mhz64,
+            data_rate: DataRate::Mbps6_8,
+            preamble: PreambleLength::Psr128,
+            tc_pgdelay: TcPgDelay::DEFAULT,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Returns a copy with a different pulse shape — the per-responder
+    /// customization used by the paper's identification scheme.
+    #[must_use]
+    pub fn with_pulse_shape(mut self, tc_pgdelay: TcPgDelay) -> Self {
+        self.tc_pgdelay = tc_pgdelay;
+        self
+    }
+
+    /// Returns a copy with a different channel.
+    #[must_use]
+    pub fn with_channel(mut self, channel: Channel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Returns a copy with a different data rate.
+    #[must_use]
+    pub fn with_data_rate(mut self, data_rate: DataRate) -> Self {
+        self.data_rate = data_rate;
+        self
+    }
+
+    /// Returns a copy with a different preamble length.
+    #[must_use]
+    pub fn with_preamble(mut self, preamble: PreambleLength) -> Self {
+        self.preamble = preamble;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_numbers_roundtrip() {
+        for n in [1u8, 2, 3, 4, 5, 7] {
+            assert_eq!(Channel::from_number(n).unwrap().number(), n);
+        }
+        assert!(Channel::from_number(0).is_err());
+        assert!(Channel::from_number(6).is_err());
+        assert!(Channel::from_number(8).is_err());
+    }
+
+    #[test]
+    fn wide_channels_have_900mhz_bandwidth() {
+        assert_eq!(Channel::Ch7.bandwidth_hz(), 900.0e6);
+        assert_eq!(Channel::Ch4.bandwidth_hz(), 900.0e6);
+        assert_eq!(Channel::Ch5.bandwidth_hz(), 499.2e6);
+    }
+
+    #[test]
+    fn channel7_center_frequency() {
+        assert_eq!(Channel::Ch7.center_frequency_hz(), 6_489.6e6);
+        let lambda = Channel::Ch7.wavelength_m();
+        assert!((lambda - 0.0462).abs() < 0.0002, "λ = {lambda} m");
+    }
+
+    #[test]
+    fn prf_constants() {
+        assert_eq!(Prf::Mhz64.cir_length(), 1016);
+        assert_eq!(Prf::Mhz16.cir_length(), 992);
+        assert!((Prf::Mhz64.preamble_symbol_ns() - 1017.63).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_rate_symbol_durations() {
+        // 6.8 Mbps symbol ≈ 1/6.8MHz within rounding of the standard value.
+        assert!((DataRate::Mbps6_8.symbol_ns() - 128.21).abs() < 1e-9);
+        assert_eq!(DataRate::Kbps110.sfd_symbols(), 64);
+        assert_eq!(DataRate::Mbps6_8.sfd_symbols(), 8);
+    }
+
+    #[test]
+    fn preamble_lengths_roundtrip() {
+        for s in [64u32, 128, 256, 512, 1024, 1536, 2048, 4096] {
+            assert_eq!(PreambleLength::from_symbols(s).unwrap().symbols(), s);
+        }
+        assert!(PreambleLength::from_symbols(100).is_err());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = RadioConfig::default();
+        assert_eq!(c.channel, Channel::Ch7);
+        assert_eq!(c.prf, Prf::Mhz64);
+        assert_eq!(c.data_rate, DataRate::Mbps6_8);
+        assert_eq!(c.preamble.symbols(), 128);
+        assert_eq!(c.tc_pgdelay, TcPgDelay::DEFAULT);
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let c = RadioConfig::default()
+            .with_channel(Channel::Ch5)
+            .with_data_rate(DataRate::Kbps850)
+            .with_preamble(PreambleLength::Psr1024)
+            .with_pulse_shape(TcPgDelay::new(0xC8).unwrap());
+        assert_eq!(c.channel, Channel::Ch5);
+        assert_eq!(c.data_rate, DataRate::Kbps850);
+        assert_eq!(c.preamble.symbols(), 1024);
+        assert_eq!(c.tc_pgdelay.value(), 0xC8);
+    }
+}

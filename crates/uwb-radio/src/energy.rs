@@ -1,0 +1,203 @@
+//! Radio energy accounting.
+//!
+//! The paper motivates concurrent ranging with the DW1000's current draw:
+//! "up to 155 mA and 90 mA in receive and transmit mode" — far above other
+//! low-power radios. This module turns radio-state durations into charge and
+//! energy figures so experiments can compare protocols (Fig. 3, Sect. VIII).
+
+/// Radio operating states with distinct current draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RadioState {
+    /// Receiver enabled (including preamble hunt).
+    Receive,
+    /// Transmitter active.
+    Transmit,
+    /// Idle / oscillator on.
+    Idle,
+    /// Deep sleep.
+    Sleep,
+}
+
+/// A current-draw model for the DW1000.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::{EnergyModel, RadioState};
+///
+/// let model = EnergyModel::dw1000();
+/// // Receiving is the dominant cost.
+/// assert!(model.current_ma(RadioState::Receive) > model.current_ma(RadioState::Transmit));
+/// let millijoules = model.energy_mj(RadioState::Receive, 1e-3);
+/// assert!((millijoules - 0.155 * 3.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Receive current in mA (paper: up to 155 mA).
+    pub rx_current_ma: f64,
+    /// Transmit current in mA (paper: up to 90 mA).
+    pub tx_current_ma: f64,
+    /// Idle current in mA.
+    pub idle_current_ma: f64,
+    /// Deep-sleep current in mA.
+    pub sleep_current_ma: f64,
+    /// Supply voltage in volts.
+    pub supply_v: f64,
+}
+
+impl EnergyModel {
+    /// The DW1000 figures cited in the paper (datasheet worst case).
+    pub fn dw1000() -> Self {
+        Self {
+            rx_current_ma: 155.0,
+            tx_current_ma: 90.0,
+            idle_current_ma: 18.0,
+            sleep_current_ma: 0.001,
+            supply_v: 3.3,
+        }
+    }
+
+    /// Current draw in mA for a radio state.
+    pub fn current_ma(&self, state: RadioState) -> f64 {
+        match state {
+            RadioState::Receive => self.rx_current_ma,
+            RadioState::Transmit => self.tx_current_ma,
+            RadioState::Idle => self.idle_current_ma,
+            RadioState::Sleep => self.sleep_current_ma,
+        }
+    }
+
+    /// Charge in millicoulombs consumed by `seconds` in `state`.
+    pub fn charge_mc(&self, state: RadioState, seconds: f64) -> f64 {
+        self.current_ma(state) * seconds
+    }
+
+    /// Energy in millijoules consumed by `seconds` in `state`.
+    pub fn energy_mj(&self, state: RadioState, seconds: f64) -> f64 {
+        self.charge_mc(state, seconds) * self.supply_v
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::dw1000()
+    }
+}
+
+/// Accumulates per-state time and energy for one radio.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyLedger {
+    /// Cumulative receive time in seconds.
+    pub rx_s: f64,
+    /// Cumulative transmit time in seconds.
+    pub tx_s: f64,
+    /// Cumulative idle time in seconds.
+    pub idle_s: f64,
+    /// Cumulative sleep time in seconds.
+    pub sleep_s: f64,
+}
+
+impl EnergyLedger {
+    /// A ledger with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seconds` spent in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite durations (a simulation bug).
+    pub fn record(&mut self, state: RadioState, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid duration {seconds}"
+        );
+        match state {
+            RadioState::Receive => self.rx_s += seconds,
+            RadioState::Transmit => self.tx_s += seconds,
+            RadioState::Idle => self.idle_s += seconds,
+            RadioState::Sleep => self.sleep_s += seconds,
+        }
+    }
+
+    /// Total active (rx + tx) airtime in seconds.
+    pub fn active_s(&self) -> f64 {
+        self.rx_s + self.tx_s
+    }
+
+    /// Total energy in millijoules under a given model.
+    pub fn total_energy_mj(&self, model: &EnergyModel) -> f64 {
+        model.energy_mj(RadioState::Receive, self.rx_s)
+            + model.energy_mj(RadioState::Transmit, self.tx_s)
+            + model.energy_mj(RadioState::Idle, self.idle_s)
+            + model.energy_mj(RadioState::Sleep, self.sleep_s)
+    }
+
+    /// Adds another ledger's counters into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.rx_s += other.rx_s;
+        self.tx_s += other.tx_s;
+        self.idle_s += other.idle_s;
+        self.sleep_s += other.sleep_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dw1000_currents_match_paper() {
+        let m = EnergyModel::dw1000();
+        assert_eq!(m.rx_current_ma, 155.0);
+        assert_eq!(m.tx_current_ma, 90.0);
+        assert_eq!(EnergyModel::default(), m);
+    }
+
+    #[test]
+    fn receive_costs_more_than_transmit() {
+        let m = EnergyModel::dw1000();
+        assert!(m.energy_mj(RadioState::Receive, 1.0) > m.energy_mj(RadioState::Transmit, 1.0));
+    }
+
+    #[test]
+    fn energy_is_linear_in_time() {
+        let m = EnergyModel::dw1000();
+        let e1 = m.energy_mj(RadioState::Transmit, 1.0);
+        let e2 = m.energy_mj(RadioState::Transmit, 2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_totals() {
+        let mut ledger = EnergyLedger::new();
+        ledger.record(RadioState::Receive, 2e-3);
+        ledger.record(RadioState::Transmit, 1e-3);
+        ledger.record(RadioState::Receive, 3e-3);
+        assert!((ledger.rx_s - 5e-3).abs() < 1e-15);
+        assert!((ledger.active_s() - 6e-3).abs() < 1e-15);
+
+        let m = EnergyModel::dw1000();
+        let expected = 155.0 * 5e-3 * 3.3 + 90.0 * 1e-3 * 3.3;
+        assert!((ledger.total_energy_mj(&m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let mut a = EnergyLedger::new();
+        a.record(RadioState::Idle, 1.0);
+        let mut b = EnergyLedger::new();
+        b.record(RadioState::Idle, 2.0);
+        b.record(RadioState::Sleep, 5.0);
+        a.merge(&b);
+        assert_eq!(a.idle_s, 3.0);
+        assert_eq!(a.sleep_s, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn ledger_rejects_negative_time() {
+        EnergyLedger::new().record(RadioState::Idle, -1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the radio model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DW1000 radio model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RadioError {
+    /// A `TC_PGDELAY` register value outside the usable pulse-shaping range.
+    InvalidPgDelay {
+        /// The rejected register value.
+        value: u8,
+    },
+    /// More pulse shapes were requested than the register range supports.
+    TooManyPulseShapes {
+        /// Number of shapes requested.
+        requested: usize,
+        /// Maximum number supported.
+        supported: usize,
+    },
+    /// A channel number the DW1000 does not implement.
+    InvalidChannel {
+        /// The rejected channel number.
+        channel: u8,
+    },
+    /// A preamble length the DW1000 does not support.
+    InvalidPreambleLength {
+        /// The rejected symbol count.
+        symbols: u32,
+    },
+    /// A duration that cannot be represented in device time units.
+    UnrepresentableDuration {
+        /// The offending duration in seconds.
+        seconds: f64,
+    },
+    /// A CIR buffer with an unexpected tap count for the configured PRF.
+    CirLengthMismatch {
+        /// Expected number of taps.
+        expected: usize,
+        /// Actual number of taps.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RadioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidPgDelay { value } => {
+                write!(f, "TC_PGDELAY value {value:#04x} is outside the usable range")
+            }
+            Self::TooManyPulseShapes {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "requested {requested} pulse shapes but only {supported} are supported"
+            ),
+            Self::InvalidChannel { channel } => {
+                write!(f, "channel {channel} is not implemented by the DW1000")
+            }
+            Self::InvalidPreambleLength { symbols } => {
+                write!(f, "preamble length of {symbols} symbols is not supported")
+            }
+            Self::UnrepresentableDuration { seconds } => {
+                write!(f, "duration {seconds} s cannot be represented in device time units")
+            }
+            Self::CirLengthMismatch { expected, actual } => {
+                write!(f, "CIR has {actual} taps, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for RadioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(RadioError::InvalidPgDelay { value: 0x10 }
+            .to_string()
+            .contains("0x10"));
+        assert!(RadioError::TooManyPulseShapes {
+            requested: 200,
+            supported: 108
+        }
+        .to_string()
+        .contains("200"));
+        assert!(RadioError::InvalidChannel { channel: 6 }
+            .to_string()
+            .contains('6'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RadioError>();
+    }
+}

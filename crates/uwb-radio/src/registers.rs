@@ -1,0 +1,249 @@
+//! DW1000 register models relevant to concurrent ranging.
+//!
+//! Only one register matters for the paper's pulse-shaping technique:
+//! `TC_PGDELAY` (transmit calibration — pulse generator delay), an 8-bit
+//! register that controls the transmitted pulse width and hence the output
+//! bandwidth (DW1000 User Manual v2.10, p. 148). The default value for the
+//! paper's configuration (channel 7) is `0x93`; *larger* values produce
+//! *wider* pulses (lower bandwidth), which stays within the regulatory
+//! spectral mask, while smaller values would violate it. The usable range
+//! therefore spans 108 distinct shapes (paper, Sect. V).
+
+use crate::error::RadioError;
+
+/// The `TC_PGDELAY` pulse-generator delay register.
+///
+/// Wraps the raw 8-bit value and enforces the usable pulse-shaping range
+/// `0x93..=0xFE` (108 values; the paper reports "up to 108 different pulse
+/// shapes").
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::TcPgDelay;
+///
+/// let default = TcPgDelay::DEFAULT;
+/// assert_eq!(default.value(), 0x93);
+/// let wide = TcPgDelay::new(0xE6)?;
+/// assert!(wide.width_scale() > default.width_scale());
+/// # Ok::<(), uwb_radio::RadioError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TcPgDelay(u8);
+
+impl TcPgDelay {
+    /// Default register value for channel 7 / PRF 64 MHz (the paper's
+    /// configuration) — also the lower limit of the usable range.
+    pub const DEFAULT: Self = Self(0x93);
+
+    /// Smallest usable register value (narrowest legal pulse).
+    pub const MIN: u8 = 0x93;
+
+    /// Largest usable register value (widest pulse).
+    pub const MAX: u8 = 0xFE;
+
+    /// Number of distinct usable pulse shapes (paper: "up to 108").
+    pub const SHAPE_COUNT: usize = (Self::MAX - Self::MIN + 1) as usize;
+
+    /// Relative pulse-width increase per register step. Calibrated so the
+    /// register values used in the paper's Fig. 5 (0x93, 0xC8, 0xE6, 0xF0)
+    /// produce clearly distinguishable widths (≈1× to ≈2.9×).
+    const WIDTH_SCALE_PER_STEP: f64 = 0.02;
+
+    /// Validates and wraps a raw register value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::InvalidPgDelay`] outside `0x93..=0xFE`.
+    pub fn new(value: u8) -> Result<Self, RadioError> {
+        if (Self::MIN..=Self::MAX).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(RadioError::InvalidPgDelay { value })
+        }
+    }
+
+    /// The raw register value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index of this shape within the usable range
+    /// (`0` for the default `0x93`).
+    #[inline]
+    pub const fn shape_index(self) -> usize {
+        (self.0 - Self::MIN) as usize
+    }
+
+    /// The register value for a zero-based shape index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::TooManyPulseShapes`] when `index` exceeds the
+    /// register range.
+    pub fn from_shape_index(index: usize) -> Result<Self, RadioError> {
+        if index >= Self::SHAPE_COUNT {
+            return Err(RadioError::TooManyPulseShapes {
+                requested: index + 1,
+                supported: Self::SHAPE_COUNT,
+            });
+        }
+        Ok(Self(Self::MIN + index as u8))
+    }
+
+    /// Pulse-width multiplier relative to the default shape (`>= 1.0`).
+    ///
+    /// Wider pulses mean lower bandwidth; the mapping is monotone in the
+    /// register value, matching the qualitative behaviour in the datasheet
+    /// and the paper's Fig. 5.
+    #[inline]
+    pub fn width_scale(self) -> f64 {
+        1.0 + self.shape_index() as f64 * Self::WIDTH_SCALE_PER_STEP
+    }
+
+    /// Selects `count` register values spread evenly over the usable range,
+    /// starting at the default, maximizing mutual distinguishability of the
+    /// resulting pulse shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::TooManyPulseShapes`] when `count` exceeds the
+    /// number of distinct register values, and
+    /// [`RadioError::TooManyPulseShapes`] with `supported` unchanged when
+    /// `count` is zero (zero shapes cannot identify anyone).
+    pub fn spread(count: usize) -> Result<Vec<Self>, RadioError> {
+        if count == 0 || count > Self::SHAPE_COUNT {
+            return Err(RadioError::TooManyPulseShapes {
+                requested: count,
+                supported: Self::SHAPE_COUNT,
+            });
+        }
+        if count == 1 {
+            return Ok(vec![Self::DEFAULT]);
+        }
+        let span = (Self::MAX - Self::MIN) as f64;
+        Ok((0..count)
+            .map(|i| {
+                let v = Self::MIN as f64 + span * i as f64 / (count - 1) as f64;
+                Self(v.round() as u8)
+            })
+            .collect())
+    }
+
+    /// The register values used in the paper's Fig. 5:
+    /// `s₁ = 0x93`, `s₂ = 0xC8`, `s₃ = 0xE6`, `s₄ = 0xF0`.
+    pub fn paper_figure5() -> [Self; 4] {
+        [Self(0x93), Self(0xC8), Self(0xE6), Self(0xF0)]
+    }
+}
+
+impl Default for TcPgDelay {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl std::fmt::Display for TcPgDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TC_PGDELAY={:#04x}", self.0)
+    }
+}
+
+impl TryFrom<u8> for TcPgDelay {
+    type Error = RadioError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_0x93() {
+        assert_eq!(TcPgDelay::DEFAULT.value(), 0x93);
+        assert_eq!(TcPgDelay::default(), TcPgDelay::DEFAULT);
+        assert_eq!(TcPgDelay::DEFAULT.shape_index(), 0);
+        assert_eq!(TcPgDelay::DEFAULT.width_scale(), 1.0);
+    }
+
+    #[test]
+    fn shape_count_matches_paper() {
+        assert_eq!(TcPgDelay::SHAPE_COUNT, 108);
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        assert!(TcPgDelay::new(0x92).is_err());
+        assert!(TcPgDelay::new(0xFF).is_err());
+        assert!(TcPgDelay::new(0x00).is_err());
+        assert!(TcPgDelay::new(0x93).is_ok());
+        assert!(TcPgDelay::new(0xFE).is_ok());
+    }
+
+    #[test]
+    fn width_scale_is_monotone() {
+        let mut last = 0.0;
+        for v in TcPgDelay::MIN..=TcPgDelay::MAX {
+            let w = TcPgDelay::new(v).unwrap().width_scale();
+            assert!(w > last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn shape_index_roundtrip() {
+        for i in 0..TcPgDelay::SHAPE_COUNT {
+            let reg = TcPgDelay::from_shape_index(i).unwrap();
+            assert_eq!(reg.shape_index(), i);
+        }
+        assert!(TcPgDelay::from_shape_index(108).is_err());
+    }
+
+    #[test]
+    fn spread_endpoints_and_ordering() {
+        let shapes = TcPgDelay::spread(4).unwrap();
+        assert_eq!(shapes.len(), 4);
+        assert_eq!(shapes[0], TcPgDelay::DEFAULT);
+        assert_eq!(shapes[3].value(), TcPgDelay::MAX);
+        for pair in shapes.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn spread_rejects_zero_and_excess() {
+        assert!(TcPgDelay::spread(0).is_err());
+        assert!(TcPgDelay::spread(109).is_err());
+        assert_eq!(TcPgDelay::spread(108).unwrap().len(), 108);
+    }
+
+    #[test]
+    fn spread_values_are_distinct() {
+        for count in [2usize, 3, 10, 50, 108] {
+            let shapes = TcPgDelay::spread(count).unwrap();
+            let mut values: Vec<u8> = shapes.iter().map(|s| s.value()).collect();
+            values.dedup();
+            assert_eq!(values.len(), count, "count={count}");
+        }
+    }
+
+    #[test]
+    fn paper_figure5_registers() {
+        let shapes = TcPgDelay::paper_figure5();
+        assert_eq!(shapes[0].value(), 0x93);
+        assert_eq!(shapes[1].value(), 0xC8);
+        assert_eq!(shapes[2].value(), 0xE6);
+        assert_eq!(shapes[3].value(), 0xF0);
+    }
+
+    #[test]
+    fn display_and_try_from() {
+        assert_eq!(TcPgDelay::DEFAULT.to_string(), "TC_PGDELAY=0x93");
+        assert_eq!(TcPgDelay::try_from(0xC8).unwrap().value(), 0xC8);
+        assert!(TcPgDelay::try_from(0x00).is_err());
+    }
+}

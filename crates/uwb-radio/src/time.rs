@@ -1,0 +1,281 @@
+//! DW1000 device time.
+//!
+//! The DW1000 timestamps frames with a 40-bit counter running at
+//! 128 × 499.2 MHz ≈ 63.8976 GHz, i.e. one *device time unit* (DTU) is
+//! ≈ 15.65 ps — the 4.69 mm distance resolution quoted in the paper. The
+//! counter wraps every 2⁴⁰ DTU ≈ 17.2 s.
+//!
+//! Two artefacts of this clock matter for concurrent ranging and are modelled
+//! faithfully here:
+//!
+//! - **Wrapping arithmetic**: timestamp differences must be computed modulo
+//!   2⁴⁰ ([`DeviceTime::wrapping_sub`]).
+//! - **Delayed-transmission truncation**: the DW1000 ignores the low-order
+//!   9 bits of a scheduled transmit time, quantizing transmissions to a
+//!   512-DTU ≈ 8.013 ns grid ([`DeviceTime::quantize_tx`]). This is the
+//!   hardware limitation that makes concurrent responses overlap with a
+//!   ±8 ns offset (paper, Sect. III and VI).
+
+use crate::error::RadioError;
+
+/// Device time units per second: 128 × 499.2 MHz.
+pub const DTU_PER_SECOND: f64 = 63_897_600_000.0;
+
+/// Duration of one device time unit in seconds (≈ 15.65 ps).
+pub const DTU_SECONDS: f64 = 1.0 / DTU_PER_SECOND;
+
+/// Duration of one device time unit in picoseconds.
+pub const DTU_PICOSECONDS: f64 = 1.0e12 / DTU_PER_SECOND;
+
+/// Number of bits in the device timestamp counter.
+pub const TIMESTAMP_BITS: u32 = 40;
+
+/// Modulus of the 40-bit device clock.
+pub const TIMESTAMP_MODULUS: u64 = 1 << TIMESTAMP_BITS;
+
+/// Number of low-order bits ignored by delayed transmission
+/// (DW1000 User Manual v2.10, p. 26).
+pub const TX_IGNORED_BITS: u32 = 9;
+
+/// Delayed-transmission granularity in DTU (2⁹ = 512 ≈ 8.013 ns).
+pub const TX_GRANULARITY_DTU: u64 = 1 << TX_IGNORED_BITS;
+
+/// Delayed-transmission granularity in seconds (≈ 8.013 ns).
+pub const TX_GRANULARITY_SECONDS: f64 = TX_GRANULARITY_DTU as f64 * DTU_SECONDS;
+
+/// A 40-bit wrapping DW1000 timestamp in device time units.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::DeviceTime;
+///
+/// let t0 = DeviceTime::from_seconds(17.0).unwrap();
+/// let t1 = t0.wrapping_add_dtu(1 << 39);
+/// // Even across the wrap, elapsed time is recovered correctly.
+/// let elapsed = t1.wrapping_sub(t0);
+/// assert_eq!(elapsed, 1 << 39);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceTime(u64);
+
+impl DeviceTime {
+    /// The zero timestamp.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a timestamp from raw DTU, reduced modulo 2⁴⁰.
+    #[inline]
+    pub const fn from_dtu(dtu: u64) -> Self {
+        Self(dtu % TIMESTAMP_MODULUS)
+    }
+
+    /// Creates a timestamp from seconds since the (arbitrary) counter origin.
+    ///
+    /// The value is reduced modulo the counter period (~17.2 s), mirroring
+    /// the hardware counter wrap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::UnrepresentableDuration`] for negative or
+    /// non-finite inputs.
+    pub fn from_seconds(seconds: f64) -> Result<Self, RadioError> {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(RadioError::UnrepresentableDuration { seconds });
+        }
+        let dtu = (seconds * DTU_PER_SECOND).round();
+        // Reduce in floating point first to keep precision for huge inputs.
+        let modulus = TIMESTAMP_MODULUS as f64;
+        let reduced = dtu % modulus;
+        Ok(Self(reduced as u64 % TIMESTAMP_MODULUS))
+    }
+
+    /// The raw 40-bit counter value in DTU.
+    #[inline]
+    pub const fn as_dtu(self) -> u64 {
+        self.0
+    }
+
+    /// The counter value converted to seconds.
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * DTU_SECONDS
+    }
+
+    /// The counter value converted to nanoseconds.
+    #[inline]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.0 as f64 * DTU_SECONDS * 1e9
+    }
+
+    /// Adds a DTU count, wrapping at 2⁴⁰.
+    #[inline]
+    #[must_use]
+    pub const fn wrapping_add_dtu(self, dtu: u64) -> Self {
+        Self((self.0 + dtu % TIMESTAMP_MODULUS) % TIMESTAMP_MODULUS)
+    }
+
+    /// Adds a (non-negative) duration in seconds, wrapping at 2⁴⁰.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::UnrepresentableDuration`] for negative or
+    /// non-finite durations.
+    pub fn wrapping_add_seconds(self, seconds: f64) -> Result<Self, RadioError> {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(RadioError::UnrepresentableDuration { seconds });
+        }
+        let dtu = (seconds * DTU_PER_SECOND).round() as u64;
+        Ok(self.wrapping_add_dtu(dtu))
+    }
+
+    /// Elapsed DTU from `earlier` to `self`, modulo 2⁴⁰.
+    ///
+    /// Correct whenever the true elapsed time is below the ~17.2 s counter
+    /// period — the same assumption DW1000 firmware must make.
+    #[inline]
+    pub const fn wrapping_sub(self, earlier: Self) -> u64 {
+        (self.0 + TIMESTAMP_MODULUS - earlier.0) % TIMESTAMP_MODULUS
+    }
+
+    /// Elapsed seconds from `earlier` to `self`, modulo the counter period.
+    #[inline]
+    pub fn elapsed_seconds_since(self, earlier: Self) -> f64 {
+        self.wrapping_sub(earlier) as f64 * DTU_SECONDS
+    }
+
+    /// Applies the DW1000 delayed-transmission truncation: the hardware
+    /// ignores the low [`TX_IGNORED_BITS`] bits of the programmed transmit
+    /// time, so the actual transmission happens on a 512-DTU (≈ 8 ns) grid.
+    ///
+    /// The hardware truncates (rather than rounds), so the actual send time
+    /// is never *later* than the programmed one... except that a truncated
+    /// time earlier than "now" is bumped by one granule by firmware; that
+    /// policy lives in the network simulator. Here we model the pure
+    /// register behaviour: clear the low bits.
+    #[inline]
+    #[must_use]
+    pub const fn quantize_tx(self) -> Self {
+        Self(self.0 & !(TX_GRANULARITY_DTU - 1))
+    }
+
+    /// The quantization error introduced by [`DeviceTime::quantize_tx`],
+    /// in DTU (always `< 512`).
+    #[inline]
+    pub const fn tx_quantization_error_dtu(self) -> u64 {
+        self.0 & (TX_GRANULARITY_DTU - 1)
+    }
+}
+
+impl std::fmt::Display for DeviceTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ns", self.as_nanoseconds())
+    }
+}
+
+/// Converts meters to seconds of propagation at the speed of light.
+#[inline]
+pub fn meters_to_seconds(meters: f64) -> f64 {
+    meters / crate::SPEED_OF_LIGHT
+}
+
+/// Converts a propagation time in seconds to meters at the speed of light.
+#[inline]
+pub fn seconds_to_meters(seconds: f64) -> f64 {
+    seconds * crate::SPEED_OF_LIGHT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtu_resolution_is_about_15_65_ps() {
+        assert!((DTU_PICOSECONDS - 15.65).abs() < 0.01);
+    }
+
+    #[test]
+    fn dtu_resolution_gives_4_69_mm() {
+        // The paper: 15.65 ps × c = 4.69 mm.
+        let mm = DTU_SECONDS * crate::SPEED_OF_LIGHT * 1e3;
+        assert!((mm - 4.69).abs() < 0.01, "got {mm} mm");
+    }
+
+    #[test]
+    fn counter_period_is_about_17_2_seconds() {
+        let period = TIMESTAMP_MODULUS as f64 * DTU_SECONDS;
+        assert!((period - 17.2).abs() < 0.01, "got {period} s");
+    }
+
+    #[test]
+    fn tx_granularity_is_about_8_ns() {
+        let ns = TX_GRANULARITY_SECONDS * 1e9;
+        assert!((ns - 8.013).abs() < 0.001, "got {ns} ns");
+    }
+
+    #[test]
+    fn from_seconds_roundtrip() {
+        let t = DeviceTime::from_seconds(1.5).unwrap();
+        assert!((t.as_seconds() - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_seconds_wraps_at_counter_period() {
+        let period = TIMESTAMP_MODULUS as f64 * DTU_SECONDS;
+        let t = DeviceTime::from_seconds(period + 1.0).unwrap();
+        let expected = DeviceTime::from_seconds(1.0).unwrap();
+        // Allow one DTU of rounding slack across the modulo reduction.
+        assert!(t.wrapping_sub(expected) <= 1 || expected.wrapping_sub(t) <= 1);
+    }
+
+    #[test]
+    fn from_seconds_rejects_invalid() {
+        assert!(DeviceTime::from_seconds(-1.0).is_err());
+        assert!(DeviceTime::from_seconds(f64::NAN).is_err());
+        assert!(DeviceTime::from_seconds(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn wrapping_sub_across_wrap() {
+        let t0 = DeviceTime::from_dtu(TIMESTAMP_MODULUS - 10);
+        let t1 = t0.wrapping_add_dtu(25);
+        assert_eq!(t1.as_dtu(), 15);
+        assert_eq!(t1.wrapping_sub(t0), 25);
+    }
+
+    #[test]
+    fn quantize_tx_clears_low_bits() {
+        let t = DeviceTime::from_dtu(0b1111_1111_1111);
+        let q = t.quantize_tx();
+        assert_eq!(q.as_dtu(), 0b1110_0000_0000);
+        assert_eq!(t.tx_quantization_error_dtu(), 0b1_1111_1111);
+    }
+
+    #[test]
+    fn quantize_tx_error_is_bounded_by_8ns() {
+        for dtu in [0u64, 1, 511, 512, 513, 12345, 999_999_999] {
+            let t = DeviceTime::from_dtu(dtu);
+            let err = t.tx_quantization_error_dtu();
+            assert!(err < TX_GRANULARITY_DTU);
+            assert_eq!(t.quantize_tx().as_dtu() + err, t.as_dtu());
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let t = DeviceTime::from_dtu(987_654_321).quantize_tx();
+        assert_eq!(t.quantize_tx(), t);
+    }
+
+    #[test]
+    fn meters_seconds_conversions() {
+        let s = meters_to_seconds(299_792_458.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((seconds_to_meters(s) - 299_792_458.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_shows_nanoseconds() {
+        let t = DeviceTime::from_dtu(64);
+        assert!(t.to_string().contains("ns"));
+    }
+}

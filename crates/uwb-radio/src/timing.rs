@@ -1,0 +1,204 @@
+//! IEEE 802.15.4a / DW1000 frame timing.
+//!
+//! Computes the on-air duration of each part of a UWB PHY frame
+//! (preamble, SFD, PHR, payload) for a given [`RadioConfig`], and from
+//! those the minimum — and the paper's chosen — response delay `Δ_RESP`
+//! of the concurrent ranging scheme (Sect. III).
+//!
+//! The IEEE 802.15.4 standard timestamps a frame at the *RMARKER*: the
+//! beginning of the first PHR symbol, i.e. after preamble and SFD.
+
+use crate::config::{DataRate, RadioConfig};
+
+/// Number of PHR bits (13 header bits + 6 SECDED check bits).
+const PHR_BITS: u32 = 19;
+
+/// Reed–Solomon systematic block: 48 parity bits are appended per block of
+/// up to 330 payload bits (IEEE 802.15.4a RS(63,55) over GF(2⁶)).
+const RS_BLOCK_BITS: u32 = 330;
+const RS_PARITY_BITS: u32 = 48;
+
+/// Measured DW1000 receive-to-transmit turnaround upper bound; the paper
+/// reports "less than 100 µs".
+pub const RX_TX_TURNAROUND_S: f64 = 100e-6;
+
+/// The response delay `Δ_RESP` the paper uses (minimum delay plus
+/// turnaround plus safety gap): 290 µs.
+pub const PAPER_RESPONSE_DELAY_S: f64 = 290e-6;
+
+/// Frame-part durations for a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::{FrameTiming, RadioConfig};
+///
+/// let timing = FrameTiming::new(&RadioConfig::default());
+/// // 128-symbol preamble at 1017.63 ns/symbol ≈ 130.3 µs.
+/// assert!((timing.preamble_s() * 1e6 - 130.3).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameTiming {
+    config: RadioConfig,
+}
+
+impl FrameTiming {
+    /// Builds a timing calculator for a configuration.
+    pub fn new(config: &RadioConfig) -> Self {
+        Self { config: *config }
+    }
+
+    /// The configuration used by this calculator.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Preamble duration in seconds (PSR symbols × symbol duration).
+    pub fn preamble_s(&self) -> f64 {
+        self.config.preamble.symbols() as f64 * self.config.prf.preamble_symbol_ns() * 1e-9
+    }
+
+    /// Start-of-frame-delimiter duration in seconds.
+    pub fn sfd_s(&self) -> f64 {
+        self.config.data_rate.sfd_symbols() as f64 * self.config.prf.preamble_symbol_ns() * 1e-9
+    }
+
+    /// PHY header duration in seconds. The PHR is always transmitted at
+    /// 850 kbps except in 110 kbps mode, where it uses 110 kbps.
+    pub fn phr_s(&self) -> f64 {
+        let phr_rate = match self.config.data_rate {
+            DataRate::Kbps110 => DataRate::Kbps110,
+            _ => DataRate::Kbps850,
+        };
+        PHR_BITS as f64 * phr_rate.symbol_ns() * 1e-9
+    }
+
+    /// Payload duration in seconds for `payload_bytes` of MAC payload
+    /// (including the 2-byte CRC), accounting for Reed–Solomon parity.
+    pub fn payload_s(&self, payload_bytes: usize) -> f64 {
+        let data_bits = payload_bytes as u32 * 8;
+        let blocks = data_bits.div_ceil(RS_BLOCK_BITS);
+        let total_bits = data_bits + blocks * RS_PARITY_BITS;
+        total_bits as f64 * self.config.data_rate.symbol_ns() * 1e-9
+    }
+
+    /// Total frame duration in seconds for a given payload size.
+    pub fn frame_s(&self, payload_bytes: usize) -> f64 {
+        self.preamble_s() + self.sfd_s() + self.phr_s() + self.payload_s(payload_bytes)
+    }
+
+    /// Offset of the RMARKER (timestamp reference point: first PHR symbol)
+    /// from the start of the frame, in seconds.
+    pub fn rmarker_offset_s(&self) -> f64 {
+        self.preamble_s() + self.sfd_s()
+    }
+
+    /// Minimum response delay `Δ_RESP` between INIT RMARKER and RESP
+    /// RMARKER (Sect. III): the initiator's PHR + payload must finish, then
+    /// the responder's preamble + SFD must air before its RMARKER.
+    ///
+    /// With the paper's configuration and a 14-byte INIT payload this is
+    /// ≈ 178.5 µs.
+    pub fn min_response_delay_s(&self, init_payload_bytes: usize) -> f64 {
+        self.phr_s() + self.payload_s(init_payload_bytes) + self.preamble_s() + self.sfd_s()
+    }
+
+    /// A practical response delay: the minimum plus radio turnaround plus a
+    /// safety gap, rounded the way the paper does (290 µs for the default
+    /// configuration).
+    pub fn practical_response_delay_s(&self, init_payload_bytes: usize) -> f64 {
+        let min = self.min_response_delay_s(init_payload_bytes) + RX_TX_TURNAROUND_S;
+        // Round up to the next 10 µs as a safety gap.
+        (min / 10e-6).ceil() * 10e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DataRate, PreambleLength, RadioConfig};
+
+    #[test]
+    fn paper_min_response_delay_is_178_5_us() {
+        // Paper, Sect. III: DR = 6.8 Mbps, PRF = 64 MHz, PSR = 128 gives a
+        // minimum Δ_RESP of 178.5 µs (INIT payload of 14 bytes incl. CRC).
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let us = timing.min_response_delay_s(14) * 1e6;
+        assert!((us - 178.5).abs() < 0.5, "got {us} µs");
+    }
+
+    #[test]
+    fn paper_response_delay_290_us_has_margin() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let min = timing.min_response_delay_s(14) + RX_TX_TURNAROUND_S;
+        assert!(PAPER_RESPONSE_DELAY_S > min);
+        assert!(PAPER_RESPONSE_DELAY_S < min + 20e-6);
+    }
+
+    #[test]
+    fn preamble_scales_with_psr() {
+        let short = FrameTiming::new(&RadioConfig::default());
+        let long =
+            FrameTiming::new(&RadioConfig::default().with_preamble(PreambleLength::Psr1024));
+        assert!((long.preamble_s() / short.preamble_s() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_duration_scales_with_rate() {
+        let fast = FrameTiming::new(&RadioConfig::default());
+        let slow =
+            FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
+        assert!(slow.payload_s(20) > fast.payload_s(20) * 50.0);
+    }
+
+    #[test]
+    fn payload_includes_rs_parity() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        // 14 bytes = 112 bits -> 1 RS block -> 160 bits total at 128.21 ns.
+        let expected = 160.0 * 128.21e-9;
+        assert!((timing.payload_s(14) - expected).abs() < 1e-12);
+        // 42 bytes = 336 bits -> 2 RS blocks -> 432 bits.
+        let expected2 = 432.0 * 128.21e-9;
+        assert!((timing.payload_s(42) - expected2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_payload_has_zero_duration() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        assert_eq!(timing.payload_s(0), 0.0);
+    }
+
+    #[test]
+    fn rmarker_is_preamble_plus_sfd() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let expected = timing.preamble_s() + timing.sfd_s();
+        assert_eq!(timing.rmarker_offset_s(), expected);
+    }
+
+    #[test]
+    fn frame_duration_is_sum_of_parts() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let total = timing.frame_s(14);
+        let parts =
+            timing.preamble_s() + timing.sfd_s() + timing.phr_s() + timing.payload_s(14);
+        assert!((total - parts).abs() < 1e-15);
+    }
+
+    #[test]
+    fn practical_delay_exceeds_minimum_plus_turnaround() {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let practical = timing.practical_response_delay_s(14);
+        assert!(practical >= timing.min_response_delay_s(14) + RX_TX_TURNAROUND_S);
+        assert!((practical * 1e6 - 290.0).abs() < 15.0, "got {} µs", practical * 1e6);
+    }
+
+    #[test]
+    fn phr_uses_850kbps_for_fast_rates() {
+        let fast = FrameTiming::new(&RadioConfig::default());
+        let mid = FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps850));
+        assert_eq!(fast.phr_s(), mid.phr_s());
+        let slow =
+            FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
+        assert!(slow.phr_s() > fast.phr_s());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the DW1000 radio model.
+
+use proptest::prelude::*;
+use uwb_radio::{
+    Channel, DeviceTime, FrameTiming, PulseShape, RadioConfig, TcPgDelay, DTU_SECONDS,
+    TIMESTAMP_MODULUS, TX_GRANULARITY_DTU,
+};
+
+proptest! {
+    #[test]
+    fn device_time_wrapping_sub_recovers_elapsed(
+        start in 0u64..TIMESTAMP_MODULUS,
+        elapsed in 0u64..TIMESTAMP_MODULUS,
+    ) {
+        let t0 = DeviceTime::from_dtu(start);
+        let t1 = t0.wrapping_add_dtu(elapsed);
+        prop_assert_eq!(t1.wrapping_sub(t0), elapsed);
+    }
+
+    #[test]
+    fn device_time_seconds_roundtrip(seconds in 0.0f64..17.0) {
+        let t = DeviceTime::from_seconds(seconds).unwrap();
+        prop_assert!((t.as_seconds() - seconds).abs() < DTU_SECONDS);
+    }
+
+    #[test]
+    fn quantize_tx_never_later_and_bounded(raw in 0u64..TIMESTAMP_MODULUS) {
+        let t = DeviceTime::from_dtu(raw);
+        let q = t.quantize_tx();
+        // Truncation: q <= t and error < 512 DTU (≈8 ns).
+        prop_assert!(q.as_dtu() <= t.as_dtu());
+        prop_assert!(t.as_dtu() - q.as_dtu() < TX_GRANULARITY_DTU);
+        // Idempotent.
+        prop_assert_eq!(q.quantize_tx(), q);
+        // Lands on the grid.
+        prop_assert_eq!(q.as_dtu() % TX_GRANULARITY_DTU, 0);
+    }
+
+    #[test]
+    fn pg_delay_validation_matches_range(value in 0u8..=255) {
+        let result = TcPgDelay::new(value);
+        if (TcPgDelay::MIN..=TcPgDelay::MAX).contains(&value) {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(result.unwrap().value(), value);
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn spread_is_sorted_and_within_range(count in 1usize..=108) {
+        let shapes = TcPgDelay::spread(count).unwrap();
+        prop_assert_eq!(shapes.len(), count);
+        for pair in shapes.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        prop_assert_eq!(shapes[0], TcPgDelay::DEFAULT);
+    }
+
+    #[test]
+    fn pulse_energy_normalization_is_exact(
+        reg in TcPgDelay::MIN..=TcPgDelay::MAX,
+        period_ps in 100.0f64..2000.0,
+    ) {
+        let shape = PulseShape::from_register(TcPgDelay::new(reg).unwrap(), Channel::Ch7);
+        let sampled = shape.sample(period_ps * 1e-12);
+        let energy: f64 = sampled.samples.iter().map(|s| s * s).sum();
+        prop_assert!((energy - 1.0).abs() < 1e-9);
+        prop_assert!(sampled.peak_index < sampled.len());
+    }
+
+    #[test]
+    fn pulse_duration_monotone_in_register(a in 0usize..107, b in 0usize..107) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let p_lo = PulseShape::from_register(
+            TcPgDelay::from_shape_index(lo).unwrap(), Channel::Ch7);
+        let p_hi = PulseShape::from_register(
+            TcPgDelay::from_shape_index(hi).unwrap(), Channel::Ch7);
+        prop_assert!(p_hi.duration_s() > p_lo.duration_s());
+    }
+
+    #[test]
+    fn frame_duration_monotone_in_payload(a in 0usize..100, b in 0usize..100) {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(timing.frame_s(hi) >= timing.frame_s(lo));
+    }
+
+    #[test]
+    fn min_response_delay_exceeds_rmarker_parts(payload in 0usize..100) {
+        let timing = FrameTiming::new(&RadioConfig::default());
+        // Δ_RESP_min always covers at least the responder's preamble+SFD.
+        prop_assert!(timing.min_response_delay_s(payload) >= timing.rmarker_offset_s());
+    }
+}

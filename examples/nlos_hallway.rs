@@ -1,0 +1,97 @@
+//! Non-line-of-sight study — the paper's declared future work ("we have
+//! neglected the impact of non-line-of-sight situations…").
+//!
+//! Run with `cargo run --release --example nlos_hallway`.
+//!
+//! Two responders range concurrently to an initiator in a reflective room
+//! while the direct paths are progressively attenuated (a person or cart
+//! blocking the corridor). The example shows (i) distance estimates drift
+//! late as the obstacle adds excess delay, and (ii) RPM + the
+//! earliest-per-slot guard keep identification working even when wall
+//! reflections are stronger than the blocked direct paths.
+
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingError, SlotPlan,
+};
+use uwb_channel::{ChannelConfig, ChannelModel, NlosConfig, Room};
+use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+
+fn main() -> Result<(), RangingError> {
+    let truths = [6.0, 12.0];
+    println!("two responders at 6 m and 12 m; LOS attenuation sweep\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "extra loss [dB]", "d0 est [m]", "d1 est [m]", "note"
+    );
+
+    for extra_loss_db in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
+        let mut channel_config = ChannelConfig::default();
+        if extra_loss_db > 0.0 {
+            channel_config.nlos = Some(NlosConfig {
+                extra_loss_db,
+                excess_delay_ns: 0.1 * extra_loss_db,
+            });
+        }
+        let channel = ChannelModel::with_config(
+            Some(Room::rectangular(20.0, 8.0, 0.6)),
+            channel_config,
+        );
+        let scheme = CombinedScheme::new(SlotPlan::new(4)?, 1)?;
+        let mut sim = Simulator::new(channel, SimConfig::default(), extra_loss_db as u64 + 3);
+        let initiator = sim.add_node(NodeConfig::at(2.0, 4.0));
+        let r0 = sim.add_node(
+            NodeConfig::at(8.0, 4.0).with_pulse_shape(scheme.assign(0)?.register),
+        );
+        let r1 = sim.add_node(
+            NodeConfig::at(14.0, 4.0).with_pulse_shape(scheme.assign(1)?.register),
+        );
+        let mut engine = ConcurrentEngine::new(
+            initiator,
+            vec![(r0, 0), (r1, 1)],
+            ConcurrentConfig::new(scheme).with_mpc_guard(),
+            extra_loss_db as u64 + 13,
+        )?;
+        sim.run(&mut engine, 1.0);
+
+        match engine.outcomes.first() {
+            Some(o) => {
+                let fmt_est = |id: u32| {
+                    o.estimate_for(id)
+                        .map_or("missed".to_string(), |e| format!("{:.2}", e.distance_m))
+                };
+                let worst_bias = truths
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, t)| {
+                        o.estimate_for(id as u32).map(|e| e.distance_m - t)
+                    })
+                    .fold(0.0_f64, |acc, b| if b.abs() > acc.abs() { b } else { acc });
+                let note = if extra_loss_db == 0.0 {
+                    "clear LOS".to_string()
+                } else {
+                    format!("bias {worst_bias:+.2} m from excess delay")
+                };
+                println!(
+                    "{extra_loss_db:<18} {:>12} {:>12} {:>20}",
+                    fmt_est(0),
+                    fmt_est(1),
+                    note
+                );
+            }
+            None => println!(
+                "{extra_loss_db:<18} round failed ({:?})",
+                engine
+                    .failed_rounds
+                    .first()
+                    .map(|(_, e)| e.to_string())
+                    .unwrap_or_default()
+            ),
+        }
+    }
+    println!(
+        "\nNLOS biases estimates late (the obstacle adds path delay) — the \
+         error the paper's future work targets; identification itself keeps \
+         working thanks to RPM slots."
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Continuous tracking of a moving node — concurrent ranging rounds fused
+//! through multilateration and a constant-velocity Kalman filter.
+//!
+//! Run with `cargo run --release --example tracked_visitor`.
+//!
+//! A visitor walks a straight line through an exhibition hall at 1.2 m/s.
+//! Every 400 ms their tag performs one concurrent ranging round against
+//! four wall anchors (one TX + one RX per fix!), multilaterates, and feeds
+//! the fix to a [`concurrent_ranging::PositionTracker`]. The tracker
+//! smooths the per-round noise and recovers the walking velocity.
+
+use concurrent_ranging::{
+    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, PositionTracker,
+    RangeToAnchor, RangingError, SlotPlan,
+};
+use uwb_channel::{ChannelModel, Point2, Room};
+use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+
+fn main() -> Result<(), RangingError> {
+    const HALL_W: f64 = 20.0;
+    const HALL_H: f64 = 10.0;
+    let anchors = [
+        Point2::new(0.5, 0.5),
+        Point2::new(HALL_W - 0.5, 0.5),
+        Point2::new(HALL_W - 0.5, HALL_H - 0.5),
+        Point2::new(0.5, HALL_H - 0.5),
+    ];
+    let scheme = CombinedScheme::new(SlotPlan::new(4)?, 1)?;
+    let channel = ChannelModel::in_room(Room::rectangular(HALL_W, HALL_H, 0.5));
+
+    // The visitor walks from (2, 5) toward (18, 5) at 1.2 m/s; a fix every
+    // 400 ms.
+    let speed = 1.2;
+    let fix_interval = 0.4;
+    let mut tracker = PositionTracker::new(0.5, 0.3);
+
+    println!(
+        "{:<8} {:>16} {:>16} {:>16} {:>9}",
+        "t [s]", "true (x, y)", "raw fix (x, y)", "tracked (x, y)", "err [m]"
+    );
+    let mut raw_err_sum = 0.0;
+    let mut tracked_err_sum = 0.0;
+    let mut fixes = 0usize;
+    for step in 0..24 {
+        let t = step as f64 * fix_interval;
+        let truth = Point2::new(2.0 + speed * t, 5.0);
+
+        // One concurrent round at this waypoint.
+        let mut sim = Simulator::new(channel.clone(), SimConfig::default(), 500 + step as u64);
+        let tag = sim.add_node(NodeConfig::at(truth.x, truth.y));
+        let mut responders = Vec::new();
+        for (id, a) in anchors.iter().enumerate() {
+            let reg = scheme.assign(id as u32)?.register;
+            responders.push((
+                sim.add_node(NodeConfig::at(a.x, a.y).with_pulse_shape(reg)),
+                id as u32,
+            ));
+        }
+        let mut engine = ConcurrentEngine::new(
+            tag,
+            responders,
+            ConcurrentConfig::new(scheme.clone()).with_mpc_guard(),
+            700 + step as u64,
+        )?;
+        sim.run(&mut engine, 1.0);
+        let Some(outcome) = engine.outcomes.first() else {
+            println!("{t:<8.1} round failed");
+            continue;
+        };
+        let ranges: Vec<RangeToAnchor> = anchors
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| {
+                outcome.estimate_for(id as u32).map(|e| RangeToAnchor {
+                    anchor: a,
+                    distance_m: e.distance_m,
+                })
+            })
+            .collect();
+        if ranges.len() < 3 {
+            println!("{t:<8.1} only {} anchors resolved", ranges.len());
+            continue;
+        }
+        let fix = multilaterate(&ranges)?;
+        tracker.update(fix.position, t);
+        let tracked = tracker.state().expect("state after update").position;
+
+        let raw_err = fix.position.distance_to(truth);
+        let tracked_err = tracked.distance_to(truth);
+        raw_err_sum += raw_err;
+        tracked_err_sum += tracked_err;
+        fixes += 1;
+        println!(
+            "{t:<8.1} ({:>6.2}, {:>5.2}) ({:>6.2}, {:>5.2}) ({:>6.2}, {:>5.2}) {tracked_err:>8.2}",
+            truth.x, truth.y, fix.position.x, fix.position.y, tracked.x, tracked.y
+        );
+    }
+
+    let state = tracker.state().expect("tracker has state");
+    println!(
+        "\nmean error: raw fixes {:.2} m → tracked {:.2} m; estimated velocity ({:.2}, {:.2}) m/s (true: ({speed}, 0.00))",
+        raw_err_sum / fixes as f64,
+        tracked_err_sum / fixes as f64,
+        state.velocity.0,
+        state.velocity.1,
+    );
+    Ok(())
+}

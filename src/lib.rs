@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the concurrent-ranging workspace.
+pub use concurrent_ranging as ranging;
+pub use uwb_channel as channel;
+pub use uwb_dsp as dsp;
+pub use uwb_netsim as netsim;
+pub use uwb_radio as radio;

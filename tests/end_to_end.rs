@@ -1,0 +1,252 @@
+//! End-to-end integration tests spanning every crate: DSP → radio model →
+//! channel → network simulation → ranging protocols.
+
+use concurrent_ranging::{
+    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangeToAnchor,
+    RangingMessage, SlotPlan, SsTwrEngine,
+};
+use uwb_channel::{ChannelModel, Point2, Room};
+use uwb_dsp::stats;
+use uwb_netsim::{ClockModel, NodeConfig, SimConfig, Simulator};
+
+fn free_space(seed: u64) -> Simulator<RangingMessage> {
+    Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed)
+}
+
+#[test]
+fn twr_and_concurrent_agree_on_distances() {
+    // The same two-node geometry measured by both protocols must agree
+    // within the concurrent scheme's TX-grid error budget.
+    let mut sim = free_space(1);
+    let a = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let b = sim.add_node(NodeConfig::at(8.5, 0.0));
+    let mut twr = SsTwrEngine::new(a, b, 20);
+    sim.run(&mut twr, 1.0);
+    let twr_mean = stats::mean(&twr.distances_m());
+
+    let scheme = CombinedScheme::new(SlotPlan::new(1).unwrap(), 1).unwrap();
+    let mut sim2 = free_space(2);
+    let a2 = sim2.add_node(NodeConfig::at(0.0, 0.0));
+    let b2 = sim2.add_node(NodeConfig::at(8.5, 0.0));
+    let mut conc = ConcurrentEngine::new(
+        a2,
+        vec![(b2, 0)],
+        ConcurrentConfig::new(scheme).with_rounds(20),
+        2,
+    )
+    .unwrap();
+    sim2.run(&mut conc, 1.0);
+    let conc_mean = stats::mean(
+        &conc
+            .outcomes
+            .iter()
+            .map(|o| o.d_twr_m)
+            .collect::<Vec<f64>>(),
+    );
+
+    assert!((twr_mean - 8.5).abs() < 0.05, "TWR {twr_mean}");
+    assert!((conc_mean - 8.5).abs() < 0.05, "concurrent {conc_mean}");
+    assert!((twr_mean - conc_mean).abs() < 0.05);
+}
+
+#[test]
+fn full_capacity_round_recovers_all_twelve_ids() {
+    // The combined scheme at full capacity: 4 slots × 3 shapes = 12
+    // responders, all resolved from one CIR.
+    let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 3).unwrap();
+    let mut sim = free_space(3);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let mut responders = Vec::new();
+    let mut truths = Vec::new();
+    for id in 0..12u32 {
+        let angle = 0.5 + id as f64 * 0.52;
+        let radius = 3.0 + (id as f64) * 0.8;
+        let (x, y) = (radius * angle.cos(), radius * angle.sin());
+        let node = sim.add_node(
+            NodeConfig::at(x, y).with_pulse_shape(scheme.assign(id).unwrap().register),
+        );
+        responders.push((node, id));
+        truths.push(radius);
+    }
+    let config = ConcurrentConfig::new(scheme).with_mpc_guard();
+    let mut engine = ConcurrentEngine::new(initiator, responders, config, 3).unwrap();
+    sim.run(&mut engine, 1.0);
+    assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+    let outcome = &engine.outcomes[0];
+    let mut recovered = 0;
+    for (id, truth) in truths.iter().enumerate() {
+        if let Some(e) = outcome.estimate_for(id as u32) {
+            if (e.distance_m - truth).abs() < 1.3 {
+                recovered += 1;
+            }
+        }
+    }
+    assert!(recovered >= 11, "only {recovered}/12 recovered");
+}
+
+#[test]
+fn localization_from_single_round_in_room() {
+    // Full pipeline: multipath room → concurrent round → ranges →
+    // multilateration, position within half a meter.
+    let room = Room::rectangular(15.0, 10.0, 0.6);
+    let anchors = [
+        Point2::new(0.5, 0.5),
+        Point2::new(14.5, 0.5),
+        Point2::new(14.5, 9.5),
+        Point2::new(0.5, 9.5),
+    ];
+    let tag_pos = Point2::new(6.0, 4.0);
+    let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+
+    let mut sim = Simulator::new(ChannelModel::in_room(room), SimConfig::default(), 4);
+    let tag = sim.add_node(NodeConfig::at(tag_pos.x, tag_pos.y));
+    let mut responders = Vec::new();
+    for (id, a) in anchors.iter().enumerate() {
+        let node = sim.add_node(
+            NodeConfig::at(a.x, a.y)
+                .with_pulse_shape(scheme.assign(id as u32).unwrap().register),
+        );
+        responders.push((node, id as u32));
+    }
+    let config = ConcurrentConfig::new(scheme).with_mpc_guard();
+    let mut engine = ConcurrentEngine::new(tag, responders, config, 4).unwrap();
+    sim.run(&mut engine, 1.0);
+
+    let outcome = engine.outcomes.first().expect("round completes");
+    let ranges: Vec<RangeToAnchor> = anchors
+        .iter()
+        .enumerate()
+        .filter_map(|(id, &a)| {
+            outcome.estimate_for(id as u32).map(|e| RangeToAnchor {
+                anchor: a,
+                distance_m: e.distance_m,
+            })
+        })
+        .collect();
+    assert!(ranges.len() >= 3, "only {} anchors resolved", ranges.len());
+    let fix = multilaterate(&ranges).unwrap();
+    let err = fix.position.distance_to(tag_pos);
+    assert!(err < 0.5, "position error {err} m");
+}
+
+#[test]
+fn drifting_clocks_do_not_break_identification() {
+    // ±5 ppm crystals: distances bias slightly (known SS-TWR drift error)
+    // but slot/shape identification is unaffected.
+    let scheme = CombinedScheme::new(SlotPlan::new(4).unwrap(), 1).unwrap();
+    let mut sim = free_space(5);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0).with_clock(ClockModel::new(0.3, 2.0)));
+    let r0 = sim.add_node(
+        NodeConfig::at(5.0, 0.0)
+            .with_clock(ClockModel::new(1.0, -5.0))
+            .with_pulse_shape(scheme.assign(0).unwrap().register),
+    );
+    let r1 = sim.add_node(
+        NodeConfig::at(0.0, 9.0)
+            .with_clock(ClockModel::new(2.0, 5.0))
+            .with_pulse_shape(scheme.assign(1).unwrap().register),
+    );
+    let config = ConcurrentConfig::new(scheme).with_mpc_guard();
+    let mut engine = ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 5).unwrap();
+    sim.run(&mut engine, 1.0);
+    let outcome = engine.outcomes.first().expect("round completes");
+    // Drift error: ≈ c·5ppm·290µs/2 ≈ 22 cm on the anchor, plus TX grid on
+    // the other — identification still exact.
+    let e0 = outcome.estimate_for(0).expect("responder 0 identified");
+    let e1 = outcome.estimate_for(1).expect("responder 1 identified");
+    assert!((e0.distance_m - 5.0).abs() < 1.6, "{}", e0.distance_m);
+    assert!((e1.distance_m - 9.0).abs() < 1.6, "{}", e1.distance_m);
+}
+
+#[test]
+fn out_of_window_responder_fails_gracefully() {
+    // A responder beyond the slot budget (very long round-trip) leaks into
+    // the next slot: its ID decodes wrongly or not at all, but the round
+    // still returns and other responders are unaffected.
+    let scheme = CombinedScheme::new(SlotPlan::new(8).unwrap(), 1).unwrap();
+    let slot_budget_m =
+        scheme.plan().slot_spacing_s() * uwb_radio::SPEED_OF_LIGHT / 2.0;
+    let mut sim = free_space(6);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let near = sim.add_node(
+        NodeConfig::at(4.0, 0.0).with_pulse_shape(scheme.assign(0).unwrap().register),
+    );
+    // Far responder: beyond one slot's round-trip budget relative to the
+    // anchor.
+    let far_distance = 4.0 + slot_budget_m + 3.0;
+    let far = sim.add_node(
+        NodeConfig::at(far_distance, 0.0).with_pulse_shape(scheme.assign(1).unwrap().register),
+    );
+    let config = ConcurrentConfig::new(scheme);
+    let mut engine =
+        ConcurrentEngine::new(initiator, vec![(near, 0), (far, 1)], config, 6).unwrap();
+    sim.run(&mut engine, 1.0);
+    let outcome = engine.outcomes.first().expect("round completes");
+    // The near responder is solid.
+    let near_est = outcome.estimate_for(0).expect("near responder resolved");
+    assert!((near_est.distance_m - 4.0).abs() < 0.2);
+    // The far responder cannot decode as ID 1 (its delay landed in the
+    // wrong slot).
+    assert!(outcome.estimate_for(1).is_none());
+}
+
+#[test]
+fn multiple_rounds_are_consistent() {
+    let scheme = CombinedScheme::new(SlotPlan::new(2).unwrap(), 1).unwrap();
+    let mut sim = free_space(7);
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let r0 = sim.add_node(NodeConfig::at(6.0, 2.0));
+    let r1 = sim.add_node(
+        NodeConfig::at(3.0, -4.0).with_pulse_shape(scheme.assign(1).unwrap().register),
+    );
+    let config = ConcurrentConfig::new(scheme).with_rounds(10);
+    let mut engine = ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 7).unwrap();
+    sim.run(&mut engine, 1.0);
+    assert_eq!(engine.outcomes.len(), 10);
+    let d0: Vec<f64> = engine
+        .outcomes
+        .iter()
+        .filter_map(|o| o.estimate_for(0).map(|e| e.distance_m))
+        .collect();
+    assert!(d0.len() >= 9);
+    // Repeatability: per-round estimates cluster tightly.
+    assert!(stats::std_dev(&d0) < 0.5, "σ {}", stats::std_dev(&d0));
+    // Rounds carry increasing counters.
+    for (i, o) in engine.outcomes.iter().enumerate() {
+        assert_eq!(o.round as usize, i);
+    }
+}
+
+#[test]
+fn energy_advantage_grows_with_network_size() {
+    // The motivating claim: the initiator's energy per full neighborhood
+    // measurement is ~constant for concurrent ranging but linear for TWR.
+    let model = uwb_radio::EnergyModel::dw1000();
+    let mut concurrent_energy = Vec::new();
+    for n in [2usize, 6] {
+        let scheme = CombinedScheme::new(SlotPlan::new(8).unwrap(), 1).unwrap();
+        let mut sim = free_space(8 + n as u64);
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let responders: Vec<_> = (0..n)
+            .map(|k| {
+                let id = k as u32;
+                (
+                    sim.add_node(
+                        NodeConfig::at(3.0 + k as f64, 1.0)
+                            .with_pulse_shape(scheme.assign(id).unwrap().register),
+                    ),
+                    id,
+                )
+            })
+            .collect();
+        let mut engine =
+            ConcurrentEngine::new(initiator, responders, ConcurrentConfig::new(scheme), 9)
+                .unwrap();
+        sim.run(&mut engine, 1.0);
+        concurrent_energy.push(sim.node_ledger(initiator).total_energy_mj(&model));
+    }
+    // Tripling the responder count leaves the initiator cost almost flat
+    // (one TX + one RX either way).
+    let growth = concurrent_energy[1] / concurrent_energy[0];
+    assert!(growth < 1.3, "initiator energy grew ×{growth}");
+}
