@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, release build, full test suite.
+# Run from the repository root. Fails fast on the first broken gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace
+
+echo "ci: all gates passed"

@@ -1,0 +1,26 @@
+//! Campaign-engine scaling: Fig. 7 overlap-campaign throughput at
+//! 1/2/4/8 worker threads. The tally is bit-identical across rows; only
+//! the wall-clock changes. Acceptance target: ≥ 2.5× speedup at 4
+//! threads over 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repro_bench::experiments::fig7;
+
+fn campaign_scaling(c: &mut Criterion) {
+    let trials = 400;
+    let mut group = c.benchmark_group("fig7_campaign");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| fig7::run_campaign(criterion::black_box(trials), 17, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_scaling);
+criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! the threshold baseline, and the matched-filter bank's scaling with the
 //! number of pulse shapes N_PS (the run-time cost of identification).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use concurrent_ranging::detection::{
     SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
 use uwb_channel::{Arrival, CirSynthesizer};

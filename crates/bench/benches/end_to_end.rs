@@ -2,20 +2,17 @@
 //! (broadcast → concurrent replies → CIR → detection → identification)
 //! vs an SS-TWR round, and scaling with the number of responders.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use concurrent_ranging::{
     CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, SlotPlan, SsTwrEngine,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use uwb_channel::ChannelModel;
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
 
 fn run_concurrent_round(n_responders: usize, seed: u64) -> usize {
-    let scheme = CombinedScheme::new(
-        SlotPlan::new(4).unwrap(),
-        n_responders.div_ceil(4).max(1),
-    )
-    .unwrap();
+    let scheme =
+        CombinedScheme::new(SlotPlan::new(4).unwrap(), n_responders.div_ceil(4).max(1)).unwrap();
     let mut sim: Simulator<RangingMessage> =
         Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed);
     let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
@@ -24,7 +21,9 @@ fn run_concurrent_round(n_responders: usize, seed: u64) -> usize {
             let id = k as u32;
             let reg = scheme.assign(id).unwrap().register;
             (
-                sim.add_node(NodeConfig::at(3.0 + 1.5 * k as f64, 0.3 * k as f64).with_pulse_shape(reg)),
+                sim.add_node(
+                    NodeConfig::at(3.0 + 1.5 * k as f64, 0.3 * k as f64).with_pulse_shape(reg),
+                ),
                 id,
             )
         })
@@ -49,8 +48,7 @@ fn bench_concurrent_round(c: &mut Criterion) {
 fn bench_twr_round(c: &mut Criterion) {
     c.bench_function("ss_twr_round", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::new(ChannelModel::free_space(), SimConfig::default(), 11);
+            let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), 11);
             let a = sim.add_node(NodeConfig::at(0.0, 0.0));
             let bb = sim.add_node(NodeConfig::at(5.0, 0.0));
             let mut engine = SsTwrEngine::new(a, bb, 1);

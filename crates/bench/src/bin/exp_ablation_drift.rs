@@ -1,5 +1,8 @@
 //! Ablation: SS-TWR bias vs responder clock drift.
 fn main() {
     let rounds = repro_bench::trials_from_env(200) as u32;
-    println!("{}", repro_bench::experiments::ablations::run_drift(rounds, 7));
+    println!(
+        "{}",
+        repro_bench::experiments::ablations::run_drift(rounds, 7)
+    );
 }

@@ -1,5 +1,8 @@
 //! Design ablation: the MPC guard in a reflective room.
 fn main() {
     let rounds = repro_bench::trials_from_env(60) as u32;
-    println!("{}", repro_bench::experiments::design_ablations::run_guard(rounds, 4));
+    println!(
+        "{}",
+        repro_bench::experiments::design_ablations::run_guard(rounds, 4)
+    );
 }

@@ -1,5 +1,8 @@
 //! Ablation: NLOS impact on concurrent ranging (paper's future work).
 fn main() {
     let rounds = repro_bench::trials_from_env(50) as u32;
-    println!("{}", repro_bench::experiments::ablations::run_nlos(rounds, 8));
+    println!(
+        "{}",
+        repro_bench::experiments::ablations::run_nlos(rounds, 8)
+    );
 }

@@ -1,5 +1,15 @@
 //! Design ablation: overlap resolution vs joint-refinement passes.
+//! Pass `--threads N` to pick the worker count — the report is
+//! bit-identical for any value.
 fn main() {
     let trials = repro_bench::trials_from_env(800);
-    println!("{}", repro_bench::experiments::design_ablations::run_refinement(trials, 3));
+    let threads = repro_bench::threads_from_args();
+    let started = std::time::Instant::now();
+    let report =
+        repro_bench::experiments::design_ablations::run_refinement_threaded(trials, 3, threads);
+    eprintln!(
+        "4 pass counts × {trials} trials in {:.3} s",
+        started.elapsed().as_secs_f64()
+    );
+    println!("{report}");
 }

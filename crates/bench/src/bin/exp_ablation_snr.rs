@@ -1,5 +1,13 @@
-//! Ablation: detection success vs CIR SNR.
+//! Ablation: detection success vs CIR SNR. Pass `--threads N` to pick
+//! the worker count — the report is bit-identical for any value.
 fn main() {
     let trials = repro_bench::trials_from_env(300);
-    println!("{}", repro_bench::experiments::ablations::run_snr(trials, 5));
+    let threads = repro_bench::threads_from_args();
+    let started = std::time::Instant::now();
+    let report = repro_bench::experiments::ablations::run_snr_threaded(trials, 5, threads);
+    eprintln!(
+        "7 SNR points × {trials} trials in {:.3} s",
+        started.elapsed().as_secs_f64()
+    );
+    println!("{report}");
 }

@@ -1,5 +1,8 @@
 //! Ablation: delay-estimation error vs FFT upsampling factor.
 fn main() {
     let trials = repro_bench::trials_from_env(200);
-    println!("{}", repro_bench::experiments::ablations::run_upsampling(trials, 6));
+    println!(
+        "{}",
+        repro_bench::experiments::ablations::run_upsampling(trials, 6)
+    );
 }

@@ -1,6 +1,44 @@
 //! Regenerates Fig. 7 / Sect. VI: detection of overlapping responses.
-//! The paper uses 2000 trials; set REPRO_TRIALS to change.
+//! The paper uses 2000 trials; set REPRO_TRIALS to change. Pass
+//! `--threads N` (or set UWB_CAMPAIGN_THREADS) to pick the worker
+//! count — the report is bit-identical for any value.
+
+use repro_bench::experiments::fig7::{self, Fig7Report};
+use uwb_campaign::artifact::{results_dir, CsvWriter};
+
 fn main() {
     let trials = repro_bench::trials_from_env(2000);
-    println!("{}", repro_bench::experiments::fig7::run(trials, 17));
+    let threads = repro_bench::threads_from_args();
+    let report = fig7::run_campaign(trials, 17, threads);
+    eprintln!("{}", report.timing_line());
+    let fig: Fig7Report = report.collector.into();
+    println!("{fig}");
+
+    let path = results_dir().join("fig7_overlap.csv");
+    let write = || -> std::io::Result<()> {
+        let mut csv = CsvWriter::create(
+            &path,
+            &[
+                "total_trials",
+                "overlapping_trials",
+                "search_subtract_rate",
+                "threshold_rate",
+                "threads",
+                "elapsed_s",
+            ],
+        )?;
+        csv.write_row(&[
+            fig.total_trials.into(),
+            fig.overlapping_trials.into(),
+            fig.search_subtract_rate.into(),
+            fig.threshold_rate.into(),
+            report.threads.into(),
+            report.elapsed.as_secs_f64().into(),
+        ])?;
+        csv.finish()
+    };
+    match write() {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

@@ -2,18 +2,59 @@
 //! `T_p` (which defines both "actually overlapping" and the threshold
 //! detector's scan window) and to the success tolerance. The paper does not
 //! specify either exactly; this sweep shows where its 92.6 % / 48 % pair
-//! falls in the parameter landscape.
+//! falls in the parameter landscape. Pass `--threads N` to pick the
+//! worker count — results are bit-identical for any value.
+
+use repro_bench::experiments::fig7::{self, Fig7Report};
+use uwb_campaign::artifact::{results_dir, CsvWriter};
+
 fn main() {
     let trials = repro_bench::trials_from_env(2000);
+    let threads = repro_bench::threads_from_args();
     println!("Fig. 7 sensitivity: success rates vs overlap window / tolerance");
-    for (w, tol) in [(2.22, 0.75), (3.0, 0.75), (4.0, 0.75), (4.0, 1.0), (5.0, 1.0)] {
-        let r = repro_bench::experiments::fig7::run_with(trials, 17, w, tol);
+    let path = results_dir().join("fig7_sensitivity.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &[
+            "window_ns",
+            "tol_ns",
+            "overlapping_trials",
+            "search_subtract_rate",
+            "threshold_rate",
+        ],
+    )
+    .ok();
+    for (w, tol) in [
+        (2.22, 0.75),
+        (3.0, 0.75),
+        (4.0, 0.75),
+        (4.0, 1.0),
+        (5.0, 1.0),
+    ] {
+        let report = fig7::campaign(trials, 17, w, tol, threads);
+        eprintln!("window {w:4} ns, tol {tol:4} ns: {}", report.timing_line());
+        let r: Fig7Report = report.collector.into();
         println!(
             "window {w:4} ns, tol {tol:4} ns: S&S {:5.1}% vs threshold {:5.1}%  ({} overlapping trials)",
             r.search_subtract_rate * 100.0,
             r.threshold_rate * 100.0,
             r.overlapping_trials
         );
+        if let Some(csv) = csv.as_mut() {
+            let _ = csv.write_row(&[
+                w.into(),
+                tol.into(),
+                r.overlapping_trials.into(),
+                r.search_subtract_rate.into(),
+                r.threshold_rate.into(),
+            ]);
+        }
+    }
+    if let Some(csv) = csv.take() {
+        match csv.finish() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
     }
     println!("paper: 92.6% vs 48.0%");
 }

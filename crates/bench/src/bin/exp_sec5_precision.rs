@@ -1,6 +1,15 @@
 //! Regenerates the Sect. V precision evaluation (σ per pulse shape).
 //! The paper uses 5000 SS-TWR operations; set REPRO_TRIALS to change.
+//! Pass `--threads N` to pick the worker count — the report is
+//! bit-identical for any value.
 fn main() {
     let rounds = repro_bench::trials_from_env(5000) as u32;
-    println!("{}", repro_bench::experiments::sec5::run(rounds, 11));
+    let threads = repro_bench::threads_from_args();
+    let started = std::time::Instant::now();
+    let report = repro_bench::experiments::sec5::run_threaded(rounds, 11, threads);
+    eprintln!(
+        "3 × {rounds} rounds in {:.3} s",
+        started.elapsed().as_secs_f64()
+    );
+    println!("{report}");
 }

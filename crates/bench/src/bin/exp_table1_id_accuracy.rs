@@ -1,6 +1,15 @@
 //! Regenerates Table I: % of pulse shapes identified correctly.
 //! The paper uses 1000 rounds per cell; set REPRO_TRIALS to change.
+//! Pass `--threads N` to pick the worker count — the report is
+//! bit-identical for any value.
 fn main() {
     let rounds = repro_bench::trials_from_env(1000) as u32;
-    println!("{}", repro_bench::experiments::table1::run(rounds, 3));
+    let threads = repro_bench::threads_from_args();
+    let started = std::time::Instant::now();
+    let report = repro_bench::experiments::table1::run_threaded(rounds, 3, threads);
+    eprintln!(
+        "10 cells × {rounds} rounds in {:.3} s",
+        started.elapsed().as_secs_f64()
+    );
+    println!("{report}");
 }

@@ -10,6 +10,7 @@ use concurrent_ranging::detection::{
 use concurrent_ranging::{CombinedScheme, ConcurrentConfig, SlotPlan};
 use rand::Rng;
 use std::fmt;
+use uwb_campaign::{Campaign, Counter};
 use uwb_channel::{ChannelConfig, ChannelModel, NlosConfig, Point2, Room};
 use uwb_dsp::stats;
 use uwb_netsim::{ClockModel, NodeConfig, SimConfig, Simulator};
@@ -37,6 +38,14 @@ pub struct SnrReport {
 
 /// Detection success vs SNR for two well-separated responses.
 pub fn run_snr(trials: usize, seed: u64) -> SnrReport {
+    run_snr_threaded(trials, seed, 0)
+}
+
+/// Like [`run_snr`], with an explicit worker count (0 = automatic). Each
+/// SNR point is a [`uwb_campaign`] campaign against detectors shared
+/// across workers; the hit counts are exact, so the report is
+/// bit-identical for any `threads` value.
+pub fn run_snr_threaded(trials: usize, seed: u64, threads: usize) -> SnrReport {
     let pulse = PulseShape::from_config(&RadioConfig::default());
     let ss = SearchSubtractDetector::from_registers(
         &[TcPgDelay::DEFAULT],
@@ -50,46 +59,41 @@ pub fn run_snr(trials: usize, seed: u64) -> SnrReport {
     let rows = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
         .into_iter()
         .map(|snr_db| {
-            let mut r = rng(seed + snr_db as u64);
-            let mut ss_ok = 0;
-            let mut th_ok = 0;
-            for _ in 0..trials {
-                let t1 = 100.0 + r.random::<f64>();
-                let t2 = t1 + 20.0; // paper Fig. 4's 3 m vs 6 m spacing
-                let amp2 = 0.4 + 0.4 * r.random::<f64>();
-                let cir = synthesize_responses(
-                    &[(t1, 1.0, pulse), (t2, amp2, pulse)],
-                    snr_db,
-                    &mut r,
+            let report = Campaign::new(trials as u64, seed + snr_db as u64)
+                .threads(threads)
+                .run(
+                    |_, r| {
+                        let t1 = 100.0 + r.random::<f64>();
+                        let t2 = t1 + 20.0; // paper Fig. 4's 3 m vs 6 m spacing
+                        let amp2 = 0.4 + 0.4 * r.random::<f64>();
+                        let cir =
+                            synthesize_responses(&[(t1, 1.0, pulse), (t2, amp2, pulse)], snr_db, r);
+                        let hit = |taus: &[f64]| {
+                            taus.iter().any(|&t| (t - t1).abs() < tol_ns)
+                                && taus.iter().any(|&t| (t - t2).abs() < tol_ns)
+                        };
+                        let ss_taus: Vec<f64> = ss
+                            .detect(&cir, 2)
+                            .expect("detection")
+                            .responses
+                            .iter()
+                            .map(|p| p.tau_s * 1e9)
+                            .collect();
+                        let th_taus: Vec<f64> = th
+                            .detect(&cir, 2)
+                            .expect("baseline")
+                            .iter()
+                            .map(|p| p.tau_s * 1e9)
+                            .collect();
+                        (hit(&ss_taus), hit(&th_taus))
+                    },
+                    (Counter::new(), Counter::new()),
                 );
-                let hit = |taus: &[f64]| {
-                    taus.iter().any(|&t| (t - t1).abs() < tol_ns)
-                        && taus.iter().any(|&t| (t - t2).abs() < tol_ns)
-                };
-                let ss_taus: Vec<f64> = ss
-                    .detect(&cir, 2)
-                    .expect("detection")
-                    .responses
-                    .iter()
-                    .map(|p| p.tau_s * 1e9)
-                    .collect();
-                if hit(&ss_taus) {
-                    ss_ok += 1;
-                }
-                let th_taus: Vec<f64> = th
-                    .detect(&cir, 2)
-                    .expect("baseline")
-                    .iter()
-                    .map(|p| p.tau_s * 1e9)
-                    .collect();
-                if hit(&th_taus) {
-                    th_ok += 1;
-                }
-            }
+            let (ss_hits, th_hits) = report.collector;
             SnrRow {
                 snr_db,
-                search_subtract_rate: ss_ok as f64 / trials as f64,
-                threshold_rate: th_ok as f64 / trials as f64,
+                search_subtract_rate: ss_hits.rate(),
+                threshold_rate: th_hits.rate(),
             }
         })
         .collect();
@@ -98,7 +102,10 @@ pub fn run_snr(trials: usize, seed: u64) -> SnrReport {
 
 impl fmt::Display for SnrReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation — detection success vs CIR SNR (responses 20 ns apart)")?;
+        writeln!(
+            f,
+            "Ablation — detection success vs CIR SNR (responses 20 ns apart)"
+        )?;
         let mut t = Table::new(vec![
             "SNR [dB]".into(),
             "search & subtract [%]".into(),
@@ -172,7 +179,10 @@ pub fn run_upsampling(trials: usize, seed: u64) -> UpsamplingReport {
 
 impl fmt::Display for UpsamplingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation — delay estimation error vs FFT upsampling factor")?;
+        writeln!(
+            f,
+            "Ablation — delay estimation error vs FFT upsampling factor"
+        )?;
         let mut t = Table::new(vec![
             "factor".into(),
             "RMSE [ps]".into(),
@@ -243,7 +253,10 @@ pub fn run_drift(rounds: u32, seed: u64) -> DriftReport {
 
 impl fmt::Display for DriftReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation — SS-TWR bias vs responder clock drift (Δ_RESP = 290 µs)")?;
+        writeln!(
+            f,
+            "Ablation — SS-TWR bias vs responder clock drift (Δ_RESP = 290 µs)"
+        )?;
         let mut t = Table::new(vec![
             "drift [ppm]".into(),
             "measured bias [m]".into(),
@@ -293,12 +306,9 @@ pub fn run_nlos(rounds: u32, seed: u64) -> NlosReport {
                     excess_delay_ns: 0.1 * extra_loss_db,
                 });
             }
-            let channel = ChannelModel::with_config(
-                Some(Room::rectangular(20.0, 8.0, 0.6)),
-                channel_config,
-            );
-            let scheme =
-                CombinedScheme::new(SlotPlan::new(4).expect("slots"), 1).expect("scheme");
+            let channel =
+                ChannelModel::with_config(Some(Room::rectangular(20.0, 8.0, 0.6)), channel_config);
+            let scheme = CombinedScheme::new(SlotPlan::new(4).expect("slots"), 1).expect("scheme");
             let deployment = Deployment {
                 initiator: Point2::new(2.0, 4.0),
                 responders: vec![(Point2::new(8.0, 4.0), 0), (Point2::new(14.0, 4.0), 1)],
@@ -369,10 +379,7 @@ mod tests {
         assert!(last.search_subtract_rate > 0.9, "{report:?}");
         // Search-and-subtract at least matches the baseline everywhere.
         for r in &report.rows {
-            assert!(
-                r.search_subtract_rate >= r.threshold_rate - 0.1,
-                "{r:?}"
-            );
+            assert!(r.search_subtract_rate >= r.threshold_rate - 0.1, "{r:?}");
         }
     }
 

@@ -75,7 +75,10 @@ pub fn run() -> Fig1Report {
 
 impl fmt::Display for Fig1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 1 — LOS + first-order reflections, 900 MHz vs 50 MHz")?;
+        writeln!(
+            f,
+            "Fig. 1 — LOS + first-order reflections, 900 MHz vs 50 MHz"
+        )?;
         let mut t = Table::new(vec![
             "path".into(),
             "order".into(),

@@ -75,7 +75,11 @@ impl fmt::Display for Fig2Report {
             "Fig. 2 — estimated CIR in an indoor environment (peak SNR {:.1} dB)",
             self.peak_snr_db
         )?;
-        writeln!(f, "|h(t)|: {}", sparkline(&self.cir.magnitudes()[..400], 100))?;
+        writeln!(
+            f,
+            "|h(t)|: {}",
+            sparkline(&self.cir.magnitudes()[..400], 100)
+        )?;
         let mut t = Table::new(vec![
             "component".into(),
             "tap".into(),

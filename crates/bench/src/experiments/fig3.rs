@@ -50,7 +50,11 @@ fn measure_twr(n_responders: usize, seed: u64) -> (usize, f64, f64) {
     let mut energy_mj = 0.0;
     let mut duration_s = 0.0;
     for k in 0..n_responders {
-        let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed + k as u64);
+        let mut sim = Simulator::new(
+            ChannelModel::free_space(),
+            SimConfig::default(),
+            seed + k as u64,
+        );
         let a = sim.add_node(NodeConfig::at(0.0, 0.0));
         let b = sim.add_node(NodeConfig::at(3.0 + 2.0 * k as f64, 0.0));
         let mut engine = SsTwrEngine::new(a, b, 1);
@@ -93,8 +97,8 @@ fn measure_concurrent(n_responders: usize, seed: u64) -> (usize, f64, f64) {
         responders.push((node, id));
     }
     let config = ConcurrentConfig::new(scheme);
-    let mut engine = ConcurrentEngine::new(initiator, responders, config, seed)
-        .expect("engine construction");
+    let mut engine =
+        ConcurrentEngine::new(initiator, responders, config, seed).expect("engine construction");
     sim.run(&mut engine, 1.0);
     let tx = sim
         .trace()

@@ -32,10 +32,13 @@ fn hallway() -> ChannelModel {
         }),
         ..ChannelConfig::default()
     };
-    ChannelModel::with_config(Some(Room::from_walls(vec![
-        uwb_channel::Wall::new(Point2::new(-2.0, 0.0), Point2::new(14.0, 0.0), 0.2),
-        uwb_channel::Wall::new(Point2::new(-2.0, 2.4), Point2::new(14.0, 2.4), 0.2),
-    ])), config)
+    ChannelModel::with_config(
+        Some(Room::from_walls(vec![
+            uwb_channel::Wall::new(Point2::new(-2.0, 0.0), Point2::new(14.0, 0.0), 0.2),
+            uwb_channel::Wall::new(Point2::new(-2.0, 2.4), Point2::new(14.0, 2.4), 0.2),
+        ])),
+        config,
+    )
 }
 
 /// Runs one concurrent round with responders at 3/6/10 m.
@@ -65,10 +68,17 @@ pub fn run(seed: u64) -> Fig4Report {
 
 impl fmt::Display for Fig4Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 4 — response detection stages (3 responders @ 3/6/10 m)")?;
+        writeln!(
+            f,
+            "Fig. 4 — response detection stages (3 responders @ 3/6/10 m)"
+        )?;
         let d = &self.outcome.detection.diagnostics;
         let span = (d.upsampled_magnitude.len() / 8).min(d.upsampled_magnitude.len());
-        writeln!(f, "(a) CIR          : {}", sparkline(&d.upsampled_magnitude[..span], 96))?;
+        writeln!(
+            f,
+            "(a) CIR          : {}",
+            sparkline(&d.upsampled_magnitude[..span], 96)
+        )?;
         if let Some(mf) = d.first_mf_magnitude.first() {
             writeln!(f, "(b) matched filt.: {}", sparkline(&mf[..span], 96))?;
         }

@@ -26,11 +26,8 @@ pub struct Fig6Report {
 pub fn run(seed: u64) -> Fig6Report {
     let fig5 = TcPgDelay::paper_figure5();
     let bank = vec![fig5[0], fig5[1], fig5[2]]; // s1, s2, s3
-    let scheme = CombinedScheme::with_registers(
-        SlotPlan::new(1).expect("one slot"),
-        bank.clone(),
-    )
-    .expect("registers valid");
+    let scheme = CombinedScheme::with_registers(SlotPlan::new(1).expect("one slot"), bank.clone())
+        .expect("registers valid");
     let deployment = Deployment {
         initiator: Point2::new(0.0, 0.0),
         // id 0 → shape s1 @ 4 m; id 2 → shape s3 @ 10 m (Fig. 6 setup).
@@ -50,7 +47,11 @@ impl fmt::Display for Fig6Report {
         writeln!(f, "Fig. 6 — pulse-shape identification (4 m/s₁ vs 10 m/s₃)")?;
         let d = &self.outcome.detection.diagnostics;
         let span = d.upsampled_magnitude.len() / 8;
-        writeln!(f, "(a) CIR: {}", sparkline(&d.upsampled_magnitude[..span], 96))?;
+        writeln!(
+            f,
+            "(a) CIR: {}",
+            sparkline(&d.upsampled_magnitude[..span], 96)
+        )?;
         for (i, mf) in d.first_mf_magnitude.iter().enumerate() {
             writeln!(
                 f,
@@ -108,6 +109,14 @@ mod tests {
     #[test]
     fn matched_filter_bank_has_three_outputs() {
         let report = run(5);
-        assert_eq!(report.outcome.detection.diagnostics.first_mf_magnitude.len(), 3);
+        assert_eq!(
+            report
+                .outcome
+                .detection
+                .diagnostics
+                .first_mf_magnitude
+                .len(),
+            3
+        );
     }
 }

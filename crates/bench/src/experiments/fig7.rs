@@ -6,14 +6,19 @@
 //! overlap (offset within a pulse width) are scored. The paper reports the
 //! search-and-subtract algorithm succeeding in 92.6 % of overlapping
 //! trials vs 48 % for the threshold baseline.
+//!
+//! Runs on the [`uwb_campaign`] engine: trials execute in parallel with
+//! per-trial seed derivation, so the report is bit-identical for any
+//! worker count.
 
-use crate::scenarios::{rng, synthesize_responses, tx_grid_offset_ns};
+use crate::scenarios::{synthesize_responses, tx_grid_offset_ns};
 use crate::table::{fmt_f, Table};
 use concurrent_ranging::detection::{
     SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
 };
 use rand::Rng;
 use std::fmt;
+use uwb_campaign::{Campaign, Collect, TrialRng};
 use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
 
 /// Result of the overlap experiment.
@@ -27,6 +32,54 @@ pub struct Fig7Report {
     pub search_subtract_rate: f64,
     /// Threshold-baseline success rate over overlapping trials.
     pub threshold_rate: f64,
+}
+
+/// One trial's outcome: did the responses overlap, and which detectors
+/// resolved both.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapTrial {
+    /// The responses' offset was within the overlap window.
+    pub overlapped: bool,
+    /// Search-and-subtract matched both truths with distinct peaks.
+    pub search_subtract_ok: bool,
+    /// The threshold baseline matched both truths with distinct peaks.
+    pub threshold_ok: bool,
+}
+
+/// Exact (integer) tally of overlap trials — the campaign collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapTally {
+    total: u64,
+    overlapping: u64,
+    search_subtract_ok: u64,
+    threshold_ok: u64,
+}
+
+impl Collect<OverlapTrial> for OverlapTally {
+    fn record(&mut self, _trial: u64, outcome: OverlapTrial) {
+        self.total += 1;
+        self.overlapping += u64::from(outcome.overlapped);
+        self.search_subtract_ok += u64::from(outcome.search_subtract_ok);
+        self.threshold_ok += u64::from(outcome.threshold_ok);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        self.overlapping += other.overlapping;
+        self.search_subtract_ok += other.search_subtract_ok;
+        self.threshold_ok += other.threshold_ok;
+    }
+}
+
+impl From<OverlapTally> for Fig7Report {
+    fn from(t: OverlapTally) -> Self {
+        Fig7Report {
+            total_trials: t.total as usize,
+            overlapping_trials: t.overlapping as usize,
+            search_subtract_rate: t.search_subtract_ok as f64 / t.overlapping.max(1) as f64,
+            threshold_rate: t.threshold_ok as f64 / t.overlapping.max(1) as f64,
+        }
+    }
 }
 
 /// Success: every true response is matched by a distinct detected peak
@@ -55,12 +108,76 @@ pub fn run(trials: usize, seed: u64) -> Fig7Report {
     run_with(trials, seed, pulse.main_lobe_s() * 1e9, 0.75)
 }
 
+/// [`run`]'s campaign with an explicit worker count (0 = automatic),
+/// returning the engine report (tally + wall-clock accounting).
+pub fn run_campaign(
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> uwb_campaign::CampaignReport<OverlapTally> {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    campaign(trials, seed, pulse.main_lobe_s() * 1e9, 0.75, threads)
+}
+
 /// Like [`run`], with an explicit overlap-window (ns) — the pulse duration
 /// `T_p` used both as the "actually overlapping" criterion and as the
 /// threshold detector's scan window — and success tolerance (ns).
 pub fn run_with(trials: usize, seed: u64, overlap_window_ns: f64, tol_ns: f64) -> Fig7Report {
-    let pulse = PulseShape::from_config(&RadioConfig::default());
+    campaign(trials, seed, overlap_window_ns, tol_ns, 0)
+        .collector
+        .into()
+}
 
+/// One Fig. 7 trial against shared detectors: draws the TX-grid offset,
+/// synthesizes the two-response CIR, and scores both detectors.
+pub fn overlap_trial(
+    rng: &mut TrialRng,
+    pulse: PulseShape,
+    ss: &SearchSubtractDetector,
+    th: &ThresholdDetector,
+    overlap_window_ns: f64,
+    tol_ns: f64,
+) -> OverlapTrial {
+    let offset_ns = tx_grid_offset_ns(rng);
+    if offset_ns.abs() >= overlap_window_ns {
+        // Paper: only actually-overlapping trials are scored.
+        return OverlapTrial {
+            overlapped: false,
+            search_subtract_ok: false,
+            threshold_ok: false,
+        };
+    }
+    let base_ns = 100.0 + rng.random::<f64>(); // sub-tap phase varies
+    let amp2 = 0.7 + 0.6 * rng.random::<f64>();
+    let truth = [base_ns, base_ns + offset_ns];
+    let cir = synthesize_responses(
+        &[(truth[0], 1.0, pulse), (truth[1], amp2, pulse)],
+        30.0,
+        rng,
+    );
+
+    let ss_out = ss.detect(&cir, 2).expect("detection runs");
+    let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
+    let th_out = th.detect(&cir, 2).expect("baseline runs");
+    let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
+    OverlapTrial {
+        overlapped: true,
+        search_subtract_ok: matches_both(&ss_taus, &truth, tol_ns),
+        threshold_ok: matches_both(&th_taus, &truth, tol_ns),
+    }
+}
+
+/// The full campaign: like [`run_with`] plus an explicit worker count
+/// (0 = automatic), returning the engine's report with the exact tally
+/// and timing. The tally is bit-identical for any `threads` value.
+pub fn campaign(
+    trials: usize,
+    seed: u64,
+    overlap_window_ns: f64,
+    tol_ns: f64,
+    threads: usize,
+) -> uwb_campaign::CampaignReport<OverlapTally> {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
     let ss = SearchSubtractDetector::from_registers(
         &[TcPgDelay::DEFAULT],
         Channel::Ch7,
@@ -73,44 +190,10 @@ pub fn run_with(trials: usize, seed: u64, overlap_window_ns: f64, tol_ns: f64) -
     })
     .expect("baseline construction");
 
-    let mut r = rng(seed);
-    let mut overlapping = 0usize;
-    let mut ss_ok = 0usize;
-    let mut th_ok = 0usize;
-    for _ in 0..trials {
-        let offset_ns = tx_grid_offset_ns(&mut r);
-        if offset_ns.abs() >= overlap_window_ns {
-            continue; // paper: only actually-overlapping trials are scored
-        }
-        overlapping += 1;
-        let base_ns = 100.0 + r.random::<f64>(); // sub-tap phase varies
-        let amp2 = 0.7 + 0.6 * r.random::<f64>();
-        let truth = [base_ns, base_ns + offset_ns];
-        let cir = synthesize_responses(
-            &[(truth[0], 1.0, pulse), (truth[1], amp2, pulse)],
-            30.0,
-            &mut r,
-        );
-
-        let ss_out = ss.detect(&cir, 2).expect("detection runs");
-        let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
-        if matches_both(&ss_taus, &truth, tol_ns) {
-            ss_ok += 1;
-        }
-
-        let th_out = th.detect(&cir, 2).expect("baseline runs");
-        let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
-        if matches_both(&th_taus, &truth, tol_ns) {
-            th_ok += 1;
-        }
-    }
-
-    Fig7Report {
-        total_trials: trials,
-        overlapping_trials: overlapping,
-        search_subtract_rate: ss_ok as f64 / overlapping.max(1) as f64,
-        threshold_rate: th_ok as f64 / overlapping.max(1) as f64,
-    }
+    Campaign::new(trials as u64, seed).threads(threads).run(
+        |_, rng| overlap_trial(rng, pulse, &ss, &th, overlap_window_ns, tol_ns),
+        OverlapTally::default(),
+    )
 }
 
 impl fmt::Display for Fig7Report {
@@ -120,7 +203,11 @@ impl fmt::Display for Fig7Report {
             "Fig. 7 / Sect. VI — overlapping responses (d1 = d2 = 4 m), {} of {} trials overlapped",
             self.overlapping_trials, self.total_trials
         )?;
-        let mut t = Table::new(vec!["algorithm".into(), "success [%]".into(), "paper [%]".into()]);
+        let mut t = Table::new(vec![
+            "algorithm".into(),
+            "success [%]".into(),
+            "paper [%]".into(),
+        ]);
         t.push(vec![
             "search & subtract".into(),
             fmt_f(self.search_subtract_rate * 100.0, 1),
@@ -160,6 +247,17 @@ mod tests {
             report.search_subtract_rate,
             report.threshold_rate
         );
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        let window = PulseShape::from_config(&RadioConfig::default()).main_lobe_s() * 1e9;
+        let one = campaign(300, 17, window, 0.75, 1);
+        let four = campaign(300, 17, window, 0.75, 4);
+        assert_eq!(one.collector, four.collector);
+        let a: Fig7Report = one.collector.into();
+        let b: Fig7Report = four.collector.into();
+        assert_eq!(format!("{a}"), format!("{b}"));
     }
 
     #[test]

@@ -26,8 +26,7 @@ pub struct Fig8Report {
 ///
 /// Panics if the round fails to complete (a regression).
 pub fn run(seed: u64) -> Fig8Report {
-    let scheme =
-        CombinedScheme::new(SlotPlan::new(4).expect("4 slots"), 3).expect("3 shapes");
+    let scheme = CombinedScheme::new(SlotPlan::new(4).expect("4 slots"), 3).expect("3 shapes");
     // Nine responders spread over a ~12 m area (well within one slot's
     // round-trip budget).
     let positions: Vec<Point2> = (0..9)

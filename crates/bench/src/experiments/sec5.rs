@@ -7,9 +7,10 @@
 
 use crate::scenarios::run_twr_rounds;
 use crate::table::{fmt_f, Table};
+use rand::Rng;
 use std::fmt;
+use uwb_campaign::{Campaign, ScalarStats};
 use uwb_channel::ChannelModel;
-use uwb_dsp::stats;
 use uwb_radio::TcPgDelay;
 
 /// Per-shape precision result.
@@ -36,6 +37,15 @@ pub struct Sec5Report {
 
 /// Runs `rounds` SS-TWR operations per shape at the paper's 3 m distance.
 pub fn run(rounds: u32, seed: u64) -> Sec5Report {
+    run_threaded(rounds, seed, 0)
+}
+
+/// Like [`run`], with an explicit worker count (0 = automatic). Each
+/// trial is one independent SS-TWR operation in a fresh simulator, run
+/// on the [`uwb_campaign`] engine; the per-shape error statistics stream
+/// through a mergeable [`ScalarStats`], so the report is bit-identical
+/// for any `threads` value.
+pub fn run_threaded(rounds: u32, seed: u64, threads: usize) -> Sec5Report {
     let distance_m = 3.0;
     let shapes = [
         TcPgDelay::DEFAULT,
@@ -46,19 +56,29 @@ pub fn run(rounds: u32, seed: u64) -> Sec5Report {
         .iter()
         .enumerate()
         .map(|(i, &register)| {
-            let estimates = run_twr_rounds(
-                distance_m,
-                rounds,
-                register,
-                ChannelModel::free_space(),
-                seed + i as u64,
-            );
-            let errors: Vec<f64> = estimates.iter().map(|d| d - distance_m).collect();
+            let report = Campaign::new(u64::from(rounds), seed + i as u64)
+                .threads(threads)
+                .run(
+                    |_, rng| {
+                        let sim_seed = rng.random::<u64>();
+                        let estimates = run_twr_rounds(
+                            distance_m,
+                            1,
+                            register,
+                            ChannelModel::free_space(),
+                            sim_seed,
+                        );
+                        let estimate = estimates.first().expect("SS-TWR round completes");
+                        estimate - distance_m
+                    },
+                    ScalarStats::new(),
+                );
+            let errors = report.collector;
             PrecisionRow {
                 register,
-                bias_m: stats::mean(&errors),
-                sigma_m: stats::std_dev(&errors),
-                rounds: estimates.len() as u32,
+                bias_m: errors.mean(),
+                sigma_m: errors.sample_std_dev(),
+                rounds: u32::try_from(errors.count()).expect("round count fits u32"),
             }
         })
         .collect();
@@ -114,6 +134,13 @@ mod tests {
             );
             assert!(r.bias_m.abs() < 0.01, "bias {}", r.bias_m);
         }
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let one = run_threaded(120, 11, 1);
+        let four = run_threaded(120, 11, 4);
+        assert_eq!(one.rows, four.rows);
     }
 
     #[test]

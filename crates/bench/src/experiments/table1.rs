@@ -8,7 +8,9 @@
 use crate::scenarios::Deployment;
 use crate::table::{fmt_f, Table};
 use concurrent_ranging::{CombinedScheme, ConcurrentConfig, SlotPlan};
+use rand::Rng;
 use std::fmt;
+use uwb_campaign::{Campaign, VerdictTally};
 use uwb_channel::{ChannelModel, Point2};
 use uwb_radio::TcPgDelay;
 
@@ -41,16 +43,22 @@ impl Table1Report {
 
 /// Runs the sweep with `rounds` concurrent ranging operations per cell.
 pub fn run(rounds: u32, seed: u64) -> Table1Report {
+    run_threaded(rounds, seed, 0)
+}
+
+/// Like [`run`], with an explicit worker count (0 = automatic). Each cell
+/// is a [`uwb_campaign`] campaign whose trials run one concurrent ranging
+/// round each in a fresh simulator; the identification tally is exact
+/// (integer) and therefore bit-identical for any `threads` value.
+pub fn run_threaded(rounds: u32, seed: u64, threads: usize) -> Table1Report {
     let fig5 = TcPgDelay::paper_figure5();
     let bank = vec![fig5[0], fig5[1], fig5[2]];
     let mut cells = Vec::new();
     for shape in [1usize, 2] {
         for d2 in [6.0, 7.0, 8.0, 9.0, 10.0] {
-            let scheme = CombinedScheme::with_registers(
-                SlotPlan::new(1).expect("one slot"),
-                bank.clone(),
-            )
-            .expect("registers valid");
+            let scheme =
+                CombinedScheme::with_registers(SlotPlan::new(1).expect("one slot"), bank.clone())
+                    .expect("registers valid");
             let deployment = Deployment {
                 initiator: Point2::new(0.0, 0.0),
                 responders: vec![
@@ -60,25 +68,28 @@ pub fn run(rounds: u32, seed: u64) -> Table1Report {
                 scheme: scheme.clone(),
                 channel: ChannelModel::free_space(),
             };
-            let outcomes = deployment.run(
-                ConcurrentConfig::new(scheme),
-                rounds,
-                seed + (shape as u64) * 100 + d2 as u64,
-            );
-            let correct = outcomes
-                .iter()
-                .filter(|o| {
-                    // Responder 2 is the later (farther) response.
-                    o.estimates
-                        .last()
-                        .is_some_and(|e| e.shape_index == shape)
-                })
-                .count();
+            let config = ConcurrentConfig::new(scheme);
+            let cell_seed = seed + (shape as u64) * 100 + d2 as u64;
+            let report = Campaign::new(u64::from(rounds), cell_seed)
+                .threads(threads)
+                .run(
+                    |_, rng| {
+                        let sim_seed = rng.random::<u64>();
+                        let outcomes = deployment.run(config.clone(), 1, sim_seed);
+                        // Responder 2 is the later (farther) response;
+                        // `None` = the round did not complete.
+                        outcomes
+                            .last()
+                            .map(|o| o.estimates.last().is_some_and(|e| e.shape_index == shape))
+                    },
+                    VerdictTally::new(),
+                );
+            let tally = report.collector;
             cells.push(Table1Cell {
                 d2_m: d2,
                 shape,
-                accuracy: correct as f64 / outcomes.len().max(1) as f64,
-                rounds: outcomes.len(),
+                accuracy: tally.rate(),
+                rounds: tally.scored() as usize,
             });
         }
     }
@@ -127,5 +138,12 @@ mod tests {
             );
         }
         assert!(report.min_accuracy() >= 0.95);
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let one = run_threaded(10, 3, 1);
+        let four = run_threaded(10, 3, 4);
+        assert_eq!(one.cells, four.cells);
     }
 }

@@ -7,7 +7,10 @@
 //! (`cargo run --release -p repro-bench --bin exp_…`).
 //!
 //! Set `REPRO_TRIALS` to override per-cell trial counts for full
-//! paper-scale runs.
+//! paper-scale runs. The Monte-Carlo experiments run on the
+//! [`uwb_campaign`] engine: pass `--threads N` (or set
+//! `UWB_CAMPAIGN_THREADS`) to pick the worker count — results are
+//! bit-identical for any value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,7 +19,24 @@ pub mod experiments;
 mod scenarios;
 mod table;
 
-pub use scenarios::{
-    rng, run_twr_rounds, synthesize_responses, tx_grid_offset_ns, Deployment,
-};
+pub use scenarios::{rng, run_twr_rounds, synthesize_responses, tx_grid_offset_ns, Deployment};
 pub use table::{fmt_f, sparkline, trials_from_env, Table};
+
+/// Parses the shared `--threads N` knob from this process's arguments
+/// (0 = automatic), exiting with a usage message on a malformed flag.
+/// Unrecognised arguments are rejected so typos don't silently run the
+/// default configuration.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    match uwb_campaign::parse_threads_arg(std::env::args().skip(1)) {
+        Ok((threads, rest)) if rest.is_empty() => threads,
+        Ok((_, rest)) => {
+            eprintln!("unrecognised arguments: {rest:?}\nusage: exp_… [--threads N]");
+            std::process::exit(2);
+        }
+        Err(msg) => {
+            eprintln!("{msg}\nusage: exp_… [--threads N]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use concurrent_ranging::{
     CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, RoundOutcome, SsTwrEngine,
 };
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use uwb_channel::{random, Arrival, ChannelModel, CirSynthesizer, Point2};
 use uwb_dsp::Complex64;
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
@@ -74,7 +74,8 @@ impl Deployment {
 
     /// True initiator-to-responder distance for a responder index.
     pub fn true_distance(&self, responder_index: usize) -> f64 {
-        self.initiator.distance_to(self.responders[responder_index].0)
+        self.initiator
+            .distance_to(self.responders[responder_index].0)
     }
 }
 
@@ -110,9 +111,11 @@ pub fn tx_grid_offset_ns(rng: &mut StdRng) -> f64 {
     rng.random::<f64>() * grid_ns - rng.random::<f64>() * grid_ns
 }
 
-/// Deterministic experiment RNG.
+/// Deterministic experiment RNG — trial 0 of a [`uwb_campaign`] campaign
+/// under `seed`, so ad-hoc single-stream code and campaign trial 0 draw
+/// from the same stream.
 pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+    uwb_campaign::trial_rng(seed, 0)
 }
 
 #[cfg(test)]

@@ -109,7 +109,9 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
     (0..width.min(values.len()))
         .map(|i| {
             let lo = (i as f64 * chunk) as usize;
-            let hi = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(lo + 1);
+            let hi = (((i + 1) as f64 * chunk) as usize)
+                .min(values.len())
+                .max(lo + 1);
             let peak = values[lo..hi].iter().cloned().fold(0.0, f64::max);
             let level = ((peak / max) * 7.0).round() as usize;
             LEVELS[level.min(7)]

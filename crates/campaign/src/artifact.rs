@@ -1,0 +1,307 @@
+//! Campaign artifact writers: CSV and JSON-lines files under `results/`.
+//!
+//! Experiments already print human-readable tables; these writers add
+//! machine-readable artifacts (one row/record per trial or per sweep
+//! point) without pulling in a serialization dependency — the build
+//! environment is fully offline, so the formats are written by hand.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A single artifact field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A float, rendered with full round-trip precision.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl Value {
+    fn write_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            Self::F64(v) => write!(out, "{v}"),
+            Self::U64(v) => write!(out, "{v}"),
+            Self::I64(v) => write!(out, "{v}"),
+            Self::Bool(v) => write!(out, "{v}"),
+            Self::Str(s) => {
+                if s.contains([',', '"', '\n']) {
+                    write!(out, "\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    write!(out, "{s}")
+                }
+            }
+        }
+    }
+
+    fn write_json(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            Self::F64(v) if v.is_finite() => write!(out, "{v}"),
+            // JSON has no Inf/NaN literal; null is the conventional spelling.
+            Self::F64(_) => write!(out, "null"),
+            Self::U64(v) => write!(out, "{v}"),
+            Self::I64(v) => write!(out, "{v}"),
+            Self::Bool(v) => write!(out, "{v}"),
+            Self::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+/// The conventional artifact directory (`results/` under the current
+/// working directory).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Streams rows into a CSV file with a fixed header.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates the file (and parent directories), writing the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(Self {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn write_row(&mut self, row: &[Value]) -> io::Result<()> {
+        assert_eq!(
+            row.len(),
+            self.columns,
+            "CSV row width does not match header"
+        );
+        for (i, value) in row.iter().enumerate() {
+            if i > 0 {
+                self.out.write_all(b",")?;
+            }
+            value.write_csv(&mut self.out)?;
+        }
+        self.out.write_all(b"\n")
+    }
+
+    /// Flushes buffered rows to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Streams records into a JSON-lines file (one JSON object per line).
+pub struct JsonLinesWriter {
+    out: BufWriter<File>,
+}
+
+impl JsonLinesWriter {
+    /// Creates the file (and parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Writes one record as a JSON object line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_record(&mut self, fields: &[(&str, Value)]) -> io::Result<()> {
+        self.out.write_all(b"{")?;
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                self.out.write_all(b",")?;
+            }
+            write_json_string(&mut self.out, key)?;
+            self.out.write_all(b":")?;
+            value.write_json(&mut self.out)?;
+        }
+        self.out.write_all(b"}\n")
+    }
+
+    /// Flushes buffered records to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl fmt::Debug for CsvWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsvWriter")
+            .field("columns", &self.columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Debug for JsonLinesWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesWriter").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("uwb-campaign-artifact-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_round_trips_values_and_quotes() {
+        let path = temp_path("rows.csv");
+        let mut w = CsvWriter::create(&path, &["trial", "error_m", "note"]).unwrap();
+        w.write_row(&[0u64.into(), 0.125.into(), "plain".into()])
+            .unwrap();
+        w.write_row(&[1u64.into(), (-2.5).into(), "needs, \"quoting\"".into()])
+            .unwrap();
+        w.finish().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "trial,error_m,note\n0,0.125,plain\n1,-2.5,\"needs, \"\"quoting\"\"\"\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let path = temp_path("ragged.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        let _ = w.write_row(&[1u64.into()]);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_renders_types() {
+        let path = temp_path("records.jsonl");
+        let mut w = JsonLinesWriter::create(&path).unwrap();
+        w.write_record(&[
+            ("trial", 3u64.into()),
+            ("ok", true.into()),
+            ("sigma", 0.5.into()),
+            ("nan", f64::NAN.into()),
+            ("label", "a\"b\nc".into()),
+        ])
+        .unwrap();
+        w.finish().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"trial\":3,\"ok\":true,\"sigma\":0.5,\"nan\":null,\"label\":\"a\\\"b\\nc\"}\n"
+        );
+    }
+
+    #[test]
+    fn results_dir_is_relative_results() {
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+}

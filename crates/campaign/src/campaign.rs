@@ -1,0 +1,341 @@
+//! The campaign engine: a declarative trial set executed by a
+//! `std::thread` worker pool with thread-count-invariant results.
+//!
+//! Trials are partitioned into fixed-size chunks on the absolute trial
+//! index grid. Workers pull chunk indices from an atomic cursor, run each
+//! chunk's trials in order against a chunk-local collector (every trial
+//! seeded only by `(campaign_seed, trial_index)`), and park the finished
+//! collector in the chunk's slot. After the pool drains, chunk collectors
+//! merge in ascending chunk order — the same reduction tree regardless of
+//! how chunks were scheduled, so the result is bit-identical for 1 or N
+//! threads.
+
+use crate::collect::Collect;
+use crate::report::{CampaignReport, Progress};
+use crate::seed::{trial_rng, TrialRng};
+use crate::threads;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default number of trials per chunk: small enough to load-balance
+/// uneven trial costs, large enough to amortise scheduling.
+pub const DEFAULT_CHUNK_SIZE: u64 = 32;
+
+/// A progress observer: called with cumulative counts as chunks finish.
+pub type ProgressFn<'a> = dyn Fn(Progress) + Sync + 'a;
+
+/// A declarative Monte-Carlo campaign: `trials` independent trials under
+/// one `seed`, executed by a worker pool.
+///
+/// See the [crate docs](crate) for the determinism contract.
+pub struct Campaign<'a> {
+    /// First trial index (campaigns are resumable by index range: two
+    /// campaigns covering `[0, k)` and `[k, n)` run the exact same
+    /// trials as one covering `[0, n)` as long as `k` is a multiple of
+    /// the chunk size).
+    first_trial: u64,
+    /// Number of trials to run.
+    trials: u64,
+    /// Campaign seed; trial `i` uses RNG `trial_rng(seed, i)`.
+    seed: u64,
+    /// Worker threads (0 = `UWB_CAMPAIGN_THREADS` or available
+    /// parallelism).
+    threads: usize,
+    /// Trials per chunk.
+    chunk_size: u64,
+    /// Optional progress callback.
+    progress: Option<&'a ProgressFn<'a>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign of `trials` trials under `seed`, with automatic thread
+    /// selection and the default chunk size.
+    #[must_use]
+    pub fn new(trials: u64, seed: u64) -> Self {
+        Self {
+            first_trial: 0,
+            trials,
+            seed,
+            threads: 0,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            progress: None,
+        }
+    }
+
+    /// Sets the worker-thread count (0 = automatic: the
+    /// `UWB_CAMPAIGN_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the chunk size (trials per work unit).
+    ///
+    /// The chunk size is part of the campaign's deterministic identity:
+    /// changing it changes the floating-point merge tree (not the
+    /// trials themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_size` is zero.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Restricts the campaign to trials `[start, start + count)` of the
+    /// same logical trial sequence — for resuming or sharding across
+    /// processes. Trial seeds depend only on the absolute index, so the
+    /// shard reproduces exactly the trials the full campaign would run.
+    #[must_use]
+    pub fn trial_range(mut self, start: u64, count: u64) -> Self {
+        self.first_trial = start;
+        self.trials = count;
+        self
+    }
+
+    /// Installs a progress observer, called after each finished chunk
+    /// with cumulative counts. May be called concurrently from worker
+    /// threads.
+    #[must_use]
+    pub fn progress(mut self, f: &'a ProgressFn<'a>) -> Self {
+        self.progress = Some(f);
+        self
+    }
+
+    /// The effective worker count this campaign will use.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            threads::threads_from_env(0)
+        }
+    }
+
+    /// Runs the campaign: `trial(index, rng)` for every index, folded
+    /// through clones of the `collector` prototype, merged in chunk
+    /// order.
+    ///
+    /// The returned report's collector is bit-identical for any thread
+    /// count.
+    pub fn run<O, F, C>(&self, trial: F, collector: C) -> CampaignReport<C>
+    where
+        F: Fn(u64, &mut TrialRng) -> O + Sync,
+        C: Collect<O> + Clone + Send,
+    {
+        let started = Instant::now();
+        let threads = self.effective_threads().max(1);
+        let n_chunks = self.trials.div_ceil(self.chunk_size);
+        let workers = threads
+            .min(usize::try_from(n_chunks).unwrap_or(usize::MAX))
+            .max(1);
+
+        // One slot per chunk; workers park finished collectors here so
+        // the merge below can walk chunks in order.
+        let slots: Vec<Mutex<Option<C>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicU64::new(0);
+        let completed = AtomicU64::new(0);
+
+        let run_chunk = |chunk: u64, prototype: &C| {
+            let start = self.first_trial + chunk * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.first_trial + self.trials);
+            let mut local = prototype.clone();
+            for index in start..end {
+                let mut rng = trial_rng(self.seed, index);
+                local.record(index, trial(index, &mut rng));
+            }
+            *slots[usize::try_from(chunk).expect("chunk fits usize")]
+                .lock()
+                .expect("no poisoned chunk slot") = Some(local);
+            let done = completed.fetch_add(end - start, Ordering::Relaxed) + (end - start);
+            if let Some(observer) = self.progress {
+                observer(Progress {
+                    completed: done,
+                    total: self.trials,
+                    elapsed: started.elapsed(),
+                });
+            }
+        };
+
+        if workers == 1 {
+            // Same chunk structure as the parallel path (identical merge
+            // tree), without spawning.
+            for chunk in 0..n_chunks {
+                run_chunk(chunk, &collector);
+            }
+        } else {
+            // Each worker owns a prototype clone, so `C` needs only
+            // `Clone + Send`, not `Sync`.
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let prototype = collector.clone();
+                    let run_chunk = &run_chunk;
+                    let cursor = &cursor;
+                    scope.spawn(move || loop {
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
+                        }
+                        run_chunk(chunk, &prototype);
+                    });
+                }
+            });
+        }
+
+        let mut merged = collector;
+        for slot in &slots {
+            let chunk = slot
+                .lock()
+                .expect("no poisoned chunk slot")
+                .take()
+                .expect("every chunk ran");
+            merged.merge(chunk);
+        }
+
+        CampaignReport {
+            collector: merged,
+            trials: self.trials,
+            threads: workers,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Counter, Histogram, ScalarStats};
+    use crate::VecCollector;
+    use rand::Rng;
+    use std::sync::atomic::AtomicUsize;
+
+    fn noise_trial(_: u64, rng: &mut TrialRng) -> f64 {
+        rng.random::<f64>()
+    }
+
+    #[test]
+    fn merged_stats_are_bit_identical_across_thread_counts() {
+        let run = |threads| {
+            Campaign::new(2_000, 99).threads(threads).run(
+                |i, rng| {
+                    let x = noise_trial(i, rng);
+                    (x, x)
+                },
+                (ScalarStats::new(), Histogram::new(0.0, 1.0, 64)),
+            )
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(one.collector, two.collector);
+        assert_eq!(one.collector, eight.collector);
+        assert_eq!(one.trials, 2_000);
+        assert_eq!(eight.threads, 8);
+        // And the bits, via the full debug rendering.
+        assert_eq!(
+            format!("{:?}", one.collector),
+            format!("{:?}", eight.collector)
+        );
+    }
+
+    #[test]
+    fn outcome_order_is_trial_order_for_any_thread_count() {
+        let run = |threads| {
+            Campaign::new(500, 5)
+                .threads(threads)
+                .chunk_size(7)
+                .run(|i, _| i, VecCollector::new())
+        };
+        let expect: Vec<(u64, u64)> = (0..500).map(|i| (i, i)).collect();
+        assert_eq!(run(1).collector.into_outcomes(), expect);
+        assert_eq!(run(4).collector.into_outcomes(), expect);
+    }
+
+    #[test]
+    fn trial_range_reproduces_the_full_campaign_slice() {
+        let full = Campaign::new(300, 77)
+            .threads(2)
+            .run(|i, rng| (i, rng.random::<u64>()), VecCollector::new());
+        // Resume the middle third (range start aligned to chunk size).
+        let shard = Campaign::new(300, 77)
+            .threads(2)
+            .trial_range(96, 100)
+            .run(|i, rng| (i, rng.random::<u64>()), VecCollector::new());
+        let full_slice: Vec<_> = full
+            .collector
+            .outcomes()
+            .iter()
+            .filter(|&&(i, _)| (96..196).contains(&i))
+            .cloned()
+            .collect();
+        assert_eq!(shard.collector.outcomes(), full_slice.as_slice());
+    }
+
+    #[test]
+    fn parallel_execution_actually_uses_multiple_threads() {
+        let distinct = std::sync::Mutex::new(std::collections::HashSet::new());
+        let busy = AtomicUsize::new(0);
+        Campaign::new(64, 1).threads(4).chunk_size(1).run(
+            |_, _| {
+                busy.fetch_add(1, Ordering::Relaxed);
+                // Give other workers a chance to overlap.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                distinct.lock().unwrap().insert(std::thread::current().id());
+            },
+            VecCollector::new(),
+        );
+        assert!(distinct.lock().unwrap().len() > 1, "pool never overlapped");
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let last = Mutex::new(None);
+        let observer = |p: Progress| {
+            *last.lock().unwrap() = Some(p);
+        };
+        let report = Campaign::new(100, 3)
+            .threads(2)
+            .chunk_size(16)
+            .progress(&observer)
+            .run(|_, _| true, Counter::new());
+        let final_progress = last.lock().unwrap().expect("progress fired");
+        assert_eq!(final_progress.completed, 100);
+        assert_eq!(final_progress.total, 100);
+        assert_eq!(report.collector.total(), 100);
+    }
+
+    #[test]
+    fn empty_campaign_returns_prototype() {
+        let report = Campaign::new(0, 1).run(noise_trial, ScalarStats::new());
+        assert_eq!(report.collector.count(), 0);
+    }
+
+    #[test]
+    fn chunk_count_does_not_change_trial_outcomes() {
+        // Chunking changes the merge tree, never the trials: exact
+        // (integer) aggregates are invariant to chunk size too.
+        let count = |chunk| {
+            Campaign::new(1_000, 13)
+                .chunk_size(chunk)
+                .run(|_, rng| rng.random::<f64>() < 0.25, Counter::new())
+                .collector
+                .hits()
+        };
+        assert_eq!(count(1), count(64));
+        assert_eq!(count(64), count(1_000));
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        let report = Campaign::new(200, 2)
+            .threads(2)
+            .run(noise_trial, ScalarStats::new());
+        assert!(report.throughput_per_s() > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Collect`] trait: how a campaign folds trial outcomes into a
+//! mergeable result.
+//!
+//! A collector is cloned once per chunk from a prototype (the "empty"
+//! state), records that chunk's outcomes in trial order, and is merged
+//! back in chunk order. Any type whose `record`/`merge` are
+//! deterministic therefore yields thread-count-invariant results.
+
+use crate::stats::{Counter, Histogram, ScalarStats};
+
+/// Folds trial outcomes of type `O` into a mergeable summary.
+pub trait Collect<O> {
+    /// Records the outcome of one trial. Called in trial order within a
+    /// chunk.
+    fn record(&mut self, trial_index: u64, outcome: O);
+
+    /// Merges a later chunk's collector into this one. Called in chunk
+    /// order.
+    fn merge(&mut self, other: Self);
+}
+
+impl Collect<f64> for ScalarStats {
+    fn record(&mut self, _trial_index: u64, outcome: f64) {
+        ScalarStats::record(self, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        ScalarStats::merge(self, other);
+    }
+}
+
+impl Collect<bool> for Counter {
+    fn record(&mut self, _trial_index: u64, outcome: bool) {
+        Counter::record(self, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        Counter::merge(self, other);
+    }
+}
+
+impl Collect<f64> for Histogram {
+    fn record(&mut self, _trial_index: u64, outcome: f64) {
+        Histogram::record(self, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        Histogram::merge(self, other);
+    }
+}
+
+/// Pairs of collectors over pairs of outcomes — lets one campaign feed,
+/// e.g., a [`ScalarStats`] and a [`Histogram`] from a single pass.
+impl<O1, O2, C1: Collect<O1>, C2: Collect<O2>> Collect<(O1, O2)> for (C1, C2) {
+    fn record(&mut self, trial_index: u64, outcome: (O1, O2)) {
+        self.0.record(trial_index, outcome.0);
+        self.1.record(trial_index, outcome.1);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+/// Exact tally of `Option<bool>` outcomes: trials that produced a
+/// verdict at all (`Some`) and, of those, how many were positive. The
+/// natural collector for experiments that score only a subset of trials
+/// (overlapping responses, completed rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictTally {
+    trials: u64,
+    scored: u64,
+    positive: u64,
+}
+
+impl VerdictTally {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trials recorded, scored or not.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Trials that produced a verdict (`Some`).
+    #[must_use]
+    pub fn scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// Positive verdicts (`Some(true)`).
+    #[must_use]
+    pub fn positive(&self) -> u64 {
+        self.positive
+    }
+
+    /// Positive fraction of scored trials (0 when nothing was scored).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.positive as f64 / self.scored as f64
+        }
+    }
+}
+
+impl Collect<Option<bool>> for VerdictTally {
+    fn record(&mut self, _trial_index: u64, outcome: Option<bool>) {
+        self.trials += 1;
+        if let Some(verdict) = outcome {
+            self.scored += 1;
+            self.positive += u64::from(verdict);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.trials += other.trials;
+        self.scored += other.scored;
+        self.positive += other.positive;
+    }
+}
+
+/// Retains every outcome in trial order — for per-trial artifact rows
+/// (CSV/JSONL) or exact post-hoc analysis. Memory grows with the trial
+/// count; prefer streaming accumulators for summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct VecCollector<O> {
+    outcomes: Vec<(u64, O)>,
+}
+
+impl<O> VecCollector<O> {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The collected `(trial_index, outcome)` pairs in trial order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[(u64, O)] {
+        &self.outcomes
+    }
+
+    /// Consumes the collector, returning the pairs in trial order.
+    #[must_use]
+    pub fn into_outcomes(self) -> Vec<(u64, O)> {
+        self.outcomes
+    }
+}
+
+impl<O> Collect<O> for VecCollector<O> {
+    fn record(&mut self, trial_index: u64, outcome: O) {
+        self.outcomes.push((trial_index, outcome));
+    }
+
+    /// Appends the later chunk. Chunk-ordered merging keeps the global
+    /// vector sorted by trial index.
+    fn merge(&mut self, other: Self) {
+        self.outcomes.extend(other.outcomes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_collector_fans_out() {
+        let mut c = (ScalarStats::new(), Counter::new());
+        Collect::record(&mut c, 0, (2.0, true));
+        Collect::record(&mut c, 1, (4.0, false));
+        let mut other = (ScalarStats::new(), Counter::new());
+        Collect::record(&mut other, 2, (6.0, true));
+        Collect::merge(&mut c, other);
+        assert_eq!(c.0.count(), 3);
+        assert!((c.0.mean() - 4.0).abs() < 1e-15);
+        assert_eq!(c.1.hits(), 2);
+    }
+
+    #[test]
+    fn verdict_tally_counts_scored_subset() {
+        let mut t = VerdictTally::new();
+        Collect::record(&mut t, 0, Some(true));
+        Collect::record(&mut t, 1, None);
+        Collect::record(&mut t, 2, Some(false));
+        let mut other = VerdictTally::new();
+        Collect::record(&mut other, 3, Some(true));
+        Collect::merge(&mut t, other);
+        assert_eq!(t.trials(), 4);
+        assert_eq!(t.scored(), 3);
+        assert_eq!(t.positive(), 2);
+        assert!((t.rate() - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(VerdictTally::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn vec_collector_preserves_order_across_merge() {
+        let mut a = VecCollector::new();
+        Collect::record(&mut a, 0, "x");
+        Collect::record(&mut a, 1, "y");
+        let mut b = VecCollector::new();
+        Collect::record(&mut b, 2, "z");
+        Collect::merge(&mut a, b);
+        let idx: Vec<u64> = a.outcomes().iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # uwb-campaign — deterministic parallel Monte-Carlo campaigns
+//!
+//! Every artefact this repository reproduces (Fig. 4/7, Table I, the
+//! ablations) is a Monte-Carlo campaign: thousands of independent
+//! simulated ranging rounds reduced to summary statistics. This crate is
+//! the shared substrate for running such campaigns *in parallel* while
+//! keeping the results *bit-identical* regardless of worker count.
+//!
+//! ## How determinism is preserved under parallelism
+//!
+//! 1. **Per-trial seed derivation** ([`seed`]): every trial's RNG is
+//!    seeded as `SplitMix64(campaign_seed, trial_index)`, so a trial's
+//!    outcome depends only on its index — never on which worker ran it
+//!    or what ran before it.
+//! 2. **Fixed chunking + ordered merge** ([`campaign`]): trials are
+//!    partitioned into fixed-size index chunks (independent of thread
+//!    count). Workers pull whole chunks from an atomic cursor and fold
+//!    each chunk into a fresh accumulator; after the pool drains, chunk
+//!    accumulators are merged *in chunk order*. Floating-point statistics
+//!    (Welford mean/variance and friends) therefore see the exact same
+//!    reduction tree for 1 or N threads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uwb_campaign::{Campaign, ScalarStats};
+//!
+//! let report = Campaign::new(10_000, 42).threads(4).run(
+//!     |_, rng| uwb_channel_free_noise(rng),
+//!     ScalarStats::new(),
+//! );
+//! # use rand::Rng;
+//! # fn uwb_channel_free_noise(rng: &mut uwb_campaign::TrialRng) -> f64 {
+//! #     rng.random::<f64>()
+//! # }
+//! assert_eq!(report.trials, 10_000);
+//! assert!((report.collector.mean() - 0.5).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod campaign;
+pub mod collect;
+pub mod report;
+pub mod seed;
+pub mod stats;
+pub mod threads;
+
+pub use campaign::Campaign;
+pub use collect::{Collect, VecCollector, VerdictTally};
+pub use report::{CampaignReport, Progress};
+pub use seed::{derive_seed, trial_rng, TrialRng};
+pub use stats::{Counter, Histogram, ScalarStats};
+pub use threads::{parse_threads_arg, threads_from_env};

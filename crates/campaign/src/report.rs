@@ -1,0 +1,122 @@
+//! Campaign results: merged collector plus wall-clock / throughput
+//! accounting, and the progress snapshots streamed to observers.
+
+use std::time::Duration;
+
+/// A progress snapshot delivered to the campaign's observer after each
+/// finished chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Trials completed so far.
+    pub completed: u64,
+    /// Total trials in the campaign.
+    pub total: u64,
+    /// Wall-clock time since the campaign started.
+    pub elapsed: Duration,
+}
+
+impl Progress {
+    /// Completion fraction in `[0, 1]` (1 for an empty campaign).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total as f64
+        }
+    }
+}
+
+/// The result of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport<C> {
+    /// The merged collector (bit-identical for any thread count).
+    pub collector: C,
+    /// Trials executed.
+    pub trials: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl<C> CampaignReport<C> {
+    /// Trials per second of wall-clock time.
+    #[must_use]
+    pub fn throughput_per_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.trials as f64 / secs
+        }
+    }
+
+    /// One-line timing summary, e.g. for experiment binaries' stderr.
+    #[must_use]
+    pub fn timing_line(&self) -> String {
+        format!(
+            "{} trials in {:.3} s on {} thread(s) — {:.0} trials/s",
+            self.trials,
+            self.elapsed.as_secs_f64(),
+            self.threads,
+            self.throughput_per_s()
+        )
+    }
+
+    /// Maps the collector, keeping the run accounting.
+    pub fn map<D>(self, f: impl FnOnce(C) -> D) -> CampaignReport<D> {
+        CampaignReport {
+            collector: f(self.collector),
+            trials: self.trials,
+            threads: self.threads,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_empty_and_partial() {
+        let empty = Progress {
+            completed: 0,
+            total: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.fraction(), 1.0);
+        let half = Progress {
+            completed: 5,
+            total: 10,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(half.fraction(), 0.5);
+    }
+
+    #[test]
+    fn throughput_divides_by_elapsed() {
+        let report = CampaignReport {
+            collector: (),
+            trials: 100,
+            threads: 2,
+            elapsed: Duration::from_secs(4),
+        };
+        assert_eq!(report.throughput_per_s(), 25.0);
+        assert!(report.timing_line().contains("100 trials"));
+    }
+
+    #[test]
+    fn map_preserves_accounting() {
+        let report = CampaignReport {
+            collector: 3usize,
+            trials: 7,
+            threads: 1,
+            elapsed: Duration::from_secs(1),
+        };
+        let mapped = report.map(|c| c * 2);
+        assert_eq!(mapped.collector, 6);
+        assert_eq!(mapped.trials, 7);
+    }
+}

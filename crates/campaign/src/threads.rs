@@ -1,0 +1,99 @@
+//! Worker-thread selection: the `UWB_CAMPAIGN_THREADS` environment
+//! variable and the `--threads N` command-line knob shared by the
+//! experiment binaries.
+
+/// The environment variable consulted when a campaign's thread count is
+/// left automatic.
+pub const THREADS_ENV: &str = "UWB_CAMPAIGN_THREADS";
+
+/// Resolves the worker count: `UWB_CAMPAIGN_THREADS` when set to a
+/// positive integer, otherwise `default`, otherwise (when `default` is
+/// 0) the machine's available parallelism.
+#[must_use]
+pub fn threads_from_env(default: usize) -> usize {
+    let from_env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    match (from_env, default) {
+        (Some(n), _) => n,
+        (None, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        (None, d) => d,
+    }
+}
+
+/// Parses a `--threads N` / `--threads=N` knob out of an argument list,
+/// returning the requested count (0 = automatic) and the remaining
+/// arguments.
+///
+/// # Errors
+///
+/// Returns a message suitable for usage output when the flag is present
+/// but malformed.
+pub fn parse_threads_arg<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<(usize, Vec<String>), String> {
+    let mut threads = 0usize;
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--threads requires a value".to_string())?;
+            threads = value
+                .parse()
+                .map_err(|_| format!("invalid --threads value '{value}'"))?;
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = value
+                .parse()
+                .map_err(|_| format!("invalid --threads value '{value}'"))?;
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((threads, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_separate_and_equals_forms() {
+        let (n, rest) = parse_threads_arg(args(&["--threads", "4", "x"])).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(rest, args(&["x"]));
+        let (n, rest) = parse_threads_arg(args(&["--threads=8"])).unwrap();
+        assert_eq!(n, 8);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn absent_flag_means_auto() {
+        let (n, rest) = parse_threads_arg(args(&["other"])).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(rest, args(&["other"]));
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(parse_threads_arg(args(&["--threads"])).is_err());
+        assert!(parse_threads_arg(args(&["--threads", "many"])).is_err());
+        assert!(parse_threads_arg(args(&["--threads=-2"])).is_err());
+    }
+
+    #[test]
+    fn default_wins_when_env_unset() {
+        // The test environment does not set UWB_CAMPAIGN_THREADS;
+        // reading it mutates nothing, so this is safe to assert.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(threads_from_env(3), 3);
+            assert!(threads_from_env(0) >= 1);
+        }
+    }
+}

@@ -219,7 +219,10 @@ mod tests {
         let s = scheme(4, 3);
         assert!(matches!(
             s.assign(12),
-            Err(RangingError::IdBeyondCapacity { id: 12, capacity: 12 })
+            Err(RangingError::IdBeyondCapacity {
+                id: 12,
+                capacity: 12
+            })
         ));
     }
 
@@ -277,17 +280,11 @@ mod tests {
         let s = CombinedScheme::plan_for(20, 15.0, 30e-9).unwrap();
         assert!(s.capacity() >= 20);
         // Slots are maximized for the range…
-        assert_eq!(
-            s.plan().n_slots(),
-            SlotPlan::supported_slots(15.0, 30e-9)
-        );
+        assert_eq!(s.plan().n_slots(), SlotPlan::supported_slots(15.0, 30e-9));
         // …and each slot stays physically safe.
         assert!(s.plan().max_range_m(30e-9) >= 15.0);
         // Shapes are minimal for the load.
-        assert_eq!(
-            s.n_shapes(),
-            20usize.div_ceil(s.plan().n_slots())
-        );
+        assert_eq!(s.n_shapes(), 20usize.div_ceil(s.plan().n_slots()));
     }
 
     #[test]

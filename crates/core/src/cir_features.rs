@@ -143,8 +143,7 @@ impl NlosClassifier {
 
     /// Classifies already-extracted features.
     pub fn classify_features(&self, f: &CirFeatures) -> ChannelCondition {
-        if f.first_path_to_peak < self.min_first_path_ratio
-            || f.rise_time_s > self.max_rise_time_s
+        if f.first_path_to_peak < self.min_first_path_ratio || f.rise_time_s > self.max_rise_time_s
         {
             ChannelCondition::NonLineOfSight
         } else {
@@ -158,14 +157,14 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use uwb_channel::{
-        ChannelConfig, ChannelModel, CirSynthesizer, NlosConfig, Point2, Room,
-    };
+    use uwb_channel::{ChannelConfig, ChannelModel, CirSynthesizer, NlosConfig, Point2, Room};
     use uwb_radio::{Prf, PulseShape, RadioConfig};
 
     fn render_cir(nlos_db: f64, seed: u64) -> Cir {
-        let mut config = ChannelConfig::default();
-        config.max_reflection_order = 1;
+        let mut config = ChannelConfig {
+            max_reflection_order: 1,
+            ..ChannelConfig::default()
+        };
         if nlos_db > 0.0 {
             // Through-obstacle propagation adds little delay (~1–2 ns for
             // a person or door) while attenuating strongly.
@@ -177,8 +176,7 @@ mod tests {
         // A realistically reflective office (plaster-ish walls), with the
         // link placed asymmetrically so first-order reflections do not
         // pile up coherently.
-        let model =
-            ChannelModel::with_config(Some(Room::rectangular(12.0, 6.0, 0.45)), config);
+        let model = ChannelModel::with_config(Some(Room::rectangular(12.0, 6.0, 0.45)), config);
         let pulse = PulseShape::from_config(&RadioConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let arrivals = model.propagate(
@@ -224,12 +222,10 @@ mod tests {
         let mut correct = 0;
         let trials = 20;
         for seed in 0..trials {
-            if clf.classify(&render_cir(0.0, 100 + seed)) == Some(ChannelCondition::LineOfSight)
-            {
+            if clf.classify(&render_cir(0.0, 100 + seed)) == Some(ChannelCondition::LineOfSight) {
                 correct += 1;
             }
-            if clf.classify(&render_cir(18.0, 200 + seed))
-                == Some(ChannelCondition::NonLineOfSight)
+            if clf.classify(&render_cir(18.0, 200 + seed)) == Some(ChannelCondition::NonLineOfSight)
             {
                 correct += 1;
             }

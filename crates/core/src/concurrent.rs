@@ -17,9 +17,7 @@
 //!    from Eq. 4 with slot-delay compensation.
 
 use crate::assignment::CombinedScheme;
-use crate::detection::{
-    DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector,
-};
+use crate::detection::{DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector};
 use crate::error::RangingError;
 use crate::estimate::{concurrent_distance_with_rpm_m, TwrTimestamps};
 use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
@@ -27,9 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uwb_channel::{Arrival, CirSynthesizer};
 use uwb_netsim::{NodeApi, NodeId, Protocol, ReceivedFrame, Reception};
-use uwb_radio::{
-    Cir, DeviceTime, Prf, CIR_SAMPLE_PERIOD_S, PAPER_RESPONSE_DELAY_S,
-};
+use uwb_radio::{Cir, DeviceTime, Prf, CIR_SAMPLE_PERIOD_S, PAPER_RESPONSE_DELAY_S};
 
 /// Configuration of a concurrent ranging deployment.
 #[derive(Debug, Clone)]
@@ -609,7 +605,12 @@ mod tests {
             42,
         );
         sim.run(&mut engine, 1.0);
-        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        assert_eq!(
+            engine.outcomes.len(),
+            1,
+            "failed: {:?}",
+            engine.failed_rounds
+        );
         let outcome = &engine.outcomes[0];
         assert_eq!(outcome.estimates.len(), 3);
         // Estimates sorted by delay → by distance here. The anchor (first)
@@ -639,7 +640,11 @@ mod tests {
         let outcome = &engine.outcomes[0];
         // The anchor (strongest = closest in free space) is responder 0.
         assert_eq!(outcome.anchor_id, 0);
-        assert!((outcome.d_twr_m - 4.0).abs() < 0.1, "d_twr {}", outcome.d_twr_m);
+        assert!(
+            (outcome.d_twr_m - 4.0).abs() < 0.1,
+            "d_twr {}",
+            outcome.d_twr_m
+        );
     }
 
     #[test]
@@ -681,10 +686,18 @@ mod tests {
             11,
         );
         sim.run(&mut engine, 1.0);
-        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        assert_eq!(
+            engine.outcomes.len(),
+            1,
+            "failed: {:?}",
+            engine.failed_rounds
+        );
         let outcome = &engine.outcomes[0];
         let ids: Vec<Option<u32>> = outcome.estimates.iter().map(|e| e.id).collect();
-        assert!(ids.contains(&Some(0)) && ids.contains(&Some(1)), "ids {ids:?}");
+        assert!(
+            ids.contains(&Some(0)) && ids.contains(&Some(1)),
+            "ids {ids:?}"
+        );
         for e in &outcome.estimates {
             // Non-anchor distances carry the ±8 ns TX-grid error (≤1.2 m).
             assert!(
@@ -709,7 +722,12 @@ mod tests {
             .collect();
         let (mut sim, mut engine) = setup(&positions, scheme, ChannelModel::free_space(), 13);
         sim.run(&mut engine, 1.0);
-        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        assert_eq!(
+            engine.outcomes.len(),
+            1,
+            "failed: {:?}",
+            engine.failed_rounds
+        );
         let outcome = &engine.outcomes[0];
         assert_eq!(outcome.estimates.len(), 9);
         let mut correct = 0;
@@ -722,7 +740,10 @@ mod tests {
                 }
             }
         }
-        assert!(correct >= 8, "only {correct}/9 responders correctly resolved");
+        assert!(
+            correct >= 8,
+            "only {correct}/9 responders correctly resolved"
+        );
     }
 
     #[test]
@@ -757,7 +778,12 @@ mod tests {
         let mut engine =
             ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 19).unwrap();
         sim.run(&mut engine, 1.0);
-        assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+        assert_eq!(
+            engine.outcomes.len(),
+            1,
+            "failed: {:?}",
+            engine.failed_rounds
+        );
         let o = &engine.outcomes[0];
         let d0 = o.estimate_for(0).map(|e| e.distance_m);
         let d1 = o.estimate_for(1).map(|e| e.distance_m);
@@ -793,8 +819,10 @@ mod tests {
         // The watchdog must record every round as timed out instead of
         // silently stalling after round 0.
         let scheme = single_slot_scheme(1);
-        let mut sim_config = SimConfig::default();
-        sim_config.min_decode_amplitude = 1.0;
+        let sim_config = SimConfig {
+            min_decode_amplitude: 1.0,
+            ..SimConfig::default()
+        };
         let mut sim: Simulator<RangingMessage> =
             Simulator::new(ChannelModel::free_space(), sim_config, 51);
         let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));

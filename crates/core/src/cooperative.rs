@@ -124,7 +124,13 @@ pub fn solve_cooperative(
             let refs: Vec<crate::localization::RangeToAnchor> = measurements
                 .iter()
                 .filter_map(|&(i, j, d)| {
-                    let other = if i == t { j } else if j == t { i } else { return None };
+                    let other = if i == t {
+                        j
+                    } else if j == t {
+                        i
+                    } else {
+                        return None;
+                    };
                     placed[other].then_some(crate::localization::RangeToAnchor {
                         anchor: positions[other],
                         distance_m: d,
@@ -245,12 +251,12 @@ mod tests {
 
     fn layout() -> (Vec<Point2>, Vec<NodeRole>) {
         let truth = vec![
-            Point2::new(0.0, 0.0),   // anchor
-            Point2::new(12.0, 0.0),  // anchor
-            Point2::new(6.0, 10.0),  // anchor
-            Point2::new(4.0, 3.0),   // tag
-            Point2::new(8.0, 5.0),   // tag
-            Point2::new(2.5, 6.5),   // tag
+            Point2::new(0.0, 0.0),  // anchor
+            Point2::new(12.0, 0.0), // anchor
+            Point2::new(6.0, 10.0), // anchor
+            Point2::new(4.0, 3.0),  // tag
+            Point2::new(8.0, 5.0),  // tag
+            Point2::new(2.5, 6.5),  // tag
         ];
         let roles = vec![
             NodeRole::Anchor(truth[0]),

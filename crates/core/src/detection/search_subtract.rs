@@ -186,7 +186,7 @@ impl SearchSubtractDetector {
                     diagnostics.first_mf_magnitude.push(mags.clone());
                 }
                 if let Some((idx, val)) = uwb_dsp::argmax(&mags) {
-                    if best.map_or(true, |(_, _, b)| val > b) {
+                    if best.is_none_or(|(_, _, b)| val > b) {
                         best = Some((ti, idx, val));
                         best_mf = mags;
                     }
@@ -237,8 +237,8 @@ impl SearchSubtractDetector {
         // removed, fixing the biased fits the greedy pass leaves on
         // overlapping pulses.
         for _ in 0..self.config.refinement_passes {
-            for k in 0..responses.len() {
-                let old = responses[k].clone();
+            for response in responses.iter_mut() {
+                let old = response.clone();
                 // Add the current estimate back into the residual.
                 self.templates[old.shape_index].subtract(&mut residual, old.tau_s, -old.amplitude);
 
@@ -255,7 +255,7 @@ impl SearchSubtractDetector {
                         .map(|l| template.score_at(&residual, l as f64 * sample_period_s))
                         .collect();
                     if let Some((idx, val)) = uwb_dsp::argmax(&scores) {
-                        if best.map_or(true, |(_, _, b)| val > b) {
+                        if best.is_none_or(|(_, _, b)| val > b) {
                             best = Some((ti, idx, val));
                             best_scores = scores;
                         }
@@ -263,8 +263,11 @@ impl SearchSubtractDetector {
                 }
                 let Some((ti, idx, _)) = best else {
                     // Degenerate window; restore the old estimate.
-                    self.templates[old.shape_index]
-                        .subtract(&mut residual, old.tau_s, old.amplitude);
+                    self.templates[old.shape_index].subtract(
+                        &mut residual,
+                        old.tau_s,
+                        old.amplitude,
+                    );
                     continue;
                 };
                 let idx_frac = if self.config.refine {
@@ -281,7 +284,7 @@ impl SearchSubtractDetector {
                 let shape_index = argmax_f64(&shape_scores).unwrap_or(ti);
                 let amplitude = self.templates[shape_index].amplitude_at(&residual, tau_s);
                 self.templates[shape_index].subtract(&mut residual, tau_s, amplitude);
-                responses[k] = DetectedResponse {
+                *response = DetectedResponse {
                     tau_s,
                     amplitude,
                     shape_index,
@@ -414,7 +417,10 @@ mod tests {
         let out = d.detect(&cir, 2).unwrap();
         assert_eq!(out.responses.len(), 2);
         let tau2_ns = out.responses[1].tau_s * 1e9;
-        assert!((tau2_ns - 350.0).abs() < 0.5, "weak response at {tau2_ns} ns");
+        assert!(
+            (tau2_ns - 350.0).abs() < 0.5,
+            "weak response at {tau2_ns} ns"
+        );
     }
 
     #[test]
@@ -470,7 +476,11 @@ mod tests {
     #[test]
     fn diagnostics_capture_detection_stages() {
         let d = detector(2);
-        let cir = render(&[arrival(100.0, 1.0, 0.0), arrival(140.0, 0.5, 1.0)], 0.002, 6);
+        let cir = render(
+            &[arrival(100.0, 1.0, 0.0), arrival(140.0, 0.5, 1.0)],
+            0.002,
+            6,
+        );
         let out = d.detect(&cir, 2).unwrap();
         assert_eq!(out.diagnostics.upsampled_magnitude.len(), 1016 * 8);
         assert_eq!(out.diagnostics.first_mf_magnitude.len(), 2);

@@ -33,8 +33,8 @@ impl DetectionTemplate {
     /// (propagated from [`PulseShape::sample`]).
     pub fn new(pulse: PulseShape, shape_index: usize, sample_period_s: f64) -> Self {
         let sampled = pulse.sample(sample_period_s);
-        let filter = MatchedFilter::from_real(&sampled.samples)
-            .expect("pulse templates are never empty");
+        let filter =
+            MatchedFilter::from_real(&sampled.samples).expect("pulse templates are never empty");
         Self {
             shape_index,
             register: pulse.register(),
@@ -93,10 +93,10 @@ impl DetectionTemplate {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
         let mut num = Complex64::ZERO;
         let mut den = 0.0;
-        for n in lo..hi {
+        for (n, sample) in signal.iter().enumerate().take(hi).skip(lo) {
             let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
             if p != 0.0 {
-                num += signal[n].scale(p);
+                num += sample.scale(p);
                 den += p * p;
             }
         }
@@ -114,10 +114,10 @@ impl DetectionTemplate {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
         let mut num = Complex64::ZERO;
         let mut energy = 0.0;
-        for n in lo..hi {
+        for (n, sample) in signal.iter().enumerate().take(hi).skip(lo) {
             let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
             if p != 0.0 {
-                num += signal[n].scale(p);
+                num += sample.scale(p);
                 energy += p * p;
             }
         }
@@ -132,10 +132,10 @@ impl DetectionTemplate {
     /// step 5 of the paper's detection algorithm.
     pub fn subtract(&self, signal: &mut [Complex64], tau_s: f64, amplitude: Complex64) {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
-        for n in lo..hi {
+        for (n, sample) in signal.iter_mut().enumerate().take(hi).skip(lo) {
             let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
             if p != 0.0 {
-                signal[n] -= amplitude.scale(p);
+                *sample -= amplitude.scale(p);
             }
         }
     }
@@ -190,7 +190,10 @@ mod tests {
         let mags: Vec<f64> = out.iter().map(|z| z.abs()).collect();
         let (l, _) = uwb_dsp::argmax(&mags).unwrap();
         let recovered = t.center_delay_s(l as f64);
-        assert!((recovered - tau).abs() < TS, "recovered {recovered}, true {tau}");
+        assert!(
+            (recovered - tau).abs() < TS,
+            "recovered {recovered}, true {tau}"
+        );
     }
 
     #[test]
@@ -217,11 +220,7 @@ mod tests {
 
     #[test]
     fn score_is_highest_for_matching_template() {
-        let bank = template_bank(
-            &TcPgDelay::spread(3).unwrap(),
-            Channel::Ch7,
-            TS,
-        );
+        let bank = template_bank(&TcPgDelay::spread(3).unwrap(), Channel::Ch7, TS);
         for (i, source) in bank.iter().enumerate() {
             let tau = 400.0 * TS;
             let signal = render(source.pulse(), tau, Complex64::from_real(1.0), 1200);

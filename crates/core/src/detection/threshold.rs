@@ -76,9 +76,11 @@ impl ThresholdDetector {
         if config.upsample == 0 {
             return Err(RangingError::InvalidUpsampling { factor: 0 });
         }
-        if !(config.threshold_fraction > 0.0 && config.threshold_fraction < 1.0)
-            || !(config.pulse_duration_s > 0.0)
-        {
+        // NaN parameters must be rejected too, so the bounds are written
+        // as positive requirements on each field.
+        let fraction_ok = config.threshold_fraction > 0.0 && config.threshold_fraction < 1.0;
+        let duration_ok = config.pulse_duration_s > 0.0;
+        if !fraction_ok || !duration_ok {
             return Err(RangingError::InvalidSchemeParameters);
         }
         Ok(Self { config })
@@ -118,8 +120,7 @@ impl ThresholdDetector {
             if mags[i] >= threshold {
                 // Maximum of the following N_p samples.
                 let end = (i + np).min(mags.len());
-                let (local_max, _) = uwb_dsp::argmax(&mags[i..end])
-                    .expect("non-empty window");
+                let (local_max, _) = uwb_dsp::argmax(&mags[i..end]).expect("non-empty window");
                 let idx = i + local_max;
                 responses.push(DetectedResponse {
                     tau_s: idx as f64 * sample_period_s,
@@ -241,7 +242,11 @@ mod tests {
     fn respects_requested_count() {
         let d = detector();
         let cir = render(
-            &[arrival(100.0, 1.0), arrival(200.0, 0.9), arrival(300.0, 0.8)],
+            &[
+                arrival(100.0, 1.0),
+                arrival(200.0, 0.9),
+                arrival(300.0, 0.8),
+            ],
             0.002,
             6,
         );

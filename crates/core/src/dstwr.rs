@@ -266,12 +266,9 @@ impl Protocol<RangingMessage> for DsTwrEngine {
                 && round == self.current_round
                 && self.phase == RoundPhase::AwaitFinalEcho =>
             {
-                let (Some(poll_tx), Some(resp_rx), Some(final_tx), Some((poll_rx, resp_tx))) = (
-                    self.poll_tx,
-                    self.resp_rx,
-                    self.final_tx,
-                    self.resp_payload,
-                ) else {
+                let (Some(poll_tx), Some(resp_rx), Some(final_tx), Some((poll_rx, resp_tx))) =
+                    (self.poll_tx, self.resp_rx, self.final_tx, self.resp_payload)
+                else {
                     return;
                 };
                 let timestamps = DsTwrTimestamps {
@@ -393,9 +390,7 @@ mod tests {
     fn run_engine(drift_ppm: f64, rounds: u32, seed: u64) -> DsTwrEngine {
         let mut sim = Simulator::new(ChannelModel::free_space(), SimConfig::default(), seed);
         let a = sim.add_node(NodeConfig::at(0.0, 0.0));
-        let b = sim.add_node(
-            NodeConfig::at(7.0, 0.0).with_clock(ClockModel::new(1.0, drift_ppm)),
-        );
+        let b = sim.add_node(NodeConfig::at(7.0, 0.0).with_clock(ClockModel::new(1.0, drift_ppm)));
         let mut engine = DsTwrEngine::new(a, b, rounds);
         sim.run(&mut engine, rounds as f64 * 4e-3 + 1.0);
         engine

@@ -48,7 +48,10 @@ impl fmt::Display for RangingError {
         match self {
             Self::NoResponsesRequested => write!(f, "zero responses requested from detector"),
             Self::InsufficientResponses { requested, found } => {
-                write!(f, "detector found {found} of {requested} requested responses")
+                write!(
+                    f,
+                    "detector found {found} of {requested} requested responses"
+                )
             }
             Self::EmptyTemplateBank => write!(f, "template bank is empty"),
             Self::InvalidUpsampling { factor } => {

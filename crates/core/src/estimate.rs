@@ -180,8 +180,8 @@ mod tests {
     fn rpm_compensation_removes_slot_delay() {
         let d_twr = 4.0;
         let delta = 250e-9; // slot spacing
-        // Responder in slot 2 (anchor in slot 0) at the same distance:
-        // observed delay difference is exactly 2δ.
+                            // Responder in slot 2 (anchor in slot 0) at the same distance:
+                            // observed delay difference is exactly 2δ.
         let tau_i = 2.0 * delta;
         let d = concurrent_distance_with_rpm_m(d_twr, tau_i, 0.0, 2, 0, delta);
         assert!((d - 4.0).abs() < 1e-9);

@@ -81,12 +81,12 @@ mod twr;
 
 pub use assignment::{CombinedScheme, ResponderAssignment};
 pub use concurrent::{ConcurrentConfig, ConcurrentEngine, ResponderEstimate, RoundOutcome};
+pub use cooperative::{solve_cooperative, CooperativeFix, NodeRole};
+pub use dstwr::{DsTwrEngine, DsTwrMeasurement, DsTwrTimestamps};
 pub use error::RangingError;
 pub use estimate::{concurrent_distance_m, concurrent_distance_with_rpm_m, TwrTimestamps};
 pub use localization::{multilaterate, PositionFix, RangeToAnchor};
-pub use cooperative::{solve_cooperative, CooperativeFix, NodeRole};
 pub use network::{DistanceMatrix, NetworkRanging, TrafficCounter};
-pub use dstwr::{DsTwrEngine, DsTwrMeasurement, DsTwrTimestamps};
 pub use protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
 pub use rpm::{SlotPlan, DELTA_MAX_S};
 pub use session::{RangingSession, ResponderStats};

@@ -155,9 +155,8 @@ impl NetworkRanging {
                 } else {
                     let rid = id_to_index.len() as u32;
                     let register = self.scheme.assign(rid)?.register;
-                    let node = sim.add_node(
-                        uwb_netsim::NodeConfig::at(p.x, p.y).with_pulse_shape(register),
-                    );
+                    let node = sim
+                        .add_node(uwb_netsim::NodeConfig::at(p.x, p.y).with_pulse_shape(register));
                     responder_nodes.push((node, rid));
                     id_to_index.push(idx);
                 }
@@ -243,10 +242,7 @@ mod tests {
                 }
                 if let Some(d) = matrix.get(a, b) {
                     let truth = pos[a].distance_to(pos[b]);
-                    assert!(
-                        (d - truth).abs() < 1.3,
-                        "d({a},{b}) = {d}, truth {truth}"
-                    );
+                    assert!((d - truth).abs() < 1.3, "d({a},{b}) = {d}, truth {truth}");
                 }
             }
         }
@@ -262,7 +258,11 @@ mod tests {
             .unwrap();
         // Both directions carry independent TX-grid errors: bounded by
         // twice the single-direction budget.
-        assert!(matrix.max_asymmetry_m() < 2.6, "{}", matrix.max_asymmetry_m());
+        assert!(
+            matrix.max_asymmetry_m() < 2.6,
+            "{}",
+            matrix.max_asymmetry_m()
+        );
     }
 
     #[test]

@@ -213,8 +213,7 @@ mod tests {
                 // Responders anywhere within the absolute slot budget —
                 // including CLOSER than the anchor (negative residual).
                 for d_k in [0.5, 3.0, 8.0, 20.0, 36.0] {
-                    let offset = (slot as f64 - anchor as f64) * delta
-                        + 2.0 * (d_k - d_anchor) / c;
+                    let offset = (slot as f64 - anchor as f64) * delta + 2.0 * (d_k - d_anchor) / c;
                     assert_eq!(
                         plan.decode_slot(offset, anchor, d_anchor),
                         Some(slot),

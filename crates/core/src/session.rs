@@ -84,7 +84,10 @@ impl RangingSession {
         self.rounds += 1;
         for estimate in &outcome.estimates {
             if let Some(id) = estimate.id {
-                self.samples.entry(id).or_default().push(estimate.distance_m);
+                self.samples
+                    .entry(id)
+                    .or_default()
+                    .push(estimate.distance_m);
             }
         }
     }
@@ -103,8 +106,7 @@ impl RangingSession {
                 let median = stats::median(samples);
                 // Scaled MAD: a robust σ estimate (1.4826 × MAD for
                 // normally distributed errors).
-                let deviations: Vec<f64> =
-                    samples.iter().map(|s| (s - median).abs()).collect();
+                let deviations: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
                 let mad_sigma = 1.4826 * stats::median(&deviations);
                 let limit = if mad_sigma > 0.0 {
                     self.outlier_threshold * mad_sigma
@@ -187,7 +189,9 @@ mod tests {
     fn outliers_are_rejected() {
         let mut session = RangingSession::new();
         // Hand-craft samples: tight cluster plus one wild value.
-        session.samples.insert(7, vec![5.0, 5.1, 4.9, 5.05, 4.95, 25.0]);
+        session
+            .samples
+            .insert(7, vec![5.0, 5.1, 4.9, 5.05, 4.95, 25.0]);
         session.rounds = 6;
         let stats = session.responder_stats();
         let s = &stats[0];

@@ -213,7 +213,11 @@ mod tests {
         assert!(s.velocity.1.abs() < 0.15, "vy {}", s.velocity.1);
         // Predict one second ahead.
         let predicted = tracker.predict_at(25.5).unwrap();
-        assert!((predicted.x - 25.5).abs() < 0.4, "predicted x {}", predicted.x);
+        assert!(
+            (predicted.x - 25.5).abs() < 0.4,
+            "predicted x {}",
+            predicted.x
+        );
     }
 
     #[test]

@@ -227,8 +227,10 @@ mod tests {
 
     #[test]
     fn noise_free_twr_is_exact() {
-        let mut cfg = SimConfig::default();
-        cfg.rx_timestamp_noise_s = 0.0;
+        let cfg = SimConfig {
+            rx_timestamp_noise_s: 0.0,
+            ..SimConfig::default()
+        };
         let engine = run_twr(10.0, 1, cfg, ChannelModel::free_space(), 1);
         assert_eq!(engine.measurements.len(), 1);
         // Only residual error: DTU rounding of timestamps (< 1 cm).
@@ -241,7 +243,11 @@ mod tests {
         let engine = run_twr(5.0, 20, SimConfig::default(), ChannelModel::free_space(), 2);
         assert_eq!(engine.measurements.len(), 20);
         for m in &engine.measurements {
-            assert!((m.distance_m - 5.0).abs() < 0.2, "distance {}", m.distance_m);
+            assert!(
+                (m.distance_m - 5.0).abs() < 0.2,
+                "distance {}",
+                m.distance_m
+            );
         }
     }
 
@@ -249,7 +255,13 @@ mod tests {
     fn ranging_error_spread_matches_calibration() {
         // With the default RX noise the distance spread must land near the
         // paper's σ ≈ 2.3 cm (Sect. V).
-        let engine = run_twr(3.0, 300, SimConfig::default(), ChannelModel::free_space(), 3);
+        let engine = run_twr(
+            3.0,
+            300,
+            SimConfig::default(),
+            ChannelModel::free_space(),
+            3,
+        );
         let sigma = stats::std_dev(&engine.distances_m());
         assert!(
             (0.015..0.032).contains(&sigma),
@@ -298,7 +310,11 @@ mod tests {
         assert!((mean - 5.0).abs() < 0.05, "corrected mean {mean}");
         // The measured CFO itself is recovered.
         let cfo = stats::mean(
-            &engine.measurements.iter().map(|m| m.cfo_ppm).collect::<Vec<f64>>(),
+            &engine
+                .measurements
+                .iter()
+                .map(|m| m.cfo_ppm)
+                .collect::<Vec<f64>>(),
         );
         assert!((cfo - 20.0).abs() < 0.1, "cfo {cfo}");
     }

@@ -1,19 +1,17 @@
 //! Property-based tests for the concurrent-ranging core: estimator math,
 //! slot/shape assignment, detection and aggregation invariants.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use concurrent_ranging::detection::{SearchSubtractConfig, SearchSubtractDetector};
 use concurrent_ranging::{
     concurrent_distance_m, concurrent_distance_with_rpm_m, multilaterate, CombinedScheme,
     RangeToAnchor, SlotPlan, TwrTimestamps,
 };
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use uwb_channel::{Arrival, CirSynthesizer, Point2};
 use uwb_dsp::Complex64;
-use uwb_radio::{
-    meters_to_seconds, Channel, DeviceTime, Prf, PulseShape, RadioConfig, TcPgDelay,
-};
+use uwb_radio::{meters_to_seconds, Channel, DeviceTime, Prf, PulseShape, RadioConfig, TcPgDelay};
 
 proptest! {
     #[test]
@@ -132,7 +130,7 @@ proptest! {
             let amp = 0.1 + 0.9 * rng.random::<f64>();
             arrivals.push(Arrival {
                 delay_s: t * 1e-9,
-                amplitude: Complex64::from_polar(amp, rng.random::<f64>() * 6.28),
+                amplitude: Complex64::from_polar(amp, rng.random::<f64>() * std::f64::consts::TAU),
                 pulse,
             });
             delays.push(t);

@@ -1,0 +1,311 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! API subset used by this workspace's benches.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot resolve. This crate keeps every bench compiling and produces
+//! honest wall-clock numbers: each benchmark is warmed up, then timed in
+//! adaptively sized batches until a measurement budget is spent, and the
+//! per-iteration mean/median/min are printed in a criterion-like line.
+//! There is no statistical regression analysis, HTML report, or
+//! command-line filtering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Formats a per-iteration duration in criterion's adaptive units.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Per-sample mean nanoseconds per iteration, filled by `iter`.
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // rough cost of one iteration as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Size batches so all samples together fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)).ceil() as u64;
+        let batch = (total_iters / self.sample_count as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// One benchmark's aggregated timing, printed criterion-style.
+fn report(name: &str, samples_ns: &[f64]) {
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    println!("{line}");
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream criterion finalises reports here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            // Much smaller than upstream's 3 s / 5 s defaults: these
+            // benches run in CI without statistical machinery, so a short
+            // budget keeps the suite fast while min/median stay stable.
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; this stand-in accepts and ignores
+    /// them so `cargo bench -- <filter>` invocations do not error.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples_ns: Vec::with_capacity(sample_size),
+            sample_count: sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        if bencher.samples_ns.is_empty() {
+            println!("{name:<40} (no measurements — Bencher::iter never called)");
+        } else {
+            report(name, &bencher.samples_ns);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-harness `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        fast_criterion().bench_function("counting", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| seen = n);
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.345), "12.35 ns");
+        assert_eq!(fmt_ns(12_345.0), "12.35 µs");
+        assert_eq!(fmt_ns(12_345_678.0), "12.35 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -156,7 +156,7 @@ impl BluesteinPlan {
                 }
                 plan.forward(&mut buf);
                 for (b, k) in buf.iter_mut().zip(kernel_fft) {
-                    *b = *b * *k;
+                    *b *= *k;
                 }
                 plan.inverse(&mut buf);
                 for k in 0..n {

@@ -80,7 +80,7 @@ pub fn convolve_fft(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, 
     plan.forward(&mut fa);
     plan.forward(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     plan.inverse(&mut fa);
     fa.truncate(out_len);
@@ -133,8 +133,14 @@ mod tests {
 
     #[test]
     fn empty_inputs_are_rejected() {
-        assert!(matches!(convolve(&[], &c(&[1.0])), Err(DspError::EmptyInput)));
-        assert!(matches!(convolve(&c(&[1.0]), &[]), Err(DspError::EmptyInput)));
+        assert!(matches!(
+            convolve(&[], &c(&[1.0])),
+            Err(DspError::EmptyInput)
+        ));
+        assert!(matches!(
+            convolve(&c(&[1.0]), &[]),
+            Err(DspError::EmptyInput)
+        ));
     }
 
     #[test]

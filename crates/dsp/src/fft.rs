@@ -69,7 +69,7 @@ impl FftPlan {
         }
         let bits = size.trailing_zeros();
         let reversed = (0..size as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)) as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .map(|i| if size == 1 { 0 } else { i })
             .collect();
         let twiddles = (0..size / 2)
@@ -321,11 +321,7 @@ mod tests {
             .collect();
         let alpha = Complex64::new(2.0, -0.5);
 
-        let mut lhs: Vec<Complex64> = a
-            .iter()
-            .zip(&b)
-            .map(|(&x, &y)| alpha * x + y)
-            .collect();
+        let mut lhs: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| alpha * x + y).collect();
         fft(&mut lhs).unwrap();
 
         let mut fa = a.clone();

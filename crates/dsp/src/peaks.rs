@@ -51,7 +51,9 @@ pub fn find_peaks(values: &[f64], min_height: f64, min_distance: usize) -> Vec<P
     let mut candidates: Vec<Peak> = (0..n)
         .filter(|&i| {
             let v = values[i];
-            if !(v >= min_height) {
+            // NaN values must fail the height test, so the comparison is
+            // written to reject incomparable samples too.
+            if v.partial_cmp(&min_height) == Some(std::cmp::Ordering::Less) || v.is_nan() {
                 return false;
             }
             let left_ok = i == 0 || values[i - 1] <= v;
@@ -63,7 +65,11 @@ pub fn find_peaks(values: &[f64], min_height: f64, min_distance: usize) -> Vec<P
             value: values[i],
         })
         .collect();
-    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut accepted: Vec<Peak> = Vec::new();
     for c in candidates {

@@ -56,7 +56,7 @@ pub fn upsample_fft(signal: &[Complex64], factor: usize) -> Result<Vec<Complex64
     // interpolated signal consistent with a real-valued original.
     let mut padded = vec![Complex64::ZERO; m];
     let half = n / 2;
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         padded[..half].copy_from_slice(&spectrum[..half]);
         let nyq = spectrum[half].scale(0.5);
         padded[half] = nyq;
@@ -110,7 +110,7 @@ pub fn fractional_delay(signal: &[Complex64], delay: f64) -> Result<Vec<Complex6
         } else {
             k as f64 - n as f64
         };
-        *z = *z * Complex64::cis(-2.0 * std::f64::consts::PI * freq * delay / n as f64);
+        *z *= Complex64::cis(-2.0 * std::f64::consts::PI * freq * delay / n as f64);
     }
     plan.inverse(&mut spectrum);
     Ok(spectrum)
@@ -162,7 +162,9 @@ mod tests {
         let freq = 3.0; // cycles per n samples, well below Nyquist
         let signal: Vec<Complex64> = (0..n)
             .map(|i| {
-                Complex64::from_real((2.0 * std::f64::consts::PI * freq * i as f64 / n as f64).cos())
+                Complex64::from_real(
+                    (2.0 * std::f64::consts::PI * freq * i as f64 / n as f64).cos(),
+                )
             })
             .collect();
         let factor = 4;
@@ -196,9 +198,9 @@ mod tests {
             );
         }
         let shifted = fractional_delay(&signal, 3.0).unwrap();
-        for i in 0..n {
+        for (i, s) in shifted.iter().enumerate() {
             let src = (i + n - 3) % n;
-            assert!((shifted[i] - signal[src]).abs() < 1e-8, "i={i}");
+            assert!((*s - signal[src]).abs() < 1e-8, "i={i}");
         }
     }
 
@@ -213,8 +215,7 @@ mod tests {
             .collect();
         let shifted = fractional_delay(&signal, 0.5).unwrap();
         for (i, z) in shifted.iter().enumerate() {
-            let expected =
-                (2.0 * std::f64::consts::PI * f * (i as f64 - 0.5) / n as f64).sin();
+            let expected = (2.0 * std::f64::consts::PI * f * (i as f64 - 0.5) / n as f64).sin();
             assert!((z.re - expected).abs() < 1e-8, "i={i}");
         }
     }

@@ -7,7 +7,9 @@ use uwb_dsp::{
     MatchedFilter,
 };
 
-fn complex_vec(len: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<Complex64>> {
+fn complex_vec(
+    len: impl Into<proptest::collection::SizeRange>,
+) -> impl Strategy<Value = Vec<Complex64>> {
     proptest::collection::vec(
         (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex64::new(re, im)),
         len,

@@ -29,7 +29,10 @@ impl ClockModel {
 
     /// Creates a clock with the given offset and drift.
     pub const fn new(offset_s: f64, drift_ppm: f64) -> Self {
-        Self { offset_s, drift_ppm }
+        Self {
+            offset_s,
+            drift_ppm,
+        }
     }
 
     /// The local-clock rate relative to true time (`1 + ppm·1e-6`).

@@ -78,11 +78,7 @@ impl<E> EventQueue<E> {
         assert!(time_s.is_finite(), "non-finite event time {time_s}");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
-            time_s,
-            seq,
-            event,
-        });
+        self.heap.push(Scheduled { time_s, seq, event });
     }
 
     /// Removes and returns the earliest event with its time.

@@ -146,7 +146,11 @@ mod tests {
             rx_device_time: DeviceTime::ZERO,
             rx_true_global_s: 1.0,
             cfo_ppm: 0.0,
-            frames: vec![frame(1, 0.5, false), frame(2, 0.9, true), frame(1, 0.2, false)],
+            frames: vec![
+                frame(1, 0.5, false),
+                frame(2, 0.9, true),
+                frame(1, 0.2, false),
+            ],
         };
         assert_eq!(r.decoded().unwrap().src, NodeId(2));
         assert_eq!(r.transmitter_count(), 2);

@@ -58,6 +58,4 @@ pub use clock::ClockModel;
 pub use event::EventQueue;
 pub use frame::{NodeId, ReceivedFrame, Reception};
 pub use node::NodeConfig;
-pub use sim::{
-    NodeApi, Protocol, SimConfig, Simulator, TraceEvent, DEFAULT_RX_TIMESTAMP_NOISE_S,
-};
+pub use sim::{NodeApi, Protocol, SimConfig, Simulator, TraceEvent, DEFAULT_RX_TIMESTAMP_NOISE_S};

@@ -14,7 +14,6 @@
 //!   (offset + drifting) clock,
 //! - every transmit/receive second is charged to an energy ledger.
 
-
 use crate::event::EventQueue;
 use crate::frame::{NodeId, ReceivedFrame, Reception};
 use crate::node::{NodeConfig, SimNode};
@@ -22,8 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uwb_channel::{random, ChannelModel};
 use uwb_radio::{
-    DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState, DTU_SECONDS,
-    TIMESTAMP_MODULUS,
+    DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState, DTU_SECONDS, TIMESTAMP_MODULUS,
 };
 
 /// Default RX timestamp noise (σ, seconds). Calibrated so SS-TWR distance
@@ -342,9 +340,7 @@ impl<P: Clone> Simulator<P> {
         // A clock with a large negative offset reads "before power-on" at
         // early global times; the counter reports zero until it starts,
         // as hardware would.
-        let device_now = clock
-            .device_time_at(self.now_s)
-            .unwrap_or(DeviceTime::ZERO);
+        let device_now = clock.device_time_at(self.now_s).unwrap_or(DeviceTime::ZERO);
         NodeApi {
             node,
             device_now,
@@ -501,11 +497,9 @@ impl<P: Clone> Simulator<P> {
             DeviceTime::from_seconds(noisy_local.max(0.0)).unwrap_or(DeviceTime::ZERO);
 
         // Charge receive energy for the decoded frame's airtime.
-        let airtime = FrameTiming::new(&self.nodes[idx].config.radio)
-            .frame_s(frames[best].payload_bytes);
-        self.nodes[idx]
-            .ledger
-            .record(RadioState::Receive, airtime);
+        let airtime =
+            FrameTiming::new(&self.nodes[idx].config.radio).frame_s(frames[best].payload_bytes);
+        self.nodes[idx].ledger.record(RadioState::Receive, airtime);
 
         // Carrier frequency offset of the decoded sender relative to the
         // receiver: the ratio of clock rates, in ppm, plus readout noise.
@@ -704,8 +698,10 @@ mod tests {
     fn weak_frames_are_not_decodable() {
         // A link-budget limit drops receptions whose strongest arrival is
         // below the receiver sensitivity.
-        let mut config = SimConfig::default();
-        config.min_decode_amplitude = 1.0; // far above any Friis amplitude
+        let config = SimConfig {
+            min_decode_amplitude: 1.0, // far above any Friis amplitude
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(ChannelModel::free_space(), config, 44);
         sim.add_node(NodeConfig::at(0.0, 0.0));
         sim.add_node(NodeConfig::at(60.0, 0.0));

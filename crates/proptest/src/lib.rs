@@ -1,0 +1,487 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1) API
+//! subset used by this workspace's property tests.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot resolve. This crate implements the pieces the workspace's
+//! `tests/properties.rs` files use: the [`Strategy`] trait over ranges,
+//! tuples, `prop_map` and [`collection::vec`]; and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros.
+//!
+//! Differences from upstream, acceptable for this workspace:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs but is
+//!   not minimised.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible without a persistence
+//!   file; `PROPTEST_CASES` still overrides the case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Error produced by a single generated test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — try another input.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Builds a rejection error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Result type returned by the body of each generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of a given type.
+///
+/// Unlike upstream proptest there is no intermediate value tree: a
+/// strategy generates final values directly (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates only values for which `f` returns true (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < 2^-64 per draw for all spans used in
+                // tests; irrelevant for property sampling.
+                let off = (rng.random::<u64>() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = (rng.random::<u64>() as u128 % span) as i128;
+                (*self.start() as i128 + off) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.random::<$t>()
+            }
+        }
+    )+};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+)
+            ;
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy yielding either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl SizeRange {
+        /// Creates a size band from `min` to `max_inclusive`.
+        pub fn new(min: usize, max_inclusive: usize) -> Self {
+            assert!(min <= max_inclusive, "empty size range");
+            Self { min, max_inclusive }
+        }
+
+        /// Picks a length inside the band.
+        pub fn pick(&self, rng: &mut StdRng) -> usize {
+            let span = self.max_inclusive - self.min + 1;
+            self.min + (rng.random::<u64>() as usize % span)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self::new(len, len)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self::new(r.start, r.end - 1)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self::new(*r.start(), *r.end())
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runtime support for the [`proptest!`] macro — not public API.
+pub mod runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test RNG derived from the test's full name, so
+    /// every run of a given test sees the same inputs (FNV-1a hash).
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Defines property tests: each `fn` runs its body against many randomly
+/// generated inputs bound by `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::runner::cases();
+                let mut rng = $crate::runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut passed = 0usize;
+                let mut rejected = 0usize;
+                while passed < cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= cases * 50,
+                                "proptest {}: too many prop_assume rejections",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s): {}",
+                                stringify!($name), passed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with the generated inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case (drawing a fresh input) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::runner;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = runner::rng_for("bounds");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::generate(&(0u8..=2), &mut rng);
+            assert!(y <= 2);
+            let z = Strategy::generate(&(-5.0f64..5.0), &mut rng);
+            assert!((-5.0..5.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_hits_size_band() {
+        let mut rng = runner::rng_for("vec");
+        let strat = collection::vec(0.0f64..1.0, 1..=4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..=4).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1] && seen[4], "size band not covered");
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = runner::rng_for("map");
+        let strat = (0usize..5).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_and_asserts(x in 0usize..100, flip in crate::bool::ANY) {
+            prop_assume!(x != 50);
+            prop_assert!(x < 100, "x = {x}");
+            if flip {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failing_case failed")]
+    fn macro_reports_failures() {
+        proptest! {
+            fn failing_case(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        failing_case();
+    }
+}

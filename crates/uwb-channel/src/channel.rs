@@ -201,8 +201,8 @@ impl ChannelModel {
         let mut los_delay = 0.0_f64;
         for path in &paths {
             let mut length = path.length_m;
-            let mut gain = self.config.path_loss.amplitude_gain(length, wavelength_m)
-                * path.reflection_gain;
+            let mut gain =
+                self.config.path_loss.amplitude_gain(length, wavelength_m) * path.reflection_gain;
             if path.order == 0 {
                 if let Some(nlos) = self.config.nlos {
                     gain *= 10f64.powf(-nlos.extra_loss_db / 20.0);
@@ -296,9 +296,11 @@ mod tests {
 
     #[test]
     fn reflections_are_weaker_than_los_without_jitter() {
-        let mut config = ChannelConfig::default();
-        config.amplitude_jitter_db = 0.0;
-        config.diffuse = None;
+        let config = ChannelConfig {
+            amplitude_jitter_db: 0.0,
+            diffuse: None,
+            ..ChannelConfig::default()
+        };
         let model = ChannelModel::with_config(Some(Room::rectangular(20.0, 6.0, 0.7)), config);
         let arr = model.propagate(
             Point2::new(2.0, 3.0),
@@ -315,10 +317,12 @@ mod tests {
 
     #[test]
     fn nlos_attenuates_and_delays_direct_path_only() {
-        let mut config = ChannelConfig::default();
-        config.amplitude_jitter_db = 0.0;
-        config.diffuse = None;
-        config.max_reflection_order = 1;
+        let config = ChannelConfig {
+            amplitude_jitter_db: 0.0,
+            diffuse: None,
+            max_reflection_order: 1,
+            ..ChannelConfig::default()
+        };
         let room = Room::rectangular(20.0, 6.0, 0.7);
 
         let clear = ChannelModel::with_config(Some(room.clone()), config);
@@ -351,9 +355,11 @@ mod tests {
 
     #[test]
     fn diffuse_tail_arrives_after_los_and_decays() {
-        let mut config = ChannelConfig::default();
-        config.max_reflection_order = 0;
-        config.amplitude_jitter_db = 0.0;
+        let mut config = ChannelConfig {
+            max_reflection_order: 0,
+            amplitude_jitter_db: 0.0,
+            ..ChannelConfig::default()
+        };
         config.diffuse = Some(DiffuseConfig {
             count: 200,
             onset_power_db: -10.0,
@@ -393,14 +399,28 @@ mod tests {
 
     #[test]
     fn amplitude_jitter_varies_between_packets() {
-        let mut config = ChannelConfig::default();
-        config.diffuse = None;
-        config.max_reflection_order = 0;
-        config.amplitude_jitter_db = 3.0;
+        let config = ChannelConfig {
+            diffuse: None,
+            max_reflection_order: 0,
+            amplitude_jitter_db: 3.0,
+            ..ChannelConfig::default()
+        };
         let model = ChannelModel::with_config(None, config);
         let mut r = rng();
-        let a1 = model.propagate(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), pulse(), LAMBDA, &mut r);
-        let a2 = model.propagate(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), pulse(), LAMBDA, &mut r);
+        let a1 = model.propagate(
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            pulse(),
+            LAMBDA,
+            &mut r,
+        );
+        let a2 = model.propagate(
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            pulse(),
+            LAMBDA,
+            &mut r,
+        );
         assert!((a1[0].amplitude.abs() - a2[0].amplitude.abs()).abs() > 1e-9);
     }
 
@@ -409,7 +429,13 @@ mod tests {
         let model = ChannelModel::in_room(Room::rectangular(10.0, 5.0, 0.6));
         let run = |seed: u64| {
             let mut r = StdRng::seed_from_u64(seed);
-            model.propagate(Point2::new(1.0, 1.0), Point2::new(7.0, 3.0), pulse(), LAMBDA, &mut r)
+            model.propagate(
+                Point2::new(1.0, 1.0),
+                Point2::new(7.0, 3.0),
+                pulse(),
+                LAMBDA,
+                &mut r,
+            )
         };
         assert_eq!(run(99), run(99));
     }

@@ -243,10 +243,8 @@ mod tests {
     fn different_pulse_shapes_render_different_widths() {
         let synth = CirSynthesizer::new(Prf::Mhz64);
         let narrow = synth.render(&[arrival(300.0, 1.0)], &mut rng());
-        let wide_pulse = PulseShape::from_register(
-            TcPgDelay::new(0xF0).unwrap(),
-            uwb_radio::Channel::Ch7,
-        );
+        let wide_pulse =
+            PulseShape::from_register(TcPgDelay::new(0xF0).unwrap(), uwb_radio::Channel::Ch7);
         let wide = synth.render(
             &[Arrival {
                 delay_s: 300e-9,
@@ -255,9 +253,7 @@ mod tests {
             }],
             &mut rng(),
         );
-        let count_above = |cir: &Cir| {
-            cir.magnitudes().iter().filter(|&&m| m > 0.1).count()
-        };
+        let count_above = |cir: &Cir| cir.magnitudes().iter().filter(|&&m| m > 0.1).count();
         assert!(count_above(&wide) > count_above(&narrow));
     }
 

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uwb_channel::{
-    trace_paths, Arrival, ChannelConfig, ChannelModel, CirSynthesizer, PathLoss, Point2, Room,
-    Wall,
+    trace_paths, Arrival, ChannelConfig, ChannelModel, CirSynthesizer, PathLoss, Point2, Room, Wall,
 };
 use uwb_dsp::Complex64;
 use uwb_radio::{Prf, PulseShape, RadioConfig};

@@ -47,7 +47,10 @@ impl fmt::Display for RadioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidPgDelay { value } => {
-                write!(f, "TC_PGDELAY value {value:#04x} is outside the usable range")
+                write!(
+                    f,
+                    "TC_PGDELAY value {value:#04x} is outside the usable range"
+                )
             }
             Self::TooManyPulseShapes {
                 requested,
@@ -63,7 +66,10 @@ impl fmt::Display for RadioError {
                 write!(f, "preamble length of {symbols} symbols is not supported")
             }
             Self::UnrepresentableDuration { seconds } => {
-                write!(f, "duration {seconds} s cannot be represented in device time units")
+                write!(
+                    f,
+                    "duration {seconds} s cannot be represented in device time units"
+                )
             }
             Self::CirLengthMismatch { expected, actual } => {
                 write!(f, "CIR has {actual} taps, expected {expected}")

@@ -58,9 +58,8 @@ pub use preamble::{estimate_cir_from_preamble, MSequence};
 pub use pulse::{PulseShape, SampledPulse};
 pub use registers::TcPgDelay;
 pub use time::{
-    meters_to_seconds, seconds_to_meters, DeviceTime, DTU_PER_SECOND, DTU_PICOSECONDS,
-    DTU_SECONDS, TIMESTAMP_BITS, TIMESTAMP_MODULUS, TX_GRANULARITY_DTU, TX_GRANULARITY_SECONDS,
-    TX_IGNORED_BITS,
+    meters_to_seconds, seconds_to_meters, DeviceTime, DTU_PER_SECOND, DTU_PICOSECONDS, DTU_SECONDS,
+    TIMESTAMP_BITS, TIMESTAMP_MODULUS, TX_GRANULARITY_DTU, TX_GRANULARITY_SECONDS, TX_IGNORED_BITS,
 };
 pub use timing::{FrameTiming, PAPER_RESPONSE_DELAY_S, RX_TX_TURNAROUND_S};
 

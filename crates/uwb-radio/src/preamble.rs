@@ -158,9 +158,7 @@ pub fn estimate_cir_from_preamble(
     // Summing over lags gives Σ_lag A = (N+1)·S − N·S = S, so the bias is
     // removed exactly: h[lag] = (A[lag] + S) / (N+1).
     let scale = 1.0 / repeats as f64;
-    let total = acc
-        .iter()
-        .fold(Complex64::ZERO, |t, &z| t + z.scale(scale));
+    let total = acc.iter().fold(Complex64::ZERO, |t, &z| t + z.scale(scale));
     let inv = 1.0 / (n as f64 + 1.0);
     Ok(acc
         .iter()
@@ -198,11 +196,7 @@ mod tests {
     }
 
     /// Circularly convolves a channel with the repeated code.
-    fn transmit_through(
-        code: &MSequence,
-        channel: &[Complex64],
-        repeats: usize,
-    ) -> Vec<Complex64> {
+    fn transmit_through(code: &MSequence, channel: &[Complex64], repeats: usize) -> Vec<Complex64> {
         let n = code.len();
         let mut rx = vec![Complex64::ZERO; n * repeats];
         for rep in 0..repeats {
@@ -252,8 +246,7 @@ mod tests {
             rx
         };
         let err = |repeats: usize| {
-            let est =
-                estimate_cir_from_preamble(&noisy_rx(repeats, 9), &code, repeats).unwrap();
+            let est = estimate_cir_from_preamble(&noisy_rx(repeats, 9), &code, repeats).unwrap();
             est.iter()
                 .zip(&channel)
                 .map(|(&e, &h)| (e - h).norm_sqr())
@@ -281,18 +274,10 @@ mod tests {
         let code = MSequence::new(6).unwrap();
         let mut channel = vec![Complex64::ZERO; code.len()];
         channel[3] = Complex64::new(0.7, -0.2);
-        let est1 = estimate_cir_from_preamble(
-            &transmit_through(&code, &channel, 1),
-            &code,
-            1,
-        )
-        .unwrap();
-        let est8 = estimate_cir_from_preamble(
-            &transmit_through(&code, &channel, 8),
-            &code,
-            8,
-        )
-        .unwrap();
+        let est1 =
+            estimate_cir_from_preamble(&transmit_through(&code, &channel, 1), &code, 1).unwrap();
+        let est8 =
+            estimate_cir_from_preamble(&transmit_through(&code, &channel, 8), &code, 8).unwrap();
         for (a, b) in est1.iter().zip(&est8) {
             assert!((*a - *b).abs() < 1e-9);
         }

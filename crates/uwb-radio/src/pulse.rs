@@ -293,7 +293,11 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(k, _)| {
-                let f = if *k <= n / 2 { *k as f64 } else { *k as f64 - n as f64 } * df;
+                let f = if *k <= n / 2 {
+                    *k as f64
+                } else {
+                    *k as f64 - n as f64
+                } * df;
                 f.abs() > 499.2e6
             })
             .map(|(_, z)| z.norm_sqr())
@@ -330,10 +334,8 @@ mod tests {
     fn wider_register_gives_longer_template() {
         let cfg = RadioConfig::default();
         let narrow = PulseShape::from_config(&cfg).sample(TS);
-        let wide = PulseShape::from_config(
-            &cfg.with_pulse_shape(TcPgDelay::new(0xF0).unwrap()),
-        )
-        .sample(TS);
+        let wide = PulseShape::from_config(&cfg.with_pulse_shape(TcPgDelay::new(0xF0).unwrap()))
+            .sample(TS);
         assert!(wide.len() > narrow.len());
     }
 

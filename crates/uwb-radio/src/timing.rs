@@ -138,16 +138,14 @@ mod tests {
     #[test]
     fn preamble_scales_with_psr() {
         let short = FrameTiming::new(&RadioConfig::default());
-        let long =
-            FrameTiming::new(&RadioConfig::default().with_preamble(PreambleLength::Psr1024));
+        let long = FrameTiming::new(&RadioConfig::default().with_preamble(PreambleLength::Psr1024));
         assert!((long.preamble_s() / short.preamble_s() - 8.0).abs() < 1e-9);
     }
 
     #[test]
     fn payload_duration_scales_with_rate() {
         let fast = FrameTiming::new(&RadioConfig::default());
-        let slow =
-            FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
+        let slow = FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
         assert!(slow.payload_s(20) > fast.payload_s(20) * 50.0);
     }
 
@@ -179,8 +177,7 @@ mod tests {
     fn frame_duration_is_sum_of_parts() {
         let timing = FrameTiming::new(&RadioConfig::default());
         let total = timing.frame_s(14);
-        let parts =
-            timing.preamble_s() + timing.sfd_s() + timing.phr_s() + timing.payload_s(14);
+        let parts = timing.preamble_s() + timing.sfd_s() + timing.phr_s() + timing.payload_s(14);
         assert!((total - parts).abs() < 1e-15);
     }
 
@@ -189,7 +186,11 @@ mod tests {
         let timing = FrameTiming::new(&RadioConfig::default());
         let practical = timing.practical_response_delay_s(14);
         assert!(practical >= timing.min_response_delay_s(14) + RX_TX_TURNAROUND_S);
-        assert!((practical * 1e6 - 290.0).abs() < 15.0, "got {} µs", practical * 1e6);
+        assert!(
+            (practical * 1e6 - 290.0).abs() < 15.0,
+            "got {} µs",
+            practical * 1e6
+        );
     }
 
     #[test]
@@ -197,8 +198,7 @@ mod tests {
         let fast = FrameTiming::new(&RadioConfig::default());
         let mid = FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps850));
         assert_eq!(fast.phr_s(), mid.phr_s());
-        let slow =
-            FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
+        let slow = FrameTiming::new(&RadioConfig::default().with_data_rate(DataRate::Kbps110));
         assert!(slow.phr_s() > fast.phr_s());
     }
 }

@@ -11,8 +11,8 @@
 //! message exchanges per waypoint.
 
 use concurrent_ranging::{
-    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangeToAnchor,
-    RangingError, SlotPlan,
+    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangeToAnchor, RangingError,
+    SlotPlan,
 };
 use uwb_channel::{ChannelConfig, ChannelModel, Point2, Room};
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
@@ -35,10 +35,8 @@ fn main() -> Result<(), RangingError> {
         amplitude_jitter_db: 0.8,
         ..ChannelConfig::default()
     };
-    let channel = ChannelModel::with_config(
-        Some(Room::rectangular(HALL_W, HALL_H, 0.6)),
-        channel_config,
-    );
+    let channel =
+        ChannelModel::with_config(Some(Room::rectangular(HALL_W, HALL_H, 0.6)), channel_config);
 
     let waypoints = [
         Point2::new(3.0, 3.0),

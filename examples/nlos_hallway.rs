@@ -32,19 +32,15 @@ fn main() -> Result<(), RangingError> {
                 excess_delay_ns: 0.1 * extra_loss_db,
             });
         }
-        let channel = ChannelModel::with_config(
-            Some(Room::rectangular(20.0, 8.0, 0.6)),
-            channel_config,
-        );
+        let channel =
+            ChannelModel::with_config(Some(Room::rectangular(20.0, 8.0, 0.6)), channel_config);
         let scheme = CombinedScheme::new(SlotPlan::new(4)?, 1)?;
         let mut sim = Simulator::new(channel, SimConfig::default(), extra_loss_db as u64 + 3);
         let initiator = sim.add_node(NodeConfig::at(2.0, 4.0));
-        let r0 = sim.add_node(
-            NodeConfig::at(8.0, 4.0).with_pulse_shape(scheme.assign(0)?.register),
-        );
-        let r1 = sim.add_node(
-            NodeConfig::at(14.0, 4.0).with_pulse_shape(scheme.assign(1)?.register),
-        );
+        let r0 =
+            sim.add_node(NodeConfig::at(8.0, 4.0).with_pulse_shape(scheme.assign(0)?.register));
+        let r1 =
+            sim.add_node(NodeConfig::at(14.0, 4.0).with_pulse_shape(scheme.assign(1)?.register));
         let mut engine = ConcurrentEngine::new(
             initiator,
             vec![(r0, 0), (r1, 1)],
@@ -62,9 +58,7 @@ fn main() -> Result<(), RangingError> {
                 let worst_bias = truths
                     .iter()
                     .enumerate()
-                    .filter_map(|(id, t)| {
-                        o.estimate_for(id as u32).map(|e| e.distance_m - t)
-                    })
+                    .filter_map(|(id, t)| o.estimate_for(id as u32).map(|e| e.distance_m - t))
                     .fold(0.0_f64, |acc, b| if b.abs() > acc.abs() { b } else { acc });
                 let note = if extra_loss_db == 0.0 {
                     "clear LOS".to_string()

@@ -48,7 +48,10 @@ fn main() -> Result<(), RangingError> {
         "\none round: anchor = responder {}, d_TWR = {:.3} m",
         outcome.anchor_id, outcome.d_twr_m
     );
-    println!("{:<12} {:>12} {:>10} {:>8}", "responder", "estimated", "true", "error");
+    println!(
+        "{:<12} {:>12} {:>10} {:>8}",
+        "responder", "estimated", "true", "error"
+    );
     for (id, &(x, y)) in positions.iter().enumerate() {
         let truth = (x * x + y * y).sqrt();
         match outcome.estimate_for(id as u32) {

@@ -54,7 +54,10 @@ fn main() -> Result<(), RangingError> {
 
     let outcome = engine.outcomes.first().expect("round completes");
     let mut recovered = 0;
-    println!("{:<6} {:>10} {:>10} {:>9}", "tag", "estimated", "true", "error");
+    println!(
+        "{:<6} {:>10} {:>10} {:>9}",
+        "tag", "estimated", "true", "error"
+    );
     for (id, p) in positions.iter().enumerate() {
         let truth = p.distance_to(Point2::new(0.0, 0.0));
         match outcome.estimate_for(id as u32) {
@@ -79,10 +82,13 @@ fn main() -> Result<(), RangingError> {
         + uwb_radio::PAPER_RESPONSE_DELAY_S
         + timing.frame_s(concurrent_ranging::RESP_PAYLOAD_BYTES);
     let twr_mj = N_TAGS as f64
-        * (model.energy_mj(uwb_radio::RadioState::Transmit,
-            timing.frame_s(concurrent_ranging::INIT_PAYLOAD_BYTES))
-            + model.energy_mj(uwb_radio::RadioState::Receive,
-                twr_round_s - timing.frame_s(concurrent_ranging::INIT_PAYLOAD_BYTES)));
+        * (model.energy_mj(
+            uwb_radio::RadioState::Transmit,
+            timing.frame_s(concurrent_ranging::INIT_PAYLOAD_BYTES),
+        ) + model.energy_mj(
+            uwb_radio::RadioState::Receive,
+            twr_round_s - timing.frame_s(concurrent_ranging::INIT_PAYLOAD_BYTES),
+        ));
 
     println!(
         "\nrecovered {recovered}/{N_TAGS} tags in ONE round \

@@ -62,16 +62,20 @@ fn full_capacity_round_recovers_all_twelve_ids() {
         let angle = 0.5 + id as f64 * 0.52;
         let radius = 3.0 + (id as f64) * 0.8;
         let (x, y) = (radius * angle.cos(), radius * angle.sin());
-        let node = sim.add_node(
-            NodeConfig::at(x, y).with_pulse_shape(scheme.assign(id).unwrap().register),
-        );
+        let node = sim
+            .add_node(NodeConfig::at(x, y).with_pulse_shape(scheme.assign(id).unwrap().register));
         responders.push((node, id));
         truths.push(radius);
     }
     let config = ConcurrentConfig::new(scheme).with_mpc_guard();
     let mut engine = ConcurrentEngine::new(initiator, responders, config, 3).unwrap();
     sim.run(&mut engine, 1.0);
-    assert_eq!(engine.outcomes.len(), 1, "failed: {:?}", engine.failed_rounds);
+    assert_eq!(
+        engine.outcomes.len(),
+        1,
+        "failed: {:?}",
+        engine.failed_rounds
+    );
     let outcome = &engine.outcomes[0];
     let mut recovered = 0;
     for (id, truth) in truths.iter().enumerate() {
@@ -103,8 +107,7 @@ fn localization_from_single_round_in_room() {
     let mut responders = Vec::new();
     for (id, a) in anchors.iter().enumerate() {
         let node = sim.add_node(
-            NodeConfig::at(a.x, a.y)
-                .with_pulse_shape(scheme.assign(id as u32).unwrap().register),
+            NodeConfig::at(a.x, a.y).with_pulse_shape(scheme.assign(id as u32).unwrap().register),
         );
         responders.push((node, id as u32));
     }
@@ -164,13 +167,11 @@ fn out_of_window_responder_fails_gracefully() {
     // the next slot: its ID decodes wrongly or not at all, but the round
     // still returns and other responders are unaffected.
     let scheme = CombinedScheme::new(SlotPlan::new(8).unwrap(), 1).unwrap();
-    let slot_budget_m =
-        scheme.plan().slot_spacing_s() * uwb_radio::SPEED_OF_LIGHT / 2.0;
+    let slot_budget_m = scheme.plan().slot_spacing_s() * uwb_radio::SPEED_OF_LIGHT / 2.0;
     let mut sim = free_space(6);
     let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
-    let near = sim.add_node(
-        NodeConfig::at(4.0, 0.0).with_pulse_shape(scheme.assign(0).unwrap().register),
-    );
+    let near =
+        sim.add_node(NodeConfig::at(4.0, 0.0).with_pulse_shape(scheme.assign(0).unwrap().register));
     // Far responder: beyond one slot's round-trip budget relative to the
     // anchor.
     let far_distance = 4.0 + slot_budget_m + 3.0;
@@ -196,9 +197,8 @@ fn multiple_rounds_are_consistent() {
     let mut sim = free_space(7);
     let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
     let r0 = sim.add_node(NodeConfig::at(6.0, 2.0));
-    let r1 = sim.add_node(
-        NodeConfig::at(3.0, -4.0).with_pulse_shape(scheme.assign(1).unwrap().register),
-    );
+    let r1 = sim
+        .add_node(NodeConfig::at(3.0, -4.0).with_pulse_shape(scheme.assign(1).unwrap().register));
     let config = ConcurrentConfig::new(scheme).with_rounds(10);
     let mut engine = ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 7).unwrap();
     sim.run(&mut engine, 1.0);
@@ -240,8 +240,7 @@ fn energy_advantage_grows_with_network_size() {
             })
             .collect();
         let mut engine =
-            ConcurrentEngine::new(initiator, responders, ConcurrentConfig::new(scheme), 9)
-                .unwrap();
+            ConcurrentEngine::new(initiator, responders, ConcurrentConfig::new(scheme), 9).unwrap();
         sim.run(&mut engine, 1.0);
         concurrent_energy.push(sim.node_ledger(initiator).total_energy_mj(&model));
     }
