@@ -1,8 +1,10 @@
 //! Ablation: SS-TWR bias vs responder clock drift.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_ablation_drift");
     let rounds = repro_bench::trials_from_env(200) as u32;
     println!(
         "{}",
         repro_bench::experiments::ablations::run_drift(rounds, 7)
     );
+    obs.finish();
 }

@@ -1,8 +1,10 @@
 //! Design ablation: the MPC guard in a reflective room.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_ablation_guard");
     let rounds = repro_bench::trials_from_env(60) as u32;
     println!(
         "{}",
         repro_bench::experiments::design_ablations::run_guard(rounds, 4)
     );
+    obs.finish();
 }

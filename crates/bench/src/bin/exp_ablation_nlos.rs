@@ -1,8 +1,10 @@
 //! Ablation: NLOS impact on concurrent ranging (paper's future work).
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_ablation_nlos");
     let rounds = repro_bench::trials_from_env(50) as u32;
     println!(
         "{}",
         repro_bench::experiments::ablations::run_nlos(rounds, 8)
     );
+    obs.finish();
 }

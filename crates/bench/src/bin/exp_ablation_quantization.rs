@@ -1,8 +1,10 @@
 //! Design ablation: delayed-TX truncation impact on non-anchor ranges.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_ablation_quantization");
     let rounds = repro_bench::trials_from_env(150) as u32;
     println!(
         "{}",
         repro_bench::experiments::design_ablations::run_quantization(rounds, 5)
     );
+    obs.finish();
 }

@@ -3,7 +3,8 @@
 //! bit-identical for any value.
 fn main() {
     let trials = repro_bench::trials_from_env(800);
-    let threads = repro_bench::threads_from_args();
+    let obs = repro_bench::ExpHarness::init("exp_ablation_refinement");
+    let threads = obs.threads;
     let started = std::time::Instant::now();
     let report =
         repro_bench::experiments::design_ablations::run_refinement_threaded(trials, 3, threads);
@@ -12,4 +13,5 @@ fn main() {
         started.elapsed().as_secs_f64()
     );
     println!("{report}");
+    obs.finish();
 }

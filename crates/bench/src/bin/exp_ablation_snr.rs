@@ -2,7 +2,8 @@
 //! the worker count — the report is bit-identical for any value.
 fn main() {
     let trials = repro_bench::trials_from_env(300);
-    let threads = repro_bench::threads_from_args();
+    let obs = repro_bench::ExpHarness::init("exp_ablation_snr");
+    let threads = obs.threads;
     let started = std::time::Instant::now();
     let report = repro_bench::experiments::ablations::run_snr_threaded(trials, 5, threads);
     eprintln!(
@@ -10,4 +11,5 @@ fn main() {
         started.elapsed().as_secs_f64()
     );
     println!("{report}");
+    obs.finish();
 }

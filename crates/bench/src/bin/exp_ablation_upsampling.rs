@@ -1,8 +1,10 @@
 //! Ablation: delay-estimation error vs FFT upsampling factor.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_ablation_upsampling");
     let trials = repro_bench::trials_from_env(200);
     println!(
         "{}",
         repro_bench::experiments::ablations::run_upsampling(trials, 6)
     );
+    obs.finish();
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 1: multipath resolvability at 900 MHz vs 50 MHz.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig1_bandwidth");
     println!("{}", repro_bench::experiments::fig1::run());
+    obs.finish();
 }

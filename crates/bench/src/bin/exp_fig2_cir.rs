@@ -1,4 +1,6 @@
 //! Regenerates Fig. 2: an estimated CIR in an indoor environment.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig2_cir");
     println!("{}", repro_bench::experiments::fig2::run(7));
+    obs.finish();
 }

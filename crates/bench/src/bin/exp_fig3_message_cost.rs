@@ -1,4 +1,6 @@
 //! Regenerates Fig. 3: SS-TWR vs concurrent ranging message/energy cost.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig3_message_cost");
     println!("{}", repro_bench::experiments::fig3::run(10, 1));
+    obs.finish();
 }

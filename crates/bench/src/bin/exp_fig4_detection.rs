@@ -1,4 +1,6 @@
 //! Regenerates Fig. 4: the response detection algorithm stage by stage.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig4_detection");
     println!("{}", repro_bench::experiments::fig4::run(42));
+    obs.finish();
 }

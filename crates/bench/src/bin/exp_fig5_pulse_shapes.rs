@@ -1,4 +1,6 @@
 //! Regenerates Fig. 5: pulse shapes per TC_PGDELAY register value.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig5_pulse_shapes");
     println!("{}", repro_bench::experiments::fig5::run());
+    obs.finish();
 }

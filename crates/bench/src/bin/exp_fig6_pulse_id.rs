@@ -1,4 +1,6 @@
 //! Regenerates Fig. 6: pulse-shape identification of two responders.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig6_pulse_id");
     println!("{}", repro_bench::experiments::fig6::run(5));
+    obs.finish();
 }

@@ -8,7 +8,8 @@ use uwb_campaign::artifact::{results_dir, CsvWriter};
 
 fn main() {
     let trials = repro_bench::trials_from_env(2000);
-    let threads = repro_bench::threads_from_args();
+    let obs = repro_bench::ExpHarness::init("exp_fig7_overlap");
+    let threads = obs.threads;
     let report = fig7::run_campaign(trials, 17, threads);
     eprintln!("{}", report.timing_line());
     let fig: Fig7Report = report.collector.into();
@@ -41,4 +42,5 @@ fn main() {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    obs.finish();
 }

@@ -10,7 +10,8 @@ use uwb_campaign::artifact::{results_dir, CsvWriter};
 
 fn main() {
     let trials = repro_bench::trials_from_env(2000);
-    let threads = repro_bench::threads_from_args();
+    let obs = repro_bench::ExpHarness::init("exp_fig7_sensitivity");
+    let threads = obs.threads;
     println!("Fig. 7 sensitivity: success rates vs overlap window / tolerance");
     let path = results_dir().join("fig7_sensitivity.csv");
     let mut csv = CsvWriter::create(
@@ -57,4 +58,5 @@ fn main() {
         }
     }
     println!("paper: 92.6% vs 48.0%");
+    obs.finish();
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 8: the combined RPM × pulse-shaping round.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_fig8_combined");
     println!("{}", repro_bench::experiments::fig8::run(21));
+    obs.finish();
 }

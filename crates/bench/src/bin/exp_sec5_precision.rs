@@ -4,7 +4,8 @@
 //! bit-identical for any value.
 fn main() {
     let rounds = repro_bench::trials_from_env(5000) as u32;
-    let threads = repro_bench::threads_from_args();
+    let obs = repro_bench::ExpHarness::init("exp_sec5_precision");
+    let threads = obs.threads;
     let started = std::time::Instant::now();
     let report = repro_bench::experiments::sec5::run_threaded(rounds, 11, threads);
     eprintln!(
@@ -12,4 +13,5 @@ fn main() {
         started.elapsed().as_secs_f64()
     );
     println!("{report}");
+    obs.finish();
 }

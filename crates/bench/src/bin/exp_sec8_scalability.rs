@@ -1,4 +1,6 @@
 //! Regenerates the Sect. VIII scalability analysis.
 fn main() {
+    let obs = repro_bench::ExpHarness::init("exp_sec8_scalability");
     println!("{}", repro_bench::experiments::sec8::run());
+    obs.finish();
 }

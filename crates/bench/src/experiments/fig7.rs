@@ -160,9 +160,31 @@ pub fn overlap_trial(
     let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
     let th_out = th.detect(&cir, 2).expect("baseline runs");
     let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
+    let search_subtract_ok = matches_both(&ss_taus, &truth, tol_ns);
+    if !search_subtract_ok {
+        // Post-mortem material for the paper's headline experiment: the
+        // CIR, the detector's peaks, and the truth positions of a
+        // misdetected overlap trial (subject to the flight quota).
+        uwb_obs::flight_record(|| uwb_obs::CirSnapshot {
+            reason: "misdetection",
+            taps_re: cir.taps().iter().map(|z| z.re).collect(),
+            taps_im: cir.taps().iter().map(|z| z.im).collect(),
+            sample_period_s: cir.sample_period_s(),
+            peaks: ss_out
+                .responses
+                .iter()
+                .map(|r| uwb_obs::SnapshotPeak {
+                    tau_s: r.tau_s,
+                    amplitude: r.amplitude.abs(),
+                    shape: r.shape_index,
+                })
+                .collect(),
+            truth_tau_s: truth.iter().map(|t| t * 1e-9).collect(),
+        });
+    }
     OverlapTrial {
         overlapped: true,
-        search_subtract_ok: matches_both(&ss_taus, &truth, tol_ns),
+        search_subtract_ok,
         threshold_ok: matches_both(&th_taus, &truth, tol_ns),
     }
 }

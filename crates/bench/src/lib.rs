@@ -22,20 +22,117 @@ mod table;
 pub use scenarios::{rng, run_twr_rounds, synthesize_responses, tx_grid_offset_ns, Deployment};
 pub use table::{fmt_f, sparkline, trials_from_env, Table};
 
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: exp_… [--threads N] [--trace-out[=PATH]]";
+
+/// The shared experiment CLI: the `--threads N` worker knob plus the
+/// observability knobs (`--trace-out[=PATH]`, `UWB_TRACE`,
+/// `UWB_FLIGHT_QUOTA`), wired identically through every experiment
+/// binary.
+///
+/// Construct with [`ExpHarness::init`] at the top of `main` and call
+/// [`ExpHarness::finish`] before exiting so the trace sink is flushed
+/// and the per-stage latency table lands on stderr.
+#[derive(Debug)]
+pub struct ExpHarness {
+    /// Campaign worker count (0 = automatic); ignored by experiments
+    /// that do not run on the campaign engine.
+    pub threads: usize,
+    trace_path: Option<PathBuf>,
+}
+
+impl ExpHarness {
+    /// Parses this process's arguments, exiting with a usage message on
+    /// malformed or unrecognised flags, and installs the observability
+    /// recorder when tracing is requested (the `--trace-out` flag, or
+    /// the `UWB_TRACE` environment variable). A bare `--trace-out` (or
+    /// `UWB_TRACE=1`) writes the default path
+    /// `results/traces/<name>.jsonl`; `--trace-out=PATH` picks the file.
+    #[must_use]
+    pub fn init(name: &str) -> Self {
+        match uwb_campaign::parse_threads_arg(std::env::args().skip(1)) {
+            Ok((threads, rest)) => Self::from_rest(name, threads, rest),
+            Err(msg) => {
+                eprintln!("{msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn from_rest(name: &str, threads: usize, rest: Vec<String>) -> Self {
+        let mut trace_opt: Option<String> = None;
+        let mut unrecognized: Vec<String> = Vec::new();
+        for arg in rest {
+            if arg == "--trace-out" {
+                trace_opt = Some(String::new());
+            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+                trace_opt = Some(path.to_string());
+            } else {
+                unrecognized.push(arg);
+            }
+        }
+        if !unrecognized.is_empty() {
+            eprintln!("unrecognised arguments: {unrecognized:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+        let trace_path = match uwb_obs::init_from_env(trace_opt.as_deref(), name) {
+            Ok(path) => path,
+            Err(err) => {
+                eprintln!("cannot open trace output: {err}");
+                std::process::exit(2);
+            }
+        };
+        Self {
+            threads,
+            trace_path,
+        }
+    }
+
+    /// Flushes the trace sink and reports the per-stage latency table,
+    /// the counter summary, and the trace location on stderr. No-op when
+    /// tracing is disabled.
+    pub fn finish(&self) {
+        if !uwb_obs::enabled() {
+            return;
+        }
+        uwb_obs::flush();
+        let metrics = uwb_obs::metrics_snapshot();
+        let table = metrics.latency_table();
+        if !table.is_empty() {
+            eprintln!("\nper-stage latency:\n{table}");
+        }
+        let counters: Vec<(String, u64)> = metrics
+            .counters()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect();
+        if !counters.is_empty() {
+            eprintln!("counters:");
+            for (name, v) in counters {
+                eprintln!("  {name} = {v}");
+            }
+        }
+        if let Some(path) = &self.trace_path {
+            eprintln!("trace written to {}", path.display());
+        }
+    }
+}
+
 /// Parses the shared `--threads N` knob from this process's arguments
 /// (0 = automatic), exiting with a usage message on a malformed flag.
-/// Unrecognised arguments are rejected so typos don't silently run the
-/// default configuration.
+/// Retained for callers that need only the worker count; experiment
+/// binaries use [`ExpHarness::init`], which also wires the tracing
+/// knobs.
 #[must_use]
 pub fn threads_from_args() -> usize {
     match uwb_campaign::parse_threads_arg(std::env::args().skip(1)) {
         Ok((threads, rest)) if rest.is_empty() => threads,
         Ok((_, rest)) => {
-            eprintln!("unrecognised arguments: {rest:?}\nusage: exp_… [--threads N]");
+            eprintln!("unrecognised arguments: {rest:?}\n{USAGE}");
             std::process::exit(2);
         }
         Err(msg) => {
-            eprintln!("{msg}\nusage: exp_… [--threads N]");
+            eprintln!("{msg}\n{USAGE}");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,61 @@
+//! Observability must not erode the campaign engine's determinism
+//! guarantee: with tracing enabled, the merged metrics registry and the
+//! trace-sink stage summary are byte-identical for any worker count.
+//!
+//! This file holds a single `#[test]` on purpose — the obs recorder is
+//! process-global, and `cargo test` runs sibling tests on parallel
+//! threads within one binary.
+
+use repro_bench::experiments::fig7;
+
+#[test]
+fn metrics_and_trace_summaries_identical_across_thread_counts() {
+    let mut reference: Option<(String, String)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        // Fresh recorder per worker count: the ring sink starts empty
+        // and the flight quota resets. The quota (8) is far below the
+        // expected misdetection count, so the number of recorded
+        // snapshots is exactly the quota regardless of which worker
+        // reaches the counter first.
+        let sink = uwb_obs::RingSink::new(4096);
+        uwb_obs::install_with_quota(Box::new(sink.clone()), 8);
+        let report = fig7::run_campaign(160, 17, threads);
+        let global = uwb_obs::uninstall().expect("recorder was installed");
+
+        // Everything in fig7 is recorded inside trial scopes, so the
+        // global registry is exactly the chunk-ordered merge the report
+        // carries — absorbing must lose nothing.
+        let summary = global.deterministic_summary();
+        assert_eq!(
+            summary,
+            report.metrics.deterministic_summary(),
+            "global registry diverged from the campaign report at {threads} threads"
+        );
+
+        let trace = sink.summary();
+        match &reference {
+            None => reference = Some((summary, trace)),
+            Some((ref_summary, ref_trace)) => {
+                assert_eq!(
+                    &summary, ref_summary,
+                    "metrics summary changed at {threads} threads"
+                );
+                assert_eq!(
+                    &trace, ref_trace,
+                    "trace summary changed at {threads} threads"
+                );
+            }
+        }
+    }
+
+    let (summary, trace) = reference.expect("at least one worker count ran");
+    // Sanity: the campaign actually exercised the instrumented stages.
+    assert!(summary.contains("counter detect.calls"), "{summary}");
+    assert!(summary.contains("counter flight.recorded = 8"), "{summary}");
+    assert!(
+        summary.contains("latency campaign.trial samples=160"),
+        "{summary}"
+    );
+    assert!(trace.contains("trace flight.cir events=8"), "{trace}");
+    assert!(trace.contains("trace detect.iter"), "{trace}");
+}

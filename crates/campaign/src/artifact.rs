@@ -1,124 +1,20 @@
-//! Campaign artifact writers: CSV and JSON-lines files under `results/`.
+//! Campaign artifact writers: CSV and JSON-lines files under
+//! [`results_dir()`].
 //!
 //! Experiments already print human-readable tables; these writers add
 //! machine-readable artifacts (one row/record per trial or per sweep
 //! point) without pulling in a serialization dependency — the build
 //! environment is fully offline, so the formats are written by hand.
+//! The field [`Value`] type and its CSV/JSON renderers are shared with
+//! the `uwb-obs` trace sinks ([`uwb_obs::value`]).
 
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// A single artifact field value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// A float, rendered with full round-trip precision.
-    F64(f64),
-    /// An unsigned integer.
-    U64(u64),
-    /// A signed integer.
-    I64(i64),
-    /// A boolean.
-    Bool(bool),
-    /// A string.
-    Str(String),
-}
-
-impl From<f64> for Value {
-    fn from(v: f64) -> Self {
-        Self::F64(v)
-    }
-}
-
-impl From<u64> for Value {
-    fn from(v: u64) -> Self {
-        Self::U64(v)
-    }
-}
-
-impl From<usize> for Value {
-    fn from(v: usize) -> Self {
-        Self::U64(v as u64)
-    }
-}
-
-impl From<i64> for Value {
-    fn from(v: i64) -> Self {
-        Self::I64(v)
-    }
-}
-
-impl From<bool> for Value {
-    fn from(v: bool) -> Self {
-        Self::Bool(v)
-    }
-}
-
-impl From<&str> for Value {
-    fn from(v: &str) -> Self {
-        Self::Str(v.to_string())
-    }
-}
-
-impl From<String> for Value {
-    fn from(v: String) -> Self {
-        Self::Str(v)
-    }
-}
-
-impl Value {
-    fn write_csv(&self, out: &mut impl Write) -> io::Result<()> {
-        match self {
-            Self::F64(v) => write!(out, "{v}"),
-            Self::U64(v) => write!(out, "{v}"),
-            Self::I64(v) => write!(out, "{v}"),
-            Self::Bool(v) => write!(out, "{v}"),
-            Self::Str(s) => {
-                if s.contains([',', '"', '\n']) {
-                    write!(out, "\"{}\"", s.replace('"', "\"\""))
-                } else {
-                    write!(out, "{s}")
-                }
-            }
-        }
-    }
-
-    fn write_json(&self, out: &mut impl Write) -> io::Result<()> {
-        match self {
-            Self::F64(v) if v.is_finite() => write!(out, "{v}"),
-            // JSON has no Inf/NaN literal; null is the conventional spelling.
-            Self::F64(_) => write!(out, "null"),
-            Self::U64(v) => write!(out, "{v}"),
-            Self::I64(v) => write!(out, "{v}"),
-            Self::Bool(v) => write!(out, "{v}"),
-            Self::Str(s) => write_json_string(out, s),
-        }
-    }
-}
-
-fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
-    out.write_all(b"\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => out.write_all(b"\\\"")?,
-            '\\' => out.write_all(b"\\\\")?,
-            '\n' => out.write_all(b"\\n")?,
-            '\r' => out.write_all(b"\\r")?,
-            '\t' => out.write_all(b"\\t")?,
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
-            c => write!(out, "{c}")?,
-        }
-    }
-    out.write_all(b"\"")
-}
-
-/// The conventional artifact directory (`results/` under the current
-/// working directory).
-#[must_use]
-pub fn results_dir() -> PathBuf {
-    PathBuf::from("results")
-}
+pub use uwb_obs::paths::results_dir;
+pub use uwb_obs::value::Value;
 
 /// Streams rows into a CSV file with a fixed header.
 pub struct CsvWriter {
@@ -215,7 +111,7 @@ impl JsonLinesWriter {
             if i > 0 {
                 self.out.write_all(b",")?;
             }
-            write_json_string(&mut self.out, key)?;
+            uwb_obs::value::write_json_string(&mut self.out, key)?;
             self.out.write_all(b":")?;
             value.write_json(&mut self.out)?;
         }
@@ -249,6 +145,7 @@ impl fmt::Debug for JsonLinesWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("uwb-campaign-artifact-tests");
@@ -301,7 +198,16 @@ mod tests {
     }
 
     #[test]
-    fn results_dir_is_relative_results() {
+    fn results_dir_honors_env_override() {
+        // `results_dir` delegates to `uwb_obs::paths`; without the
+        // `UWB_RESULTS_DIR` override it stays the historical CWD-relative
+        // `results/`. No other test in this binary touches the variable.
+        if std::env::var_os("UWB_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+        std::env::set_var("UWB_RESULTS_DIR", "/tmp/uwb-elsewhere");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/uwb-elsewhere"));
+        std::env::remove_var("UWB_RESULTS_DIR");
         assert_eq!(results_dir(), PathBuf::from("results"));
     }
 }

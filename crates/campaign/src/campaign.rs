@@ -17,6 +17,7 @@ use crate::threads;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use uwb_obs::MetricsRegistry;
 
 /// Default number of trials per chunk: small enough to load-balance
 /// uneven trial costs, large enough to amortise scheduling.
@@ -136,9 +137,11 @@ impl<'a> Campaign<'a> {
             .min(usize::try_from(n_chunks).unwrap_or(usize::MAX))
             .max(1);
 
-        // One slot per chunk; workers park finished collectors here so
-        // the merge below can walk chunks in order.
-        let slots: Vec<Mutex<Option<C>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        // One slot per chunk; workers park finished collectors (and the
+        // chunk's captured observability metrics) here so the merge
+        // below can walk chunks in order.
+        type Slot<C> = Mutex<Option<(C, MetricsRegistry)>>;
+        let slots: Vec<Slot<C>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicU64::new(0);
         let completed = AtomicU64::new(0);
 
@@ -146,13 +149,28 @@ impl<'a> Campaign<'a> {
             let start = self.first_trial + chunk * self.chunk_size;
             let end = (start + self.chunk_size).min(self.first_trial + self.trials);
             let mut local = prototype.clone();
-            for index in start..end {
-                let mut rng = trial_rng(self.seed, index);
-                local.record(index, trial(index, &mut rng));
-            }
+            // Metric updates fired inside trials land in a chunk-local
+            // registry (instead of the global recorder), so the merge
+            // below can combine them in chunk order — same determinism
+            // contract as the collectors. With no recorder installed the
+            // capture is empty and every obs call below is a single
+            // atomic load.
+            let ((), chunk_metrics) = uwb_obs::scoped_metrics(|| {
+                for index in start..end {
+                    let mut rng = trial_rng(self.seed, index);
+                    let outcome = if uwb_obs::enabled() {
+                        uwb_obs::trial_scope(index, || {
+                            uwb_obs::timed("campaign.trial", || trial(index, &mut rng))
+                        })
+                    } else {
+                        trial(index, &mut rng)
+                    };
+                    local.record(index, outcome);
+                }
+            });
             *slots[usize::try_from(chunk).expect("chunk fits usize")]
                 .lock()
-                .expect("no poisoned chunk slot") = Some(local);
+                .expect("no poisoned chunk slot") = Some((local, chunk_metrics));
             let done = completed.fetch_add(end - start, Ordering::Relaxed) + (end - start);
             if let Some(observer) = self.progress {
                 observer(Progress {
@@ -189,20 +207,27 @@ impl<'a> Campaign<'a> {
         }
 
         let mut merged = collector;
+        let mut metrics = MetricsRegistry::new();
         for slot in &slots {
-            let chunk = slot
+            let (chunk, chunk_metrics) = slot
                 .lock()
                 .expect("no poisoned chunk slot")
                 .take()
                 .expect("every chunk ran");
             merged.merge(chunk);
+            metrics.merge(&chunk_metrics);
         }
+        // Fold the campaign's metrics into the process-global recorder
+        // (no-op when tracing is disabled) so end-of-run latency tables
+        // include the per-trial stages.
+        uwb_obs::absorb_metrics(&metrics);
 
         CampaignReport {
             collector: merged,
             trials: self.trials,
             threads: workers,
             elapsed: started.elapsed(),
+            metrics,
         }
     }
 }

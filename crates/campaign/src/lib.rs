@@ -54,3 +54,4 @@ pub use report::{CampaignReport, Progress};
 pub use seed::{derive_seed, trial_rng, TrialRng};
 pub use stats::{Counter, Histogram, ScalarStats};
 pub use threads::{parse_threads_arg, threads_from_env};
+pub use uwb_obs::MetricsRegistry;

@@ -1,7 +1,9 @@
 //! Campaign results: merged collector plus wall-clock / throughput
-//! accounting, and the progress snapshots streamed to observers.
+//! accounting, chunk-ordered observability metrics, and the progress
+//! snapshots streamed to observers.
 
 use std::time::Duration;
+use uwb_obs::MetricsRegistry;
 
 /// A progress snapshot delivered to the campaign's observer after each
 /// finished chunk.
@@ -38,6 +40,13 @@ pub struct CampaignReport<C> {
     pub threads: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Observability metrics captured inside trials, merged in chunk
+    /// order. Counters, gauges, and latency sample counts are
+    /// bit-identical for any thread count (the timed durations
+    /// themselves are wall-clock and are excluded from
+    /// [`MetricsRegistry::deterministic_summary`]). Empty when no
+    /// recorder is installed.
+    pub metrics: MetricsRegistry,
 }
 
 impl<C> CampaignReport<C> {
@@ -64,13 +73,14 @@ impl<C> CampaignReport<C> {
         )
     }
 
-    /// Maps the collector, keeping the run accounting.
+    /// Maps the collector, keeping the run accounting and metrics.
     pub fn map<D>(self, f: impl FnOnce(C) -> D) -> CampaignReport<D> {
         CampaignReport {
             collector: f(self.collector),
             trials: self.trials,
             threads: self.threads,
             elapsed: self.elapsed,
+            metrics: self.metrics,
         }
     }
 }
@@ -102,6 +112,7 @@ mod tests {
             trials: 100,
             threads: 2,
             elapsed: Duration::from_secs(4),
+            metrics: MetricsRegistry::new(),
         };
         assert_eq!(report.throughput_per_s(), 25.0);
         assert!(report.timing_line().contains("100 trials"));
@@ -114,6 +125,7 @@ mod tests {
             trials: 7,
             threads: 1,
             elapsed: Duration::from_secs(1),
+            metrics: MetricsRegistry::new(),
         };
         let mapped = report.map(|c| c * 2);
         assert_eq!(mapped.collector, 6);

@@ -1,0 +1,448 @@
+//! Property-based round-trip tests for the campaign artifact writers
+//! and the `uwb-obs` JSONL trace sink.
+//!
+//! The workspace writes its CSV and JSON by hand (the build environment
+//! is offline, so no `serde`/`csv` crates). These tests close the loop:
+//! a minimal RFC-4180 CSV parser and a minimal JSON parser — written
+//! here, independent of the production renderers — must recover exactly
+//! what [`CsvWriter`], [`JsonLinesWriter`] and [`uwb_obs::JsonlSink`]
+//! wrote, across adversarial field content: commas, quotes, embedded
+//! newlines, control characters, and NaN/±Inf floats.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use uwb_campaign::artifact::{CsvWriter, JsonLinesWriter, Value};
+use uwb_obs::{Event, JsonlSink, TraceSink};
+
+// ---------------------------------------------------------------------------
+// Minimal parsers (the "independent reader" side of the round trip).
+// ---------------------------------------------------------------------------
+
+/// Parses an RFC-4180 CSV document: quoted fields may contain commas,
+/// doubled quotes and newlines; rows are `\n`-terminated.
+fn parse_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    assert!(!in_quotes, "unterminated quoted field");
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// A parsed JSON value. Numbers keep their raw token so the comparison
+/// against the writer's output is exact (no re-parsing tolerance).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.input[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.input[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.bump(), b, "JSON parse error at byte {}", self.pos - 1);
+    }
+
+    fn parse(&mut self) -> Json {
+        match self.peek() {
+            b'n' => {
+                self.literal(b"null");
+                Json::Null
+            }
+            b't' => {
+                self.literal(b"true");
+                Json::Bool(true)
+            }
+            b'f' => {
+                self.literal(b"false");
+                Json::Bool(false)
+            }
+            b'"' => Json::Str(self.string()),
+            b'[' => {
+                self.expect(b'[');
+                let mut items = Vec::new();
+                if self.peek() == b']' {
+                    self.bump();
+                    return Json::Arr(items);
+                }
+                loop {
+                    items.push(self.parse());
+                    match self.bump() {
+                        b',' => {}
+                        b']' => break,
+                        b => panic!("unexpected {b:?} in array"),
+                    }
+                }
+                Json::Arr(items)
+            }
+            b'{' => {
+                self.expect(b'{');
+                let mut fields = Vec::new();
+                if self.peek() == b'}' {
+                    self.bump();
+                    return Json::Obj(fields);
+                }
+                loop {
+                    let key = self.string();
+                    self.expect(b':');
+                    fields.push((key, self.parse()));
+                    match self.bump() {
+                        b',' => {}
+                        b'}' => break,
+                        b => panic!("unexpected {b:?} in object"),
+                    }
+                }
+                Json::Obj(fields)
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && matches!(self.peek(), b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                {
+                    self.pos += 1;
+                }
+                assert!(self.pos > start, "expected a JSON value");
+                Json::Num(String::from_utf8(self.input[start..self.pos].to_vec()).unwrap())
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) {
+        for &b in lit {
+            self.expect(b);
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            // Collect the raw bytes of one char (the input is UTF-8).
+            match self.bump() {
+                b'"' => return out,
+                b'\\' => match self.bump() {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex: String = (0..4).map(|_| self.bump() as char).collect();
+                        let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                        out.push(char::from_u32(code).expect("scalar escape"));
+                    }
+                    b => panic!("unsupported escape {b:?}"),
+                },
+                b => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let mut bytes = vec![b];
+                    for _ in 1..len {
+                        bytes.push(self.bump());
+                    }
+                    out.push_str(std::str::from_utf8(&bytes).unwrap());
+                }
+            }
+        }
+    }
+}
+
+fn parse_json(line: &str) -> Json {
+    let mut parser = JsonParser::new(line);
+    let value = parser.parse();
+    assert_eq!(parser.pos, parser.input.len(), "trailing JSON input");
+    value
+}
+
+// ---------------------------------------------------------------------------
+// Expected-value helpers.
+// ---------------------------------------------------------------------------
+
+/// The logical (unquoted) content of a CSV cell for `value` — what an
+/// RFC-4180 reader should recover.
+fn expected_csv_cell(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::F64List(vs) => vs
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(";"),
+        Value::F64(v) => v.to_string(),
+        Value::U64(v) => v.to_string(),
+        Value::I64(v) => v.to_string(),
+        Value::Bool(v) => v.to_string(),
+    }
+}
+
+/// Checks a parsed JSON value against the [`Value`] that produced it.
+fn assert_json_matches(parsed: &Json, value: &Value) {
+    match value {
+        Value::F64(v) if v.is_finite() => assert_eq!(parsed, &Json::Num(v.to_string())),
+        Value::F64(_) => assert_eq!(parsed, &Json::Null),
+        Value::U64(v) => assert_eq!(parsed, &Json::Num(v.to_string())),
+        Value::I64(v) => assert_eq!(parsed, &Json::Num(v.to_string())),
+        Value::Bool(v) => assert_eq!(parsed, &Json::Bool(*v)),
+        Value::Str(s) => assert_eq!(parsed, &Json::Str(s.clone())),
+        Value::F64List(vs) => {
+            let Json::Arr(items) = parsed else {
+                panic!("expected array, got {parsed:?}");
+            };
+            assert_eq!(items.len(), vs.len());
+            for (item, v) in items.iter().zip(vs) {
+                if v.is_finite() {
+                    assert_eq!(item, &Json::Num(v.to_string()));
+                } else {
+                    assert_eq!(item, &Json::Null);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies.
+// ---------------------------------------------------------------------------
+
+const TRICKY_CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', ',', '"', '\n', '\r', '\t', '\\', 'é', 'λ', '\u{1}',
+];
+
+fn tricky_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..TRICKY_CHARS.len()).prop_map(|i| TRICKY_CHARS[i]),
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn tricky_f64() -> impl Strategy<Value = f64> {
+    ((0usize..6), (-1.0e9f64..1.0e9)).prop_map(|(k, x)| match k {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        _ => x,
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    (
+        (0usize..6),
+        tricky_f64(),
+        proptest::collection::vec(tricky_f64(), 0..5),
+        tricky_string(),
+        (-1_000_000_000i64..1_000_000_000),
+    )
+        .prop_map(|(variant, f, list, s, i)| match variant {
+            0 => Value::F64(f),
+            1 => Value::U64(i.unsigned_abs()),
+            2 => Value::I64(i),
+            3 => Value::Bool(i % 2 == 0),
+            4 => Value::Str(s),
+            _ => Value::F64List(list),
+        })
+}
+
+fn rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(value(), 4..=4), 0..8)
+}
+
+fn unique_temp_path(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "uwb_campaign_properties_{}_{tag}_{n}",
+        std::process::id()
+    ))
+}
+
+/// An in-memory `Write` target the test can read back after the sink is
+/// dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// CSV round trip: whatever `CsvWriter` writes, an independent
+    /// RFC-4180 parser recovers cell-for-cell — including commas,
+    /// quotes, newlines inside fields, and non-finite floats.
+    #[test]
+    fn csv_writer_round_trips(rows in rows()) {
+        let path = unique_temp_path("csv");
+        let header = ["alpha", "beta", "gamma", "delta"];
+        let mut writer = CsvWriter::create(&path, &header).unwrap();
+        for row in &rows {
+            writer.write_row(row).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let parsed = parse_csv(&text);
+        prop_assert_eq!(parsed.len(), rows.len() + 1);
+        prop_assert_eq!(&parsed[0], &header.map(String::from));
+        for (parsed_row, row) in parsed[1..].iter().zip(&rows) {
+            prop_assert_eq!(parsed_row.len(), row.len());
+            for (cell, value) in parsed_row.iter().zip(row) {
+                prop_assert_eq!(cell, &expected_csv_cell(value));
+            }
+        }
+    }
+
+    /// JSONL round trip: every record `JsonLinesWriter` writes parses as
+    /// one JSON object whose keys and values match the input exactly
+    /// (non-finite floats as `null`).
+    #[test]
+    fn json_lines_writer_round_trips(keys_values in proptest::collection::vec(
+        (tricky_string(), value()),
+        0..6,
+    )) {
+        let path = unique_temp_path("jsonl");
+        let mut writer = JsonLinesWriter::create(&path).unwrap();
+        let fields: Vec<(&str, Value)> = keys_values
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        writer.write_record(&fields).unwrap();
+        writer.finish().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 1);
+        let Json::Obj(parsed) = parse_json(lines[0]) else {
+            panic!("expected a JSON object");
+        };
+        prop_assert_eq!(parsed.len(), keys_values.len());
+        for ((key, parsed_value), (expected_key, expected)) in parsed.iter().zip(&keys_values) {
+            prop_assert_eq!(key, expected_key);
+            assert_json_matches(parsed_value, expected);
+        }
+    }
+
+    /// The same parser accepts the `uwb-obs` trace sink's output: events
+    /// emitted through `JsonlSink` come back with their timestamp,
+    /// stage, trial index and payload fields intact.
+    #[test]
+    fn jsonl_trace_sink_round_trips(
+        time_ns in 0u64..u64::MAX,
+        trial in (0usize..3, 0u64..1_000_000).prop_map(|(k, t)| (k > 0).then_some(t)),
+        values in proptest::collection::vec(value(), 0..4),
+    ) {
+        const FIELD_NAMES: [&str; 4] = ["peak_index", "tau_s", "template", "shape_scores"];
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        let fields: Vec<(&'static str, Value)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (FIELD_NAMES[i], v.clone()))
+            .collect();
+        sink.emit(Event {
+            time_ns,
+            stage: "prop.stage",
+            trial,
+            fields,
+        });
+        sink.flush().unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        prop_assert!(text.ends_with('\n'));
+        let Json::Obj(parsed) = parse_json(text.trim_end_matches('\n')) else {
+            panic!("expected a JSON object");
+        };
+        let mut expect = vec![
+            ("t_ns".to_string(), Json::Num(time_ns.to_string())),
+            ("stage".to_string(), Json::Str("prop.stage".to_string())),
+        ];
+        if let Some(t) = trial {
+            expect.push(("trial".to_string(), Json::Num(t.to_string())));
+        }
+        prop_assert_eq!(parsed.len(), expect.len() + values.len());
+        for ((key, parsed_value), (expected_key, expected)) in parsed.iter().zip(&expect) {
+            prop_assert_eq!(key, expected_key);
+            prop_assert_eq!(parsed_value, expected);
+        }
+        for ((key, parsed_value), (i, expected)) in
+            parsed[expect.len()..].iter().zip(values.iter().enumerate())
+        {
+            prop_assert_eq!(key, FIELD_NAMES[i]);
+            assert_json_matches(parsed_value, expected);
+        }
+    }
+}

@@ -466,6 +466,42 @@ impl ConcurrentEngine {
             estimates = kept;
         }
 
+        if uwb_obs::enabled() {
+            let unidentified = estimates.iter().filter(|e| e.id.is_none()).count();
+            uwb_obs::counter("concurrent.rounds", 1);
+            if unidentified > 0 || estimates.is_empty() {
+                // Post-mortem material: a response we could not attribute
+                // to a responder (or a round with nothing kept at all).
+                uwb_obs::counter("concurrent.unidentified", unidentified.max(1) as u64);
+                uwb_obs::flight_record(|| uwb_obs::CirSnapshot {
+                    reason: "unidentified_response",
+                    taps_re: cir.taps().iter().map(|z| z.re).collect(),
+                    taps_im: cir.taps().iter().map(|z| z.im).collect(),
+                    sample_period_s: cir.sample_period_s(),
+                    peaks: detection
+                        .responses
+                        .iter()
+                        .map(|r| uwb_obs::SnapshotPeak {
+                            tau_s: r.tau_s,
+                            amplitude: r.amplitude.abs(),
+                            shape: r.shape_index,
+                        })
+                        .collect(),
+                    truth_tau_s: Vec::new(),
+                });
+            }
+            uwb_obs::event("concurrent.round", || {
+                vec![
+                    ("round", round.into()),
+                    ("anchor_id", anchor_id.into()),
+                    ("d_twr_m", d_twr_m.into()),
+                    ("anchor_tau_s", anchor_tau.into()),
+                    ("estimates", estimates.len().into()),
+                    ("unidentified", unidentified.into()),
+                ]
+            });
+        }
+
         Ok(RoundOutcome {
             round,
             d_twr_m,

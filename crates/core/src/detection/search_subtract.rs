@@ -71,6 +71,21 @@ pub struct DetectionDiagnostics {
     pub residual_mf_magnitude: Vec<Vec<f64>>,
 }
 
+impl DetectionDiagnostics {
+    /// Streaming statistics over the post-subtraction residual energies,
+    /// one observation per iteration — the summary the observability
+    /// layer reports instead of keeping bespoke detection counters (the
+    /// accumulator type is shared with the campaign engine).
+    #[must_use]
+    pub fn residual_energy_stats(&self) -> uwb_obs::ScalarStats {
+        let mut stats = uwb_obs::ScalarStats::new();
+        for residual in &self.residual_mf_magnitude {
+            stats.record(residual.iter().map(|m| m * m).sum());
+        }
+        stats
+    }
+}
+
 /// Result of a detection run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionOutcome {
@@ -161,9 +176,14 @@ impl SearchSubtractDetector {
     /// - [`RangingError::Dsp`] if the CIR cannot be upsampled (cannot occur
     ///   for valid [`Cir`] buffers).
     pub fn detect(&self, cir: &Cir, count: usize) -> Result<DetectionOutcome, RangingError> {
+        uwb_obs::timed("detect", || self.detect_inner(cir, count))
+    }
+
+    fn detect_inner(&self, cir: &Cir, count: usize) -> Result<DetectionOutcome, RangingError> {
         if count == 0 {
             return Err(RangingError::NoResponsesRequested);
         }
+        uwb_obs::counter("detect.calls", 1);
         let sample_period_s = cir.sample_period_s() / self.config.upsample as f64;
 
         // Step 1: upsample via FFT for a smoother signal.
@@ -221,9 +241,26 @@ impl SearchSubtractDetector {
 
             // Step 5: subtract the estimated response from the residual.
             chosen.subtract(&mut residual, tau_s, amplitude);
-            diagnostics
-                .residual_mf_magnitude
-                .push(residual.iter().map(|z| z.abs()).collect());
+            let residual_magnitude: Vec<f64> = residual.iter().map(|z| z.abs()).collect();
+            if uwb_obs::enabled() {
+                uwb_obs::counter("detect.iterations", 1);
+                uwb_obs::event("detect.iter", || {
+                    vec![
+                        ("iteration", iteration.into()),
+                        ("peak_index", idx.into()),
+                        ("tau_s", tau_s.into()),
+                        ("amplitude", amplitude.abs().into()),
+                        ("template", ti.into()),
+                        ("shape", shape_index.into()),
+                        (
+                            "residual_energy",
+                            residual_magnitude.iter().map(|m| m * m).sum::<f64>().into(),
+                        ),
+                        ("shape_scores", shape_scores.clone().into()),
+                    ]
+                });
+            }
+            diagnostics.residual_mf_magnitude.push(residual_magnitude);
 
             responses.push(DetectedResponse {
                 tau_s,

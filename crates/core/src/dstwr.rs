@@ -285,6 +285,13 @@ impl Protocol<RangingMessage> for DsTwrEngine {
                     resp_rx: poll_rx,
                     resp_tx,
                 };
+                uwb_obs::event("dstwr.solve", || {
+                    vec![
+                        ("round", round.into()),
+                        ("distance_m", timestamps.distance_m().into()),
+                        ("ss_distance_m", ss.distance_m().into()),
+                    ]
+                });
                 self.measurements.push(DsTwrMeasurement {
                     round,
                     distance_m: timestamps.distance_m(),

@@ -6,6 +6,7 @@
 //! one responder cannot mask another responder's direct path.
 
 use crate::error::RangingError;
+use uwb_obs::Value;
 use uwb_radio::SPEED_OF_LIGHT;
 
 /// Maximum usable CIR offset: the accumulator spans 1016 samples of
@@ -119,9 +120,25 @@ impl SlotPlan {
             + Self::DECODE_GUARD_S;
         let steps = (absolute / self.slot_spacing_s).floor() as i64;
         let slot = anchor_slot as i64 + steps;
-        (0..self.n_slots as i64)
+        let decoded = (0..self.n_slots as i64)
             .contains(&slot)
-            .then_some(slot as usize)
+            .then_some(slot as usize);
+        if uwb_obs::enabled() {
+            uwb_obs::counter("rpm.decodes", 1);
+            if decoded.is_none() {
+                uwb_obs::counter("rpm.guard_violations", 1);
+            }
+            uwb_obs::event("rpm.decode", || {
+                vec![
+                    ("delay_offset_s", delay_offset_s.into()),
+                    ("anchor_slot", anchor_slot.into()),
+                    ("anchor_distance_m", anchor_distance_m.into()),
+                    ("slot", Value::I64(decoded.map_or(-1, |s| s as i64))),
+                    ("in_window", decoded.is_some().into()),
+                ]
+            });
+        }
+        decoded
     }
 
     /// The maximum one-way communication range (meters) for which responses

@@ -169,6 +169,14 @@ impl Protocol<RangingMessage> for SsTwrEngine {
                 } else {
                     timestamps.distance_m()
                 };
+                uwb_obs::event("twr.solve", || {
+                    vec![
+                        ("round", round.into()),
+                        ("distance_m", distance_m.into()),
+                        ("cfo_ppm", reception.cfo_ppm.into()),
+                        ("cfo_corrected", self.cfo_correction.into()),
+                    ]
+                });
                 self.measurements.push(TwrMeasurement {
                     round,
                     distance_m,

@@ -173,6 +173,36 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Mirrors this event into the shared observability sink (`netsim.tx`
+    /// / `netsim.rx` stages) — the simulator's private trace stays the
+    /// source of truth for in-test assertions, but post-mortem tooling
+    /// sees dispatch alongside the pipeline stages. No-op when tracing is
+    /// disabled.
+    pub fn forward_to_obs(&self) {
+        match *self {
+            Self::TxFired { node, global_s } => {
+                uwb_obs::event("netsim.tx", || {
+                    vec![("node", node.0.into()), ("global_s", global_s.into())]
+                });
+            }
+            Self::ReceptionEmitted {
+                node,
+                global_s,
+                frames,
+            } => {
+                uwb_obs::event("netsim.rx", || {
+                    vec![
+                        ("node", node.0.into()),
+                        ("global_s", global_s.into()),
+                        ("frames", frames.into()),
+                    ]
+                });
+            }
+        }
+    }
+}
+
 enum SimEvent<P> {
     Start(NodeId),
     TxFire {
@@ -317,11 +347,13 @@ impl<P: Clone> Simulator<P> {
             }
             SimEvent::ReceptionClose { rx } => {
                 if let Some(reception) = self.close_reception(rx) {
-                    self.trace.push(TraceEvent::ReceptionEmitted {
+                    let event = TraceEvent::ReceptionEmitted {
                         node: rx,
                         global_s: self.now_s,
                         frames: reception.frames.len(),
-                    });
+                    };
+                    event.forward_to_obs();
+                    self.trace.push(event);
                     let mut api = self.api_for(rx);
                     protocol.on_reception(rx, &reception, &mut api);
                     self.apply_commands(rx, api.commands);
@@ -422,10 +454,12 @@ impl<P: Clone> Simulator<P> {
         self.nodes[node.0 as usize]
             .ledger
             .record(RadioState::Transmit, airtime);
-        self.trace.push(TraceEvent::TxFired {
+        let event = TraceEvent::TxFired {
             node,
             global_s: self.now_s,
-        });
+        };
+        event.forward_to_obs();
+        self.trace.push(event);
 
         let pulse = PulseShape::from_config(&tx_cfg.radio);
         let wavelength = tx_cfg.radio.channel.wavelength_m();

@@ -1,0 +1,114 @@
+//! The CIR flight recorder: annotated channel-impulse-response
+//! snapshots captured on anomalous outcomes.
+//!
+//! When a trial misdetects, misclassifies, or trips the RPM guard, the
+//! instrumented code hands a [`CirSnapshot`] to
+//! [`crate::flight_record`], which emits it through the shared trace
+//! sink as a `flight.cir` event — raw taps, detected peaks, subtracted
+//! templates, and truth positions in one self-contained JSONL record.
+//! A bounded per-campaign quota keeps pathological runs from filling
+//! the disk.
+
+use crate::value::Value;
+
+/// Stage name used for flight-recorder events in the trace stream.
+pub const FLIGHT_STAGE: &str = "flight.cir";
+
+/// One detected (and subtracted) path in a snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotPeak {
+    /// Estimated time of arrival, seconds.
+    pub tau_s: f64,
+    /// Estimated (signed) amplitude handed to the subtraction step.
+    pub amplitude: f64,
+    /// Index of the matched template / classified pulse shape.
+    pub shape: usize,
+}
+
+/// An annotated CIR snapshot for post-mortem analysis.
+///
+/// All vectors are optional in spirit: leave what is unknown empty and
+/// the corresponding fields still render as empty JSON arrays, keeping
+/// every record schema-stable for downstream tooling.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CirSnapshot {
+    /// Why the snapshot was captured, e.g. `"misdetection"`,
+    /// `"misclassification"`, `"rpm_guard_violation"`.
+    pub reason: &'static str,
+    /// Real parts of the raw CIR taps.
+    pub taps_re: Vec<f64>,
+    /// Imaginary parts of the raw CIR taps.
+    pub taps_im: Vec<f64>,
+    /// CIR tap spacing, seconds.
+    pub sample_period_s: f64,
+    /// Peaks the detector found (in subtraction order).
+    pub peaks: Vec<SnapshotPeak>,
+    /// Ground-truth arrival times, seconds, when the caller knows them.
+    pub truth_tau_s: Vec<f64>,
+}
+
+impl CirSnapshot {
+    /// Flattens the snapshot into trace-event fields.
+    #[must_use]
+    pub fn into_fields(self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("reason", Value::Str(self.reason.to_string())),
+            ("sample_period_s", Value::F64(self.sample_period_s)),
+            ("taps_re", Value::F64List(self.taps_re)),
+            ("taps_im", Value::F64List(self.taps_im)),
+            (
+                "peaks_tau_s",
+                Value::F64List(self.peaks.iter().map(|p| p.tau_s).collect()),
+            ),
+            (
+                "peaks_amplitude",
+                Value::F64List(self.peaks.iter().map(|p| p.amplitude).collect()),
+            ),
+            (
+                "peaks_shape",
+                Value::F64List(self.peaks.iter().map(|p| p.shape as f64).collect()),
+            ),
+            ("truth_tau_s", Value::F64List(self.truth_tau_s)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_flattens_to_schema_stable_fields() {
+        let snap = CirSnapshot {
+            reason: "misdetection",
+            taps_re: vec![0.1, 0.2],
+            taps_im: vec![0.0, -0.1],
+            sample_period_s: 1e-9,
+            peaks: vec![SnapshotPeak {
+                tau_s: 3e-9,
+                amplitude: 0.8,
+                shape: 2,
+            }],
+            truth_tau_s: vec![2.9e-9, 5.0e-9],
+        };
+        let fields = snap.into_fields();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "reason",
+                "sample_period_s",
+                "taps_re",
+                "taps_im",
+                "peaks_tau_s",
+                "peaks_amplitude",
+                "peaks_shape",
+                "truth_tau_s"
+            ]
+        );
+        assert_eq!(fields[4].1, Value::F64List(vec![3e-9]));
+        // Empty snapshots keep the same schema.
+        let empty = CirSnapshot::default().into_fields();
+        assert_eq!(empty.len(), fields.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! # uwb-obs — observability for the concurrent-ranging workspace
+//!
+//! A hand-rolled, dependency-free (std only) observability layer with
+//! three pillars:
+//!
+//! 1. **Structured tracing** ([`trace`], [`recorder::event`]): pipeline
+//!    stages emit timestamped [`Event`]s with named [`Value`] fields
+//!    into a pluggable [`TraceSink`] — a [`JsonlSink`] for post-mortem
+//!    files under `results/traces/`, a [`RingSink`] for tests, or
+//!    nothing at all. When no recorder is installed (the default),
+//!    every instrumentation site reduces to one relaxed atomic load.
+//! 2. **Metrics** ([`metrics`]): named counters, gauges, and fixed-bin
+//!    latency histograms with a scope timer ([`timed`]). Campaign
+//!    workers capture metrics per chunk ([`scoped_metrics`]) and the
+//!    engine merges them in chunk order, preserving the workspace's
+//!    bit-identical-at-any-thread-count guarantee; [`latency_table`]
+//!    renders the per-stage summary at campaign end.
+//! 3. **CIR flight recorder** ([`flight`], [`flight_record`]): on
+//!    anomalous outcomes (misdetection, misclassification, RPM guard
+//!    violation) the pipeline dumps an annotated [`CirSnapshot`] — raw
+//!    taps, detected peaks, truth positions — as a JSONL record,
+//!    bounded by a per-run quota (`UWB_FLIGHT_QUOTA`).
+//!
+//! ## Knobs
+//!
+//! | Knob | Effect |
+//! |------|--------|
+//! | `--trace-out[=PATH]` / `UWB_TRACE` | enable tracing (see [`init_from_env`]) |
+//! | `UWB_RESULTS_DIR` | relocate `results/` (see [`results_dir`]) |
+//! | `UWB_FLIGHT_QUOTA` | flight-recorder snapshot budget (default 32) |
+//!
+//! The crate sits below every pipeline crate and is deliberately
+//! offline-safe: no registry dependencies, same policy as the vendored
+//! `rand`/`proptest`/`criterion` stand-ins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod metrics;
+pub mod paths;
+pub mod recorder;
+pub mod stats;
+pub mod trace;
+pub mod value;
+
+pub use flight::{CirSnapshot, SnapshotPeak, FLIGHT_STAGE};
+pub use metrics::{LatencyHistogram, MetricsRegistry, LATENCY_BINS};
+pub use paths::{results_dir, traces_dir};
+pub use recorder::{
+    absorb_metrics, counter, enabled, event, flight_record, flush, gauge, init_from_env, install,
+    install_jsonl, install_with_quota, latency_table, metrics_snapshot, record_ns, scoped_metrics,
+    timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
+};
+pub use stats::{Counter, Histogram, ScalarStats};
+pub use trace::{Event, JsonlSink, NullSink, RingSink, TraceSink};
+pub use value::{write_json_string, Value};

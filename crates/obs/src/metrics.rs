@@ -1,0 +1,428 @@
+//! The metrics registry: named counters, gauges, and fixed-bin latency
+//! histograms, mergeable deterministically.
+//!
+//! All maps are `BTreeMap`s, so iteration (and therefore every rendering)
+//! is in lexicographic key order — merging registries from campaign
+//! chunks in chunk order yields byte-identical summaries for any worker
+//! count, provided the recorded values themselves are deterministic.
+//! Wall-clock latencies are *not* deterministic; the
+//! [`MetricsRegistry::deterministic_summary`] rendering therefore
+//! includes latency sample *counts* but not the timed values.
+
+use crate::stats::ScalarStats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of power-of-two latency bins: bin `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds (bin 0 also absorbs 0 ns).
+pub const LATENCY_BINS: usize = 64;
+
+/// A fixed-bin (power-of-two) histogram over nanosecond durations.
+///
+/// Bin edges never move, so merging is an exact integer add in any
+/// order. Percentiles resolve to the geometric midpoint of their bin
+/// (≤ 2× resolution — plenty for a per-stage latency table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BINS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; LATENCY_BINS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bin = if ns <= 1 { 0 } else { ns.ilog2() as usize };
+        self.counts[bin] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges another histogram into this one (exact, order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, nanoseconds (saturating).
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Shortest recorded duration (`u64::MAX` when empty).
+    #[must_use]
+    pub fn min_ns(&self) -> u64 {
+        self.min_ns
+    }
+
+    /// Longest recorded duration (0 when empty).
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The duration at percentile `p` in `[0, 100]`, resolved to the
+    /// geometric midpoint of its bin and clamped to the observed
+    /// min/max. `None` when empty.
+    #[must_use]
+    pub fn value_at_percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).max(1.0);
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            below += c;
+            if below as f64 >= rank && c > 0 {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                let mid = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+                return Some(mid.clamp(self.min_ns as f64, self.max_ns as f64));
+            }
+        }
+        Some(self.max_ns as f64)
+    }
+}
+
+/// A registry of named counters, gauges, and latency histograms.
+///
+/// Cheap to clone when empty; merged across campaign chunks in chunk
+/// order, or absorbed into the process-global recorder registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, ScalarStats>,
+    latencies: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.latencies.is_empty()
+    }
+
+    /// Increments the named counter by `by`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Records one observation of a named gauge (streaming
+    /// mean/min/max — a "gauge" here is a sampled scalar, not a
+    /// last-write-wins cell, so merging stays deterministic).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            g.record(value);
+        } else {
+            let mut g = ScalarStats::new();
+            g.record(value);
+            self.gauges.insert(name.to_string(), g);
+        }
+    }
+
+    /// Records a duration in nanoseconds under a stage name.
+    pub fn record_ns(&mut self, stage: &str, ns: u64) {
+        if let Some(h) = self.latencies.get_mut(stage) {
+            h.record_ns(ns);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record_ns(ns);
+            self.latencies.insert(stage.to_string(), h);
+        }
+    }
+
+    /// Merges another registry into this one. Counters and histogram
+    /// bins add exactly; gauges merge with the deterministic Welford
+    /// update.
+    pub fn merge(&mut self, other: &Self) {
+        for (name, by) in &other.counters {
+            self.inc(name, *by);
+        }
+        for (name, stats) in &other.gauges {
+            if let Some(g) = self.gauges.get_mut(name) {
+                g.merge(*stats);
+            } else {
+                self.gauges.insert(name.clone(), *stats);
+            }
+        }
+        for (stage, hist) in &other.latencies {
+            if let Some(h) = self.latencies.get_mut(stage) {
+                h.merge(hist);
+            } else {
+                self.latencies.insert(stage.clone(), hist.clone());
+            }
+        }
+    }
+
+    /// The value of a counter (0 when never incremented).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's streaming statistics, if any were recorded.
+    #[must_use]
+    pub fn gauge_stats(&self, name: &str) -> Option<&ScalarStats> {
+        self.gauges.get(name)
+    }
+
+    /// The named stage's latency histogram, if any durations were
+    /// recorded.
+    #[must_use]
+    pub fn latency(&self, stage: &str) -> Option<&LatencyHistogram> {
+        self.latencies.get(stage)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates latency histograms in stage order.
+    pub fn latencies(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.latencies.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the deterministic subset of the registry: counters,
+    /// gauge summaries, and latency sample *counts* (never the timed
+    /// values, which are wall-clock noise). Byte-identical across
+    /// campaign worker counts when the recorded values derive only from
+    /// trial data.
+    #[must_use]
+    pub fn deterministic_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "gauge {name} count={} mean={:.12e} min={:.12e} max={:.12e}",
+                g.count(),
+                g.mean(),
+                g.min(),
+                g.max()
+            );
+        }
+        for (stage, h) in &self.latencies {
+            let _ = writeln!(out, "latency {stage} samples={}", h.count());
+        }
+        out
+    }
+
+    /// Renders the per-stage latency table (stage, samples, p50, p90,
+    /// p99, max, total wall time). Empty string when no stage recorded
+    /// a duration.
+    #[must_use]
+    pub fn latency_table(&self) -> String {
+        if self.latencies.is_empty() {
+            return String::new();
+        }
+        let mut rows = vec![[
+            "stage".to_string(),
+            "count".to_string(),
+            "p50".to_string(),
+            "p90".to_string(),
+            "p99".to_string(),
+            "max".to_string(),
+            "total".to_string(),
+        ]];
+        for (stage, h) in &self.latencies {
+            let pct = |p: f64| fmt_ns(h.value_at_percentile(p).unwrap_or(0.0));
+            rows.push([
+                stage.clone(),
+                h.count().to_string(),
+                pct(50.0),
+                pct(90.0),
+                pct(99.0),
+                fmt_ns(h.max_ns() as f64),
+                fmt_ns(h.sum_ns() as f64),
+            ]);
+        }
+        let mut widths = [0usize; 7];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.latency_table())
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_bins_and_summary_stats() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0, 1, 2, 3, 1000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert_eq!(h.sum_ns(), 1_001_006);
+        assert!((h.mean_ns() - 1_001_006.0 / 6.0).abs() < 1e-9);
+        // p50 lands in the low bins, p99+ near the max.
+        assert!(h.value_at_percentile(50.0).unwrap() < 10.0);
+        assert!(h.value_at_percentile(100.0).unwrap() >= 524_288.0);
+    }
+
+    #[test]
+    fn latency_merge_is_exact_and_order_independent() {
+        let samples = [5u64, 80, 80, 3000, 77_000, 2_000_000_000];
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record_ns(s);
+        }
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &samples[..2] {
+            a.record_ns(s);
+        }
+        for &s in &samples[2..] {
+            b.record_ns(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges_merge_deterministically() {
+        let mut a = MetricsRegistry::new();
+        a.inc("detect.runs", 2);
+        a.gauge("residual", 0.5);
+        a.record_ns("detect", 1200);
+        let mut b = MetricsRegistry::new();
+        b.inc("detect.runs", 3);
+        b.inc("rpm.guard_violation", 1);
+        b.gauge("residual", 1.5);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter_value("detect.runs"), 5);
+        assert_eq!(m.counter_value("rpm.guard_violation"), 1);
+        assert_eq!(m.counter_value("never"), 0);
+        let g = m.gauge_stats("residual").unwrap();
+        assert_eq!(g.count(), 2);
+        assert!((g.mean() - 1.0).abs() < 1e-15);
+        assert_eq!(m.latency("detect").unwrap().count(), 1);
+        // Summary is stable and contains each family.
+        let s = m.deterministic_summary();
+        assert!(s.contains("counter detect.runs = 5"));
+        assert!(s.contains("gauge residual count=2"));
+        assert!(s.contains("latency detect samples=1"));
+    }
+
+    #[test]
+    fn latency_table_renders_aligned_rows() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..100 {
+            m.record_ns("campaign.trial", 1_000_000 + i * 1000);
+        }
+        m.record_ns("detect", 250);
+        let table = m.latency_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("stage"));
+        assert!(table.contains("campaign.trial"));
+        assert!(table.contains("ms"));
+        assert!(MetricsRegistry::new().latency_table().is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.00 µs");
+        assert_eq!(fmt_ns(3.45e7), "34.50 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.50 s");
+    }
+}

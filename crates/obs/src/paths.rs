@@ -1,0 +1,38 @@
+//! Artifact directory resolution shared by the campaign writers and the
+//! trace sinks.
+
+use std::path::PathBuf;
+
+/// Directory for experiment artifacts.
+///
+/// Defaults to CWD-relative `results/`; set the `UWB_RESULTS_DIR`
+/// environment variable to redirect every artifact (CSV/JSON tables and
+/// trace files alike) somewhere else, e.g. when running binaries from
+/// outside the repository root.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("UWB_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    }
+}
+
+/// Directory for JSONL trace files: `results_dir()/traces`.
+#[must_use]
+pub fn traces_dir() -> PathBuf {
+    results_dir().join("traces")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_dir_nests_under_results_dir() {
+        // Default (no override set by the test harness).
+        if std::env::var_os("UWB_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+        assert_eq!(traces_dir(), results_dir().join("traces"));
+    }
+}

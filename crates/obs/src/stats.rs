@@ -1,0 +1,480 @@
+//! Streaming, mergeable statistics shared by campaign collectors and the
+//! observability metrics registry.
+//!
+//! Each accumulator supports `record` (one observation) and `merge`
+//! (combine two accumulators). The campaign engine merges per-chunk
+//! accumulators in a fixed order, so as long as `merge` itself is
+//! deterministic the final statistics are bit-identical for any worker
+//! count. These types used to live in `uwb-campaign`; they moved here so
+//! detection-stage statistics and campaign statistics share one
+//! implementation.
+
+/// Streaming mean/variance (Welford) plus min/max over `f64`
+/// observations, mergeable via the Chan et al. parallel update.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScalarStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ScalarStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan et al. pairwise
+    /// update; exact for counts, deterministic for the moments).
+    pub fn merge(&mut self, other: Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        let n_a = self.count as f64;
+        let n_b = other.count as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n_b / n);
+        self.m2 += other.m2 + delta * delta * (n_a * n_b / n);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Success / total counter with an exact mergeable rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    hits: u64,
+    total: u64,
+}
+
+impl Counter {
+    /// An empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation, counting it when `hit` is true.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += u64::from(hit);
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: Self) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+
+    /// Number of hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Hit rate in `[0, 1]` (0 when empty).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with exact under/overflow counts,
+/// supporting CDF evaluation and percentile queries.
+///
+/// Bin edges are fixed at construction, so merged histograms from any
+/// trial partition are bit-identical — this is the campaign engine's
+/// route to thread-count-invariant percentiles (unlike sorting
+/// per-worker sample vectors, which is also memory-unbounded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`, the bounds are non-finite, or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi})"
+        );
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation (NaN counts as overflow).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi || x.is_nan() {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let bin = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bin layouts differ.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging histograms with different bin layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Number of observations (including under/overflow).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations `< x` (resolved to bin edges).
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return if x < self.lo {
+                0.0
+            } else {
+                self.underflow as f64 / self.total as f64
+            };
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut below = self.underflow;
+        let full_bins = (((x - self.lo) / width).floor() as usize).min(self.counts.len());
+        for &c in &self.counts[..full_bins] {
+            below += c;
+        }
+        if x >= self.hi {
+            below += self.overflow;
+        } else {
+            // Linear interpolation within the partially covered bin.
+            let frac = (x - self.lo) / width - full_bins as f64;
+            if full_bins < self.counts.len() && frac > 0.0 {
+                below += (self.counts[full_bins] as f64 * frac) as u64;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// The value at percentile `p` in `[0, 100]`, linearly interpolated
+    /// within its bin. Returns `lo`/`hi` when the rank falls into the
+    /// under-/overflow mass, and `None` when the histogram is empty.
+    #[must_use]
+    pub fn value_at_percentile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * self.total as f64;
+        if rank <= self.underflow as f64 {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut below = self.underflow as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let c = c as f64;
+            if below + c >= rank && c > 0.0 {
+                let frac = (rank - below) / c;
+                return Some(self.lo + width * (i as f64 + frac));
+            }
+            below += c;
+        }
+        Some(self.hi)
+    }
+
+    /// Convenience: the median.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.value_at_percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(values: &[f64]) -> ScalarStats {
+        let mut s = ScalarStats::new();
+        for &v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.1 - 3.0)
+            .collect();
+        let s = stats_of(&values);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-10);
+        assert_eq!(
+            s.min(),
+            values.iter().cloned().fold(f64::INFINITY, f64::min)
+        );
+        assert_eq!(
+            s.max(),
+            values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream_statistics() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin() * 5.0).collect();
+        let whole = stats_of(&values);
+        for split in [1, 100, 250, 499] {
+            let mut left = stats_of(&values[..split]);
+            left.merge(stats_of(&values[split..]));
+            assert_eq!(left.count(), whole.count());
+            assert!((left.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!(
+                (left.variance() - whole.variance()).abs() < 1e-10,
+                "split {split}"
+            );
+            assert_eq!(left.min(), whole.min());
+            assert_eq!(left.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity() {
+        let s = stats_of(&[1.0, 2.0, 3.0]);
+        let mut a = s;
+        a.merge(ScalarStats::new());
+        assert_eq!(a, s);
+        let mut b = ScalarStats::new();
+        b.merge(s);
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn merge_is_deterministic_not_commutative_in_fp() {
+        // Callers rely on merge order being FIXED, not on merge being
+        // exactly commutative; identical merge order must give identical
+        // bits.
+        let a = stats_of(&[1.0, 1e16, -1e16]);
+        let b = stats_of(&[3.0, 4.0]);
+        let (mut x, mut y) = (a, a);
+        x.merge(b);
+        y.merge(b);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::new();
+        a.record(true);
+        a.record(false);
+        let mut b = Counter::new();
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+        assert!((a.rate() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_uniform_grid() {
+        // 0.5, 1.5, ..., 99.5 over [0, 100) with 100 bins: every bin
+        // holds exactly one sample, percentiles are exact to bin width.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.total(), 100);
+        let p50 = h.median().unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 {p50}");
+        let p90 = h.value_at_percentile(90.0).unwrap();
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 {p90}");
+        let p99 = h.value_at_percentile(99.0).unwrap();
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 {p99}");
+        assert_eq!(h.value_at_percentile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates_within_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 1);
+        for _ in 0..100 {
+            h.record(5.0);
+        }
+        // All mass in one [0, 10) bin: p25 lands a quarter into the bin.
+        let p25 = h.value_at_percentile(25.0).unwrap();
+        assert!((p25 - 2.5).abs() < 1e-12, "p25 {p25}");
+    }
+
+    #[test]
+    fn histogram_cdf_tracks_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.cdf(0.0) - 0.0).abs() < 1e-12);
+        assert!((h.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert!((h.cdf(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_handles_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(5.0);
+        h.record(f64::NAN);
+        h.record(0.5);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.value_at_percentile(0.0).unwrap(), 0.0);
+        assert_eq!(h.value_at_percentile(100.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.13).fract() * 4.0 - 1.0)
+            .collect();
+        let mut whole = Histogram::new(-1.0, 3.0, 32);
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Histogram::new(-1.0, 3.0, 32);
+        let mut right = Histogram::new(-1.0, 3.0, 32);
+        for &v in &values[..77] {
+            left.record(v);
+        }
+        for &v in &values[77..] {
+            right.record(v);
+        }
+        left.merge(right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin layouts")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        Histogram::new(0.0, 1.0, 4).merge(Histogram::new(0.0, 1.0, 8));
+    }
+}

@@ -1,0 +1,279 @@
+//! Structured trace events and pluggable sinks.
+//!
+//! An [`Event`] is one timestamped record from a pipeline stage — a
+//! search-and-subtract iteration, an RPM slot decode, a netsim
+//! dispatch — with a small set of named [`Value`] fields. Events flow
+//! into a [`TraceSink`]:
+//!
+//! * [`JsonlSink`] — one JSON object per line, for post-mortem tooling;
+//! * [`RingSink`] — bounded in-memory buffer, for tests and summaries;
+//! * [`NullSink`] — discards everything (the recorder's fast path skips
+//!   event construction entirely when disabled, so this is only a
+//!   belt-and-braces default).
+
+use crate::value::{write_json_string, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the recorder was installed.
+    pub time_ns: u64,
+    /// Static stage name, e.g. `"detect.iter"` or `"netsim.tx"`.
+    pub stage: &'static str,
+    /// The Monte-Carlo trial index, when the event fired inside a
+    /// campaign trial scope.
+    pub trial: Option<u64>,
+    /// Named payload fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_json(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(out, "{{\"t_ns\":{},\"stage\":", self.time_ns)?;
+        write_json_string(out, self.stage)?;
+        if let Some(trial) = self.trial {
+            write!(out, ",\"trial\":{trial}")?;
+        }
+        for (name, value) in &self.fields {
+            out.write_all(b",")?;
+            write_json_string(out, name)?;
+            out.write_all(b":")?;
+            value.write_json(out)?;
+        }
+        out.write_all(b"}")
+    }
+}
+
+/// A destination for trace events. Implementations must be safe to call
+/// from multiple campaign worker threads.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event.
+    fn emit(&self, event: Event);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: Event) {}
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: Vec<Event>,
+    /// Per-stage totals, counted before eviction so summaries do not
+    /// depend on the ring capacity.
+    stage_counts: BTreeMap<&'static str, u64>,
+    dropped: u64,
+}
+
+/// A bounded in-memory sink for tests and end-of-run summaries.
+///
+/// Keeps the most recent `capacity` events; per-stage event counts are
+/// tracked independently of eviction, so [`RingSink::summary`] is
+/// deterministic no matter how small the ring is.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    inner: Arc<Mutex<RingInner>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RingInner::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Total events emitted per stage (independent of eviction), in
+    /// stage-name order.
+    #[must_use]
+    pub fn stage_counts(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner.stage_counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Number of events evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// A deterministic one-line-per-stage summary (`stage count`),
+    /// byte-identical for identical event streams regardless of ring
+    /// capacity or emission interleaving.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (stage, count) in &inner.stage_counts {
+            let _ = writeln!(out, "trace {stage} events={count}");
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.stage_counts.entry(event.stage).or_insert(0) += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.remove(0);
+            inner.dropped += 1;
+        }
+        inner.events.push(event);
+    }
+}
+
+/// A sink that writes one JSON object per line to a buffered writer.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Wraps any writer (used by tests to capture output in memory).
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Creates (or truncates) a JSONL trace file, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from directory creation or file open.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self::new(Box::new(File::create(path)?)))
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: Event) {
+        let mut writer = self.writer.lock().unwrap();
+        // Trace output is best-effort: an I/O error must never abort the
+        // experiment producing it.
+        let _ = event.write_json(&mut *writer);
+        let _ = writer.write_all(b"\n");
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer.lock().unwrap().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(stage: &'static str, trial: Option<u64>) -> Event {
+        Event {
+            time_ns: 42,
+            stage,
+            trial,
+            fields: vec![("idx", Value::U64(7)), ("amp", Value::F64(0.5))],
+        }
+    }
+
+    #[test]
+    fn event_renders_as_json_object() {
+        let mut out = Vec::new();
+        event("detect.iter", Some(3)).write_json(&mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "{\"t_ns\":42,\"stage\":\"detect.iter\",\"trial\":3,\"idx\":7,\"amp\":0.5}"
+        );
+        let mut out = Vec::new();
+        event("rpm.decode", None).write_json(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("trial"));
+    }
+
+    #[test]
+    fn ring_sink_evicts_but_counts_everything() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.emit(event(if i < 3 { "a" } else { "b" }, Some(i)));
+        }
+        assert_eq!(ring.events().len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.stage_counts(), vec![("a", 3), ("b", 2)]);
+        assert_eq!(ring.summary(), "trace a events=3\ntrace b events=2\n");
+        // Summary is capacity-independent.
+        let big = RingSink::new(1000);
+        for i in 0..5 {
+            big.emit(event(if i < 3 { "a" } else { "b" }, Some(i)));
+        }
+        assert_eq!(big.summary(), ring.summary());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.emit(event("a", None));
+        sink.emit(event("b", Some(1)));
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_ns\":42,\"stage\":\"a\""));
+        assert!(lines[1].contains("\"trial\":1"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The workspace's shared artifact/trace field value: one enum, one CSV
+//! renderer, one JSON renderer.
+//!
+//! [`Value`] started life in `uwb-campaign`'s artifact writers; it now
+//! lives here so the campaign CSV/JSONL writers and the observability
+//! trace sinks render fields through a single implementation. The build
+//! environment is fully offline, so both formats are written by hand
+//! (no `serde`).
+
+use std::io::{self, Write};
+
+/// A single artifact or trace field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A float, rendered with full round-trip precision.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// A list of floats — a JSON array; semicolon-joined in CSV cells so
+    /// the list stays a single column. Used by the flight recorder for
+    /// CIR taps and peak vectors.
+    F64List(Vec<f64>),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Self::F64List(v)
+    }
+}
+
+impl Value {
+    /// Renders the value as a CSV cell (RFC-4180 quoting for strings
+    /// that contain commas, quotes or newlines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            Self::F64(v) => write!(out, "{v}"),
+            Self::U64(v) => write!(out, "{v}"),
+            Self::I64(v) => write!(out, "{v}"),
+            Self::Bool(v) => write!(out, "{v}"),
+            Self::Str(s) => write_csv_str(out, s),
+            Self::F64List(vs) => {
+                let joined = vs
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";");
+                write_csv_str(out, &joined)
+            }
+        }
+    }
+
+    /// Renders the value as a JSON value. Non-finite floats have no JSON
+    /// literal and render as `null` (the conventional spelling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_json(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            Self::F64(v) => write_json_f64(out, *v),
+            Self::U64(v) => write!(out, "{v}"),
+            Self::I64(v) => write!(out, "{v}"),
+            Self::Bool(v) => write!(out, "{v}"),
+            Self::Str(s) => write_json_string(out, s),
+            Self::F64List(vs) => {
+                out.write_all(b"[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.write_all(b",")?;
+                    }
+                    write_json_f64(out, *v)?;
+                }
+                out.write_all(b"]")
+            }
+        }
+    }
+}
+
+fn write_json_f64(out: &mut impl Write, v: f64) -> io::Result<()> {
+    if v.is_finite() {
+        write!(out, "{v}")
+    } else {
+        write!(out, "null")
+    }
+}
+
+fn write_csv_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+    if s.contains([',', '"', '\n', '\r']) {
+        write!(out, "\"{}\"", s.replace('"', "\"\""))
+    } else {
+        write!(out, "{s}")
+    }
+}
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_json_string(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csv(v: &Value) -> String {
+        let mut out = Vec::new();
+        v.write_csv(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn json(v: &Value) -> String {
+        let mut out = Vec::new();
+        v.write_json(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn scalar_rendering() {
+        assert_eq!(csv(&0.125.into()), "0.125");
+        assert_eq!(csv(&7u64.into()), "7");
+        assert_eq!(csv(&(-3i64).into()), "-3");
+        assert_eq!(csv(&true.into()), "true");
+        assert_eq!(json(&f64::NAN.into()), "null");
+        assert_eq!(json(&f64::INFINITY.into()), "null");
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        assert_eq!(csv(&"plain".into()), "plain");
+        assert_eq!(csv(&"a,b".into()), "\"a,b\"");
+        assert_eq!(csv(&"he said \"hi\"".into()), "\"he said \"\"hi\"\"\"");
+        assert_eq!(csv(&"two\nlines".into()), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(
+            json(&"a\"b\\c\n\t\u{1}".into()),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\""
+        );
+    }
+
+    #[test]
+    fn float_lists_render_in_both_formats() {
+        let v: Value = vec![1.0, 2.5, f64::NAN].into();
+        assert_eq!(json(&v), "[1,2.5,null]");
+        assert_eq!(csv(&v), "1;2.5;NaN");
+    }
+}

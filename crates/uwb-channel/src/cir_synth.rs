@@ -99,10 +99,19 @@ impl CirSynthesizer {
 
     /// Renders arrivals into a fresh CIR, adding receiver noise.
     pub fn render<R: Rng + ?Sized>(&self, arrivals: &[Arrival], rng: &mut R) -> Cir {
-        let mut cir = Cir::zeroed(self.prf);
-        self.accumulate(&mut cir, arrivals);
-        self.add_noise(&mut cir, rng);
-        cir
+        uwb_obs::timed("channel.render", || {
+            let mut cir = Cir::zeroed(self.prf);
+            self.accumulate(&mut cir, arrivals);
+            self.add_noise(&mut cir, rng);
+            uwb_obs::event("channel.render", || {
+                vec![
+                    ("arrivals", arrivals.len().into()),
+                    ("noise_sigma", self.noise_sigma.into()),
+                    ("window_start_s", self.window_start_s.into()),
+                ]
+            });
+            cir
+        })
     }
 
     /// Adds arrivals into an existing CIR without touching noise — used to

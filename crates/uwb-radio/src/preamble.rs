@@ -127,6 +127,16 @@ pub fn estimate_cir_from_preamble(
     code: &MSequence,
     repeats: usize,
 ) -> Result<Vec<Complex64>, RadioError> {
+    uwb_obs::timed("radio.acquire", || {
+        estimate_cir_from_preamble_inner(received, code, repeats)
+    })
+}
+
+fn estimate_cir_from_preamble_inner(
+    received: &[Complex64],
+    code: &MSequence,
+    repeats: usize,
+) -> Result<Vec<Complex64>, RadioError> {
     let n = code.len();
     if repeats == 0 {
         return Err(RadioError::InvalidPreambleLength { symbols: 0 });
