@@ -19,4 +19,13 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace
 
+echo "==> perfwatch bench smoke (1 iteration, no warmup)"
+# Not a performance measurement — only proves the whole suite still
+# runs end to end and emits a parseable, complete document. Full runs
+# stay manual (see README "Performance observatory").
+./target/release/perfwatch --iters 1 --warmup 0 --out /tmp/bench_smoke.json >/dev/null
+./target/release/perfwatch --validate /tmp/bench_smoke.json
+echo "==> perfwatch committed-baseline validation"
+./target/release/perfwatch --validate BENCH_pipeline.json
+
 echo "ci: all gates passed"

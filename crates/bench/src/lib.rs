@@ -51,8 +51,14 @@ impl ExpHarness {
     /// `results/traces/<name>.jsonl`; `--trace-out=PATH` picks the file.
     #[must_use]
     pub fn init(name: &str) -> Self {
-        match uwb_campaign::parse_threads_arg(std::env::args().skip(1)) {
-            Ok((threads, rest)) => Self::from_rest(name, threads, rest),
+        match Self::init_with(name, std::env::args().skip(1)) {
+            Ok((harness, leftover)) => {
+                if !leftover.is_empty() {
+                    eprintln!("unrecognised arguments: {leftover:?}\n{USAGE}");
+                    std::process::exit(2);
+                }
+                harness
+            }
             Err(msg) => {
                 eprintln!("{msg}\n{USAGE}");
                 std::process::exit(2);
@@ -60,33 +66,42 @@ impl ExpHarness {
         }
     }
 
-    fn from_rest(name: &str, threads: usize, rest: Vec<String>) -> Self {
+    /// Parses the shared observability knobs out of `args` and installs
+    /// the recorder when tracing is requested, returning the harness
+    /// together with the arguments it did not recognise. Suites that
+    /// layer their own CLI on top of the shared flags (the `perfwatch`
+    /// binary) call this and parse the leftovers themselves;
+    /// [`ExpHarness::init`] treats any leftover as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a malformed `--threads` value or an
+    /// unopenable trace output path.
+    pub fn init_with(
+        name: &str,
+        args: impl Iterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), String> {
+        let (threads, rest) = uwb_campaign::parse_threads_arg(args)?;
         let mut trace_opt: Option<String> = None;
-        let mut unrecognized: Vec<String> = Vec::new();
+        let mut leftover: Vec<String> = Vec::new();
         for arg in rest {
             if arg == "--trace-out" {
                 trace_opt = Some(String::new());
             } else if let Some(path) = arg.strip_prefix("--trace-out=") {
                 trace_opt = Some(path.to_string());
             } else {
-                unrecognized.push(arg);
+                leftover.push(arg);
             }
         }
-        if !unrecognized.is_empty() {
-            eprintln!("unrecognised arguments: {unrecognized:?}\n{USAGE}");
-            std::process::exit(2);
-        }
-        let trace_path = match uwb_obs::init_from_env(trace_opt.as_deref(), name) {
-            Ok(path) => path,
-            Err(err) => {
-                eprintln!("cannot open trace output: {err}");
-                std::process::exit(2);
-            }
-        };
-        Self {
-            threads,
-            trace_path,
-        }
+        let trace_path = uwb_obs::init_from_env(trace_opt.as_deref(), name)
+            .map_err(|err| format!("cannot open trace output: {err}"))?;
+        Ok((
+            Self {
+                threads,
+                trace_path,
+            },
+            leftover,
+        ))
     }
 
     /// Flushes the trace sink and reports the per-stage latency table,

@@ -3,217 +3,19 @@
 //!
 //! The workspace writes its CSV and JSON by hand (the build environment
 //! is offline, so no `serde`/`csv` crates). These tests close the loop:
-//! a minimal RFC-4180 CSV parser and a minimal JSON parser — written
-//! here, independent of the production renderers — must recover exactly
-//! what [`CsvWriter`], [`JsonLinesWriter`] and [`uwb_obs::JsonlSink`]
-//! wrote, across adversarial field content: commas, quotes, embedded
-//! newlines, control characters, and NaN/±Inf floats.
+//! the independent RFC-4180 CSV parser and minimal JSON parser from
+//! [`uwb_testkit`] — written separately from the production renderers —
+//! must recover exactly what [`CsvWriter`], [`JsonLinesWriter`] and
+//! [`uwb_obs::JsonlSink`] wrote, across adversarial field content:
+//! commas, quotes, embedded newlines, control characters, and NaN/±Inf
+//! floats.
 
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use uwb_campaign::artifact::{CsvWriter, JsonLinesWriter, Value};
 use uwb_obs::{Event, JsonlSink, TraceSink};
-
-// ---------------------------------------------------------------------------
-// Minimal parsers (the "independent reader" side of the round trip).
-// ---------------------------------------------------------------------------
-
-/// Parses an RFC-4180 CSV document: quoted fields may contain commas,
-/// doubled quotes and newlines; rows are `\n`-terminated.
-fn parse_csv(input: &str) -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    let mut row = Vec::new();
-    let mut field = String::new();
-    let mut in_quotes = false;
-    let mut chars = input.chars().peekable();
-    while let Some(c) = chars.next() {
-        if in_quotes {
-            if c == '"' {
-                if chars.peek() == Some(&'"') {
-                    chars.next();
-                    field.push('"');
-                } else {
-                    in_quotes = false;
-                }
-            } else {
-                field.push(c);
-            }
-        } else {
-            match c {
-                '"' => in_quotes = true,
-                ',' => row.push(std::mem::take(&mut field)),
-                '\n' => {
-                    row.push(std::mem::take(&mut field));
-                    rows.push(std::mem::take(&mut row));
-                }
-                c => field.push(c),
-            }
-        }
-    }
-    assert!(!in_quotes, "unterminated quoted field");
-    if !field.is_empty() || !row.is_empty() {
-        row.push(field);
-        rows.push(row);
-    }
-    rows
-}
-
-/// A parsed JSON value. Numbers keep their raw token so the comparison
-/// against the writer's output is exact (no re-parsing tolerance).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct JsonParser<'a> {
-    input: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(input: &'a str) -> Self {
-        Self {
-            input: input.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn peek(&self) -> u8 {
-        self.input[self.pos]
-    }
-
-    fn bump(&mut self) -> u8 {
-        let b = self.input[self.pos];
-        self.pos += 1;
-        b
-    }
-
-    fn expect(&mut self, b: u8) {
-        assert_eq!(self.bump(), b, "JSON parse error at byte {}", self.pos - 1);
-    }
-
-    fn parse(&mut self) -> Json {
-        match self.peek() {
-            b'n' => {
-                self.literal(b"null");
-                Json::Null
-            }
-            b't' => {
-                self.literal(b"true");
-                Json::Bool(true)
-            }
-            b'f' => {
-                self.literal(b"false");
-                Json::Bool(false)
-            }
-            b'"' => Json::Str(self.string()),
-            b'[' => {
-                self.expect(b'[');
-                let mut items = Vec::new();
-                if self.peek() == b']' {
-                    self.bump();
-                    return Json::Arr(items);
-                }
-                loop {
-                    items.push(self.parse());
-                    match self.bump() {
-                        b',' => {}
-                        b']' => break,
-                        b => panic!("unexpected {b:?} in array"),
-                    }
-                }
-                Json::Arr(items)
-            }
-            b'{' => {
-                self.expect(b'{');
-                let mut fields = Vec::new();
-                if self.peek() == b'}' {
-                    self.bump();
-                    return Json::Obj(fields);
-                }
-                loop {
-                    let key = self.string();
-                    self.expect(b':');
-                    fields.push((key, self.parse()));
-                    match self.bump() {
-                        b',' => {}
-                        b'}' => break,
-                        b => panic!("unexpected {b:?} in object"),
-                    }
-                }
-                Json::Obj(fields)
-            }
-            _ => {
-                let start = self.pos;
-                while self.pos < self.input.len()
-                    && matches!(self.peek(), b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-                {
-                    self.pos += 1;
-                }
-                assert!(self.pos > start, "expected a JSON value");
-                Json::Num(String::from_utf8(self.input[start..self.pos].to_vec()).unwrap())
-            }
-        }
-    }
-
-    fn literal(&mut self, lit: &[u8]) {
-        for &b in lit {
-            self.expect(b);
-        }
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let mut out = String::new();
-        loop {
-            // Collect the raw bytes of one char (the input is UTF-8).
-            match self.bump() {
-                b'"' => return out,
-                b'\\' => match self.bump() {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'u' => {
-                        let hex: String = (0..4).map(|_| self.bump() as char).collect();
-                        let code = u32::from_str_radix(&hex, 16).expect("hex escape");
-                        out.push(char::from_u32(code).expect("scalar escape"));
-                    }
-                    b => panic!("unsupported escape {b:?}"),
-                },
-                b => {
-                    // Re-assemble a multi-byte UTF-8 sequence.
-                    let len = match b {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let mut bytes = vec![b];
-                    for _ in 1..len {
-                        bytes.push(self.bump());
-                    }
-                    out.push_str(std::str::from_utf8(&bytes).unwrap());
-                }
-            }
-        }
-    }
-}
-
-fn parse_json(line: &str) -> Json {
-    let mut parser = JsonParser::new(line);
-    let value = parser.parse();
-    assert_eq!(parser.pos, parser.input.len(), "trailing JSON input");
-    value
-}
+use uwb_testkit::{parse_csv, parse_json, Json};
 
 // ---------------------------------------------------------------------------
 // Expected-value helpers.
@@ -339,7 +141,7 @@ impl std::io::Write for SharedBuf {
 // ---------------------------------------------------------------------------
 
 proptest! {
-    /// CSV round trip: whatever `CsvWriter` writes, an independent
+    /// CSV round trip: whatever `CsvWriter` writes, the independent
     /// RFC-4180 parser recovers cell-for-cell — including commas,
     /// quotes, newlines inside fields, and non-finite floats.
     #[test]
@@ -354,7 +156,7 @@ proptest! {
 
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
-        let parsed = parse_csv(&text);
+        let parsed = parse_csv(&text).expect("writer output parses");
         prop_assert_eq!(parsed.len(), rows.len() + 1);
         prop_assert_eq!(&parsed[0], &header.map(String::from));
         for (parsed_row, row) in parsed[1..].iter().zip(&rows) {
@@ -386,7 +188,7 @@ proptest! {
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = text.lines().collect();
         prop_assert_eq!(lines.len(), 1);
-        let Json::Obj(parsed) = parse_json(lines[0]) else {
+        let Json::Obj(parsed) = parse_json(lines[0]).expect("writer output parses") else {
             panic!("expected a JSON object");
         };
         prop_assert_eq!(parsed.len(), keys_values.len());
@@ -423,7 +225,8 @@ proptest! {
 
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         prop_assert!(text.ends_with('\n'));
-        let Json::Obj(parsed) = parse_json(text.trim_end_matches('\n')) else {
+        let parsed = parse_json(text.trim_end_matches('\n')).expect("sink output parses");
+        let Json::Obj(parsed) = parsed else {
             panic!("expected a JSON object");
         };
         let mut expect = vec![

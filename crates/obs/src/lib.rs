@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod paths;
 pub mod recorder;
 pub mod stats;
+pub mod timer;
 pub mod trace;
 pub mod value;
 
@@ -52,6 +53,9 @@ pub use recorder::{
     install_jsonl, install_with_quota, latency_table, metrics_snapshot, record_ns, scoped_metrics,
     timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
 };
-pub use stats::{Counter, Histogram, ScalarStats};
-pub use trace::{Event, JsonlSink, NullSink, RingSink, TraceSink};
+pub use stats::{median, median_abs_deviation, Counter, Histogram, ScalarStats};
+pub use timer::{measure_ns, per_second, Stopwatch};
+pub use trace::{
+    Event, JsonlSink, NullSink, RingSink, TraceSink, META_STAGE, TRACE_SCHEMA_VERSION,
+};
 pub use value::{write_json_string, Value};

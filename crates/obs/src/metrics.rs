@@ -108,6 +108,17 @@ impl LatencyHistogram {
     /// The duration at percentile `p` in `[0, 100]`, resolved to the
     /// geometric midpoint of its bin and clamped to the observed
     /// min/max. `None` when empty.
+    ///
+    /// Edge cases (documented and asserted by tests):
+    /// * empty histogram → `None` for every `p`;
+    /// * a single sample → that sample's clamped value for every `p`;
+    /// * `p = 0` resolves to the lowest occupied bin (clamped to the
+    ///   observed minimum, never below it);
+    /// * `p = 100` resolves to the highest occupied bin (clamped to the
+    ///   observed maximum, never above it);
+    /// * out-of-range `p` (negative or above 100) is clamped to
+    ///   `[0, 100]` rather than rejected — percentile queries come from
+    ///   rendering code where a panic would take down a report.
     #[must_use]
     pub fn value_at_percentile(&self, p: f64) -> Option<f64> {
         if self.count == 0 {
@@ -351,6 +362,54 @@ mod tests {
         // p50 lands in the low bins, p99+ near the max.
         assert!(h.value_at_percentile(50.0).unwrap() < 10.0);
         assert!(h.value_at_percentile(100.0).unwrap() >= 524_288.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let h = LatencyHistogram::new();
+        for p in [0.0, 50.0, 100.0, -10.0, 1000.0] {
+            assert_eq!(h.value_at_percentile(p), None, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(1_000);
+        // Every percentile of a one-sample distribution is the sample
+        // itself: the bin midpoint clamps to min == max == 1000.
+        for p in [0.0, 37.0, 50.0, 100.0] {
+            assert_eq!(h.value_at_percentile(p), Some(1_000.0), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_extremes_clamp_to_observed_range() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 10_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        // p=0 never reports below the observed min, p=100 never above
+        // the observed max.
+        assert_eq!(h.value_at_percentile(0.0), Some(100.0));
+        let p100 = h.value_at_percentile(100.0).unwrap();
+        assert!(p100 <= 1_000_000.0, "p100 {p100}");
+        assert!(p100 >= 524_288.0, "p100 {p100} must reach the top bin");
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp_not_panic() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 10_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.value_at_percentile(-5.0), h.value_at_percentile(0.0));
+        assert_eq!(h.value_at_percentile(250.0), h.value_at_percentile(100.0));
+        assert_eq!(
+            h.value_at_percentile(f64::NAN),
+            h.value_at_percentile(0.0),
+            "a NaN rank is absorbed by the minimum-rank floor"
+        );
     }
 
     #[test]

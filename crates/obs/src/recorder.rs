@@ -79,11 +79,25 @@ pub fn install_with_quota(sink: Box<dyn TraceSink>, flight_quota: i64) {
 /// Installs a recorder writing JSONL to `path` (parent directories are
 /// created).
 ///
+/// The first line of the trace is a `trace.meta` schema-header event
+/// (see [`crate::trace::TRACE_SCHEMA_VERSION`]) so downstream tooling
+/// can detect format drift.
+///
 /// # Errors
 ///
 /// Returns any error from creating the trace file.
 pub fn install_jsonl(path: &Path) -> io::Result<()> {
     install(Box::new(JsonlSink::create(path)?));
+    event(crate::trace::META_STAGE, || {
+        vec![
+            ("schema", Value::U64(crate::trace::TRACE_SCHEMA_VERSION)),
+            ("writer", Value::Str("uwb-obs".to_string())),
+            (
+                "writer_version",
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+        ]
+    });
     Ok(())
 }
 
@@ -414,6 +428,13 @@ mod tests {
         event("check", Vec::new);
         uninstall();
         let text = std::fs::read_to_string(&path).unwrap();
+        // First line is the schema header, then the payload events.
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"stage\":\"trace.meta\""), "{first}");
+        assert!(first.contains(&format!(
+            "\"schema\":{}",
+            crate::trace::TRACE_SCHEMA_VERSION
+        )));
         assert!(text.contains("\"stage\":\"check\""));
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -312,6 +312,36 @@ impl Histogram {
     }
 }
 
+/// Median of a sample (ignoring nothing: NaNs sort last under total
+/// order and will surface in the result if present). `None` when empty.
+///
+/// Benchmark harnesses prefer the median over the mean because a single
+/// preempted iteration moves the mean but not the middle of the
+/// distribution.
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    })
+}
+
+/// Median absolute deviation from the median — the robust spread
+/// companion to [`median`]. `None` when empty.
+#[must_use]
+pub fn median_abs_deviation(values: &[f64]) -> Option<f64> {
+    let med = median(values)?;
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +506,19 @@ mod tests {
     #[should_panic(expected = "different bin layouts")]
     fn histogram_merge_rejects_layout_mismatch() {
         Histogram::new(0.0, 1.0, 4).merge(Histogram::new(0.0, 1.0, 8));
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_abs_deviation(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median_abs_deviation(&[7.0]), Some(0.0));
+        assert_eq!(median(&[1.0, 2.0]), Some(1.5));
+        // One preempted "iteration" at 1e9 leaves the median (and MAD)
+        // at the bulk of the sample.
+        let sample = [10.0, 11.0, 9.0, 10.5, 1e9];
+        assert_eq!(median(&sample), Some(10.5));
+        assert_eq!(median_abs_deviation(&sample), Some(0.5));
     }
 }

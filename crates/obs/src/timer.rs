@@ -1,0 +1,94 @@
+//! Wall-clock measurement hooks for benchmark harnesses.
+//!
+//! The recorder's [`crate::timed`] couples timing to the metrics
+//! registry; this module is the uncoupled half — a [`Stopwatch`] and a
+//! [`measure_ns`] helper that return raw durations for callers (like
+//! `uwb-perfwatch`) that aggregate their own statistics, plus the
+//! [`per_second`] throughput conversion every per-stage rate report
+//! uses.
+
+use std::time::Instant;
+
+/// A restartable wall-clock stopwatch over `Instant`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Starts (and returns) a running stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            last: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the stopwatch started (or last lapped).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.last.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Nanoseconds since the last lap (or start), restarting the
+    /// stopwatch — one call per iteration gives per-iteration times
+    /// without re-reading the clock twice.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = u64::try_from(now.duration_since(self.last).as_nanos()).unwrap_or(u64::MAX);
+        self.last = now;
+        ns
+    }
+}
+
+/// Runs `f` once and returns its output together with the wall-clock
+/// nanoseconds it took.
+pub fn measure_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let watch = Stopwatch::start();
+    let out = f();
+    (out, watch.elapsed_ns())
+}
+
+/// Converts `units` of work done in `ns` nanoseconds into a rate per
+/// second (0 when no time elapsed, so degenerate measurements cannot
+/// produce infinities in reports).
+#[must_use]
+pub fn per_second(units: f64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        units * 1e9 / ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_advances_and_laps() {
+        let mut watch = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let first = watch.lap_ns();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let second = watch.elapsed_ns();
+        // Both laps measured something and the second lap restarted from
+        // zero rather than accumulating.
+        assert!(first > 0);
+        assert!(second < first + watch.elapsed_ns() + 1_000_000_000);
+    }
+
+    #[test]
+    fn measure_returns_output_and_duration() {
+        let (out, ns) = measure_ns(|| std::hint::black_box(6 * 7));
+        assert_eq!(out, 42);
+        assert!(ns < 1_000_000_000, "a multiply does not take a second");
+    }
+
+    #[test]
+    fn per_second_converts_and_guards_zero() {
+        assert_eq!(per_second(100.0, 1_000_000_000), 100.0);
+        assert_eq!(per_second(1.0, 500_000_000), 2.0);
+        assert_eq!(per_second(5.0, 0), 0.0);
+    }
+}

@@ -13,6 +13,16 @@
 
 use crate::value::{write_json_string, Value};
 use std::collections::BTreeMap;
+
+/// Version of the JSONL trace schema. Bumped when the meaning of event
+/// fields changes incompatibly; every JSONL trace starts with a
+/// [`META_STAGE`] event carrying this number so downstream tooling
+/// (`uwb-trace`) can detect format drift instead of misreading fields.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Stage name of the schema-header event written as the first line of
+/// every JSONL trace.
+pub const META_STAGE: &str = "trace.meta";
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};

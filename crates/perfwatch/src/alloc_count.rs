@@ -1,0 +1,142 @@
+//! Allocation accounting, compile-time gated behind the `count-alloc`
+//! feature.
+//!
+//! With the feature **on**, a global counting allocator wraps the system
+//! allocator and tallies allocation calls and bytes in relaxed atomics;
+//! [`snapshot`] reads the running totals so the suite can attribute
+//! allocations to individual workload iterations.
+//!
+//! With the feature **off** — the default, and what every committed
+//! baseline uses — the allocator is not registered and the counters do
+//! not exist: the gating is `#[cfg]`, not a runtime flag, so the
+//! disabled path is zero-overhead by construction (there is no code to
+//! skip). [`snapshot`] statically returns `None` and the JSON reporter
+//! omits the allocation columns.
+
+/// A point-in-time reading of the global allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Cumulative allocation calls since process start.
+    pub allocs: u64,
+    /// Cumulative allocated bytes since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas from `earlier` to `self`.
+    #[must_use]
+    pub fn since(&self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAllocator;
+
+    // The unsafety is pure delegation to `System`; the counters are
+    // relaxed because the suite only ever reads them between
+    // iterations, never concurrently with a precision requirement.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[allow(unsafe_code)]
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+/// The current allocation totals — `Some` only when the crate was built
+/// with the `count-alloc` feature; statically `None` otherwise.
+#[must_use]
+pub fn snapshot() -> Option<AllocSnapshot> {
+    #[cfg(feature = "count-alloc")]
+    {
+        use std::sync::atomic::Ordering;
+        Some(AllocSnapshot {
+            allocs: counting::ALLOCS.load(Ordering::Relaxed),
+            bytes: counting::BYTES.load(Ordering::Relaxed),
+        })
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        None
+    }
+}
+
+/// True when allocation accounting was compiled in.
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "count-alloc"))]
+    #[test]
+    fn disabled_build_has_no_counters() {
+        // Compile-time gating: the default build must report no
+        // accounting at all (the counting allocator does not exist in
+        // this binary — nothing is registered, nothing can be paid for).
+        assert!(!enabled());
+        assert!(snapshot().is_none());
+    }
+
+    #[cfg(feature = "count-alloc")]
+    #[test]
+    fn enabled_build_counts_allocations() {
+        let before = snapshot().expect("feature on");
+        let v = std::hint::black_box(vec![0u8; 4096]);
+        let after = snapshot().expect("feature on");
+        drop(v);
+        let delta = after.since(before);
+        assert!(delta.allocs >= 1, "allocation not counted");
+        assert!(delta.bytes >= 4096, "bytes not counted: {}", delta.bytes);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let a = AllocSnapshot {
+            allocs: 5,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 7,
+            bytes: 150,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocSnapshot {
+                allocs: 2,
+                bytes: 50
+            }
+        );
+        assert_eq!(a.since(b), AllocSnapshot::default());
+    }
+}

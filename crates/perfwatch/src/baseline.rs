@@ -1,0 +1,331 @@
+//! The schema-versioned `BENCH_pipeline.json` document: render, parse,
+//! and the environment fingerprint that qualifies every baseline.
+//!
+//! The document is hand-rendered (pretty-printed, stable key order) so
+//! diffs between committed baselines stay readable, and parsed back
+//! through the independent [`uwb_testkit`] JSON reader — the same
+//! parser the round-trip property tests drive, so writer and reader
+//! cannot share a bug.
+
+use std::fmt::Write as _;
+
+use uwb_testkit::{parse_json, Json};
+
+/// Version of the `BENCH_pipeline.json` layout. Bump when a field is
+/// renamed or its meaning changes; readers reject documents from the
+/// future with a clear error instead of misinterpreting them.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The machine/toolchain fingerprint stamped into every baseline, so a
+/// delta table can warn when the two sides are not comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// `rustc --version` of the compiler that built the suite binary.
+    pub rustc: String,
+    /// Available hardware parallelism on the measuring host.
+    pub nproc: usize,
+    /// Thread knob the campaign workloads ran with (0 = automatic).
+    pub threads: usize,
+}
+
+impl EnvFingerprint {
+    /// Captures the current process's environment. The rustc version
+    /// comes from the `rustc` on `PATH` (the workspace pins one
+    /// toolchain); "unknown" when unavailable.
+    #[must_use]
+    pub fn capture(threads: usize) -> Self {
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        EnvFingerprint {
+            rustc,
+            nproc: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            threads,
+        }
+    }
+}
+
+/// One measured workload row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Fixed workload name, e.g. `detect.search_subtract_fig7`.
+    pub name: String,
+    /// Pipeline layer the workload exercises (`dsp`, `detect`, …).
+    pub layer: String,
+    /// Timed iterations measured.
+    pub iters: u32,
+    /// Untimed warmup runs before measuring.
+    pub warmup: u32,
+    /// Median per-iteration wall-clock, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the samples, nanoseconds.
+    pub mad_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration wall-clock, nanoseconds.
+    pub mean_ns: f64,
+    /// What one unit of throughput counts (`points`, `trials`, …).
+    pub units: String,
+    /// Units processed per iteration.
+    pub units_per_iter: f64,
+    /// `units_per_iter / median` as a per-second rate.
+    pub throughput_per_s: f64,
+    /// Allocation calls in one bracketed iteration (only under the
+    /// `count-alloc` feature).
+    pub allocs_per_iter: Option<u64>,
+    /// Bytes allocated in one bracketed iteration (only under the
+    /// `count-alloc` feature).
+    pub alloc_bytes_per_iter: Option<u64>,
+}
+
+/// A complete benchmark document: schema, fingerprint, workload rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Layout version; see [`BENCH_SCHEMA_VERSION`].
+    pub schema: u64,
+    /// Suite identifier (`pipeline` for the fixed suite).
+    pub suite: String,
+    /// Measuring environment.
+    pub env: EnvFingerprint,
+    /// One row per workload, in suite order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+fn json_str(s: &str) -> String {
+    let mut buf = Vec::new();
+    uwb_obs::write_json_string(&mut buf, s).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("escaper emits UTF-8")
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchDoc {
+    /// Assembles a document from suite output.
+    #[must_use]
+    pub fn new(env: EnvFingerprint, workloads: Vec<WorkloadResult>) -> Self {
+        BenchDoc {
+            schema: BENCH_SCHEMA_VERSION,
+            suite: "pipeline".to_string(),
+            env,
+            workloads,
+        }
+    }
+
+    /// Renders the document as pretty-printed JSON with a stable key
+    /// order (ends with a newline, diff-friendly for committing).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"suite\": {},", json_str(&self.suite));
+        out.push_str("  \"env\": {\n");
+        let _ = writeln!(out, "    \"rustc\": {},", json_str(&self.env.rustc));
+        let _ = writeln!(out, "    \"nproc\": {},", self.env.nproc);
+        let _ = writeln!(out, "    \"threads\": {}", self.env.threads);
+        out.push_str("  },\n");
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&w.name));
+            let _ = writeln!(out, "      \"layer\": {},", json_str(&w.layer));
+            let _ = writeln!(out, "      \"iters\": {},", w.iters);
+            let _ = writeln!(out, "      \"warmup\": {},", w.warmup);
+            let _ = writeln!(out, "      \"median_ns\": {},", json_f64(w.median_ns));
+            let _ = writeln!(out, "      \"mad_ns\": {},", json_f64(w.mad_ns));
+            let _ = writeln!(out, "      \"min_ns\": {},", json_f64(w.min_ns));
+            let _ = writeln!(out, "      \"mean_ns\": {},", json_f64(w.mean_ns));
+            let _ = writeln!(out, "      \"units\": {},", json_str(&w.units));
+            let _ = writeln!(
+                out,
+                "      \"units_per_iter\": {},",
+                json_f64(w.units_per_iter)
+            );
+            let _ = write!(
+                out,
+                "      \"throughput_per_s\": {}",
+                json_f64(w.throughput_per_s)
+            );
+            if let Some(allocs) = w.allocs_per_iter {
+                let _ = write!(out, ",\n      \"allocs_per_iter\": {allocs}");
+            }
+            if let Some(bytes) = w.alloc_bytes_per_iter {
+                let _ = write!(out, ",\n      \"alloc_bytes_per_iter\": {bytes}");
+            }
+            out.push('\n');
+            out.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a rendered document, tolerating *older* schemas (missing
+    /// optional fields default) and rejecting *newer* ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: invalid
+    /// JSON, a missing required field, or a schema from the future.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let root = parse_json(input).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema = req_u64(&root, "schema")?;
+        if schema > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema {schema} is newer than this binary understands \
+                 (max {BENCH_SCHEMA_VERSION}); update the tools or regenerate the baseline"
+            ));
+        }
+        let suite = req_str(&root, "suite")?;
+        let env_node = root
+            .get("env")
+            .ok_or_else(|| "missing field: env".to_string())?;
+        let env = EnvFingerprint {
+            rustc: req_str(env_node, "rustc")?,
+            nproc: req_u64(env_node, "nproc")? as usize,
+            threads: req_u64(env_node, "threads")? as usize,
+        };
+        let rows = root
+            .get("workloads")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "missing field: workloads".to_string())?;
+        let mut workloads = Vec::with_capacity(rows.len());
+        for row in rows {
+            workloads.push(WorkloadResult {
+                name: req_str(row, "name")?,
+                layer: req_str(row, "layer")?,
+                iters: req_u64(row, "iters")? as u32,
+                warmup: req_u64(row, "warmup")? as u32,
+                median_ns: req_f64(row, "median_ns")?,
+                mad_ns: req_f64(row, "mad_ns")?,
+                min_ns: req_f64(row, "min_ns")?,
+                mean_ns: req_f64(row, "mean_ns")?,
+                units: req_str(row, "units")?,
+                units_per_iter: req_f64(row, "units_per_iter")?,
+                throughput_per_s: req_f64(row, "throughput_per_s")?,
+                allocs_per_iter: row.get("allocs_per_iter").and_then(Json::as_u64),
+                alloc_bytes_per_iter: row.get("alloc_bytes_per_iter").and_then(Json::as_u64),
+            });
+        }
+        Ok(BenchDoc {
+            schema,
+            suite,
+            env,
+            workloads,
+        })
+    }
+}
+
+fn req_u64(node: &Json, key: &str) -> Result<u64, String> {
+    node.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field: {key}"))
+}
+
+fn req_f64(node: &Json, key: &str) -> Result<f64, String> {
+    node.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field: {key}"))
+}
+
+fn req_str(node: &Json, key: &str) -> Result<String, String> {
+    node.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field: {key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> BenchDoc {
+        BenchDoc::new(
+            EnvFingerprint {
+                rustc: "rustc 1.95.0 (test)".to_string(),
+                nproc: 4,
+                threads: 0,
+            },
+            vec![
+                WorkloadResult {
+                    name: "dsp.fft_radix2_1024".to_string(),
+                    layer: "dsp".to_string(),
+                    iters: 300,
+                    warmup: 10,
+                    median_ns: 12345.0,
+                    mad_ns: 250.5,
+                    min_ns: 11800.0,
+                    mean_ns: 12500.25,
+                    units: "points".to_string(),
+                    units_per_iter: 1024.0,
+                    throughput_per_s: 82_900_000.0,
+                    allocs_per_iter: None,
+                    alloc_bytes_per_iter: None,
+                },
+                WorkloadResult {
+                    name: "campaign.fig7_t1".to_string(),
+                    layer: "campaign".to_string(),
+                    iters: 4,
+                    warmup: 1,
+                    median_ns: 9.5e8,
+                    mad_ns: 1.0e6,
+                    min_ns: 9.4e8,
+                    mean_ns: 9.6e8,
+                    units: "trials".to_string(),
+                    units_per_iter: 200.0,
+                    throughput_per_s: 210.5,
+                    allocs_per_iter: Some(42),
+                    alloc_bytes_per_iter: Some(65536),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let doc = sample_doc();
+        let parsed = BenchDoc::parse(&doc.render()).expect("round trip");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn future_schema_is_rejected_with_a_clear_error() {
+        let text = sample_doc()
+            .render()
+            .replace("\"schema\": 1,", "\"schema\": 99,");
+        let err = BenchDoc::parse(&text).expect_err("future schema must not parse");
+        assert!(err.contains("schema 99"), "unhelpful error: {err}");
+        assert!(err.contains("newer"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn missing_required_field_names_the_field() {
+        let text = sample_doc()
+            .render()
+            .replace("\"median_ns\"", "\"typo_ns\"");
+        let err = BenchDoc::parse(&text).expect_err("missing field must not parse");
+        assert!(err.contains("median_ns"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn fingerprint_capture_reports_this_machine() {
+        let env = EnvFingerprint::capture(3);
+        assert!(env.nproc >= 1);
+        assert_eq!(env.threads, 3);
+        assert!(!env.rustc.is_empty());
+    }
+}

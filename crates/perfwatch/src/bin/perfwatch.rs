@@ -1,0 +1,236 @@
+//! The performance observatory CLI.
+//!
+//! Runs the fixed cross-layer workload suite, writes the
+//! schema-versioned `BENCH_pipeline.json`, and — given a prior baseline
+//! — prints the delta table and gates on regressions under `--check`.
+//!
+//! ```text
+//! perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTR]
+//!           [--out PATH] [--baseline PATH] [--check] [--noise-pct X]
+//!           [--list] [--validate PATH] [--trace-out[=PATH]]
+//! ```
+//!
+//! `--validate PATH` runs no workloads: it parses `PATH` as a bench
+//! document and checks every full-suite workload is present — the CI
+//! smoke gate for both the fresh smoke run and the committed baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use repro_bench::ExpHarness;
+use uwb_perfwatch::suite::spin_ns_from_env;
+use uwb_perfwatch::{compare, run_suite, workload_names, BenchDoc, EnvFingerprint, SuiteConfig};
+
+const USAGE: &str = "usage: perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTR] \
+                     [--out PATH] [--baseline PATH] [--check] [--noise-pct X] [--list] \
+                     [--validate PATH] [--trace-out[=PATH]]";
+
+struct Cli {
+    config: SuiteConfig,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    check: bool,
+    noise_pct: f64,
+    list: bool,
+    validate: Option<PathBuf>,
+}
+
+fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        config: SuiteConfig {
+            threads: harness_threads,
+            spin_ns: spin_ns_from_env(),
+            ..SuiteConfig::default()
+        },
+        out: PathBuf::from("BENCH_pipeline.json"),
+        baseline: None,
+        check: false,
+        noise_pct: 15.0,
+        list: false,
+        validate: None,
+    };
+    let mut args = leftover.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value_of = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--iters" => {
+                cli.config.iters = Some(
+                    value_of("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                );
+            }
+            "--warmup" => {
+                cli.config.warmup = Some(
+                    value_of("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?,
+                );
+            }
+            "--filter" => cli.config.filter = Some(value_of("--filter")?),
+            "--out" => cli.out = PathBuf::from(value_of("--out")?),
+            "--baseline" => cli.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+            "--check" => cli.check = true,
+            "--noise-pct" => {
+                cli.noise_pct = value_of("--noise-pct")?
+                    .parse()
+                    .map_err(|e| format!("--noise-pct: {e}"))?;
+            }
+            "--list" => cli.list = true,
+            "--validate" => cli.validate = Some(PathBuf::from(value_of("--validate")?)),
+            other => return Err(format!("unrecognised argument: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses `path` as a bench document and checks full-suite
+/// completeness; returns the suite workload count.
+fn validate(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read: {err}"))?;
+    let doc = BenchDoc::parse(&text)?;
+    let names = workload_names();
+    for name in &names {
+        if doc.workloads.iter().all(|w| w.name != *name) {
+            return Err(format!("suite workload {name} missing from the document"));
+        }
+    }
+    Ok(names.len())
+}
+
+fn main() -> ExitCode {
+    let (harness, leftover) = match ExpHarness::init_with("perfwatch", std::env::args().skip(1)) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cli = match parse_cli(harness.threads, leftover) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &cli.validate {
+        return match validate(path) {
+            Ok(count) => {
+                println!(
+                    "{}: valid bench document, all {count} suite workloads present",
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.list {
+        for name in workload_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Load the baseline *before* the (long) run so a malformed file
+    // fails fast. Default baseline: the previous contents of --out.
+    let baseline_path = cli
+        .baseline
+        .clone()
+        .or_else(|| cli.out.exists().then(|| cli.out.clone()));
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match BenchDoc::parse(&text) {
+                Ok(doc) => Some(doc),
+                Err(err) => {
+                    eprintln!("cannot parse baseline {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("cannot read baseline {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    if cli.config.spin_ns > 0 {
+        eprintln!(
+            "note: UWB_PERFWATCH_SPIN_NS={} — every timed iteration carries an artificial spin",
+            cli.config.spin_ns
+        );
+    }
+
+    let results = run_suite(&cli.config, |name| eprintln!("running {name} ..."));
+    let doc = BenchDoc::new(EnvFingerprint::capture(cli.config.threads), results);
+
+    println!("suite: {} ({} workloads)", doc.suite, doc.workloads.len());
+    println!(
+        "env: {} / nproc {} / threads {}",
+        doc.env.rustc, doc.env.nproc, doc.env.threads
+    );
+    for w in &doc.workloads {
+        let alloc = w
+            .allocs_per_iter
+            .map(|a| format!("  {a} allocs/iter"))
+            .unwrap_or_default();
+        println!(
+            "  {:<32} median {:>12.0} ns  mad {:>10.0} ns  {:>14.1} {}/s{}",
+            w.name, w.median_ns, w.mad_ns, w.throughput_per_s, w.units, alloc
+        );
+    }
+
+    if let Err(err) = std::fs::write(&cli.out, doc.render()) {
+        eprintln!("cannot write {}: {err}", cli.out.display());
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", cli.out.display());
+
+    let mut failed = false;
+    if let (Some(baseline), Some(path)) = (&baseline, &baseline_path) {
+        let comparison = compare(baseline, &doc, cli.noise_pct);
+        println!(
+            "\ndelta vs. baseline {} (noise band ±{}%):",
+            path.display(),
+            cli.noise_pct
+        );
+        print!("{}", comparison.render_table());
+        if comparison.has_regression() {
+            failed = true;
+            if cli.check {
+                eprintln!("FAIL: regression beyond the ±{}% noise band", cli.noise_pct);
+            } else {
+                eprintln!(
+                    "warning: regression beyond the noise band (informational without --check)"
+                );
+            }
+        } else {
+            println!(
+                "gate: ok — no workload regressed beyond ±{}%",
+                cli.noise_pct
+            );
+        }
+    } else if cli.check {
+        eprintln!(
+            "FAIL: --check requires a baseline (none found at {})",
+            cli.out.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    harness.finish();
+    if cli.check && failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline analyzer for `uwb-obs` JSONL traces.
+//!
+//! ```text
+//! uwb-trace summary  [TRACE]          per-stage counts + latency table
+//! uwb-trace outliers [TRACE]          anomalous trials with detector history
+//! uwb-trace cir      [TRACE] [--index N]   ASCII CIR snapshot rendering
+//! uwb-trace diff     TRACE_A TRACE_B  stage-by-stage comparison
+//! ```
+//!
+//! `TRACE` defaults to the newest `.jsonl` under the traces directory
+//! (`results/traces/`, relocated by `UWB_RESULTS_DIR`).
+
+use std::process::ExitCode;
+
+use uwb_perfwatch::{diff, load_trace, outliers, render_cir, resolve_trace_path, summary};
+
+const USAGE: &str = "usage: uwb-trace <summary|outliers|cir|diff> [TRACE...] [--index N]";
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let mut index = 0usize;
+    let mut paths: Vec<String> = Vec::new();
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--index" {
+            index = rest
+                .next()
+                .ok_or("--index requires a value")?
+                .parse()
+                .map_err(|e| format!("--index: {e}"))?;
+        } else if let Some(v) = arg.strip_prefix("--index=") {
+            index = v.parse().map_err(|e| format!("--index: {e}"))?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unrecognised argument: {arg}\n{USAGE}"));
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+
+    match command.as_str() {
+        "summary" | "outliers" | "cir" => {
+            if paths.len() > 1 {
+                return Err(format!("{command} takes at most one trace\n{USAGE}"));
+            }
+            let path = resolve_trace_path(paths.first().map(String::as_str))?;
+            let trace = load_trace(&path)?;
+            match command.as_str() {
+                "summary" => Ok(summary(&trace)),
+                "outliers" => Ok(outliers(&trace)),
+                _ => render_cir(&trace, index),
+            }
+        }
+        "diff" => {
+            if paths.len() != 2 {
+                return Err(format!("diff takes exactly two traces\n{USAGE}"));
+            }
+            let a = load_trace(std::path::Path::new(&paths[0]))?;
+            let b = load_trace(std::path::Path::new(&paths[1]))?;
+            Ok(diff(&a, &b))
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Baseline comparison and the regression gate.
+//!
+//! A workload *regresses* when its current **minimum** sample exceeds
+//! the baseline minimum by more than the noise band (percent, default
+//! ±15). The minimum is the gate statistic — on a shared machine,
+//! interference can only ever make iterations *slower*, so the fastest
+//! observed iteration is the most interference-robust estimate of the
+//! code's true cost (the median is still reported for context). The gate
+//! also fails when a baseline workload is missing from the current run
+//! — a silently-dropped workload must never make a regression
+//! invisible. New workloads (present now, absent from the baseline) are
+//! reported but do not fail the gate; they simply have no reference
+//! yet.
+
+use crate::baseline::BenchDoc;
+
+/// One workload's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Workload name.
+    pub name: String,
+    /// Baseline gate statistic (minimum sample), nanoseconds.
+    pub old_min_ns: f64,
+    /// Current gate statistic (`None`: missing from this run).
+    pub new_min_ns: Option<f64>,
+    /// Signed change in percent (`+` = slower). `None` when missing.
+    pub change_pct: Option<f64>,
+    /// True when the change exceeds the noise band on the slow side.
+    pub regressed: bool,
+}
+
+/// The full comparison: per-workload deltas plus gate bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// One row per baseline workload, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Workloads present now but absent from the baseline.
+    pub new_workloads: Vec<String>,
+    /// Noise band applied, percent.
+    pub noise_pct: f64,
+    /// True when the two documents' environment fingerprints differ
+    /// (numbers are then only loosely comparable).
+    pub env_mismatch: bool,
+}
+
+impl Comparison {
+    /// True when the regression gate should fail: any workload slower
+    /// than the noise band allows, or missing from the current run.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| d.regressed || d.new_min_ns.is_none())
+    }
+
+    /// Renders the delta table (aligned plain text, one row per
+    /// baseline workload, flagged rows marked).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<[String; 5]> = vec![[
+            "workload".to_string(),
+            "baseline(min)".to_string(),
+            "current(min)".to_string(),
+            "change".to_string(),
+            "verdict".to_string(),
+        ]];
+        for d in &self.deltas {
+            let (current, change, verdict) = match (d.new_min_ns, d.change_pct) {
+                (Some(new), Some(pct)) => (
+                    format_ns(new),
+                    format!("{pct:+.1}%"),
+                    if d.regressed {
+                        "REGRESSED".to_string()
+                    } else {
+                        "ok".to_string()
+                    },
+                ),
+                _ => ("-".to_string(), "-".to_string(), "MISSING".to_string()),
+            };
+            rows.push([
+                d.name.clone(),
+                format_ns(d.old_min_ns),
+                current,
+                change,
+                verdict,
+            ]);
+        }
+        for name in &self.new_workloads {
+            rows.push([
+                name.clone(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "new".to_string(),
+            ]);
+        }
+        let mut widths = [0usize; 5];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            let line = row
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ");
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        if self.env_mismatch {
+            out.push_str(
+                "note: environment fingerprints differ; numbers are only loosely comparable\n",
+            );
+        }
+        out
+    }
+}
+
+/// Human-scale duration: ns with unit scaling.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Compares `current` against `baseline` under a `noise_pct` band.
+#[must_use]
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, noise_pct: f64) -> Comparison {
+    let deltas = baseline
+        .workloads
+        .iter()
+        .map(|old| {
+            let new = current.workloads.iter().find(|w| w.name == old.name);
+            let new_min_ns = new.map(|w| w.min_ns);
+            let change_pct = new_min_ns
+                .filter(|_| old.min_ns > 0.0)
+                .map(|new_ns| (new_ns / old.min_ns - 1.0) * 100.0);
+            let regressed = change_pct.is_some_and(|pct| pct > noise_pct);
+            Delta {
+                name: old.name.clone(),
+                old_min_ns: old.min_ns,
+                new_min_ns,
+                change_pct,
+                regressed,
+            }
+        })
+        .collect();
+    let new_workloads = current
+        .workloads
+        .iter()
+        .filter(|w| baseline.workloads.iter().all(|old| old.name != w.name))
+        .map(|w| w.name.clone())
+        .collect();
+    Comparison {
+        deltas,
+        new_workloads,
+        noise_pct,
+        env_mismatch: baseline.env != current.env,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{EnvFingerprint, WorkloadResult};
+
+    fn row(name: &str, min_ns: f64) -> WorkloadResult {
+        WorkloadResult {
+            name: name.to_string(),
+            layer: "dsp".to_string(),
+            iters: 10,
+            warmup: 1,
+            median_ns: min_ns * 1.1,
+            mad_ns: 1.0,
+            min_ns,
+            mean_ns: min_ns * 1.12,
+            units: "points".to_string(),
+            units_per_iter: 1.0,
+            throughput_per_s: 1e9 / min_ns,
+            allocs_per_iter: None,
+            alloc_bytes_per_iter: None,
+        }
+    }
+
+    fn doc(rows: Vec<WorkloadResult>) -> BenchDoc {
+        BenchDoc::new(
+            EnvFingerprint {
+                rustc: "rustc 1.95.0 (test)".to_string(),
+                nproc: 1,
+                threads: 0,
+            },
+            rows,
+        )
+    }
+
+    #[test]
+    fn within_noise_band_passes() {
+        let baseline = doc(vec![row("a", 1000.0), row("b", 2000.0)]);
+        let current = doc(vec![row("a", 1100.0), row("b", 1800.0)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(!cmp.has_regression(), "{:?}", cmp.deltas);
+        assert!((cmp.deltas[0].change_pct.unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beyond_noise_band_regresses() {
+        let baseline = doc(vec![row("a", 1000.0)]);
+        let current = doc(vec![row("a", 1200.0)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].regressed);
+        assert!(cmp.render_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedup_beyond_band_is_not_a_regression() {
+        let baseline = doc(vec![row("a", 1000.0)]);
+        let current = doc(vec![row("a", 300.0)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(!cmp.has_regression());
+    }
+
+    #[test]
+    fn missing_workload_fails_the_gate() {
+        let baseline = doc(vec![row("a", 1000.0), row("b", 2000.0)]);
+        let current = doc(vec![row("a", 1000.0)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.render_table().contains("MISSING"));
+    }
+
+    #[test]
+    fn new_workload_is_reported_but_passes() {
+        let baseline = doc(vec![row("a", 1000.0)]);
+        let current = doc(vec![row("a", 1000.0), row("c", 500.0)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(!cmp.has_regression());
+        assert_eq!(cmp.new_workloads, vec!["c".to_string()]);
+        assert!(cmp.render_table().contains("new"));
+    }
+
+    #[test]
+    fn env_mismatch_is_flagged_in_the_table() {
+        let baseline = doc(vec![row("a", 1000.0)]);
+        let mut current = doc(vec![row("a", 1000.0)]);
+        current.env.nproc = 64;
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.env_mismatch);
+        assert!(cmp.render_table().contains("fingerprints differ"));
+    }
+}

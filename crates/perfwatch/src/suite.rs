@@ -1,0 +1,480 @@
+//! The fixed, named workload suite.
+//!
+//! Every workload exercises one stage of the pipeline the paper's
+//! numbers flow through — DSP kernels, the search-and-subtract
+//! detector, pulse-shape classification, RPM slot decoding, the
+//! Monte-Carlo campaign engine, and the netsim TWR dispatch path. The
+//! set is *fixed* so `BENCH_pipeline.json` files from different
+//! commits compare workload-by-workload.
+//!
+//! Measurement protocol per workload: `warmup` untimed runs, one
+//! allocation-bracketed run (populated only under the `count-alloc`
+//! feature), then `iters` timed runs. The reported statistics are
+//! robust — median and MAD over the per-iteration wall-clock samples,
+//! plus the minimum — so a single scheduler hiccup cannot move the
+//! headline number.
+
+use rand::rngs::StdRng;
+
+use crate::alloc_count;
+use crate::baseline::WorkloadResult;
+use concurrent_ranging::detection::{template_bank, SearchSubtractConfig, SearchSubtractDetector};
+use concurrent_ranging::SlotPlan;
+use uwb_dsp::{BluesteinPlan, Complex64, FftPlan, MatchedFilter};
+use uwb_obs::{measure_ns, median, median_abs_deviation, per_second, Stopwatch};
+use uwb_radio::{Channel, Cir, PulseShape, RadioConfig, TcPgDelay, CIR_SAMPLE_PERIOD_S};
+
+/// Deterministic seed shared by every synthetic workload input.
+const SUITE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Trials per iteration of the campaign workloads.
+const CAMPAIGN_TRIALS: usize = 200;
+
+/// Suite knobs, typically parsed from the `perfwatch` CLI.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteConfig {
+    /// Override the per-workload timed iteration count.
+    pub iters: Option<u32>,
+    /// Override the per-workload warmup count.
+    pub warmup: Option<u32>,
+    /// Worker threads for the `campaign.fig7_tN` workload
+    /// (0 = available parallelism).
+    pub threads: usize,
+    /// Busy-spin (ns) injected *inside* every timed region — the
+    /// regression-gate test hook, parsed from `UWB_PERFWATCH_SPIN_NS`.
+    pub spin_ns: u64,
+    /// Only run workloads whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl SuiteConfig {
+    /// Reads the environment hooks (`UWB_PERFWATCH_SPIN_NS`) into an
+    /// otherwise-default configuration.
+    #[must_use]
+    pub fn from_env() -> Self {
+        SuiteConfig {
+            spin_ns: spin_ns_from_env(),
+            ..SuiteConfig::default()
+        }
+    }
+}
+
+/// Parses `UWB_PERFWATCH_SPIN_NS` (unset, empty, or unparsable → 0).
+#[must_use]
+pub fn spin_ns_from_env() -> u64 {
+    std::env::var("UWB_PERFWATCH_SPIN_NS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// One named workload: a closure plus the metadata that labels its row.
+struct Workload {
+    name: &'static str,
+    layer: &'static str,
+    units: &'static str,
+    units_per_iter: f64,
+    default_iters: u32,
+    default_warmup: u32,
+    run: Box<dyn FnMut()>,
+}
+
+/// Burns wall-clock time without allocating; the hook every gating test
+/// uses to manufacture a regression.
+fn spin(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let watch = Stopwatch::start();
+    while watch.elapsed_ns() < ns {
+        std::hint::spin_loop();
+    }
+}
+
+fn suite_rng() -> StdRng {
+    repro_bench::rng(SUITE_SEED)
+}
+
+/// A single-response CIR: one responder 4 m out at a healthy SNR.
+fn single_response_cir() -> Cir {
+    let shape = PulseShape::from_config(&RadioConfig::default());
+    repro_bench::synthesize_responses(&[(40.0, 1.0, shape)], 25.0, &mut suite_rng())
+}
+
+/// The Fig. 7 stress case: two responses overlapping within one pulse
+/// main lobe (sub-nanosecond separation, unequal amplitudes).
+fn fig7_overlap_cir() -> Cir {
+    let shape = PulseShape::from_config(&RadioConfig::default());
+    repro_bench::synthesize_responses(
+        &[(40.0, 1.0, shape), (40.9, 0.8, shape)],
+        25.0,
+        &mut suite_rng(),
+    )
+}
+
+fn default_detector() -> SearchSubtractDetector {
+    SearchSubtractDetector::from_registers(
+        &[TcPgDelay::DEFAULT],
+        Channel::Ch7,
+        SearchSubtractConfig::default(),
+    )
+    .expect("default detector construction")
+}
+
+fn fig7_window_ns() -> f64 {
+    PulseShape::from_config(&RadioConfig::default()).main_lobe_s() * 1e9
+}
+
+/// The ordered workload set for a given `campaign.fig7_tN` thread count.
+fn build_workloads(threads: usize) -> Vec<Workload> {
+    let mut workloads = Vec::new();
+
+    for (name, size, iters) in [
+        ("dsp.fft_radix2_1024", 1024usize, 300u32),
+        ("dsp.fft_radix2_4096", 4096, 120),
+    ] {
+        let plan = FftPlan::new(size).expect("power-of-two FFT plan");
+        let mut buf: Vec<Complex64> = (0..size)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        workloads.push(Workload {
+            name,
+            layer: "dsp",
+            units: "points",
+            units_per_iter: size as f64,
+            default_iters: iters,
+            default_warmup: 10,
+            run: Box::new(move || {
+                // Forward + inverse keeps the buffer bounded across
+                // thousands of iterations.
+                plan.forward(&mut buf);
+                plan.inverse(&mut buf);
+                std::hint::black_box(&buf);
+            }),
+        });
+    }
+
+    {
+        // 1016 is the DW1000 accumulator length — the exact size the
+        // Bluestein path exists for.
+        let plan = BluesteinPlan::new(1016).expect("Bluestein plan");
+        let mut buf: Vec<Complex64> = (0..1016)
+            .map(|i| Complex64::new((i as f64 * 0.29).cos(), (i as f64 * 0.53).sin()))
+            .collect();
+        workloads.push(Workload {
+            name: "dsp.bluestein_1016",
+            layer: "dsp",
+            units: "points",
+            units_per_iter: 1016.0,
+            default_iters: 120,
+            default_warmup: 10,
+            run: Box::new(move || {
+                plan.forward(&mut buf);
+                plan.inverse(&mut buf);
+                std::hint::black_box(&buf);
+            }),
+        });
+    }
+
+    {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let sampled = pulse.sample(CIR_SAMPLE_PERIOD_S);
+        let filter = MatchedFilter::from_real(&sampled.samples).expect("pulse template");
+        let signal: Vec<Complex64> = single_response_cir().taps().to_vec();
+        workloads.push(Workload {
+            name: "dsp.matched_filter_1016",
+            layer: "dsp",
+            units: "taps",
+            units_per_iter: signal.len() as f64,
+            default_iters: 200,
+            default_warmup: 10,
+            run: Box::new(move || {
+                let scores = filter
+                    .apply_normalized(&signal)
+                    .expect("matched filter on CIR-length signal");
+                std::hint::black_box(scores);
+            }),
+        });
+    }
+
+    {
+        let detector = default_detector();
+        let cir = single_response_cir();
+        workloads.push(Workload {
+            name: "detect.search_subtract_single",
+            layer: "detect",
+            units: "trials",
+            units_per_iter: 1.0,
+            default_iters: 60,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let outcome = detector.detect(&cir, 1).expect("detection");
+                std::hint::black_box(outcome);
+            }),
+        });
+    }
+
+    {
+        let detector = default_detector();
+        let cir = fig7_overlap_cir();
+        workloads.push(Workload {
+            name: "detect.search_subtract_fig7",
+            layer: "detect",
+            units: "trials",
+            units_per_iter: 1.0,
+            default_iters: 60,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let outcome = detector.detect(&cir, 2).expect("detection");
+                std::hint::black_box(outcome);
+            }),
+        });
+    }
+
+    {
+        // Pulse-shape identification: score the Fig. 5 register bank
+        // against a CIR rendered with the third register's shape.
+        let bank = template_bank(
+            &TcPgDelay::paper_figure5(),
+            Channel::Ch7,
+            CIR_SAMPLE_PERIOD_S,
+        );
+        let shape = PulseShape::from_register(TcPgDelay::paper_figure5()[2], Channel::Ch7);
+        let cir = repro_bench::synthesize_responses(&[(40.0, 1.0, shape)], 25.0, &mut suite_rng());
+        let signal: Vec<Complex64> = cir.taps().to_vec();
+        let tau_s = 40.0e-9;
+        workloads.push(Workload {
+            name: "detect.pulse_classify",
+            layer: "detect",
+            units: "classifications",
+            units_per_iter: 1.0,
+            default_iters: 300,
+            default_warmup: 10,
+            run: Box::new(move || {
+                let best = bank
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (i, t.score_at(&signal, tau_s)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(i, _)| i);
+                std::hint::black_box(best);
+            }),
+        });
+    }
+
+    {
+        let plan = SlotPlan::new(16).expect("16-slot plan");
+        let spacing = uwb_radio::TX_GRANULARITY_SECONDS;
+        workloads.push(Workload {
+            name: "rpm.decode",
+            layer: "core",
+            units: "decodes",
+            units_per_iter: 1024.0,
+            default_iters: 200,
+            default_warmup: 10,
+            run: Box::new(move || {
+                let mut decoded = 0usize;
+                for k in 0..1024u32 {
+                    let offset = f64::from(k % 16) * spacing * 0.5;
+                    decoded += usize::from(plan.decode_slot(offset, 3, 4.0).is_some());
+                }
+                std::hint::black_box(decoded);
+            }),
+        });
+    }
+
+    for (name, campaign_threads, iters) in [
+        ("campaign.fig7_t1", 1usize, 4u32),
+        ("campaign.fig7_tN", threads, 4),
+    ] {
+        let window_ns = fig7_window_ns();
+        workloads.push(Workload {
+            name,
+            layer: "campaign",
+            units: "trials",
+            units_per_iter: CAMPAIGN_TRIALS as f64,
+            default_iters: iters,
+            default_warmup: 1,
+            run: Box::new(move || {
+                let report = repro_bench::experiments::fig7::campaign(
+                    CAMPAIGN_TRIALS,
+                    SUITE_SEED,
+                    window_ns,
+                    0.75,
+                    campaign_threads,
+                );
+                std::hint::black_box(report.collector);
+            }),
+        });
+    }
+
+    {
+        // Enough rounds per iteration that scheduler jitter on this
+        // microseconds-scale path averages out inside one sample.
+        workloads.push(Workload {
+            name: "netsim.twr_round",
+            layer: "netsim",
+            units: "rounds",
+            units_per_iter: 50.0,
+            default_iters: 40,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let distances = repro_bench::run_twr_rounds(
+                    4.0,
+                    50,
+                    TcPgDelay::DEFAULT,
+                    uwb_channel::ChannelModel::free_space(),
+                    SUITE_SEED,
+                );
+                std::hint::black_box(distances);
+            }),
+        });
+    }
+
+    workloads
+}
+
+/// The fixed workload names, in suite order, for the given thread knob.
+/// The CI smoke gate asserts every one of these appears in the emitted
+/// JSON.
+#[must_use]
+pub fn workload_names() -> Vec<&'static str> {
+    build_workloads(1).iter().map(|w| w.name).collect()
+}
+
+/// Runs one workload under the measurement protocol.
+fn measure(workload: &mut Workload, config: &SuiteConfig) -> WorkloadResult {
+    let iters = config.iters.unwrap_or(workload.default_iters).max(1);
+    let warmup = config.warmup.unwrap_or(workload.default_warmup);
+
+    for _ in 0..warmup {
+        (workload.run)();
+    }
+
+    // One allocation-bracketed, untimed run. `None` unless the crate
+    // was built with `count-alloc`.
+    let alloc_before = alloc_count::snapshot();
+    (workload.run)();
+    let alloc_delta = alloc_count::snapshot()
+        .zip(alloc_before)
+        .map(|(after, before)| after.since(before));
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let ((), ns) = measure_ns(|| {
+            // The spin hook runs *inside* the timed region so a nonzero
+            // `UWB_PERFWATCH_SPIN_NS` registers as a real regression.
+            spin(config.spin_ns);
+            (workload.run)();
+        });
+        samples_ns.push(ns as f64);
+    }
+
+    let median_ns = median(&samples_ns).unwrap_or(0.0);
+    let mad_ns = median_abs_deviation(&samples_ns).unwrap_or(0.0);
+    let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    WorkloadResult {
+        name: workload.name.to_string(),
+        layer: workload.layer.to_string(),
+        iters,
+        warmup,
+        median_ns,
+        mad_ns,
+        min_ns,
+        mean_ns,
+        units: workload.units.to_string(),
+        units_per_iter: workload.units_per_iter,
+        throughput_per_s: per_second(workload.units_per_iter, median_ns.round() as u64),
+        allocs_per_iter: alloc_delta.map(|d| d.allocs),
+        alloc_bytes_per_iter: alloc_delta.map(|d| d.bytes),
+    }
+}
+
+/// Runs the (optionally filtered) suite and returns one result row per
+/// workload, in fixed suite order. `progress` receives each workload
+/// name just before it runs (the CLI prints it; tests pass a no-op).
+pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> Vec<WorkloadResult> {
+    build_workloads(config.threads)
+        .iter_mut()
+        .filter(|w| {
+            config
+                .filter
+                .as_deref()
+                .is_none_or(|needle| w.name.contains(needle))
+        })
+        .map(|w| {
+            progress(w.name);
+            measure(w, config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_are_fixed_and_cover_the_pipeline() {
+        let names = workload_names();
+        assert!(names.len() >= 8, "suite shrank: {names:?}");
+        for prefix in ["dsp.", "detect.", "rpm.", "campaign.", "netsim."] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no workload for layer {prefix}"
+            );
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate workload names");
+    }
+
+    #[test]
+    fn spin_hook_burns_at_least_the_requested_time() {
+        let ((), ns) = measure_ns(|| spin(200_000));
+        assert!(ns >= 200_000, "spin undershot: {ns} ns");
+    }
+
+    #[test]
+    fn filtered_suite_runs_only_matching_workloads() {
+        let config = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("rpm.".to_string()),
+            ..SuiteConfig::default()
+        };
+        let mut seen = Vec::new();
+        let results = run_suite(&config, |name| seen.push(name.to_string()));
+        assert_eq!(seen, vec!["rpm.decode".to_string()]);
+        assert_eq!(results.len(), 1);
+        let row = &results[0];
+        assert_eq!(row.name, "rpm.decode");
+        assert_eq!(row.iters, 1);
+        assert!(row.median_ns > 0.0);
+        assert!(row.throughput_per_s > 0.0);
+        // Baselines are committed from default builds only.
+        assert_eq!(row.allocs_per_iter.is_some(), crate::alloc_count::enabled());
+    }
+
+    #[test]
+    fn spin_config_slows_a_cheap_workload_measurably() {
+        let fast = SuiteConfig {
+            iters: Some(3),
+            warmup: Some(0),
+            filter: Some("rpm.decode".to_string()),
+            ..SuiteConfig::default()
+        };
+        let slow = SuiteConfig {
+            spin_ns: 2_000_000,
+            ..fast.clone()
+        };
+        let fast_ns = run_suite(&fast, |_| {})[0].median_ns;
+        let slow_ns = run_suite(&slow, |_| {})[0].median_ns;
+        assert!(
+            slow_ns >= fast_ns + 1_500_000.0,
+            "spin hook did not register: fast {fast_ns} ns, slow {slow_ns} ns"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the `uwb-trace` analyzer against a checked-in
+//! fixture: a real `exp_fig7_overlap --trace-out` run (60 trials,
+//! flight quota 2), so the parser sees genuine recorder output — the
+//! schema header, campaign chunk timing, detector iterations, and two
+//! flight-recorder CIR snapshots.
+
+use std::path::{Path, PathBuf};
+
+use uwb_perfwatch::{diff, load_trace, outliers, render_cir, resolve_trace_path, summary};
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/exp_fig7_overlap.jsonl")
+}
+
+#[test]
+fn fixture_loads_with_schema_header() {
+    let trace = load_trace(&fixture_path()).expect("fixture parses");
+    assert_eq!(trace.schema, Some(1), "fixture was written with the header");
+    assert!(trace.events.len() > 100, "unexpectedly small fixture");
+    assert!(
+        trace.events.iter().all(|e| e.stage != "trace.meta"),
+        "header must be stripped from the event list"
+    );
+    for stage in [
+        "channel.render",
+        "detect.iter",
+        "campaign.chunk",
+        "flight.cir",
+    ] {
+        assert!(
+            trace.events.iter().any(|e| e.stage == stage),
+            "fixture lost its {stage} events"
+        );
+    }
+}
+
+#[test]
+fn summary_reports_stages_trials_and_latencies() {
+    let trace = load_trace(&fixture_path()).expect("fixture parses");
+    let text = summary(&trace);
+    assert!(text.contains("events per stage:"), "{text}");
+    assert!(text.contains("detect.iter"), "{text}");
+    assert!(text.contains("campaign.chunk"), "{text}");
+    assert!(text.contains("trials observed:"), "{text}");
+    assert!(
+        text.contains("reconstructed per-stage latency"),
+        "latency table missing:\n{text}"
+    );
+}
+
+#[test]
+fn outliers_runs_and_reports_the_trial_population() {
+    let trace = load_trace(&fixture_path()).expect("fixture parses");
+    let text = outliers(&trace);
+    assert!(
+        text.contains("trials with detections"),
+        "population line missing:\n{text}"
+    );
+    // Either outcome is legitimate for the fixture; the report must say
+    // which one happened.
+    assert!(
+        text.contains("residual-energy z") || text.contains("no outliers beyond"),
+        "no verdict in:\n{text}"
+    );
+}
+
+#[test]
+fn cir_rendering_shows_waveform_and_markers() {
+    let trace = load_trace(&fixture_path()).expect("fixture parses");
+    let text = render_cir(&trace, 0).expect("fixture has snapshots");
+    assert!(text.contains("reason:"), "{text}");
+    assert!(text.contains("markers: T = truth delay"), "{text}");
+    // The sparkline row uses the block-element glyphs.
+    assert!(
+        text.chars().any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+        "no waveform glyphs in:\n{text}"
+    );
+    // Both snapshots are addressable; past the end is a clear error.
+    render_cir(&trace, 1).expect("second snapshot");
+    let err = render_cir(&trace, 99).expect_err("out of range");
+    assert!(err.contains("out of range"), "{err}");
+}
+
+#[test]
+fn diff_of_a_trace_with_itself_is_all_zero() {
+    let trace = load_trace(&fixture_path()).expect("fixture parses");
+    let text = diff(&trace, &trace);
+    assert!(text.contains("detect.iter"), "{text}");
+    for line in text.lines().skip(3) {
+        if line.trim().is_empty() || line.starts_with("stage") {
+            continue;
+        }
+        assert!(
+            line.contains("+0"),
+            "nonzero delta in self-diff line: {line}"
+        );
+    }
+}
+
+#[test]
+fn resolve_trace_path_honours_uwb_results_dir() {
+    let root = std::env::temp_dir().join(format!("perfwatch-resolve-{}", std::process::id()));
+    let traces = root.join("traces");
+    std::fs::create_dir_all(&traces).expect("mkdir");
+    let target = traces.join("only.jsonl");
+    std::fs::copy(fixture_path(), &target).expect("copy fixture");
+
+    std::env::set_var("UWB_RESULTS_DIR", &root);
+    let resolved = resolve_trace_path(None);
+    std::env::remove_var("UWB_RESULTS_DIR");
+    std::fs::remove_dir_all(&root).ok();
+
+    assert_eq!(resolved.expect("resolves"), target);
+}

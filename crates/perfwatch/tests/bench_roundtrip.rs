@@ -1,0 +1,124 @@
+//! Property test: `BENCH_pipeline.json` documents survive a round trip
+//! through the *independent* JSON reader in `uwb-testkit` — the same
+//! reader the campaign artifact properties use — so the hand-written
+//! renderer and the parser cannot share a bug.
+
+use proptest::prelude::*;
+
+use uwb_perfwatch::{BenchDoc, EnvFingerprint, WorkloadResult};
+use uwb_testkit::{parse_json, Json};
+
+/// Characters that stress the JSON escaper: quotes, backslashes,
+/// control characters, multi-byte UTF-8.
+const TRICKY_CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '.', '"', '\n', '\r', '\t', '\\', '/', 'é', 'λ', '\u{1}',
+];
+
+fn tricky_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..TRICKY_CHARS.len()).prop_map(|i| TRICKY_CHARS[i]),
+        0..16,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Finite, non-negative measurements (what the suite can produce),
+/// with the interesting fixed points mixed in.
+fn measurement() -> impl Strategy<Value = f64> {
+    ((0usize..5), (0.0f64..1.0e12)).prop_map(|(k, x)| match k {
+        0 => 0.0,
+        1 => 0.5,
+        2 => 1.0016e-9,
+        _ => x,
+    })
+}
+
+fn opt_u64() -> impl Strategy<Value = Option<u64>> {
+    (proptest::bool::ANY, (0i64..1_000_000_000))
+        .prop_map(|(present, v)| present.then_some(v.unsigned_abs()))
+}
+
+fn workload() -> impl Strategy<Value = WorkloadResult> {
+    (
+        (tricky_string(), tricky_string(), tricky_string()),
+        ((1i64..10_000), (0i64..100)),
+        (measurement(), measurement(), measurement(), measurement()),
+        (measurement(), measurement(), opt_u64(), opt_u64()),
+    )
+        .prop_map(|(strings, counts, times, rest)| {
+            let (name, layer, units) = strings;
+            let (iters, warmup) = counts;
+            let (median_ns, mad_ns, min_ns, mean_ns) = times;
+            let (units_per_iter, throughput_per_s, allocs_per_iter, alloc_bytes_per_iter) = rest;
+            WorkloadResult {
+                name,
+                layer,
+                iters: iters as u32,
+                warmup: warmup as u32,
+                median_ns,
+                mad_ns,
+                min_ns,
+                mean_ns,
+                units,
+                units_per_iter,
+                throughput_per_s,
+                allocs_per_iter,
+                alloc_bytes_per_iter,
+            }
+        })
+}
+
+fn bench_doc() -> impl Strategy<Value = BenchDoc> {
+    (
+        tricky_string(),
+        (1usize..256),
+        (0usize..256),
+        proptest::collection::vec(workload(), 0..6),
+    )
+        .prop_map(|(rustc, nproc, threads, workloads)| {
+            BenchDoc::new(
+                EnvFingerprint {
+                    rustc,
+                    nproc,
+                    threads,
+                },
+                workloads,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn bench_doc_round_trips_through_its_own_parser(doc in bench_doc()) {
+        let rendered = doc.render();
+        let parsed = BenchDoc::parse(&rendered).expect("rendered documents always parse");
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn rendered_doc_is_valid_json_field_by_field(doc in bench_doc()) {
+        let rendered = doc.render();
+        let root = parse_json(&rendered).expect("renderer emits valid JSON");
+
+        prop_assert_eq!(root.get("schema").and_then(Json::as_u64), Some(doc.schema));
+        prop_assert_eq!(root.get("suite").and_then(Json::as_str), Some(doc.suite.as_str()));
+        let env = root.get("env").expect("env object");
+        prop_assert_eq!(env.get("rustc").and_then(Json::as_str), Some(doc.env.rustc.as_str()));
+        prop_assert_eq!(env.get("nproc").and_then(Json::as_u64), Some(doc.env.nproc as u64));
+
+        let rows = root.get("workloads").and_then(Json::as_array).expect("workload array");
+        prop_assert_eq!(rows.len(), doc.workloads.len());
+        for (row, expected) in rows.iter().zip(&doc.workloads) {
+            prop_assert_eq!(
+                row.get("name").and_then(Json::as_str),
+                Some(expected.name.as_str())
+            );
+            let median = row.get("median_ns").and_then(Json::as_f64).expect("median");
+            prop_assert!((median - expected.median_ns).abs() <= expected.median_ns.abs() * 1e-12);
+            prop_assert_eq!(
+                row.get("allocs_per_iter").and_then(Json::as_u64),
+                expected.allocs_per_iter
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end regression-gate tests: a real (tiny) suite run compared
+//! against manufactured baselines, and the `UWB_PERFWATCH_SPIN_NS`
+//! hook registering as a genuine regression.
+
+use uwb_perfwatch::suite::spin_ns_from_env;
+use uwb_perfwatch::{compare, run_suite, BenchDoc, EnvFingerprint, SuiteConfig};
+
+/// A one-workload configuration fast enough for a test.
+fn tiny_config() -> SuiteConfig {
+    SuiteConfig {
+        iters: Some(3),
+        warmup: Some(0),
+        filter: Some("rpm.decode".to_string()),
+        ..SuiteConfig::default()
+    }
+}
+
+fn doc_from(config: &SuiteConfig) -> BenchDoc {
+    BenchDoc::new(
+        EnvFingerprint::capture(config.threads),
+        run_suite(config, |_| {}),
+    )
+}
+
+#[test]
+fn identical_runs_pass_a_generous_band() {
+    let baseline = doc_from(&tiny_config());
+    let current = doc_from(&tiny_config());
+    // rpm.decode is microseconds-scale; run-to-run jitter in a test
+    // container can be large, so gate with a wide band — the point is
+    // the wiring, not the variance of this machine.
+    let comparison = compare(&baseline, &current, 400.0);
+    assert!(
+        !comparison.has_regression(),
+        "identical tiny runs flagged: {}",
+        comparison.render_table()
+    );
+}
+
+#[test]
+fn spin_hook_fails_the_gate_against_an_honest_baseline() {
+    let baseline = doc_from(&tiny_config());
+    let spun = SuiteConfig {
+        // Several milliseconds against a microseconds-scale workload:
+        // far beyond any plausible noise band.
+        spin_ns: 5_000_000,
+        ..tiny_config()
+    };
+    let current = doc_from(&spun);
+    let comparison = compare(&baseline, &current, 400.0);
+    assert!(
+        comparison.has_regression(),
+        "spin went undetected: {}",
+        comparison.render_table()
+    );
+    assert!(comparison.render_table().contains("REGRESSED"));
+}
+
+#[test]
+fn scaled_baseline_arithmetic_matches_the_band() {
+    let current = doc_from(&tiny_config());
+
+    // Baseline twice as fast as reality → ~+100% change → regression.
+    // The gate statistic is the minimum sample.
+    let mut fast_baseline = current.clone();
+    for w in &mut fast_baseline.workloads {
+        w.min_ns /= 2.0;
+    }
+    assert!(compare(&fast_baseline, &current, 15.0).has_regression());
+
+    // Baseline slower than reality → an improvement → never a regression.
+    let mut slow_baseline = current.clone();
+    for w in &mut slow_baseline.workloads {
+        w.min_ns *= 2.0;
+    }
+    assert!(!compare(&slow_baseline, &current, 15.0).has_regression());
+}
+
+#[test]
+fn spin_env_hook_parses_like_the_binary_does() {
+    std::env::set_var("UWB_PERFWATCH_SPIN_NS", "12345");
+    let parsed = spin_ns_from_env();
+    std::env::set_var("UWB_PERFWATCH_SPIN_NS", "not-a-number");
+    let garbage = spin_ns_from_env();
+    std::env::remove_var("UWB_PERFWATCH_SPIN_NS");
+    let unset = spin_ns_from_env();
+
+    assert_eq!(parsed, 12345);
+    assert_eq!(garbage, 0, "unparsable values must disable the hook");
+    assert_eq!(unset, 0);
+}

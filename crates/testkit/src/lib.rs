@@ -1,0 +1,472 @@
+//! # uwb-testkit — independent readers for hand-written artifacts
+//!
+//! The workspace writes every artifact by hand (the build environment is
+//! offline, so no `serde`/`csv`): CSV tables from the campaign writers,
+//! JSONL traces from `uwb-obs`, and the `BENCH_*.json` baselines from
+//! `uwb-perfwatch`. This crate holds the *reader* side — a minimal JSON
+//! parser and an RFC-4180 CSV parser written independently of the
+//! production renderers — so that:
+//!
+//! * round-trip property tests (`crates/campaign/tests/properties.rs`,
+//!   `crates/perfwatch/tests/`) can close the loop against a parser that
+//!   shares no code with the writers, and
+//! * the `uwb-trace` analyzer can consume JSONL traces and bench
+//!   baselines with clear errors instead of panics.
+//!
+//! Numbers keep their raw token ([`Json::Num`]) so exact-text round-trip
+//! comparisons stay possible; [`Json::as_f64`] parses on demand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which parsing failed.
+    pub pos: usize,
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value. Numbers keep their raw token so comparisons
+/// against a writer's output can be exact (no re-serialisation
+/// tolerance).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order (duplicates preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (first occurrence). `None` for
+    /// non-objects and missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, for [`Json::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, for [`Json::Num`].
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, for [`Json::Num`] holding an integer
+    /// token.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, for [`Json::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, for [`Json::Arr`].
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, for [`Json::Obj`].
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// An array field's elements parsed as `f64`, with JSON `null`
+    /// (how the writers render non-finite floats) mapped to NaN.
+    #[must_use]
+    pub fn as_f64_list(&self) -> Option<Vec<f64>> {
+        let items = self.as_array()?;
+        items
+            .iter()
+            .map(|item| match item {
+                Json::Null => Some(f64::NAN),
+                other => other.as_f64(),
+            })
+            .collect()
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace input is an
+/// error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed byte.
+pub fn parse_json(input: &str) -> Result<Json, ParseError> {
+    let mut parser = JsonParser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("trailing input after JSON value"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn error(&self, msg: &str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Result<u8, ParseError> {
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.error("unexpected end of input"))
+    }
+
+    fn bump(&mut self) -> Result<u8, ParseError> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        let got = self.bump()?;
+        if got != want {
+            self.pos -= 1;
+            return Err(self.error(&format!(
+                "expected {:?}, got {:?}",
+                want as char, got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.input.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek()? {
+            b'n' => self.literal(b"null").map(|()| Json::Null),
+            b't' => self.literal(b"true").map(|()| Json::Bool(true)),
+            b'f' => self.literal(b"false").map(|()| Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(self.error(&format!("unexpected byte {:?}", b as char))),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), ParseError> {
+        for &b in lit {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && matches!(
+                self.input[self.pos],
+                b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
+            )
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        let tok = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(Json::Num(tok))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.parse()?));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Ok(Json::Obj(fields)),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = (self.bump()? as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.error("invalid \\u hex escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        // The writers only emit BMP escapes (control
+                        // chars); reject surrogates rather than pair them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                        out.push(c);
+                    }
+                    _ => {
+                        self.pos -= 1;
+                        return Err(self.error("unsupported string escape"));
+                    }
+                },
+                b => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let mut bytes = vec![b];
+                    for _ in 1..len {
+                        bytes.push(self.bump()?);
+                    }
+                    let s = std::str::from_utf8(&bytes)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+}
+
+/// Parses an RFC-4180 CSV document: quoted fields may contain commas,
+/// doubled quotes and newlines; rows are `\n`-terminated.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on an unterminated quoted field.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, ParseError> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ParseError {
+            pos: input.len(),
+            msg: "unterminated quoted field".to_string(),
+        });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(
+            parse_json("-1.5e3").unwrap(),
+            Json::Num("-1.5e3".to_string())
+        );
+        assert_eq!(
+            parse_json("[1,null,\"x\"]").unwrap(),
+            Json::Arr(vec![
+                Json::Num("1".to_string()),
+                Json::Null,
+                Json::Str("x".to_string()),
+            ])
+        );
+        let obj = parse_json("{\"a\": 1, \"b\": {\"c\": []}}").unwrap();
+        assert_eq!(obj.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            obj.get("b").and_then(|b| b.get("c")),
+            Some(&Json::Arr(vec![]))
+        );
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = parse_json(r#""a\n\t\"\\\u00e9\u0001""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\é\u{1}"));
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse_json("\"λé\"").unwrap().as_str(), Some("λé"));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_position() {
+        for (input, wants) in [
+            ("", "end of input"),
+            ("{\"a\":}", "unexpected byte"),
+            ("[1,", "end of input"),
+            ("1 2", "trailing input"),
+            ("\"abc", "end of input"),
+            ("nul", "end of input"),
+        ] {
+            let err = parse_json(input).unwrap_err();
+            assert!(err.msg.contains(wants), "{input:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn accessors_convert_numbers_and_lists() {
+        let v = parse_json("{\"xs\": [1.5, null, -2]}").unwrap();
+        let xs = v.get("xs").unwrap().as_f64_list().unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0], 1.5);
+        assert!(xs[1].is_nan());
+        assert_eq!(xs[2], -2.0);
+        assert_eq!(v.get("xs").unwrap().as_f64(), None);
+    }
+
+    #[test]
+    fn csv_handles_quoting() {
+        let rows = parse_csv("a,b\n\"x,\"\"y\"\"\n\",2\n").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["x,\"y\"\n".to_string(), "2".to_string()],
+            ]
+        );
+        assert!(parse_csv("\"open").is_err());
+    }
+}
