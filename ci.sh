@@ -19,6 +19,12 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace
 
+echo "==> exp_fault_sweep smoke (50 trials per loss rate)"
+# The resilience acceptance gate: every trial must terminate with at
+# least partial results at every swept loss rate — zero panics — and
+# the injected/recovered fault counters must appear in the obs summary.
+./target/release/exp_fault_sweep --trials 50
+
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still
 # runs end to end and emits a parseable, complete document. Full runs

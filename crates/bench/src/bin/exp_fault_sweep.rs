@@ -1,0 +1,85 @@
+//! Sweeps frame-loss probability and reports the pipeline's resilience:
+//! round success rate (full vs partial), watchdog retries, recoveries and
+//! total outages at each loss rate. Pass `--trials N` to set the trial
+//! count per point and `--threads N` to pick the worker count — the
+//! tallies are bit-identical for any thread count.
+
+use repro_bench::experiments::fault_sweep;
+use uwb_campaign::artifact::{results_dir, CsvWriter};
+
+fn usage() -> ! {
+    eprintln!("usage: exp_fault_sweep [--trials N] [--threads N] [--trace-out[=PATH]]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let (obs, leftover) =
+        match repro_bench::ExpHarness::init_with("exp_fault_sweep", std::env::args().skip(1)) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                eprintln!("{msg}");
+                usage();
+            }
+        };
+    let mut trials = repro_bench::trials_from_env(200) as u64;
+    let mut args = leftover.into_iter();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--trials" {
+            args.next().unwrap_or_else(|| usage())
+        } else if let Some(v) = arg.strip_prefix("--trials=") {
+            v.to_string()
+        } else {
+            usage();
+        };
+        trials = value.parse().unwrap_or_else(|_| usage());
+    }
+    // Counters (faults.injected.*, faults.recovered.*) belong in this
+    // experiment's summary even when no trace file was requested.
+    if !uwb_obs::enabled() {
+        uwb_obs::install_metrics_only();
+    }
+
+    let report = fault_sweep::run(trials, 37, obs.threads);
+    println!("{report}");
+
+    let path = results_dir().join("fault_sweep.csv");
+    let csv = CsvWriter::create(
+        &path,
+        &[
+            "loss",
+            "trials",
+            "outages",
+            "rounds",
+            "full_rounds",
+            "partial_rounds",
+            "failed_rounds",
+            "success_rate",
+            "retries",
+            "recovered_rounds",
+            "frames_lost",
+        ],
+    )
+    .and_then(|mut csv| {
+        for p in &report.points {
+            csv.write_row(&[
+                p.loss.into(),
+                p.tally.trials.into(),
+                p.outages.into(),
+                p.tally.rounds().into(),
+                p.tally.full_rounds.into(),
+                p.tally.partial_rounds.into(),
+                p.tally.failed_rounds.into(),
+                p.tally.success_rate().into(),
+                p.tally.retries.into(),
+                p.tally.recovered_rounds.into(),
+                p.tally.faults.frames_lost.into(),
+            ])?;
+        }
+        csv.finish()
+    });
+    match csv {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    obs.finish();
+}

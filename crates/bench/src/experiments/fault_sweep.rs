@@ -1,0 +1,302 @@
+//! exp_fault_sweep — resilience of the concurrent-ranging pipeline under
+//! injected faults: the success-rate-vs-frame-loss curve.
+//!
+//! Each trial runs a full multi-round deployment (one initiator, three
+//! responders on a 1-slot × 3-shape scheme) through a seeded
+//! [`uwb_netsim::FaultPlan`] at a given frame-loss probability, with the
+//! engine's bounded-retry watchdog enabled. The tally separates *full*
+//! rounds (every responder resolved), *partial* rounds (the graceful-
+//! degradation path: some responders missing but results delivered),
+//! failed rounds, and total-outage trials — plus the injector's exact
+//! fault counts, so the curve shows both what was thrown at the pipeline
+//! and what it saved.
+//!
+//! Determinism contract: the tally (including every fault count) is
+//! bit-identical for any `--threads` value.
+
+use crate::table::{fmt_f, Table};
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingError, RangingMessage,
+    RangingSession, SlotPlan,
+};
+use rand::Rng;
+use std::fmt;
+use uwb_campaign::{Campaign, Collect, FallibleCollect, TrialRng};
+use uwb_channel::ChannelModel;
+use uwb_netsim::{FaultPlan, FaultStats, NodeConfig, SimConfig, Simulator};
+
+/// The frame-loss probabilities swept by the experiment binary.
+pub const LOSS_RATES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Rounds attempted per trial.
+pub const ROUNDS_PER_TRIAL: u32 = 6;
+
+/// Watchdog re-broadcasts allowed per round.
+pub const RETRIES_PER_ROUND: u32 = 2;
+
+/// One trial's resilience outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTrial {
+    /// Rounds that completed with every responder resolved.
+    pub full_rounds: u64,
+    /// Rounds that completed with at least one responder missing.
+    pub partial_rounds: u64,
+    /// Rounds that failed outright (timeout after all retries).
+    pub failed_rounds: u64,
+    /// Watchdog re-broadcasts performed.
+    pub retries: u64,
+    /// Rounds that completed only thanks to a retry.
+    pub recovered_rounds: u64,
+    /// Session-level success rate (completed / total rounds).
+    pub success_rate: f64,
+    /// Exact injected-fault counts from the simulator.
+    pub faults: FaultStats,
+}
+
+/// Chunk-order-invariant tally of [`FaultTrial`] outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultTally {
+    /// Trials tallied (total outages excluded — see
+    /// [`FallibleCollect::failures`]).
+    pub trials: u64,
+    /// Sum of full rounds across trials.
+    pub full_rounds: u64,
+    /// Sum of partial rounds.
+    pub partial_rounds: u64,
+    /// Sum of failed rounds.
+    pub failed_rounds: u64,
+    /// Sum of retries.
+    pub retries: u64,
+    /// Sum of recovered rounds.
+    pub recovered_rounds: u64,
+    /// Merged injected-fault counts.
+    pub faults: FaultStats,
+}
+
+impl FaultTally {
+    /// Total rounds attempted across tallied trials.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.full_rounds + self.partial_rounds + self.failed_rounds
+    }
+
+    /// Fraction of rounds that completed (full or partial).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        let rounds = self.rounds();
+        if rounds == 0 {
+            return 1.0;
+        }
+        (self.full_rounds + self.partial_rounds) as f64 / rounds as f64
+    }
+}
+
+impl Collect<FaultTrial> for FaultTally {
+    fn record(&mut self, _trial_index: u64, t: FaultTrial) {
+        self.trials += 1;
+        self.full_rounds += t.full_rounds;
+        self.partial_rounds += t.partial_rounds;
+        self.failed_rounds += t.failed_rounds;
+        self.retries += t.retries;
+        self.recovered_rounds += t.recovered_rounds;
+        self.faults.merge(&t.faults);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.trials += other.trials;
+        self.full_rounds += other.full_rounds;
+        self.partial_rounds += other.partial_rounds;
+        self.failed_rounds += other.failed_rounds;
+        self.retries += other.retries;
+        self.recovered_rounds += other.recovered_rounds;
+        self.faults.merge(&other.faults);
+    }
+}
+
+/// One resilience trial at a given frame-loss probability.
+///
+/// Never panics: a trial whose every round failed is a *total outage*
+/// and returns `Err`, which the campaign's [`FallibleCollect`] counts
+/// instead of aborting.
+///
+/// # Errors
+///
+/// Returns [`RangingError::RoundTimeout`] on total outage and
+/// propagates (never-expected) scheme or fault-plan construction errors.
+pub fn trial(rng: &mut TrialRng, loss: f64) -> Result<FaultTrial, RangingError> {
+    let scheme = CombinedScheme::new(SlotPlan::new(1)?, 3)?;
+    let plan = FaultPlan::none()
+        .with_seed(rng.random::<u64>())
+        .with_frame_loss(loss)?;
+    let sim_seed = rng.random::<u64>();
+    let mut sim: Simulator<RangingMessage> = Simulator::new(
+        ChannelModel::free_space(),
+        SimConfig::default().with_faults(plan),
+        sim_seed,
+    );
+    let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+    let mut responders = Vec::new();
+    for (i, &(x, y)) in [(4.0, 0.0), (0.0, 7.0), (-9.0, 0.0)].iter().enumerate() {
+        let id = i as u32;
+        let register = scheme.assign(id)?.register;
+        responders.push((
+            sim.add_node(NodeConfig::at(x, y).with_pulse_shape(register)),
+            id,
+        ));
+    }
+    let config = ConcurrentConfig::new(scheme)
+        .with_rounds(ROUNDS_PER_TRIAL)
+        .with_retries(RETRIES_PER_ROUND);
+    let mut engine = ConcurrentEngine::new(initiator, responders, config, sim_seed)?;
+    sim.run(&mut engine, 1.0);
+
+    let mut session = RangingSession::new();
+    let mut full = 0u64;
+    let mut partial = 0u64;
+    for outcome in &engine.outcomes {
+        session.ingest(outcome);
+        if outcome.is_complete() {
+            full += 1;
+        } else {
+            partial += 1;
+        }
+    }
+    for (_, error) in &engine.failed_rounds {
+        session.ingest_failure(error);
+    }
+    debug_assert_eq!(session.rounds(), ROUNDS_PER_TRIAL as usize);
+    if session.completed() == 0 {
+        return Err(RangingError::RoundTimeout);
+    }
+    Ok(FaultTrial {
+        full_rounds: full,
+        partial_rounds: partial,
+        failed_rounds: engine.failed_rounds.len() as u64,
+        retries: engine.retries,
+        recovered_rounds: engine.recovered_rounds,
+        success_rate: session.success_rate(),
+        faults: *sim.fault_stats(),
+    })
+}
+
+/// One point of the sweep: the tally at a loss rate plus outage count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The injected frame-loss probability.
+    pub loss: f64,
+    /// The merged tally over non-outage trials.
+    pub tally: FaultTally,
+    /// Trials where every round failed.
+    pub outages: u64,
+}
+
+/// The full sweep report.
+#[derive(Debug, Clone)]
+pub struct FaultSweepReport {
+    /// One point per loss rate, in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// Trials attempted per point.
+    pub trials_per_point: u64,
+}
+
+/// Runs the campaign at one loss rate.
+pub fn campaign_at(
+    trials: u64,
+    seed: u64,
+    loss: f64,
+    threads: usize,
+) -> uwb_campaign::CampaignReport<FallibleCollect<FaultTally, RangingError>> {
+    Campaign::new(trials, seed).threads(threads).run(
+        move |_, rng| trial(rng, loss),
+        FallibleCollect::new(FaultTally::default()),
+    )
+}
+
+/// Runs the whole sweep across [`LOSS_RATES`].
+pub fn run(trials: u64, seed: u64, threads: usize) -> FaultSweepReport {
+    let points = LOSS_RATES
+        .iter()
+        .map(|&loss| {
+            // Decorrelate points: each loss rate gets its own seed stream.
+            let point_seed = seed.wrapping_add((loss * 1000.0) as u64);
+            let report = campaign_at(trials, point_seed, loss, threads);
+            SweepPoint {
+                loss,
+                outages: report.collector.failures(),
+                tally: *report.collector.inner(),
+            }
+        })
+        .collect();
+    FaultSweepReport {
+        points,
+        trials_per_point: trials,
+    }
+}
+
+impl fmt::Display for FaultSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault sweep — round success vs frame loss ({} trials × {} rounds per point, {} retries/round)",
+            self.trials_per_point, ROUNDS_PER_TRIAL, RETRIES_PER_ROUND
+        )?;
+        let mut t = Table::new(vec![
+            "loss [%]".into(),
+            "success [%]".into(),
+            "full [%]".into(),
+            "partial [%]".into(),
+            "failed".into(),
+            "retries".into(),
+            "recovered".into(),
+            "outages".into(),
+            "frames lost".into(),
+        ]);
+        for p in &self.points {
+            let rounds = p.tally.rounds().max(1) as f64;
+            t.push(vec![
+                fmt_f(p.loss * 100.0, 0),
+                fmt_f(p.tally.success_rate() * 100.0, 1),
+                fmt_f(p.tally.full_rounds as f64 / rounds * 100.0, 1),
+                fmt_f(p.tally.partial_rounds as f64 / rounds * 100.0, 1),
+                p.tally.failed_rounds.to_string(),
+                p.tally.retries.to_string(),
+                p.tally.recovered_rounds.to_string(),
+                p.outages.to_string(),
+                p.tally.faults.frames_lost.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_trials_succeed_fully() {
+        let mut rng = uwb_campaign::trial_rng(3, 0);
+        let t = trial(&mut rng, 0.0).expect("no faults, no outage");
+        assert_eq!(t.full_rounds, u64::from(ROUNDS_PER_TRIAL));
+        assert_eq!(t.failed_rounds, 0);
+        assert_eq!(t.faults.total(), 0);
+        assert_eq!(t.success_rate, 1.0);
+    }
+
+    #[test]
+    fn thirty_percent_loss_degrades_but_never_panics() {
+        // The acceptance scenario: all trials complete with (at least
+        // partial) results; injected and recovered faults are counted.
+        let report = campaign_at(10, 7, 0.3, 0);
+        let tally = report.collector.inner();
+        assert_eq!(
+            tally.trials + report.collector.failures(),
+            10,
+            "every trial must terminate"
+        );
+        assert!(tally.faults.frames_lost > 0, "faults were injected");
+        assert!(tally.rounds() > 0);
+        assert!(tally.success_rate() > 0.5, "retries keep most rounds alive");
+        assert!(tally.retries > 0, "the watchdog retried");
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod ablations;
 pub mod design_ablations;
+pub mod fault_sweep;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

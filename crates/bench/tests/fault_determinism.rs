@@ -1,0 +1,48 @@
+//! The fault plane must not erode the campaign engine's determinism
+//! guarantee: fault schedules are stateless hashes and the sweep tally is
+//! merged in chunk order, so the exact fault counts, success tallies and
+//! outage counts are bit-identical for any worker count.
+//!
+//! (Separate file from `determinism.rs` on purpose: that test owns the
+//! process-global obs recorder; this one must run recorder-free.)
+
+use repro_bench::experiments::fault_sweep;
+
+#[test]
+fn fault_sweep_tally_identical_at_1_2_4_8_threads() {
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let report = fault_sweep::campaign_at(24, 99, 0.3, threads);
+        let snapshot = (
+            *report.collector.inner(),
+            report.collector.failures(),
+            report
+                .collector
+                .first_error()
+                .map(|(index, e)| (*index, e.to_string())),
+        );
+        match &reference {
+            None => {
+                // Sanity: the point actually injected and recovered faults.
+                assert!(snapshot.0.faults.frames_lost > 0);
+                assert!(snapshot.0.retries > 0);
+                reference = Some(snapshot);
+            }
+            Some(expected) => assert_eq!(
+                &snapshot, expected,
+                "fault tally diverged at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn fault_schedule_is_a_pure_function_of_the_plan_seed() {
+    // Same plan seed → identical injected-fault counts, independent of
+    // when/where the simulation runs.
+    let run = || {
+        let report = fault_sweep::campaign_at(8, 5, 0.4, 0);
+        report.collector.inner().faults
+    };
+    assert_eq!(run(), run());
+}

@@ -126,6 +126,82 @@ impl Collect<Option<bool>> for VerdictTally {
     }
 }
 
+/// Wraps a collector of `O` so a campaign of fallible trials
+/// (`Result<O, E>`) can run without aborting: `Ok` outcomes flow into the
+/// inner collector, `Err` outcomes are counted (and their first
+/// occurrence kept for diagnostics). The resilient analogue of `?` at
+/// campaign scale — a fault-injected trial that fails becomes a
+/// statistic, not a crash.
+#[derive(Debug, Clone, Default)]
+pub struct FallibleCollect<C, E> {
+    inner: C,
+    failures: u64,
+    first_error: Option<(u64, E)>,
+}
+
+impl<C, E> FallibleCollect<C, E> {
+    /// Wraps an empty inner collector.
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        Self {
+            inner,
+            failures: 0,
+            first_error: None,
+        }
+    }
+
+    /// The inner collector (Ok outcomes only).
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner collector.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Number of failed trials.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// The earliest failure by trial index, if any.
+    #[must_use]
+    pub fn first_error(&self) -> Option<&(u64, E)> {
+        self.first_error.as_ref()
+    }
+}
+
+impl<O, E, C: Collect<O>> Collect<Result<O, E>> for FallibleCollect<C, E> {
+    fn record(&mut self, trial_index: u64, outcome: Result<O, E>) {
+        match outcome {
+            Ok(o) => self.inner.record(trial_index, o),
+            Err(e) => {
+                self.failures += 1;
+                if self.first_error.is_none() {
+                    self.first_error = Some((trial_index, e));
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.inner.merge(other.inner);
+        self.failures += other.failures;
+        // Chunk-ordered merging: keep the failure with the lowest index.
+        match (&self.first_error, other.first_error) {
+            (None, theirs) => self.first_error = theirs,
+            (Some((mine, _)), Some(theirs)) if theirs.0 < *mine => {
+                self.first_error = Some(theirs);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Retains every outcome in trial order — for per-trial artifact rows
 /// (CSV/JSONL) or exact post-hoc analysis. Memory grows with the trial
 /// count; prefer streaming accumulators for summary statistics.
@@ -199,6 +275,37 @@ mod tests {
         assert_eq!(t.positive(), 2);
         assert!((t.rate() - 2.0 / 3.0).abs() < 1e-15);
         assert_eq!(VerdictTally::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn fallible_collect_splits_ok_and_err() {
+        let mut c: FallibleCollect<ScalarStats, &str> = FallibleCollect::new(ScalarStats::new());
+        Collect::record(&mut c, 0, Ok(1.0));
+        Collect::record(&mut c, 1, Err("boom"));
+        Collect::record(&mut c, 2, Ok(3.0));
+        let mut other: FallibleCollect<ScalarStats, &str> =
+            FallibleCollect::new(ScalarStats::new());
+        Collect::record(&mut other, 3, Err("later"));
+        Collect::merge(&mut c, other);
+        assert_eq!(c.inner().count(), 2);
+        assert_eq!(c.failures(), 2);
+        assert_eq!(c.first_error(), Some(&(1, "boom")));
+    }
+
+    #[test]
+    fn fallible_collect_merge_keeps_earliest_error() {
+        // Error only in the FIRST chunk merged *into* an error-free one.
+        let mut a: FallibleCollect<Counter, u8> = FallibleCollect::new(Counter::new());
+        let mut b = FallibleCollect::new(Counter::new());
+        Collect::record(&mut b, 5, Err(9));
+        Collect::merge(&mut a, b);
+        assert_eq!(a.first_error(), Some(&(5, 9)));
+        // And an earlier error wins over a later one.
+        let mut c = FallibleCollect::new(Counter::new());
+        Collect::record(&mut c, 2, Err(1));
+        Collect::merge(&mut c, a);
+        assert_eq!(c.first_error(), Some(&(2, 1)));
+        assert_eq!(c.failures(), 2);
     }
 
     #[test]

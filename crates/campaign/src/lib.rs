@@ -49,7 +49,7 @@ pub mod stats;
 pub mod threads;
 
 pub use campaign::Campaign;
-pub use collect::{Collect, VecCollector, VerdictTally};
+pub use collect::{Collect, FallibleCollect, VecCollector, VerdictTally};
 pub use report::{CampaignReport, Progress};
 pub use seed::{derive_seed, trial_rng, TrialRng};
 pub use stats::{Counter, Histogram, ScalarStats};

@@ -140,7 +140,7 @@ impl CombinedScheme {
     /// Returns [`RangingError::IdBeyondCapacity`] when `id >= capacity`.
     pub fn response_offset_s(&self, id: u32) -> Result<f64, RangingError> {
         let a = self.assign(id)?;
-        Ok(self.plan.slot_delay_s(a.slot))
+        self.plan.slot_delay_s(a.slot)
     }
 
     /// Plans a scheme for a deployment: the *maximum* physically-safe slot

@@ -24,7 +24,7 @@ use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uwb_channel::{Arrival, CirSynthesizer};
-use uwb_netsim::{NodeApi, NodeId, Protocol, ReceivedFrame, Reception};
+use uwb_netsim::{FaultInjector, NodeApi, NodeId, Protocol, ReceivedFrame, Reception};
 use uwb_radio::{Cir, DeviceTime, Prf, CIR_SAMPLE_PERIOD_S, PAPER_RESPONSE_DELAY_S};
 
 /// Configuration of a concurrent ranging deployment.
@@ -74,6 +74,12 @@ pub struct ConcurrentConfig {
     /// window reaches ≈3.7 σ ≈ 3× the floor, so the default of 4 (≈5 σ)
     /// rejects noise with margin while keeping responses ≥13 dB over σ.
     pub mpc_noise_gate: f64,
+    /// How many times a timed-out round is re-broadcast before it is
+    /// recorded as failed (default 0: fail fast, the seed behaviour).
+    pub max_retries: u32,
+    /// Base backoff added to the INIT margin on the first retry; doubles
+    /// on each further attempt (bounded by `max_retries`).
+    pub retry_backoff_s: f64,
 }
 
 impl ConcurrentConfig {
@@ -92,6 +98,8 @@ impl ConcurrentConfig {
             mpc_guard_margin_db: 12.0,
             mpc_noise_gate: 4.0,
             quantize_tx: true,
+            max_retries: 0,
+            retry_backoff_s: 500e-6,
         }
     }
 
@@ -115,6 +123,21 @@ impl ConcurrentConfig {
         self.cir_snr_db = snr_db;
         self
     }
+
+    /// Allows each round up to `retries` re-broadcasts after a watchdog
+    /// timeout before it counts as failed.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the base retry backoff (doubles per attempt).
+    #[must_use]
+    pub fn with_retry_backoff_s(mut self, backoff_s: f64) -> Self {
+        self.retry_backoff_s = backoff_s;
+        self
+    }
 }
 
 /// One responder's estimate out of a concurrent round.
@@ -135,6 +158,26 @@ pub struct ResponderEstimate {
     pub amplitude: f64,
 }
 
+/// Whether a deployed responder was resolved in a given round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponderHealth {
+    /// The responder was identified and ranged this round.
+    Resolved,
+    /// The responder produced no identified estimate this round (lost
+    /// reply, undecoded slot, dropped by the guard…).
+    Missing,
+}
+
+/// Per-responder status of one round — the graceful-degradation view: a
+/// round with missing responders still completes with partial results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResponderStatus {
+    /// The deployed responder's ID.
+    pub id: u32,
+    /// Whether it was resolved this round.
+    pub health: ResponderHealth,
+}
+
 /// The result of one concurrent ranging round at the initiator.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {
@@ -152,12 +195,32 @@ pub struct RoundOutcome {
     pub fp_index: f64,
     /// Full detection output (responses + diagnostics).
     pub detection: DetectionOutcome,
+    /// Broadcast attempts this round took (1 = no retry was needed).
+    pub attempts: u32,
+    /// Status of every deployed responder, ordered by ID.
+    pub responder_status: Vec<ResponderStatus>,
 }
 
 impl RoundOutcome {
     /// The estimate decoded as responder `id`, if any.
     pub fn estimate_for(&self, id: u32) -> Option<&ResponderEstimate> {
         self.estimates.iter().find(|e| e.id == Some(id))
+    }
+
+    /// True when every deployed responder was resolved this round.
+    pub fn is_complete(&self) -> bool {
+        self.responder_status
+            .iter()
+            .all(|s| s.health == ResponderHealth::Resolved)
+    }
+
+    /// IDs of deployed responders that went missing this round.
+    pub fn missing_ids(&self) -> Vec<u32> {
+        self.responder_status
+            .iter()
+            .filter(|s| s.health == ResponderHealth::Missing)
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -179,10 +242,21 @@ pub struct ConcurrentEngine {
     rng: StdRng,
     current_round: u32,
     init_tx: Option<DeviceTime>,
+    /// Broadcast attempts made for the current round (0 = none yet).
+    attempts: u32,
+    /// Receiver-side fault injector, created lazily from the simulator's
+    /// fault plan ([`uwb_netsim::NodeApi::faults`]). Shares the plan seed
+    /// with the in-flight injector but draws from disjoint domains, so the
+    /// two never correlate.
+    cir_injector: Option<FaultInjector>,
     /// Completed round outcomes.
     pub outcomes: Vec<RoundOutcome>,
     /// Rounds that failed (no decodable payload / detection error).
     pub failed_rounds: Vec<(u32, RangingError)>,
+    /// Watchdog-triggered re-broadcasts performed across the run.
+    pub retries: u64,
+    /// Rounds that completed only thanks to a retry.
+    pub recovered_rounds: u64,
 }
 
 impl ConcurrentEngine {
@@ -216,8 +290,12 @@ impl ConcurrentEngine {
             rng: StdRng::seed_from_u64(seed),
             current_round: 0,
             init_tx: None,
+            attempts: 0,
+            cir_injector: None,
             outcomes: Vec::new(),
             failed_rounds: Vec::new(),
+            retries: 0,
+            recovered_rounds: 0,
         })
     }
 
@@ -247,9 +325,17 @@ impl ConcurrentEngine {
     }
 
     fn start_round(&mut self, api: &mut NodeApi<RangingMessage>) {
+        // Exponential backoff on re-broadcasts: 200 µs base margin, plus
+        // backoff · 2^(attempt−1) once the watchdog has fired.
+        let backoff = if self.attempts > 0 {
+            self.config.retry_backoff_s * f64::from(1u32 << (self.attempts - 1).min(16))
+        } else {
+            0.0
+        };
+        self.attempts += 1;
         let at = self.quantize(
             api.device_now()
-                .wrapping_add_seconds(200e-6)
+                .wrapping_add_seconds(200e-6 + backoff)
                 .expect("margin is positive"),
         );
         self.init_tx = Some(at);
@@ -269,7 +355,7 @@ impl ConcurrentEngine {
     }
 
     /// Builds the initiator's accumulator from every frame in the window.
-    fn build_cir(&mut self, reception: &Reception<RangingMessage>) -> (Cir, f64) {
+    fn build_cir(&mut self, reception: &Reception<RangingMessage>, round: u32) -> (Cir, f64) {
         // The receiver locks to the decoded frame's first path and places
         // it near `first_path_tap`; the sub-tap phase is unknown (the
         // "unknown time offset" of Sect. IV) but the DW1000 reports the
@@ -291,11 +377,22 @@ impl ConcurrentEngine {
                 arrivals.push(absolute);
             }
         }
-        let noise_sigma = strongest * 10f64.powf(-self.config.cir_snr_db / 20.0);
+        // Receiver-side faults: an SNR dip raises this round's noise floor…
+        let snr_db = self.config.cir_snr_db
+            - self
+                .cir_injector
+                .as_mut()
+                .map_or(0.0, |inj| inj.snr_dip_db(u64::from(round)));
+        let noise_sigma = strongest * 10f64.powf(-snr_db / 20.0);
         let synth = CirSynthesizer::new(self.synth_prf)
             .with_window_start(window_start)
             .with_noise_sigma(noise_sigma);
-        (synth.render(&arrivals, &mut self.rng), fp_index)
+        let mut cir = synth.render(&arrivals, &mut self.rng);
+        // …and accumulator read-out glitches replace taps with garbage.
+        if let Some(inj) = self.cir_injector.as_mut() {
+            uwb_channel::apply_tap_corruption(&mut cir, inj, u64::from(round));
+        }
+        (cir, fp_index)
     }
 
     fn process_round(
@@ -327,7 +424,7 @@ impl ConcurrentEngine {
         let anchor_slot = self.config.scheme.assign(anchor_id)?.slot;
 
         // Physics: synthesize what the accumulator holds.
-        let (cir, fp_index) = self.build_cir(reception);
+        let (cir, fp_index) = self.build_cir(reception, round);
 
         // Sect. IV: detect the N−1 strongest responses (plus extra
         // candidates when multipath rejection is on).
@@ -466,6 +563,29 @@ impl ConcurrentEngine {
             estimates = kept;
         }
 
+        // Graceful degradation: report every deployed responder's health
+        // rather than failing the round when some went missing.
+        let mut responder_status: Vec<ResponderStatus> = self
+            .responder_ids
+            .iter()
+            .map(|&(_, id)| ResponderStatus {
+                id,
+                health: if estimates.iter().any(|e| e.id == Some(id)) {
+                    ResponderHealth::Resolved
+                } else {
+                    ResponderHealth::Missing
+                },
+            })
+            .collect();
+        responder_status.sort_by_key(|s| s.id);
+        let missing = responder_status
+            .iter()
+            .filter(|s| s.health == ResponderHealth::Missing)
+            .count();
+        if missing > 0 && uwb_obs::enabled() {
+            uwb_obs::counter("faults.recovered.partial", 1);
+        }
+
         if uwb_obs::enabled() {
             let unidentified = estimates.iter().filter(|e| e.id.is_none()).count();
             uwb_obs::counter("concurrent.rounds", 1);
@@ -510,6 +630,8 @@ impl ConcurrentEngine {
             cir,
             fp_index,
             detection,
+            attempts: self.attempts.max(1),
+            responder_status,
         })
     }
 }
@@ -560,11 +682,25 @@ impl Protocol<RangingMessage> for ConcurrentEngine {
             RangingMessage::Resp { round, .. }
                 if node == self.initiator && round == self.current_round =>
             {
+                if self.cir_injector.is_none() && api.faults().is_active() {
+                    self.cir_injector = Some(FaultInjector::new(api.faults()));
+                }
                 let decoded = decoded.clone();
                 match self.process_round(reception, &decoded) {
-                    Ok(outcome) => self.outcomes.push(outcome),
+                    Ok(outcome) => {
+                        if self.attempts > 1 {
+                            // The round only completed because a watchdog
+                            // re-broadcast it.
+                            self.recovered_rounds += 1;
+                            if uwb_obs::enabled() {
+                                uwb_obs::counter("faults.recovered.retry", 1);
+                            }
+                        }
+                        self.outcomes.push(outcome);
+                    }
                     Err(e) => self.failed_rounds.push((round, e)),
                 }
+                self.attempts = 0;
                 self.current_round += 1;
                 if self.current_round < self.config.rounds {
                     api.set_timer(self.config.round_gap_s, u64::from(self.current_round));
@@ -581,9 +717,18 @@ impl Protocol<RangingMessage> for ConcurrentEngine {
         if token & WATCHDOG_BIT != 0 {
             let round = (token & u64::from(u32::MAX)) as u32;
             if round == self.current_round {
+                if self.attempts <= self.config.max_retries {
+                    // Bounded retry: re-broadcast the same round with an
+                    // exponentially backed-off margin instead of giving up.
+                    self.retries += 1;
+                    self.start_round(api);
+                    return;
+                }
                 // The round never completed (lost INIT/RESP or nothing
-                // decodable): record it and move on.
+                // decodable), even after every allowed retry: record it
+                // and move on.
                 self.failed_rounds.push((round, RangingError::RoundTimeout));
+                self.attempts = 0;
                 self.current_round += 1;
                 if self.current_round < self.config.rounds {
                     self.start_round(api);
@@ -855,10 +1000,7 @@ mod tests {
         // The watchdog must record every round as timed out instead of
         // silently stalling after round 0.
         let scheme = single_slot_scheme(1);
-        let sim_config = SimConfig {
-            min_decode_amplitude: 1.0,
-            ..SimConfig::default()
-        };
+        let sim_config = SimConfig::default().with_min_decode_amplitude(1.0);
         let mut sim: Simulator<RangingMessage> =
             Simulator::new(ChannelModel::free_space(), sim_config, 51);
         let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
@@ -872,6 +1014,135 @@ mod tests {
             .failed_rounds
             .iter()
             .all(|(_, e)| matches!(e, RangingError::RoundTimeout)));
+    }
+
+    #[test]
+    fn rounds_report_full_responder_status() {
+        let scheme = single_slot_scheme(3);
+        let (mut sim, mut engine) = setup(
+            &[(3.0, 0.0), (6.0, 0.0)],
+            scheme,
+            ChannelModel::free_space(),
+            42,
+        );
+        sim.run(&mut engine, 1.0);
+        let o = &engine.outcomes[0];
+        assert_eq!(o.attempts, 1);
+        assert!(o.is_complete(), "status {:?}", o.responder_status);
+        assert!(o.missing_ids().is_empty());
+        assert_eq!(o.responder_status.len(), 2);
+    }
+
+    #[test]
+    fn retries_recover_rounds_under_heavy_frame_loss() {
+        // 50% frame loss: a round needs BOTH its INIT and its RESP to
+        // survive, so each attempt succeeds with p = 0.25. Without retries
+        // most rounds fail; with 4 retries per round the watchdog
+        // re-broadcasts and cumulative success rises to ≈76%.
+        let run = |retries: u32| {
+            let scheme = single_slot_scheme(1);
+            let plan = uwb_netsim::FaultPlan::none()
+                .with_seed(5)
+                .with_frame_loss(0.5)
+                .unwrap();
+            let mut sim = Simulator::new(
+                ChannelModel::free_space(),
+                SimConfig::default().with_faults(plan),
+                77,
+            );
+            let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+            let r = sim.add_node(NodeConfig::at(5.0, 0.0));
+            let config = ConcurrentConfig::new(scheme)
+                .with_rounds(10)
+                .with_retries(retries);
+            let mut engine = ConcurrentEngine::new(initiator, vec![(r, 0)], config, 77).unwrap();
+            sim.run(&mut engine, 5.0);
+            assert_eq!(
+                engine.outcomes.len() + engine.failed_rounds.len(),
+                10,
+                "rounds must never stall: {:?}",
+                engine.failed_rounds
+            );
+            (
+                engine.outcomes.len(),
+                engine.retries,
+                engine.recovered_rounds,
+            )
+        };
+        let (ok_without, _, _) = run(0);
+        let (ok_with, retries, recovered) = run(4);
+        assert!(
+            ok_with > ok_without,
+            "retries did not help: {ok_with} vs {ok_without}"
+        );
+        assert!(retries > 0);
+        assert!(recovered > 0);
+        assert!(ok_with >= 6, "only {ok_with}/10 recovered");
+    }
+
+    #[test]
+    fn partial_rounds_flag_missing_responders() {
+        // Drop one responder's replies deterministically by seeding heavy
+        // loss; with 2 responders and many rounds, some rounds resolve
+        // only one — those must complete as partial, never fail or panic.
+        let scheme = single_slot_scheme(2);
+        let plan = uwb_netsim::FaultPlan::none()
+            .with_seed(11)
+            .with_frame_loss(0.4)
+            .unwrap();
+        let mut sim = Simulator::new(
+            ChannelModel::free_space(),
+            SimConfig::default().with_faults(plan),
+            91,
+        );
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r0 = sim.add_node(NodeConfig::at(4.0, 0.0));
+        let r1 = sim.add_node(
+            NodeConfig::at(0.0, 8.0).with_pulse_shape(scheme.assign(1).unwrap().register),
+        );
+        let config = ConcurrentConfig::new(scheme)
+            .with_rounds(12)
+            .with_retries(2);
+        let mut engine =
+            ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, 91).unwrap();
+        sim.run(&mut engine, 5.0);
+        assert_eq!(engine.outcomes.len() + engine.failed_rounds.len(), 12);
+        let partial: Vec<_> = engine
+            .outcomes
+            .iter()
+            .filter(|o| !o.is_complete())
+            .collect();
+        assert!(
+            !partial.is_empty(),
+            "expected at least one partial round at 40% loss"
+        );
+        for o in &partial {
+            assert!(!o.missing_ids().is_empty());
+            assert!(!o.estimates.is_empty(), "partial round still has results");
+        }
+    }
+
+    #[test]
+    fn snr_dip_and_tap_corruption_degrade_but_do_not_panic() {
+        let scheme = single_slot_scheme(1);
+        let plan = uwb_netsim::FaultPlan::none()
+            .with_seed(3)
+            .with_snr_dip(1.0, 25.0)
+            .unwrap()
+            .with_tap_corruption(0.1)
+            .unwrap();
+        let mut sim = Simulator::new(
+            ChannelModel::free_space(),
+            SimConfig::default().with_faults(plan),
+            13,
+        );
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let config = ConcurrentConfig::new(scheme).with_rounds(5);
+        let mut engine = ConcurrentEngine::new(initiator, vec![(r, 0)], config, 13).unwrap();
+        sim.run(&mut engine, 1.0);
+        // Every round terminates one way or the other.
+        assert_eq!(engine.outcomes.len() + engine.failed_rounds.len(), 5);
     }
 
     #[test]

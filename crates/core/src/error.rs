@@ -37,10 +37,27 @@ pub enum RangingError {
     },
     /// Invalid scheme parameters (zero slots or zero pulse shapes).
     InvalidSchemeParameters,
+    /// A slot index beyond the plan's slot count.
+    SlotOutOfRange {
+        /// The rejected slot index.
+        slot: usize,
+        /// Number of slots in the plan.
+        n_slots: usize,
+    },
+    /// A caller-supplied numeric parameter was rejected (non-finite, out
+    /// of range).
+    InvalidParameter {
+        /// The parameter's name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// An underlying DSP failure (should not occur with validated inputs).
     Dsp(uwb_dsp::DspError),
     /// An underlying radio-model failure.
     Radio(uwb_radio::RadioError),
+    /// An invalid fault-injection plan parameter.
+    Fault(uwb_faults::FaultError),
 }
 
 impl fmt::Display for RangingError {
@@ -67,8 +84,15 @@ impl fmt::Display for RangingError {
             Self::InvalidSchemeParameters => {
                 write!(f, "scheme requires at least one slot and one pulse shape")
             }
+            Self::SlotOutOfRange { slot, n_slots } => {
+                write!(f, "slot {slot} out of range (n_slots = {n_slots})")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter `{name}` = {value}")
+            }
             Self::Dsp(e) => write!(f, "dsp error: {e}"),
             Self::Radio(e) => write!(f, "radio error: {e}"),
+            Self::Fault(e) => write!(f, "fault-plan error: {e}"),
         }
     }
 }
@@ -78,6 +102,7 @@ impl Error for RangingError {
         match self {
             Self::Dsp(e) => Some(e),
             Self::Radio(e) => Some(e),
+            Self::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -92,6 +117,12 @@ impl From<uwb_dsp::DspError> for RangingError {
 impl From<uwb_radio::RadioError> for RangingError {
     fn from(e: uwb_radio::RadioError) -> Self {
         Self::Radio(e)
+    }
+}
+
+impl From<uwb_faults::FaultError> for RangingError {
+    fn from(e: uwb_faults::FaultError) -> Self {
+        Self::Fault(e)
     }
 }
 

@@ -80,7 +80,10 @@ mod tracking;
 mod twr;
 
 pub use assignment::{CombinedScheme, ResponderAssignment};
-pub use concurrent::{ConcurrentConfig, ConcurrentEngine, ResponderEstimate, RoundOutcome};
+pub use concurrent::{
+    ConcurrentConfig, ConcurrentEngine, ResponderEstimate, ResponderHealth, ResponderStatus,
+    RoundOutcome,
+};
 pub use cooperative::{solve_cooperative, CooperativeFix, NodeRole};
 pub use dstwr::{DsTwrEngine, DsTwrMeasurement, DsTwrTimestamps};
 pub use error::RangingError;

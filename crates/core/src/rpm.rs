@@ -80,16 +80,19 @@ impl SlotPlan {
 
     /// The additional response delay `δ_i = slot · δ` for a slot index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `slot >= n_slots` (an assignment bug).
-    pub fn slot_delay_s(&self, slot: usize) -> f64 {
-        assert!(
-            slot < self.n_slots,
-            "slot {slot} out of range (n_slots = {})",
-            self.n_slots
-        );
-        slot as f64 * self.slot_spacing_s
+    /// Returns [`RangingError::SlotOutOfRange`] when `slot >= n_slots`
+    /// (an assignment bug that used to panic; callers now get a typed
+    /// error they can surface or recover from).
+    pub fn slot_delay_s(&self, slot: usize) -> Result<f64, RangingError> {
+        if slot >= self.n_slots {
+            return Err(RangingError::SlotOutOfRange {
+                slot,
+                n_slots: self.n_slots,
+            });
+        }
+        Ok(slot as f64 * self.slot_spacing_s)
     }
 
     /// Guard band absorbing the ±8 ns delayed-TX jitter (plus timestamp
@@ -197,14 +200,22 @@ mod tests {
     fn slot_delays_are_multiples_of_spacing() {
         let plan = SlotPlan::new(4).unwrap();
         for s in 0..4 {
-            assert!((plan.slot_delay_s(s) - s as f64 * plan.slot_spacing_s()).abs() < 1e-18);
+            let delay = plan.slot_delay_s(s).unwrap();
+            assert!((delay - s as f64 * plan.slot_spacing_s()).abs() < 1e-18);
         }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn slot_delay_out_of_range_panics() {
-        SlotPlan::new(4).unwrap().slot_delay_s(4);
+    fn slot_delay_out_of_range_is_an_error() {
+        let err = SlotPlan::new(4).unwrap().slot_delay_s(4).unwrap_err();
+        assert!(matches!(
+            err,
+            RangingError::SlotOutOfRange {
+                slot: 4,
+                n_slots: 4
+            }
+        ));
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! distances with MAD-based outlier rejection plus availability statistics.
 
 use crate::concurrent::RoundOutcome;
+use crate::error::RangingError;
 use std::collections::BTreeMap;
 use uwb_dsp::stats;
 
@@ -39,13 +40,15 @@ pub struct ResponderStats {
 ///
 /// let mut session = RangingSession::new();
 /// assert_eq!(session.rounds(), 0);
-/// session.set_outlier_threshold(4.0);
+/// session.set_outlier_threshold(4.0)?;
+/// # Ok::<(), concurrent_ranging::RangingError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct RangingSession {
     /// Distance samples per responder ID.
     samples: BTreeMap<u32, Vec<f64>>,
     rounds: usize,
+    failed: usize,
     /// Outlier threshold in scaled-MAD units (default 3.5).
     outlier_threshold: f64,
 }
@@ -56,6 +59,7 @@ impl RangingSession {
         Self {
             samples: BTreeMap::new(),
             rounds: 0,
+            failed: 0,
             outlier_threshold: 3.5,
         }
     }
@@ -63,33 +67,78 @@ impl RangingSession {
     /// Sets the outlier threshold in robust-σ units (samples farther than
     /// this from the median are rejected).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive or non-finite thresholds.
-    pub fn set_outlier_threshold(&mut self, threshold: f64) {
-        assert!(
-            threshold.is_finite() && threshold > 0.0,
-            "invalid outlier threshold {threshold}"
-        );
+    /// Returns [`RangingError::InvalidParameter`] on non-positive or
+    /// non-finite thresholds.
+    pub fn set_outlier_threshold(&mut self, threshold: f64) -> Result<(), RangingError> {
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(RangingError::InvalidParameter {
+                name: "outlier_threshold",
+                value: threshold,
+            });
+        }
         self.outlier_threshold = threshold;
+        Ok(())
     }
 
-    /// Number of rounds ingested.
+    /// Number of rounds ingested (successful and failed).
     pub fn rounds(&self) -> usize {
         self.rounds
     }
 
+    /// Number of successfully completed rounds ingested.
+    pub fn completed(&self) -> usize {
+        self.rounds - self.failed
+    }
+
+    /// Number of failed rounds ingested via
+    /// [`RangingSession::ingest_failure`].
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// Fraction of ingested rounds that completed (1.0 for an empty
+    /// session: no evidence of failure).
+    pub fn success_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 1.0;
+        }
+        self.completed() as f64 / self.rounds as f64
+    }
+
     /// Ingests one round outcome.
+    ///
+    /// At most one sample per responder is taken from a round (the
+    /// strongest, if a spurious detection decoded to an already-occupied
+    /// slot/shape pair) so availability stays a per-round fraction.
     pub fn ingest(&mut self, outcome: &RoundOutcome) {
         self.rounds += 1;
+        let mut best: BTreeMap<u32, &crate::concurrent::ResponderEstimate> = BTreeMap::new();
         for estimate in &outcome.estimates {
             if let Some(id) = estimate.id {
-                self.samples
-                    .entry(id)
-                    .or_default()
-                    .push(estimate.distance_m);
+                let slot = best.entry(id).or_insert(estimate);
+                if estimate.amplitude > slot.amplitude {
+                    *slot = estimate;
+                }
             }
         }
+        for (id, estimate) in best {
+            self.samples
+                .entry(id)
+                .or_default()
+                .push(estimate.distance_m);
+        }
+    }
+
+    /// Ingests one *failed* round (timeout, undecodable window).
+    ///
+    /// The round still counts toward every responder's availability
+    /// denominator — a session degraded by faults reports honest
+    /// availability instead of silently shrinking its baseline.
+    pub fn ingest_failure(&mut self, _error: &RangingError) {
+        self.rounds += 1;
+        self.failed += 1;
     }
 
     /// Raw samples recorded for a responder.
@@ -229,8 +278,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid outlier threshold")]
     fn rejects_bad_threshold() {
-        RangingSession::new().set_outlier_threshold(0.0);
+        let mut session = RangingSession::new();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = session.set_outlier_threshold(bad).unwrap_err();
+            assert!(matches!(
+                err,
+                crate::RangingError::InvalidParameter {
+                    name: "outlier_threshold",
+                    ..
+                }
+            ));
+        }
+        assert!(session.set_outlier_threshold(2.5).is_ok());
+    }
+
+    #[test]
+    fn failed_rounds_degrade_availability_and_success_rate() {
+        let mut session = RangingSession::new();
+        assert_eq!(session.success_rate(), 1.0);
+        session.samples.insert(2, vec![4.0, 4.1]);
+        session.rounds = 2;
+        for _ in 0..2 {
+            session.ingest_failure(&crate::RangingError::RoundTimeout);
+        }
+        assert_eq!(session.rounds(), 4);
+        assert_eq!(session.completed(), 2);
+        assert_eq!(session.failed(), 2);
+        assert!((session.success_rate() - 0.5).abs() < 1e-12);
+        // Availability counts failed rounds in the denominator.
+        let s = &session.responder_stats()[0];
+        assert!((s.availability - 0.5).abs() < 1e-12);
     }
 }

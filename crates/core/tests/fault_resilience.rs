@@ -1,0 +1,89 @@
+//! Property test for the fault plane's no-panic contract: *any* valid
+//! `FaultPlan` — arbitrary loss, corruption, dropout, jitter, late
+//! replies, SNR dips, tap corruption — run through a multi-round
+//! concurrent deployment must terminate every round (outcome or recorded
+//! failure), deliver finite partial results, and never panic.
+
+use concurrent_ranging::{
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, RangingSession, SlotPlan,
+};
+use proptest::prelude::*;
+use uwb_channel::ChannelModel;
+use uwb_netsim::{FaultPlan, NodeConfig, SimConfig, Simulator};
+
+const ROUNDS: u32 = 3;
+
+proptest! {
+    // Each case runs a full discrete-event simulation with detection on
+    // 8k-tap buffers; `PROPTEST_CASES` scales the count (default 64).
+    #[test]
+    fn any_fault_plan_yields_partial_results_not_panics(
+        plan_seed in 0u64..u64::MAX,
+        sim_seed in 0u64..u64::MAX,
+        loss in 0.0f64..0.9,
+        corruption in 0.0f64..0.5,
+        dropout in 0.0f64..0.5,
+        jitter_ns in 0.0f64..20.0,
+        late_p in 0.0f64..0.5,
+        late_ns in 0.0f64..400.0,
+        dip_p in 0.0f64..1.0,
+        dip_db in 0.0f64..30.0,
+        tap_p in 0.0f64..0.3,
+        retries in 0u32..3,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(plan_seed)
+            .with_frame_loss(loss).unwrap()
+            .with_payload_corruption(corruption).unwrap()
+            .with_responder_dropout(dropout).unwrap()
+            .with_tx_jitter(jitter_ns * 1e-9).unwrap()
+            .with_late_reply(late_p, late_ns * 1e-9).unwrap()
+            .with_snr_dip(dip_p, dip_db).unwrap()
+            .with_tap_corruption(tap_p).unwrap();
+
+        let scheme = CombinedScheme::new(SlotPlan::new(2).unwrap(), 1).unwrap();
+        let mut sim: Simulator<RangingMessage> = Simulator::new(
+            ChannelModel::free_space(),
+            SimConfig::default().with_faults(plan),
+            sim_seed,
+        );
+        let initiator = sim.add_node(NodeConfig::at(0.0, 0.0));
+        let r0 = sim.add_node(NodeConfig::at(5.0, 0.0));
+        let r1 = sim.add_node(NodeConfig::at(0.0, 8.0));
+        let config = ConcurrentConfig::new(scheme)
+            .with_rounds(ROUNDS)
+            .with_retries(retries);
+        let mut engine =
+            ConcurrentEngine::new(initiator, vec![(r0, 0), (r1, 1)], config, sim_seed).unwrap();
+        sim.run(&mut engine, 2.0);
+
+        // Liveness: every round terminates, none stalls or double-counts.
+        prop_assert_eq!(
+            engine.outcomes.len() + engine.failed_rounds.len(),
+            ROUNDS as usize
+        );
+
+        // Partial results stay well-formed: finite numbers, status for
+        // every deployed responder.
+        let mut session = RangingSession::new();
+        for o in &engine.outcomes {
+            prop_assert!(o.d_twr_m.is_finite());
+            prop_assert_eq!(o.responder_status.len(), 2);
+            prop_assert!(o.attempts >= 1 && o.attempts <= retries + 1);
+            for e in &o.estimates {
+                prop_assert!(e.distance_m.is_finite());
+                prop_assert!(e.tau_s.is_finite());
+            }
+            session.ingest(o);
+        }
+        for (_, error) in &engine.failed_rounds {
+            session.ingest_failure(error);
+        }
+        prop_assert_eq!(session.rounds(), ROUNDS as usize);
+        prop_assert!((0.0..=1.0).contains(&session.success_rate()));
+        for stats in session.responder_stats() {
+            prop_assert!(stats.distance_m.is_finite());
+            prop_assert!((0.0..=1.0).contains(&stats.availability));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! # uwb-error — the workspace's unified error taxonomy
+//!
+//! Every fallible layer of the ranging pipeline has its own error type —
+//! [`uwb_dsp::DspError`], [`uwb_radio::RadioError`],
+//! [`uwb_faults::FaultError`], and the protocol-level
+//! [`concurrent_ranging::RangingError`]. Application code that spans
+//! layers (experiment binaries, deployments built on the umbrella crate)
+//! wants *one* type to `?` into: that is [`Error`].
+//!
+//! The taxonomy is layer-tagged: each variant wraps one layer's error
+//! and [`Error::layer`] reports which [`Layer`] produced it, so a
+//! failure can be routed (retry a protocol timeout, abort on a
+//! configuration error) without matching the full cross-product of
+//! variants. Conversions exist **both ways**: every layer error
+//! converts `From` into [`Error`], and [`Error`] converts back into
+//! [`RangingError`] (the protocol layer already wraps the lower layers,
+//! so the conversion is total).
+//!
+//! # Examples
+//!
+//! ```
+//! use uwb_error::{Error, Layer};
+//!
+//! fn configure() -> Result<(), Error> {
+//!     let _plan = uwb_faults::FaultPlan::none().with_frame_loss(1.5)?;
+//!     Ok(())
+//! }
+//!
+//! let err = configure().unwrap_err();
+//! assert_eq!(err.layer(), Layer::Faults);
+//! // …and back into the protocol-layer type for APIs that expect it:
+//! let ranging: concurrent_ranging::RangingError = err.into();
+//! assert!(matches!(ranging, concurrent_ranging::RangingError::Fault(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use concurrent_ranging::RangingError;
+use std::fmt;
+use uwb_dsp::DspError;
+use uwb_faults::FaultError;
+use uwb_radio::RadioError;
+
+/// The pipeline layer an [`Error`] originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Signal processing (`uwb-dsp`).
+    Dsp,
+    /// Radio hardware model (`uwb-radio`).
+    Radio,
+    /// Fault-injection plane (`uwb-faults`).
+    Faults,
+    /// Ranging protocol / detection (`concurrent-ranging`).
+    Ranging,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Dsp => "dsp",
+            Self::Radio => "radio",
+            Self::Faults => "faults",
+            Self::Ranging => "ranging",
+        })
+    }
+}
+
+/// The unified, layer-tagged workspace error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A signal-processing failure.
+    Dsp(DspError),
+    /// A radio-model failure.
+    Radio(RadioError),
+    /// A rejected fault-plan parameter.
+    Fault(FaultError),
+    /// A protocol- or detection-layer failure.
+    Ranging(RangingError),
+}
+
+impl Error {
+    /// The layer this error originated in.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        match self {
+            Self::Dsp(_) => Layer::Dsp,
+            Self::Radio(_) => Layer::Radio,
+            Self::Fault(_) => Layer::Faults,
+            Self::Ranging(_) => Layer::Ranging,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dsp(e) => write!(f, "[{}] {e}", self.layer()),
+            Self::Radio(e) => write!(f, "[{}] {e}", self.layer()),
+            Self::Fault(e) => write!(f, "[{}] {e}", self.layer()),
+            Self::Ranging(e) => write!(f, "[{}] {e}", self.layer()),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Dsp(e) => Some(e),
+            Self::Radio(e) => Some(e),
+            Self::Fault(e) => Some(e),
+            Self::Ranging(e) => Some(e),
+        }
+    }
+}
+
+impl From<DspError> for Error {
+    fn from(e: DspError) -> Self {
+        Self::Dsp(e)
+    }
+}
+
+impl From<RadioError> for Error {
+    fn from(e: RadioError) -> Self {
+        Self::Radio(e)
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Self::Fault(e)
+    }
+}
+
+impl From<RangingError> for Error {
+    fn from(e: RangingError) -> Self {
+        // Lower-layer errors already wrapped by the protocol layer are
+        // re-tagged with their true origin.
+        match e {
+            RangingError::Dsp(d) => Self::Dsp(d),
+            RangingError::Radio(r) => Self::Radio(r),
+            RangingError::Fault(fe) => Self::Fault(fe),
+            other => Self::Ranging(other),
+        }
+    }
+}
+
+impl From<Error> for RangingError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::Dsp(d) => RangingError::Dsp(d),
+            Error::Radio(r) => RangingError::Radio(r),
+            Error::Fault(fe) => RangingError::Fault(fe),
+            Error::Ranging(r) => r,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn layers_are_tagged_and_displayed() {
+        let e = Error::from(DspError::EmptyInput);
+        assert_eq!(e.layer(), Layer::Dsp);
+        assert!(e.to_string().starts_with("[dsp]"));
+
+        let e = Error::from(RangingError::RoundTimeout);
+        assert_eq!(e.layer(), Layer::Ranging);
+        assert!(e.to_string().starts_with("[ranging]"));
+    }
+
+    #[test]
+    fn wrapped_lower_layers_keep_their_origin() {
+        // RangingError::Dsp arriving via From<RangingError> is tagged as
+        // a DSP failure, not a protocol failure.
+        let e = Error::from(RangingError::Dsp(DspError::EmptyInput));
+        assert_eq!(e.layer(), Layer::Dsp);
+    }
+
+    #[test]
+    fn round_trips_into_ranging_error() {
+        let original = RangingError::InsufficientResponses {
+            requested: 4,
+            found: 2,
+        };
+        let unified = Error::from(original.clone());
+        let back: RangingError = unified.into();
+        assert_eq!(back, original);
+
+        let fault = uwb_faults::FaultPlan::none()
+            .with_frame_loss(-1.0)
+            .unwrap_err();
+        let back: RangingError = Error::from(fault).into();
+        assert!(matches!(back, RangingError::Fault(_)));
+    }
+
+    #[test]
+    fn source_chains_to_the_layer_error() {
+        let e = Error::from(RadioError::InvalidPgDelay { value: 0x10 });
+        assert!(e.source().is_some());
+        assert!(e.source().unwrap().to_string().contains("0x10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

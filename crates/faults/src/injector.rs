@@ -1,0 +1,343 @@
+//! The [`FaultInjector`]: executes a [`FaultPlan`] at the simulator's
+//! decision points, counting every injected fault.
+
+use crate::plan::FaultPlan;
+use crate::stream::{FaultDomain, FaultStream};
+
+/// Counters of injected faults, by class.
+///
+/// Plain `u64` fields so campaign collectors can merge them in chunk
+/// order (bit-identical at any thread count). The same counts are
+/// mirrored into `uwb_obs` counters (`faults.injected.*`) whenever a
+/// recorder is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames erased on a link.
+    pub frames_lost: u64,
+    /// Frames delivered with an undecodable payload.
+    pub payloads_corrupted: u64,
+    /// Accumulation windows dropped whole (failed preamble acquisition).
+    pub dropouts: u64,
+    /// Transmissions fired late by the guard-violating delay.
+    pub late_replies: u64,
+    /// Transmissions perturbed by Gaussian TX jitter.
+    pub tx_jitters: u64,
+    /// Rounds rendered under an SNR dip.
+    pub snr_dips: u64,
+    /// Accumulator taps corrupted.
+    pub taps_corrupted: u64,
+}
+
+impl FaultStats {
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.frames_lost += other.frames_lost;
+        self.payloads_corrupted += other.payloads_corrupted;
+        self.dropouts += other.dropouts;
+        self.late_replies += other.late_replies;
+        self.tx_jitters += other.tx_jitters;
+        self.snr_dips += other.snr_dips;
+        self.taps_corrupted += other.taps_corrupted;
+    }
+
+    /// Total injected faults across every class.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.frames_lost
+            + self.payloads_corrupted
+            + self.dropouts
+            + self.late_replies
+            + self.tx_jitters
+            + self.snr_dips
+            + self.taps_corrupted
+    }
+}
+
+fn obs_count(name: &'static str) {
+    if uwb_obs::enabled() {
+        uwb_obs::counter(name, 1);
+    }
+}
+
+/// Executes a [`FaultPlan`] deterministically.
+///
+/// Each decision method takes the context words that make its site
+/// unique (sequence counters, node ids, tap indices); the verdict is a
+/// pure function of `(plan.seed, domain, context)`, so the same plan
+/// replays the same schedule regardless of thread count, call order, or
+/// what other fault classes are enabled. With an inactive plan every
+/// method returns its no-fault value without drawing or counting.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    stream: FaultStream,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector executing a plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            stream: FaultStream::new(plan.seed()),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan being executed.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injected-fault counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Whether any fault class can fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Should the frame of transmission `tx_seq` on the link `src → dst`
+    /// be erased?
+    pub fn lose_frame(&mut self, tx_seq: u64, src: u32, dst: u32) -> bool {
+        if self.plan.frame_loss() <= 0.0 {
+            return false;
+        }
+        let link = (u64::from(src) << 32) | u64::from(dst);
+        let hit =
+            self.stream.uniform(FaultDomain::FrameLoss, tx_seq, link) < self.plan.frame_loss();
+        if hit {
+            self.stats.frames_lost += 1;
+            obs_count("faults.injected.frame_loss");
+        }
+        hit
+    }
+
+    /// Should the payload of transmission `tx_seq` on the link
+    /// `src → dst` arrive corrupted (energy lands, CRC fails)?
+    pub fn corrupt_payload(&mut self, tx_seq: u64, src: u32, dst: u32) -> bool {
+        if self.plan.payload_corruption() <= 0.0 {
+            return false;
+        }
+        let link = (u64::from(src) << 32) | u64::from(dst);
+        let hit = self
+            .stream
+            .uniform(FaultDomain::PayloadCorruption, tx_seq, link)
+            < self.plan.payload_corruption();
+        if hit {
+            self.stats.payloads_corrupted += 1;
+            obs_count("faults.injected.payload_corruption");
+        }
+        hit
+    }
+
+    /// Should receiver `node` drop its `window_seq`-th accumulation
+    /// window entirely?
+    pub fn dropout(&mut self, node: u32, window_seq: u64) -> bool {
+        if self.plan.responder_dropout() <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .stream
+            .uniform(FaultDomain::Dropout, window_seq, u64::from(node))
+            < self.plan.responder_dropout();
+        if hit {
+            self.stats.dropouts += 1;
+            obs_count("faults.injected.dropout");
+        }
+        hit
+    }
+
+    /// Extra delay (seconds) applied to the actual fire time of node
+    /// `node`'s `sched_seq`-th scheduled transmission: Gaussian TX jitter
+    /// plus, with the plan's late-reply probability, the guard-violating
+    /// late-fire delay. Returns `0.0` when neither class is enabled.
+    pub fn tx_delay_s(&mut self, node: u32, sched_seq: u64) -> f64 {
+        let mut delay = 0.0;
+        if self.plan.tx_jitter_s() > 0.0 {
+            delay += self.plan.tx_jitter_s()
+                * self
+                    .stream
+                    .normal(FaultDomain::TxJitter, sched_seq, u64::from(node));
+            self.stats.tx_jitters += 1;
+            obs_count("faults.injected.tx_jitter");
+        }
+        if self.plan.late_reply() > 0.0
+            && self
+                .stream
+                .uniform(FaultDomain::LateReply, sched_seq, u64::from(node))
+                < self.plan.late_reply()
+        {
+            delay += self.plan.late_reply_delay_s();
+            self.stats.late_replies += 1;
+            obs_count("faults.injected.late_reply");
+        }
+        delay
+    }
+
+    /// SNR reduction (dB, ≥ 0) for rendering round `round`'s
+    /// accumulator. `0.0` when no dip fires.
+    pub fn snr_dip_db(&mut self, round: u64) -> f64 {
+        if self.plan.snr_dip() <= 0.0 {
+            return 0.0;
+        }
+        if self.stream.uniform(FaultDomain::SnrDip, round, 0) < self.plan.snr_dip() {
+            self.stats.snr_dips += 1;
+            obs_count("faults.injected.snr_dip");
+            self.plan.snr_dip_db()
+        } else {
+            0.0
+        }
+    }
+
+    /// Decides whether tap `tap` of the accumulator rendered in context
+    /// `context` is corrupted; if so, returns two uniforms in `[0, 1)`
+    /// (magnitude fraction and phase fraction) for the caller to build
+    /// the garbage value from.
+    pub fn corrupt_tap(&mut self, context: u64, tap: usize) -> Option<(f64, f64)> {
+        if self.plan.tap_corruption() <= 0.0 {
+            return None;
+        }
+        let t = tap as u64;
+        if self
+            .stream
+            .uniform(FaultDomain::TapCorruption, context, t.wrapping_mul(4))
+            >= self.plan.tap_corruption()
+        {
+            return None;
+        }
+        self.stats.taps_corrupted += 1;
+        obs_count("faults.injected.tap_corruption");
+        let mag = self.stream.uniform(
+            FaultDomain::TapCorruption,
+            context,
+            t.wrapping_mul(4).wrapping_add(1),
+        );
+        let phase = self.stream.uniform(
+            FaultDomain::TapCorruption,
+            context,
+            t.wrapping_mul(4).wrapping_add(2),
+        );
+        Some((mag, phase))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(p: f64, seed: u64) -> FaultInjector {
+        FaultInjector::new(
+            FaultPlan::none()
+                .with_seed(seed)
+                .with_frame_loss(p)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn inactive_plan_never_fires_or_counts() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..100 {
+            assert!(!inj.lose_frame(i, 0, 1));
+            assert!(!inj.corrupt_payload(i, 0, 1));
+            assert!(!inj.dropout(0, i));
+            assert_eq!(inj.tx_delay_s(0, i), 0.0);
+            assert_eq!(inj.snr_dip_db(i), 0.0);
+            assert_eq!(inj.corrupt_tap(i, 5), None);
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn loss_rate_matches_probability() {
+        let mut inj = lossy(0.3, 9);
+        let n = 20_000u64;
+        for i in 0..n {
+            inj.lose_frame(i, 0, 1);
+        }
+        let rate = inj.stats().frames_lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_seed_dependent() {
+        let schedule = |seed: u64| {
+            let mut inj = lossy(0.5, seed);
+            (0..64).map(|i| inj.lose_frame(i, 2, 3)).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(1), schedule(1));
+        assert_ne!(schedule(1), schedule(2));
+    }
+
+    #[test]
+    fn call_order_does_not_change_verdicts() {
+        // The same (context) decision gives the same verdict whether or
+        // not other decisions were drawn in between — the property that
+        // makes campaign fault schedules thread-count invariant.
+        let plan = FaultPlan::none()
+            .with_seed(4)
+            .with_frame_loss(0.4)
+            .unwrap()
+            .with_responder_dropout(0.4)
+            .unwrap();
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        let verdict_a = a.lose_frame(10, 1, 2);
+        for i in 0..50 {
+            b.dropout(3, i);
+        }
+        assert_eq!(b.lose_frame(10, 1, 2), verdict_a);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = FaultStats {
+            frames_lost: 2,
+            dropouts: 1,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            frames_lost: 3,
+            taps_corrupted: 7,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames_lost, 5);
+        assert_eq!(a.dropouts, 1);
+        assert_eq!(a.taps_corrupted, 7);
+        assert_eq!(a.total(), 13);
+    }
+
+    #[test]
+    fn late_reply_adds_fixed_delay() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::none()
+                .with_seed(6)
+                .with_late_reply(1.0, 500e-9)
+                .unwrap(),
+        );
+        assert_eq!(inj.tx_delay_s(0, 0), 500e-9);
+        assert_eq!(inj.stats().late_replies, 1);
+    }
+
+    #[test]
+    fn tap_corruption_yields_unit_uniforms() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::none()
+                .with_seed(8)
+                .with_tap_corruption(1.0)
+                .unwrap(),
+        );
+        let (mag, phase) = inj.corrupt_tap(0, 17).unwrap();
+        assert!((0.0..1.0).contains(&mag));
+        assert!((0.0..1.0).contains(&phase));
+        assert_eq!(inj.stats().taps_corrupted, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # uwb-faults — deterministic fault injection for the ranging pipeline
+//!
+//! Real concurrent-ranging deployments lose frames, miss preambles, fire
+//! replies late and suffer transient SNR collapses (the paper's Sect. IV
+//! and VI exist *because* detection must survive weak, overlapping and
+//! missing responses). This crate is the workspace's fault plane: a
+//! validated [`FaultPlan`] describes which failure classes fire and how
+//! often, and a [`FaultInjector`] executes it at the simulator's decision
+//! points.
+//!
+//! Two properties make the plane safe to thread through every layer:
+//!
+//! 1. **Disabled means gone.** [`FaultPlan::none`] draws nothing: no
+//!    random state is consumed, no counters tick, and every experiment
+//!    reproduces its fault-free output bit-identically.
+//! 2. **Determinism at any thread count.** Decisions come from stateless
+//!    SplitMix64 hash streams ([`FaultStream`]) keyed by
+//!    `(seed, domain, context)` — never from the simulation RNG — so a
+//!    campaign's fault schedule is a pure function of its seeds,
+//!    independent of worker count and call interleaving.
+//!
+//! Injected faults are counted per class in [`FaultStats`] and mirrored
+//! to `uwb_obs` counters (`faults.injected.*`); the recovery layers in
+//! `concurrent-ranging` (retry, partial results) count their side as
+//! `faults.recovered.*`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod injector;
+mod plan;
+mod stream;
+
+pub use injector::{FaultInjector, FaultStats};
+pub use plan::{FaultError, FaultPlan, DEFAULT_LATE_REPLY_DELAY_S, DEFAULT_SNR_DIP_DB};
+pub use stream::{mix, FaultDomain, FaultStream, GOLDEN_GAMMA};

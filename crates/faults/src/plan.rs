@@ -1,0 +1,390 @@
+//! The [`FaultPlan`] builder: a validated, copyable description of which
+//! faults to inject and how often.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`FaultPlan`] parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A probability outside `[0, 1]` (or non-finite).
+    InvalidProbability {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A magnitude (delay, jitter sigma, dB depth) that is negative or
+    /// non-finite.
+    InvalidMagnitude {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProbability { field, value } => {
+                write!(f, "fault probability `{field}` = {value} is not in [0, 1]")
+            }
+            Self::InvalidMagnitude { field, value } => {
+                write!(
+                    f,
+                    "fault magnitude `{field}` = {value} is negative or non-finite"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+fn probability(field: &'static str, value: f64) -> Result<f64, FaultError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(FaultError::InvalidProbability { field, value })
+    }
+}
+
+fn magnitude(field: &'static str, value: f64) -> Result<f64, FaultError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(FaultError::InvalidMagnitude { field, value })
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// A `FaultPlan` is a plain value: `Copy`, comparable, and fully
+/// validated at construction — every chainable `with_*` setter returns
+/// `Result`, so a plan that exists is a plan the injector can execute.
+/// [`FaultPlan::none`] (the default) disables every fault class and is
+/// guaranteed to be a bit-identical no-op in the simulator: decisions are
+/// drawn from stateless hash streams (see [`crate::FaultStream`]), never
+/// from the simulation RNG.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_faults::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .with_seed(42)
+///     .with_frame_loss(0.3)?
+///     .with_responder_dropout(0.1)?
+///     .with_snr_dip(0.2, 12.0)?;
+/// assert!(plan.is_active());
+/// assert_eq!(plan.frame_loss(), 0.3);
+/// assert!(!FaultPlan::none().is_active());
+/// # Ok::<(), uwb_faults::FaultError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    frame_loss: f64,
+    payload_corruption: f64,
+    responder_dropout: f64,
+    late_reply: f64,
+    late_reply_delay_s: f64,
+    tx_jitter_s: f64,
+    snr_dip: f64,
+    snr_dip_db: f64,
+    tap_corruption: f64,
+}
+
+/// Default extra delay of a late reply: a bit over one RPM slot at the
+/// paper's 4-slot plan (δ ≈ 254 ns), so a late responder lands in the
+/// next slot's guard region and its slot decode fails.
+pub const DEFAULT_LATE_REPLY_DELAY_S: f64 = 300e-9;
+
+/// Default depth of an SNR dip in dB.
+pub const DEFAULT_SNR_DIP_DB: f64 = 12.0;
+
+impl FaultPlan {
+    /// The all-disabled plan: every probability zero, every magnitude
+    /// zero. Injectors running this plan draw nothing and count nothing.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            seed: 0,
+            frame_loss: 0.0,
+            payload_corruption: 0.0,
+            responder_dropout: 0.0,
+            late_reply: 0.0,
+            late_reply_delay_s: DEFAULT_LATE_REPLY_DELAY_S,
+            tx_jitter_s: 0.0,
+            snr_dip: 0.0,
+            snr_dip_db: DEFAULT_SNR_DIP_DB,
+            tap_corruption: 0.0,
+        }
+    }
+
+    /// Roots the plan's decision streams at a seed. Two plans with the
+    /// same rates but different seeds produce different (but individually
+    /// reproducible) fault schedules.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-link, per-frame erasure probability: the frame never reaches
+    /// that receiver (no payload, no channel energy).
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn with_frame_loss(mut self, p: f64) -> Result<Self, FaultError> {
+        self.frame_loss = probability("frame_loss", p)?;
+        Ok(self)
+    }
+
+    /// Per-link, per-frame payload-corruption probability: the frame's
+    /// CRC fails (payload undecodable) but its channel energy still lands
+    /// in the receiver's accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn with_payload_corruption(mut self, p: f64) -> Result<Self, FaultError> {
+        self.payload_corruption = probability("payload_corruption", p)?;
+        Ok(self)
+    }
+
+    /// Per-window receiver-dropout probability: the node misses an entire
+    /// accumulation window (failed preamble acquisition), so a responder
+    /// never hears INIT or an initiator never sees the reply window.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn with_responder_dropout(mut self, p: f64) -> Result<Self, FaultError> {
+        self.responder_dropout = probability("responder_dropout", p)?;
+        Ok(self)
+    }
+
+    /// Per-transmission late-fire probability and the extra delay applied
+    /// when it triggers. The sender's *embedded* timestamps still claim
+    /// the intended time, so a late reply lands outside its RPM guard
+    /// slot and corrupts the slot decode — exactly the deployment failure
+    /// the paper's guard bands exist for.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]` and negative or non-finite
+    /// delays.
+    pub fn with_late_reply(mut self, p: f64, delay_s: f64) -> Result<Self, FaultError> {
+        self.late_reply = probability("late_reply", p)?;
+        self.late_reply_delay_s = magnitude("late_reply_delay_s", delay_s)?;
+        Ok(self)
+    }
+
+    /// Gaussian jitter (σ, seconds) on every scheduled transmission's
+    /// actual fire time — clock drift between scheduling and firing. The
+    /// embedded timestamps keep the intended time, so jitter shows up as
+    /// ranging error.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite sigmas.
+    pub fn with_tx_jitter(mut self, sigma_s: f64) -> Result<Self, FaultError> {
+        self.tx_jitter_s = magnitude("tx_jitter_s", sigma_s)?;
+        Ok(self)
+    }
+
+    /// Per-round SNR-dip probability and depth (dB): a transient
+    /// sensitivity loss raising the accumulator noise floor for that
+    /// round.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]` and negative or non-finite
+    /// depths.
+    pub fn with_snr_dip(mut self, p: f64, dip_db: f64) -> Result<Self, FaultError> {
+        self.snr_dip = probability("snr_dip", p)?;
+        self.snr_dip_db = magnitude("snr_dip_db", dip_db)?;
+        Ok(self)
+    }
+
+    /// Per-tap accumulator corruption probability: a corrupted tap is
+    /// replaced by garbage scaled to the CIR peak (ghost energy or an
+    /// erasure).
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn with_tap_corruption(mut self, p: f64) -> Result<Self, FaultError> {
+        self.tap_corruption = probability("tap_corruption", p)?;
+        Ok(self)
+    }
+
+    /// The decision-stream seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Frame-erasure probability.
+    #[must_use]
+    pub fn frame_loss(&self) -> f64 {
+        self.frame_loss
+    }
+
+    /// Payload-corruption probability.
+    #[must_use]
+    pub fn payload_corruption(&self) -> f64 {
+        self.payload_corruption
+    }
+
+    /// Receiver-dropout probability.
+    #[must_use]
+    pub fn responder_dropout(&self) -> f64 {
+        self.responder_dropout
+    }
+
+    /// Late-reply probability.
+    #[must_use]
+    pub fn late_reply(&self) -> f64 {
+        self.late_reply
+    }
+
+    /// Extra delay of a late reply, seconds.
+    #[must_use]
+    pub fn late_reply_delay_s(&self) -> f64 {
+        self.late_reply_delay_s
+    }
+
+    /// TX jitter σ, seconds.
+    #[must_use]
+    pub fn tx_jitter_s(&self) -> f64 {
+        self.tx_jitter_s
+    }
+
+    /// SNR-dip probability.
+    #[must_use]
+    pub fn snr_dip(&self) -> f64 {
+        self.snr_dip
+    }
+
+    /// SNR-dip depth, dB.
+    #[must_use]
+    pub fn snr_dip_db(&self) -> f64 {
+        self.snr_dip_db
+    }
+
+    /// Per-tap corruption probability.
+    #[must_use]
+    pub fn tap_corruption(&self) -> f64 {
+        self.tap_corruption
+    }
+
+    /// Whether any fault class can fire under this plan.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.frame_loss > 0.0
+            || self.payload_corruption > 0.0
+            || self.responder_dropout > 0.0
+            || self.late_reply > 0.0
+            || self.tx_jitter_s > 0.0
+            || self.snr_dip > 0.0
+            || self.tap_corruption > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+
+    #[test]
+    fn builders_chain_and_record() {
+        let p = FaultPlan::none()
+            .with_seed(5)
+            .with_frame_loss(0.25)
+            .unwrap()
+            .with_payload_corruption(0.1)
+            .unwrap()
+            .with_responder_dropout(0.05)
+            .unwrap()
+            .with_late_reply(0.2, 400e-9)
+            .unwrap()
+            .with_tx_jitter(2e-9)
+            .unwrap()
+            .with_snr_dip(0.3, 9.0)
+            .unwrap()
+            .with_tap_corruption(0.02)
+            .unwrap();
+        assert!(p.is_active());
+        assert_eq!(p.seed(), 5);
+        assert_eq!(p.frame_loss(), 0.25);
+        assert_eq!(p.payload_corruption(), 0.1);
+        assert_eq!(p.responder_dropout(), 0.05);
+        assert_eq!(p.late_reply(), 0.2);
+        assert_eq!(p.late_reply_delay_s(), 400e-9);
+        assert_eq!(p.tx_jitter_s(), 2e-9);
+        assert_eq!(p.snr_dip(), 0.3);
+        assert_eq!(p.snr_dip_db(), 9.0);
+        assert_eq!(p.tap_corruption(), 0.02);
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                FaultPlan::none().with_frame_loss(bad),
+                Err(FaultError::InvalidProbability { .. })
+            ));
+            assert!(FaultPlan::none().with_payload_corruption(bad).is_err());
+            assert!(FaultPlan::none().with_responder_dropout(bad).is_err());
+            assert!(FaultPlan::none().with_snr_dip(bad, 10.0).is_err());
+            assert!(FaultPlan::none().with_tap_corruption(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_magnitudes_are_rejected() {
+        assert!(matches!(
+            FaultPlan::none().with_tx_jitter(-1e-9),
+            Err(FaultError::InvalidMagnitude { .. })
+        ));
+        assert!(FaultPlan::none().with_late_reply(0.1, f64::NAN).is_err());
+        assert!(FaultPlan::none().with_snr_dip(0.1, -3.0).is_err());
+    }
+
+    #[test]
+    fn boundary_probabilities_are_accepted() {
+        assert!(FaultPlan::none().with_frame_loss(0.0).is_ok());
+        assert!(FaultPlan::none().with_frame_loss(1.0).is_ok());
+    }
+
+    #[test]
+    fn error_display_names_the_field() {
+        let err = FaultPlan::none().with_frame_loss(2.0).unwrap_err();
+        assert!(err.to_string().contains("frame_loss"));
+        let err = FaultPlan::none().with_tx_jitter(-1.0).unwrap_err();
+        assert!(err.to_string().contains("tx_jitter_s"));
+    }
+
+    #[test]
+    fn jitter_alone_makes_plan_active() {
+        let p = FaultPlan::none().with_tx_jitter(1e-9).unwrap();
+        assert!(p.is_active());
+    }
+}

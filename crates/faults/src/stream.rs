@@ -1,0 +1,185 @@
+//! Stateless, seed-derived random streams for fault decisions.
+//!
+//! Fault injection must not perturb the simulation's own RNG stream:
+//! [`crate::FaultPlan::none`] has to be a *bit-identical* no-op, and a
+//! campaign's fault schedule has to be reproducible at any thread count.
+//! Both fall out of the same design used by `uwb_campaign`'s per-trial
+//! seed derivation: every decision is a pure function of
+//! `(seed, domain, context)` through the SplitMix64 finalizer — no
+//! sequential generator state anywhere.
+
+/// The SplitMix64 increment (the 64-bit golden ratio).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 finalizer (Steele, Lea & Flood / MurmurHash3 fmix64
+/// variant): a bijective avalanche mix of 64 bits.
+#[inline]
+#[must_use]
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The independent decision domains of the fault plane. Each fault class
+/// draws from its own stream, so enabling one class never shifts the
+/// schedule of another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum FaultDomain {
+    /// Per-link frame erasure.
+    FrameLoss = 1,
+    /// Per-link payload corruption (CRC failure; channel energy remains).
+    PayloadCorruption = 2,
+    /// A receiver missing an entire accumulation window (failed preamble
+    /// acquisition).
+    Dropout = 3,
+    /// A scheduled transmission firing late by a fixed guard-violating
+    /// delay.
+    LateReply = 4,
+    /// Gaussian jitter on every scheduled transmission time.
+    TxJitter = 5,
+    /// A transient SNR dip on the synthesized accumulator.
+    SnrDip = 6,
+    /// Per-tap corruption of the synthesized accumulator.
+    TapCorruption = 7,
+}
+
+/// A stateless random stream: every draw is keyed by a
+/// [`FaultDomain`] plus two free context words (node ids, sequence
+/// counters, tap indices — whatever makes the decision site unique).
+///
+/// # Examples
+///
+/// ```
+/// use uwb_faults::{FaultDomain, FaultStream};
+///
+/// let s = FaultStream::new(42);
+/// let a = s.uniform(FaultDomain::FrameLoss, 3, 0);
+/// assert_eq!(a, s.uniform(FaultDomain::FrameLoss, 3, 0)); // pure
+/// assert_ne!(a, s.uniform(FaultDomain::FrameLoss, 3, 1)); // keyed
+/// assert!((0.0..1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStream {
+    seed: u64,
+}
+
+impl FaultStream {
+    /// A stream rooted at a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The root seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw 64-bit hash for a decision context.
+    #[must_use]
+    pub fn hash(&self, domain: FaultDomain, a: u64, b: u64) -> u64 {
+        let mut h = mix(self.seed.wrapping_add(GOLDEN_GAMMA));
+        h = mix(h ^ (domain as u64).wrapping_mul(GOLDEN_GAMMA));
+        h = mix(h ^ a.wrapping_mul(GOLDEN_GAMMA).wrapping_add(GOLDEN_GAMMA));
+        mix(h ^ b.wrapping_mul(GOLDEN_GAMMA).wrapping_add(GOLDEN_GAMMA))
+    }
+
+    /// A uniform draw in `[0, 1)` for a decision context.
+    #[must_use]
+    pub fn uniform(&self, domain: FaultDomain, a: u64, b: u64) -> f64 {
+        // 53 high bits → the standard double-precision uniform.
+        (self.hash(domain, a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A standard-normal draw for a decision context (Box–Muller over two
+    /// decorrelated sub-streams of the same context).
+    #[must_use]
+    pub fn normal(&self, domain: FaultDomain, a: u64, b: u64) -> f64 {
+        let h1 = self.hash(domain, a, b.wrapping_mul(2));
+        let h2 = self.hash(domain, a, b.wrapping_mul(2).wrapping_add(1));
+        // u1 in (0, 1] so the log is finite.
+        let u1 = ((h1 >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (h2 >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_pure_functions_of_context() {
+        let s = FaultStream::new(7);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                assert_eq!(
+                    s.hash(FaultDomain::FrameLoss, a, b),
+                    s.hash(FaultDomain::FrameLoss, a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let s = FaultStream::new(7);
+        assert_ne!(
+            s.hash(FaultDomain::FrameLoss, 1, 2),
+            s.hash(FaultDomain::PayloadCorruption, 1, 2)
+        );
+        assert_ne!(
+            s.hash(FaultDomain::Dropout, 1, 2),
+            s.hash(FaultDomain::LateReply, 1, 2)
+        );
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_uniform() {
+        let s = FaultStream::new(3);
+        let n = 10_000u64;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = s.uniform(FaultDomain::SnrDip, i, 0);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_has_unit_scale() {
+        let s = FaultStream::new(9);
+        let n = 10_000u64;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for i in 0..n {
+            let x = s.normal(FaultDomain::TxJitter, i, 0);
+            assert!(x.is_finite());
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn seeds_decorrelate_streams() {
+        let a = FaultStream::new(1);
+        let b = FaultStream::new(2);
+        let n = 2_000u64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = a.uniform(FaultDomain::FrameLoss, i, 0);
+            let y = b.uniform(FaultDomain::FrameLoss, i, 0);
+            acc += (x - 0.5) * (y - 0.5);
+        }
+        let cov = acc / n as f64;
+        assert!(cov.abs() < 0.01, "covariance {cov}");
+    }
+}

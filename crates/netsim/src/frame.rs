@@ -33,6 +33,10 @@ pub struct ReceivedFrame<P> {
     /// Whether this frame's payload was decodable (at most one per
     /// reception; the strongest).
     pub decodable: bool,
+    /// Whether the payload arrived corrupted (CRC failure injected by the
+    /// fault plane): the frame's channel energy still lands in the
+    /// accumulator, but its payload can never decode.
+    pub corrupted: bool,
     /// The sender's own RMARKER timestamp on its local device clock —
     /// what the sender could embed in the payload (`t_tx,i` in the paper).
     pub tx_device_time: DeviceTime,
@@ -110,6 +114,7 @@ mod tests {
             payload: 0,
             payload_bytes: 14,
             decodable,
+            corrupted: false,
             tx_device_time: DeviceTime::ZERO,
             tx_rmarker_global_s: 1.0,
             arrivals: vec![

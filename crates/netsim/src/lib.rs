@@ -59,3 +59,6 @@ pub use event::EventQueue;
 pub use frame::{NodeId, ReceivedFrame, Reception};
 pub use node::NodeConfig;
 pub use sim::{NodeApi, Protocol, SimConfig, Simulator, TraceEvent, DEFAULT_RX_TIMESTAMP_NOISE_S};
+// The fault plane consumed by `SimConfig::with_faults`, re-exported so
+// protocol crates need not depend on `uwb-faults` directly.
+pub use uwb_faults::{FaultInjector, FaultPlan, FaultStats};

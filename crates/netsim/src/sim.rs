@@ -20,6 +20,7 @@ use crate::node::{NodeConfig, SimNode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uwb_channel::{random, ChannelModel};
+use uwb_faults::{FaultInjector, FaultPlan, FaultStats};
 use uwb_radio::{
     DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState, DTU_SECONDS, TIMESTAMP_MODULUS,
 };
@@ -30,6 +31,21 @@ use uwb_radio::{
 pub const DEFAULT_RX_TIMESTAMP_NOISE_S: f64 = 0.107e-9;
 
 /// Simulator-wide physical-layer options.
+///
+/// Construct with the chainable builder surface rather than struct
+/// literals — every knob has a `with_*` setter:
+///
+/// ```
+/// use uwb_faults::FaultPlan;
+/// use uwb_netsim::SimConfig;
+///
+/// let config = SimConfig::default()
+///     .with_min_decode_amplitude(1e-3)
+///     .with_tx_quantization(false)
+///     .with_faults(FaultPlan::none().with_frame_loss(0.1)?);
+/// assert!(config.faults.is_active());
+/// # Ok::<(), uwb_faults::FaultError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// RX timestamp estimation noise σ in seconds.
@@ -49,6 +65,10 @@ pub struct SimConfig {
     /// decodable, the whole reception is lost — receiver sensitivity).
     /// 0.0 disables the limit.
     pub min_decode_amplitude: f64,
+    /// The fault-injection plan executed by the simulator (frame loss,
+    /// payload corruption, receiver dropout, TX jitter / late replies).
+    /// [`FaultPlan::none`] — the default — is a bit-identical no-op.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -59,7 +79,52 @@ impl Default for SimConfig {
             merge_window_s: 1016.0 * uwb_radio::CIR_SAMPLE_PERIOD_S,
             tx_quantization: true,
             min_decode_amplitude: 0.0,
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+impl SimConfig {
+    /// Sets the RX timestamp estimation noise σ in seconds.
+    #[must_use]
+    pub fn with_rx_timestamp_noise(mut self, sigma_s: f64) -> Self {
+        self.rx_timestamp_noise_s = sigma_s;
+        self
+    }
+
+    /// Sets the CFO measurement noise σ in ppm.
+    #[must_use]
+    pub fn with_cfo_noise(mut self, sigma_ppm: f64) -> Self {
+        self.cfo_noise_ppm = sigma_ppm;
+        self
+    }
+
+    /// Sets the accumulation-window merge span in seconds.
+    #[must_use]
+    pub fn with_merge_window(mut self, window_s: f64) -> Self {
+        self.merge_window_s = window_s;
+        self
+    }
+
+    /// Enables or disables the 8 ns delayed-TX hardware grid.
+    #[must_use]
+    pub fn with_tx_quantization(mut self, enabled: bool) -> Self {
+        self.tx_quantization = enabled;
+        self
+    }
+
+    /// Sets the receiver-sensitivity amplitude limit (0.0 disables it).
+    #[must_use]
+    pub fn with_min_decode_amplitude(mut self, amplitude: f64) -> Self {
+        self.min_decode_amplitude = amplitude;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -88,6 +153,7 @@ enum Command<P> {
 pub struct NodeApi<P> {
     node: NodeId,
     device_now: DeviceTime,
+    faults: FaultPlan,
     commands: Vec<Command<P>>,
 }
 
@@ -100,6 +166,14 @@ impl<P> NodeApi<P> {
     /// The node's current device time.
     pub fn device_now(&self) -> DeviceTime {
         self.device_now
+    }
+
+    /// The simulator's fault plan. Protocol engines consult it for the
+    /// receiver-side fault classes they model themselves (SNR dips, CIR
+    /// tap corruption); the network-side classes are injected by the
+    /// simulator directly.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
     }
 
     /// Schedules a delayed transmission at a target device time (the
@@ -236,6 +310,10 @@ pub struct Simulator<P> {
     now_s: f64,
     rx_buffers: Vec<Vec<ReceivedFrame<P>>>,
     rx_window_open: Vec<bool>,
+    rx_window_seq: Vec<u64>,
+    injector: FaultInjector,
+    tx_seq: u64,
+    sched_seq: u64,
     trace: Vec<TraceEvent>,
 }
 
@@ -244,6 +322,7 @@ impl<P: Clone> Simulator<P> {
     pub fn new(channel: ChannelModel, config: SimConfig, seed: u64) -> Self {
         Self {
             channel,
+            injector: FaultInjector::new(config.faults),
             config,
             nodes: Vec::new(),
             queue: EventQueue::new(),
@@ -251,6 +330,9 @@ impl<P: Clone> Simulator<P> {
             now_s: 0.0,
             rx_buffers: Vec::new(),
             rx_window_open: Vec::new(),
+            rx_window_seq: Vec::new(),
+            tx_seq: 0,
+            sched_seq: 0,
             trace: Vec::new(),
         }
     }
@@ -261,6 +343,7 @@ impl<P: Clone> Simulator<P> {
         self.nodes.push(SimNode::new(config));
         self.rx_buffers.push(Vec::new());
         self.rx_window_open.push(false);
+        self.rx_window_seq.push(0);
         id
     }
 
@@ -300,6 +383,13 @@ impl<P: Clone> Simulator<P> {
     /// The simulator's physical-layer configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Counters of the faults injected by the network layer so far
+    /// (frame loss, payload corruption, dropouts, TX jitter / late
+    /// replies). All-zero when the fault plan is disabled.
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.injector.stats()
     }
 
     /// Runs the simulation: fires `on_start` for every node at t = 0, then
@@ -376,6 +466,7 @@ impl<P: Clone> Simulator<P> {
         NodeApi {
             node,
             device_now,
+            faults: self.config.faults,
             commands: Vec::new(),
         }
     }
@@ -393,7 +484,20 @@ impl<P: Clone> Simulator<P> {
                     } else {
                         desired
                     };
-                    let global = self.device_to_global(node, actual);
+                    let mut global = self.device_to_global(node, actual);
+                    if self.injector.is_active() {
+                        // TX jitter / late fire: the RMARKER leaves the
+                        // antenna off-schedule while the embedded device
+                        // timestamp keeps claiming the intended time —
+                        // the fault the paper's RPM guard bands absorb
+                        // (or fail to, when the reply is late enough).
+                        let seq = self.sched_seq;
+                        self.sched_seq += 1;
+                        let delay = self.injector.tx_delay_s(node.0, seq);
+                        if delay != 0.0 {
+                            global = (global + delay).max(self.now_s);
+                        }
+                    }
                     self.queue.push(
                         global,
                         SimEvent::TxFire {
@@ -463,10 +567,18 @@ impl<P: Clone> Simulator<P> {
 
         let pulse = PulseShape::from_config(&tx_cfg.radio);
         let wavelength = tx_cfg.radio.channel.wavelength_m();
-        for (i, _) in self.nodes.iter().enumerate() {
+        self.tx_seq += 1;
+        let tx_seq = self.tx_seq;
+        for i in 0..self.nodes.len() {
             if i == node.0 as usize {
                 continue;
             }
+            // Per-link frame erasure: the receiver never sees the frame —
+            // neither payload nor channel energy.
+            if self.injector.lose_frame(tx_seq, node.0, i as u32) {
+                continue;
+            }
+            let corrupted = self.injector.corrupt_payload(tx_seq, node.0, i as u32);
             let rx_pos = self.nodes[i].config.position;
             let arrivals =
                 self.channel
@@ -480,6 +592,7 @@ impl<P: Clone> Simulator<P> {
                 payload: payload.clone(),
                 payload_bytes,
                 decodable: false,
+                corrupted,
                 tx_device_time: tx_device,
                 tx_rmarker_global_s: self.now_s,
                 arrivals,
@@ -497,8 +610,15 @@ impl<P: Clone> Simulator<P> {
     fn close_reception(&mut self, rx: NodeId) -> Option<Reception<P>> {
         let idx = rx.0 as usize;
         self.rx_window_open[idx] = false;
+        self.rx_window_seq[idx] += 1;
+        let window_seq = self.rx_window_seq[idx];
         let mut frames = std::mem::take(&mut self.rx_buffers[idx]);
         if frames.is_empty() {
+            return None;
+        }
+        // Receiver dropout: the whole accumulation window is missed
+        // (failed preamble acquisition) — the protocol never hears it.
+        if self.injector.dropout(rx.0, window_seq) {
             return None;
         }
         // Capture: the receiver locks onto the earliest arriving preamble
@@ -506,10 +626,11 @@ impl<P: Clone> Simulator<P> {
         // payload decodes and its first path is timestamped — consistent
         // with the paper, where "responder 1" (the closest) provides the
         // decoded payload and the SS-TWR anchor. Ties break by amplitude.
+        // Corrupted frames (injected CRC failures) cannot win capture.
         let best = frames
             .iter()
             .enumerate()
-            .filter(|(_, f)| f.peak_amplitude() >= self.config.min_decode_amplitude)
+            .filter(|(_, f)| !f.corrupted && f.peak_amplitude() >= self.config.min_decode_amplitude)
             .min_by(|a, b| {
                 a.1.first_path_global_s()
                     .partial_cmp(&b.1.first_path_global_s())
@@ -732,10 +853,8 @@ mod tests {
     fn weak_frames_are_not_decodable() {
         // A link-budget limit drops receptions whose strongest arrival is
         // below the receiver sensitivity.
-        let config = SimConfig {
-            min_decode_amplitude: 1.0, // far above any Friis amplitude
-            ..SimConfig::default()
-        };
+        // Far above any Friis amplitude.
+        let config = SimConfig::default().with_min_decode_amplitude(1.0);
         let mut sim = Simulator::new(ChannelModel::free_space(), config, 44);
         sim.add_node(NodeConfig::at(0.0, 0.0));
         sim.add_node(NodeConfig::at(60.0, 0.0));
@@ -771,6 +890,128 @@ mod tests {
         // ≈ +20 ppm fast, within readout noise.
         assert_eq!(proto.cfo.len(), 1);
         assert!((proto.cfo[0] - 20.0).abs() < 0.5, "cfo {}", proto.cfo[0]);
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bit_identical_to_default() {
+        // FaultPlan::none() must be a true no-op: same trace, same noisy
+        // timestamps, bit for bit — the acceptance criterion that lets
+        // every existing experiment keep its outputs.
+        let run = |config: SimConfig| {
+            let mut sim = Simulator::new(ChannelModel::free_space(), config, 42);
+            sim.add_node(NodeConfig::at(0.0, 0.0));
+            sim.add_node(NodeConfig::at(5.0, 0.0));
+            sim.add_node(NodeConfig::at(0.0, 7.0));
+            let mut proto = Broadcast {
+                receptions: Vec::new(),
+            };
+            sim.run(&mut proto, 1.0);
+            (proto.receptions, sim.trace().to_vec())
+        };
+        let baseline = run(SimConfig::default());
+        let with_noop_plan = run(SimConfig::default().with_faults(FaultPlan::none()));
+        assert_eq!(baseline, with_noop_plan);
+    }
+
+    #[test]
+    fn certain_frame_loss_erases_everything() {
+        let config =
+            SimConfig::default().with_faults(FaultPlan::none().with_frame_loss(1.0).unwrap());
+        let mut sim = Simulator::new(ChannelModel::free_space(), config, 42);
+        sim.add_node(NodeConfig::at(0.0, 0.0));
+        sim.add_node(NodeConfig::at(5.0, 0.0));
+        let mut proto = Broadcast {
+            receptions: Vec::new(),
+        };
+        sim.run(&mut proto, 1.0);
+        assert!(proto.receptions.is_empty());
+        assert_eq!(sim.fault_stats().frames_lost, 1);
+    }
+
+    #[test]
+    fn corrupted_payloads_cannot_decode_but_stats_count() {
+        let config = SimConfig::default()
+            .with_faults(FaultPlan::none().with_payload_corruption(1.0).unwrap());
+        let mut sim = Simulator::new(ChannelModel::free_space(), config, 42);
+        sim.add_node(NodeConfig::at(0.0, 0.0));
+        sim.add_node(NodeConfig::at(5.0, 0.0));
+        let mut proto = Broadcast {
+            receptions: Vec::new(),
+        };
+        sim.run(&mut proto, 1.0);
+        // All frames corrupted → nothing wins capture → no reception.
+        assert!(proto.receptions.is_empty());
+        assert_eq!(sim.fault_stats().payloads_corrupted, 1);
+    }
+
+    #[test]
+    fn certain_dropout_loses_the_window() {
+        let config = SimConfig::default()
+            .with_faults(FaultPlan::none().with_responder_dropout(1.0).unwrap());
+        let mut sim = Simulator::new(ChannelModel::free_space(), config, 42);
+        sim.add_node(NodeConfig::at(0.0, 0.0));
+        sim.add_node(NodeConfig::at(5.0, 0.0));
+        let mut proto = Broadcast {
+            receptions: Vec::new(),
+        };
+        sim.run(&mut proto, 1.0);
+        assert!(proto.receptions.is_empty());
+        assert_eq!(sim.fault_stats().dropouts, 1);
+    }
+
+    #[test]
+    fn late_reply_shifts_the_rmarker_but_not_the_claimed_time() {
+        // A certain late fire delays the TxFired global time by the
+        // configured amount, while the receiver still sees the sender's
+        // *intended* device timestamp in the payload metadata.
+        let late = 400e-9;
+        let run = |plan: FaultPlan| {
+            let mut sim = Simulator::new(
+                ChannelModel::free_space(),
+                SimConfig::default().with_faults(plan),
+                4,
+            );
+            sim.add_node(NodeConfig::at(0.0, 0.0));
+            sim.add_node(NodeConfig::at(5.0, 0.0));
+            let mut proto = Broadcast {
+                receptions: Vec::new(),
+            };
+            sim.run(&mut proto, 1.0);
+            let TraceEvent::TxFired { global_s, .. } = sim.trace()[0] else {
+                panic!("expected TxFired first");
+            };
+            global_s
+        };
+        let on_time = run(FaultPlan::none());
+        let delayed = run(FaultPlan::none().with_late_reply(1.0, late).unwrap());
+        assert!(
+            (delayed - on_time - late).abs() < 1e-12,
+            "late fire moved TX by {} s, expected {late}",
+            delayed - on_time
+        );
+    }
+
+    #[test]
+    fn fractional_loss_is_deterministic_per_seed() {
+        let run = || {
+            let config = SimConfig::default()
+                .with_faults(FaultPlan::none().with_seed(9).with_frame_loss(0.5).unwrap());
+            let mut sim = Simulator::new(ChannelModel::free_space(), config, 42);
+            sim.add_node(NodeConfig::at(0.0, 0.0));
+            for k in 0..6 {
+                sim.add_node(NodeConfig::at(3.0 + k as f64, 0.0));
+            }
+            let mut proto = Broadcast {
+                receptions: Vec::new(),
+            };
+            sim.run(&mut proto, 1.0);
+            (proto.receptions.len(), sim.fault_stats().frames_lost)
+        };
+        let (a_rx, a_lost) = run();
+        let (b_rx, b_lost) = run();
+        assert_eq!((a_rx, a_lost), (b_rx, b_lost));
+        assert!(a_lost > 0 && a_lost < 6, "lost {a_lost}/6");
+        assert_eq!(a_rx as u64 + a_lost, 6);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use metrics::{LatencyHistogram, MetricsRegistry, LATENCY_BINS};
 pub use paths::{results_dir, traces_dir};
 pub use recorder::{
     absorb_metrics, counter, enabled, event, flight_record, flush, gauge, init_from_env, install,
-    install_jsonl, install_with_quota, latency_table, metrics_snapshot, record_ns, scoped_metrics,
-    timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
+    install_jsonl, install_metrics_only, install_with_quota, latency_table, metrics_snapshot,
+    record_ns, scoped_metrics, timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
 };
 pub use stats::{median, median_abs_deviation, Counter, Histogram, ScalarStats};
 pub use timer::{measure_ns, per_second, Stopwatch};

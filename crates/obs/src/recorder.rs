@@ -76,6 +76,18 @@ pub fn install_with_quota(sink: Box<dyn TraceSink>, flight_quota: i64) {
     ENABLED.store(true, Ordering::Release);
 }
 
+/// Enables metrics and counters without writing a trace: installs a
+/// recorder backed by [`crate::NullSink`].
+///
+/// Experiments that want fault/recovery counters in their run summary —
+/// but no trace file — call this instead of `install_jsonl`:
+/// [`crate::enabled`] turns true, [`crate::counter`] and
+/// [`crate::metrics_snapshot`] work, and every event is discarded on the
+/// recorder's fast path.
+pub fn install_metrics_only() {
+    install(Box::new(crate::NullSink));
+}
+
 /// Installs a recorder writing JSONL to `path` (parent directories are
 /// created).
 ///

@@ -232,6 +232,37 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
     }
 
     {
+        // The resilience hot path: search-subtract on a CIR whose taps
+        // are 20 % corrupted by the fault plane. Corrupted taps replace
+        // real energy with spikes up to the true peak, so the detector
+        // grinds through extra candidates and subtractions — the cost
+        // this row regression-gates. Detection may legitimately fail
+        // here; the work, not the verdict, is what is timed.
+        let detector = default_detector();
+        let mut cir = fig7_overlap_cir();
+        let mut injector = uwb_faults::FaultInjector::new(
+            uwb_faults::FaultPlan::none()
+                .with_seed(SUITE_SEED)
+                .with_tap_corruption(0.2)
+                .expect("valid corruption probability"),
+        );
+        let corrupted = uwb_channel::apply_tap_corruption(&mut cir, &mut injector, 0);
+        assert!(corrupted > 0, "the corrupted workload must corrupt taps");
+        workloads.push(Workload {
+            name: "detect.search_subtract_corrupted",
+            layer: "detect",
+            units: "trials",
+            units_per_iter: 1.0,
+            default_iters: 60,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let outcome = detector.detect(&cir, 2);
+                std::hint::black_box(outcome).ok();
+            }),
+        });
+    }
+
+    {
         // Pulse-shape identification: score the Fig. 5 register bank
         // against a CIR rendered with the third register's shape.
         let bank = template_bank(

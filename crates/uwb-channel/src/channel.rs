@@ -92,6 +92,33 @@ pub struct ChannelConfig {
     pub amplitude_jitter_db: f64,
 }
 
+impl ChannelConfig {
+    /// Obstructs the direct path: `extra_loss_db` of attenuation plus
+    /// `excess_delay_ns` of through-obstacle propagation delay.
+    #[must_use]
+    pub fn with_nlos(mut self, extra_loss_db: f64, excess_delay_ns: f64) -> Self {
+        self.nlos = Some(NlosConfig {
+            extra_loss_db,
+            excess_delay_ns,
+        });
+        self
+    }
+
+    /// Sets the per-packet amplitude jitter (dB standard deviation).
+    #[must_use]
+    pub fn with_amplitude_jitter_db(mut self, db: f64) -> Self {
+        self.amplitude_jitter_db = db;
+        self
+    }
+
+    /// Sets the specular reflection order traced when a room is present.
+    #[must_use]
+    pub fn with_max_reflection_order(mut self, order: u8) -> Self {
+        self.max_reflection_order = order;
+        self
+    }
+}
+
 impl Default for ChannelConfig {
     fn default() -> Self {
         Self {

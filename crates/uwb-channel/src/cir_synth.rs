@@ -150,6 +150,36 @@ impl CirSynthesizer {
     }
 }
 
+/// Applies the fault plane's CIR tap corruption to a rendered accumulator.
+///
+/// Each corrupted tap is overwritten with peak-scaled garbage — magnitude
+/// uniform in `[0, peak]`, phase uniform in `[0, 2π)` — modeling accumulator
+/// read-out glitches (the DW1000's documented SPI back-to-back read
+/// corruption). Decisions and values come from the injector's deterministic
+/// streams, so the same `(plan seed, context)` always corrupts the same
+/// taps the same way. Returns the number of taps corrupted.
+///
+/// `context` must be unique per rendered CIR (e.g. the round number) so
+/// different rounds corrupt independently.
+pub fn apply_tap_corruption(
+    cir: &mut Cir,
+    injector: &mut uwb_faults::FaultInjector,
+    context: u64,
+) -> usize {
+    if injector.plan().tap_corruption() == 0.0 {
+        return 0;
+    }
+    let peak = cir.peak_magnitude();
+    let mut corrupted = 0;
+    for tap in 0..cir.len() {
+        if let Some((mag, phase)) = injector.corrupt_tap(context, tap) {
+            cir.taps_mut()[tap] = Complex64::from_polar(peak * mag, phase * std::f64::consts::TAU);
+            corrupted += 1;
+        }
+    }
+    corrupted
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +300,42 @@ mod tests {
     #[should_panic(expected = "invalid noise sigma")]
     fn rejects_negative_noise() {
         let _ = CirSynthesizer::new(Prf::Mhz64).with_noise_sigma(-0.1);
+    }
+
+    #[test]
+    fn tap_corruption_is_deterministic_and_bounded() {
+        let synth = CirSynthesizer::new(Prf::Mhz64);
+        let plan = uwb_faults::FaultPlan::none()
+            .with_seed(3)
+            .with_tap_corruption(0.2)
+            .unwrap();
+        let corrupt = |context: u64| {
+            let mut cir = synth.render(&[arrival(250.4, 1.0)], &mut rng());
+            let mut injector = uwb_faults::FaultInjector::new(plan);
+            let n = apply_tap_corruption(&mut cir, &mut injector, context);
+            (cir, n)
+        };
+        let (a, n_a) = corrupt(7);
+        let (b, n_b) = corrupt(7);
+        assert_eq!(n_a, n_b);
+        assert_eq!(a.taps(), b.taps());
+        // ~20% of 1016 taps, and every garbage tap stays within the peak.
+        assert!((100..320).contains(&n_a), "corrupted {n_a}");
+        let peak_clean = synth
+            .render(&[arrival(250.4, 1.0)], &mut rng())
+            .peak_magnitude();
+        assert!(a.magnitudes().iter().all(|&m| m <= peak_clean + 1e-12));
+        // A different context corrupts a different tap set.
+        let (c, _) = corrupt(8);
+        assert_ne!(a.taps(), c.taps());
+    }
+
+    #[test]
+    fn inactive_plan_corrupts_nothing() {
+        let mut cir = CirSynthesizer::new(Prf::Mhz64).render(&[arrival(100.0, 1.0)], &mut rng());
+        let before = cir.taps().to_vec();
+        let mut injector = uwb_faults::FaultInjector::new(uwb_faults::FaultPlan::none());
+        assert_eq!(apply_tap_corruption(&mut cir, &mut injector, 0), 0);
+        assert_eq!(cir.taps(), &before[..]);
     }
 }

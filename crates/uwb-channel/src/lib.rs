@@ -48,7 +48,7 @@ pub mod random;
 mod raytrace;
 
 pub use channel::{Arrival, ChannelConfig, ChannelModel, DiffuseConfig, NlosConfig};
-pub use cir_synth::CirSynthesizer;
+pub use cir_synth::{apply_tap_corruption, CirSynthesizer};
 pub use geometry::{Point2, Room, Wall};
 pub use materials::Material;
 pub use pathloss::PathLoss;

@@ -54,7 +54,10 @@ pub use cir::{Cir, CIR_SAMPLE_PERIOD_S};
 pub use config::{Channel, DataRate, PreambleLength, Prf, RadioConfig};
 pub use energy::{EnergyLedger, EnergyModel, RadioState};
 pub use error::RadioError;
-pub use preamble::{estimate_cir_from_preamble, MSequence};
+pub use preamble::{
+    acquisition_probability, estimate_cir_from_preamble, MSequence, ACQUISITION_SNR_MIDPOINT_DB,
+    ACQUISITION_SNR_SCALE_DB,
+};
 pub use pulse::{PulseShape, SampledPulse};
 pub use registers::TcPgDelay;
 pub use time::{

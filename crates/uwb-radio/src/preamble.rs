@@ -176,6 +176,64 @@ fn estimate_cir_from_preamble_inner(
         .collect())
 }
 
+/// SNR (dB) at which preamble acquisition succeeds half the time.
+///
+/// The DW1000's leading-edge/acquisition stage needs the accumulated
+/// preamble peak to clear its detection threshold; measurement campaigns
+/// place the knee of the packet-reception curve in the low single digits
+/// of post-accumulation SNR.
+pub const ACQUISITION_SNR_MIDPOINT_DB: f64 = 4.0;
+
+/// Logistic steepness of the acquisition curve (dB per e-fold).
+pub const ACQUISITION_SNR_SCALE_DB: f64 = 1.0;
+
+/// Probability that preamble acquisition succeeds at a given
+/// post-accumulation SNR (dB) — a logistic model of the sharp
+/// reception-vs-SNR knee real UWB receivers exhibit.
+///
+/// Used by fault-aware experiments to translate an injected SNR dip
+/// (`uwb_faults::FaultPlan::with_snr_dip` upstream) into a frame-level
+/// acquisition outcome. Monotone in `snr_db`; returns 0.5 exactly at
+/// [`ACQUISITION_SNR_MIDPOINT_DB`], and 0 for NaN input (a frame with no
+/// meaningful SNR never acquires).
+///
+/// # Examples
+///
+/// ```
+/// use uwb_radio::acquisition_probability;
+///
+/// assert!((acquisition_probability(4.0) - 0.5).abs() < 1e-12);
+/// assert!(acquisition_probability(20.0) > 0.999);
+/// assert!(acquisition_probability(-10.0) < 1e-3);
+/// ```
+pub fn acquisition_probability(snr_db: f64) -> f64 {
+    if snr_db.is_nan() {
+        return 0.0;
+    }
+    1.0 / (1.0 + (-(snr_db - ACQUISITION_SNR_MIDPOINT_DB) / ACQUISITION_SNR_SCALE_DB).exp())
+}
+
+#[cfg(test)]
+mod acquisition_tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_with_correct_midpoint_and_tails() {
+        assert!((acquisition_probability(ACQUISITION_SNR_MIDPOINT_DB) - 0.5).abs() < 1e-12);
+        let mut prev = 0.0;
+        for snr_tenths in -300..300 {
+            let p = acquisition_probability(f64::from(snr_tenths) * 0.1);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev, "not monotone at {snr_tenths}");
+            prev = p;
+        }
+        assert!(acquisition_probability(30.0) > 0.999_999);
+        assert!(acquisition_probability(-20.0) < 1e-9);
+        assert_eq!(acquisition_probability(f64::NAN), 0.0);
+        assert_eq!(acquisition_probability(f64::INFINITY), 1.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,7 @@
 //! message exchanges per waypoint.
 
 use concurrent_ranging::{
-    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangeToAnchor, RangingError,
-    SlotPlan,
+    multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangeToAnchor, SlotPlan,
 };
 use uwb_channel::{ChannelConfig, ChannelModel, Point2, Room};
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
@@ -20,7 +19,7 @@ use uwb_netsim::{NodeConfig, SimConfig, Simulator};
 const HALL_W: f64 = 18.0;
 const HALL_H: f64 = 12.0;
 
-fn main() -> Result<(), RangingError> {
+fn main() -> Result<(), uwb_error::Error> {
     let anchors = [
         Point2::new(0.5, 0.5),
         Point2::new(HALL_W - 0.5, 0.5),
@@ -31,10 +30,7 @@ fn main() -> Result<(), RangingError> {
     let scheme = CombinedScheme::new(SlotPlan::new(4)?, 1)?;
 
     // A lightly reverberant exhibition hall.
-    let channel_config = ChannelConfig {
-        amplitude_jitter_db: 0.8,
-        ..ChannelConfig::default()
-    };
+    let channel_config = ChannelConfig::default().with_amplitude_jitter_db(0.8);
     let channel =
         ChannelModel::with_config(Some(Room::rectangular(HALL_W, HALL_H, 0.6)), channel_config);
 

@@ -10,13 +10,11 @@
 //! earliest-per-slot guard keep identification working even when wall
 //! reflections are stronger than the blocked direct paths.
 
-use concurrent_ranging::{
-    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingError, SlotPlan,
-};
-use uwb_channel::{ChannelConfig, ChannelModel, NlosConfig, Room};
+use concurrent_ranging::{CombinedScheme, ConcurrentConfig, ConcurrentEngine, SlotPlan};
+use uwb_channel::{ChannelConfig, ChannelModel, Room};
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
 
-fn main() -> Result<(), RangingError> {
+fn main() -> Result<(), uwb_error::Error> {
     let truths = [6.0, 12.0];
     println!("two responders at 6 m and 12 m; LOS attenuation sweep\n");
     println!(
@@ -27,10 +25,7 @@ fn main() -> Result<(), RangingError> {
     for extra_loss_db in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
         let mut channel_config = ChannelConfig::default();
         if extra_loss_db > 0.0 {
-            channel_config.nlos = Some(NlosConfig {
-                extra_loss_db,
-                excess_delay_ns: 0.1 * extra_loss_db,
-            });
+            channel_config = channel_config.with_nlos(extra_loss_db, 0.1 * extra_loss_db);
         }
         let channel =
             ChannelModel::with_config(Some(Room::rectangular(20.0, 8.0, 0.6)), channel_config);

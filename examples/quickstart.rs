@@ -7,13 +7,12 @@
 //! initiator recovers every responder's identity and distance from one
 //! channel impulse response.
 
-use concurrent_ranging::{
-    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingError, SlotPlan,
-};
+use concurrent_ranging::{CombinedScheme, ConcurrentConfig, ConcurrentEngine, SlotPlan};
 use uwb_channel::ChannelModel;
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
 
-fn main() -> Result<(), RangingError> {
+// The unified workspace error: every layer's failures `?` into it.
+fn main() -> Result<(), uwb_error::Error> {
     // 4 RPM slots × 2 pulse shapes: up to 8 responders per round.
     let scheme = CombinedScheme::new(SlotPlan::new(4)?, 2)?;
 
@@ -45,8 +44,14 @@ fn main() -> Result<(), RangingError> {
         .first()
         .expect("the round completes in free space");
     println!(
-        "\none round: anchor = responder {}, d_TWR = {:.3} m",
-        outcome.anchor_id, outcome.d_twr_m
+        "\none round: anchor = responder {}, d_TWR = {:.3} m, {}",
+        outcome.anchor_id,
+        outcome.d_twr_m,
+        if outcome.is_complete() {
+            "all responders resolved".to_string()
+        } else {
+            format!("missing responders: {:?}", outcome.missing_ids())
+        }
     );
     println!(
         "{:<12} {:>12} {:>10} {:>8}",

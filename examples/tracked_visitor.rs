@@ -11,12 +11,12 @@
 
 use concurrent_ranging::{
     multilaterate, CombinedScheme, ConcurrentConfig, ConcurrentEngine, PositionTracker,
-    RangeToAnchor, RangingError, SlotPlan,
+    RangeToAnchor, SlotPlan,
 };
 use uwb_channel::{ChannelModel, Point2, Room};
-use uwb_netsim::{NodeConfig, SimConfig, Simulator};
+use uwb_netsim::{FaultPlan, NodeConfig, SimConfig, Simulator};
 
-fn main() -> Result<(), RangingError> {
+fn main() -> Result<(), uwb_error::Error> {
     const HALL_W: f64 = 20.0;
     const HALL_H: f64 = 10.0;
     let anchors = [
@@ -45,8 +45,17 @@ fn main() -> Result<(), RangingError> {
         let t = step as f64 * fix_interval;
         let truth = Point2::new(2.0 + speed * t, 5.0);
 
-        // One concurrent round at this waypoint.
-        let mut sim = Simulator::new(channel.clone(), SimConfig::default(), 500 + step as u64);
+        // One concurrent round at this waypoint. Crowds occasionally
+        // shadow a link; the engine's retry watchdog papers over most of
+        // it and the Kalman filter coasts through the rest.
+        let faults = FaultPlan::none()
+            .with_seed(900 + step as u64)
+            .with_frame_loss(0.05)?;
+        let mut sim = Simulator::new(
+            channel.clone(),
+            SimConfig::default().with_faults(faults),
+            500 + step as u64,
+        );
         let tag = sim.add_node(NodeConfig::at(truth.x, truth.y));
         let mut responders = Vec::new();
         for (id, a) in anchors.iter().enumerate() {
@@ -59,7 +68,9 @@ fn main() -> Result<(), RangingError> {
         let mut engine = ConcurrentEngine::new(
             tag,
             responders,
-            ConcurrentConfig::new(scheme.clone()).with_mpc_guard(),
+            ConcurrentConfig::new(scheme.clone())
+                .with_mpc_guard()
+                .with_retries(1),
             700 + step as u64,
         )?;
         sim.run(&mut engine, 1.0);

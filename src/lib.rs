@@ -2,5 +2,11 @@
 pub use concurrent_ranging as ranging;
 pub use uwb_channel as channel;
 pub use uwb_dsp as dsp;
+pub use uwb_error as error;
+pub use uwb_faults as faults;
 pub use uwb_netsim as netsim;
 pub use uwb_radio as radio;
+
+// The unified fallible surface, flattened for `?`-friendly application
+// code: `use uwb_concurrent_ranging::{Error, Layer};`.
+pub use uwb_error::{Error, Layer};
