@@ -34,4 +34,16 @@ echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 echo "==> perfwatch committed-baseline validation"
 ./target/release/perfwatch --validate BENCH_pipeline.json
 
+echo "==> perfwatch count-alloc smoke (planned hot path stays allocation-free)"
+# Rebuilds the suite with the counting allocator and gates the planned
+# DSP/detection rows on a hard per-iteration allocation budget: after one
+# warmup (which fills the plan caches), a detection allocates nothing
+# beyond its returned response vector.
+cargo build --release -p uwb-perfwatch --features count-alloc
+./target/release/perfwatch --iters 1 --warmup 1 \
+    --filter dsp.matched_filter_1016,detect.search_subtract,detect.shape_classify \
+    --max-allocs 4 --out /tmp/bench_alloc_smoke.json >/dev/null
+# Restore the default-feature binary for anyone running artifacts next.
+cargo build --release -p uwb-perfwatch
+
 echo "ci: all gates passed"

@@ -3,7 +3,8 @@
 //! number of pulse shapes N_PS (the run-time cost of identification).
 
 use concurrent_ranging::detection::{
-    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
+    DetectorContext, SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig,
+    ThresholdDetector,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -39,6 +40,21 @@ fn bench_detectors(c: &mut Criterion) {
     .unwrap();
     group.bench_function("search_subtract", |b| {
         b.iter(|| ss.detect(black_box(&cir), 3).unwrap())
+    });
+    // The planned hot path: per-worker context, diagnostics capture off —
+    // how the campaign engine runs the detector in steady state.
+    let hot = SearchSubtractDetector::from_registers(
+        &[TcPgDelay::DEFAULT],
+        Channel::Ch7,
+        SearchSubtractConfig {
+            capture_diagnostics: false,
+            ..SearchSubtractConfig::default()
+        },
+    )
+    .unwrap();
+    let mut ctx = DetectorContext::new();
+    group.bench_function("search_subtract_planned", |b| {
+        b.iter(|| hot.detect_with(&mut ctx, black_box(&cir), 3).unwrap())
     });
     let th = ThresholdDetector::new(ThresholdConfig::default()).unwrap();
     group.bench_function("threshold_baseline", |b| {

@@ -1,12 +1,15 @@
 //! Microbenchmarks of the DSP substrate: the FFT (radix-2 and the
 //! Bluestein path the 1016-tap CIR requires), CIR upsampling and CIR
 //! synthesis — the per-round costs of the detection pipeline's step 1.
+//! The `planned` variants measure the same kernels through the
+//! plan-cache/scratch-arena hot path, quantifying what per-call plan
+//! construction and output allocation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use uwb_channel::{Arrival, CirSynthesizer};
-use uwb_dsp::{upsample_fft, BluesteinPlan, Complex64, FftPlan};
-use uwb_radio::{Prf, PulseShape, RadioConfig};
+use uwb_dsp::{upsample_fft, upsample_fft_into, BluesteinPlan, Complex64, DspContext, FftPlan};
+use uwb_radio::{Cir, Prf, PulseShape, RadioConfig};
 
 fn signal(n: usize) -> Vec<Complex64> {
     (0..n)
@@ -44,8 +47,16 @@ fn bench_upsample(c: &mut Criterion) {
     let mut group = c.benchmark_group("upsample_cir");
     let data = signal(1016);
     for &factor in &[2usize, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+        group.bench_with_input(BenchmarkId::new("alloc", factor), &factor, |b, &f| {
             b.iter(|| upsample_fft(black_box(&data), f).unwrap())
+        });
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("planned", factor), &factor, |b, &f| {
+            b.iter(|| {
+                upsample_fft_into(black_box(&data), f, &mut out, &mut ctx).unwrap();
+                black_box(out.len())
+            })
         });
     }
     group.finish();
@@ -65,12 +76,24 @@ fn bench_cir_synthesis(c: &mut Criterion) {
             .collect();
         let synth = CirSynthesizer::new(Prf::Mhz64).with_noise_sigma(1e-3);
         group.bench_with_input(
-            BenchmarkId::from_parameter(n_arrivals),
+            BenchmarkId::new("alloc", n_arrivals),
             &n_arrivals,
             |b, _| {
                 b.iter(|| {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
                     synth.render(black_box(&arrivals), &mut rng)
+                })
+            },
+        );
+        let mut cir = Cir::zeroed(Prf::Mhz64);
+        group.bench_with_input(
+            BenchmarkId::new("planned", n_arrivals),
+            &n_arrivals,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                    synth.render_into(&mut cir, black_box(&arrivals), &mut rng);
+                    black_box(cir.len())
                 })
             },
         );

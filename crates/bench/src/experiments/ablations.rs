@@ -156,6 +156,7 @@ pub fn run_upsampling(trials: usize, seed: u64) -> UpsamplingReport {
                     upsample: factor,
                     refine: false,
                     refinement_passes: 0,
+                    ..SearchSubtractConfig::default()
                 },
             )
             .expect("detector");

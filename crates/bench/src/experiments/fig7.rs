@@ -11,15 +11,16 @@
 //! per-trial seed derivation, so the report is bit-identical for any
 //! worker count.
 
-use crate::scenarios::{synthesize_responses, tx_grid_offset_ns};
+use crate::scenarios::{synthesize_responses_into, tx_grid_offset_ns};
 use crate::table::{fmt_f, Table};
 use concurrent_ranging::detection::{
-    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
+    DetectorContext, SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig,
+    ThresholdDetector,
 };
 use rand::Rng;
 use std::fmt;
 use uwb_campaign::{Campaign, Collect, TrialRng};
-use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
+use uwb_radio::{Channel, Cir, Prf, PulseShape, RadioConfig, TcPgDelay};
 
 /// Result of the overlap experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +37,7 @@ pub struct Fig7Report {
 
 /// One trial's outcome: did the responses overlap, and which detectors
 /// resolved both.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverlapTrial {
     /// The responses' offset was within the overlap window.
     pub overlapped: bool,
@@ -128,6 +129,32 @@ pub fn run_with(trials: usize, seed: u64, overlap_window_ns: f64, tol_ns: f64) -
         .into()
 }
 
+/// Per-worker scratch for the overlap campaign: detector plans and
+/// buffers plus a reusable CIR. The campaign engine builds one per worker
+/// thread, so steady-state trials allocate only their response vectors.
+#[derive(Debug)]
+pub struct TrialScratch {
+    ctx: DetectorContext,
+    cir: Cir,
+}
+
+impl TrialScratch {
+    /// Fresh scratch sized for PRF-64 CIRs.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ctx: DetectorContext::new(),
+            cir: Cir::zeroed(Prf::Mhz64),
+        }
+    }
+}
+
+impl Default for TrialScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One Fig. 7 trial against shared detectors: draws the TX-grid offset,
 /// synthesizes the two-response CIR, and scores both detectors.
 pub fn overlap_trial(
@@ -138,6 +165,23 @@ pub fn overlap_trial(
     overlap_window_ns: f64,
     tol_ns: f64,
 ) -> OverlapTrial {
+    let mut scratch = TrialScratch::new();
+    overlap_trial_with(&mut scratch, rng, pulse, ss, th, overlap_window_ns, tol_ns)
+}
+
+/// [`overlap_trial`] reusing a worker's [`TrialScratch`]. Bit-identical
+/// outcomes — the CIR render and both detectors are exact under buffer
+/// reuse — with no per-trial plan or buffer allocation.
+pub fn overlap_trial_with(
+    scratch: &mut TrialScratch,
+    rng: &mut TrialRng,
+    pulse: PulseShape,
+    ss: &SearchSubtractDetector,
+    th: &ThresholdDetector,
+    overlap_window_ns: f64,
+    tol_ns: f64,
+) -> OverlapTrial {
+    let TrialScratch { ctx, cir } = scratch;
     let offset_ns = tx_grid_offset_ns(rng);
     if offset_ns.abs() >= overlap_window_ns {
         // Paper: only actually-overlapping trials are scored.
@@ -150,15 +194,16 @@ pub fn overlap_trial(
     let base_ns = 100.0 + rng.random::<f64>(); // sub-tap phase varies
     let amp2 = 0.7 + 0.6 * rng.random::<f64>();
     let truth = [base_ns, base_ns + offset_ns];
-    let cir = synthesize_responses(
+    synthesize_responses_into(
         &[(truth[0], 1.0, pulse), (truth[1], amp2, pulse)],
         30.0,
+        cir,
         rng,
     );
 
-    let ss_out = ss.detect(&cir, 2).expect("detection runs");
+    let ss_out = ss.detect_with(ctx, cir, 2).expect("detection runs");
     let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
-    let th_out = th.detect(&cir, 2).expect("baseline runs");
+    let th_out = th.detect_with(ctx, cir, 2).expect("baseline runs");
     let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
     let search_subtract_ok = matches_both(&ss_taus, &truth, tol_ns);
     if !search_subtract_ok {
@@ -200,10 +245,15 @@ pub fn campaign(
     threads: usize,
 ) -> uwb_campaign::CampaignReport<OverlapTally> {
     let pulse = PulseShape::from_config(&RadioConfig::default());
+    // The campaign scores responses only, so per-iteration diagnostics
+    // capture is switched off: same verdicts, no magnitude-trace copies.
     let ss = SearchSubtractDetector::from_registers(
         &[TcPgDelay::DEFAULT],
         Channel::Ch7,
-        SearchSubtractConfig::default(),
+        SearchSubtractConfig {
+            capture_diagnostics: false,
+            ..SearchSubtractConfig::default()
+        },
     )
     .expect("detector construction");
     let th = ThresholdDetector::new(ThresholdConfig {
@@ -212,10 +262,15 @@ pub fn campaign(
     })
     .expect("baseline construction");
 
-    Campaign::new(trials as u64, seed).threads(threads).run(
-        |_, rng| overlap_trial(rng, pulse, &ss, &th, overlap_window_ns, tol_ns),
-        OverlapTally::default(),
-    )
+    Campaign::new(trials as u64, seed)
+        .threads(threads)
+        .run_with_context(
+            TrialScratch::new,
+            |scratch, _, rng| {
+                overlap_trial_with(scratch, rng, pulse, &ss, &th, overlap_window_ns, tol_ns)
+            },
+            OverlapTally::default(),
+        )
 }
 
 impl fmt::Display for Fig7Report {
@@ -280,6 +335,44 @@ mod tests {
         let a: Fig7Report = one.collector.into();
         let b: Fig7Report = four.collector.into();
         assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_trials() {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let window = pulse.main_lobe_s() * 1e9;
+        let ss = SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig::default(),
+        )
+        .unwrap();
+        let th = ThresholdDetector::new(ThresholdConfig {
+            pulse_duration_s: window * 1e-9,
+            ..ThresholdConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        for trial in 0..8u64 {
+            let fresh = overlap_trial(
+                &mut uwb_campaign::trial_rng(17, trial),
+                pulse,
+                &ss,
+                &th,
+                window,
+                0.75,
+            );
+            let reused = overlap_trial_with(
+                &mut scratch,
+                &mut uwb_campaign::trial_rng(17, trial),
+                pulse,
+                &ss,
+                &th,
+                window,
+                0.75,
+            );
+            assert_eq!(fresh, reused, "trial {trial}");
+        }
     }
 
     #[test]

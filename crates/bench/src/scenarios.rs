@@ -88,6 +88,21 @@ pub fn synthesize_responses(
     snr_db: f64,
     rng: &mut StdRng,
 ) -> Cir {
+    let mut cir = Cir::zeroed(Prf::Mhz64);
+    synthesize_responses_into(responses, snr_db, &mut cir, rng);
+    cir
+}
+
+/// [`synthesize_responses`] into a caller-owned CIR buffer. The RNG draw
+/// order (one phase per response, then the noise stream) is identical, so
+/// the rendered taps are bit-for-bit the same — campaign workers reuse one
+/// buffer per thread without perturbing any seeded result.
+pub fn synthesize_responses_into(
+    responses: &[(f64, f64, PulseShape)],
+    snr_db: f64,
+    cir: &mut Cir,
+    rng: &mut StdRng,
+) {
     let strongest = responses.iter().map(|r| r.1).fold(0.0, f64::max);
     let noise = strongest * 10f64.powf(-snr_db / 20.0);
     let arrivals: Vec<Arrival> = responses
@@ -100,7 +115,7 @@ pub fn synthesize_responses(
         .collect();
     CirSynthesizer::new(Prf::Mhz64)
         .with_noise_sigma(noise)
-        .render(&arrivals, rng)
+        .render_into(cir, &arrivals, rng);
 }
 
 /// Draws the concurrency offset between two "simultaneous" responders
@@ -151,6 +166,18 @@ mod tests {
         let mut r = rng(3);
         let cir = synthesize_responses(&[(100.0, 1.0, pulse), (150.0, 0.5, pulse)], 30.0, &mut r);
         assert_eq!(cir.strongest_tap(), Some(100));
+    }
+
+    #[test]
+    fn synthesize_into_reused_buffer_is_bit_identical() {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let spec = [(100.0, 1.0, pulse), (101.2, 0.6, pulse)];
+        let mut reused = Cir::zeroed(Prf::Mhz64);
+        for seed in 0..3u64 {
+            let fresh = synthesize_responses(&spec, 30.0, &mut rng(seed));
+            synthesize_responses_into(&spec, 30.0, &mut reused, &mut rng(seed));
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 
     #[test]

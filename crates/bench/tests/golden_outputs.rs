@@ -1,0 +1,69 @@
+//! Golden-output regression tests for the two headline experiment
+//! binaries: the reports behind `exp_fig7_overlap` and `exp_fault_sweep`
+//! must render byte-identically at 1, 2, 4 and 8 worker threads, and must
+//! keep the exact seeded values captured before the planned-DSP engine
+//! landed — the whole-pipeline proof that plan caching and buffer reuse
+//! changed no detection verdict anywhere.
+//!
+//! (Recorder-free on purpose: the obs recorder is process-global and is
+//! owned by `determinism.rs` in its own test binary.)
+
+use repro_bench::experiments::{fault_sweep, fig7};
+use uwb_radio::{PulseShape, RadioConfig};
+
+#[test]
+fn fig7_report_values_and_rendering_are_pinned_across_threads() {
+    let window = PulseShape::from_config(&RadioConfig::default()).main_lobe_s() * 1e9;
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let fig: fig7::Fig7Report = fig7::campaign(200, 17, window, 0.75, threads)
+            .collector
+            .into();
+        // The seed-17 run the experiment binary ships: 125 overlapping
+        // trials, S&S 96/125, threshold 53/125 — exact, not approximate.
+        assert_eq!(fig.total_trials, 200, "at {threads} threads");
+        assert_eq!(fig.overlapping_trials, 125, "at {threads} threads");
+        assert_eq!(
+            fig.search_subtract_rate,
+            96.0 / 125.0,
+            "at {threads} threads"
+        );
+        assert_eq!(fig.threshold_rate, 53.0 / 125.0, "at {threads} threads");
+        let rendered = format!("{fig}");
+        assert!(
+            rendered.starts_with(
+                "Fig. 7 / Sect. VI — overlapping responses (d1 = d2 = 4 m), \
+                 125 of 200 trials overlapped"
+            ),
+            "unexpected header at {threads} threads:\n{rendered}"
+        );
+        match &reference {
+            None => reference = Some(rendered),
+            Some(r) => assert_eq!(&rendered, r, "rendering diverged at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn fault_sweep_report_values_and_rendering_are_pinned_across_threads() {
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let report = fault_sweep::run(50, 37, threads);
+        // Spot-pin the 10 %-loss point of the seed-37, 50-trial sweep the
+        // experiment binary ships (the rest is covered by the rendering
+        // comparison below).
+        let p = &report.points[1];
+        assert_eq!(p.loss, 0.1, "at {threads} threads");
+        assert_eq!(p.tally.full_rounds, 206, "at {threads} threads");
+        assert_eq!(p.tally.partial_rounds, 94, "at {threads} threads");
+        assert_eq!(p.tally.failed_rounds, 0, "at {threads} threads");
+        assert_eq!(p.tally.retries, 1, "at {threads} threads");
+        assert_eq!(p.tally.faults.frames_lost, 318, "at {threads} threads");
+        assert_eq!(p.outages, 0, "at {threads} threads");
+        let rendered = format!("{report}");
+        match &reference {
+            None => reference = Some(rendered),
+            Some(r) => assert_eq!(&rendered, r, "rendering diverged at {threads} threads"),
+        }
+    }
+}

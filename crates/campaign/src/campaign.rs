@@ -130,6 +130,31 @@ impl<'a> Campaign<'a> {
         F: Fn(u64, &mut TrialRng) -> O + Sync,
         C: Collect<O> + Clone + Send,
     {
+        self.run_with_context(|| (), |(), index, rng| trial(index, rng), collector)
+    }
+
+    /// [`Campaign::run`] with per-worker state: every worker thread calls
+    /// `init()` once and passes the resulting context to each of its
+    /// trials — the hook for plan caches and scratch buffers that are
+    /// expensive to build but reusable across trials.
+    ///
+    /// The determinism contract is unchanged *provided the context does
+    /// not alter trial outcomes*: trials must be a pure function of
+    /// `(index, rng)` with the context only amortizing work (the planned
+    /// DSP engine guarantees bit-identical outputs). Under that
+    /// assumption the merged collector is bit-identical for any thread
+    /// count, exactly as with `run`.
+    pub fn run_with_context<W, O, I, F, C>(
+        &self,
+        init: I,
+        trial: F,
+        collector: C,
+    ) -> CampaignReport<C>
+    where
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut TrialRng) -> O + Sync,
+        C: Collect<O> + Clone + Send,
+    {
         let started = Instant::now();
         let threads = self.effective_threads().max(1);
         let n_chunks = self.trials.div_ceil(self.chunk_size);
@@ -145,7 +170,7 @@ impl<'a> Campaign<'a> {
         let cursor = AtomicU64::new(0);
         let completed = AtomicU64::new(0);
 
-        let run_chunk = |chunk: u64, prototype: &C| {
+        let run_chunk = |chunk: u64, prototype: &C, worker: &mut W| {
             let start = self.first_trial + chunk * self.chunk_size;
             let end = (start + self.chunk_size).min(self.first_trial + self.trials);
             let chunk_watch = uwb_obs::Stopwatch::start();
@@ -161,10 +186,10 @@ impl<'a> Campaign<'a> {
                     let mut rng = trial_rng(self.seed, index);
                     let outcome = if uwb_obs::enabled() {
                         uwb_obs::trial_scope(index, || {
-                            uwb_obs::timed("campaign.trial", || trial(index, &mut rng))
+                            uwb_obs::timed("campaign.trial", || trial(worker, index, &mut rng))
                         })
                     } else {
-                        trial(index, &mut rng)
+                        trial(worker, index, &mut rng)
                     };
                     local.record(index, outcome);
                 }
@@ -197,23 +222,30 @@ impl<'a> Campaign<'a> {
         if workers == 1 {
             // Same chunk structure as the parallel path (identical merge
             // tree), without spawning.
+            let mut worker = init();
             for chunk in 0..n_chunks {
-                run_chunk(chunk, &collector);
+                run_chunk(chunk, &collector, &mut worker);
             }
         } else {
-            // Each worker owns a prototype clone, so `C` needs only
-            // `Clone + Send`, not `Sync`.
+            // Each worker owns a prototype clone (so `C` needs only
+            // `Clone + Send`, not `Sync`) plus its own context from
+            // `init`, built on the worker thread and reused across all
+            // chunks it pulls.
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let prototype = collector.clone();
                     let run_chunk = &run_chunk;
                     let cursor = &cursor;
-                    scope.spawn(move || loop {
-                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                        if chunk >= n_chunks {
-                            break;
+                    let init = &init;
+                    scope.spawn(move || {
+                        let mut worker = init();
+                        loop {
+                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= n_chunks {
+                                break;
+                            }
+                            run_chunk(chunk, &prototype, &mut worker);
                         }
-                        run_chunk(chunk, &prototype);
                     });
                 }
             });
@@ -367,6 +399,39 @@ mod tests {
         };
         assert_eq!(count(1), count(64));
         assert_eq!(count(64), count(1_000));
+    }
+
+    #[test]
+    fn worker_context_reuse_is_thread_invariant() {
+        // Contexts are per-worker and reused across chunks; outcomes
+        // derived purely from (index, rng) stay bit-identical at any
+        // thread count, and each worker builds exactly one context.
+        let inits = AtomicUsize::new(0);
+        let run = |threads: usize| {
+            Campaign::new(400, 21)
+                .threads(threads)
+                .chunk_size(16)
+                .run_with_context(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<f64>::new()
+                    },
+                    |scratch, i, rng| {
+                        // The scratch buffer grows with reuse; the outcome
+                        // must not depend on its prior contents.
+                        scratch.push(rng.random::<f64>());
+                        (i, *scratch.last().unwrap())
+                    },
+                    VecCollector::new(),
+                )
+        };
+        inits.store(0, Ordering::Relaxed);
+        let one = run(1);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        inits.store(0, Ordering::Relaxed);
+        let four = run(4);
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+        assert_eq!(one.collector.outcomes(), four.collector.outcomes());
     }
 
     #[test]

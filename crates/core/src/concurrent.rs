@@ -17,7 +17,9 @@
 //!    from Eq. 4 with slot-delay compensation.
 
 use crate::assignment::CombinedScheme;
-use crate::detection::{DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector};
+use crate::detection::{
+    DetectionOutcome, DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
+};
 use crate::error::RangingError;
 use crate::estimate::{concurrent_distance_with_rpm_m, TwrTimestamps};
 use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
@@ -238,6 +240,9 @@ pub struct ConcurrentEngine {
     responder_ids: Vec<(NodeId, u32)>,
     config: ConcurrentConfig,
     detector: SearchSubtractDetector,
+    /// Reused detection plans/buffers — one context per engine, so every
+    /// round after the first runs the detector allocation-free.
+    detector_ctx: DetectorContext,
     synth_prf: Prf,
     rng: StdRng,
     current_round: u32,
@@ -286,6 +291,7 @@ impl ConcurrentEngine {
             responder_ids,
             config,
             detector,
+            detector_ctx: DetectorContext::new(),
             synth_prf: Prf::Mhz64,
             rng: StdRng::seed_from_u64(seed),
             current_round: 0,
@@ -434,7 +440,9 @@ impl ConcurrentEngine {
         } else {
             expected
         };
-        let detection = self.detector.detect(&cir, detect_count)?;
+        let detection = self
+            .detector
+            .detect_with(&mut self.detector_ctx, &cir, detect_count)?;
 
         // The anchor response is the one nearest the reported FP_INDEX.
         let tau_anchor_nominal = fp_index * CIR_SAMPLE_PERIOD_S;
@@ -516,7 +524,7 @@ impl ConcurrentEngine {
             let scores: std::collections::HashMap<u64, Vec<f64>> = detection
                 .responses
                 .iter()
-                .map(|r| (r.tau_s.to_bits(), r.shape_scores.clone()))
+                .map(|r| (r.tau_s.to_bits(), r.shape_scores.to_vec()))
                 .collect();
             let mut taken: std::collections::HashSet<(usize, usize)> =
                 std::collections::HashSet::new();

@@ -1,0 +1,58 @@
+//! Per-worker detection context: cached DSP plans plus reusable working
+//! buffers for the detection hot path.
+//!
+//! Both detectors re-run the same transform sizes for every CIR (1016
+//! taps upsampled ×8 → 8128 samples, matched-filtered per template). A
+//! [`DetectorContext`] owns a [`uwb_dsp::DspContext`] (FFT plan cache +
+//! scratch arena) and the detector-level buffers — the residual, the
+//! per-template matched-filter output and magnitudes — so a steady-state
+//! `detect_with` call allocates (almost) nothing. Build one context per
+//! worker thread and reuse it across trials; outputs are bit-identical
+//! to the context-free entry points.
+
+use uwb_dsp::{Complex64, DspContext};
+
+/// Reusable state for repeated detection runs on one worker.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent_ranging::detection::DetectorContext;
+///
+/// let mut ctx = DetectorContext::new();
+/// // Pass to `SearchSubtractDetector::detect_with` /
+/// // `ThresholdDetector::detect_with` across many trials.
+/// # let _ = &mut ctx;
+/// ```
+#[derive(Debug, Default)]
+pub struct DetectorContext {
+    /// FFT plans and complex scratch buffers.
+    pub(crate) dsp: DspContext,
+    /// The upsampled CIR, iteratively reduced by subtraction.
+    pub(crate) residual: Vec<Complex64>,
+    /// Matched-filter output of the template currently being scanned.
+    pub(crate) mf_out: Vec<Complex64>,
+    /// Magnitudes of `mf_out`.
+    pub(crate) mags: Vec<f64>,
+    /// Magnitudes of the best template seen this iteration.
+    pub(crate) best_mf: Vec<f64>,
+    /// Refinement-window scores of the template currently being scanned.
+    pub(crate) scores: Vec<f64>,
+    /// Refinement-window scores of the best template seen so far.
+    pub(crate) best_scores: Vec<f64>,
+}
+
+impl DetectorContext {
+    /// A context with empty caches; buffers grow to steady-state sizes on
+    /// first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying DSP context (plan cache + scratch arena), for
+    /// callers that mix detection with their own planned DSP work.
+    pub fn dsp_mut(&mut self) -> &mut DspContext {
+        &mut self.dsp
+    }
+}

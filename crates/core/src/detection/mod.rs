@@ -9,13 +9,17 @@
 //! - [`ThresholdDetector`]: the threshold-crossing baseline (Falsi et al.)
 //!   used as the comparison point in Sect. VI.
 
+mod context;
 mod search_subtract;
+mod shape_scores;
 mod templates;
 mod threshold;
 
+pub use context::DetectorContext;
 pub use search_subtract::{
     DetectionDiagnostics, DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector,
 };
+pub use shape_scores::ShapeScores;
 pub use templates::{template_bank, DetectionTemplate};
 pub use threshold::{ThresholdConfig, ThresholdDetector};
 
@@ -32,8 +36,9 @@ pub struct DetectedResponse {
     /// Index of the best-matching pulse shape in the template bank
     /// (the decoded responder shape, Sect. V).
     pub shape_index: usize,
-    /// Identification score `α̂_{k,i}` for every template in the bank.
-    pub shape_scores: Vec<f64>,
+    /// Identification score `α̂_{k,i}` for every template in the bank,
+    /// stored inline for typical bank sizes.
+    pub shape_scores: ShapeScores,
 }
 
 impl DetectedResponse {
@@ -45,7 +50,7 @@ impl DetectedResponse {
     /// Margin of the identification decision: best score divided by the
     /// runner-up (≥ 1.0; higher is a more confident shape decision).
     pub fn id_margin(&self) -> f64 {
-        let mut sorted = self.shape_scores.clone();
+        let mut sorted = self.shape_scores.to_vec();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
         match (sorted.first(), sorted.get(1)) {
             (Some(&best), Some(&second)) if second > 0.0 => best / second,
@@ -64,7 +69,7 @@ mod tests {
             tau_s: 10.0 * uwb_radio::CIR_SAMPLE_PERIOD_S,
             amplitude: Complex64::ONE,
             shape_index: 0,
-            shape_scores: vec![1.0],
+            shape_scores: ShapeScores::from_slice(&[1.0]),
         };
         assert!((r.tau_taps() - 10.0).abs() < 1e-12);
     }
@@ -75,11 +80,11 @@ mod tests {
             tau_s: 0.0,
             amplitude: Complex64::ONE,
             shape_index: 0,
-            shape_scores: vec![0.9, 0.3, 0.45],
+            shape_scores: ShapeScores::from_slice(&[0.9, 0.3, 0.45]),
         };
         assert!((r.id_margin() - 2.0).abs() < 1e-12);
         let single = DetectedResponse {
-            shape_scores: vec![0.9],
+            shape_scores: ShapeScores::from_slice(&[0.9]),
             ..r
         };
         assert_eq!(single.id_margin(), f64::INFINITY);

@@ -13,10 +13,12 @@
 //! compares against absolute power bounds, addressing the paper's
 //! challenge IV.
 
+use crate::detection::context::DetectorContext;
+use crate::detection::shape_scores::ShapeScores;
 use crate::detection::templates::DetectionTemplate;
 use crate::detection::DetectedResponse;
 use crate::error::RangingError;
-use uwb_dsp::{parabolic_interpolation, upsample_fft};
+use uwb_dsp::{parabolic_interpolation, upsample_fft_into};
 use uwb_radio::Cir;
 
 /// Configuration of the search-and-subtract detector.
@@ -35,6 +37,11 @@ pub struct SearchSubtractConfig {
     /// re-estimation, à la Fleury et al.). 0 reproduces the paper's plain
     /// algorithm.
     pub refinement_passes: usize,
+    /// Capture the intermediate signals in [`DetectionDiagnostics`]
+    /// (Fig. 4 stages, residual matched-filter magnitudes). Disable on
+    /// allocation-sensitive hot paths that only consume `responses`;
+    /// the detected responses themselves are unaffected.
+    pub capture_diagnostics: bool,
 }
 
 impl Default for SearchSubtractConfig {
@@ -43,6 +50,7 @@ impl Default for SearchSubtractConfig {
             upsample: 8,
             refine: true,
             refinement_passes: 1,
+            capture_diagnostics: true,
         }
     }
 }
@@ -170,45 +178,85 @@ impl SearchSubtractDetector {
 
     /// Runs detection for the `count` strongest responses in the CIR.
     ///
+    /// Convenience wrapper around [`SearchSubtractDetector::detect_with`]
+    /// that builds a throwaway [`DetectorContext`] per call. Hot callers
+    /// should hold a context and call `detect_with` instead.
+    ///
     /// # Errors
     ///
     /// - [`RangingError::NoResponsesRequested`] when `count` is zero.
     /// - [`RangingError::Dsp`] if the CIR cannot be upsampled (cannot occur
     ///   for valid [`Cir`] buffers).
     pub fn detect(&self, cir: &Cir, count: usize) -> Result<DetectionOutcome, RangingError> {
-        uwb_obs::timed("detect", || self.detect_inner(cir, count))
+        let mut ctx = DetectorContext::new();
+        self.detect_with(&mut ctx, cir, count)
     }
 
-    fn detect_inner(&self, cir: &Cir, count: usize) -> Result<DetectionOutcome, RangingError> {
+    /// Runs detection reusing the plans and working buffers in `ctx`.
+    /// Bit-identical to [`SearchSubtractDetector::detect`]; in steady
+    /// state the search loop itself allocates nothing (the returned
+    /// outcome owns its `responses` vector, and diagnostics are captured
+    /// only when [`SearchSubtractConfig::capture_diagnostics`] is set).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SearchSubtractDetector::detect`].
+    pub fn detect_with(
+        &self,
+        ctx: &mut DetectorContext,
+        cir: &Cir,
+        count: usize,
+    ) -> Result<DetectionOutcome, RangingError> {
+        uwb_obs::timed("detect", || self.detect_inner(ctx, cir, count))
+    }
+
+    fn detect_inner(
+        &self,
+        ctx: &mut DetectorContext,
+        cir: &Cir,
+        count: usize,
+    ) -> Result<DetectionOutcome, RangingError> {
         if count == 0 {
             return Err(RangingError::NoResponsesRequested);
         }
         uwb_obs::counter("detect.calls", 1);
         let sample_period_s = cir.sample_period_s() / self.config.upsample as f64;
+        let DetectorContext {
+            dsp,
+            residual,
+            mf_out,
+            mags,
+            best_mf,
+            scores,
+            best_scores,
+        } = ctx;
+        let capture = self.config.capture_diagnostics;
 
         // Step 1: upsample via FFT for a smoother signal.
-        let mut residual = upsample_fft(cir.taps(), self.config.upsample)?;
-        let mut diagnostics = DetectionDiagnostics {
-            upsampled_magnitude: residual.iter().map(|z| z.abs()).collect(),
-            ..DetectionDiagnostics::default()
-        };
+        upsample_fft_into(cir.taps(), self.config.upsample, residual, dsp)?;
+        let mut diagnostics = DetectionDiagnostics::default();
+        if capture {
+            diagnostics.upsampled_magnitude = residual.iter().map(|z| z.abs()).collect();
+        }
 
         let mut responses = Vec::with_capacity(count);
         for iteration in 0..count {
             // Steps 2–3: matched filter per template; global maximum across
             // shapes and delays marks the strongest path.
             let mut best: Option<(usize, usize, f64)> = None; // (template, index, magnitude)
-            let mut best_mf: Vec<f64> = Vec::new();
             for (ti, template) in self.templates.iter().enumerate() {
-                let out = template.matched_filter(&residual);
-                let mags: Vec<f64> = out.iter().map(|z| z.abs()).collect();
-                if iteration == 0 {
+                template.matched_filter_into(residual, mf_out, dsp);
+                mags.clear();
+                mags.extend(mf_out.iter().map(|z| z.abs()));
+                if capture && iteration == 0 {
                     diagnostics.first_mf_magnitude.push(mags.clone());
                 }
-                if let Some((idx, val)) = uwb_dsp::argmax(&mags) {
+                if let Some((idx, val)) = uwb_dsp::argmax(mags) {
                     if best.is_none_or(|(_, _, b)| val > b) {
                         best = Some((ti, idx, val));
-                        best_mf = mags;
+                        // The winner's magnitudes park in `best_mf`; the
+                        // displaced buffer is recycled for the next template.
+                        std::mem::swap(mags, best_mf);
                     }
                 }
             }
@@ -217,7 +265,7 @@ impl SearchSubtractDetector {
 
             // Optional sub-sample refinement of the peak position.
             let idx_frac = if self.config.refine {
-                parabolic_interpolation(&best_mf, idx)
+                parabolic_interpolation(best_mf, idx)
             } else {
                 idx as f64
             };
@@ -225,10 +273,10 @@ impl SearchSubtractDetector {
 
             // Sect. V: identification scores for every template at this
             // delay, *before* subtraction.
-            let shape_scores: Vec<f64> = self
+            let shape_scores: ShapeScores = self
                 .templates
                 .iter()
-                .map(|t| t.score_at(&residual, tau_s))
+                .map(|t| t.score_at(residual, tau_s))
                 .collect();
             let shape_index = argmax_f64(&shape_scores).unwrap_or(ti);
 
@@ -237,11 +285,10 @@ impl SearchSubtractDetector {
             // template the response is recorded under, so that a later
             // refinement pass can add exactly what was removed.
             let chosen = &self.templates[shape_index];
-            let amplitude = chosen.amplitude_at(&residual, tau_s);
+            let amplitude = chosen.amplitude_at(residual, tau_s);
 
             // Step 5: subtract the estimated response from the residual.
-            chosen.subtract(&mut residual, tau_s, amplitude);
-            let residual_magnitude: Vec<f64> = residual.iter().map(|z| z.abs()).collect();
+            chosen.subtract(residual, tau_s, amplitude);
             if uwb_obs::enabled() {
                 uwb_obs::counter("detect.iterations", 1);
                 uwb_obs::event("detect.iter", || {
@@ -254,13 +301,24 @@ impl SearchSubtractDetector {
                         ("shape", shape_index.into()),
                         (
                             "residual_energy",
-                            residual_magnitude.iter().map(|m| m * m).sum::<f64>().into(),
+                            residual
+                                .iter()
+                                .map(|z| {
+                                    let m = z.abs();
+                                    m * m
+                                })
+                                .sum::<f64>()
+                                .into(),
                         ),
-                        ("shape_scores", shape_scores.clone().into()),
+                        ("shape_scores", shape_scores.to_vec().into()),
                     ]
                 });
             }
-            diagnostics.residual_mf_magnitude.push(residual_magnitude);
+            if capture {
+                diagnostics
+                    .residual_mf_magnitude
+                    .push(residual.iter().map(|z| z.abs()).collect());
+            }
 
             responses.push(DetectedResponse {
                 tau_s,
@@ -277,7 +335,7 @@ impl SearchSubtractDetector {
             for response in responses.iter_mut() {
                 let old = response.clone();
                 // Add the current estimate back into the residual.
-                self.templates[old.shape_index].subtract(&mut residual, old.tau_s, -old.amplitude);
+                self.templates[old.shape_index].subtract(residual, old.tau_s, -old.amplitude);
 
                 // Local re-search around the previous delay, at the fine
                 // sample grid, over every template.
@@ -286,41 +344,37 @@ impl SearchSubtractDetector {
                 let hi = (((old.tau_s + window_s) / sample_period_s).ceil() as usize)
                     .min(residual.len().saturating_sub(1));
                 let mut best: Option<(usize, usize, f64)> = None;
-                let mut best_scores: Vec<f64> = Vec::new();
                 for (ti, template) in self.templates.iter().enumerate() {
-                    let scores: Vec<f64> = (lo..=hi)
-                        .map(|l| template.score_at(&residual, l as f64 * sample_period_s))
-                        .collect();
-                    if let Some((idx, val)) = uwb_dsp::argmax(&scores) {
+                    scores.clear();
+                    scores.extend(
+                        (lo..=hi).map(|l| template.score_at(residual, l as f64 * sample_period_s)),
+                    );
+                    if let Some((idx, val)) = uwb_dsp::argmax(scores) {
                         if best.is_none_or(|(_, _, b)| val > b) {
                             best = Some((ti, idx, val));
-                            best_scores = scores;
+                            std::mem::swap(scores, best_scores);
                         }
                     }
                 }
                 let Some((ti, idx, _)) = best else {
                     // Degenerate window; restore the old estimate.
-                    self.templates[old.shape_index].subtract(
-                        &mut residual,
-                        old.tau_s,
-                        old.amplitude,
-                    );
+                    self.templates[old.shape_index].subtract(residual, old.tau_s, old.amplitude);
                     continue;
                 };
                 let idx_frac = if self.config.refine {
-                    parabolic_interpolation(&best_scores, idx)
+                    parabolic_interpolation(best_scores, idx)
                 } else {
                     idx as f64
                 };
                 let tau_s = (lo as f64 + idx_frac) * sample_period_s;
-                let shape_scores: Vec<f64> = self
+                let shape_scores: ShapeScores = self
                     .templates
                     .iter()
-                    .map(|t| t.score_at(&residual, tau_s))
+                    .map(|t| t.score_at(residual, tau_s))
                     .collect();
                 let shape_index = argmax_f64(&shape_scores).unwrap_or(ti);
-                let amplitude = self.templates[shape_index].amplitude_at(&residual, tau_s);
-                self.templates[shape_index].subtract(&mut residual, tau_s, amplitude);
+                let amplitude = self.templates[shape_index].amplitude_at(residual, tau_s);
+                self.templates[shape_index].subtract(residual, tau_s, amplitude);
                 *response = DetectedResponse {
                     tau_s,
                     amplitude,
@@ -540,6 +594,7 @@ mod tests {
                 upsample: 4,
                 refine: false,
                 refinement_passes: 0,
+                capture_diagnostics: true,
             },
         )
         .unwrap();
@@ -547,5 +602,54 @@ mod tests {
         let out = d.detect(&cir, 1).unwrap();
         assert_eq!(out.responses.len(), 1);
         assert!((out.responses[0].tau_s * 1e9 - 300.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn reused_context_is_bit_identical_to_fresh_detection() {
+        // The campaign determinism contract: one worker context reused
+        // across many trials must give exactly the outputs of per-call
+        // fresh state — PartialEq on the outcomes, no tolerance.
+        let d = detector(3);
+        let mut ctx = DetectorContext::new();
+        for seed in 0..4u64 {
+            let cir = render(
+                &[
+                    arrival(120.0 + 15.0 * seed as f64, 1.0, 0.3),
+                    arrival(170.0, 0.5, 1.1),
+                ],
+                0.003,
+                seed,
+            );
+            let fresh = d.detect(&cir, 2).unwrap();
+            let reused = d.detect_with(&mut ctx, &cir, 2).unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn diagnostics_capture_can_be_disabled_without_changing_responses() {
+        let with = detector(2);
+        let without = SearchSubtractDetector::from_registers(
+            &TcPgDelay::spread(2).unwrap(),
+            Channel::Ch7,
+            SearchSubtractConfig {
+                capture_diagnostics: false,
+                ..SearchSubtractConfig::default()
+            },
+        )
+        .unwrap();
+        let cir = render(
+            &[arrival(100.0, 1.0, 0.0), arrival(140.0, 0.5, 1.0)],
+            0.002,
+            11,
+        );
+        let full = with.detect(&cir, 2).unwrap();
+        let lean = without.detect(&cir, 2).unwrap();
+        assert_eq!(full.responses, lean.responses);
+        assert_eq!(full.sample_period_s, lean.sample_period_s);
+        assert!(lean.diagnostics.upsampled_magnitude.is_empty());
+        assert!(lean.diagnostics.first_mf_magnitude.is_empty());
+        assert!(lean.diagnostics.residual_mf_magnitude.is_empty());
+        assert!(!full.diagnostics.residual_mf_magnitude.is_empty());
     }
 }

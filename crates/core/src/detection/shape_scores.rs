@@ -1,0 +1,159 @@
+//! Inline storage for per-template identification scores.
+//!
+//! Every [`crate::detection::DetectedResponse`] carries one score per
+//! template in the bank (`α̂_{k,i}`, Sect. V of the paper). Banks are
+//! tiny — the paper's Fig. 5 set has four shapes — so storing the scores
+//! in a heap `Vec` made each detected response cost an allocation on the
+//! hot path. [`ShapeScores`] keeps up to [`ShapeScores::INLINE_CAP`]
+//! scores inline and only spills to the heap for unusually large banks.
+
+use std::ops::Deref;
+
+/// Identification scores for every template in the bank, stored inline
+/// for the common small-bank case.
+#[derive(Debug, Clone)]
+pub struct ShapeScores {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Inline {
+        buf: [f64; ShapeScores::INLINE_CAP],
+        len: u8,
+    },
+    Heap(Vec<f64>),
+}
+
+impl ShapeScores {
+    /// Scores up to this count live inline (no heap allocation). Twice
+    /// the paper's four-shape bank.
+    pub const INLINE_CAP: usize = 8;
+
+    /// An empty score list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Inner::Inline {
+                buf: [0.0; Self::INLINE_CAP],
+                len: 0,
+            },
+        }
+    }
+
+    /// Scores copied from a slice.
+    #[must_use]
+    pub fn from_slice(scores: &[f64]) -> Self {
+        scores.iter().copied().collect()
+    }
+
+    /// Appends a score, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, score: f64) {
+        match &mut self.inner {
+            Inner::Inline { buf, len } => {
+                if (*len as usize) < Self::INLINE_CAP {
+                    buf[*len as usize] = score;
+                    *len += 1;
+                } else {
+                    let mut vec = buf.to_vec();
+                    vec.push(score);
+                    self.inner = Inner::Heap(vec);
+                }
+            }
+            Inner::Heap(vec) => vec.push(score),
+        }
+    }
+
+    /// The scores as a freshly allocated `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.as_slice().to_vec()
+    }
+
+    /// The scores as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.inner {
+            Inner::Inline { buf, len } => &buf[..*len as usize],
+            Inner::Heap(vec) => vec,
+        }
+    }
+}
+
+impl Default for ShapeScores {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for ShapeScores {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ShapeScores {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl FromIterator<f64> for ShapeScores {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut scores = Self::new();
+        for score in iter {
+            scores.push(score);
+        }
+        scores
+    }
+}
+
+impl From<Vec<f64>> for ShapeScores {
+    fn from(scores: Vec<f64>) -> Self {
+        Self::from_slice(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_up_to_capacity() {
+        let scores: ShapeScores = (0..ShapeScores::INLINE_CAP).map(|i| i as f64).collect();
+        assert!(matches!(scores.inner, Inner::Inline { .. }));
+        assert_eq!(scores.len(), ShapeScores::INLINE_CAP);
+        assert_eq!(scores[3], 3.0);
+    }
+
+    #[test]
+    fn spills_to_heap_past_capacity() {
+        let n = ShapeScores::INLINE_CAP + 3;
+        let scores: ShapeScores = (0..n).map(|i| i as f64).collect();
+        assert!(matches!(scores.inner, Inner::Heap(_)));
+        assert_eq!(scores.len(), n);
+        assert_eq!(scores[n - 1], (n - 1) as f64);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline = ShapeScores::from_slice(&[1.0, 2.0]);
+        let heap = ShapeScores {
+            inner: Inner::Heap(vec![1.0, 2.0]),
+        };
+        assert_eq!(inline, heap);
+        assert_ne!(inline, ShapeScores::from_slice(&[1.0]));
+    }
+
+    #[test]
+    fn slice_views_and_conversions() {
+        let scores = ShapeScores::from(vec![0.9, 0.3, 0.45]);
+        assert_eq!(scores.as_slice(), &[0.9, 0.3, 0.45]);
+        assert_eq!(scores.to_vec(), vec![0.9, 0.3, 0.45]);
+        assert_eq!(scores.iter().count(), 3);
+        assert!(!scores.is_empty());
+        assert!(ShapeScores::new().is_empty());
+    }
+}

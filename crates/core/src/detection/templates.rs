@@ -7,7 +7,7 @@
 //! filter outputs of *different* templates are directly comparable — the
 //! property the pulse-shape identification (Sect. V) relies on.
 
-use uwb_dsp::{Complex64, MatchedFilter};
+use uwb_dsp::{Complex64, DspContext, MatchedFilter};
 use uwb_radio::{PulseShape, TcPgDelay};
 
 /// A pulse template prepared for detection at a fixed sample rate.
@@ -78,6 +78,20 @@ impl DetectionTemplate {
         self.filter
             .apply(signal)
             .expect("signal validated by caller")
+    }
+
+    /// Planned variant of [`DetectionTemplate::matched_filter`]: writes
+    /// the output into `out`, drawing cached plans and working buffers
+    /// from `ctx`. Bit-identical values; allocation-free in steady state.
+    pub fn matched_filter_into(
+        &self,
+        signal: &[Complex64],
+        out: &mut Vec<Complex64>,
+        ctx: &mut DspContext,
+    ) {
+        self.filter
+            .apply_into(signal, out, ctx)
+            .expect("signal validated by caller");
     }
 
     /// Converts a start-aligned matched-filter peak index to the pulse

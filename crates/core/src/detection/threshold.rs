@@ -11,9 +11,11 @@
 //! them into one window and finds a single peak (the 48 % vs 92.6 %
 //! comparison of Sect. VI).
 
+use crate::detection::context::DetectorContext;
+use crate::detection::shape_scores::ShapeScores;
 use crate::detection::DetectedResponse;
 use crate::error::RangingError;
-use uwb_dsp::{upsample_fft, Complex64};
+use uwb_dsp::upsample_fft_into;
 use uwb_radio::Cir;
 
 /// Configuration of the threshold detector.
@@ -101,11 +103,35 @@ impl ThresholdDetector {
     ///
     /// Returns [`RangingError::NoResponsesRequested`] when `count` is zero.
     pub fn detect(&self, cir: &Cir, count: usize) -> Result<Vec<DetectedResponse>, RangingError> {
+        let mut ctx = DetectorContext::new();
+        self.detect_with(&mut ctx, cir, count)
+    }
+
+    /// [`ThresholdDetector::detect`] reusing the plans and buffers in
+    /// `ctx`. Bit-identical outputs; the scan itself allocates nothing
+    /// in steady state beyond the returned responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangingError::NoResponsesRequested`] when `count` is zero.
+    pub fn detect_with(
+        &self,
+        ctx: &mut DetectorContext,
+        cir: &Cir,
+        count: usize,
+    ) -> Result<Vec<DetectedResponse>, RangingError> {
         if count == 0 {
             return Err(RangingError::NoResponsesRequested);
         }
-        let up: Vec<Complex64> = upsample_fft(cir.taps(), self.config.upsample)?;
-        let mags: Vec<f64> = up.iter().map(|z| z.abs()).collect();
+        let DetectorContext {
+            dsp,
+            residual: up,
+            mags,
+            ..
+        } = ctx;
+        upsample_fft_into(cir.taps(), self.config.upsample, up, dsp)?;
+        mags.clear();
+        mags.extend(up.iter().map(|z| z.abs()));
         let sample_period_s = cir.sample_period_s() / self.config.upsample as f64;
         let np = (self.config.pulse_duration_s / sample_period_s).ceil() as usize;
         let peak = mags.iter().cloned().fold(0.0, f64::max);
@@ -126,7 +152,7 @@ impl ThresholdDetector {
                     tau_s: idx as f64 * sample_period_s,
                     amplitude: up[idx],
                     shape_index: 0,
-                    shape_scores: vec![mags[idx]],
+                    shape_scores: ShapeScores::from_slice(&[mags[idx]]),
                 });
                 i = end;
             } else {
@@ -143,6 +169,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use uwb_channel::{Arrival, CirSynthesizer};
+    use uwb_dsp::Complex64;
     use uwb_radio::{Prf, PulseShape, RadioConfig};
 
     fn arrival(delay_ns: f64, amp: f64) -> Arrival {
@@ -236,6 +263,20 @@ mod tests {
         let out = d.detect(&cir, 2).unwrap();
         let found_weak = out.iter().any(|r| (r.tau_s * 1e9 - 300.0).abs() < 2.0);
         assert!(!found_weak, "threshold baseline should miss the weak path");
+    }
+
+    #[test]
+    fn reused_context_is_bit_identical_to_fresh_detection() {
+        let d = detector();
+        let mut ctx = DetectorContext::new();
+        for seed in 0..3u64 {
+            let cir = render(&[arrival(100.0, 1.0), arrival(210.0, 0.7)], 0.002, seed);
+            assert_eq!(
+                d.detect(&cir, 2).unwrap(),
+                d.detect_with(&mut ctx, &cir, 2).unwrap(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

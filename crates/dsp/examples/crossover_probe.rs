@@ -1,0 +1,80 @@
+//! Measures the direct-vs-FFT convolution crossover that calibrates
+//! `FFT_COST_RATIO` in `src/convolution.rs`.
+//!
+//! For a grid of `(signal, kernel)` length pairs, times both
+//! `convolve_direct` (O(N·M)) and `convolve_fft` (O(K log K) plus the
+//! per-call plan build the allocating entry point pays) and prints the
+//! winner. The committed threshold is read off this table on the target
+//! container; re-run with `cargo run --release -p uwb-dsp --example
+//! crossover_probe` after toolchain or hardware changes.
+
+use std::time::Instant;
+use uwb_dsp::{convolve_direct, convolve_fft, Complex64};
+
+fn signal(len: usize, phase: f64) -> Vec<Complex64> {
+    (0..len)
+        .map(|i| Complex64::new((i as f64 * 0.37 + phase).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn time_ns(mut f: impl FnMut(), reps: u32) -> f64 {
+    // One warmup, then the minimum over repeated runs (interference on a
+    // shared host only ever adds time).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "n", "m", "product", "direct_ns", "fft_ns", "winner"
+    );
+    for &(n, m) in &[
+        (64usize, 64usize),
+        (128, 64),
+        (128, 128),
+        (256, 64),
+        (256, 128),
+        (512, 64),
+        (512, 128),
+        (1016, 32),
+        (1016, 64),
+        (1016, 96),
+        (1016, 128),
+        (2048, 64),
+        (8128, 64),
+        (8128, 96),
+        (8128, 803),
+    ] {
+        let a = signal(n, 0.0);
+        let b = signal(m, 1.0);
+        let reps = (2_000_000 / (n * m).max(1)).clamp(3, 200) as u32;
+        let direct = time_ns(
+            || {
+                std::hint::black_box(convolve_direct(&a, &b));
+            },
+            reps,
+        );
+        let fft = time_ns(
+            || {
+                std::hint::black_box(convolve_fft(&a, &b).unwrap());
+            },
+            reps,
+        );
+        println!(
+            "{:>8} {:>8} {:>12} {:>12.0} {:>12.0} {:>8}",
+            n,
+            m,
+            n * m,
+            direct,
+            fft,
+            if direct <= fft { "direct" } else { "fft" }
+        );
+    }
+}

@@ -9,6 +9,7 @@
 use crate::complex::Complex64;
 use crate::error::DspError;
 use crate::fft::{next_power_of_two, Direction, FftPlan};
+use crate::plan::DspScratch;
 use std::f64::consts::PI;
 
 /// A reusable arbitrary-length FFT plan based on Bluestein's algorithm.
@@ -125,52 +126,117 @@ impl BluesteinPlan {
     ///
     /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
     pub fn transform(&self, data: &mut [Complex64], direction: Direction) {
-        assert_eq!(
-            data.len(),
-            self.size,
-            "Bluestein plan size {} does not match buffer length {}",
-            self.size,
-            data.len()
-        );
         match &self.inner {
-            Inner::Radix2(plan) => plan.transform(data, direction),
-            Inner::Chirp {
-                conv_len,
-                plan,
-                chirp,
-                kernel_fft,
-            } => {
-                let n = self.size;
-                // The inverse transform X[k] with exponent +2πi·kn/N equals
-                // the conjugate of the forward transform of the conjugated
-                // input, scaled by 1/N. Reuse the forward machinery.
-                if direction == Direction::Inverse {
-                    for z in data.iter_mut() {
-                        *z = z.conj();
-                    }
-                }
-
+            Inner::Radix2(_) => self.transform_radix2(data, direction),
+            Inner::Chirp { conv_len, .. } => {
                 let mut buf = vec![Complex64::ZERO; *conv_len];
-                for i in 0..n {
-                    buf[i] = data[i] * chirp[i];
-                }
-                plan.forward(&mut buf);
-                for (b, k) in buf.iter_mut().zip(kernel_fft) {
-                    *b *= *k;
-                }
-                plan.inverse(&mut buf);
-                for k in 0..n {
-                    data[k] = buf[k] * chirp[k];
-                }
-
-                if direction == Direction::Inverse {
-                    let scale = 1.0 / n as f64;
-                    for z in data.iter_mut() {
-                        *z = z.conj().scale(scale);
-                    }
-                }
+                self.chirp_transform(data, direction, &mut buf);
             }
         }
+    }
+
+    /// In-place forward DFT drawing working memory from `scratch` — the
+    /// planned hot-path entry point (no per-call allocation once the
+    /// scratch arena is warm). Bit-identical to [`BluesteinPlan::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn forward_with(&self, data: &mut [Complex64], scratch: &mut DspScratch) {
+        self.transform_with(data, Direction::Forward, scratch);
+    }
+
+    /// In-place inverse DFT drawing working memory from `scratch`.
+    /// Bit-identical to [`BluesteinPlan::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn inverse_with(&self, data: &mut [Complex64], scratch: &mut DspScratch) {
+        self.transform_with(data, Direction::Inverse, scratch);
+    }
+
+    /// In-place transform drawing working memory from `scratch`.
+    /// Bit-identical to [`BluesteinPlan::transform`]: the chirp core is
+    /// shared, only the provenance of the convolution buffer differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan::size`].
+    pub fn transform_with(
+        &self,
+        data: &mut [Complex64],
+        direction: Direction,
+        scratch: &mut DspScratch,
+    ) {
+        match &self.inner {
+            Inner::Radix2(_) => self.transform_radix2(data, direction),
+            Inner::Chirp { conv_len, .. } => {
+                let mut buf = scratch.acquire_zeroed(*conv_len);
+                self.chirp_transform(data, direction, &mut buf);
+                scratch.release(buf);
+            }
+        }
+    }
+
+    fn transform_radix2(&self, data: &mut [Complex64], direction: Direction) {
+        self.check_len(data.len());
+        match &self.inner {
+            Inner::Radix2(plan) => plan.transform(data, direction),
+            Inner::Chirp { .. } => unreachable!("radix-2 dispatch checked by caller"),
+        }
+    }
+
+    /// The chirp-z core over a caller-provided zero-filled buffer of
+    /// length `conv_len`.
+    fn chirp_transform(&self, data: &mut [Complex64], direction: Direction, buf: &mut [Complex64]) {
+        self.check_len(data.len());
+        let Inner::Chirp {
+            conv_len,
+            plan,
+            chirp,
+            kernel_fft,
+        } = &self.inner
+        else {
+            unreachable!("chirp dispatch checked by caller")
+        };
+        assert_eq!(buf.len(), *conv_len, "convolution buffer length");
+        let n = self.size;
+        // The inverse transform X[k] with exponent +2πi·kn/N equals
+        // the conjugate of the forward transform of the conjugated
+        // input, scaled by 1/N. Reuse the forward machinery.
+        if direction == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+        }
+
+        for i in 0..n {
+            buf[i] = data[i] * chirp[i];
+        }
+        plan.forward(buf);
+        for (b, k) in buf.iter_mut().zip(kernel_fft) {
+            *b *= *k;
+        }
+        plan.inverse(buf);
+        for k in 0..n {
+            data[k] = buf[k] * chirp[k];
+        }
+
+        if direction == Direction::Inverse {
+            let scale = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z = z.conj().scale(scale);
+            }
+        }
+    }
+
+    fn check_len(&self, len: usize) {
+        assert_eq!(
+            len, self.size,
+            "Bluestein plan size {} does not match buffer length {}",
+            self.size, len
+        );
     }
 }
 

@@ -11,6 +11,9 @@
 //! - [`convolve`] / [`correlate`] / [`MatchedFilter`]: the matched filter of
 //!   the paper's Sect. IV detection algorithm (Eq. 3).
 //! - [`upsample_fft`]: FFT zero-padding interpolation (Sect. IV, step 1).
+//! - [`plan`]: plan-once/execute-many engine — [`DspContext`] caches FFT
+//!   plans and recycles working buffers so the `*_into` entry points run
+//!   allocation-free in steady state.
 //! - [`peaks`]: maxima, noise floor and sub-sample refinement utilities.
 //! - [`stats`]: summary statistics used by the evaluation harness.
 //!
@@ -45,16 +48,19 @@ mod error;
 mod fft;
 mod matched_filter;
 pub mod peaks;
+pub mod plan;
 mod resample;
 pub mod stats;
 
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
 pub use convolution::{
-    convolve, convolve_direct, convolve_fft, convolve_real, correlate, zero_lag_index,
+    convolve, convolve_direct, convolve_fft, convolve_into, convolve_real, correlate,
+    correlate_into, zero_lag_index,
 };
 pub use error::DspError;
 pub use fft::{dft_reference, fft, ifft, next_power_of_two, Direction, FftPlan};
 pub use matched_filter::MatchedFilter;
 pub use peaks::{argmax, find_peaks, leading_edge, noise_floor, parabolic_interpolation, Peak};
-pub use resample::{fractional_delay, upsample_fft, upsample_real};
+pub use plan::{DspContext, DspScratch, PlanCache};
+pub use resample::{fractional_delay, upsample_fft, upsample_fft_into, upsample_real};

@@ -9,8 +9,9 @@
 //! indices directly interpretable as template start positions.
 
 use crate::complex::Complex64;
-use crate::convolution::convolve;
+use crate::convolution::{convolve, convolve_into};
 use crate::error::DspError;
+use crate::plan::DspContext;
 
 /// A matched filter for a fixed template.
 ///
@@ -40,6 +41,10 @@ use crate::error::DspError;
 pub struct MatchedFilter {
     /// The stored template `s`.
     template: Vec<Complex64>,
+    /// Precomputed impulse response `h_MF`: the time-reversed conjugate
+    /// of `s`, built once at construction so `apply` does not rebuild it
+    /// per call.
+    reversed: Vec<Complex64>,
     /// Template energy `Σ|s|²`, used for normalized output.
     energy: f64,
 }
@@ -55,8 +60,10 @@ impl MatchedFilter {
             return Err(DspError::EmptyInput);
         }
         let energy = template.iter().map(|z| z.norm_sqr()).sum();
+        let reversed = template.iter().rev().map(|z| z.conj()).collect();
         Ok(Self {
             template: template.to_vec(),
+            reversed,
             energy,
         })
     }
@@ -108,10 +115,64 @@ impl MatchedFilter {
         }
         // Convolve with the time-reversed conjugate template, then shift so
         // index k corresponds to the template *starting* at sample k.
-        let h: Vec<Complex64> = self.template.iter().rev().map(|z| z.conj()).collect();
-        let full = convolve(signal, &h)?;
+        let full = convolve(signal, &self.reversed)?;
         let start = self.template.len() - 1;
         Ok(full[start..start + signal.len()].to_vec())
+    }
+
+    /// Planned variant of [`MatchedFilter::apply`]: writes the
+    /// signal-aligned output into `out`, drawing plans and working
+    /// buffers from `ctx`. Bit-identical to `apply`; in steady state the
+    /// call allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal.
+    pub fn apply_into(
+        &self,
+        signal: &[Complex64],
+        out: &mut Vec<Complex64>,
+        ctx: &mut DspContext,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let mut full = ctx.scratch.acquire();
+        convolve_into(signal, &self.reversed, &mut full, ctx)?;
+        let start = self.template.len() - 1;
+        out.clear();
+        out.extend_from_slice(&full[start..start + signal.len()]);
+        ctx.scratch.release(full);
+        Ok(())
+    }
+
+    /// Planned variant of [`MatchedFilter::apply_normalized`]: writes
+    /// energy-normalized magnitudes into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal.
+    pub fn apply_normalized_into(
+        &self,
+        signal: &[Complex64],
+        out: &mut Vec<f64>,
+        ctx: &mut DspContext,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let mut full = ctx.scratch.acquire();
+        convolve_into(signal, &self.reversed, &mut full, ctx)?;
+        let start = self.template.len() - 1;
+        let scale = 1.0 / self.energy;
+        out.clear();
+        out.extend(
+            full[start..start + signal.len()]
+                .iter()
+                .map(|z| z.abs() * scale),
+        );
+        ctx.scratch.release(full);
+        Ok(())
     }
 
     /// Applies the filter and returns output magnitudes, normalized by the
@@ -229,6 +290,36 @@ mod tests {
             score_narrow > score_wide,
             "matching template must win: {score_narrow} vs {score_wide}"
         );
+    }
+
+    #[test]
+    fn apply_into_matches_apply_bitwise() {
+        let template = [0.1, 0.6, 1.0, 0.6, 0.1];
+        let f = MatchedFilter::from_real(&template).unwrap();
+        let signal: Vec<Complex64> = (0..200)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.13).cos()))
+            .collect();
+        let reference = f.apply(&signal).unwrap();
+        let norm_reference = f.apply_normalized(&signal).unwrap();
+
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        let mut norm_out = Vec::new();
+        for pass in 0..2 {
+            f.apply_into(&signal, &mut out, &mut ctx).unwrap();
+            assert_eq!(out, reference, "pass {pass}");
+            f.apply_normalized_into(&signal, &mut norm_out, &mut ctx)
+                .unwrap();
+            assert_eq!(norm_out, norm_reference, "pass {pass}");
+        }
+        assert!(matches!(
+            f.apply_into(&[], &mut out, &mut ctx),
+            Err(DspError::EmptyInput)
+        ));
+        assert!(matches!(
+            f.apply_normalized_into(&[], &mut norm_out, &mut ctx),
+            Err(DspError::EmptyInput)
+        ));
     }
 
     #[test]

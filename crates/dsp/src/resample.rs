@@ -10,6 +10,7 @@
 use crate::bluestein::BluesteinPlan;
 use crate::complex::Complex64;
 use crate::error::DspError;
+use crate::plan::DspContext;
 
 /// Upsamples a complex signal by an integer factor using FFT zero-padding.
 ///
@@ -74,6 +75,66 @@ pub fn upsample_fft(signal: &[Complex64], factor: usize) -> Result<Vec<Complex64
         *z = z.scale(scale);
     }
     Ok(padded)
+}
+
+/// Planned variant of [`upsample_fft`]: writes the upsampled signal into
+/// `out`, drawing cached Bluestein plans and working buffers from `ctx`.
+/// Bit-identical to `upsample_fft`; in steady state the call allocates
+/// nothing.
+///
+/// # Errors
+///
+/// Same conditions as [`upsample_fft`].
+pub fn upsample_fft_into(
+    signal: &[Complex64],
+    factor: usize,
+    out: &mut Vec<Complex64>,
+    ctx: &mut DspContext,
+) -> Result<(), DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if factor == 0 {
+        return Err(DspError::InvalidFactor { factor });
+    }
+    if factor == 1 {
+        out.clear();
+        out.extend_from_slice(signal);
+        return Ok(());
+    }
+    let n = signal.len();
+    let m = n * factor;
+
+    let forward = ctx.plans.bluestein(n)?;
+    let inverse = ctx.plans.bluestein(m)?;
+
+    let mut spectrum = ctx.scratch.acquire();
+    spectrum.extend_from_slice(signal);
+    forward.forward_with(&mut spectrum, &mut ctx.scratch);
+
+    // Same Nyquist-split layout as `upsample_fft`.
+    out.clear();
+    out.resize(m, Complex64::ZERO);
+    let half = n / 2;
+    if n.is_multiple_of(2) {
+        out[..half].copy_from_slice(&spectrum[..half]);
+        let nyq = spectrum[half].scale(0.5);
+        out[half] = nyq;
+        out[m - half] = nyq;
+        out[m - half + 1..].copy_from_slice(&spectrum[half + 1..]);
+    } else {
+        // Odd n: positive bins 0..=half, negative bins half+1..n.
+        out[..=half].copy_from_slice(&spectrum[..=half]);
+        out[m - half..].copy_from_slice(&spectrum[half + 1..]);
+    }
+    ctx.scratch.release(spectrum);
+
+    inverse.inverse_with(out, &mut ctx.scratch);
+    let scale = factor as f64;
+    for z in out.iter_mut() {
+        *z = z.scale(scale);
+    }
+    Ok(())
 }
 
 /// Upsamples a real signal by an integer factor, returning real samples.
@@ -175,6 +236,34 @@ mod tests {
             assert!((z.re - expected).abs() < 1e-8, "j={j}");
             assert!(z.im.abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn upsample_into_matches_allocating_path_bitwise() {
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        // Even, odd, and the DW1000 CIR length; factors incl. the paper's 8.
+        for &n in &[8usize, 15, 254, 1016] {
+            let signal: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.21).sin(), (i as f64 * 0.34).cos()))
+                .collect();
+            for &factor in &[1usize, 2, 8] {
+                let reference = upsample_fft(&signal, factor).unwrap();
+                upsample_fft_into(&signal, factor, &mut out, &mut ctx).unwrap();
+                assert_eq!(out, reference, "n={n} factor={factor}");
+                // Warm-context second pass: still bit-identical.
+                upsample_fft_into(&signal, factor, &mut out, &mut ctx).unwrap();
+                assert_eq!(out, reference, "warm n={n} factor={factor}");
+            }
+        }
+        assert!(matches!(
+            upsample_fft_into(&[], 2, &mut out, &mut ctx),
+            Err(DspError::EmptyInput)
+        ));
+        assert!(matches!(
+            upsample_fft_into(&[Complex64::ONE], 0, &mut out, &mut ctx),
+            Err(DspError::InvalidFactor { factor: 0 })
+        ));
     }
 
     #[test]

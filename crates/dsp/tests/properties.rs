@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use uwb_dsp::{
-    convolve, correlate, dft_reference, fft, fractional_delay, ifft, noise_floor,
-    parabolic_interpolation, stats, upsample_fft, BluesteinPlan, Complex64, Direction,
-    MatchedFilter,
+    convolve, convolve_into, correlate, correlate_into, dft_reference, fft, fractional_delay, ifft,
+    noise_floor, parabolic_interpolation, stats, upsample_fft, upsample_fft_into, BluesteinPlan,
+    Complex64, Direction, DspContext, MatchedFilter,
 };
 
 fn complex_vec(
@@ -164,5 +164,119 @@ proptest! {
     fn std_dev_is_translation_invariant(values in proptest::collection::vec(-1e3f64..1e3, 2..60), shift in -1e3f64..1e3) {
         let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
         prop_assert!((stats::std_dev(&values) - stats::std_dev(&shifted)).abs() < 1e-6);
+    }
+
+    // --- planned-engine bit-identity contract ---------------------------
+    //
+    // The `*_into` entry points and the scratch-backed Bluestein variants
+    // must reproduce the allocating paths *exactly* (assert_eq on f64
+    // pairs, not a tolerance): the campaign determinism guarantee relies
+    // on planned and unplanned code being interchangeable.
+
+    #[test]
+    fn planned_bluestein_is_bit_identical(data in complex_vec(1..300)) {
+        let plan = BluesteinPlan::new(data.len()).unwrap();
+        let mut ctx = DspContext::new();
+        let mut planned = data.clone();
+        let mut unplanned = data.clone();
+        plan.forward_with(&mut planned, &mut ctx.scratch);
+        plan.forward(&mut unplanned);
+        prop_assert_eq!(&planned, &unplanned);
+        plan.inverse_with(&mut planned, &mut ctx.scratch);
+        plan.inverse(&mut unplanned);
+        prop_assert_eq!(&planned, &unplanned);
+        // Warm scratch: a second pass must still match.
+        let mut warm = data.clone();
+        plan.forward_with(&mut warm, &mut ctx.scratch);
+        let mut reference = data.clone();
+        plan.forward(&mut reference);
+        prop_assert_eq!(&warm, &reference);
+    }
+
+    #[test]
+    fn planned_convolve_is_bit_identical(a in complex_vec(1..200), b in complex_vec(1..200)) {
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        let reference = convolve(&a, &b).unwrap();
+        convolve_into(&a, &b, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &reference);
+        convolve_into(&a, &b, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &reference);
+    }
+
+    #[test]
+    fn planned_correlate_is_bit_identical(a in complex_vec(1..120), b in complex_vec(1..120)) {
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        correlate_into(&a, &b, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &correlate(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn planned_upsample_is_bit_identical(data in complex_vec(1..140), factor in 1usize..6) {
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        let reference = upsample_fft(&data, factor).unwrap();
+        upsample_fft_into(&data, factor, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &reference);
+        upsample_fft_into(&data, factor, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &reference);
+    }
+
+    #[test]
+    fn planned_matched_filter_is_bit_identical(
+        template in complex_vec(1..24),
+        signal in complex_vec(1..160),
+    ) {
+        let filter = MatchedFilter::new(&template).unwrap();
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        filter.apply_into(&signal, &mut out, &mut ctx).unwrap();
+        prop_assert_eq!(&out, &filter.apply(&signal).unwrap());
+        let mut mags = Vec::new();
+        filter.apply_normalized_into(&signal, &mut mags, &mut ctx).unwrap();
+        prop_assert_eq!(&mags, &filter.apply_normalized(&signal).unwrap());
+    }
+}
+
+/// The DW1000 CIR shape itself — N=1016 upsampled ×8 to 8128, the exact
+/// sizes the detection pipeline runs — must be bit-identical through the
+/// planned engine, including on a warm context.
+#[test]
+fn planned_paths_bit_identical_at_cir_sizes() {
+    let n = 1016;
+    let cir: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.013).sin(), (i as f64 * 0.41).cos() * 0.3))
+        .collect();
+    let mut ctx = DspContext::new();
+
+    let plan = BluesteinPlan::new(n).unwrap();
+    let mut planned = cir.clone();
+    let mut unplanned = cir.clone();
+    plan.forward_with(&mut planned, &mut ctx.scratch);
+    plan.forward(&mut unplanned);
+    assert_eq!(planned, unplanned, "Bluestein N=1016 forward");
+
+    let reference = upsample_fft(&cir, 8).unwrap();
+    let mut out = Vec::new();
+    for pass in 0..2 {
+        upsample_fft_into(&cir, 8, &mut out, &mut ctx).unwrap();
+        assert_eq!(out, reference, "upsample 1016x8, pass {pass}");
+    }
+
+    let template: Vec<Complex64> = (0..100)
+        .map(|i| Complex64::from_real((-((i as f64 - 50.0) / 12.0).powi(2)).exp()))
+        .collect();
+    let filter = MatchedFilter::new(&template).unwrap();
+    let mf_reference = filter.apply(&reference).unwrap();
+    let mut mf_out = Vec::new();
+    for pass in 0..2 {
+        filter
+            .apply_into(&reference, &mut mf_out, &mut ctx)
+            .unwrap();
+        assert_eq!(
+            mf_out, mf_reference,
+            "matched filter over 8128, pass {pass}"
+        );
     }
 }

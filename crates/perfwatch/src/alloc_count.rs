@@ -6,12 +6,17 @@
 //! [`snapshot`] reads the running totals so the suite can attribute
 //! allocations to individual workload iterations.
 //!
-//! With the feature **off** — the default, and what every committed
-//! baseline uses — the allocator is not registered and the counters do
-//! not exist: the gating is `#[cfg]`, not a runtime flag, so the
-//! disabled path is zero-overhead by construction (there is no code to
-//! skip). [`snapshot`] statically returns `None` and the JSON reporter
-//! omits the allocation columns.
+//! With the feature **off** — the default — the allocator is not
+//! registered and the counters do not exist: the gating is `#[cfg]`,
+//! not a runtime flag, so the disabled path is zero-overhead by
+//! construction (there is no code to skip). [`snapshot`] statically
+//! returns `None` and the JSON reporter omits the allocation columns.
+//!
+//! The committed `BENCH_pipeline.json` baseline is regenerated from a
+//! `count-alloc` build so its rows carry `allocs_per_iter`, letting the
+//! comparison gate catch allocation regressions on the planned hot path
+//! (the counting overhead — two relaxed atomic adds per allocation — is
+//! far inside the timing noise band).
 
 /// A point-in-time reading of the global allocation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -5,10 +5,16 @@
 //! — prints the delta table and gates on regressions under `--check`.
 //!
 //! ```text
-//! perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTR]
+//! perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTRS]
 //!           [--out PATH] [--baseline PATH] [--check] [--noise-pct X]
-//!           [--list] [--validate PATH] [--trace-out[=PATH]]
+//!           [--max-allocs N] [--list] [--validate PATH]
+//!           [--trace-out[=PATH]]
 //! ```
+//!
+//! `--filter` accepts comma-separated substrings. `--max-allocs N`
+//! fails the run when any measured workload allocates more than `N`
+//! times per iteration — it requires a `count-alloc` build and is the
+//! CI hook that keeps the planned hot path allocation-free.
 //!
 //! `--validate PATH` runs no workloads: it parses `PATH` as a bench
 //! document and checks every full-suite workload is present — the CI
@@ -21,9 +27,9 @@ use repro_bench::ExpHarness;
 use uwb_perfwatch::suite::spin_ns_from_env;
 use uwb_perfwatch::{compare, run_suite, workload_names, BenchDoc, EnvFingerprint, SuiteConfig};
 
-const USAGE: &str = "usage: perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTR] \
-                     [--out PATH] [--baseline PATH] [--check] [--noise-pct X] [--list] \
-                     [--validate PATH] [--trace-out[=PATH]]";
+const USAGE: &str = "usage: perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTRS] \
+                     [--out PATH] [--baseline PATH] [--check] [--noise-pct X] [--max-allocs N] \
+                     [--list] [--validate PATH] [--trace-out[=PATH]]";
 
 struct Cli {
     config: SuiteConfig,
@@ -31,6 +37,7 @@ struct Cli {
     baseline: Option<PathBuf>,
     check: bool,
     noise_pct: f64,
+    max_allocs: Option<u64>,
     list: bool,
     validate: Option<PathBuf>,
 }
@@ -46,6 +53,7 @@ fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, Strin
         baseline: None,
         check: false,
         noise_pct: 15.0,
+        max_allocs: None,
         list: false,
         validate: None,
     };
@@ -78,6 +86,13 @@ fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, Strin
                 cli.noise_pct = value_of("--noise-pct")?
                     .parse()
                     .map_err(|e| format!("--noise-pct: {e}"))?;
+            }
+            "--max-allocs" => {
+                cli.max_allocs = Some(
+                    value_of("--max-allocs")?
+                        .parse()
+                        .map_err(|e| format!("--max-allocs: {e}"))?,
+                );
             }
             "--list" => cli.list = true,
             "--validate" => cli.validate = Some(PathBuf::from(value_of("--validate")?)),
@@ -195,6 +210,29 @@ fn main() -> ExitCode {
     }
     println!("\nwrote {}", cli.out.display());
 
+    // The alloc budget is an explicit gate: exceeding it fails the run
+    // with or without --check.
+    let mut alloc_failed = false;
+    if let Some(cap) = cli.max_allocs {
+        if !uwb_perfwatch::alloc_count::enabled() {
+            eprintln!("FAIL: --max-allocs requires a build with the count-alloc feature");
+            return ExitCode::FAILURE;
+        }
+        for w in &doc.workloads {
+            let allocs = w.allocs_per_iter.unwrap_or(0);
+            if allocs > cap {
+                eprintln!(
+                    "FAIL: {} allocates {allocs} times per iteration (budget {cap})",
+                    w.name
+                );
+                alloc_failed = true;
+            }
+        }
+        if !alloc_failed {
+            println!("alloc budget: ok — every measured workload within {cap} allocs/iter");
+        }
+    }
+
     let mut failed = false;
     if let (Some(baseline), Some(path)) = (&baseline, &baseline_path) {
         let comparison = compare(baseline, &doc, cli.noise_pct);
@@ -228,7 +266,7 @@ fn main() -> ExitCode {
     }
 
     harness.finish();
-    if cli.check && failed {
+    if alloc_failed || (cli.check && failed) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

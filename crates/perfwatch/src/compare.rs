@@ -11,6 +11,13 @@
 //! invisible. New workloads (present now, absent from the baseline) are
 //! reported but do not fail the gate; they simply have no reference
 //! yet.
+//!
+//! When both documents carry allocation counts (`count-alloc` builds),
+//! the gate additionally fails on *allocation* regressions: a workload
+//! whose baseline is allocation-free must stay at zero (no noise band —
+//! counts are exact), and a nonzero baseline may not grow beyond the
+//! noise band. Runs without allocation data (default builds) skip the
+//! allocation gate entirely.
 
 use crate::baseline::BenchDoc;
 
@@ -27,6 +34,15 @@ pub struct Delta {
     pub change_pct: Option<f64>,
     /// True when the change exceeds the noise band on the slow side.
     pub regressed: bool,
+    /// Baseline allocations per iteration (`None`: baseline lacks
+    /// allocation data).
+    pub old_allocs: Option<u64>,
+    /// Current allocations per iteration (`None`: this run lacks
+    /// allocation data or the workload is missing).
+    pub new_allocs: Option<u64>,
+    /// True when allocations regressed: a zero baseline became nonzero,
+    /// or a nonzero baseline grew beyond the noise band.
+    pub alloc_regressed: bool,
 }
 
 /// The full comparison: per-workload deltas plus gate bookkeeping.
@@ -45,34 +61,41 @@ pub struct Comparison {
 
 impl Comparison {
     /// True when the regression gate should fail: any workload slower
-    /// than the noise band allows, or missing from the current run.
+    /// than the noise band allows, allocating more than the baseline
+    /// allows, or missing from the current run.
     #[must_use]
     pub fn has_regression(&self) -> bool {
         self.deltas
             .iter()
-            .any(|d| d.regressed || d.new_min_ns.is_none())
+            .any(|d| d.regressed || d.alloc_regressed || d.new_min_ns.is_none())
     }
 
     /// Renders the delta table (aligned plain text, one row per
     /// baseline workload, flagged rows marked).
     #[must_use]
     pub fn render_table(&self) -> String {
-        let mut rows: Vec<[String; 5]> = vec![[
+        let mut rows: Vec<[String; 6]> = vec![[
             "workload".to_string(),
             "baseline(min)".to_string(),
             "current(min)".to_string(),
             "change".to_string(),
+            "allocs".to_string(),
             "verdict".to_string(),
         ]];
         for d in &self.deltas {
+            let allocs = match (d.old_allocs, d.new_allocs) {
+                (Some(old), Some(new)) => format!("{old}→{new}"),
+                _ => "-".to_string(),
+            };
             let (current, change, verdict) = match (d.new_min_ns, d.change_pct) {
                 (Some(new), Some(pct)) => (
                     format_ns(new),
                     format!("{pct:+.1}%"),
-                    if d.regressed {
-                        "REGRESSED".to_string()
-                    } else {
-                        "ok".to_string()
+                    match (d.regressed, d.alloc_regressed) {
+                        (false, false) => "ok".to_string(),
+                        (true, false) => "REGRESSED".to_string(),
+                        (false, true) => "ALLOC-REGRESSED".to_string(),
+                        (true, true) => "REGRESSED+ALLOC".to_string(),
                     },
                 ),
                 _ => ("-".to_string(), "-".to_string(), "MISSING".to_string()),
@@ -82,6 +105,7 @@ impl Comparison {
                 format_ns(d.old_min_ns),
                 current,
                 change,
+                allocs,
                 verdict,
             ]);
         }
@@ -91,10 +115,11 @@ impl Comparison {
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
                 "new".to_string(),
             ]);
         }
-        let mut widths = [0usize; 5];
+        let mut widths = [0usize; 6];
         for row in &rows {
             for (w, cell) in widths.iter_mut().zip(row.iter()) {
                 *w = (*w).max(cell.len());
@@ -146,12 +171,25 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, noise_pct: f64) -> Compa
                 .filter(|_| old.min_ns > 0.0)
                 .map(|new_ns| (new_ns / old.min_ns - 1.0) * 100.0);
             let regressed = change_pct.is_some_and(|pct| pct > noise_pct);
+            let old_allocs = old.allocs_per_iter;
+            let new_allocs = new.and_then(|w| w.allocs_per_iter);
+            // Counts are exact, so a zero baseline admits no band; a
+            // nonzero baseline gets the same percentage band as time
+            // (per-iteration counts can wobble with amortized growth).
+            let alloc_regressed = match (old_allocs, new_allocs) {
+                (Some(0), Some(new)) => new > 0,
+                (Some(old), Some(new)) => (new as f64 / old as f64 - 1.0) * 100.0 > noise_pct,
+                _ => false,
+            };
             Delta {
                 name: old.name.clone(),
                 old_min_ns: old.min_ns,
                 new_min_ns,
                 change_pct,
                 regressed,
+                old_allocs,
+                new_allocs,
+                alloc_regressed,
             }
         })
         .collect();
@@ -247,6 +285,78 @@ mod tests {
         assert!(!cmp.has_regression());
         assert_eq!(cmp.new_workloads, vec!["c".to_string()]);
         assert!(cmp.render_table().contains("new"));
+    }
+
+    fn row_with_allocs(name: &str, min_ns: f64, allocs: u64) -> WorkloadResult {
+        WorkloadResult {
+            allocs_per_iter: Some(allocs),
+            alloc_bytes_per_iter: Some(allocs * 64),
+            ..row(name, min_ns)
+        }
+    }
+
+    #[test]
+    fn zero_alloc_baseline_admits_no_new_allocations() {
+        let baseline = doc(vec![row_with_allocs("a", 1000.0, 0)]);
+        let current = doc(vec![row_with_allocs("a", 1000.0, 1)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].alloc_regressed);
+        assert!(!cmp.deltas[0].regressed);
+        assert!(cmp.render_table().contains("ALLOC-REGRESSED"));
+        assert!(cmp.render_table().contains("0→1"));
+    }
+
+    #[test]
+    fn alloc_reduction_and_zero_steady_state_pass() {
+        let baseline = doc(vec![
+            row_with_allocs("a", 1000.0, 29),
+            row_with_allocs("b", 1000.0, 0),
+        ]);
+        let current = doc(vec![
+            row_with_allocs("a", 1000.0, 2),
+            row_with_allocs("b", 1000.0, 0),
+        ]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(!cmp.has_regression(), "{:?}", cmp.deltas);
+        assert!(cmp.render_table().contains("29→2"));
+    }
+
+    #[test]
+    fn alloc_growth_beyond_the_band_regresses() {
+        let baseline = doc(vec![row_with_allocs("a", 1000.0, 20)]);
+        let current = doc(vec![row_with_allocs("a", 1000.0, 24)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].alloc_regressed);
+        // Within the band: 20 → 22 is +10 %.
+        let ok = compare(
+            &doc(vec![row_with_allocs("a", 1000.0, 20)]),
+            &doc(vec![row_with_allocs("a", 1000.0, 22)]),
+            15.0,
+        );
+        assert!(!ok.has_regression());
+    }
+
+    #[test]
+    fn runs_without_alloc_data_skip_the_alloc_gate() {
+        // Default builds carry no counts on either side — or on one side
+        // when comparing across build configurations.
+        let with = doc(vec![row_with_allocs("a", 1000.0, 0)]);
+        let without = doc(vec![row("a", 1000.0)]);
+        assert!(!compare(&without, &with, 15.0).has_regression());
+        assert!(!compare(&with, &without, 15.0).has_regression());
+        assert!(compare(&without, &without, 15.0)
+            .render_table()
+            .contains('-'));
+    }
+
+    #[test]
+    fn time_and_alloc_regressions_combine_in_the_verdict() {
+        let baseline = doc(vec![row_with_allocs("a", 1000.0, 0)]);
+        let current = doc(vec![row_with_allocs("a", 2000.0, 5)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.render_table().contains("REGRESSED+ALLOC"));
     }
 
     #[test]

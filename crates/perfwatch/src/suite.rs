@@ -13,14 +13,21 @@
 //! robust — median and MAD over the per-iteration wall-clock samples,
 //! plus the minimum — so a single scheduler hiccup cannot move the
 //! headline number.
+//!
+//! The DSP and detection workloads hold a persistent plan/scratch
+//! context across iterations (the planned hot path — how the campaign
+//! engine runs them), so warmup populates the plan caches and the
+//! steady-state rows measure the allocation-free path.
 
 use rand::rngs::StdRng;
 
 use crate::alloc_count;
 use crate::baseline::WorkloadResult;
-use concurrent_ranging::detection::{template_bank, SearchSubtractConfig, SearchSubtractDetector};
+use concurrent_ranging::detection::{
+    template_bank, DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
+};
 use concurrent_ranging::SlotPlan;
-use uwb_dsp::{BluesteinPlan, Complex64, FftPlan, MatchedFilter};
+use uwb_dsp::{BluesteinPlan, Complex64, DspContext, FftPlan, MatchedFilter};
 use uwb_obs::{measure_ns, median, median_abs_deviation, per_second, Stopwatch};
 use uwb_radio::{Channel, Cir, PulseShape, RadioConfig, TcPgDelay, CIR_SAMPLE_PERIOD_S};
 
@@ -43,7 +50,8 @@ pub struct SuiteConfig {
     /// Busy-spin (ns) injected *inside* every timed region — the
     /// regression-gate test hook, parsed from `UWB_PERFWATCH_SPIN_NS`.
     pub spin_ns: u64,
-    /// Only run workloads whose name contains this substring.
+    /// Only run workloads whose name contains one of these
+    /// comma-separated substrings.
     pub filter: Option<String>,
 }
 
@@ -112,11 +120,18 @@ fn fig7_overlap_cir() -> Cir {
     )
 }
 
+/// The detector in its steady-state hot-path configuration: per-iteration
+/// diagnostics capture off, exactly as the campaign engine runs it. Each
+/// workload pairs it with a persistent [`DetectorContext`] so the timed
+/// region exercises the planned, allocation-free path.
 fn default_detector() -> SearchSubtractDetector {
     SearchSubtractDetector::from_registers(
         &[TcPgDelay::DEFAULT],
         Channel::Ch7,
-        SearchSubtractConfig::default(),
+        SearchSubtractConfig {
+            capture_diagnostics: false,
+            ..SearchSubtractConfig::default()
+        },
     )
     .expect("default detector construction")
 }
@@ -181,6 +196,8 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
         let sampled = pulse.sample(CIR_SAMPLE_PERIOD_S);
         let filter = MatchedFilter::from_real(&sampled.samples).expect("pulse template");
         let signal: Vec<Complex64> = single_response_cir().taps().to_vec();
+        let mut ctx = DspContext::new();
+        let mut scores: Vec<f64> = Vec::new();
         workloads.push(Workload {
             name: "dsp.matched_filter_1016",
             layer: "dsp",
@@ -189,10 +206,10 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
             default_iters: 200,
             default_warmup: 10,
             run: Box::new(move || {
-                let scores = filter
-                    .apply_normalized(&signal)
+                filter
+                    .apply_normalized_into(&signal, &mut scores, &mut ctx)
                     .expect("matched filter on CIR-length signal");
-                std::hint::black_box(scores);
+                std::hint::black_box(&scores);
             }),
         });
     }
@@ -200,6 +217,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
     {
         let detector = default_detector();
         let cir = single_response_cir();
+        let mut ctx = DetectorContext::new();
         workloads.push(Workload {
             name: "detect.search_subtract_single",
             layer: "detect",
@@ -208,7 +226,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
             default_iters: 60,
             default_warmup: 3,
             run: Box::new(move || {
-                let outcome = detector.detect(&cir, 1).expect("detection");
+                let outcome = detector.detect_with(&mut ctx, &cir, 1).expect("detection");
                 std::hint::black_box(outcome);
             }),
         });
@@ -217,6 +235,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
     {
         let detector = default_detector();
         let cir = fig7_overlap_cir();
+        let mut ctx = DetectorContext::new();
         workloads.push(Workload {
             name: "detect.search_subtract_fig7",
             layer: "detect",
@@ -225,7 +244,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
             default_iters: 60,
             default_warmup: 3,
             run: Box::new(move || {
-                let outcome = detector.detect(&cir, 2).expect("detection");
+                let outcome = detector.detect_with(&mut ctx, &cir, 2).expect("detection");
                 std::hint::black_box(outcome);
             }),
         });
@@ -248,6 +267,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
         );
         let corrupted = uwb_channel::apply_tap_corruption(&mut cir, &mut injector, 0);
         assert!(corrupted > 0, "the corrupted workload must corrupt taps");
+        let mut ctx = DetectorContext::new();
         workloads.push(Workload {
             name: "detect.search_subtract_corrupted",
             layer: "detect",
@@ -256,7 +276,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
             default_iters: 60,
             default_warmup: 3,
             run: Box::new(move || {
-                let outcome = detector.detect(&cir, 2);
+                let outcome = detector.detect_with(&mut ctx, &cir, 2);
                 std::hint::black_box(outcome).ok();
             }),
         });
@@ -275,7 +295,7 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
         let signal: Vec<Complex64> = cir.taps().to_vec();
         let tau_s = 40.0e-9;
         workloads.push(Workload {
-            name: "detect.pulse_classify",
+            name: "detect.shape_classify",
             layer: "detect",
             units: "classifications",
             units_per_iter: 1.0,
@@ -430,10 +450,11 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> Vec<Wo
     build_workloads(config.threads)
         .iter_mut()
         .filter(|w| {
-            config
-                .filter
-                .as_deref()
-                .is_none_or(|needle| w.name.contains(needle))
+            config.filter.as_deref().is_none_or(|needles| {
+                needles
+                    .split(',')
+                    .any(|needle| w.name.contains(needle.trim()))
+            })
         })
         .map(|w| {
             progress(w.name);
@@ -485,8 +506,26 @@ mod tests {
         assert_eq!(row.iters, 1);
         assert!(row.median_ns > 0.0);
         assert!(row.throughput_per_s > 0.0);
-        // Baselines are committed from default builds only.
+        // Allocation columns appear exactly when the counting allocator
+        // was compiled in (`count-alloc` — the baseline-regeneration
+        // configuration).
         assert_eq!(row.allocs_per_iter.is_some(), crate::alloc_count::enabled());
+    }
+
+    #[test]
+    fn filter_accepts_comma_separated_needles() {
+        let config = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("rpm., dsp.fft_radix2_1024".to_string()),
+            ..SuiteConfig::default()
+        };
+        let mut seen = Vec::new();
+        run_suite(&config, |name| seen.push(name.to_string()));
+        assert_eq!(
+            seen,
+            vec!["dsp.fft_radix2_1024".to_string(), "rpm.decode".to_string()]
+        );
     }
 
     #[test]

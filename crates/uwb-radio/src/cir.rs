@@ -59,6 +59,15 @@ impl Cir {
         }
     }
 
+    /// Resets this CIR to all zeros for `prf`, reusing the tap buffer —
+    /// the allocation-free counterpart of [`Cir::zeroed`] for callers
+    /// that synthesize many CIRs in a loop.
+    pub fn reset(&mut self, prf: Prf) {
+        self.prf = prf;
+        self.taps.clear();
+        self.taps.resize(prf.cir_length(), Complex64::ZERO);
+    }
+
     /// The PRF this CIR was accumulated under.
     pub fn prf(&self) -> Prf {
         self.prf
