@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test --workspace"
 cargo test --workspace
@@ -24,6 +24,14 @@ echo "==> exp_fault_sweep smoke (50 trials per loss rate)"
 # least partial results at every swept loss rate — zero panics — and
 # the injected/recovered fault counters must appear in the obs summary.
 ./target/release/exp_fault_sweep --trials 50
+
+echo "==> exp_capacity_sweep smoke (N ≤ 64, 20 trials)"
+# The city-scale acceptance gate: the sharded world must complete the
+# capacity point at N = 64 with a deterministic report — the stdout
+# table is byte-identical for any --threads / UWB_WORLDSIM_THREADS.
+./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 1 > /tmp/capacity_t1.txt
+./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 4 > /tmp/capacity_t4.txt
+diff /tmp/capacity_t1.txt /tmp/capacity_t4.txt
 
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still

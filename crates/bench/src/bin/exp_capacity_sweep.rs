@@ -1,0 +1,105 @@
+//! Sweeps the responder count of the city-scale capacity scenario up to
+//! the paper's nominal `N_max = N_RPM · N_PS ≈ 1500` (Sect. VIII) and
+//! reports the identification-collision rate, round success rate and
+//! identified-responder throughput at each point. Pass `--n N` to cap
+//! the sweep, `--trials N` for seeds per point and `--threads N` for the
+//! shard worker count — the table and CSV are byte-identical for any
+//! thread count (wall-clock throughput goes to stderr only).
+
+use repro_bench::experiments::capacity_sweep;
+use std::time::Instant;
+use uwb_campaign::artifact::{results_dir, CsvWriter};
+
+fn usage() -> ! {
+    eprintln!("usage: exp_capacity_sweep [--n N] [--trials N] [--threads N] [--trace-out[=PATH]]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let (obs, leftover) =
+        match repro_bench::ExpHarness::init_with("exp_capacity_sweep", std::env::args().skip(1)) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                eprintln!("{msg}");
+                usage();
+            }
+        };
+    let mut max_n = 1500usize;
+    let mut trials = repro_bench::trials_from_env(5) as u64;
+    let mut args = leftover.into_iter();
+    while let Some(arg) = args.next() {
+        let (key, value) = if arg == "--n" || arg == "--trials" {
+            (arg.clone(), args.next().unwrap_or_else(|| usage()))
+        } else if let Some(v) = arg.strip_prefix("--n=") {
+            ("--n".to_string(), v.to_string())
+        } else if let Some(v) = arg.strip_prefix("--trials=") {
+            ("--trials".to_string(), v.to_string())
+        } else {
+            usage();
+        };
+        match key.as_str() {
+            "--n" => max_n = value.parse().unwrap_or_else(|_| usage()),
+            _ => trials = value.parse().unwrap_or_else(|_| usage()),
+        }
+    }
+
+    let started = Instant::now();
+    let report = capacity_sweep::run(max_n, trials, 41, obs.threads);
+    let elapsed = started.elapsed().as_secs_f64();
+    println!("{report}");
+    // Wall-clock is thread-count dependent: stderr only, so stdout stays
+    // byte-identical across `--threads` values.
+    let rounds: u64 = report.points.iter().map(|p| p.stats.rounds).sum();
+    eprintln!(
+        "swept {} points, {rounds} rounds in {elapsed:.2} s ({:.1} rounds/s)",
+        report.points.len(),
+        rounds as f64 / elapsed.max(1e-9)
+    );
+
+    let path = results_dir().join("capacity_sweep.csv");
+    let csv = CsvWriter::create(
+        &path,
+        &[
+            "n",
+            "trials",
+            "frames_observed",
+            "identified",
+            "misidentified",
+            "unresolved",
+            "collision_frames",
+            "spillover_frames",
+            "identification_rate",
+            "collision_rate",
+            "round_success_rate",
+            "ids_per_round",
+            "mean_abs_error_m",
+            "deferrals",
+        ],
+    )
+    .and_then(|mut csv| {
+        for p in &report.points {
+            csv.write_row(&[
+                (p.n as u64).into(),
+                report.trials.into(),
+                p.stats.frames_observed.into(),
+                p.stats.identified.into(),
+                p.stats.misidentified.into(),
+                p.stats.unresolved.into(),
+                p.stats.collision_frames.into(),
+                p.stats.spillover_frames.into(),
+                p.stats.identification_rate().into(),
+                p.stats.collision_rate().into(),
+                p.stats.round_success_rate().into(),
+                p.throughput.into(),
+                p.stats.mean_abs_error_m().into(),
+                p.deferrals.into(),
+            ])?;
+        }
+        csv.finish()
+    });
+    match csv {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    obs.finish();
+}

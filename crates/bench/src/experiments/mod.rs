@@ -4,6 +4,7 @@
 //! EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod capacity_sweep;
 pub mod design_ablations;
 pub mod fault_sweep;
 pub mod fig1;

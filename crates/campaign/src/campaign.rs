@@ -11,6 +11,7 @@
 //! threads.
 
 use crate::collect::Collect;
+use crate::pool;
 use crate::report::{CampaignReport, Progress};
 use crate::seed::{trial_rng, TrialRng};
 use crate::threads;
@@ -158,19 +159,11 @@ impl<'a> Campaign<'a> {
         let started = Instant::now();
         let threads = self.effective_threads().max(1);
         let n_chunks = self.trials.div_ceil(self.chunk_size);
-        let workers = threads
-            .min(usize::try_from(n_chunks).unwrap_or(usize::MAX))
-            .max(1);
-
-        // One slot per chunk; workers park finished collectors (and the
-        // chunk's captured observability metrics) here so the merge
-        // below can walk chunks in order.
-        type Slot<C> = Mutex<Option<(C, MetricsRegistry)>>;
-        let slots: Vec<Slot<C>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicU64::new(0);
+        let n_chunks_usize = usize::try_from(n_chunks).expect("chunk count fits usize");
+        let workers = threads.min(n_chunks_usize).max(1);
         let completed = AtomicU64::new(0);
 
-        let run_chunk = |chunk: u64, prototype: &C, worker: &mut W| {
+        let run_chunk = |chunk: u64, prototype: &C, worker: &mut W| -> (C, MetricsRegistry) {
             let start = self.first_trial + chunk * self.chunk_size;
             let end = (start + self.chunk_size).min(self.first_trial + self.trials);
             let chunk_watch = uwb_obs::Stopwatch::start();
@@ -206,9 +199,6 @@ impl<'a> Campaign<'a> {
                     ("elapsed_ns", chunk_watch.elapsed_ns().into()),
                 ]
             });
-            *slots[usize::try_from(chunk).expect("chunk fits usize")]
-                .lock()
-                .expect("no poisoned chunk slot") = Some((local, chunk_metrics));
             let done = completed.fetch_add(end - start, Ordering::Relaxed) + (end - start);
             if let Some(observer) = self.progress {
                 observer(Progress {
@@ -217,48 +207,34 @@ impl<'a> Campaign<'a> {
                     elapsed: started.elapsed(),
                 });
             }
+            (local, chunk_metrics)
         };
 
-        if workers == 1 {
-            // Same chunk structure as the parallel path (identical merge
-            // tree), without spawning.
-            let mut worker = init();
-            for chunk in 0..n_chunks {
-                run_chunk(chunk, &collector, &mut worker);
-            }
-        } else {
-            // Each worker owns a prototype clone (so `C` needs only
-            // `Clone + Send`, not `Sync`) plus its own context from
-            // `init`, built on the worker thread and reused across all
-            // chunks it pulls.
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    let prototype = collector.clone();
-                    let run_chunk = &run_chunk;
-                    let cursor = &cursor;
-                    let init = &init;
-                    scope.spawn(move || {
-                        let mut worker = init();
-                        loop {
-                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                            if chunk >= n_chunks {
-                                break;
-                            }
-                            run_chunk(chunk, &prototype, &mut worker);
-                        }
-                    });
-                }
-            });
-        }
+        // Prototype clones are made on this thread and handed out through
+        // a pop list, so `C` needs only `Clone + Send`, not `Sync`. Each
+        // worker pairs its prototype with its own context from `init`,
+        // built on the worker thread and reused across all chunks it
+        // pulls. The shared pool parks chunk results by index; the merge
+        // below walks them in ascending chunk order — the same reduction
+        // tree for 1 or N threads.
+        let prototypes = Mutex::new(vec![collector.clone(); workers]);
+        let results = pool::run_ordered_with(
+            n_chunks_usize,
+            workers,
+            || {
+                let prototype = prototypes
+                    .lock()
+                    .expect("no poisoned prototype list")
+                    .pop()
+                    .expect("one prototype per worker");
+                (init(), prototype)
+            },
+            |(worker, prototype), chunk| run_chunk(chunk as u64, prototype, worker),
+        );
 
         let mut merged = collector;
         let mut metrics = MetricsRegistry::new();
-        for slot in &slots {
-            let (chunk, chunk_metrics) = slot
-                .lock()
-                .expect("no poisoned chunk slot")
-                .take()
-                .expect("every chunk ran");
+        for (chunk, chunk_metrics) in results {
             merged.merge(chunk);
             metrics.merge(&chunk_metrics);
         }

@@ -43,6 +43,7 @@
 pub mod artifact;
 pub mod campaign;
 pub mod collect;
+pub mod pool;
 pub mod report;
 pub mod seed;
 pub mod stats;
@@ -50,8 +51,9 @@ pub mod threads;
 
 pub use campaign::Campaign;
 pub use collect::{Collect, FallibleCollect, VecCollector, VerdictTally};
+pub use pool::{run_ordered, run_ordered_with};
 pub use report::{CampaignReport, Progress};
-pub use seed::{derive_seed, trial_rng, TrialRng};
+pub use seed::{derive_seed, mix, trial_rng, TrialRng};
 pub use stats::{Counter, Histogram, ScalarStats};
-pub use threads::{parse_threads_arg, threads_from_env};
+pub use threads::{parse_threads_arg, threads_from_env, threads_from_named_env};
 pub use uwb_obs::MetricsRegistry;

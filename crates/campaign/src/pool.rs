@@ -1,0 +1,137 @@
+//! A deterministic `std::thread` worker pool over an indexed job set.
+//!
+//! This is the chunk-ordered-merge discipline of the campaign engine
+//! factored out so other parallel subsystems (notably `uwb-worldsim`'s
+//! sharded event engine) can share it: jobs are identified by their index
+//! on a fixed grid, workers pull indices from an atomic cursor, park each
+//! finished result in the job's slot, and the caller receives the results
+//! in ascending index order — the same reduction sequence no matter how
+//! many threads ran or how the scheduler interleaved them.
+//!
+//! Determinism contract: `run_ordered` guarantees *result order*; result
+//! *values* are bit-identical across thread counts provided each job is a
+//! pure function of its index (plus any per-worker context that only
+//! amortises work without changing outcomes).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` indexed jobs on up to `threads` workers and returns their
+/// results in index order.
+///
+/// `threads == 0` or `threads == 1` (or a single job) runs inline on the
+/// calling thread with no pool — the exact same job sequence, so the
+/// sequential path is the reference the parallel path must reproduce.
+pub fn run_ordered<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_ordered_with(jobs, threads, || (), |(), index| job(index))
+}
+
+/// [`run_ordered`] with per-worker context: each worker thread calls
+/// `init()` once and passes the resulting scratch value to every job it
+/// pulls — the hook for caches and buffers that are expensive to build
+/// but must not change job outcomes.
+pub fn run_ordered_with<W, T, I, F>(jobs: usize, threads: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    let workers = threads.min(jobs).max(1);
+    if workers == 1 {
+        let mut worker = init();
+        return (0..jobs).map(|index| job(&mut worker, index)).collect();
+    }
+
+    // One slot per job; workers park results here so the collection below
+    // can walk jobs in index order regardless of completion order.
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            let init = &init;
+            let job = &job;
+            scope.spawn(move || {
+                let mut worker = init();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs {
+                        break;
+                    }
+                    *slots[index].lock().expect("no poisoned job slot") =
+                        Some(job(&mut worker, index));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned job slot")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_ordered(100, threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u64> = run_ordered(0, 4, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_actually_overlaps_workers() {
+        let distinct = Mutex::new(HashSet::new());
+        run_ordered(64, 4, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            distinct.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(distinct.lock().unwrap().len() > 1, "pool never overlapped");
+    }
+
+    #[test]
+    fn each_worker_inits_once() {
+        let inits = AtomicUsize::new(0);
+        let out = run_ordered_with(
+            200,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |scratch, i| {
+                *scratch += 1;
+                i as u64
+            },
+        );
+        assert_eq!(out.len(), 200);
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel_path() {
+        let seq = run_ordered(333, 1, |i| crate::seed::derive_seed(9, i as u64));
+        let par = run_ordered(333, 7, |i| crate::seed::derive_seed(9, i as u64));
+        assert_eq!(seq, par);
+    }
+}

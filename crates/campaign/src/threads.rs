@@ -11,7 +11,16 @@ pub const THREADS_ENV: &str = "UWB_CAMPAIGN_THREADS";
 /// 0) the machine's available parallelism.
 #[must_use]
 pub fn threads_from_env(default: usize) -> usize {
-    let from_env = std::env::var(THREADS_ENV)
+    threads_from_named_env(THREADS_ENV, default)
+}
+
+/// [`threads_from_env`] against an arbitrary environment variable — the
+/// same resolution order (env when a positive integer, then `default`,
+/// then available parallelism) for subsystems with their own knob, e.g.
+/// `uwb-worldsim`'s `UWB_WORLDSIM_THREADS`.
+#[must_use]
+pub fn threads_from_named_env(var: &str, default: usize) -> usize {
+    let from_env = std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0);

@@ -92,6 +92,6 @@ pub use localization::{multilaterate, PositionFix, RangeToAnchor};
 pub use network::{DistanceMatrix, NetworkRanging, TrafficCounter};
 pub use protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
 pub use rpm::{SlotPlan, DELTA_MAX_S};
-pub use session::{RangingSession, ResponderStats};
+pub use session::{RangingSession, ResponderStats, RoundSample};
 pub use tracking::{PositionTracker, TrackState};
 pub use twr::{SsTwrEngine, TwrMeasurement};

@@ -31,6 +31,21 @@ pub struct ResponderStats {
     pub availability: f64,
 }
 
+/// One identified responder sample from a concurrent round, in the form
+/// batch producers (the city-scale world simulator, offline trace
+/// replays) hand over: no [`RoundOutcome`] envelope, just the identity,
+/// the distance and the capture amplitude used for same-ID arbitration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSample {
+    /// Decoded responder ID.
+    pub id: u32,
+    /// Estimated distance in meters.
+    pub distance_m: f64,
+    /// First-path amplitude of the frame the estimate came from
+    /// (strongest wins when two frames decode to the same ID).
+    pub amplitude: f64,
+}
+
 /// Aggregates concurrent-ranging rounds into robust per-responder ranges.
 ///
 /// # Examples
@@ -113,21 +128,36 @@ impl RangingSession {
     /// strongest, if a spurious detection decoded to an already-occupied
     /// slot/shape pair) so availability stays a per-round fraction.
     pub fn ingest(&mut self, outcome: &RoundOutcome) {
+        self.ingest_round_samples(outcome.estimates.iter().filter_map(|estimate| {
+            estimate.id.map(|id| RoundSample {
+                id,
+                distance_m: estimate.distance_m,
+                amplitude: estimate.amplitude,
+            })
+        }));
+    }
+
+    /// Ingests one round given as bare identified samples — the
+    /// batch-friendly entry point for producers that never build a
+    /// [`RoundOutcome`] (e.g. the sharded world simulator merging
+    /// thousands of concurrent rounds).
+    ///
+    /// Applies the same per-round arbitration as [`RangingSession::ingest`]:
+    /// at most one sample per responder ID is kept (the strongest by
+    /// amplitude), and the round counts once toward every availability
+    /// denominator. An empty iterator still counts as a (responder-less)
+    /// completed round.
+    pub fn ingest_round_samples(&mut self, samples: impl IntoIterator<Item = RoundSample>) {
         self.rounds += 1;
-        let mut best: BTreeMap<u32, &crate::concurrent::ResponderEstimate> = BTreeMap::new();
-        for estimate in &outcome.estimates {
-            if let Some(id) = estimate.id {
-                let slot = best.entry(id).or_insert(estimate);
-                if estimate.amplitude > slot.amplitude {
-                    *slot = estimate;
-                }
+        let mut best: BTreeMap<u32, RoundSample> = BTreeMap::new();
+        for sample in samples {
+            let slot = best.entry(sample.id).or_insert(sample);
+            if sample.amplitude > slot.amplitude {
+                *slot = sample;
             }
         }
-        for (id, estimate) in best {
-            self.samples
-                .entry(id)
-                .or_default()
-                .push(estimate.distance_m);
+        for (id, sample) in best {
+            self.samples.entry(id).or_default().push(sample.distance_m);
         }
     }
 
@@ -232,6 +262,39 @@ mod tests {
             far.distance_m
         );
         assert!(far.availability > 0.9, "availability {}", far.availability);
+    }
+
+    #[test]
+    fn batch_samples_match_outcome_ingestion() {
+        // Same data through both entry points → identical aggregates.
+        let mut via_batch = RangingSession::new();
+        via_batch.ingest_round_samples([
+            RoundSample {
+                id: 3,
+                distance_m: 7.0,
+                amplitude: 0.2,
+            },
+            // Duplicate ID: the stronger sample must win.
+            RoundSample {
+                id: 3,
+                distance_m: 9.0,
+                amplitude: 0.5,
+            },
+            RoundSample {
+                id: 1,
+                distance_m: 4.0,
+                amplitude: 0.1,
+            },
+        ]);
+        assert_eq!(via_batch.rounds(), 1);
+        assert_eq!(via_batch.samples_for(3), &[9.0]);
+        assert_eq!(via_batch.samples_for(1), &[4.0]);
+        // An empty round still counts toward availability denominators.
+        via_batch.ingest_round_samples([]);
+        assert_eq!(via_batch.rounds(), 2);
+        assert_eq!(via_batch.failed(), 0);
+        let stats = via_batch.responder_stats();
+        assert!((stats[1].availability - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -71,6 +71,26 @@ impl ClockModel {
     pub fn local_duration(&self, true_duration_s: f64) -> f64 {
         true_duration_s * self.rate()
     }
+
+    /// Maps a (wrapping) local device-time target to the next matching
+    /// global time at or after `now_global_s`.
+    ///
+    /// Like the real DW1000, a delayed-TX target that has already passed
+    /// waits for the next counter wrap (~17.2 s) — the classic DW1000
+    /// footgun when scheduling without margin. Protocol engines in this
+    /// workspace always schedule with sub-millisecond margins, far above
+    /// the 8 ns truncation, so the deferral never triggers in practice.
+    /// Shared by `Simulator` and `uwb-worldsim`'s shard engines.
+    pub fn next_device_occurrence(&self, now_global_s: f64, device: DeviceTime) -> f64 {
+        let period = uwb_radio::TIMESTAMP_MODULUS as f64 * uwb_radio::DTU_SECONDS;
+        let local_now = self.local_from_global(now_global_s);
+        let base = (local_now / period).floor() * period;
+        let mut target_local = base + device.as_seconds();
+        if target_local < local_now - 1e-12 {
+            target_local += period;
+        }
+        self.global_from_local(target_local)
+    }
 }
 
 impl Default for ClockModel {

@@ -64,6 +64,36 @@ impl<P> ReceivedFrame<P> {
     }
 }
 
+/// Preamble-capture arbitration over the frames of one accumulation
+/// window: the receiver locks onto the earliest arriving preamble
+/// (leading-edge detection in the accumulator), so that frame's payload
+/// decodes and its first path is timestamped — consistent with the paper,
+/// where "responder 1" (the closest) provides the decoded payload and the
+/// SS-TWR anchor. Ties break by amplitude. Corrupted frames (injected CRC
+/// failures) and frames below the receiver sensitivity
+/// (`min_decode_amplitude`; `0.0` disables the limit) cannot win.
+///
+/// Returns the index of the winning frame, or `None` when nothing in the
+/// window can decode. Shared by `Simulator` and `uwb-worldsim`'s shard
+/// receivers so both model the identical capture behaviour.
+pub fn capture_index<P>(frames: &[ReceivedFrame<P>], min_decode_amplitude: f64) -> Option<usize> {
+    frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.corrupted && f.peak_amplitude() >= min_decode_amplitude)
+        .min_by(|a, b| {
+            a.1.first_path_global_s()
+                .partial_cmp(&b.1.first_path_global_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    b.1.peak_amplitude()
+                        .partial_cmp(&a.1.peak_amplitude())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        })
+        .map(|(i, _)| i)
+}
+
 /// Everything a receiver observes in one accumulation window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reception<P> {

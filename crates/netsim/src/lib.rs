@@ -53,12 +53,14 @@ mod event;
 mod frame;
 mod node;
 mod sim;
+pub mod trace;
 
 pub use clock::ClockModel;
 pub use event::EventQueue;
-pub use frame::{NodeId, ReceivedFrame, Reception};
+pub use frame::{capture_index, NodeId, ReceivedFrame, Reception};
 pub use node::NodeConfig;
-pub use sim::{NodeApi, Protocol, SimConfig, Simulator, TraceEvent, DEFAULT_RX_TIMESTAMP_NOISE_S};
+pub use sim::{NodeApi, Protocol, SimConfig, Simulator, DEFAULT_RX_TIMESTAMP_NOISE_S};
+pub use trace::{TraceEvent, TraceRing, DEFAULT_TRACE_QUOTA, TRACE_QUOTA_ENV};
 // The fault plane consumed by `SimConfig::with_faults`, re-exported so
 // protocol crates need not depend on `uwb-faults` directly.
 pub use uwb_faults::{FaultInjector, FaultPlan, FaultStats};

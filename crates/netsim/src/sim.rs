@@ -15,15 +15,14 @@
 //! - every transmit/receive second is charged to an energy ledger.
 
 use crate::event::EventQueue;
-use crate::frame::{NodeId, ReceivedFrame, Reception};
+use crate::frame::{capture_index, NodeId, ReceivedFrame, Reception};
 use crate::node::{NodeConfig, SimNode};
+use crate::trace::{TraceEvent, TraceRing};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uwb_channel::{random, ChannelModel};
 use uwb_faults::{FaultInjector, FaultPlan, FaultStats};
-use uwb_radio::{
-    DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState, DTU_SECONDS, TIMESTAMP_MODULUS,
-};
+use uwb_radio::{DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState};
 
 /// Default RX timestamp noise (σ, seconds). Calibrated so SS-TWR distance
 /// estimates spread with σ_d ≈ 2.3 cm, the value the paper measures for the
@@ -69,6 +68,11 @@ pub struct SimConfig {
     /// payload corruption, receiver dropout, TX jitter / late replies).
     /// [`FaultPlan::none`] — the default — is a bit-identical no-op.
     pub faults: FaultPlan,
+    /// Trace retention quota: `None` defers to `UWB_NETSIM_TRACE_QUOTA`
+    /// (default [`crate::trace::DEFAULT_TRACE_QUOTA`]); `Some(0)` is the
+    /// opt-in unbounded full-trace mode; `Some(n)` keeps the last `n`
+    /// events.
+    pub trace_quota: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -80,6 +84,7 @@ impl Default for SimConfig {
             tx_quantization: true,
             min_decode_amplitude: 0.0,
             faults: FaultPlan::none(),
+            trace_quota: None,
         }
     }
 }
@@ -125,6 +130,30 @@ impl SimConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Sets the trace retention quota (`0` = unbounded), overriding the
+    /// `UWB_NETSIM_TRACE_QUOTA` environment knob.
+    #[must_use]
+    pub fn with_trace_quota(mut self, quota: usize) -> Self {
+        self.trace_quota = Some(quota);
+        self
+    }
+
+    /// Opts into the unbounded full-trace mode (every event retained for
+    /// the whole run — the pre-ring behaviour; memory grows with the
+    /// run).
+    #[must_use]
+    pub fn with_full_trace(self) -> Self {
+        self.with_trace_quota(0)
+    }
+
+    /// The effective trace quota: the explicit config value when set,
+    /// otherwise the environment knob / default.
+    #[must_use]
+    pub fn effective_trace_quota(&self) -> usize {
+        self.trace_quota
+            .unwrap_or_else(crate::trace::trace_quota_from_env)
     }
 }
 
@@ -226,57 +255,6 @@ pub trait Protocol<P: Clone> {
     fn on_timer(&mut self, node: NodeId, token: u64, api: &mut NodeApi<P>);
 }
 
-/// A line in the simulation trace, for debugging and assertions.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
-    /// A frame's RMARKER left a node's antenna.
-    TxFired {
-        /// Transmitting node.
-        node: NodeId,
-        /// Global time of the RMARKER, seconds.
-        global_s: f64,
-    },
-    /// A reception window closed and was delivered to the protocol.
-    ReceptionEmitted {
-        /// Receiving node.
-        node: NodeId,
-        /// Global close time, seconds.
-        global_s: f64,
-        /// Number of frames merged into the window.
-        frames: usize,
-    },
-}
-
-impl TraceEvent {
-    /// Mirrors this event into the shared observability sink (`netsim.tx`
-    /// / `netsim.rx` stages) — the simulator's private trace stays the
-    /// source of truth for in-test assertions, but post-mortem tooling
-    /// sees dispatch alongside the pipeline stages. No-op when tracing is
-    /// disabled.
-    pub fn forward_to_obs(&self) {
-        match *self {
-            Self::TxFired { node, global_s } => {
-                uwb_obs::event("netsim.tx", || {
-                    vec![("node", node.0.into()), ("global_s", global_s.into())]
-                });
-            }
-            Self::ReceptionEmitted {
-                node,
-                global_s,
-                frames,
-            } => {
-                uwb_obs::event("netsim.rx", || {
-                    vec![
-                        ("node", node.0.into()),
-                        ("global_s", global_s.into()),
-                        ("frames", frames.into()),
-                    ]
-                });
-            }
-        }
-    }
-}
-
 enum SimEvent<P> {
     Start(NodeId),
     TxFire {
@@ -314,7 +292,7 @@ pub struct Simulator<P> {
     injector: FaultInjector,
     tx_seq: u64,
     sched_seq: u64,
-    trace: Vec<TraceEvent>,
+    trace: TraceRing,
 }
 
 impl<P: Clone> Simulator<P> {
@@ -323,6 +301,7 @@ impl<P: Clone> Simulator<P> {
         Self {
             channel,
             injector: FaultInjector::new(config.faults),
+            trace: TraceRing::with_quota(config.effective_trace_quota()),
             config,
             nodes: Vec::new(),
             queue: EventQueue::new(),
@@ -333,7 +312,6 @@ impl<P: Clone> Simulator<P> {
             rx_window_seq: Vec::new(),
             tx_seq: 0,
             sched_seq: 0,
-            trace: Vec::new(),
         }
     }
 
@@ -375,8 +353,9 @@ impl<P: Clone> Simulator<P> {
         self.now_s
     }
 
-    /// The recorded trace.
-    pub fn trace(&self) -> &[TraceEvent] {
+    /// The recorded trace (a bounded ring, oldest retained event first —
+    /// see [`TraceRing`] for the retention policy).
+    pub fn trace(&self) -> &TraceRing {
         &self.trace
     }
 
@@ -527,23 +506,12 @@ impl<P: Clone> Simulator<P> {
     }
 
     /// Maps a (wrapping) local device time to the next matching global
-    /// time at or after "now".
-    ///
-    /// Like the real DW1000, a delayed-TX target that has already passed
-    /// waits for the next counter wrap (~17.2 s) — the classic DW1000
-    /// footgun when scheduling without margin. Protocol engines in this
-    /// workspace always schedule with sub-millisecond margins, far above
-    /// the 8 ns truncation, so the deferral never triggers in practice.
+    /// time at or after "now" ([`ClockModel::next_device_occurrence`]).
     fn device_to_global(&self, node: NodeId, device: DeviceTime) -> f64 {
-        let clock = self.nodes[node.0 as usize].config.clock;
-        let period = TIMESTAMP_MODULUS as f64 * DTU_SECONDS;
-        let local_now = clock.local_from_global(self.now_s);
-        let base = (local_now / period).floor() * period;
-        let mut target_local = base + device.as_seconds();
-        if target_local < local_now - 1e-12 {
-            target_local += period;
-        }
-        clock.global_from_local(target_local)
+        self.nodes[node.0 as usize]
+            .config
+            .clock
+            .next_device_occurrence(self.now_s, device)
     }
 
     fn fire_transmission(
@@ -621,27 +589,10 @@ impl<P: Clone> Simulator<P> {
         if self.injector.dropout(rx.0, window_seq) {
             return None;
         }
-        // Capture: the receiver locks onto the earliest arriving preamble
-        // (leading-edge detection in the accumulator), so that frame's
-        // payload decodes and its first path is timestamped — consistent
-        // with the paper, where "responder 1" (the closest) provides the
-        // decoded payload and the SS-TWR anchor. Ties break by amplitude.
-        // Corrupted frames (injected CRC failures) cannot win capture.
-        let best = frames
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.corrupted && f.peak_amplitude() >= self.config.min_decode_amplitude)
-            .min_by(|a, b| {
-                a.1.first_path_global_s()
-                    .partial_cmp(&b.1.first_path_global_s())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| {
-                        b.1.peak_amplitude()
-                            .partial_cmp(&a.1.peak_amplitude())
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-            })
-            .map(|(i, _)| i)?;
+        // Capture arbitration (shared with `uwb-worldsim`): earliest
+        // arriving preamble wins, ties break by amplitude, corrupted
+        // frames cannot win.
+        let best = capture_index(&frames, self.config.min_decode_amplitude)?;
         frames[best].decodable = true;
 
         let rx_true_global_s = frames[best].first_path_global_s();
@@ -742,7 +693,7 @@ mod tests {
         let (_, _, rx_t) = proto.receptions[0];
         // TX fired at device time 2^20 DTU (quantized: already on grid);
         // RX stamp ≈ TX + 30 m / c (both clocks ideal), ± timestamp noise.
-        let tx_s = ((1u64 << 20) as f64) * DTU_SECONDS;
+        let tx_s = ((1u64 << 20) as f64) * uwb_radio::DTU_SECONDS;
         let expected = tx_s + 30.0 / uwb_radio::SPEED_OF_LIGHT;
         assert!((rx_t.as_seconds() - expected).abs() < 5.0 * DEFAULT_RX_TIMESTAMP_NOISE_S);
     }

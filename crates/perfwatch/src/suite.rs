@@ -3,7 +3,8 @@
 //! Every workload exercises one stage of the pipeline the paper's
 //! numbers flow through — DSP kernels, the search-and-subtract
 //! detector, pulse-shape classification, RPM slot decoding, the
-//! Monte-Carlo campaign engine, and the netsim TWR dispatch path. The
+//! Monte-Carlo campaign engine, the netsim TWR dispatch path, and the
+//! sharded worldsim capacity round. The
 //! set is *fixed* so `BENCH_pipeline.json` files from different
 //! commits compare workload-by-workload.
 //!
@@ -382,6 +383,31 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
         });
     }
 
+    // The sharded world: one full capacity round — poll, N concurrent
+    // responses, per-frame RPM × pulse-shape identification — through
+    // the epoch-barrier engine. `capacity_cell` is the everyday cell
+    // size; `step_1500` is one round at the paper's nominal capacity
+    // `N_max = N_RPM · N_PS`, the city-scale stress row.
+    for (name, n, iters) in [
+        ("worldsim.capacity_cell", 64usize, 30u32),
+        ("worldsim.step_1500", 1500, 8),
+    ] {
+        workloads.push(Workload {
+            name,
+            layer: "worldsim",
+            units: "responders",
+            units_per_iter: n as f64,
+            default_iters: iters,
+            default_warmup: 2,
+            run: Box::new(move || {
+                let outcome = uwb_worldsim::run_capacity(
+                    &uwb_worldsim::CapacityConfig::paper(n).with_seed(SUITE_SEED),
+                );
+                std::hint::black_box(outcome);
+            }),
+        });
+    }
+
     workloads
 }
 
@@ -471,7 +497,14 @@ mod tests {
     fn workload_names_are_fixed_and_cover_the_pipeline() {
         let names = workload_names();
         assert!(names.len() >= 8, "suite shrank: {names:?}");
-        for prefix in ["dsp.", "detect.", "rpm.", "campaign.", "netsim."] {
+        for prefix in [
+            "dsp.",
+            "detect.",
+            "rpm.",
+            "campaign.",
+            "netsim.",
+            "worldsim.",
+        ] {
             assert!(
                 names.iter().any(|n| n.starts_with(prefix)),
                 "no workload for layer {prefix}"

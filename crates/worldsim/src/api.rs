@@ -1,0 +1,172 @@
+//! The protocol surface of the sharded engine.
+//!
+//! Mirrors `uwb_netsim`'s [`uwb_netsim::Protocol`] / [`uwb_netsim::NodeApi`]
+//! shape with two deltas forced by parallelism:
+//!
+//! - The protocol object is shared by all workers (`&self`, `Sync`);
+//!   per-node mutable state lives in an associated `NodeState` owned by
+//!   the node's shard, so no locking is needed in callbacks.
+//! - Receivers can be gated on and off ([`NodeCtx::rx_enable`]): with
+//!   thousands of responders in a cell, fanning every response out to
+//!   every other (deaf) responder would be O(N²) per round. Toggles take
+//!   effect at the next epoch boundary — modelling the DW1000's RX
+//!   turnaround and keeping delivery decisions independent of the order
+//!   shards run in.
+
+use uwb_netsim::{NodeId, Reception};
+use uwb_radio::DeviceTime;
+
+/// Commands issued from a protocol callback, applied by the owning shard
+/// after the callback returns.
+#[derive(Debug, Clone)]
+pub(crate) enum WorldCommand<P> {
+    /// Delayed transmission at a target device time.
+    TransmitAt {
+        /// Desired RMARKER device time (pre-quantization).
+        desired: DeviceTime,
+        /// Protocol payload.
+        payload: P,
+        /// Over-the-air payload length in bytes (drives airtime/energy).
+        payload_bytes: usize,
+    },
+    /// Timer after a local-clock delay.
+    SetTimer {
+        /// Local-clock delay in seconds.
+        delay_local_s: f64,
+        /// Token handed back to [`WorldProtocol::on_timer`].
+        token: u64,
+    },
+    /// Receiver gate toggle, applied at the next epoch boundary.
+    RxEnable(bool),
+    /// Explicit receiver-on energy accounting.
+    RecordListen {
+        /// Listening duration in seconds.
+        duration_s: f64,
+    },
+}
+
+/// Per-callback API handed to [`WorldProtocol`] implementations.
+///
+/// All times are local device times, exactly as in the sequential
+/// simulator.
+#[derive(Debug)]
+pub struct NodeCtx<P> {
+    node: NodeId,
+    device_now: DeviceTime,
+    pub(crate) commands: Vec<WorldCommand<P>>,
+}
+
+impl<P> NodeCtx<P> {
+    pub(crate) fn new(node: NodeId, device_now: DeviceTime) -> Self {
+        Self {
+            node,
+            device_now,
+            commands: Vec::new(),
+        }
+    }
+
+    /// The node this context belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's current device time.
+    #[must_use]
+    pub fn device_now(&self) -> DeviceTime {
+        self.device_now
+    }
+
+    /// Schedules a delayed transmission at a target device time (DW1000
+    /// delayed-TX; the 8 ns grid truncation is applied by the engine
+    /// unless disabled in the [`uwb_netsim::SimConfig`]).
+    pub fn transmit_at(&mut self, desired: DeviceTime, payload: P, payload_bytes: usize) {
+        self.commands.push(WorldCommand::TransmitAt {
+            desired,
+            payload,
+            payload_bytes,
+        });
+    }
+
+    /// Starts a timer that fires after a local-clock delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite delays.
+    pub fn set_timer(&mut self, delay_local_s: f64, token: u64) {
+        assert!(
+            delay_local_s.is_finite() && delay_local_s >= 0.0,
+            "invalid timer delay {delay_local_s}"
+        );
+        self.commands.push(WorldCommand::SetTimer {
+            delay_local_s,
+            token,
+        });
+    }
+
+    /// Gates the node's receiver. A disabled receiver sees no frames at
+    /// all (no delivery, no energy). The toggle takes effect at the next
+    /// epoch boundary, not mid-epoch.
+    pub fn rx_enable(&mut self, enabled: bool) {
+        self.commands.push(WorldCommand::RxEnable(enabled));
+    }
+
+    /// Charges explicit receiver-on listening time to the node's energy
+    /// ledger.
+    pub fn record_listen(&mut self, duration_s: f64) {
+        self.commands.push(WorldCommand::RecordListen {
+            duration_s: duration_s.max(0.0),
+        });
+    }
+}
+
+/// A closed accumulation window as seen by a world node.
+///
+/// Wraps the sequential simulator's [`Reception`] and adds the per-frame
+/// noisy *local* first-path timestamps the identification pipeline needs:
+/// slot decoding measures each frame's arrival offset against the
+/// captured frame on the receiver's own clock, and those per-frame
+/// estimates each carry independent CIR first-path noise.
+#[derive(Debug, Clone)]
+pub struct WorldReception<P> {
+    /// The merged reception (capture winner marked decodable).
+    pub reception: Reception<P>,
+    /// Noisy local-clock first-path time of each frame, indexed like
+    /// `reception.frames`. `frame_local_s[i] - frame_local_s[best]` is
+    /// the response-offset observable the RPM slot decoder consumes.
+    pub frame_local_s: Vec<f64>,
+}
+
+/// Protocol logic driven by the sharded engine.
+///
+/// One shared instance serves all workers; per-node mutable state lives
+/// in `NodeState`, owned and mutated exclusively by the node's shard.
+pub trait WorldProtocol: Sync {
+    /// Protocol payload carried by frames. `Sync` because the epoch's
+    /// committed transmissions are fanned out to all shards by shared
+    /// reference.
+    type Payload: Clone + Send + Sync;
+    /// Per-node mutable protocol state.
+    type NodeState: Send;
+
+    /// Called once per node at t = 0.
+    fn on_start(&self, node: NodeId, state: &mut Self::NodeState, ctx: &mut NodeCtx<Self::Payload>);
+
+    /// Called when a node's receiver closes an accumulation window.
+    fn on_reception(
+        &self,
+        node: NodeId,
+        state: &mut Self::NodeState,
+        reception: &WorldReception<Self::Payload>,
+        ctx: &mut NodeCtx<Self::Payload>,
+    );
+
+    /// Called when a timer set via [`NodeCtx::set_timer`] fires.
+    fn on_timer(
+        &self,
+        node: NodeId,
+        state: &mut Self::NodeState,
+        token: u64,
+        ctx: &mut NodeCtx<Self::Payload>,
+    );
+}

@@ -1,0 +1,751 @@
+//! The Sect. VIII capacity scenario: how many responders can one
+//! concurrent-ranging round actually tell apart?
+//!
+//! The paper argues the response-position modulation (RPM) slots and the
+//! pulse-shape dimension multiply: `N_max = N_RPM · N_PS ≈ 15 · 100 =
+//! 1500` concurrent responders at 20 m range. This module builds that
+//! city block: per 20 m cell, one initiator polls and up to 1500
+//! responders answer in the same accumulation window, each in the RPM
+//! slot `f(ID)` with the pulse shape `g(ID)`. The initiator re-derives
+//! every ID from what a DW1000 would observe — per-frame arrival offsets
+//! against the captured anchor plus the received pulse shape — and the
+//! collision / identification statistics quantify how close the
+//! practical pipeline gets to the nominal capacity bound. Neighboring
+//! cells run the same schedule, so cell-edge nodes hear foreign polls
+//! and responses: the multi-initiator interference the sharded engine
+//! exists to host.
+
+use crate::api::{NodeCtx, WorldProtocol, WorldReception};
+use crate::config::WorldConfig;
+use crate::engine::WorldSim;
+use crate::rng::{site_key, site_rng, DOMAIN_SCENARIO, DOMAIN_SHAPE_OBS};
+use concurrent_ranging::{
+    CombinedScheme, RangingError, RangingSession, RoundSample, SlotPlan, TwrTimestamps,
+    INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES,
+};
+use rand::Rng;
+use std::collections::BTreeMap;
+use uwb_channel::{ChannelModel, Point2};
+use uwb_faults::{FaultPlan, FaultStats};
+use uwb_netsim::{ClockModel, NodeConfig, NodeId};
+use uwb_radio::{DeviceTime, TcPgDelay, PAPER_RESPONSE_DELAY_S, SPEED_OF_LIGHT};
+
+/// Timer token: initiator round watchdog / next-round kick.
+const TOKEN_ROUND: u64 = 1;
+/// Timer token: responder receiver re-enable.
+const TOKEN_REENABLE: u64 = 2;
+
+/// TX arming margin before a poll leaves the antenna (matches the
+/// protocol engines' 200 µs delayed-TX margin).
+const POLL_MARGIN_S: f64 = 200e-6;
+
+/// Configuration of a capacity run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityConfig {
+    /// Responders per cell (≤ the scheme capacity `N_RPM · N_PS`).
+    pub n_responders: usize,
+    /// Number of 1-cell-wide city blocks laid out along x. Each cell has
+    /// its own initiator running the same round schedule.
+    pub cells: usize,
+    /// Cell edge length in meters (the paper's 20 m operating range).
+    pub cell_m: f64,
+    /// RPM slots `N_RPM`.
+    pub n_slots: usize,
+    /// Pulse shapes `N_PS`.
+    pub n_shapes: usize,
+    /// Ranging rounds each initiator runs.
+    pub rounds: u32,
+    /// Interval between rounds in seconds.
+    pub round_period_s: f64,
+    /// World seed.
+    pub seed: u64,
+    /// Worker threads (0 = automatic, see
+    /// [`crate::config::WORLDSIM_THREADS_ENV`]).
+    pub threads: usize,
+    /// Probability that a received pulse shape is misclassified into the
+    /// adjacent register (receiver-side observation error knob).
+    pub shape_misclass: f64,
+    /// Radio reach in meters (0 = unlimited). Default 1.5 cells, so
+    /// cell-edge nodes hear the neighboring block.
+    pub comm_range_m: f64,
+    /// Fault-injection plan applied by every shard.
+    pub faults: FaultPlan,
+    /// Per-node crystal drift is drawn uniformly from ±this, in ppm.
+    pub drift_ppm_max: f64,
+    /// Engine shard edge length in meters (0 = one shard per cell).
+    /// Exists so the determinism suite can vary the spatial partition
+    /// without touching the protocol-visible cell size — results must
+    /// not depend on it.
+    pub shard_m: f64,
+}
+
+impl CapacityConfig {
+    /// The paper's operating point: 20 m cells, 15 RPM slots, 100 pulse
+    /// shapes (capacity 1500), one round, single cell.
+    #[must_use]
+    pub fn paper(n_responders: usize) -> Self {
+        Self {
+            n_responders,
+            cells: 1,
+            cell_m: 20.0,
+            n_slots: 15,
+            n_shapes: 100,
+            rounds: 1,
+            round_period_s: 2e-3,
+            seed: 0,
+            threads: 0,
+            shape_misclass: 0.0,
+            comm_range_m: 30.0,
+            faults: FaultPlan::none(),
+            drift_ppm_max: 10.0,
+            shard_m: 0.0,
+        }
+    }
+
+    /// Sets the number of cells.
+    #[must_use]
+    pub fn with_cells(mut self, cells: usize) -> Self {
+        self.cells = cells.max(1);
+        self
+    }
+
+    /// Sets the world seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the rounds per initiator.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (0 = automatic).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the pulse-shape misclassification probability.
+    #[must_use]
+    pub fn with_shape_misclass(mut self, p: f64) -> Self {
+        self.shape_misclass = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the engine shard edge length (0 = one shard per cell).
+    #[must_use]
+    pub fn with_shard_m(mut self, shard_m: f64) -> Self {
+        self.shard_m = shard_m.max(0.0);
+        self
+    }
+}
+
+/// Frames exchanged in the capacity scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityMsg {
+    /// Initiator broadcast opening a round.
+    Poll {
+        /// Originating cell.
+        cell: u32,
+        /// Round number.
+        round: u32,
+    },
+    /// A responder's concurrent reply.
+    Resp {
+        /// Responder's cell.
+        cell: u32,
+        /// Round being answered.
+        round: u32,
+        /// Responder ID within the cell (= slot/shape assignment input).
+        id: u32,
+        /// Responder's POLL receive timestamp (device time).
+        poll_rx: DeviceTime,
+        /// Responder's RESP transmit timestamp (device time, quantized).
+        resp_tx: DeviceTime,
+    },
+}
+
+/// Identification statistics accumulated by the initiators.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CapacityStats {
+    /// Rounds started.
+    pub rounds: u64,
+    /// Rounds whose primary response window decoded an own-cell anchor.
+    pub rounds_ok: u64,
+    /// Frames observed in primary response windows.
+    pub frames_observed: u64,
+    /// Frames whose decoded ID matched the true responder.
+    pub identified: u64,
+    /// Frames decoded to a *wrong* ID (including foreign-cell frames
+    /// that decoded to some local ID).
+    pub misidentified: u64,
+    /// Own-cell frames the pipeline could not decode at all (slot or
+    /// shape unresolvable).
+    pub unresolved: u64,
+    /// Frames in groups of ≥2 decoding to the *same* ID in one window —
+    /// the identification-collision measure the capacity bound is about.
+    pub collision_frames: u64,
+    /// Own-cell response frames that missed the primary window (arrived
+    /// in a later accumulation window of the same round).
+    pub spillover_frames: u64,
+    /// Foreign-cell frames observed by initiators (cell-edge
+    /// interference).
+    pub interference_frames: u64,
+    /// Responses transmitted by responders.
+    pub responses_sent: u64,
+    /// Σ |estimated − true| distance over identified frames, meters.
+    pub sum_abs_error_m: f64,
+    /// Count behind [`CapacityStats::sum_abs_error_m`].
+    pub error_samples: u64,
+}
+
+impl CapacityStats {
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CapacityStats) {
+        self.rounds += other.rounds;
+        self.rounds_ok += other.rounds_ok;
+        self.frames_observed += other.frames_observed;
+        self.identified += other.identified;
+        self.misidentified += other.misidentified;
+        self.unresolved += other.unresolved;
+        self.collision_frames += other.collision_frames;
+        self.spillover_frames += other.spillover_frames;
+        self.interference_frames += other.interference_frames;
+        self.responses_sent += other.responses_sent;
+        self.sum_abs_error_m += other.sum_abs_error_m;
+        self.error_samples += other.error_samples;
+    }
+
+    /// Fraction of observed frames lost to same-ID collisions.
+    #[must_use]
+    pub fn collision_rate(&self) -> f64 {
+        ratio(self.collision_frames, self.frames_observed)
+    }
+
+    /// Fraction of observed frames correctly identified.
+    #[must_use]
+    pub fn identification_rate(&self) -> f64 {
+        ratio(self.identified, self.frames_observed)
+    }
+
+    /// Fraction of rounds that produced a decodable primary window.
+    #[must_use]
+    pub fn round_success_rate(&self) -> f64 {
+        ratio(self.rounds_ok, self.rounds)
+    }
+
+    /// Mean |estimated − true| distance over identified frames, meters.
+    #[must_use]
+    pub fn mean_abs_error_m(&self) -> f64 {
+        if self.error_samples == 0 {
+            0.0
+        } else {
+            self.sum_abs_error_m / self.error_samples as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything a capacity run reports. `PartialEq` on purpose: the
+/// determinism suite asserts bit-identical outcomes across thread
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityOutcome {
+    /// Merged initiator statistics (cells in [`NodeId`] order).
+    pub stats: CapacityStats,
+    /// Fault counters summed over all shards.
+    pub fault_stats: FaultStats,
+    /// Cross-epoch causality deferrals (expected 0 — margins ≫ epoch).
+    pub deferrals: u64,
+    /// Epoch phases executed.
+    pub epochs: u64,
+    /// Spatial shards the world was cut into.
+    pub shards: usize,
+    /// Total nodes simulated.
+    pub nodes: usize,
+}
+
+struct InitState {
+    cell: u32,
+    resp_lo: u32,
+    n_resp: u32,
+    my_pos: Point2,
+    resp_positions: Vec<Point2>,
+    round: u32,
+    rounds_total: u32,
+    poll_tx: DeviceTime,
+    round_open: bool,
+    windows_seen: u64,
+    session: RangingSession,
+    stats: CapacityStats,
+}
+
+struct RespState {
+    cell: u32,
+    id: u32,
+    responses_sent: u64,
+}
+
+enum CapacityNode {
+    Initiator(Box<InitState>),
+    Responder(RespState),
+}
+
+struct CapacityProtocol {
+    scheme: CombinedScheme,
+    /// Observed `TC_PGDELAY` register → shape index (the registers
+    /// `TcPgDelay::spread` picks are not contiguous, so decoding needs
+    /// the inverse map).
+    shape_of_register: BTreeMap<TcPgDelay, usize>,
+    seed: u64,
+    shape_misclass: f64,
+    round_period_s: f64,
+}
+
+impl CapacityProtocol {
+    fn start_round(&self, st: &mut InitState, ctx: &mut NodeCtx<CapacityMsg>) {
+        let desired = ctx
+            .device_now()
+            .wrapping_add_seconds(POLL_MARGIN_S)
+            .expect("poll margin representable")
+            .quantize_tx();
+        st.poll_tx = desired;
+        st.round_open = true;
+        st.stats.rounds += 1;
+        ctx.transmit_at(
+            desired,
+            CapacityMsg::Poll {
+                cell: st.cell,
+                round: st.round,
+            },
+            INIT_PAYLOAD_BYTES,
+        );
+        // Listening from poll until well past the response window.
+        ctx.record_listen(2.0 * PAPER_RESPONSE_DELAY_S);
+        ctx.set_timer(self.round_period_s, TOKEN_ROUND);
+    }
+
+    /// The identification pipeline over one primary response window.
+    fn process_primary(
+        &self,
+        node: NodeId,
+        st: &mut InitState,
+        rec: &WorldReception<CapacityMsg>,
+        anchor_idx: usize,
+    ) {
+        let frames = &rec.reception.frames;
+        let CapacityMsg::Resp {
+            id: anchor_id,
+            poll_rx,
+            resp_tx,
+            ..
+        } = frames[anchor_idx].payload
+        else {
+            unreachable!("primary window anchor is a Resp by construction");
+        };
+        st.stats.rounds_ok += 1;
+        let Ok(anchor_assign) = self.scheme.assign(anchor_id) else {
+            return;
+        };
+        // Full SS-TWR on the anchor: its payload carries both
+        // responder-side timestamps.
+        let d_anchor = TwrTimestamps {
+            init_tx: st.poll_tx,
+            init_rx: rec.reception.rx_device_time,
+            resp_rx: poll_rx,
+            resp_tx,
+        }
+        .distance_m();
+
+        let poll_tx_s = st.poll_tx.as_seconds();
+        // Reference the slot decode to the *predicted* anchor arrival
+        // `poll_tx + Δ + slot_a·δ + 2·d_TWR/c`, not the observed one: the
+        // observed arrival carries the anchor's own delayed-TX truncation
+        // (up to −8 ns) and clock-drift error, which would shift every
+        // frame's residual and eat an eighth of the 67.8 ns slot budget.
+        let anchor_delay = self
+            .scheme
+            .plan()
+            .slot_delay_s(anchor_assign.slot)
+            .expect("anchor slot within plan");
+        let t_anchor =
+            poll_tx_s + PAPER_RESPONSE_DELAY_S + anchor_delay + 2.0 * d_anchor / SPEED_OF_LIGHT;
+        let window_key = site_key(node.0, st.windows_seen);
+        let mut shape_rng = site_rng(self.seed, DOMAIN_SHAPE_OBS, window_key, 0);
+
+        let mut decoded_ids: Vec<Option<u32>> = Vec::with_capacity(frames.len());
+        let mut samples: Vec<RoundSample> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            st.stats.frames_observed += 1;
+            let local = frame.src.0 >= st.resp_lo && frame.src.0 < st.resp_lo + st.n_resp;
+            if !local {
+                st.stats.interference_frames += 1;
+            }
+            let decoded_id = if i == anchor_idx {
+                Some(anchor_id)
+            } else {
+                self.decode_frame(
+                    frame,
+                    rec.frame_local_s[i] - t_anchor,
+                    anchor_assign.slot,
+                    d_anchor,
+                    &mut shape_rng,
+                )
+            };
+            decoded_ids.push(decoded_id);
+
+            // Distance: anchor gets the full TWR estimate; everyone else
+            // the RPM reconstruction (reply time known by design).
+            let est_m = if i == anchor_idx {
+                Some(d_anchor)
+            } else {
+                decoded_id.and_then(|id| {
+                    let slot = self.scheme.assign(id).ok()?.slot;
+                    let reply_s =
+                        PAPER_RESPONSE_DELAY_S + self.scheme.plan().slot_delay_s(slot).ok()?;
+                    let round_trip_s = rec.frame_local_s[i] - poll_tx_s;
+                    Some((round_trip_s - reply_s) / 2.0 * SPEED_OF_LIGHT)
+                })
+            };
+
+            match (decoded_id, local) {
+                (Some(id), true) => {
+                    let true_id = frame.src.0 - st.resp_lo;
+                    if id == true_id {
+                        st.stats.identified += 1;
+                        if let Some(est) = est_m {
+                            let true_m = st.my_pos.distance_to(st.resp_positions[true_id as usize]);
+                            st.stats.sum_abs_error_m += (est - true_m).abs();
+                            st.stats.error_samples += 1;
+                        }
+                    } else {
+                        st.stats.misidentified += 1;
+                    }
+                }
+                (Some(_), false) => st.stats.misidentified += 1,
+                (None, true) => st.stats.unresolved += 1,
+                (None, false) => {}
+            }
+            if let (Some(id), Some(est)) = (decoded_id, est_m) {
+                samples.push(RoundSample {
+                    id,
+                    distance_m: est,
+                    amplitude: frame.peak_amplitude(),
+                });
+            }
+        }
+
+        // Same-ID groups of ≥2 are identification collisions: the
+        // initiator cannot tell which physical responder either frame
+        // belongs to.
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for id in decoded_ids.iter().flatten() {
+            *counts.entry(*id).or_default() += 1;
+        }
+        st.stats.collision_frames += counts.values().filter(|&&c| c >= 2).sum::<u64>();
+
+        st.session.ingest_round_samples(samples);
+    }
+
+    /// Slot from the arrival offset, shape from the received pulse,
+    /// ID from both.
+    fn decode_frame(
+        &self,
+        frame: &uwb_netsim::ReceivedFrame<CapacityMsg>,
+        offset_s: f64,
+        anchor_slot: usize,
+        d_anchor_m: f64,
+        shape_rng: &mut impl Rng,
+    ) -> Option<u32> {
+        let slot = self
+            .scheme
+            .plan()
+            .decode_slot(offset_s, anchor_slot, d_anchor_m)?;
+        let register = frame.arrivals.first()?.pulse.register()?;
+        let mut shape = *self.shape_of_register.get(&register)?;
+        if self.shape_misclass > 0.0 && shape_rng.random::<f64>() < self.shape_misclass {
+            shape = (shape + 1) % self.scheme.n_shapes();
+        }
+        self.scheme.id_from(slot, shape)
+    }
+}
+
+impl WorldProtocol for CapacityProtocol {
+    type Payload = CapacityMsg;
+    type NodeState = CapacityNode;
+
+    fn on_start(&self, _node: NodeId, state: &mut CapacityNode, ctx: &mut NodeCtx<CapacityMsg>) {
+        if let CapacityNode::Initiator(st) = state {
+            self.start_round(st, ctx);
+        }
+    }
+
+    fn on_reception(
+        &self,
+        node: NodeId,
+        state: &mut CapacityNode,
+        rec: &WorldReception<CapacityMsg>,
+        ctx: &mut NodeCtx<CapacityMsg>,
+    ) {
+        let Some(decoded) = rec.reception.decoded() else {
+            return;
+        };
+        match state {
+            CapacityNode::Initiator(st) => {
+                st.windows_seen += 1;
+                match decoded.payload {
+                    CapacityMsg::Resp { cell, round, .. }
+                        if cell == st.cell && round == st.round && st.round_open =>
+                    {
+                        let anchor_idx = rec
+                            .reception
+                            .frames
+                            .iter()
+                            .position(|f| f.decodable)
+                            .expect("decoded() implies a decodable frame");
+                        st.round_open = false;
+                        self.process_primary(node, st, rec, anchor_idx);
+                    }
+                    CapacityMsg::Resp { cell, .. } if cell == st.cell => {
+                        // Own-cell responses outside the primary window:
+                        // high-slot replies pushed past the merge window
+                        // by the round-trip term (see EXPERIMENTS.md).
+                        st.stats.spillover_frames += rec.reception.frames.len() as u64;
+                    }
+                    _ => {
+                        st.stats.interference_frames += rec.reception.frames.len() as u64;
+                    }
+                }
+            }
+            CapacityNode::Responder(st) => {
+                if let CapacityMsg::Poll { cell, round } = decoded.payload {
+                    if cell != st.cell {
+                        return;
+                    }
+                    let Ok(assign) = self.scheme.assign(st.id) else {
+                        return;
+                    };
+                    let Ok(delay) = self.scheme.plan().slot_delay_s(assign.slot) else {
+                        return;
+                    };
+                    let Ok(desired) = rec
+                        .reception
+                        .rx_device_time
+                        .wrapping_add_seconds(PAPER_RESPONSE_DELAY_S + delay)
+                    else {
+                        return;
+                    };
+                    let resp_tx = desired.quantize_tx();
+                    ctx.transmit_at(
+                        resp_tx,
+                        CapacityMsg::Resp {
+                            cell: st.cell,
+                            round,
+                            id: st.id,
+                            poll_rx: rec.reception.rx_device_time,
+                            resp_tx,
+                        },
+                        RESP_PAYLOAD_BYTES,
+                    );
+                    st.responses_sent += 1;
+                    // Deaf until shortly before the next round: a cell of
+                    // 1500 responders must not fan every RESP out to 1499
+                    // other receivers.
+                    ctx.rx_enable(false);
+                    ctx.set_timer(0.75 * self.round_period_s, TOKEN_REENABLE);
+                }
+            }
+        }
+    }
+
+    fn on_timer(
+        &self,
+        _node: NodeId,
+        state: &mut CapacityNode,
+        token: u64,
+        ctx: &mut NodeCtx<CapacityMsg>,
+    ) {
+        match state {
+            CapacityNode::Initiator(st) if token == TOKEN_ROUND => {
+                if st.round_open {
+                    // No primary window arrived: the round timed out.
+                    st.round_open = false;
+                    st.session.ingest_failure(&RangingError::RoundTimeout);
+                }
+                st.round += 1;
+                if st.round < st.rounds_total {
+                    self.start_round(st, ctx);
+                }
+            }
+            CapacityNode::Responder(_) if token == TOKEN_REENABLE => {
+                ctx.rx_enable(true);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs the capacity scenario and aggregates world-level statistics.
+///
+/// # Panics
+///
+/// Panics when the slot/shape scheme is invalid or `n_responders`
+/// exceeds the scheme capacity.
+#[must_use]
+pub fn run_capacity(cfg: &CapacityConfig) -> CapacityOutcome {
+    let plan = SlotPlan::new(cfg.n_slots).expect("valid slot count");
+    let scheme = CombinedScheme::new(plan, cfg.n_shapes).expect("valid shape count");
+    assert!(
+        cfg.n_responders <= scheme.capacity() as usize,
+        "{} responders exceed scheme capacity {}",
+        cfg.n_responders,
+        scheme.capacity()
+    );
+    let shape_of_register = scheme
+        .shapes()
+        .iter()
+        .enumerate()
+        .map(|(i, &reg)| (reg, i))
+        .collect();
+    let protocol = CapacityProtocol {
+        shape_of_register,
+        seed: cfg.seed,
+        shape_misclass: cfg.shape_misclass,
+        round_period_s: cfg.round_period_s,
+        scheme,
+    };
+
+    let shard_m = if cfg.shard_m > 0.0 {
+        cfg.shard_m
+    } else {
+        cfg.cell_m
+    };
+    let world_cfg = WorldConfig::new(cfg.cells as f64 * cfg.cell_m, cfg.cell_m, shard_m)
+        .with_seed(cfg.seed)
+        .with_comm_range(cfg.comm_range_m)
+        .with_threads(cfg.threads)
+        .with_sim(uwb_netsim::SimConfig::default().with_faults(cfg.faults));
+    let mut world: WorldSim<CapacityProtocol> =
+        WorldSim::new(ChannelModel::free_space(), world_cfg);
+
+    // Responders go uniformly into a disc around the initiator, not the
+    // full square cell: 15 slots space the responses δ = 67.8 ns apart,
+    // so the round-trip delay plus the decode guard must fit one slot —
+    // `SlotPlan::max_range_m` puts that at ≈ 8.8 m. The paper's
+    // `N_RPM = δ_max·c / r_max` formula omits the round-trip factor of 2
+    // (see DESIGN.md); placing responders out to the square's corners
+    // (14.1 m) would decode one slot high by construction, measuring the
+    // formula's inconsistency instead of the capacity mechanism.
+    let margin = (cfg.cell_m / 20.0).min(1.0);
+    let disc_r = (cfg.cell_m / 2.0 - margin)
+        .max(0.0)
+        .min(plan.max_range_m(SlotPlan::DECODE_GUARD_S));
+    let mut node_index: u64 = 0;
+    for cell in 0..cfg.cells as u32 {
+        let x0 = f64::from(cell) * cfg.cell_m;
+        let init_pos = Point2::new(x0 + cfg.cell_m / 2.0, cfg.cell_m / 2.0);
+        let init_id = node_index as u32;
+        let mut scn = site_rng(cfg.seed, DOMAIN_SCENARIO, node_index, 0);
+        node_index += 1;
+        let init_clock = ClockModel::new(
+            scn.random::<f64>() * 50e-6,
+            (scn.random::<f64>() * 2.0 - 1.0) * cfg.drift_ppm_max,
+        );
+
+        let mut resp_positions = Vec::with_capacity(cfg.n_responders);
+        let mut resp_nodes = Vec::with_capacity(cfg.n_responders);
+        for id in 0..cfg.n_responders as u32 {
+            let mut scn = site_rng(cfg.seed, DOMAIN_SCENARIO, node_index, 0);
+            node_index += 1;
+            let r = disc_r * scn.random::<f64>().sqrt();
+            let theta = scn.random::<f64>() * std::f64::consts::TAU;
+            let pos = Point2::new(init_pos.x + r * theta.cos(), init_pos.y + r * theta.sin());
+            let clock = ClockModel::new(
+                scn.random::<f64>() * 50e-6,
+                (scn.random::<f64>() * 2.0 - 1.0) * cfg.drift_ppm_max,
+            );
+            let register = protocol
+                .scheme
+                .assign(id)
+                .expect("id within capacity")
+                .register;
+            resp_positions.push(pos);
+            resp_nodes.push((
+                NodeConfig::at(pos.x, pos.y)
+                    .with_clock(clock)
+                    .with_pulse_shape(register),
+                RespState {
+                    cell,
+                    id,
+                    responses_sent: 0,
+                },
+            ));
+        }
+
+        world.add_node(
+            NodeConfig::at(init_pos.x, init_pos.y).with_clock(init_clock),
+            CapacityNode::Initiator(Box::new(InitState {
+                cell,
+                resp_lo: init_id + 1,
+                n_resp: cfg.n_responders as u32,
+                my_pos: init_pos,
+                resp_positions,
+                round: 0,
+                rounds_total: cfg.rounds,
+                poll_tx: DeviceTime::ZERO,
+                round_open: false,
+                windows_seen: 0,
+                session: RangingSession::new(),
+                stats: CapacityStats::default(),
+            })),
+        );
+        for (node_cfg, resp) in resp_nodes {
+            world.add_node(node_cfg, CapacityNode::Responder(resp));
+        }
+    }
+
+    let until_s = f64::from(cfg.rounds) * cfg.round_period_s + 1e-3;
+    world.run(&protocol, until_s);
+
+    let mut stats = CapacityStats::default();
+    for per_node in world.collect_states(|_, state| match state {
+        CapacityNode::Initiator(st) => {
+            debug_assert_eq!(st.session.rounds() as u64, st.stats.rounds);
+            st.stats
+        }
+        CapacityNode::Responder(st) => CapacityStats {
+            responses_sent: st.responses_sent,
+            ..CapacityStats::default()
+        },
+    }) {
+        stats.merge(&per_node);
+    }
+
+    CapacityOutcome {
+        stats,
+        fault_stats: world.fault_stats(),
+        deferrals: world.deferrals(),
+        epochs: world.epochs(),
+        shards: world.shard_count(),
+        nodes: world.node_count(),
+    }
+}

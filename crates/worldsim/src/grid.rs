@@ -1,0 +1,102 @@
+//! Spatial partition of the world into cells.
+//!
+//! A cell is both a spatial region and a shard: all nodes inside a cell
+//! live in one [`crate::shard::ShardState`], processed by one worker at
+//! a time. Cell membership is a pure function of position, so the same
+//! node placement always yields the same ownership regardless of thread
+//! count.
+
+use uwb_channel::Point2;
+
+/// The world's cell grid: `nx × ny` cells of edge `cell_m`, covering
+/// `[0, width] × [0, height]`. Positions outside the world are clamped
+/// to the border cells rather than rejected, so slightly-out-of-bounds
+/// placements (measurement jitter, margins) stay owned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellGrid {
+    nx: usize,
+    ny: usize,
+    cell_m_bits: u64,
+}
+
+impl CellGrid {
+    /// Builds the grid for a world of the given extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or non-positive dimensions.
+    #[must_use]
+    pub fn new(width_m: f64, height_m: f64, cell_m: f64) -> Self {
+        assert!(width_m.is_finite() && width_m > 0.0, "invalid width");
+        assert!(height_m.is_finite() && height_m > 0.0, "invalid height");
+        assert!(cell_m.is_finite() && cell_m > 0.0, "invalid cell size");
+        Self {
+            nx: (width_m / cell_m).ceil().max(1.0) as usize,
+            ny: (height_m / cell_m).ceil().max(1.0) as usize,
+            cell_m_bits: cell_m.to_bits(),
+        }
+    }
+
+    /// Cells along x.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along y.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total cell count (= shard count).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// The shard index owning a position (row-major: `iy * nx + ix`).
+    #[must_use]
+    pub fn shard_of(&self, p: Point2) -> usize {
+        let cell = f64::from_bits(self.cell_m_bits);
+        let ix = ((p.x / cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let iy = ((p.y / cell).floor().max(0.0) as usize).min(self.ny - 1);
+        iy * self.nx + ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_world() {
+        let g = CellGrid::new(100.0, 40.0, 20.0);
+        assert_eq!((g.nx(), g.ny()), (5, 2));
+        assert_eq!(g.shard_count(), 10);
+    }
+
+    #[test]
+    fn partial_cells_round_up() {
+        let g = CellGrid::new(25.0, 10.0, 20.0);
+        assert_eq!((g.nx(), g.ny()), (2, 1));
+    }
+
+    #[test]
+    fn shard_of_is_row_major_and_clamped() {
+        let g = CellGrid::new(100.0, 40.0, 20.0);
+        assert_eq!(g.shard_of(Point2::new(0.0, 0.0)), 0);
+        assert_eq!(g.shard_of(Point2::new(25.0, 5.0)), 1);
+        assert_eq!(g.shard_of(Point2::new(25.0, 25.0)), 6);
+        // Out-of-bounds positions clamp to the border cells.
+        assert_eq!(g.shard_of(Point2::new(-3.0, -3.0)), 0);
+        assert_eq!(g.shard_of(Point2::new(999.0, 999.0)), 9);
+    }
+
+    #[test]
+    fn single_cell_world() {
+        let g = CellGrid::new(5.0, 5.0, 20.0);
+        assert_eq!(g.shard_count(), 1);
+        assert_eq!(g.shard_of(Point2::new(4.9, 4.9)), 0);
+    }
+}
