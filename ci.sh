@@ -33,6 +33,33 @@ echo "==> exp_capacity_sweep smoke (N ≤ 64, 20 trials)"
 ./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 4 > /tmp/capacity_t4.txt
 diff /tmp/capacity_t1.txt /tmp/capacity_t4.txt
 
+echo "==> epoch telemetry smoke (byte-identical at 1 vs 4 threads)"
+# The observability acceptance gate: the merged epoch telemetry stream
+# (JSONL and the Prometheus-style text exposition) must diff clean
+# across thread counts, and `uwb-trace epochs` must validate the schema
+# and render the table + shard heatmap.
+./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 1 \
+    --telemetry=/tmp/telemetry_t1.jsonl >/dev/null
+./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 4 \
+    --telemetry=/tmp/telemetry_t4.jsonl >/dev/null
+diff /tmp/telemetry_t1.jsonl /tmp/telemetry_t4.jsonl
+diff /tmp/telemetry_t1.prom /tmp/telemetry_t4.prom
+./target/release/uwb-trace epochs /tmp/telemetry_t1.jsonl >/dev/null
+
+echo "==> causal frame tracing smoke (TX → identify chain reconstructs)"
+# Record one traced capacity run with unbounded shard rings, pick an
+# arbitrary identified frame, and require `uwb-trace causal` to walk
+# its span chain all the way back to the TX root.
+UWB_NETSIM_TRACE_QUOTA=0 ./target/release/exp_capacity_sweep \
+    --n 64 --trials 1 --threads 4 --trace-out=/tmp/causal_smoke.jsonl >/dev/null
+# -m1 (not `| head`): head's early exit would SIGPIPE grep, which
+# pipefail turns into a spurious gate failure.
+FRAME=$(grep -m1 '"stage":"world.identify"' /tmp/causal_smoke.jsonl \
+    | grep -om1 '"frame":"[0-9a-f]*"' | grep -o '[0-9a-f]\{16\}')
+./target/release/uwb-trace causal "$FRAME" /tmp/causal_smoke.jsonl > /tmp/causal_chain.txt
+grep -q "world.identify" /tmp/causal_chain.txt
+grep -q "world.tx" /tmp/causal_chain.txt
+
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still
 # runs end to end and emits a parseable, complete document. Full runs

@@ -4,14 +4,23 @@
 //! identified-responder throughput at each point. Pass `--n N` to cap
 //! the sweep, `--trials N` for seeds per point and `--threads N` for the
 //! shard worker count — the table and CSV are byte-identical for any
-//! thread count (wall-clock throughput goes to stderr only).
+//! thread count (wall-clock throughput goes to stderr only). The CSV
+//! attributes every loss to its cause (slot vs shape, unresolved vs
+//! misidentified, fault injections). `--telemetry[=PATH]` additionally
+//! writes the merged epoch telemetry stream as schema-versioned JSONL
+//! (plus a Prometheus-style `.prom` snapshot next to it) — inspect with
+//! `uwb-trace epochs`.
 
 use repro_bench::experiments::capacity_sweep;
+use std::path::PathBuf;
 use std::time::Instant;
 use uwb_campaign::artifact::{results_dir, CsvWriter};
 
 fn usage() -> ! {
-    eprintln!("usage: exp_capacity_sweep [--n N] [--trials N] [--threads N] [--trace-out[=PATH]]");
+    eprintln!(
+        "usage: exp_capacity_sweep [--n N] [--trials N] [--threads N] [--trace-out[=PATH]] \
+         [--telemetry[=PATH]]"
+    );
     std::process::exit(2);
 }
 
@@ -26,8 +35,17 @@ fn main() {
         };
     let mut max_n = 1500usize;
     let mut trials = repro_bench::trials_from_env(5) as u64;
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut args = leftover.into_iter();
     while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            telemetry_out = Some(results_dir().join("telemetry").join("capacity_sweep.jsonl"));
+            continue;
+        }
+        if let Some(path) = arg.strip_prefix("--telemetry=") {
+            telemetry_out = Some(PathBuf::from(path));
+            continue;
+        }
         let (key, value) = if arg == "--n" || arg == "--trials" {
             (arg.clone(), args.next().unwrap_or_else(|| usage()))
         } else if let Some(v) = arg.strip_prefix("--n=") {
@@ -65,7 +83,12 @@ fn main() {
             "frames_observed",
             "identified",
             "misidentified",
+            "misid_slot",
+            "misid_shape",
             "unresolved",
+            "unresolved_slot",
+            "unresolved_shape",
+            "fault_injections",
             "collision_frames",
             "spillover_frames",
             "identification_rate",
@@ -84,7 +107,12 @@ fn main() {
                 p.stats.frames_observed.into(),
                 p.stats.identified.into(),
                 p.stats.misidentified.into(),
+                p.stats.misid_slot.into(),
+                p.stats.misid_shape.into(),
                 p.stats.unresolved.into(),
+                p.stats.unresolved_slot.into(),
+                p.stats.unresolved_shape.into(),
+                p.fault_injections.into(),
                 p.stats.collision_frames.into(),
                 p.stats.spillover_frames.into(),
                 p.stats.identification_rate().into(),
@@ -100,6 +128,26 @@ fn main() {
     match csv {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    if let Some(jsonl_path) = telemetry_out {
+        // Deterministic serializations only: wall-clock epoch durations
+        // stay out of both files so output diffs clean across --threads.
+        match report.telemetry.write_jsonl(&jsonl_path, false) {
+            Ok(()) => eprintln!("wrote {}", jsonl_path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", jsonl_path.display()),
+        }
+        let prom_path = jsonl_path.with_extension("prom");
+        match std::fs::write(&prom_path, report.telemetry.text_exposition()) {
+            Ok(()) => eprintln!("wrote {}", prom_path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", prom_path.display()),
+        }
+        eprintln!(
+            "telemetry: {} epochs recorded, {} evicted, {:.1} ms total epoch wall time",
+            report.telemetry.len(),
+            report.telemetry.evicted(),
+            report.telemetry.wall_ns_total() as f64 / 1e6
+        );
     }
     obs.finish();
 }

@@ -15,7 +15,7 @@
 use crate::table::{fmt_f, Table};
 use std::fmt;
 use uwb_campaign::derive_seed;
-use uwb_worldsim::{run_capacity, CapacityConfig, CapacityStats};
+use uwb_worldsim::{run_capacity, CapacityConfig, CapacityStats, EpochTelemetry};
 
 /// Responder counts swept (clipped to `--n`). The last point is the
 /// paper's nominal capacity `N_max = 15 · 100`.
@@ -31,6 +31,8 @@ pub struct CapacityPoint {
     pub stats: CapacityStats,
     /// Cross-epoch causality deferrals summed over trials (expected 0).
     pub deferrals: u64,
+    /// Fault injections fired across all shards, summed over trials.
+    pub fault_injections: u64,
     /// Identified responders per round, averaged over trials.
     pub throughput: f64,
 }
@@ -44,6 +46,10 @@ pub struct CapacitySweepReport {
     pub trials: u64,
     /// Scheme capacity `N_RPM · N_PS` of the swept configuration.
     pub capacity: usize,
+    /// Epoch telemetry merged over every (point, trial) world in sweep
+    /// order — the `run` field of each record is the global trial index.
+    /// Byte-identical at any thread count, like the rest of the report.
+    pub telemetry: EpochTelemetry,
 }
 
 /// Runs one trial at a responder count and returns its outcome stats.
@@ -67,12 +73,15 @@ pub fn trial(n: usize, seed: u64, threads: usize) -> uwb_worldsim::CapacityOutco
 pub fn run(max_n: usize, trials: u64, seed: u64, threads: usize) -> CapacitySweepReport {
     let reference = CapacityConfig::paper(1);
     let capacity = reference.n_slots * reference.n_shapes;
+    let mut telemetry = EpochTelemetry::new();
+    let mut global_trial = 0u64;
     let points = SWEEP_N
         .iter()
         .filter(|&&n| n <= max_n.min(capacity))
         .map(|&n| {
             let mut stats = CapacityStats::default();
             let mut deferrals = 0u64;
+            let mut fault_injections = 0u64;
             let mut throughput = 0.0f64;
             for t in 0..trials {
                 let trial_seed = derive_seed(seed, ((n as u64) << 32) | t);
@@ -80,11 +89,15 @@ pub fn run(max_n: usize, trials: u64, seed: u64, threads: usize) -> CapacitySwee
                 throughput += outcome.stats.identified as f64 / outcome.stats.rounds.max(1) as f64;
                 stats.merge(&outcome.stats);
                 deferrals += outcome.deferrals;
+                fault_injections += outcome.fault_stats.total();
+                telemetry.absorb(&outcome.telemetry, global_trial);
+                global_trial += 1;
             }
             CapacityPoint {
                 n,
                 stats,
                 deferrals,
+                fault_injections,
                 throughput: throughput / trials.max(1) as f64,
             }
         })
@@ -93,6 +106,7 @@ pub fn run(max_n: usize, trials: u64, seed: u64, threads: usize) -> CapacitySwee
         points,
         trials,
         capacity,
+        telemetry,
     }
 }
 
@@ -165,6 +179,15 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.to_string(), b.to_string());
         assert_eq!(a.points.len(), 1, "64 is the single point ≤ 64");
+        // The merged telemetry is part of the deterministic report: both
+        // trials' epoch streams, absorbed in trial order.
+        assert!(!a.telemetry.is_empty());
+        let runs: std::collections::BTreeSet<u64> = a.telemetry.records().map(|r| r.run).collect();
+        assert_eq!(runs, [0u64, 1].into_iter().collect());
+        assert_eq!(
+            a.telemetry.to_jsonl_string(false),
+            b.telemetry.to_jsonl_string(false)
+        );
     }
 
     #[test]

@@ -96,6 +96,16 @@ mod tests {
     }
 
     #[test]
+    fn obs_telemetry_restates_the_same_finalizer() {
+        // `uwb_obs::telemetry` sits below this crate and restates the
+        // SplitMix64 finalizer for frame-trace ids; the two must never
+        // drift or trace ids stop agreeing with campaign seed streams.
+        for z in [0u64, 1, 7, 0xdead_beef, u64::MAX, derive_seed(3, 14)] {
+            assert_eq!(mix(z), uwb_obs::telemetry::mix64(z), "drift at {z:#x}");
+        }
+    }
+
+    #[test]
     fn mix_is_not_identity_like() {
         // The finalizer fixes 0 (every step of the bijection maps 0 to
         // 0) — which is exactly why `derive_seed` adds GOLDEN_GAMMA

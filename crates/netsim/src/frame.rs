@@ -26,6 +26,11 @@ impl std::fmt::Display for NodeId {
 pub struct ReceivedFrame<P> {
     /// The transmitting node.
     pub src: NodeId,
+    /// The sender's per-node transmission sequence number. Together with
+    /// `src` (and the world seed) this is the frame's *causal identity*:
+    /// `uwb_obs::frame_trace_id(seed, src.0, src_seq)` names the frame in
+    /// every trace event it appears in, across shards and thread counts.
+    pub src_seq: u64,
     /// Protocol payload.
     pub payload: P,
     /// MAC payload size in bytes (drives airtime and energy accounting).
@@ -141,6 +146,7 @@ mod tests {
         let pulse = PulseShape::from_config(&RadioConfig::default());
         ReceivedFrame {
             src: NodeId(src),
+            src_seq: 0,
             payload: 0,
             payload_bytes: 14,
             decodable,

@@ -557,6 +557,7 @@ impl<P: Clone> Simulator<P> {
             let delivery_time = self.now_s + first.delay_s;
             let frame = ReceivedFrame {
                 src: node,
+                src_seq: tx_seq,
                 payload: payload.clone(),
                 payload_bytes,
                 decodable: false,

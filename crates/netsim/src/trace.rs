@@ -28,12 +28,14 @@ pub const DEFAULT_TRACE_QUOTA: usize = 4096;
 
 /// Resolves the trace quota from `UWB_NETSIM_TRACE_QUOTA`, falling back
 /// to [`DEFAULT_TRACE_QUOTA`]. A value of `0` means unbounded.
+///
+/// Uses the workspace-wide knob policy ([`uwb_obs::quota_from_env`]):
+/// a malformed value warns on stderr and falls back to the default, the
+/// same behaviour as `UWB_FLIGHT_QUOTA`.
 #[must_use]
 pub fn trace_quota_from_env() -> usize {
-    std::env::var(TRACE_QUOTA_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(DEFAULT_TRACE_QUOTA)
+    let quota = uwb_obs::quota_from_env(TRACE_QUOTA_ENV, DEFAULT_TRACE_QUOTA as u64);
+    usize::try_from(quota).unwrap_or(usize::MAX)
 }
 
 /// A line in the simulation trace, for debugging and assertions.

@@ -1,0 +1,81 @@
+//! Uniform parsing for the workspace's environment quota knobs.
+//!
+//! `UWB_FLIGHT_QUOTA` and `UWB_NETSIM_TRACE_QUOTA` historically parsed
+//! their values independently, and both *silently* fell back to the
+//! default on malformed input — a typo like `UWB_FLIGHT_QUOTA=4O96`
+//! diverged the two knobs without a trace. Every quota knob now goes
+//! through [`quota_from_env`]: a well-formed non-negative integer is
+//! used as-is, an unset variable yields the default quietly, and
+//! anything else warns once on stderr and falls back to the default.
+
+use std::env::VarError;
+
+/// Parses one already-read quota value, warning on stderr when `raw` is
+/// not a non-negative integer and falling back to `default`.
+///
+/// Split from [`quota_from_env`] so the policy is testable without
+/// mutating the process environment (env mutation races with parallel
+/// tests).
+#[must_use]
+pub fn parse_quota(var: &str, raw: &str, default: u64) -> u64 {
+    match raw.trim().parse::<u64>() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!(
+                "warning: {var}={raw:?} is not a valid quota \
+                 (expected a non-negative integer); using default {default}"
+            );
+            default
+        }
+    }
+}
+
+/// Reads the quota knob `var` from the environment.
+///
+/// Unset → `default` (silently). Set but malformed (non-integer,
+/// negative, or non-unicode) → warn on stderr, then `default`. The
+/// meaning of `0` is knob-specific (unbounded for the trace rings,
+/// disabled for the flight recorder) and decided by the caller.
+#[must_use]
+pub fn quota_from_env(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(raw) => parse_quota(var, &raw, default),
+        Err(VarError::NotPresent) => default,
+        Err(VarError::NotUnicode(_)) => {
+            eprintln!("warning: {var} is set to a non-unicode value; using default {default}");
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_values_pass_through() {
+        assert_eq!(parse_quota("K", "0", 9), 0);
+        assert_eq!(parse_quota("K", "4096", 9), 4096);
+        assert_eq!(
+            parse_quota("K", " 17 ", 9),
+            17,
+            "surrounding whitespace tolerated"
+        );
+        assert_eq!(parse_quota("K", &u64::MAX.to_string(), 9), u64::MAX);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_the_default() {
+        for raw in [
+            "",
+            "abc",
+            "-1",
+            "1.5",
+            "4O96",
+            "0x10",
+            "18446744073709551616",
+        ] {
+            assert_eq!(parse_quota("K", raw, 42), 42, "raw = {raw:?}");
+        }
+    }
+}

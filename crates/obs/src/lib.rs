@@ -36,15 +36,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envknob;
 pub mod flight;
 pub mod metrics;
 pub mod paths;
 pub mod recorder;
 pub mod stats;
+pub mod telemetry;
 pub mod timer;
 pub mod trace;
 pub mod value;
 
+pub use envknob::{parse_quota, quota_from_env};
 pub use flight::{CirSnapshot, SnapshotPeak, FLIGHT_STAGE};
 pub use metrics::{LatencyHistogram, MetricsRegistry, LATENCY_BINS};
 pub use paths::{results_dir, traces_dir};
@@ -54,6 +57,11 @@ pub use recorder::{
     record_ns, scoped_metrics, timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
 };
 pub use stats::{median, median_abs_deviation, Counter, Histogram, ScalarStats};
+pub use telemetry::{
+    fmt_trace_id, frame_trace_id, parse_trace_id, span_id, EpochRecord, EpochTelemetry,
+    ShardEpochStats, DEFAULT_EPOCH_QUOTA, TELEMETRY_EPOCH_STAGE, TELEMETRY_META_STAGE,
+    TELEMETRY_SCHEMA_VERSION, TELEMETRY_TOTALS_STAGE,
+};
 pub use timer::{measure_ns, per_second, Stopwatch};
 pub use trace::{
     Event, JsonlSink, NullSink, RingSink, TraceSink, META_STAGE, TRACE_SCHEMA_VERSION,

@@ -1,0 +1,753 @@
+//! Causal frame-trace identifiers and the epoch telemetry stream.
+//!
+//! Two observability planes for city-scale `uwb-worldsim` runs:
+//!
+//! 1. **Causal frame tracing** ([`frame_trace_id`], [`span_id`]): every
+//!    transmitted frame gets a deterministic 64-bit trace identifier
+//!    derived from `(world_seed, src, src_seq)` through the workspace's
+//!    SplitMix64 chain. The engine emits `world.tx` / `world.deliver` /
+//!    `world.decode` / `world.identify` events carrying the frame id
+//!    plus parent/child span ids, so `uwb-trace causal <frame-id>` can
+//!    reconstruct one frame's full journey across shards — the id is a
+//!    pure function of the frame's identity, never of shard layout,
+//!    thread count, or emission order.
+//! 2. **Epoch telemetry** ([`EpochTelemetry`]): per-epoch, per-shard
+//!    windowed snapshots (event counts, deliveries, cross-shard frame
+//!    counts, event-queue depth high-water marks, fault injections,
+//!    barrier imbalance) recorded *in shard index order* at every epoch
+//!    barrier, so the stream is bit-identical at any worker-thread
+//!    count. Serialized as schema-versioned JSONL
+//!    ([`EpochTelemetry::to_jsonl_string`]) and as a Prometheus-style
+//!    text exposition snapshot ([`EpochTelemetry::text_exposition`]).
+//!
+//! Wall-clock epoch durations are the one non-deterministic measurement;
+//! they are stored out-of-band ([`EpochTelemetry::record`]'s `wall_ns`),
+//! excluded from equality, and omitted from serialized output unless
+//! explicitly requested — merged/diffed telemetry stays byte-identical.
+//!
+//! The SplitMix64 chain here intentionally mirrors
+//! `uwb_campaign::derive_seed` (this crate sits *below* the campaign
+//! engine in the dependency graph, so the finalizer is restated rather
+//! than imported); [`mix64`]'s unit tests pin the constants.
+
+use crate::value::write_json_string;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Version of the epoch-telemetry JSONL schema. Every stream starts with
+/// a [`TELEMETRY_META_STAGE`] line carrying this number.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// Stage name of the schema-header line of a telemetry stream.
+pub const TELEMETRY_META_STAGE: &str = "telemetry.meta";
+
+/// Stage name of one per-epoch snapshot line.
+pub const TELEMETRY_EPOCH_STAGE: &str = "telemetry.epoch";
+
+/// Stage name of the trailing run-totals line.
+pub const TELEMETRY_TOTALS_STAGE: &str = "telemetry.totals";
+
+/// Default number of epoch records retained before the oldest are
+/// evicted (evictions are counted, never silent).
+pub const DEFAULT_EPOCH_QUOTA: usize = 4096;
+
+/// The SplitMix64 increment (the 64-bit golden ratio).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain word separating frame-trace ids from every other consumer of
+/// the SplitMix64 chain.
+const DOMAIN_FRAME_TRACE: u64 = 0x66_72_61_6D; // "fram"
+
+/// The SplitMix64 finalizer (fmix64 variant) — the same bijective
+/// avalanche mix as `uwb_campaign::mix`, restated because this crate
+/// sits below the campaign engine.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One link of the seed chain (identical to `uwb_campaign::derive_seed`).
+#[inline]
+fn chain(seed: u64, word: u64) -> u64 {
+    mix64(
+        mix64(seed.wrapping_add(GOLDEN_GAMMA))
+            ^ word.wrapping_mul(GOLDEN_GAMMA).wrapping_add(GOLDEN_GAMMA),
+    )
+}
+
+/// The deterministic trace identifier of one transmitted frame.
+///
+/// A pure function of `(world_seed, src, src_seq)` — the globally unique
+/// identity of a transmission — so every shard, thread, and analysis
+/// pass derives the identical id without coordination. Collision-free
+/// over realistic `(src, seq)` ranges (property-tested in the worldsim
+/// determinism suite).
+#[must_use]
+pub fn frame_trace_id(world_seed: u64, src: u32, src_seq: u64) -> u64 {
+    chain(
+        chain(chain(world_seed, DOMAIN_FRAME_TRACE), u64::from(src)),
+        src_seq,
+    )
+}
+
+/// A span identifier under a frame's trace: one per `(stage, node)`
+/// processing step, chained off [`frame_trace_id`]'s output so spans of
+/// different frames never collide.
+#[must_use]
+pub fn span_id(frame_id: u64, stage: &str, node: u32) -> u64 {
+    let mut h = chain(frame_id, u64::from(node));
+    for b in stage.as_bytes() {
+        h = mix64(h ^ u64::from(*b).wrapping_mul(GOLDEN_GAMMA));
+    }
+    h
+}
+
+/// Renders a trace/span id in its canonical form: 16 lowercase hex
+/// digits, zero-padded.
+#[must_use]
+pub fn fmt_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a trace/span id: canonical 16-digit hex, shorter hex, or a
+/// `0x` prefix. Returns `None` for anything else.
+#[must_use]
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let hex = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    if hex.is_empty() || hex.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One shard's windowed counters for a single epoch phase. Collected by
+/// the shard itself during its (parallel) epoch and stamped with the
+/// shard index at the barrier — the record never depends on which worker
+/// thread ran the phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardEpochStats {
+    /// Shard index (set by the engine at the barrier merge).
+    pub shard: u32,
+    /// Local events dispatched (deliveries, window closes, timers).
+    pub events: u64,
+    /// Frames buffered at receivers this epoch.
+    pub deliveries: u64,
+    /// Delivered frames whose sender lives in a *different* shard.
+    pub cross_in: u64,
+    /// Transmissions committed to the outbox this epoch.
+    pub txes: u64,
+    /// Event-queue depth high-water mark during the epoch.
+    pub queue_hwm: u64,
+    /// Fault injections fired during the epoch.
+    pub faults: u64,
+    /// Fault recoveries observed during the epoch (protocol retries that
+    /// succeeded; zero at the raw engine layer, populated by resilient
+    /// service layers).
+    pub recovered: u64,
+}
+
+/// One epoch barrier's telemetry: every shard's windowed counters, in
+/// shard index order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochRecord {
+    /// Run (trial) index; `0` for a single run, rewritten by
+    /// [`EpochTelemetry::absorb`] when streams are merged.
+    pub run: u64,
+    /// Epoch ordinal within the run.
+    pub epoch: u64,
+    /// Global time of the epoch's end barrier, seconds.
+    pub t_end_s: f64,
+    /// Per-shard counters, in shard index order.
+    pub shards: Vec<ShardEpochStats>,
+}
+
+impl EpochRecord {
+    /// Total events dispatched across shards this epoch.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Total frames delivered across shards this epoch.
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.shards.iter().map(|s| s.deliveries).sum()
+    }
+
+    /// Total cross-shard deliveries this epoch.
+    #[must_use]
+    pub fn cross_in(&self) -> u64 {
+        self.shards.iter().map(|s| s.cross_in).sum()
+    }
+
+    /// Total transmissions committed this epoch.
+    #[must_use]
+    pub fn txes(&self) -> u64 {
+        self.shards.iter().map(|s| s.txes).sum()
+    }
+
+    /// Largest per-shard event-queue high-water mark this epoch.
+    #[must_use]
+    pub fn queue_hwm(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_hwm).max().unwrap_or(0)
+    }
+
+    /// Total fault injections this epoch.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.shards.iter().map(|s| s.faults).sum()
+    }
+
+    /// Barrier imbalance: the spread between the busiest and idlest
+    /// shard's event counts — the epoch's parallel-efficiency signal.
+    #[must_use]
+    pub fn imbalance(&self) -> u64 {
+        let max = self.shards.iter().map(|s| s.events).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.events).min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// The bounded epoch telemetry stream of one or more runs.
+///
+/// Records are retained up to a quota (oldest evicted first, evictions
+/// counted); caller-contributed run totals (identification counts,
+/// collisions by cause, …) ride along in a deterministic name-ordered
+/// map. Equality — and every serialization except the explicit
+/// `include_wall` opt-in — ignores the wall-clock samples, which are the
+/// only thread-count-dependent measurement.
+#[derive(Debug, Clone, Default)]
+pub struct EpochTelemetry {
+    records: VecDeque<EpochRecord>,
+    /// Wall-clock duration of each retained epoch's parallel phase, in
+    /// nanoseconds. Parallel to `records`. **Non-deterministic**:
+    /// excluded from `PartialEq` and from serialized output unless
+    /// explicitly requested.
+    wall_ns: VecDeque<u64>,
+    quota: usize,
+    evicted: u64,
+    totals: BTreeMap<String, u64>,
+}
+
+impl PartialEq for EpochTelemetry {
+    /// Wall-clock samples are deliberately excluded: two runs of the
+    /// same world at different thread counts are equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.quota == other.quota
+            && self.evicted == other.evicted
+            && self.totals == other.totals
+    }
+}
+
+impl EpochTelemetry {
+    /// An empty stream with the default record quota
+    /// ([`DEFAULT_EPOCH_QUOTA`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_quota(DEFAULT_EPOCH_QUOTA)
+    }
+
+    /// An empty stream retaining at most `quota` epoch records
+    /// (`0` = unbounded).
+    #[must_use]
+    pub fn with_quota(quota: usize) -> Self {
+        Self {
+            records: VecDeque::new(),
+            wall_ns: VecDeque::new(),
+            quota,
+            evicted: 0,
+            totals: BTreeMap::new(),
+        }
+    }
+
+    /// The configured record quota (`0` = unbounded).
+    #[must_use]
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Number of retained epoch records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no epoch records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Epoch records evicted because the quota was reached.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EpochRecord> {
+        self.records.iter()
+    }
+
+    /// The caller-contributed run totals, name-ordered.
+    #[must_use]
+    pub fn totals(&self) -> &BTreeMap<String, u64> {
+        &self.totals
+    }
+
+    /// Sum of the (non-deterministic) wall-clock samples, nanoseconds.
+    /// For stderr reporting only — never part of deterministic output.
+    #[must_use]
+    pub fn wall_ns_total(&self) -> u64 {
+        self.wall_ns.iter().sum()
+    }
+
+    /// Appends one epoch record with its wall-clock duration, evicting
+    /// the oldest record once the quota is reached.
+    pub fn record(&mut self, record: EpochRecord, wall_ns: u64) {
+        if self.quota != 0 && self.records.len() == self.quota {
+            self.records.pop_front();
+            self.wall_ns.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(record);
+        self.wall_ns.push_back(wall_ns);
+    }
+
+    /// Adds `by` to a named run total (identification counts, collision
+    /// causes, fault totals — whatever the scenario wants exported).
+    pub fn add_total(&mut self, name: &str, by: u64) {
+        *self.totals.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Merges another stream into this one as run `run`: the other
+    /// stream's records are appended (oldest first) with their `run`
+    /// field rewritten, its totals are summed in, and its evictions
+    /// accumulate. Callers absorb per-trial streams in trial order, so
+    /// the merged stream is deterministic whenever the inputs are.
+    pub fn absorb(&mut self, other: &EpochTelemetry, run: u64) {
+        self.evicted += other.evicted;
+        for (record, wall) in other.records.iter().zip(&other.wall_ns) {
+            let mut record = record.clone();
+            record.run = run;
+            self.record(record, *wall);
+        }
+        for (name, value) in &other.totals {
+            self.add_total(name, *value);
+        }
+    }
+
+    /// Serializes the stream as schema-versioned JSONL: a
+    /// [`TELEMETRY_META_STAGE`] header, one [`TELEMETRY_EPOCH_STAGE`]
+    /// line per retained epoch, and a trailing
+    /// [`TELEMETRY_TOTALS_STAGE`] line. With `include_wall == false`
+    /// (the default for anything merged or diffed) the output is
+    /// byte-identical at any thread count; `include_wall == true` adds
+    /// the non-deterministic `wall_ns` field to each epoch line.
+    #[must_use]
+    pub fn to_jsonl_string(&self, include_wall: bool) -> String {
+        let mut out = Vec::new();
+        self.write_jsonl_to(&mut out, include_wall)
+            .expect("in-memory JSONL write cannot fail");
+        String::from_utf8(out).expect("telemetry JSONL is UTF-8")
+    }
+
+    /// Writes the JSONL stream (see [`EpochTelemetry::to_jsonl_string`])
+    /// to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from directory creation or the write.
+    pub fn write_jsonl(&self, path: &Path, include_wall: bool) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_jsonl_to(&mut file, include_wall)?;
+        file.flush()
+    }
+
+    fn write_jsonl_to(&self, out: &mut impl Write, include_wall: bool) -> io::Result<()> {
+        write!(
+            out,
+            "{{\"stage\":\"{TELEMETRY_META_STAGE}\",\"schema\":{TELEMETRY_SCHEMA_VERSION},\
+             \"writer\":\"uwb-obs\",\"quota\":{},\"evicted\":{}}}",
+            self.quota, self.evicted
+        )?;
+        out.write_all(b"\n")?;
+        for (record, wall) in self.records.iter().zip(&self.wall_ns) {
+            write!(
+                out,
+                "{{\"stage\":\"{TELEMETRY_EPOCH_STAGE}\",\"run\":{},\"epoch\":{},\
+                 \"t_end_s\":{},\"events\":{},\"deliveries\":{},\"cross_in\":{},\"txes\":{},\
+                 \"queue_hwm\":{},\"faults\":{},\"imbalance\":{}",
+                record.run,
+                record.epoch,
+                record.t_end_s,
+                record.events(),
+                record.deliveries(),
+                record.cross_in(),
+                record.txes(),
+                record.queue_hwm(),
+                record.faults(),
+                record.imbalance(),
+            )?;
+            if include_wall {
+                // Tagged non-deterministic: present only on explicit
+                // request, never in merged/diffed output.
+                write!(out, ",\"wall_ns\":{wall}")?;
+            }
+            out.write_all(b",\"shards\":[")?;
+            for (i, s) in record.shards.iter().enumerate() {
+                if i > 0 {
+                    out.write_all(b",")?;
+                }
+                write!(
+                    out,
+                    "{{\"shard\":{},\"events\":{},\"deliveries\":{},\"cross_in\":{},\
+                     \"txes\":{},\"queue_hwm\":{},\"faults\":{},\"recovered\":{}}}",
+                    s.shard,
+                    s.events,
+                    s.deliveries,
+                    s.cross_in,
+                    s.txes,
+                    s.queue_hwm,
+                    s.faults,
+                    s.recovered,
+                )?;
+            }
+            out.write_all(b"]}\n")?;
+        }
+        write!(
+            out,
+            "{{\"stage\":\"{TELEMETRY_TOTALS_STAGE}\",\"epochs_recorded\":{},\
+             \"epochs_evicted\":{},\"totals\":{{",
+            self.records.len(),
+            self.evicted
+        )?;
+        for (i, (name, value)) in self.totals.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_json_string(out, name)?;
+            write!(out, ":{value}")?;
+        }
+        out.write_all(b"}}\n")
+    }
+
+    /// Renders a Prometheus-style text exposition snapshot of the
+    /// stream's cumulative state: per-shard counters aggregated over the
+    /// retained epochs, gauges for high-water marks and barrier
+    /// imbalance, and the caller-contributed totals. Deterministic
+    /// (name- and shard-ordered, no timestamps) — byte-identical at any
+    /// thread count.
+    #[must_use]
+    pub fn text_exposition(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP uwb_epochs_total Epoch phases retained in the telemetry window.\n\
+             # TYPE uwb_epochs_total counter\nuwb_epochs_total {}",
+            self.records.len()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP uwb_epochs_evicted_total Epoch records evicted by the quota.\n\
+             # TYPE uwb_epochs_evicted_total counter\nuwb_epochs_evicted_total {}",
+            self.evicted
+        );
+
+        #[derive(Default, Clone, Copy)]
+        struct ShardAgg {
+            events: u64,
+            deliveries: u64,
+            cross_in: u64,
+            txes: u64,
+            faults: u64,
+            recovered: u64,
+            queue_hwm: u64,
+        }
+        let mut per_shard: BTreeMap<u32, ShardAgg> = BTreeMap::new();
+        let mut imbalance_max = 0u64;
+        for record in &self.records {
+            imbalance_max = imbalance_max.max(record.imbalance());
+            for s in &record.shards {
+                let agg = per_shard.entry(s.shard).or_default();
+                agg.events += s.events;
+                agg.deliveries += s.deliveries;
+                agg.cross_in += s.cross_in;
+                agg.txes += s.txes;
+                agg.faults += s.faults;
+                agg.recovered += s.recovered;
+                agg.queue_hwm = agg.queue_hwm.max(s.queue_hwm);
+            }
+        }
+        type Family = (
+            &'static str,
+            &'static str,
+            &'static str,
+            fn(&ShardAgg) -> u64,
+        );
+        let families: [Family; 7] = [
+            (
+                "uwb_shard_events_total",
+                "counter",
+                "Local events dispatched.",
+                |a| a.events,
+            ),
+            (
+                "uwb_shard_deliveries_total",
+                "counter",
+                "Frames delivered to receivers.",
+                |a| a.deliveries,
+            ),
+            (
+                "uwb_shard_cross_in_total",
+                "counter",
+                "Deliveries from foreign shards.",
+                |a| a.cross_in,
+            ),
+            (
+                "uwb_shard_txes_total",
+                "counter",
+                "Transmissions committed.",
+                |a| a.txes,
+            ),
+            (
+                "uwb_shard_faults_total",
+                "counter",
+                "Fault injections fired.",
+                |a| a.faults,
+            ),
+            (
+                "uwb_shard_recovered_total",
+                "counter",
+                "Fault recoveries observed.",
+                |a| a.recovered,
+            ),
+            (
+                "uwb_shard_queue_depth_hwm",
+                "gauge",
+                "Event-queue depth high-water mark.",
+                |a| a.queue_hwm,
+            ),
+        ];
+        for (name, kind, help, extract) in families {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}");
+            for (shard, agg) in &per_shard {
+                let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {}", extract(agg));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP uwb_barrier_imbalance_max Largest busiest-minus-idlest shard event spread.\n\
+             # TYPE uwb_barrier_imbalance_max gauge\nuwb_barrier_imbalance_max {imbalance_max}"
+        );
+        for (name, value) in &self.totals {
+            let metric: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let _ = writeln!(
+                out,
+                "# HELP uwb_{metric} Run total contributed by the scenario.\n\
+                 # TYPE uwb_{metric} counter\nuwb_{metric} {value}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(shard: u32, events: u64, deliveries: u64) -> ShardEpochStats {
+        ShardEpochStats {
+            shard,
+            events,
+            deliveries,
+            cross_in: deliveries / 2,
+            txes: 1,
+            queue_hwm: events,
+            faults: 0,
+            recovered: 0,
+        }
+    }
+
+    fn record(run: u64, epoch: u64, loads: &[u64]) -> EpochRecord {
+        EpochRecord {
+            run,
+            epoch,
+            t_end_s: (epoch + 1) as f64 * 1e-4,
+            shards: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| shard(i as u32, e, e / 3))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mix64_matches_the_campaign_finalizer_constants() {
+        // Pinned outputs of the fmix64 variant: any drift from
+        // `uwb_campaign::mix` breaks frame-id agreement across crates.
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), 0x5692_161d_100b_05e5);
+        assert_eq!(chain(0, 0), 0x0397_ab29_7406_81d9);
+    }
+
+    #[test]
+    fn frame_ids_are_distinct_over_a_dense_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for src in 0u32..128 {
+            for seq in 0u64..64 {
+                assert!(
+                    seen.insert(frame_trace_id(7, src, seq)),
+                    "collision at ({src}, {seq})"
+                );
+            }
+        }
+        // Different seeds give unrelated ids for the same frame.
+        assert_ne!(frame_trace_id(7, 3, 1), frame_trace_id(8, 3, 1));
+    }
+
+    #[test]
+    fn span_ids_separate_stages_and_nodes() {
+        let f = frame_trace_id(1, 2, 3);
+        let spans = [
+            span_id(f, "deliver", 0),
+            span_id(f, "deliver", 1),
+            span_id(f, "decode", 0),
+            span_id(f, "identify", 0),
+            f,
+        ];
+        let mut set = std::collections::HashSet::new();
+        for s in spans {
+            assert!(set.insert(s), "span collision");
+        }
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_text() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let text = fmt_trace_id(id);
+            assert_eq!(text.len(), 16);
+            assert_eq!(parse_trace_id(&text), Some(id));
+            assert_eq!(parse_trace_id(&format!("0x{text}")), Some(id));
+        }
+        assert_eq!(parse_trace_id("beef"), Some(0xbeef));
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("not-hex"), None);
+        assert_eq!(parse_trace_id("12345678901234567"), None, "17 digits");
+    }
+
+    #[test]
+    fn quota_evicts_oldest_and_counts() {
+        let mut t = EpochTelemetry::with_quota(2);
+        for epoch in 0..5 {
+            t.record(record(0, epoch, &[10, 20]), 1);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        let epochs: Vec<u64> = t.records().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![3, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mut a = EpochTelemetry::new();
+        let mut b = EpochTelemetry::new();
+        a.record(record(0, 0, &[5, 9]), 111);
+        b.record(record(0, 0, &[5, 9]), 999_999);
+        assert_eq!(a, b);
+        assert_ne!(a.wall_ns_total(), b.wall_ns_total());
+        assert_eq!(a.to_jsonl_string(false), b.to_jsonl_string(false));
+        assert_ne!(a.to_jsonl_string(true), b.to_jsonl_string(true));
+        assert!(a.to_jsonl_string(true).contains("\"wall_ns\":111"));
+    }
+
+    #[test]
+    fn jsonl_stream_is_schema_versioned_and_complete() {
+        let mut t = EpochTelemetry::new();
+        t.record(record(0, 0, &[4, 10]), 7);
+        t.add_total("capacity.identified", 42);
+        let text = t.to_jsonl_string(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"stage\":\"telemetry.meta\""));
+        assert!(lines[0].contains(&format!("\"schema\":{TELEMETRY_SCHEMA_VERSION}")));
+        assert!(lines[1].contains("\"stage\":\"telemetry.epoch\""));
+        assert!(lines[1].contains("\"events\":14"));
+        assert!(lines[1].contains("\"imbalance\":6"));
+        assert!(lines[1].contains("\"shards\":[{\"shard\":0,"));
+        assert!(lines[2].contains("\"capacity.identified\":42"));
+    }
+
+    #[test]
+    fn absorb_rewrites_runs_and_sums_totals() {
+        let mut trial_a = EpochTelemetry::new();
+        trial_a.record(record(0, 0, &[3]), 1);
+        trial_a.add_total("ids", 5);
+        let mut trial_b = EpochTelemetry::new();
+        trial_b.record(record(0, 0, &[8]), 1);
+        trial_b.record(record(0, 1, &[2]), 1);
+        trial_b.add_total("ids", 7);
+
+        let mut merged = EpochTelemetry::new();
+        merged.absorb(&trial_a, 0);
+        merged.absorb(&trial_b, 1);
+        assert_eq!(merged.len(), 3);
+        let runs: Vec<u64> = merged.records().map(|r| r.run).collect();
+        assert_eq!(runs, vec![0, 1, 1]);
+        assert_eq!(merged.totals()["ids"], 12);
+
+        // Merge order is the only order: same inputs, same bytes.
+        let mut again = EpochTelemetry::new();
+        again.absorb(&trial_a, 0);
+        again.absorb(&trial_b, 1);
+        assert_eq!(merged, again);
+        assert_eq!(merged.to_jsonl_string(false), again.to_jsonl_string(false));
+    }
+
+    #[test]
+    fn text_exposition_is_deterministic_and_labelled() {
+        let mut t = EpochTelemetry::new();
+        t.record(record(0, 0, &[4, 10]), 3);
+        t.record(record(0, 1, &[6, 2]), 9);
+        t.add_total("capacity.collision_frames", 3);
+        let text = t.text_exposition();
+        assert_eq!(text, t.text_exposition());
+        assert!(text.contains("uwb_epochs_total 2"));
+        assert!(text.contains("uwb_shard_events_total{shard=\"0\"} 10"));
+        assert!(text.contains("uwb_shard_events_total{shard=\"1\"} 12"));
+        assert!(text.contains("# TYPE uwb_shard_queue_depth_hwm gauge"));
+        assert!(text.contains("uwb_barrier_imbalance_max 6"));
+        assert!(text.contains("uwb_capacity_collision_frames 3"));
+    }
+
+    #[test]
+    fn write_jsonl_creates_parents_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("uwb-obs-telemetry-{}", std::process::id()));
+        let path = dir.join("nested").join("stream.jsonl");
+        let mut t = EpochTelemetry::new();
+        t.record(record(0, 0, &[1]), 2);
+        t.write_jsonl(&path, false).expect("write telemetry");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, t.to_jsonl_string(false));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

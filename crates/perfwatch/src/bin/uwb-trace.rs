@@ -1,20 +1,29 @@
-//! Offline analyzer for `uwb-obs` JSONL traces.
+//! Offline analyzer for `uwb-obs` JSONL traces and epoch telemetry.
 //!
 //! ```text
 //! uwb-trace summary  [TRACE]          per-stage counts + latency table
 //! uwb-trace outliers [TRACE]          anomalous trials with detector history
 //! uwb-trace cir      [TRACE] [--index N]   ASCII CIR snapshot rendering
 //! uwb-trace diff     TRACE_A TRACE_B  stage-by-stage comparison
+//! uwb-trace causal   FRAME [TRACE]    one frame's TX → identify span chain
+//! uwb-trace epochs   [TELEMETRY]      epoch telemetry table + shard heatmap
 //! ```
 //!
 //! `TRACE` defaults to the newest `.jsonl` under the traces directory
-//! (`results/traces/`, relocated by `UWB_RESULTS_DIR`).
+//! (`results/traces/`), `TELEMETRY` to the newest under
+//! `results/telemetry/` — both relocated by `UWB_RESULTS_DIR`. `FRAME`
+//! is a frame trace id as printed in `world.tx` / `world.identify`
+//! events (up to 16 hex digits, `0x` prefix allowed).
 
 use std::process::ExitCode;
 
-use uwb_perfwatch::{diff, load_trace, outliers, render_cir, resolve_trace_path, summary};
+use uwb_perfwatch::{
+    causal, diff, epochs_report, load_telemetry, load_trace, outliers, render_cir,
+    resolve_telemetry_path, resolve_trace_path, summary,
+};
 
-const USAGE: &str = "usage: uwb-trace <summary|outliers|cir|diff> [TRACE...] [--index N]";
+const USAGE: &str =
+    "usage: uwb-trace <summary|outliers|cir|diff|causal|epochs> [FRAME] [TRACE...] [--index N]";
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +69,26 @@ fn run() -> Result<String, String> {
             let a = load_trace(std::path::Path::new(&paths[0]))?;
             let b = load_trace(std::path::Path::new(&paths[1]))?;
             Ok(diff(&a, &b))
+        }
+        "causal" => {
+            if paths.is_empty() || paths.len() > 2 {
+                return Err(format!(
+                    "causal takes a frame id and at most one trace\n{USAGE}"
+                ));
+            }
+            let path = resolve_trace_path(paths.get(1).map(String::as_str))?;
+            let trace = load_trace(&path)?;
+            causal(&trace, &paths[0])
+        }
+        "epochs" => {
+            if paths.len() > 1 {
+                return Err(format!(
+                    "epochs takes at most one telemetry stream\n{USAGE}"
+                ));
+            }
+            let path = resolve_telemetry_path(paths.first().map(String::as_str))?;
+            let doc = load_telemetry(&path)?;
+            Ok(epochs_report(&doc))
         }
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     }

@@ -1,0 +1,481 @@
+//! `uwb-trace epochs` — the epoch telemetry stream, tabulated.
+//!
+//! Reads the schema-versioned JSONL that [`uwb_obs::EpochTelemetry`]
+//! writes (`exp_capacity_sweep --telemetry`, worldsim runs) and renders
+//! a per-epoch counter table plus an ASCII shard-load heatmap, so
+//! barrier imbalance and hot shards are visible without spreadsheet
+//! detours. Loading *validates* the stream: a missing `telemetry.meta`
+//! header or a future schema version is an error, which is what lets
+//! `ci.sh` use `uwb-trace epochs` as the telemetry format check.
+
+use std::path::{Path, PathBuf};
+
+use uwb_testkit::{parse_json, Json};
+
+/// One `telemetry.epoch` line: the merged counters plus the per-shard
+/// event loads the heatmap draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochLine {
+    /// Which absorbed run (trial) the epoch belongs to.
+    pub run: u64,
+    /// Epoch index within its run.
+    pub epoch: u64,
+    /// Global time at the epoch barrier, seconds.
+    pub t_end_s: f64,
+    /// Events dispatched across all shards.
+    pub events: u64,
+    /// Frames delivered to receivers.
+    pub deliveries: u64,
+    /// Deliveries whose source lives on a foreign shard.
+    pub cross_in: u64,
+    /// Frames transmitted.
+    pub txes: u64,
+    /// Event-queue depth high-water mark (max over shards).
+    pub queue_hwm: u64,
+    /// Fault injections fired.
+    pub faults: u64,
+    /// Barrier imbalance: max − min shard event count.
+    pub imbalance: u64,
+    /// Per-shard event counts, shard-index order.
+    pub shard_events: Vec<u64>,
+}
+
+/// A loaded, validated telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryDoc {
+    /// Where the stream was read from.
+    pub path: PathBuf,
+    /// Schema version from the `telemetry.meta` header.
+    pub schema: u64,
+    /// Epoch retention quota the writer ran with.
+    pub quota: u64,
+    /// Epochs evicted by that quota before the stream was written.
+    pub evicted: u64,
+    /// Retained epochs, oldest first.
+    pub epochs: Vec<EpochLine>,
+    /// Scenario totals from the trailing `telemetry.totals` line,
+    /// name-ordered as written.
+    pub totals: Vec<(String, u64)>,
+}
+
+/// Resolves which telemetry stream to analyze: an explicit path wins;
+/// otherwise the most recently modified `*.jsonl` under
+/// `results/telemetry/` (honouring `UWB_RESULTS_DIR`).
+///
+/// # Errors
+///
+/// Returns a message when no explicit path is given and the telemetry
+/// directory holds no `*.jsonl` files.
+pub fn resolve_telemetry_path(explicit: Option<&str>) -> Result<PathBuf, String> {
+    if let Some(path) = explicit {
+        return Ok(PathBuf::from(path));
+    }
+    let dir = uwb_obs::results_dir().join("telemetry");
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|err| format!("cannot list telemetry directory {}: {err}", dir.display()))?;
+    let mut newest: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if newest.as_ref().is_none_or(|(t, _)| modified > *t) {
+            newest = Some((modified, path));
+        }
+    }
+    newest.map(|(_, path)| path).ok_or_else(|| {
+        format!(
+            "no .jsonl telemetry under {} — run exp_capacity_sweep --telemetry first",
+            dir.display()
+        )
+    })
+}
+
+fn field_u64(node: &Json, key: &str, path: &Path, lineno: usize) -> Result<u64, String> {
+    node.get(key).and_then(Json::as_u64).ok_or_else(|| {
+        format!(
+            "{}:{}: epoch line missing integer field \"{key}\"",
+            path.display(),
+            lineno
+        )
+    })
+}
+
+/// Loads and validates an epoch telemetry JSONL stream.
+///
+/// # Errors
+///
+/// Returns a message on unreadable files, malformed JSON, a first line
+/// that is not a `telemetry.meta` header (the file is probably a raw
+/// event trace — the hint says so), a schema version newer than this
+/// binary understands, or epoch lines missing required counters.
+pub fn load_telemetry(path: &Path) -> Result<TelemetryDoc, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    let mut doc: Option<TelemetryDoc> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let node = parse_json(line)
+            .map_err(|err| format!("{}:{}: invalid JSON: {err}", path.display(), lineno + 1))?;
+        let stage = node.get("stage").and_then(Json::as_str).unwrap_or("");
+        let Some(doc) = doc.as_mut() else {
+            if stage != uwb_obs::TELEMETRY_META_STAGE {
+                return Err(format!(
+                    "{}: first line is not a \"{}\" header — this is not an epoch telemetry \
+                     stream (event traces belong to `uwb-trace summary`)",
+                    path.display(),
+                    uwb_obs::TELEMETRY_META_STAGE
+                ));
+            }
+            let schema = node.get("schema").and_then(Json::as_u64).unwrap_or(0);
+            if schema > uwb_obs::TELEMETRY_SCHEMA_VERSION {
+                return Err(format!(
+                    "{}: telemetry schema {schema} is newer than this analyzer understands \
+                     (max {}); rebuild the tools from the commit that wrote the stream",
+                    path.display(),
+                    uwb_obs::TELEMETRY_SCHEMA_VERSION
+                ));
+            }
+            doc = Some(TelemetryDoc {
+                path: path.to_path_buf(),
+                schema,
+                quota: node.get("quota").and_then(Json::as_u64).unwrap_or(0),
+                evicted: node.get("evicted").and_then(Json::as_u64).unwrap_or(0),
+                epochs: Vec::new(),
+                totals: Vec::new(),
+            });
+            continue;
+        };
+        if stage == uwb_obs::TELEMETRY_EPOCH_STAGE {
+            let shard_events = node
+                .get("shards")
+                .and_then(Json::as_array)
+                .map(|shards| {
+                    shards
+                        .iter()
+                        .map(|s| s.get("events").and_then(Json::as_u64).unwrap_or(0))
+                        .collect()
+                })
+                .unwrap_or_default();
+            doc.epochs.push(EpochLine {
+                run: field_u64(&node, "run", path, lineno + 1)?,
+                epoch: field_u64(&node, "epoch", path, lineno + 1)?,
+                t_end_s: node.get("t_end_s").and_then(Json::as_f64).unwrap_or(0.0),
+                events: field_u64(&node, "events", path, lineno + 1)?,
+                deliveries: field_u64(&node, "deliveries", path, lineno + 1)?,
+                cross_in: field_u64(&node, "cross_in", path, lineno + 1)?,
+                txes: field_u64(&node, "txes", path, lineno + 1)?,
+                queue_hwm: field_u64(&node, "queue_hwm", path, lineno + 1)?,
+                faults: field_u64(&node, "faults", path, lineno + 1)?,
+                imbalance: field_u64(&node, "imbalance", path, lineno + 1)?,
+                shard_events,
+            });
+        } else if stage == uwb_obs::TELEMETRY_TOTALS_STAGE {
+            if let Some(fields) = node.get("totals").and_then(Json::as_object) {
+                for (name, value) in fields {
+                    doc.totals.push((name.clone(), value.as_u64().unwrap_or(0)));
+                }
+            }
+        }
+        // Unknown stages are skipped: older analyzers must tolerate
+        // additive schema growth.
+    }
+    doc.ok_or_else(|| format!("{}: empty telemetry stream", path.display()))
+}
+
+/// Epoch rows shown before the table elides the middle.
+const TABLE_HEAD: usize = 20;
+/// Epoch rows shown after the elision.
+const TABLE_TAIL: usize = 20;
+/// Widest heatmap the terminal gets; more shards fold into buckets.
+const HEATMAP_COLS: usize = 64;
+/// Shade ramp for the heatmap, blank (idle) to '@' (hottest shard).
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Indices of the epochs a capped view shows, plus how many it elides.
+fn visible_rows(len: usize) -> (Vec<usize>, usize) {
+    if len <= TABLE_HEAD + TABLE_TAIL {
+        ((0..len).collect(), 0)
+    } else {
+        let mut rows: Vec<usize> = (0..TABLE_HEAD).collect();
+        rows.extend(len - TABLE_TAIL..len);
+        (rows, len - TABLE_HEAD - TABLE_TAIL)
+    }
+}
+
+/// Renders the shard-load heatmap: one row per (visible) epoch, one
+/// column per shard (folded to [`HEATMAP_COLS`] buckets when the world
+/// has more), shade ∝ shard event count relative to the busiest cell.
+fn heatmap(doc: &TelemetryDoc) -> String {
+    let shards = doc
+        .epochs
+        .iter()
+        .map(|e| e.shard_events.len())
+        .max()
+        .unwrap_or(0);
+    if shards == 0 {
+        return String::new();
+    }
+    let cols = shards.min(HEATMAP_COLS);
+    let fold = |events: &[u64]| -> Vec<u64> {
+        let mut cells = vec![0u64; cols];
+        for (shard, &n) in events.iter().enumerate() {
+            cells[shard * cols / shards] += n;
+        }
+        cells
+    };
+    let hottest = doc
+        .epochs
+        .iter()
+        .flat_map(|e| fold(&e.shard_events))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\nshard-load heatmap — {shards} shard(s){}, shade = events per epoch (max {hottest}):\n",
+        if shards > cols {
+            format!(" folded into {cols} columns")
+        } else {
+            String::new()
+        }
+    ));
+    let (rows, elided) = visible_rows(doc.epochs.len());
+    let mut prev: Option<usize> = None;
+    for idx in rows {
+        if prev.is_some_and(|p| idx != p + 1) {
+            out.push_str(&format!("  \u{22ee} ({elided} epochs elided)\n"));
+        }
+        prev = Some(idx);
+        let e = &doc.epochs[idx];
+        let cells: String = fold(&e.shard_events)
+            .iter()
+            .map(|&n| SHADES[(n * (SHADES.len() as u64 - 1)).div_ceil(hottest).min(9) as usize])
+            .collect();
+        out.push_str(&format!("  r{:<3} e{:<4} |{cells}|\n", e.run, e.epoch));
+    }
+    out
+}
+
+/// Renders the full `uwb-trace epochs` report: stream header, per-epoch
+/// counter table (middle elided past 40 rows), shard-load heatmap, and
+/// scenario totals.
+#[must_use]
+pub fn epochs_report(doc: &TelemetryDoc) -> String {
+    let mut out = format!(
+        "telemetry: {} (schema {}, {} epoch(s) retained, {} evicted, quota {})\n",
+        doc.path.display(),
+        doc.schema,
+        doc.epochs.len(),
+        doc.evicted,
+        if doc.quota == 0 {
+            "unbounded".to_string()
+        } else {
+            doc.quota.to_string()
+        },
+    );
+    if doc.evicted > 0 {
+        out.push_str(
+            "WARNING: the retention quota evicted epochs — oldest records are missing from \
+             the table below\n",
+        );
+    }
+    let runs: std::collections::BTreeSet<u64> = doc.epochs.iter().map(|e| e.run).collect();
+    if runs.len() > 1 {
+        out.push_str(&format!("runs merged: {}\n", runs.len()));
+    }
+
+    out.push_str(&format!(
+        "\n{:>4} {:>6} {:>10} {:>8} {:>10} {:>9} {:>7} {:>6} {:>7} {:>6}\n",
+        "run",
+        "epoch",
+        "t_end_s",
+        "events",
+        "deliveries",
+        "cross_in",
+        "txes",
+        "q_hwm",
+        "faults",
+        "imbal"
+    ));
+    let (rows, elided) = visible_rows(doc.epochs.len());
+    let mut prev: Option<usize> = None;
+    for idx in rows {
+        if prev.is_some_and(|p| idx != p + 1) {
+            out.push_str(&format!("  \u{22ee} ({elided} epochs elided)\n"));
+        }
+        prev = Some(idx);
+        let e = &doc.epochs[idx];
+        out.push_str(&format!(
+            "{:>4} {:>6} {:>10.4} {:>8} {:>10} {:>9} {:>7} {:>6} {:>7} {:>6}\n",
+            e.run,
+            e.epoch,
+            e.t_end_s,
+            e.events,
+            e.deliveries,
+            e.cross_in,
+            e.txes,
+            e.queue_hwm,
+            e.faults,
+            e.imbalance,
+        ));
+    }
+
+    out.push_str(&heatmap(doc));
+
+    if !doc.totals.is_empty() {
+        out.push_str("\nscenario totals:\n");
+        let width = doc.totals.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &doc.totals {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("perfwatch-epochs-{name}-{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).expect("temp file");
+        f.write_all(contents.as_bytes()).expect("write temp");
+        path
+    }
+
+    const STREAM: &str = concat!(
+        "{\"stage\":\"telemetry.meta\",\"schema\":1,\"writer\":\"uwb-obs\",\"quota\":4096,\
+         \"evicted\":0}\n",
+        "{\"stage\":\"telemetry.epoch\",\"run\":0,\"epoch\":0,\"t_end_s\":0.01,\"events\":90,\
+         \"deliveries\":60,\"cross_in\":12,\"txes\":30,\"queue_hwm\":7,\"faults\":2,\
+         \"imbalance\":50,\"shards\":[{\"shard\":0,\"events\":70,\"deliveries\":40,\
+         \"cross_in\":6,\"txes\":20,\"queue_hwm\":7,\"faults\":1,\"recovered\":0},\
+         {\"shard\":1,\"events\":20,\"deliveries\":20,\"cross_in\":6,\"txes\":10,\
+         \"queue_hwm\":4,\"faults\":1,\"recovered\":0}]}\n",
+        "{\"stage\":\"telemetry.totals\",\"epochs_recorded\":1,\"epochs_evicted\":0,\
+         \"totals\":{\"capacity.identified\":33,\"faults.injected\":2}}\n",
+    );
+
+    #[test]
+    fn loads_validates_and_reports_a_stream() {
+        let path = write_temp("ok", STREAM);
+        let doc = load_telemetry(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.schema, 1);
+        assert_eq!(doc.epochs.len(), 1);
+        assert_eq!(doc.epochs[0].shard_events, vec![70, 20]);
+        assert_eq!(doc.totals.len(), 2);
+
+        let text = epochs_report(&doc);
+        assert!(text.contains("1 epoch(s) retained"), "{text}");
+        assert!(text.contains("shard-load heatmap — 2 shard(s)"), "{text}");
+        assert!(text.contains("capacity.identified"), "{text}");
+        // Shard 0 is 3.5× hotter than shard 1: its shade must be darker.
+        let row = text.lines().find(|l| l.contains("|")).expect("heatmap row");
+        let cells: Vec<char> = row.split('|').nth(1).expect("cells").chars().collect();
+        let shade = |c: char| SHADES.iter().position(|&s| s == c).expect("known shade");
+        assert!(shade(cells[0]) > shade(cells[1]), "{row}");
+    }
+
+    #[test]
+    fn raw_event_trace_is_rejected_with_a_hint() {
+        let path = write_temp("raw", "{\"stage\":\"trace.meta\",\"schema\":1}\n");
+        let err = load_telemetry(&path).expect_err("not telemetry");
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("telemetry.meta"), "{err}");
+        assert!(err.contains("uwb-trace summary"), "{err}");
+    }
+
+    #[test]
+    fn future_schema_fails_with_upgrade_advice() {
+        let path = write_temp(
+            "future",
+            "{\"stage\":\"telemetry.meta\",\"schema\":999,\"quota\":0,\"evicted\":0}\n",
+        );
+        let err = load_telemetry(&path).expect_err("future schema");
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("schema 999"), "{err}");
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn eviction_is_surfaced_as_a_warning() {
+        let stream = STREAM.replace("\"evicted\":0}", "\"evicted\":3}");
+        let path = write_temp("evicted", &stream);
+        let doc = load_telemetry(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.evicted, 3);
+        assert!(epochs_report(&doc).contains("WARNING"), "eviction warning");
+    }
+
+    #[test]
+    fn long_streams_elide_the_middle() {
+        let mut stream = String::from(
+            "{\"stage\":\"telemetry.meta\",\"schema\":1,\"quota\":4096,\"evicted\":0}\n",
+        );
+        for epoch in 0..100 {
+            stream.push_str(&format!(
+                "{{\"stage\":\"telemetry.epoch\",\"run\":0,\"epoch\":{epoch},\"t_end_s\":0.1,\
+                 \"events\":5,\"deliveries\":1,\"cross_in\":0,\"txes\":1,\"queue_hwm\":2,\
+                 \"faults\":0,\"imbalance\":0,\"shards\":[{{\"shard\":0,\"events\":5,\
+                 \"deliveries\":1,\"cross_in\":0,\"txes\":1,\"queue_hwm\":2,\"faults\":0,\
+                 \"recovered\":0}}]}}\n"
+            ));
+        }
+        let path = write_temp("long", &stream);
+        let doc = load_telemetry(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        let text = epochs_report(&doc);
+        assert!(text.contains("60 epochs elided"), "{text}");
+        assert!(text.contains(" e0 "), "first epoch visible: {text}");
+        assert!(text.contains("e99"), "last epoch visible: {text}");
+        assert!(!text.contains(" e50 "), "middle elided: {text}");
+    }
+
+    #[test]
+    fn many_shards_fold_into_the_column_budget() {
+        let shard_objs: Vec<String> = (0..200)
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{s},\"events\":{},\"deliveries\":0,\"cross_in\":0,\"txes\":0,\
+                     \"queue_hwm\":0,\"faults\":0,\"recovered\":0}}",
+                    s % 7
+                )
+            })
+            .collect();
+        let stream = format!(
+            "{{\"stage\":\"telemetry.meta\",\"schema\":1,\"quota\":0,\"evicted\":0}}\n\
+             {{\"stage\":\"telemetry.epoch\",\"run\":0,\"epoch\":0,\"t_end_s\":0.1,\
+             \"events\":600,\"deliveries\":0,\"cross_in\":0,\"txes\":0,\"queue_hwm\":0,\
+             \"faults\":0,\"imbalance\":6,\"shards\":[{}]}}\n",
+            shard_objs.join(",")
+        );
+        let path = write_temp("fold", &stream);
+        let doc = load_telemetry(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        let text = epochs_report(&doc);
+        assert!(text.contains("folded into 64 columns"), "{text}");
+        let row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("r0"))
+            .expect("heatmap row");
+        let cells = row.split('|').nth(1).expect("cells");
+        assert_eq!(cells.chars().count(), 64, "{row}");
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_path() {
+        let path = resolve_telemetry_path(Some("/tmp/t.jsonl")).expect("explicit");
+        assert_eq!(path, PathBuf::from("/tmp/t.jsonl"));
+    }
+}

@@ -16,9 +16,12 @@
 //!    regresses beyond the noise band (default ±15 %).
 //! 2. **The `uwb-trace` binary**: an offline analyzer for the JSONL
 //!    traces and flight-recorder snapshots `uwb-obs` writes under
-//!    `results/traces/` — per-stage summaries, residual/amplitude
-//!    outlier hunting, ASCII CIR rendering with truth vs. detected
-//!    markers, and trace-to-trace diffs.
+//!    `results/traces/` — per-stage summaries (with ring-truncation
+//!    warnings), residual/amplitude outlier hunting, ASCII CIR
+//!    rendering with truth vs. detected markers, trace-to-trace diffs,
+//!    causal span-chain reconstruction for a single frame
+//!    ([`causal()`]), and epoch telemetry tables with a shard-load
+//!    heatmap ([`mod@epochs`]).
 //!
 //! ## Knobs
 //!
@@ -40,12 +43,16 @@
 pub mod alloc_count;
 pub mod analyze;
 pub mod baseline;
+pub mod causal;
 pub mod compare;
+pub mod epochs;
 pub mod suite;
 
 pub use analyze::{
     diff, load_trace, outliers, render_cir, resolve_trace_path, summary, Trace, TraceEvent,
 };
 pub use baseline::{BenchDoc, EnvFingerprint, WorkloadResult, BENCH_SCHEMA_VERSION};
+pub use causal::causal;
 pub use compare::{compare, Comparison, Delta};
+pub use epochs::{epochs_report, load_telemetry, resolve_telemetry_path, EpochLine, TelemetryDoc};
 pub use suite::{run_suite, workload_names, SuiteConfig};

@@ -28,6 +28,8 @@ use std::collections::BTreeMap;
 use uwb_channel::{ChannelModel, Point2};
 use uwb_faults::{FaultPlan, FaultStats};
 use uwb_netsim::{ClockModel, NodeConfig, NodeId};
+use uwb_obs::telemetry::EpochTelemetry;
+use uwb_obs::{fmt_trace_id, frame_trace_id, span_id};
 use uwb_radio::{DeviceTime, TcPgDelay, PAPER_RESPONSE_DELAY_S, SPEED_OF_LIGHT};
 
 /// Timer token: initiator round watchdog / next-round kick.
@@ -194,6 +196,22 @@ pub struct CapacityStats {
     /// Own-cell frames the pipeline could not decode at all (slot or
     /// shape unresolvable).
     pub unresolved: u64,
+    /// Loss-cause attribution of [`CapacityStats::unresolved`]: the RPM
+    /// slot itself did not decode (arrival offset outside every slot's
+    /// guard band).
+    pub unresolved_slot: u64,
+    /// Loss-cause attribution of [`CapacityStats::unresolved`]: slot
+    /// decoded but the received pulse shape mapped to no known register.
+    pub unresolved_shape: u64,
+    /// Loss-cause attribution of [`CapacityStats::misidentified`]
+    /// (own-cell frames only): the decoded slot differs from the true
+    /// responder's slot. A frame wrong in both dimensions counts here
+    /// *and* in [`CapacityStats::misid_shape`].
+    pub misid_slot: u64,
+    /// Loss-cause attribution of [`CapacityStats::misidentified`]
+    /// (own-cell frames only): the decoded pulse shape differs from the
+    /// true responder's shape.
+    pub misid_shape: u64,
     /// Frames in groups of ≥2 decoding to the *same* ID in one window —
     /// the identification-collision measure the capacity bound is about.
     pub collision_frames: u64,
@@ -220,6 +238,10 @@ impl CapacityStats {
         self.identified += other.identified;
         self.misidentified += other.misidentified;
         self.unresolved += other.unresolved;
+        self.unresolved_slot += other.unresolved_slot;
+        self.unresolved_shape += other.unresolved_shape;
+        self.misid_slot += other.misid_slot;
+        self.misid_shape += other.misid_shape;
         self.collision_frames += other.collision_frames;
         self.spillover_frames += other.spillover_frames;
         self.interference_frames += other.interference_frames;
@@ -282,6 +304,11 @@ pub struct CapacityOutcome {
     pub shards: usize,
     /// Total nodes simulated.
     pub nodes: usize,
+    /// The run's epoch telemetry stream (per-epoch, per-shard windowed
+    /// counters plus the scenario's run totals). Shard-resolved, so —
+    /// like [`CapacityOutcome::shards`] — it lawfully differs across
+    /// shard layouts while everything else stays identical.
+    pub telemetry: EpochTelemetry,
 }
 
 struct InitState {
@@ -400,8 +427,14 @@ impl CapacityProtocol {
             if !local {
                 st.stats.interference_frames += 1;
             }
-            let decoded_id = if i == anchor_idx {
-                Some(anchor_id)
+            let decode = if i == anchor_idx {
+                // The anchor identifies by payload, so its slot/shape are
+                // the assignment's by construction.
+                FrameDecode {
+                    slot: Some(anchor_assign.slot),
+                    shape: Some(anchor_assign.shape),
+                    id: Some(anchor_id),
+                }
             } else {
                 self.decode_frame(
                     frame,
@@ -411,6 +444,7 @@ impl CapacityProtocol {
                     &mut shape_rng,
                 )
             };
+            let decoded_id = decode.id;
             decoded_ids.push(decoded_id);
 
             // Distance: anchor gets the full TWR estimate; everyone else
@@ -427,7 +461,7 @@ impl CapacityProtocol {
                 })
             };
 
-            match (decoded_id, local) {
+            let outcome = match (decoded_id, local) {
                 (Some(id), true) => {
                     let true_id = frame.src.0 - st.resp_lo;
                     if id == true_id {
@@ -437,13 +471,77 @@ impl CapacityProtocol {
                             st.stats.sum_abs_error_m += (est - true_m).abs();
                             st.stats.error_samples += 1;
                         }
+                        "identified"
                     } else {
                         st.stats.misidentified += 1;
+                        // Attribute the wrong ID to the dimension(s) that
+                        // decoded wrong; both can fire on one frame.
+                        let truth = self.scheme.assign(true_id).ok();
+                        let slot_wrong = truth.is_none_or(|t| decode.slot != Some(t.slot));
+                        let shape_wrong = truth.is_none_or(|t| decode.shape != Some(t.shape));
+                        if slot_wrong {
+                            st.stats.misid_slot += 1;
+                        }
+                        if shape_wrong {
+                            st.stats.misid_shape += 1;
+                        }
+                        match (slot_wrong, shape_wrong) {
+                            (true, true) => "misid_both",
+                            (true, false) => "misid_slot",
+                            (false, true) => "misid_shape",
+                            (false, false) => "misid",
+                        }
                     }
                 }
-                (Some(_), false) => st.stats.misidentified += 1,
-                (None, true) => st.stats.unresolved += 1,
-                (None, false) => {}
+                (Some(_), false) => {
+                    st.stats.misidentified += 1;
+                    "foreign_misid"
+                }
+                (None, true) => {
+                    st.stats.unresolved += 1;
+                    if decode.slot.is_none() {
+                        st.stats.unresolved_slot += 1;
+                        "unresolved_slot"
+                    } else if decode.shape.is_none() {
+                        st.stats.unresolved_shape += 1;
+                        "unresolved_shape"
+                    } else {
+                        // Slot and shape resolved but the pair maps to no
+                        // assigned ID (id_from out of range).
+                        "unresolved"
+                    }
+                }
+                (None, false) => "foreign",
+            };
+            if uwb_obs::enabled() {
+                let fid = frame_trace_id(self.seed, frame.src.0, frame.src_seq);
+                let decode_span = span_id(fid, "decode", node.0);
+                uwb_obs::event("world.decode", || {
+                    vec![
+                        ("frame", fmt_trace_id(fid).into()),
+                        ("span", fmt_trace_id(decode_span).into()),
+                        (
+                            "parent",
+                            fmt_trace_id(span_id(fid, "deliver", node.0)).into(),
+                        ),
+                        ("node", node.0.into()),
+                        ("slot", decode.slot.map_or(-1i64, |s| s as i64).into()),
+                        ("shape", decode.shape.map_or(-1i64, |s| s as i64).into()),
+                        ("id", decode.id.map_or(-1i64, i64::from).into()),
+                    ]
+                });
+                uwb_obs::event("world.identify", || {
+                    vec![
+                        ("frame", fmt_trace_id(fid).into()),
+                        (
+                            "span",
+                            fmt_trace_id(span_id(fid, "identify", node.0)).into(),
+                        ),
+                        ("parent", fmt_trace_id(decode_span).into()),
+                        ("node", node.0.into()),
+                        ("outcome", outcome.into()),
+                    ]
+                });
             }
             if let (Some(id), Some(est)) = (decoded_id, est_m) {
                 samples.push(RoundSample {
@@ -467,7 +565,10 @@ impl CapacityProtocol {
     }
 
     /// Slot from the arrival offset, shape from the received pulse,
-    /// ID from both.
+    /// ID from both — with the stage each loss happened at preserved for
+    /// cause attribution. The misclassification draw fires exactly when
+    /// both the slot and the shape resolved, keeping the RNG stream
+    /// identical to the pre-attribution decoder.
     fn decode_frame(
         &self,
         frame: &uwb_netsim::ReceivedFrame<CapacityMsg>,
@@ -475,18 +576,45 @@ impl CapacityProtocol {
         anchor_slot: usize,
         d_anchor_m: f64,
         shape_rng: &mut impl Rng,
-    ) -> Option<u32> {
-        let slot = self
+    ) -> FrameDecode {
+        let Some(slot) = self
             .scheme
             .plan()
-            .decode_slot(offset_s, anchor_slot, d_anchor_m)?;
-        let register = frame.arrivals.first()?.pulse.register()?;
-        let mut shape = *self.shape_of_register.get(&register)?;
+            .decode_slot(offset_s, anchor_slot, d_anchor_m)
+        else {
+            return FrameDecode::default();
+        };
+        let shape = frame
+            .arrivals
+            .first()
+            .and_then(|a| a.pulse.register())
+            .and_then(|reg| self.shape_of_register.get(&reg).copied());
+        let Some(mut shape) = shape else {
+            return FrameDecode {
+                slot: Some(slot),
+                ..FrameDecode::default()
+            };
+        };
         if self.shape_misclass > 0.0 && shape_rng.random::<f64>() < self.shape_misclass {
             shape = (shape + 1) % self.scheme.n_shapes();
         }
-        self.scheme.id_from(slot, shape)
+        FrameDecode {
+            slot: Some(slot),
+            shape: Some(shape),
+            id: self.scheme.id_from(slot, shape),
+        }
     }
+}
+
+/// The per-stage result of decoding one frame: which pipeline stages
+/// resolved, and the ID when both did. `slot == None` means the arrival
+/// offset matched no RPM slot; `shape == None` (with a slot) means the
+/// received pulse mapped to no known register.
+#[derive(Debug, Clone, Copy, Default)]
+struct FrameDecode {
+    slot: Option<usize>,
+    shape: Option<usize>,
+    id: Option<u32>,
 }
 
 impl WorldProtocol for CapacityProtocol {
@@ -740,12 +868,28 @@ pub fn run_capacity(cfg: &CapacityConfig) -> CapacityOutcome {
         stats.merge(&per_node);
     }
 
+    let fault_stats = world.fault_stats();
+    let mut telemetry = world.telemetry().clone();
+    telemetry.add_total("capacity.frames_observed", stats.frames_observed);
+    telemetry.add_total("capacity.identified", stats.identified);
+    telemetry.add_total("capacity.misidentified", stats.misidentified);
+    telemetry.add_total("capacity.misid_slot", stats.misid_slot);
+    telemetry.add_total("capacity.misid_shape", stats.misid_shape);
+    telemetry.add_total("capacity.unresolved", stats.unresolved);
+    telemetry.add_total("capacity.unresolved_slot", stats.unresolved_slot);
+    telemetry.add_total("capacity.unresolved_shape", stats.unresolved_shape);
+    telemetry.add_total("capacity.collision_frames", stats.collision_frames);
+    telemetry.add_total("capacity.spillover_frames", stats.spillover_frames);
+    telemetry.add_total("capacity.interference_frames", stats.interference_frames);
+    telemetry.add_total("faults.injected", fault_stats.total());
+
     CapacityOutcome {
         stats,
-        fault_stats: world.fault_stats(),
+        fault_stats,
         deferrals: world.deferrals(),
         epochs: world.epochs(),
         shards: world.shard_count(),
         nodes: world.node_count(),
+        telemetry,
     }
 }

@@ -35,6 +35,7 @@ use uwb_channel::ChannelModel;
 use uwb_faults::{FaultInjector, FaultStats};
 use uwb_netsim::trace::TraceRing;
 use uwb_netsim::{NodeConfig, NodeId};
+use uwb_obs::telemetry::{EpochRecord, EpochTelemetry};
 use uwb_obs::MetricsRegistry;
 use uwb_radio::EnergyLedger;
 
@@ -88,6 +89,10 @@ pub struct WorldSim<Pr: WorldProtocol> {
     deferrals: u64,
     epochs_run: u64,
     started: bool,
+    /// Per-epoch, per-shard windowed telemetry, recorded at every epoch
+    /// barrier in shard index order — always on (the counters ride the
+    /// work the shards do anyway) and bit-identical at any thread count.
+    telemetry: EpochTelemetry,
 }
 
 impl<Pr: WorldProtocol> WorldSim<Pr> {
@@ -115,6 +120,7 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
             deferrals: 0,
             epochs_run: 0,
             started: false,
+            telemetry: EpochTelemetry::new(),
         }
     }
 
@@ -223,23 +229,33 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
             };
             let env = &env;
             let epoch_txes = &epoch_txes;
-            let outboxes = run_ordered(shards.len(), threads, |i| {
+            let wall_start = std::time::Instant::now();
+            let phases = run_ordered(shards.len(), threads, |i| {
                 let mut shard = shards[i].lock().expect("shard lock poisoned");
-                if obs_on {
-                    let (outbox, metrics) = uwb_obs::scoped_metrics(|| {
+                let (outbox, mut stats) = if obs_on {
+                    let (result, metrics) = uwb_obs::scoped_metrics(|| {
                         shard.run_epoch(protocol, env, epoch_txes, epoch_end)
                     });
                     shard.metrics.merge(&metrics);
-                    outbox
+                    result
                 } else {
                     shard.run_epoch(protocol, env, epoch_txes, epoch_end)
-                }
+                };
+                stats.shard = i as u32;
+                (outbox, stats)
             });
+            // Wall clock is the one thread-count-dependent measurement;
+            // EpochTelemetry keeps it out of equality and serialized
+            // output unless explicitly requested.
+            let wall_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
             // Barrier: merge outboxes into the calendar in shard index
             // order, deferring any fire time that would violate the
-            // epoch-causality invariant.
-            for outbox in outboxes {
+            // epoch-causality invariant; record the shards' windowed
+            // telemetry in the same order.
+            let mut shard_stats = Vec::with_capacity(phases.len());
+            for (outbox, stats) in phases {
+                shard_stats.push(stats);
                 for mut tx in outbox {
                     if tx.fire_s < epoch_end {
                         tx.fire_s = epoch_end;
@@ -248,16 +264,44 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
                     self.calendar.push(CalendarEntry(tx));
                 }
             }
+            self.telemetry.record(
+                EpochRecord {
+                    run: 0,
+                    epoch: self.epochs_run,
+                    t_end_s: epoch_end,
+                    shards: shard_stats,
+                },
+                wall_ns,
+            );
             self.epochs_run += 1;
         }
 
         if obs_on {
-            for shard in &self.shards {
+            for (i, shard) in self.shards.iter().enumerate() {
                 let mut shard = shard.lock().expect("shard lock poisoned");
                 let metrics = std::mem::replace(&mut shard.metrics, MetricsRegistry::new());
                 uwb_obs::absorb_metrics(&metrics);
+                // Surface each shard ring's retention state so trace
+                // tooling can warn when a bounded trace was truncated.
+                uwb_obs::event("trace.ring", || {
+                    vec![
+                        ("shard", (i as u32).into()),
+                        ("retained", shard.trace.len().into()),
+                        ("dropped", shard.trace.dropped().into()),
+                        ("quota", shard.trace.quota().into()),
+                    ]
+                });
             }
         }
+    }
+
+    /// The epoch telemetry stream recorded so far: one record per epoch
+    /// phase, each holding every shard's windowed counters in shard
+    /// index order. Bit-identical at any thread count (wall-clock
+    /// samples are stored out-of-band and excluded from equality).
+    #[must_use]
+    pub fn telemetry(&self) -> &EpochTelemetry {
+        &self.telemetry
     }
 
     /// Fault counters summed over all shards, in shard index order.

@@ -57,6 +57,9 @@ pub use rng::{
 pub use uwb_netsim::{
     ClockModel, NodeConfig, NodeId, ReceivedFrame, Reception, SimConfig, TraceEvent, TraceRing,
 };
+// Telemetry vocabulary, re-exported so scenario consumers (bench, CLI
+// tools) can speak the epoch-telemetry types without a direct obs dep.
+pub use uwb_obs::telemetry::{EpochRecord, EpochTelemetry, ShardEpochStats};
 
 #[cfg(test)]
 mod tests {

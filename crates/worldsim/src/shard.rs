@@ -18,7 +18,8 @@ use uwb_channel::{random, ChannelModel, Point2};
 use uwb_faults::FaultInjector;
 use uwb_netsim::trace::{TraceEvent, TraceRing};
 use uwb_netsim::{capture_index, EventQueue, NodeConfig, NodeId, ReceivedFrame, Reception};
-use uwb_obs::MetricsRegistry;
+use uwb_obs::telemetry::ShardEpochStats;
+use uwb_obs::{fmt_trace_id, frame_trace_id, span_id, MetricsRegistry};
 use uwb_radio::{DeviceTime, EnergyLedger, FrameTiming, PulseShape, RadioState};
 
 /// A transmission committed by some shard, awaiting global fan-out.
@@ -106,6 +107,9 @@ pub(crate) struct ShardState<Pr: WorldProtocol> {
     /// into the caller's registry (in shard order) at the end of a run.
     pub metrics: MetricsRegistry,
     outbox: Vec<PendingTx<Pr::Payload>>,
+    /// Windowed telemetry counters for the epoch currently running;
+    /// reset by [`ShardState::run_epoch`] and returned at the barrier.
+    stats: ShardEpochStats,
 }
 
 impl<Pr: WorldProtocol> ShardState<Pr> {
@@ -118,6 +122,7 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
             trace: TraceRing::with_quota(trace_quota),
             metrics: MetricsRegistry::new(),
             outbox: Vec::new(),
+            stats: ShardEpochStats::default(),
         }
     }
 
@@ -152,14 +157,19 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
     /// Runs one epoch: applies pending receiver toggles, fans this
     /// epoch's committed transmissions out to the owned nodes, then
     /// drains local events up to `epoch_end`. Returns the transmissions
-    /// scheduled by callbacks during the epoch (the outbox).
+    /// scheduled by callbacks during the epoch (the outbox) together
+    /// with the shard's windowed telemetry counters — every count is a
+    /// function of the shard's deterministic event stream, never of the
+    /// worker thread that ran it.
     pub fn run_epoch(
         &mut self,
         protocol: &Pr,
         env: &ShardEnv<'_>,
         epoch_txes: &[PendingTx<Pr::Payload>],
         epoch_end: f64,
-    ) -> Vec<PendingTx<Pr::Payload>> {
+    ) -> (Vec<PendingTx<Pr::Payload>>, ShardEpochStats) {
+        self.stats = ShardEpochStats::default();
+        let faults_before = self.injector.stats().total();
         for node in &mut self.nodes {
             if let Some(enabled) = node.pending_rx.take() {
                 node.rx_enabled = enabled;
@@ -168,16 +178,22 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
         for tx in epoch_txes {
             self.fan_out(tx, env);
         }
+        self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
         while let Some((time, event)) = self.queue.pop_until(epoch_end) {
+            self.stats.events += 1;
             self.dispatch(time, event, protocol, env);
+            self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
         }
-        std::mem::take(&mut self.outbox)
+        self.stats.txes = self.outbox.len() as u64;
+        self.stats.faults = self.injector.stats().total() - faults_before;
+        (std::mem::take(&mut self.outbox), self.stats)
     }
 
     /// Delivers one committed transmission to the owned nodes. The
     /// sender's shard — and only it — also charges TX energy and records
-    /// the trace event.
+    /// the trace event plus the `world.tx` causal root span.
     fn fan_out(&mut self, tx: &PendingTx<Pr::Payload>, env: &ShardEnv<'_>) {
+        let frame_id = frame_trace_id(env.world_seed, tx.src.0, tx.src_seq);
         if let Some(local_src) = self.local_index(tx.src) {
             let airtime =
                 FrameTiming::new(&self.nodes[local_src].config.radio).frame_s(tx.payload_bytes);
@@ -190,6 +206,15 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
             };
             event.forward_to_obs();
             self.trace.push(event);
+            uwb_obs::event("world.tx", || {
+                vec![
+                    ("frame", fmt_trace_id(frame_id).into()),
+                    ("span", fmt_trace_id(frame_id).into()),
+                    ("node", tx.src.0.into()),
+                    ("seq", tx.src_seq.into()),
+                    ("global_s", tx.fire_s.into()),
+                ]
+            });
         }
         for i in 0..self.nodes.len() {
             if self.ids[i] == tx.src || !self.nodes[i].rx_enabled {
@@ -201,6 +226,16 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
             }
             let dst = self.ids[i].0;
             if self.injector.lose_frame(tx.src_seq, tx.src.0, dst) {
+                uwb_obs::event("world.drop", || {
+                    vec![
+                        ("frame", fmt_trace_id(frame_id).into()),
+                        ("span", fmt_trace_id(span_id(frame_id, "drop", dst)).into()),
+                        ("parent", fmt_trace_id(frame_id).into()),
+                        ("node", dst.into()),
+                        ("cause", "frame_loss".into()),
+                        ("global_s", tx.fire_s.into()),
+                    ]
+                });
                 continue;
             }
             let corrupted = self.injector.corrupt_payload(tx.src_seq, tx.src.0, dst);
@@ -223,6 +258,7 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
             let delivery_time = tx.fire_s + first.delay_s;
             let frame = ReceivedFrame {
                 src: tx.src,
+                src_seq: tx.src_seq,
                 payload: tx.payload.clone(),
                 payload_bytes: tx.payload_bytes,
                 decodable: false,
@@ -260,13 +296,40 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
                 frame,
                 src_rate,
             } => {
+                let rx_id = self.ids[rx].0;
+                let fid = frame_trace_id(env.world_seed, frame.src.0, frame.src_seq);
                 // A receiver gated off after the frame was launched still
                 // misses it: the gate is checked both at fan-out and at
                 // delivery, so an RX disable that took effect while the
                 // frame was in flight drops it, as real turnaround would.
                 if !self.nodes[rx].rx_enabled {
+                    uwb_obs::event("world.drop", || {
+                        vec![
+                            ("frame", fmt_trace_id(fid).into()),
+                            ("span", fmt_trace_id(span_id(fid, "drop", rx_id)).into()),
+                            ("parent", fmt_trace_id(fid).into()),
+                            ("node", rx_id.into()),
+                            ("cause", "rx_gated_in_flight".into()),
+                            ("global_s", now_s.into()),
+                        ]
+                    });
                     return;
                 }
+                let cross = self.local_index(frame.src).is_none();
+                self.stats.deliveries += 1;
+                if cross {
+                    self.stats.cross_in += 1;
+                }
+                uwb_obs::event("world.deliver", || {
+                    vec![
+                        ("frame", fmt_trace_id(fid).into()),
+                        ("span", fmt_trace_id(span_id(fid, "deliver", rx_id)).into()),
+                        ("parent", fmt_trace_id(fid).into()),
+                        ("node", rx_id.into()),
+                        ("cross", cross.into()),
+                        ("global_s", now_s.into()),
+                    ]
+                });
                 self.nodes[rx].rx_buffer.push((frame, src_rate));
                 if !self.nodes[rx].window_open {
                     self.nodes[rx].window_open = true;
@@ -382,6 +445,27 @@ impl<Pr: WorldProtocol> ShardState<Pr> {
         }
         let rx_id = self.ids[rx].0;
         if self.injector.dropout(rx_id, window_seq) {
+            // The whole window is lost: attribute the drop to every
+            // frame that was buffered in it, so causal traces show why
+            // each one never reached the decoder.
+            if uwb_obs::enabled() {
+                for (frame, _) in &buffered {
+                    let fid = frame_trace_id(env.world_seed, frame.src.0, frame.src_seq);
+                    uwb_obs::event("world.drop", || {
+                        vec![
+                            ("frame", fmt_trace_id(fid).into()),
+                            ("span", fmt_trace_id(span_id(fid, "drop", rx_id)).into()),
+                            (
+                                "parent",
+                                fmt_trace_id(span_id(fid, "deliver", rx_id)).into(),
+                            ),
+                            ("node", rx_id.into()),
+                            ("cause", "rx_dropout".into()),
+                            ("global_s", now_s.into()),
+                        ]
+                    });
+                }
+            }
             return None;
         }
         let (mut frames, rates): (Vec<_>, Vec<f64>) = buffered.into_iter().unzip();

@@ -65,8 +65,44 @@ fn capacity_outcome_is_identical_across_shard_layouts() {
     for shard_m in [10.0, 5.0] {
         let mut fine = run_capacity(&contested_config(0).with_shard_m(shard_m));
         assert!(fine.shards > coarse.shards);
-        fine.shards = coarse.shards; // the one field that lawfully differs
+        // The only fields that lawfully differ: the shard count and the
+        // shard-resolved telemetry stream (finer cuts = more shards per
+        // record). Its *scenario totals* must still agree exactly.
+        assert_eq!(fine.telemetry.totals(), coarse.telemetry.totals());
+        fine.shards = coarse.shards;
+        fine.telemetry = coarse.telemetry.clone();
         assert_eq!(fine, coarse, "outcome diverged at {shard_m} m shards");
+    }
+}
+
+#[test]
+fn epoch_telemetry_is_byte_identical_across_thread_counts() {
+    // The tentpole contract: the merged telemetry stream — JSONL *and*
+    // the Prometheus-style text exposition — is byte-identical at 1, 2,
+    // 4 and 8 worker threads. Wall-clock samples exist (the runs did
+    // take time) but stay out of the deterministic serializations.
+    let reference = run_capacity(&contested_config(1)).telemetry;
+    assert!(!reference.is_empty(), "the contested world must run epochs");
+    let ref_jsonl = reference.to_jsonl_string(false);
+    let ref_text = reference.text_exposition();
+    assert!(ref_jsonl.contains("\"stage\":\"telemetry.meta\""));
+    assert!(ref_text.contains("uwb_shard_events_total"));
+    for threads in [2, 4, 8] {
+        let telemetry = run_capacity(&contested_config(threads)).telemetry;
+        assert_eq!(
+            telemetry, reference,
+            "telemetry diverged at {threads} threads"
+        );
+        assert_eq!(
+            telemetry.to_jsonl_string(false),
+            ref_jsonl,
+            "JSONL diverged at {threads} threads"
+        );
+        assert_eq!(
+            telemetry.text_exposition(),
+            ref_text,
+            "text exposition diverged at {threads} threads"
+        );
     }
 }
 
