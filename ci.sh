@@ -60,6 +60,24 @@ FRAME=$(grep -m1 '"stage":"world.identify"' /tmp/causal_smoke.jsonl \
 grep -q "world.identify" /tmp/causal_chain.txt
 grep -q "world.tx" /tmp/causal_chain.txt
 
+echo "==> work profiler smoke (byte-identical at 1 vs 4 threads)"
+# The cost-model acceptance gate: the merged collapsed work profile of a
+# profiled fig7 campaign must diff clean across thread counts (work
+# counters are deterministic; wall-clock never reaches the export), and
+# `uwb-trace flame` must parse the file and render the flame view.
+# UWB_RESULTS_DIR keeps the smoke's 96-trial CSV away from the
+# committed full-resolution results/fig7_overlap.csv artifact.
+UWB_RESULTS_DIR=/tmp/profile_smoke_results REPRO_TRIALS=96 \
+    ./target/release/exp_fig7_overlap \
+    --threads 1 --profile=/tmp/profile_t1.collapsed >/dev/null
+UWB_RESULTS_DIR=/tmp/profile_smoke_results REPRO_TRIALS=96 \
+    ./target/release/exp_fig7_overlap \
+    --threads 4 --profile=/tmp/profile_t4.collapsed >/dev/null
+diff /tmp/profile_t1.collapsed /tmp/profile_t4.collapsed
+./target/release/uwb-trace flame /tmp/profile_t1.collapsed > /tmp/flame_smoke.txt
+grep -q "total work:" /tmp/flame_smoke.txt
+grep -q "work:fft.butterfly" /tmp/profile_t1.collapsed
+
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still
 # runs end to end and emits a parseable, complete document. Full runs
@@ -68,6 +86,25 @@ echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 ./target/release/perfwatch --validate /tmp/bench_smoke.json
 echo "==> perfwatch committed-baseline validation"
 ./target/release/perfwatch --validate BENCH_pipeline.json
+
+echo "==> perfwatch work-gate smoke (phantom work must fail --check)"
+# The zero-noise-band gate, both directions: an honest single-workload
+# rerun passes --check under an absurdly generous timing band (work
+# counts are deterministic, so they match exactly), while the same run
+# with UWB_PERFWATCH_INFLATE_WORK injecting phantom ops — invisible to
+# any timing statistic — must exit non-zero.
+./target/release/perfwatch --iters 1 --warmup 0 --filter rpm.decode \
+    --out /tmp/bench_work_base.json >/dev/null
+./target/release/perfwatch --iters 1 --warmup 0 --filter rpm.decode \
+    --noise-pct 10000 --baseline /tmp/bench_work_base.json \
+    --out /tmp/bench_work_honest.json --check >/dev/null
+if UWB_PERFWATCH_INFLATE_WORK=1000 ./target/release/perfwatch \
+    --iters 1 --warmup 0 --filter rpm.decode --noise-pct 10000 \
+    --baseline /tmp/bench_work_base.json --out /tmp/bench_work_inflated.json \
+    --check >/dev/null 2>&1; then
+    echo "work-gate smoke FAILED: inflated work passed --check" >&2
+    exit 1
+fi
 
 echo "==> perfwatch count-alloc smoke (planned hot path stays allocation-free)"
 # Rebuilds the suite with the counting allocator and gates the planned

@@ -73,7 +73,7 @@ pub fn trial(n: usize, seed: u64, threads: usize) -> uwb_worldsim::CapacityOutco
 pub fn run(max_n: usize, trials: u64, seed: u64, threads: usize) -> CapacitySweepReport {
     let reference = CapacityConfig::paper(1);
     let capacity = reference.n_slots * reference.n_shapes;
-    let mut telemetry = EpochTelemetry::new();
+    let mut telemetry = EpochTelemetry::from_env();
     let mut global_trial = 0u64;
     let points = SWEEP_N
         .iter()

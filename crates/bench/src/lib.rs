@@ -24,12 +24,13 @@ pub use table::{fmt_f, sparkline, trials_from_env, Table};
 
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: exp_… [--threads N] [--trace-out[=PATH]]";
+const USAGE: &str = "usage: exp_… [--threads N] [--trace-out[=PATH]] [--profile[=PATH]]";
 
 /// The shared experiment CLI: the `--threads N` worker knob plus the
 /// observability knobs (`--trace-out[=PATH]`, `UWB_TRACE`,
-/// `UWB_FLIGHT_QUOTA`), wired identically through every experiment
-/// binary.
+/// `UWB_FLIGHT_QUOTA`) and the work-accounting profiler
+/// (`--profile[=PATH]`, `UWB_PROFILE`), wired identically through every
+/// experiment binary.
 ///
 /// Construct with [`ExpHarness::init`] at the top of `main` and call
 /// [`ExpHarness::finish`] before exiting so the trace sink is flushed
@@ -40,6 +41,7 @@ pub struct ExpHarness {
     /// that do not run on the campaign engine.
     pub threads: usize,
     trace_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
 }
 
 impl ExpHarness {
@@ -83,31 +85,58 @@ impl ExpHarness {
     ) -> Result<(Self, Vec<String>), String> {
         let (threads, rest) = uwb_campaign::parse_threads_arg(args)?;
         let mut trace_opt: Option<String> = None;
+        let mut profile_opt: Option<String> = None;
         let mut leftover: Vec<String> = Vec::new();
         for arg in rest {
             if arg == "--trace-out" {
                 trace_opt = Some(String::new());
             } else if let Some(path) = arg.strip_prefix("--trace-out=") {
                 trace_opt = Some(path.to_string());
+            } else if arg == "--profile" {
+                profile_opt = Some(String::new());
+            } else if let Some(path) = arg.strip_prefix("--profile=") {
+                profile_opt = Some(path.to_string());
             } else {
                 leftover.push(arg);
             }
         }
         let trace_path = uwb_obs::init_from_env(trace_opt.as_deref(), name)
             .map_err(|err| format!("cannot open trace output: {err}"))?;
+        let profile_path = resolve_profile_path(profile_opt.as_deref(), name);
+        if profile_path.is_some() {
+            uwb_obs::profile::enable();
+        }
         Ok((
             Self {
                 threads,
                 trace_path,
+                profile_path,
             },
             leftover,
         ))
     }
 
     /// Flushes the trace sink and reports the per-stage latency table,
-    /// the counter summary, and the trace location on stderr. No-op when
-    /// tracing is disabled.
+    /// the counter summary, and the trace location on stderr. When
+    /// profiling was requested, also writes the merged work-counter tree
+    /// as collapsed-stack text (flamegraph.pl-compatible; render with
+    /// `uwb-trace flame`). No-op when neither is enabled.
     pub fn finish(&self) {
+        if let Some(path) = &self.profile_path {
+            let tree = uwb_obs::profile::disable();
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(path, tree.collapsed()) {
+                Ok(()) => eprintln!(
+                    "profile: {} work ops across {} top-level scopes -> {}",
+                    tree.total_work(),
+                    tree.children.len(),
+                    path.display()
+                ),
+                Err(err) => eprintln!("cannot write profile to {}: {err}", path.display()),
+            }
+        }
         if !uwb_obs::enabled() {
             return;
         }
@@ -130,6 +159,27 @@ impl ExpHarness {
         if let Some(path) = &self.trace_path {
             eprintln!("trace written to {}", path.display());
         }
+    }
+}
+
+/// Resolves the profiler output path from the `--profile` flag (`cli`,
+/// empty string = flag without a value) or the `UWB_PROFILE` variable:
+/// `0`/`false` disable, an empty value or `1`/`true` select the default
+/// `results/profiles/<name>.collapsed`, anything else is the path —
+/// the `UWB_TRACE` resolution contract.
+fn resolve_profile_path(cli: Option<&str>, name: &str) -> Option<PathBuf> {
+    let raw = match cli {
+        Some(value) => value.to_string(),
+        None => std::env::var("UWB_PROFILE").ok()?,
+    };
+    match raw.trim() {
+        "0" | "false" => None,
+        "" | "1" | "true" => Some(
+            uwb_obs::results_dir()
+                .join("profiles")
+                .join(format!("{name}.collapsed")),
+        ),
+        path => Some(PathBuf::from(path)),
     }
 }
 

@@ -1,0 +1,85 @@
+//! The work profiler must inherit the campaign engine's determinism
+//! guarantee: merged work totals are byte-identical for any worker
+//! count, and invariant to diagnostics capture (which changes what is
+//! *recorded*, never what is *computed*).
+//!
+//! This file holds a single `#[test]` on purpose — the profiler is
+//! process-global, and `cargo test` runs sibling tests on parallel
+//! threads within one binary.
+
+use concurrent_ranging::detection::{
+    DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
+};
+use repro_bench::experiments::fig7;
+use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
+
+#[test]
+fn merged_work_totals_are_byte_identical_across_thread_counts() {
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        uwb_obs::profile::enable();
+        let report = fig7::run_campaign(96, 17, threads);
+        let tree = uwb_obs::profile::disable();
+        std::hint::black_box(&report.collector);
+
+        // Work counters are the deterministic currency: the collapsed
+        // export (which excludes wall-clock) must not move by a byte.
+        let collapsed = tree.collapsed();
+        assert!(tree.total_work() > 0, "campaign recorded no work");
+        match &reference {
+            None => reference = Some(collapsed),
+            Some(expected) => assert_eq!(
+                &collapsed, expected,
+                "work profile changed at {threads} threads"
+            ),
+        }
+    }
+    let collapsed = reference.expect("at least one worker count ran");
+    // Sanity: the campaign exercised the counted kernels, and the
+    // counts flowed through scoped captures into the detect scope.
+    // (Only the overlapping subset of trials runs search-and-subtract,
+    // so the call count is below the trial count but must be present.)
+    assert!(collapsed.contains("detect;calls "), "{collapsed}");
+    assert!(collapsed.contains("work:fft.butterfly"), "{collapsed}");
+    assert!(collapsed.contains("work:template.eval"), "{collapsed}");
+    assert!(collapsed.contains("work:detect.iteration"), "{collapsed}");
+
+    // Part two: `capture_diagnostics` toggles what the detector records
+    // about its iterations, not the work it performs — the trees must
+    // be equal (wall-clock excluded from equality by design).
+    let shape = PulseShape::from_config(&RadioConfig::default());
+    let cir = repro_bench::synthesize_responses(
+        &[(40.0, 1.0, shape), (40.9, 0.8, shape)],
+        25.0,
+        &mut repro_bench::rng(7),
+    );
+    let detector = |capture: bool| {
+        SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig {
+                capture_diagnostics: capture,
+                ..SearchSubtractConfig::default()
+            },
+        )
+        .expect("detector construction")
+    };
+    let mut trees = Vec::new();
+    for capture in [false, true] {
+        let det = detector(capture);
+        let mut ctx = DetectorContext::new();
+        // Warm the plan caches outside the profiled region so both
+        // sides profile the identical steady-state path.
+        let _ = det.detect_with(&mut ctx, &cir, 2);
+        uwb_obs::profile::enable();
+        let (_, tree) = uwb_obs::profile::scoped(|| det.detect_with(&mut ctx, &cir, 2));
+        let _ = uwb_obs::profile::disable();
+        trees.push(tree);
+    }
+    assert_eq!(
+        trees[0], trees[1],
+        "capture_diagnostics changed the work profile"
+    );
+    assert_eq!(trees[0].collapsed(), trees[1].collapsed());
+    assert!(trees[0].total_work() > 0);
+}

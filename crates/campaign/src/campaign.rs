@@ -163,7 +163,10 @@ impl<'a> Campaign<'a> {
         let workers = threads.min(n_chunks_usize).max(1);
         let completed = AtomicU64::new(0);
 
-        let run_chunk = |chunk: u64, prototype: &C, worker: &mut W| -> (C, MetricsRegistry) {
+        let run_chunk = |chunk: u64,
+                         prototype: &C,
+                         worker: &mut W|
+         -> (C, MetricsRegistry, uwb_obs::ProfileNode) {
             let start = self.first_trial + chunk * self.chunk_size;
             let end = (start + self.chunk_size).min(self.first_trial + self.trials);
             let chunk_watch = uwb_obs::Stopwatch::start();
@@ -174,18 +177,24 @@ impl<'a> Campaign<'a> {
             // contract as the collectors. With no recorder installed the
             // capture is empty and every obs call below is a single
             // atomic load.
-            let ((), chunk_metrics) = uwb_obs::scoped_metrics(|| {
-                for index in start..end {
-                    let mut rng = trial_rng(self.seed, index);
-                    let outcome = if uwb_obs::enabled() {
-                        uwb_obs::trial_scope(index, || {
-                            uwb_obs::timed("campaign.trial", || trial(worker, index, &mut rng))
-                        })
-                    } else {
-                        trial(worker, index, &mut rng)
-                    };
-                    local.record(index, outcome);
-                }
+            // Work counters follow the same per-chunk capture discipline
+            // (`uwb_obs::profile::scoped` wraps `scoped_metrics`), merged
+            // chunk-ordered below so profile totals share the
+            // bit-identical-at-any-thread-count guarantee.
+            let (((), chunk_metrics), chunk_profile) = uwb_obs::profile::scoped(|| {
+                uwb_obs::scoped_metrics(|| {
+                    for index in start..end {
+                        let mut rng = trial_rng(self.seed, index);
+                        let outcome = if uwb_obs::enabled() {
+                            uwb_obs::trial_scope(index, || {
+                                uwb_obs::timed("campaign.trial", || trial(worker, index, &mut rng))
+                            })
+                        } else {
+                            trial(worker, index, &mut rng)
+                        };
+                        local.record(index, outcome);
+                    }
+                })
             });
             // Per-chunk timing export: one trace event per finished
             // chunk (trials, wall-clock ns) so `uwb-trace` can
@@ -207,7 +216,7 @@ impl<'a> Campaign<'a> {
                     elapsed: started.elapsed(),
                 });
             }
-            (local, chunk_metrics)
+            (local, chunk_metrics, chunk_profile)
         };
 
         // Prototype clones are made on this thread and handed out through
@@ -234,14 +243,18 @@ impl<'a> Campaign<'a> {
 
         let mut merged = collector;
         let mut metrics = MetricsRegistry::new();
-        for (chunk, chunk_metrics) in results {
+        let mut profile = uwb_obs::ProfileNode::default();
+        for (chunk, chunk_metrics, chunk_profile) in results {
             merged.merge(chunk);
             metrics.merge(&chunk_metrics);
+            profile.merge_from(&chunk_profile);
         }
         // Fold the campaign's metrics into the process-global recorder
         // (no-op when tracing is disabled) so end-of-run latency tables
-        // include the per-trial stages.
+        // include the per-trial stages; likewise the chunk-ordered work
+        // counters into the enclosing profile capture or session.
         uwb_obs::absorb_metrics(&metrics);
+        uwb_obs::profile::absorb(&profile);
 
         CampaignReport {
             collector: merged,

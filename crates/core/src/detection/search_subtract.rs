@@ -207,6 +207,7 @@ impl SearchSubtractDetector {
         cir: &Cir,
         count: usize,
     ) -> Result<DetectionOutcome, RangingError> {
+        let _work_scope = uwb_obs::profile::scope("detect");
         uwb_obs::timed("detect", || self.detect_inner(ctx, cir, count))
     }
 
@@ -261,6 +262,10 @@ impl SearchSubtractDetector {
                 }
             }
             let Some((ti, idx, _)) = best else { break };
+            // Deterministic work accounting; deliberately independent of
+            // both the trace recorder and `capture_diagnostics`, so work
+            // totals are invariant to every observability toggle.
+            uwb_obs::profile::work("detect.iteration", 1);
             let template = &self.templates[ti];
 
             // Optional sub-sample refinement of the peak position.

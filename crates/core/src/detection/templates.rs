@@ -105,6 +105,7 @@ impl DetectionTemplate {
     /// pulse — exact even for off-grid delays.
     pub fn amplitude_at(&self, signal: &[Complex64], tau_s: f64) -> Complex64 {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
+        uwb_obs::profile::work("template.eval", hi.saturating_sub(lo) as u64);
         let mut num = Complex64::ZERO;
         let mut den = 0.0;
         for (n, sample) in signal.iter().enumerate().take(hi).skip(lo) {
@@ -126,6 +127,7 @@ impl DetectionTemplate {
     /// (`α̂_{k,i}` in the paper's Sect. V).
     pub fn score_at(&self, signal: &[Complex64], tau_s: f64) -> f64 {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
+        uwb_obs::profile::work("template.eval", hi.saturating_sub(lo) as u64);
         let mut num = Complex64::ZERO;
         let mut energy = 0.0;
         for (n, sample) in signal.iter().enumerate().take(hi).skip(lo) {
@@ -146,6 +148,7 @@ impl DetectionTemplate {
     /// step 5 of the paper's detection algorithm.
     pub fn subtract(&self, signal: &mut [Complex64], tau_s: f64, amplitude: Complex64) {
         let (lo, hi) = self.support_range(signal.len(), tau_s);
+        uwb_obs::profile::work("template.subtract", hi.saturating_sub(lo) as u64);
         for (n, sample) in signal.iter_mut().enumerate().take(hi).skip(lo) {
             let p = self.pulse.evaluate(n as f64 * self.sample_period_s - tau_s);
             if p != 0.0 {

@@ -118,6 +118,7 @@ impl SlotPlan {
         anchor_slot: usize,
         anchor_distance_m: f64,
     ) -> Option<usize> {
+        uwb_obs::profile::work("rpm.decode", 1);
         let absolute = delay_offset_s
             + 2.0 * anchor_distance_m.max(0.0) / SPEED_OF_LIGHT
             + Self::DECODE_GUARD_S;

@@ -1,0 +1,63 @@
+//! Property: the work profiler is observationally transparent. Running
+//! the detector with the profiler enabled must produce bit-identical
+//! outputs to a disabled-profiler run — the counters observe the
+//! computation, they never participate in it.
+//!
+//! This file holds a single property on purpose — the profiler is
+//! process-global, and `cargo test` runs sibling tests on parallel
+//! threads within one binary (proptest cases within one test run
+//! serially, so enable/disable cannot interleave here).
+
+use concurrent_ranging::detection::{SearchSubtractConfig, SearchSubtractDetector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_dsp::Complex64;
+use uwb_radio::{Channel, Prf, PulseShape, RadioConfig, TcPgDelay};
+
+proptest! {
+    #[test]
+    fn profiled_and_unprofiled_detections_are_bit_identical(
+        seed in 0u64..(1u64 << 32),
+        k in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        let mut arrivals = Vec::new();
+        let mut t = 60.0 + rng.random::<f64>() * 30.0;
+        for _ in 0..k {
+            let amp = 0.1 + 0.9 * rng.random::<f64>();
+            arrivals.push(Arrival {
+                delay_s: t * 1e-9,
+                amplitude: Complex64::from_polar(amp, rng.random::<f64>() * std::f64::consts::TAU),
+                pulse,
+            });
+            t += 40.0 + rng.random::<f64>() * 100.0;
+        }
+        prop_assume!(t < 1000.0);
+        let cir = CirSynthesizer::new(Prf::Mhz64)
+            .with_noise_sigma(0.002)
+            .render(&arrivals, &mut rng);
+        let detector = SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig::default(),
+        )
+        .unwrap();
+
+        let _ = uwb_obs::profile::disable();
+        let baseline = detector.detect(&cir, k);
+
+        uwb_obs::profile::enable();
+        let (profiled, tree) = uwb_obs::profile::scoped(|| detector.detect(&cir, k));
+        let _ = uwb_obs::profile::disable();
+
+        // Debug-format f64s round-trip exactly, so equal strings mean
+        // bit-identical taus, amplitudes, scores, and error variants.
+        prop_assert_eq!(format!("{baseline:?}"), format!("{profiled:?}"));
+        // And the profiled run did actually count the detection work.
+        prop_assert!(tree.total_work() > 0, "no work recorded");
+        prop_assert!(tree.children.contains_key("detect"), "no detect scope");
+    }
+}

@@ -85,7 +85,10 @@ impl BluesteinPlan {
             kernel[n] = v;
             kernel[conv_len - n] = v;
         }
-        plan.forward(&mut kernel);
+        // Uncounted: construction work is amortised per plan cache (one
+        // fill per worker), so it must not enter the deterministic work
+        // totals that are compared across thread counts.
+        plan.transform_unprofiled(&mut kernel, Direction::Forward);
         Ok(Self {
             size,
             inner: Inner::Chirp {
@@ -202,6 +205,10 @@ impl BluesteinPlan {
         };
         assert_eq!(buf.len(), *conv_len, "convolution buffer length");
         let n = self.size;
+        // Chirp pre/post-multiplies (2N) plus the pointwise kernel
+        // product (conv_len); the two embedded radix-2 transforms count
+        // their own butterflies.
+        uwb_obs::profile::work("bluestein.cmul", 2 * n as u64 + *conv_len as u64);
         // The inverse transform X[k] with exponent +2πi·kn/N equals
         // the conjugate of the forward transform of the conjugated
         // input, scaled by 1/N. Reuse the forward machinery.

@@ -92,6 +92,7 @@ pub fn convolve_into(
     }
     let out_len = a.len() + b.len() - 1;
     if !fft_wins(a.len(), b.len()) {
+        uwb_obs::profile::work("conv.mac", a.len() as u64 * b.len() as u64);
         out.clear();
         out.resize(out_len, Complex64::ZERO);
         for (i, &x) in a.iter().enumerate() {
@@ -102,6 +103,9 @@ pub fn convolve_into(
         return Ok(());
     }
     let n = next_power_of_two(out_len);
+    // Pointwise spectrum product; the three planned transforms below
+    // count their own butterflies.
+    uwb_obs::profile::work("conv.mac", n as u64);
     let plan = ctx.plans.radix2(n)?;
     let mut fa = ctx.scratch.acquire_zeroed(n);
     fa[..a.len()].copy_from_slice(a);
@@ -126,6 +130,7 @@ pub fn convolve_direct(a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
+    uwb_obs::profile::work("conv.mac", a.len() as u64 * b.len() as u64);
     let mut out = vec![Complex64::ZERO; a.len() + b.len() - 1];
     for (i, &x) in a.iter().enumerate() {
         for (j, &y) in b.iter().enumerate() {
@@ -146,6 +151,7 @@ pub fn convolve_fft(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, 
     }
     let out_len = a.len() + b.len() - 1;
     let n = next_power_of_two(out_len);
+    uwb_obs::profile::work("conv.mac", n as u64);
     let plan = FftPlan::new(n)?;
 
     let mut fa = vec![Complex64::ZERO; n];

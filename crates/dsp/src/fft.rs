@@ -111,6 +111,21 @@ impl FftPlan {
     ///
     /// Panics if `data.len()` differs from [`FftPlan::size`].
     pub fn transform(&self, data: &mut [Complex64], direction: Direction) {
+        // A radix-2 FFT of length N executes exactly (N/2)·log₂N
+        // butterflies; counted analytically, once per call, so the
+        // disabled-profiler path stays one relaxed atomic load.
+        uwb_obs::profile::work(
+            "fft.butterfly",
+            (self.size as u64 / 2) * u64::from(self.size.trailing_zeros()),
+        );
+        self.transform_unprofiled(data, direction);
+    }
+
+    /// The transform core without work accounting. Plan *construction*
+    /// (the Bluestein kernel FFT) goes through here so counted work
+    /// reflects only per-call execution and stays invariant to how many
+    /// workers populated their plan caches.
+    pub(crate) fn transform_unprofiled(&self, data: &mut [Complex64], direction: Direction) {
         assert_eq!(
             data.len(),
             self.size,

@@ -1,6 +1,7 @@
 //! # uwb-dsp — signal-processing substrate for UWB simulation
 //!
-//! Self-contained (zero-dependency) DSP building blocks used by the
+//! Self-contained DSP building blocks (std plus the in-tree `uwb-obs`
+//! work counters — no external dependencies) used by the
 //! concurrent-ranging reproduction of *Großwindhager et al., "Concurrent
 //! Ranging with Ultra-Wideband Radios", ICDCS 2018*:
 //!

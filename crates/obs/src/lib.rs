@@ -1,7 +1,7 @@
 //! # uwb-obs — observability for the concurrent-ranging workspace
 //!
 //! A hand-rolled, dependency-free (std only) observability layer with
-//! three pillars:
+//! four pillars:
 //!
 //! 1. **Structured tracing** ([`trace`], [`recorder::event`]): pipeline
 //!    stages emit timestamped [`Event`]s with named [`Value`] fields
@@ -20,6 +20,12 @@
 //!    violation) the pipeline dumps an annotated [`CirSnapshot`] — raw
 //!    taps, detected peaks, truth positions — as a JSONL record,
 //!    bounded by a per-run quota (`UWB_FLIGHT_QUOTA`).
+//! 4. **Work-accounting profiler** ([`profile`]): a hierarchical scope
+//!    tree whose primary currency is deterministic operation counts
+//!    (FFT butterflies, complex MACs, template evaluations, worldsim
+//!    events) rather than wall-clock time. Captured per work unit,
+//!    merged chunk-ordered like the metrics registry, exported as
+//!    collapsed-stack text for `uwb-trace flame`.
 //!
 //! ## Knobs
 //!
@@ -28,6 +34,7 @@
 //! | `--trace-out[=PATH]` / `UWB_TRACE` | enable tracing (see [`init_from_env`]) |
 //! | `UWB_RESULTS_DIR` | relocate `results/` (see [`results_dir`]) |
 //! | `UWB_FLIGHT_QUOTA` | flight-recorder snapshot budget (default 32) |
+//! | `UWB_EPOCH_QUOTA` | epoch telemetry retention (default 4096, 0 = unbounded) |
 //!
 //! The crate sits below every pipeline crate and is deliberately
 //! offline-safe: no registry dependencies, same policy as the vendored
@@ -40,6 +47,7 @@ pub mod envknob;
 pub mod flight;
 pub mod metrics;
 pub mod paths;
+pub mod profile;
 pub mod recorder;
 pub mod stats;
 pub mod telemetry;
@@ -51,6 +59,7 @@ pub use envknob::{parse_quota, quota_from_env};
 pub use flight::{CirSnapshot, SnapshotPeak, FLIGHT_STAGE};
 pub use metrics::{LatencyHistogram, MetricsRegistry, LATENCY_BINS};
 pub use paths::{results_dir, traces_dir};
+pub use profile::ProfileNode;
 pub use recorder::{
     absorb_metrics, counter, enabled, event, flight_record, flush, gauge, init_from_env, install,
     install_jsonl, install_metrics_only, install_with_quota, latency_table, metrics_snapshot,

@@ -1,0 +1,613 @@
+//! Hierarchical scope profiler whose primary currency is
+//! **deterministic work counters**, not time.
+//!
+//! Wall-clock timing on a shared host swings ±30–60 % between runs —
+//! too noisy to gate performance claims on. This module counts the
+//! *algorithmic work* instead: FFT butterflies, complex
+//! multiply-accumulates, template evaluations, subtract iterations,
+//! slot decodes, worldsim events. Those counts are a pure function of
+//! the input, so they are bit-identical on any machine at any thread
+//! count — a portable cost model every optimisation PR can diff
+//! against.
+//!
+//! ## Model
+//!
+//! - [`scope`] opens a named node in a thread-local scope tree and
+//!   returns an RAII guard; scopes nest.
+//! - [`work`] adds `ops` operations of a named kind to the innermost
+//!   open scope (or the tree root when none is open).
+//! - Parallel engines capture per work-unit with [`scoped`] — exactly
+//!   the [`crate::scoped_metrics`] discipline — and merge the returned
+//!   trees in chunk/shard index order via [`ProfileNode::merge_from`]
+//!   before [`absorb`]ing them, so merged totals are byte-identical at
+//!   1/2/4/8 threads.
+//! - Wall-clock per scope is carried alongside ([`ProfileNode::wall_ns`])
+//!   but **tagged non-deterministic**: it is excluded from equality and
+//!   from the collapsed-stack export, the same policy the epoch
+//!   telemetry plane applies to epoch durations.
+//! - An optional allocation probe ([`set_alloc_probe`]) attributes
+//!   allocation counts to scopes; allocation counts depend on
+//!   per-worker cache state and are therefore *not* covered by the
+//!   thread-count-invariance guarantee (see `ProfileNode::allocs`).
+//!
+//! When the profiler is disabled (the default), every instrumentation
+//! site reduces to one relaxed atomic load — the same cost contract as
+//! the trace recorder.
+//!
+//! ## Export
+//!
+//! [`ProfileNode::collapsed`] renders the tree as collapsed-stack text
+//! (`flamegraph.pl`-compatible): one line per metric with the scope
+//! path joined by `;` and a synthetic leaf frame carrying the metric
+//! name — `calls`, `work:<kind>`, or `allocs` — followed by the value.
+//! `uwb-trace flame` re-parses this format into an ASCII flame view.
+
+use std::cell::RefCell;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// One node of the scope tree; the root node *is* the whole tree.
+///
+/// Equality deliberately ignores [`wall_ns`](Self::wall_ns): two trees
+/// are equal when their deterministic content (calls, work, allocs,
+/// children) matches, regardless of how long the scopes took.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileNode {
+    /// Number of times this scope was entered.
+    pub calls: u64,
+    /// Deterministic work counters by kind (e.g. `fft.butterfly`).
+    pub work: BTreeMap<&'static str, u64>,
+    /// Allocations attributed to this scope by the alloc probe.
+    ///
+    /// Zero unless a probe is installed ([`set_alloc_probe`]). Unlike
+    /// work counters, allocation counts depend on per-worker cache
+    /// state (plan caches fill once per worker), so they vary with the
+    /// thread count and are excluded from invariance claims.
+    pub allocs: u64,
+    /// Wall-clock nanoseconds spent inside this scope.
+    ///
+    /// Non-deterministic by nature: excluded from `PartialEq` and from
+    /// [`collapsed`](Self::collapsed) output, carried only for local
+    /// human inspection.
+    pub wall_ns: u64,
+    /// Child scopes by name, deterministically ordered.
+    pub children: BTreeMap<&'static str, ProfileNode>,
+}
+
+impl PartialEq for ProfileNode {
+    fn eq(&self, other: &Self) -> bool {
+        // wall_ns intentionally excluded: it is the one
+        // non-deterministic field.
+        self.calls == other.calls
+            && self.work == other.work
+            && self.allocs == other.allocs
+            && self.children == other.children
+    }
+}
+
+impl Eq for ProfileNode {}
+
+impl ProfileNode {
+    /// True when the node carries no calls, work, allocs, or children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.calls == 0 && self.work.is_empty() && self.allocs == 0 && self.children.is_empty()
+    }
+
+    /// Accumulates `other` into `self` (work kinds and children merged
+    /// by name). Integer addition is commutative, but callers merge in
+    /// chunk/shard index order anyway — the registry discipline.
+    pub fn merge_from(&mut self, other: &ProfileNode) {
+        self.calls += other.calls;
+        self.allocs += other.allocs;
+        self.wall_ns += other.wall_ns;
+        for (kind, ops) in &other.work {
+            *self.work.entry(kind).or_insert(0) += ops;
+        }
+        for (name, child) in &other.children {
+            self.children.entry(name).or_default().merge_from(child);
+        }
+    }
+
+    /// Total work ops in this node and all descendants, all kinds.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        let own: u64 = self.work.values().sum();
+        own + self.children.values().map(Self::total_work).sum::<u64>()
+    }
+
+    /// Work ops recorded directly in this node (no descendants).
+    #[must_use]
+    pub fn self_work(&self) -> u64 {
+        self.work.values().sum()
+    }
+
+    /// Total allocations attributed in this node and all descendants.
+    #[must_use]
+    pub fn total_allocs(&self) -> u64 {
+        self.allocs + self.children.values().map(Self::total_allocs).sum::<u64>()
+    }
+
+    /// Renders the tree as collapsed-stack text (flamegraph.pl format).
+    ///
+    /// One line per metric: `scope;path;<leaf> value`, where the
+    /// synthetic leaf frame is `calls`, `work:<kind>`, or `allocs`.
+    /// Zero-valued metrics are omitted, wall-clock is omitted entirely,
+    /// and traversal order is deterministic (name order), so the output
+    /// is byte-identical whenever the trees are equal.
+    #[must_use]
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        self.collapse_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collapse_into(&self, path: &mut Vec<&'static str>, out: &mut String) {
+        let prefix = if path.is_empty() {
+            String::new()
+        } else {
+            let mut p = path.join(";");
+            p.push(';');
+            p
+        };
+        if self.calls > 0 {
+            out.push_str(&format!("{prefix}calls {}\n", self.calls));
+        }
+        for (kind, ops) in &self.work {
+            if *ops > 0 {
+                out.push_str(&format!("{prefix}work:{kind} {ops}\n"));
+            }
+        }
+        if self.allocs > 0 {
+            out.push_str(&format!("{prefix}allocs {}\n", self.allocs));
+        }
+        for (name, child) in &self.children {
+            path.push(name);
+            child.collapse_into(path, out);
+            path.pop();
+        }
+    }
+}
+
+/// A profile capture in progress on one thread.
+struct Capture {
+    root: ProfileNode,
+    stack: Vec<Frame>,
+    /// True for [`scoped`] captures (results collected by the caller);
+    /// false for ambient captures, which flush finished top-level
+    /// scopes into the global session tree.
+    scoped: bool,
+}
+
+impl Capture {
+    fn new(scoped: bool) -> Self {
+        Self {
+            root: ProfileNode::default(),
+            stack: Vec::new(),
+            scoped,
+        }
+    }
+}
+
+struct Frame {
+    name: &'static str,
+    node: ProfileNode,
+    start: Instant,
+    allocs_at_entry: Option<u64>,
+}
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static SESSION: Mutex<ProfileNode> = Mutex::new(ProfileNode {
+    calls: 0,
+    work: BTreeMap::new(),
+    allocs: 0,
+    wall_ns: 0,
+    children: BTreeMap::new(),
+});
+static ALLOC_PROBE: RwLock<Option<fn() -> u64>> = RwLock::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+/// Whether the profiler is currently enabled (one relaxed load).
+#[must_use]
+pub fn enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Enables the profiler and starts a fresh session (the global tree is
+/// cleared so the next [`take`] reflects only work from this point on).
+pub fn enable() {
+    *SESSION.lock().expect("profile session lock") = ProfileNode::default();
+    PROFILING.store(true, Ordering::Relaxed);
+}
+
+/// Disables the profiler and returns the session tree.
+pub fn disable() -> ProfileNode {
+    PROFILING.store(false, Ordering::Relaxed);
+    take()
+}
+
+/// Takes the current session tree, leaving an empty one behind.
+#[must_use]
+pub fn take() -> ProfileNode {
+    std::mem::take(&mut *SESSION.lock().expect("profile session lock"))
+}
+
+/// Installs the allocation probe used to attribute allocation counts
+/// to scopes (typically backed by perfwatch's counting allocator).
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    *ALLOC_PROBE.write().expect("alloc probe lock") = Some(probe);
+}
+
+/// Removes the allocation probe.
+pub fn clear_alloc_probe() {
+    *ALLOC_PROBE.write().expect("alloc probe lock") = None;
+}
+
+fn probe_now() -> Option<u64> {
+    ALLOC_PROBE.read().expect("alloc probe lock").map(|p| p())
+}
+
+/// RAII guard returned by [`scope`]; closes the scope on drop.
+///
+/// Deliberately `!Send`: a scope must close on the thread that opened
+/// it — the tree it belongs to is thread-local.
+pub struct ScopeGuard {
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a named scope on this thread's capture. No-op (and near-free)
+/// when the profiler is disabled.
+#[must_use]
+pub fn scope(name: &'static str) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    let allocs_at_entry = probe_now();
+    LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let capture = slot.get_or_insert_with(|| Capture::new(false));
+        capture.stack.push(Frame {
+            name,
+            node: ProfileNode::default(),
+            start: Instant::now(),
+            allocs_at_entry,
+        });
+    });
+    ScopeGuard {
+        active: true,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let allocs_now = probe_now();
+        LOCAL.with(|local| {
+            let mut slot = local.borrow_mut();
+            let Some(capture) = slot.as_mut() else {
+                return;
+            };
+            let Some(mut frame) = capture.stack.pop() else {
+                return;
+            };
+            frame.node.calls += 1;
+            frame.node.wall_ns += frame.start.elapsed().as_nanos() as u64;
+            if let (Some(before), Some(after)) = (frame.allocs_at_entry, allocs_now) {
+                frame.node.allocs += after.saturating_sub(before);
+            }
+            let parent = match capture.stack.last_mut() {
+                Some(outer) => &mut outer.node,
+                None => &mut capture.root,
+            };
+            match parent.children.entry(frame.name) {
+                Entry::Occupied(mut occupied) => occupied.get_mut().merge_from(&frame.node),
+                Entry::Vacant(vacant) => {
+                    vacant.insert(frame.node);
+                }
+            }
+            // An ambient capture flushes each finished top-level scope
+            // into the global session so nothing is stranded in
+            // thread-local state when the thread exits.
+            if capture.stack.is_empty() && !capture.scoped {
+                let root = std::mem::take(&mut capture.root);
+                if !root.is_empty() {
+                    SESSION
+                        .lock()
+                        .expect("profile session lock")
+                        .merge_from(&root);
+                }
+            }
+        });
+    }
+}
+
+/// Adds `ops` operations of kind `kind` to the innermost open scope on
+/// this thread (or the capture/session root when none is open). No-op
+/// when the profiler is disabled or `ops` is zero.
+pub fn work(kind: &'static str, ops: u64) {
+    if ops == 0 || !enabled() {
+        return;
+    }
+    let handled = LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let Some(capture) = slot.as_mut() else {
+            return false;
+        };
+        if let Some(frame) = capture.stack.last_mut() {
+            *frame.node.work.entry(kind).or_insert(0) += ops;
+            return true;
+        }
+        if capture.scoped {
+            *capture.root.work.entry(kind).or_insert(0) += ops;
+            return true;
+        }
+        false
+    });
+    if !handled {
+        let mut session = SESSION.lock().expect("profile session lock");
+        *session.work.entry(kind).or_insert(0) += ops;
+    }
+}
+
+/// Runs `f` with a fresh thread-local capture and returns its result
+/// together with the captured tree — the [`crate::scoped_metrics`]
+/// discipline. Callers (campaign chunks, worldsim shard phases) merge
+/// the returned trees in work-unit index order and [`absorb`] the
+/// merge, keeping totals bit-identical across thread counts.
+///
+/// When the profiler is disabled, `f` runs untouched and the returned
+/// tree is empty.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, ProfileNode) {
+    if !enabled() {
+        return (f(), ProfileNode::default());
+    }
+    let previous = LOCAL.with(|local| local.borrow_mut().replace(Capture::new(true)));
+    let value = f();
+    let capture = LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let capture = slot.take();
+        *slot = previous;
+        capture
+    });
+    let tree = capture.map(|c| c.root).unwrap_or_default();
+    (value, tree)
+}
+
+/// Merges an already-captured tree into the profile at the current
+/// position: the innermost open scope of this thread's capture when one
+/// exists, else the capture root, else the global session root.
+pub fn absorb(tree: &ProfileNode) {
+    if tree.is_empty() {
+        return;
+    }
+    let handled = LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let Some(capture) = slot.as_mut() else {
+            return false;
+        };
+        if let Some(frame) = capture.stack.last_mut() {
+            frame.node.merge_from(tree);
+            return true;
+        }
+        if capture.scoped {
+            capture.root.merge_from(tree);
+            return true;
+        }
+        false
+    });
+    if !handled {
+        SESSION
+            .lock()
+            .expect("profile session lock")
+            .merge_from(tree);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, MutexGuard, OnceLock};
+
+    /// The profiler is process-global; tests that enable it must not
+    /// overlap (cargo runs sibling tests on parallel threads).
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<StdMutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let _guard = serial();
+        let _ = disable();
+        {
+            let _scope = scope("outer");
+            work("k", 100);
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn scopes_nest_and_work_lands_in_the_innermost() {
+        let _guard = serial();
+        enable();
+        {
+            let _outer = scope("outer");
+            work("a", 5);
+            {
+                let _inner = scope("inner");
+                work("a", 7);
+                work("b", 1);
+            }
+            {
+                let _inner = scope("inner");
+                work("a", 3);
+            }
+        }
+        let tree = disable();
+        let outer = &tree.children["outer"];
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.work["a"], 5);
+        let inner = &outer.children["inner"];
+        assert_eq!(inner.calls, 2);
+        assert_eq!(inner.work["a"], 10);
+        assert_eq!(inner.work["b"], 1);
+        assert_eq!(tree.total_work(), 16);
+    }
+
+    #[test]
+    fn bare_work_lands_at_the_session_root() {
+        let _guard = serial();
+        enable();
+        work("loose", 9);
+        let tree = disable();
+        assert_eq!(tree.work["loose"], 9);
+    }
+
+    #[test]
+    fn scoped_captures_are_isolated_and_absorb_merges() {
+        let _guard = serial();
+        enable();
+        let ((), chunk_a) = scoped(|| {
+            let _s = scope("detect");
+            work("eval", 10);
+        });
+        let ((), chunk_b) = scoped(|| {
+            let _s = scope("detect");
+            work("eval", 32);
+        });
+        // Nothing reached the session while the captures were active.
+        assert!(take().is_empty());
+        let mut merged = ProfileNode::default();
+        for chunk in [&chunk_a, &chunk_b] {
+            merged.merge_from(chunk);
+        }
+        absorb(&merged);
+        let tree = disable();
+        assert_eq!(tree.children["detect"].work["eval"], 42);
+        assert_eq!(tree.children["detect"].calls, 2);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_tree() {
+        let _guard = serial();
+        enable();
+        let ((), a) = scoped(|| {
+            let _s = scope("x");
+            work("w", 1);
+        });
+        let ((), b) = scoped(|| {
+            let _s = scope("x");
+            work("w", 2);
+            let _t = scope("y");
+            work("w", 4);
+        });
+        let _ = disable();
+        let mut ab = ProfileNode::default();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let mut ba = ProfileNode::default();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.collapsed(), ba.collapsed());
+    }
+
+    #[test]
+    fn equality_and_collapsed_exclude_wall_clock() {
+        let mut a = ProfileNode::default();
+        let mut b = ProfileNode::default();
+        a.children.insert(
+            "s",
+            ProfileNode {
+                calls: 1,
+                wall_ns: 123_456,
+                ..ProfileNode::default()
+            },
+        );
+        b.children.insert(
+            "s",
+            ProfileNode {
+                calls: 1,
+                wall_ns: 999,
+                ..ProfileNode::default()
+            },
+        );
+        assert_eq!(a, b, "wall_ns must not participate in equality");
+        assert_eq!(a.collapsed(), b.collapsed());
+        assert!(!a.collapsed().contains("wall"));
+    }
+
+    #[test]
+    fn collapsed_format_is_flamegraph_compatible() {
+        let _guard = serial();
+        enable();
+        {
+            let _outer = scope("detect");
+            work("template.eval", 100);
+            let _inner = scope("fft");
+            work("fft.butterfly", 2560);
+        }
+        let tree = disable();
+        let text = tree.collapsed();
+        assert_eq!(
+            text,
+            "detect;calls 1\n\
+             detect;work:template.eval 100\n\
+             detect;fft;calls 1\n\
+             detect;fft;work:fft.butterfly 2560\n"
+        );
+        // Every line is `stack value` with an integer value — the
+        // flamegraph.pl contract.
+        for line in text.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("stack value");
+            assert!(!stack.is_empty());
+            value.parse::<u64>().expect("integer value");
+        }
+    }
+
+    #[test]
+    fn alloc_probe_attributes_deltas_to_scopes() {
+        use std::sync::atomic::AtomicU64;
+        static FAKE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+        let _guard = serial();
+        enable();
+        set_alloc_probe(|| FAKE_ALLOCS.load(Ordering::Relaxed));
+        {
+            let _s = scope("allocating");
+            FAKE_ALLOCS.fetch_add(7, Ordering::Relaxed);
+        }
+        clear_alloc_probe();
+        let tree = disable();
+        assert_eq!(tree.children["allocating"].allocs, 7);
+        assert!(tree.collapsed().contains("allocating;allocs 7\n"));
+    }
+
+    #[test]
+    fn ambient_toplevel_scopes_flush_to_the_session() {
+        let _guard = serial();
+        enable();
+        for _ in 0..3 {
+            let _s = scope("top");
+            work("w", 2);
+        }
+        let tree = disable();
+        assert_eq!(tree.children["top"].calls, 3);
+        assert_eq!(tree.children["top"].work["w"], 6);
+    }
+}

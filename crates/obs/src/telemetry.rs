@@ -258,6 +258,16 @@ impl EpochTelemetry {
         Self::with_quota(DEFAULT_EPOCH_QUOTA)
     }
 
+    /// An empty stream with the quota taken from the `UWB_EPOCH_QUOTA`
+    /// environment knob: unset → [`DEFAULT_EPOCH_QUOTA`] silently, set
+    /// but malformed → warn on stderr and use the default, `0` =
+    /// unbounded — the [`crate::envknob`] warn-and-default contract.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let quota = crate::envknob::quota_from_env("UWB_EPOCH_QUOTA", DEFAULT_EPOCH_QUOTA as u64);
+        Self::with_quota(usize::try_from(quota).unwrap_or(usize::MAX))
+    }
+
     /// An empty stream retaining at most `quota` epoch records
     /// (`0` = unbounded).
     #[must_use]
@@ -599,6 +609,14 @@ mod tests {
                 .map(|(i, &e)| shard(i as u32, e, e / 3))
                 .collect(),
         }
+    }
+
+    #[test]
+    fn from_env_defaults_to_the_standard_quota_when_unset() {
+        // `UWB_EPOCH_QUOTA` is never set by the test harness; the
+        // malformed-input policy itself is covered by the envknob
+        // tests, which avoid process-environment mutation entirely.
+        assert_eq!(EpochTelemetry::from_env().quota(), DEFAULT_EPOCH_QUOTA);
     }
 
     #[test]

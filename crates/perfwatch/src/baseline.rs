@@ -14,7 +14,11 @@ use uwb_testkit::{parse_json, Json};
 /// Version of the `BENCH_pipeline.json` layout. Bump when a field is
 /// renamed or its meaning changes; readers reject documents from the
 /// future with a clear error instead of misinterpreting them.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `count_alloc` environment flag and the per-row
+/// deterministic `work_ops` count; v1 documents still parse (the new
+/// fields default to absent/false).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The machine/toolchain fingerprint stamped into every baseline, so a
 /// delta table can warn when the two sides are not comparable.
@@ -26,6 +30,11 @@ pub struct EnvFingerprint {
     pub nproc: usize,
     /// Thread knob the campaign workloads ran with (0 = automatic).
     pub threads: usize,
+    /// Whether the suite binary was built with the `count-alloc`
+    /// feature. A baseline from a non-counting build has no allocation
+    /// rows, and the comparison gate warns instead of silently passing
+    /// the alloc check.
+    pub count_alloc: bool,
 }
 
 impl EnvFingerprint {
@@ -45,6 +54,7 @@ impl EnvFingerprint {
             rustc,
             nproc: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             threads,
+            count_alloc: crate::alloc_count::enabled(),
         }
     }
 }
@@ -80,6 +90,11 @@ pub struct WorkloadResult {
     /// Bytes allocated in one bracketed iteration (only under the
     /// `count-alloc` feature).
     pub alloc_bytes_per_iter: Option<u64>,
+    /// Deterministic work ops (complex MACs, butterflies, template
+    /// evaluations, …) in one profiled iteration. A pure function of
+    /// the input — zero noise band — so the comparison gate fails on
+    /// *any* increase. `None` only in pre-v2 baselines.
+    pub work_ops: Option<u64>,
 }
 
 /// A complete benchmark document: schema, fingerprint, workload rows.
@@ -132,7 +147,8 @@ impl BenchDoc {
         out.push_str("  \"env\": {\n");
         let _ = writeln!(out, "    \"rustc\": {},", json_str(&self.env.rustc));
         let _ = writeln!(out, "    \"nproc\": {},", self.env.nproc);
-        let _ = writeln!(out, "    \"threads\": {}", self.env.threads);
+        let _ = writeln!(out, "    \"threads\": {},", self.env.threads);
+        let _ = writeln!(out, "    \"count_alloc\": {}", self.env.count_alloc);
         out.push_str("  },\n");
         out.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
@@ -161,6 +177,9 @@ impl BenchDoc {
             }
             if let Some(bytes) = w.alloc_bytes_per_iter {
                 let _ = write!(out, ",\n      \"alloc_bytes_per_iter\": {bytes}");
+            }
+            if let Some(work) = w.work_ops {
+                let _ = write!(out, ",\n      \"work_ops\": {work}");
             }
             out.push('\n');
             out.push_str(if i + 1 == self.workloads.len() {
@@ -198,6 +217,13 @@ impl BenchDoc {
             rustc: req_str(env_node, "rustc")?,
             nproc: req_u64(env_node, "nproc")? as usize,
             threads: req_u64(env_node, "threads")? as usize,
+            // Absent in schema-1 documents; those predate the alloc
+            // fingerprint, so `false` (unknown build) is the honest
+            // default — the comparison gate will warn, not gate.
+            count_alloc: env_node
+                .get("count_alloc")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         };
         let rows = root
             .get("workloads")
@@ -219,6 +245,7 @@ impl BenchDoc {
                 throughput_per_s: req_f64(row, "throughput_per_s")?,
                 allocs_per_iter: row.get("allocs_per_iter").and_then(Json::as_u64),
                 alloc_bytes_per_iter: row.get("alloc_bytes_per_iter").and_then(Json::as_u64),
+                work_ops: row.get("work_ops").and_then(Json::as_u64),
             });
         }
         Ok(BenchDoc {
@@ -259,6 +286,7 @@ mod tests {
                 rustc: "rustc 1.95.0 (test)".to_string(),
                 nproc: 4,
                 threads: 0,
+                count_alloc: true,
             },
             vec![
                 WorkloadResult {
@@ -275,6 +303,7 @@ mod tests {
                     throughput_per_s: 82_900_000.0,
                     allocs_per_iter: None,
                     alloc_bytes_per_iter: None,
+                    work_ops: Some(10240),
                 },
                 WorkloadResult {
                     name: "campaign.fig7_t1".to_string(),
@@ -290,6 +319,7 @@ mod tests {
                     throughput_per_s: 210.5,
                     allocs_per_iter: Some(42),
                     alloc_bytes_per_iter: Some(65536),
+                    work_ops: None,
                 },
             ],
         )
@@ -306,10 +336,39 @@ mod tests {
     fn future_schema_is_rejected_with_a_clear_error() {
         let text = sample_doc()
             .render()
-            .replace("\"schema\": 1,", "\"schema\": 99,");
+            .replace("\"schema\": 2,", "\"schema\": 99,");
         let err = BenchDoc::parse(&text).expect_err("future schema must not parse");
         assert!(err.contains("schema 99"), "unhelpful error: {err}");
         assert!(err.contains("newer"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn schema_1_documents_still_parse_with_v2_defaults() {
+        // A pre-v2 baseline: no `count_alloc`, no `work_ops`.
+        let text = "{\n  \"schema\": 1,\n  \"suite\": \"pipeline\",\n  \"env\": {\n    \
+                    \"rustc\": \"rustc 1.95.0\",\n    \"nproc\": 2,\n    \"threads\": 0\n  },\n  \
+                    \"workloads\": [\n    {\n      \"name\": \"rpm.decode\",\n      \
+                    \"layer\": \"core\",\n      \"iters\": 1,\n      \"warmup\": 0,\n      \
+                    \"median_ns\": 10.0,\n      \"mad_ns\": 0.0,\n      \"min_ns\": 10.0,\n      \
+                    \"mean_ns\": 10.0,\n      \"units\": \"decodes\",\n      \
+                    \"units_per_iter\": 1024,\n      \"throughput_per_s\": 1.0\n    }\n  ]\n}\n";
+        let doc = BenchDoc::parse(text).expect("old schema parses");
+        assert_eq!(doc.schema, 1);
+        assert!(!doc.env.count_alloc, "unknown build fingerprints as false");
+        assert_eq!(doc.workloads[0].work_ops, None);
+    }
+
+    #[test]
+    fn rendered_env_carries_the_count_alloc_flag() {
+        let text = sample_doc().render();
+        assert!(
+            text.contains("\"count_alloc\": true"),
+            "missing flag:\n{text}"
+        );
+        assert!(
+            text.contains("\"work_ops\": 10240"),
+            "missing work row:\n{text}"
+        );
     }
 
     #[test]

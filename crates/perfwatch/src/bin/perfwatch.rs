@@ -8,8 +8,12 @@
 //! perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTRS]
 //!           [--out PATH] [--baseline PATH] [--check] [--noise-pct X]
 //!           [--max-allocs N] [--list] [--validate PATH]
-//!           [--trace-out[=PATH]]
+//!           [--profile-out PATH] [--trace-out[=PATH]]
 //! ```
+//!
+//! `--profile-out PATH` writes the merged suite work profile as
+//! collapsed-stack text (each workload a top-level scope); feed it to
+//! `uwb-trace flame` or `flamegraph.pl`.
 //!
 //! `--filter` accepts comma-separated substrings. `--max-allocs N`
 //! fails the run when any measured workload allocates more than `N`
@@ -24,12 +28,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use repro_bench::ExpHarness;
-use uwb_perfwatch::suite::spin_ns_from_env;
+use uwb_perfwatch::suite::{inflate_work_from_env, spin_ns_from_env};
 use uwb_perfwatch::{compare, run_suite, workload_names, BenchDoc, EnvFingerprint, SuiteConfig};
 
 const USAGE: &str = "usage: perfwatch [--iters N] [--warmup N] [--threads N] [--filter SUBSTRS] \
                      [--out PATH] [--baseline PATH] [--check] [--noise-pct X] [--max-allocs N] \
-                     [--list] [--validate PATH] [--trace-out[=PATH]]";
+                     [--list] [--validate PATH] [--profile-out PATH] [--trace-out[=PATH]]";
 
 struct Cli {
     config: SuiteConfig,
@@ -40,6 +44,7 @@ struct Cli {
     max_allocs: Option<u64>,
     list: bool,
     validate: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
 }
 
 fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, String> {
@@ -47,6 +52,7 @@ fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, Strin
         config: SuiteConfig {
             threads: harness_threads,
             spin_ns: spin_ns_from_env(),
+            inflate_work: inflate_work_from_env(),
             ..SuiteConfig::default()
         },
         out: PathBuf::from("BENCH_pipeline.json"),
@@ -56,6 +62,7 @@ fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, Strin
         max_allocs: None,
         list: false,
         validate: None,
+        profile_out: None,
     };
     let mut args = leftover.into_iter();
     while let Some(arg) = args.next() {
@@ -96,6 +103,7 @@ fn parse_cli(harness_threads: usize, leftover: Vec<String>) -> Result<Cli, Strin
             }
             "--list" => cli.list = true,
             "--validate" => cli.validate = Some(PathBuf::from(value_of("--validate")?)),
+            "--profile-out" => cli.profile_out = Some(PathBuf::from(value_of("--profile-out")?)),
             other => return Err(format!("unrecognised argument: {other}")),
         }
     }
@@ -184,23 +192,33 @@ fn main() -> ExitCode {
             cli.config.spin_ns
         );
     }
+    if cli.config.inflate_work > 0 {
+        eprintln!(
+            "note: UWB_PERFWATCH_INFLATE_WORK={} — every profiled iteration carries phantom work",
+            cli.config.inflate_work
+        );
+    }
 
-    let results = run_suite(&cli.config, |name| eprintln!("running {name} ..."));
+    let (results, suite_profile) = run_suite(&cli.config, |name| eprintln!("running {name} ..."));
     let doc = BenchDoc::new(EnvFingerprint::capture(cli.config.threads), results);
 
     println!("suite: {} ({} workloads)", doc.suite, doc.workloads.len());
     println!(
-        "env: {} / nproc {} / threads {}",
-        doc.env.rustc, doc.env.nproc, doc.env.threads
+        "env: {} / nproc {} / threads {} / count_alloc {}",
+        doc.env.rustc, doc.env.nproc, doc.env.threads, doc.env.count_alloc
     );
     for w in &doc.workloads {
         let alloc = w
             .allocs_per_iter
             .map(|a| format!("  {a} allocs/iter"))
             .unwrap_or_default();
+        let work = w
+            .work_ops
+            .map(|ops| format!("  {ops} work ops/iter"))
+            .unwrap_or_default();
         println!(
-            "  {:<32} median {:>12.0} ns  mad {:>10.0} ns  {:>14.1} {}/s{}",
-            w.name, w.median_ns, w.mad_ns, w.throughput_per_s, w.units, alloc
+            "  {:<32} median {:>12.0} ns  mad {:>10.0} ns  {:>14.1} {}/s{}{}",
+            w.name, w.median_ns, w.mad_ns, w.throughput_per_s, w.units, work, alloc
         );
     }
 
@@ -209,6 +227,21 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("\nwrote {}", cli.out.display());
+
+    if let Some(path) = &cli.profile_out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(err) = std::fs::write(path, suite_profile.collapsed()) {
+            eprintln!("cannot write profile {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} work ops; render with `uwb-trace flame`)",
+            path.display(),
+            suite_profile.total_work()
+        );
+    }
 
     // The alloc budget is an explicit gate: exceeding it fails the run
     // with or without --check.

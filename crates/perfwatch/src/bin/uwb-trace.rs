@@ -7,23 +7,27 @@
 //! uwb-trace diff     TRACE_A TRACE_B  stage-by-stage comparison
 //! uwb-trace causal   FRAME [TRACE]    one frame's TX → identify span chain
 //! uwb-trace epochs   [TELEMETRY]      epoch telemetry table + shard heatmap
+//! uwb-trace flame    PROFILE          ASCII flame view of a collapsed work profile
 //! ```
 //!
 //! `TRACE` defaults to the newest `.jsonl` under the traces directory
 //! (`results/traces/`), `TELEMETRY` to the newest under
 //! `results/telemetry/` — both relocated by `UWB_RESULTS_DIR`. `FRAME`
 //! is a frame trace id as printed in `world.tx` / `world.identify`
-//! events (up to 16 hex digits, `0x` prefix allowed).
+//! events (up to 16 hex digits, `0x` prefix allowed). `PROFILE` is a
+//! collapsed-stack file written by an experiment's `--profile` flag or
+//! `perfwatch --profile-out` (also directly consumable by
+//! `flamegraph.pl`).
 
 use std::process::ExitCode;
 
 use uwb_perfwatch::{
-    causal, diff, epochs_report, load_telemetry, load_trace, outliers, render_cir,
-    resolve_telemetry_path, resolve_trace_path, summary,
+    causal, diff, epochs_report, flame_report, flame_summary, load_telemetry, load_trace, outliers,
+    parse_collapsed, render_cir, resolve_telemetry_path, resolve_trace_path, summary,
 };
 
-const USAGE: &str =
-    "usage: uwb-trace <summary|outliers|cir|diff|causal|epochs> [FRAME] [TRACE...] [--index N]";
+const USAGE: &str = "usage: uwb-trace <summary|outliers|cir|diff|causal|epochs|flame> \
+                     [FRAME] [TRACE...] [--index N]";
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +93,17 @@ fn run() -> Result<String, String> {
             let path = resolve_telemetry_path(paths.first().map(String::as_str))?;
             let doc = load_telemetry(&path)?;
             Ok(epochs_report(&doc))
+        }
+        "flame" => {
+            let [path] = paths.as_slice() else {
+                return Err(format!(
+                    "flame takes exactly one collapsed profile\n{USAGE}"
+                ));
+            };
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read {path}: {err}"))?;
+            let root = parse_collapsed(&text).map_err(|err| format!("{path}: {err}"))?;
+            Ok(format!("{}{}\n", flame_report(&root), flame_summary(&root)))
         }
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     }

@@ -17,7 +17,15 @@
 //! whose baseline is allocation-free must stay at zero (no noise band —
 //! counts are exact), and a nonzero baseline may not grow beyond the
 //! noise band. Runs without allocation data (default builds) skip the
-//! allocation gate entirely.
+//! allocation gate — but when exactly one side carries allocation data
+//! the table says so out loud, so a non-counting build can never
+//! *silently* pass the allocation gate against a counting baseline.
+//!
+//! When both documents carry `work_ops` (schema v2), the gate also
+//! fails on *work* regressions with a **zero noise band**: the work
+//! counters are deterministic — complex MACs, butterflies, template
+//! evaluations are a pure function of the input — so any increase is a
+//! real algorithmic cost, not scheduler noise.
 
 use crate::baseline::BenchDoc;
 
@@ -43,6 +51,14 @@ pub struct Delta {
     /// True when allocations regressed: a zero baseline became nonzero,
     /// or a nonzero baseline grew beyond the noise band.
     pub alloc_regressed: bool,
+    /// Baseline deterministic work ops (`None`: pre-v2 baseline).
+    pub old_work: Option<u64>,
+    /// Current deterministic work ops (`None`: missing workload or
+    /// pre-v2 data).
+    pub new_work: Option<u64>,
+    /// True when work regressed — any increase at all; the counters
+    /// are exact, so there is no noise band.
+    pub work_regressed: bool,
 }
 
 /// The full comparison: per-workload deltas plus gate bookkeeping.
@@ -57,6 +73,10 @@ pub struct Comparison {
     /// True when the two documents' environment fingerprints differ
     /// (numbers are then only loosely comparable).
     pub env_mismatch: bool,
+    /// True when exactly one side carries allocation data — the
+    /// allocation gate was skipped, and the table warns about it
+    /// instead of letting a non-counting build pass silently.
+    pub alloc_gate_skipped: bool,
 }
 
 impl Comparison {
@@ -67,19 +87,20 @@ impl Comparison {
     pub fn has_regression(&self) -> bool {
         self.deltas
             .iter()
-            .any(|d| d.regressed || d.alloc_regressed || d.new_min_ns.is_none())
+            .any(|d| d.regressed || d.alloc_regressed || d.work_regressed || d.new_min_ns.is_none())
     }
 
     /// Renders the delta table (aligned plain text, one row per
     /// baseline workload, flagged rows marked).
     #[must_use]
     pub fn render_table(&self) -> String {
-        let mut rows: Vec<[String; 6]> = vec![[
+        let mut rows: Vec<[String; 7]> = vec![[
             "workload".to_string(),
             "baseline(min)".to_string(),
             "current(min)".to_string(),
             "change".to_string(),
             "allocs".to_string(),
+            "work".to_string(),
             "verdict".to_string(),
         ]];
         for d in &self.deltas {
@@ -87,17 +108,12 @@ impl Comparison {
                 (Some(old), Some(new)) => format!("{old}→{new}"),
                 _ => "-".to_string(),
             };
+            let work = match (d.old_work, d.new_work) {
+                (Some(old), Some(new)) => format!("{old}→{new}"),
+                _ => "-".to_string(),
+            };
             let (current, change, verdict) = match (d.new_min_ns, d.change_pct) {
-                (Some(new), Some(pct)) => (
-                    format_ns(new),
-                    format!("{pct:+.1}%"),
-                    match (d.regressed, d.alloc_regressed) {
-                        (false, false) => "ok".to_string(),
-                        (true, false) => "REGRESSED".to_string(),
-                        (false, true) => "ALLOC-REGRESSED".to_string(),
-                        (true, true) => "REGRESSED+ALLOC".to_string(),
-                    },
-                ),
+                (Some(new), Some(pct)) => (format_ns(new), format!("{pct:+.1}%"), verdict_for(d)),
                 _ => ("-".to_string(), "-".to_string(), "MISSING".to_string()),
             };
             rows.push([
@@ -106,6 +122,7 @@ impl Comparison {
                 current,
                 change,
                 allocs,
+                work,
                 verdict,
             ]);
         }
@@ -116,10 +133,11 @@ impl Comparison {
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
                 "new".to_string(),
             ]);
         }
-        let mut widths = [0usize; 6];
+        let mut widths = [0usize; 7];
         for row in &rows {
             for (w, cell) in widths.iter_mut().zip(row.iter()) {
                 *w = (*w).max(cell.len());
@@ -141,7 +159,28 @@ impl Comparison {
                 "note: environment fingerprints differ; numbers are only loosely comparable\n",
             );
         }
+        if self.alloc_gate_skipped {
+            out.push_str(
+                "warning: allocation counts exist on only one side (one build lacks the \
+                 `count-alloc` feature); the allocation gate was SKIPPED, not passed\n",
+            );
+        }
         out
+    }
+}
+
+/// The verdict cell for a workload present on both sides: the legacy
+/// two-axis strings stay byte-identical, and the work axis appends.
+fn verdict_for(d: &Delta) -> String {
+    match (d.regressed, d.alloc_regressed, d.work_regressed) {
+        (false, false, false) => "ok".to_string(),
+        (true, false, false) => "REGRESSED".to_string(),
+        (false, true, false) => "ALLOC-REGRESSED".to_string(),
+        (true, true, false) => "REGRESSED+ALLOC".to_string(),
+        (false, false, true) => "WORK-REGRESSED".to_string(),
+        (true, false, true) => "REGRESSED+WORK".to_string(),
+        (false, true, true) => "ALLOC+WORK-REGRESSED".to_string(),
+        (true, true, true) => "REGRESSED+ALLOC+WORK".to_string(),
     }
 }
 
@@ -181,6 +220,14 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, noise_pct: f64) -> Compa
                 (Some(old), Some(new)) => (new as f64 / old as f64 - 1.0) * 100.0 > noise_pct,
                 _ => false,
             };
+            let old_work = old.work_ops;
+            let new_work = new.and_then(|w| w.work_ops);
+            // Work counters are deterministic: zero noise band, any
+            // increase is a regression.
+            let work_regressed = match (old_work, new_work) {
+                (Some(old), Some(new)) => new > old,
+                _ => false,
+            };
             Delta {
                 name: old.name.clone(),
                 old_min_ns: old.min_ns,
@@ -190,6 +237,9 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, noise_pct: f64) -> Compa
                 old_allocs,
                 new_allocs,
                 alloc_regressed,
+                old_work,
+                new_work,
+                work_regressed,
             }
         })
         .collect();
@@ -199,11 +249,15 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, noise_pct: f64) -> Compa
         .filter(|w| baseline.workloads.iter().all(|old| old.name != w.name))
         .map(|w| w.name.clone())
         .collect();
+    let has_alloc_data = |doc: &BenchDoc| {
+        doc.env.count_alloc || doc.workloads.iter().any(|w| w.allocs_per_iter.is_some())
+    };
     Comparison {
         deltas,
         new_workloads,
         noise_pct,
         env_mismatch: baseline.env != current.env,
+        alloc_gate_skipped: has_alloc_data(baseline) != has_alloc_data(current),
     }
 }
 
@@ -227,6 +281,7 @@ mod tests {
             throughput_per_s: 1e9 / min_ns,
             allocs_per_iter: None,
             alloc_bytes_per_iter: None,
+            work_ops: None,
         }
     }
 
@@ -236,6 +291,7 @@ mod tests {
                 rustc: "rustc 1.95.0 (test)".to_string(),
                 nproc: 1,
                 threads: 0,
+                count_alloc: false,
             },
             rows,
         )
@@ -357,6 +413,67 @@ mod tests {
         let current = doc(vec![row_with_allocs("a", 2000.0, 5)]);
         let cmp = compare(&baseline, &current, 15.0);
         assert!(cmp.render_table().contains("REGRESSED+ALLOC"));
+    }
+
+    fn row_with_work(name: &str, min_ns: f64, work: u64) -> WorkloadResult {
+        WorkloadResult {
+            work_ops: Some(work),
+            ..row(name, min_ns)
+        }
+    }
+
+    #[test]
+    fn any_work_increase_regresses_with_zero_noise_band() {
+        // +1 op on a million is far inside any timing noise band, but
+        // the counters are exact: the gate must fail.
+        let baseline = doc(vec![row_with_work("a", 1000.0, 1_000_000)]);
+        let current = doc(vec![row_with_work("a", 1000.0, 1_000_001)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].work_regressed);
+        assert!(!cmp.deltas[0].regressed);
+        let table = cmp.render_table();
+        assert!(table.contains("WORK-REGRESSED"), "{table}");
+        assert!(table.contains("1000000→1000001"), "{table}");
+    }
+
+    #[test]
+    fn equal_or_reduced_work_passes() {
+        let baseline = doc(vec![
+            row_with_work("a", 1000.0, 500),
+            row_with_work("b", 1000.0, 500),
+        ]);
+        let current = doc(vec![
+            row_with_work("a", 1000.0, 500),
+            row_with_work("b", 1000.0, 120),
+        ]);
+        assert!(!compare(&baseline, &current, 15.0).has_regression());
+    }
+
+    #[test]
+    fn pre_v2_baselines_without_work_data_skip_the_work_gate() {
+        let baseline = doc(vec![row("a", 1000.0)]);
+        let current = doc(vec![row_with_work("a", 1000.0, 999)]);
+        let cmp = compare(&baseline, &current, 15.0);
+        assert!(!cmp.has_regression());
+        assert!(!cmp.deltas[0].work_regressed);
+    }
+
+    #[test]
+    fn one_sided_alloc_data_warns_instead_of_silently_passing() {
+        let counting = doc(vec![row_with_allocs("a", 1000.0, 3)]);
+        let plain = doc(vec![row("a", 1000.0)]);
+        let cmp = compare(&counting, &plain, 15.0);
+        assert!(cmp.alloc_gate_skipped);
+        assert!(!cmp.has_regression(), "a skipped gate warns, not fails");
+        assert!(
+            cmp.render_table().contains("SKIPPED"),
+            "{}",
+            cmp.render_table()
+        );
+        // Both sides counting (or neither): no warning.
+        assert!(!compare(&counting, &counting, 15.0).alloc_gate_skipped);
+        assert!(!compare(&plain, &plain, 15.0).alloc_gate_skipped);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Collapsed-stack parsing and the ASCII flame view behind
+//! `uwb-trace flame`.
+//!
+//! The profiler exports collapsed-stack text (`uwb_obs::ProfileNode::
+//! collapsed`): one line per metric, `scope;path;<leaf> value`, where
+//! the synthetic leaf frame is `calls`, `allocs`, or `work:<kind>`.
+//! That format feeds `flamegraph.pl` directly; this module re-parses it
+//! into an owned tree and renders a terminal-friendly flame view — one
+//! row per scope, a work-scaled bar, and per-scope calls / self-work /
+//! total-work / allocs columns. Work, not wall-clock, is the scale:
+//! the bars are bit-identical wherever the profile was recorded.
+
+use std::collections::BTreeMap;
+
+/// One scope of a parsed collapsed-stack profile. Unlike
+/// `uwb_obs::ProfileNode`, names are owned: they come from a file, not
+/// from `&'static str` instrumentation sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlameNode {
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Work ops recorded directly in this scope, by kind.
+    pub work: BTreeMap<String, u64>,
+    /// Allocations attributed directly to this scope.
+    pub allocs: u64,
+    /// Child scopes by name.
+    pub children: BTreeMap<String, FlameNode>,
+}
+
+impl FlameNode {
+    /// Work ops recorded directly in this scope (no descendants).
+    #[must_use]
+    pub fn self_work(&self) -> u64 {
+        self.work.values().sum()
+    }
+
+    /// Work ops in this scope and all descendants.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        self.self_work() + self.children.values().map(Self::total_work).sum::<u64>()
+    }
+
+    /// Allocations in this scope and all descendants.
+    #[must_use]
+    pub fn total_allocs(&self) -> u64 {
+        self.allocs + self.children.values().map(Self::total_allocs).sum::<u64>()
+    }
+
+    fn at_path(&mut self, path: &[&str]) -> &mut FlameNode {
+        let mut node = self;
+        for frame in path {
+            node = node.children.entry((*frame).to_string()).or_default();
+        }
+        node
+    }
+}
+
+/// Parses collapsed-stack text into a scope tree.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line: no value, a
+/// non-integer value, or an unknown metric leaf (anything other than
+/// `calls`, `allocs`, or `work:<kind>`).
+pub fn parse_collapsed(text: &str) -> Result<FlameNode, String> {
+    let mut root = FlameNode::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: expected `stack value`, got {line:?}"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: non-integer value {value:?}"))?;
+        let frames: Vec<&str> = stack.split(';').collect();
+        let (leaf, path) = frames
+            .split_last()
+            .ok_or_else(|| format!("line {n}: empty stack"))?;
+        let node = root.at_path(path);
+        if *leaf == "calls" {
+            node.calls += value;
+        } else if *leaf == "allocs" {
+            node.allocs += value;
+        } else if let Some(kind) = leaf.strip_prefix("work:") {
+            *node.work.entry(kind.to_string()).or_insert(0) += value;
+        } else {
+            return Err(format!(
+                "line {n}: unknown metric leaf {leaf:?} (expected calls, allocs, or work:<kind>)"
+            ));
+        }
+    }
+    Ok(root)
+}
+
+const BAR_WIDTH: usize = 24;
+
+/// Renders the ASCII flame view: one indented row per scope in
+/// deterministic (name) order, a bar proportional to the scope's share
+/// of total work, and the calls / self-work / total-work / allocs
+/// columns. A `(root)` row carries metrics recorded outside any scope.
+#[must_use]
+pub fn flame_report(root: &FlameNode) -> String {
+    let grand_total = root.total_work().max(1);
+    let mut rows: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    if root.calls > 0 || root.self_work() > 0 || root.allocs > 0 {
+        rows.push((
+            "(root)".to_string(),
+            root.calls,
+            root.self_work(),
+            root.self_work(),
+            root.allocs,
+        ));
+    }
+    collect_rows(root, 0, &mut rows);
+    let name_width = rows
+        .iter()
+        .map(|(name, ..)| name.len())
+        .chain(std::iter::once("scope".len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_width$}  {:<BAR_WIDTH$}  {:>10}  {:>12}  {:>12}  {:>10}\n",
+        "scope", "work share", "calls", "self-work", "total-work", "allocs"
+    ));
+    for (name, calls, self_work, total_work, allocs) in &rows {
+        let filled = ((*total_work as u128 * BAR_WIDTH as u128) / grand_total as u128) as usize;
+        let bar: String = "#".repeat(filled.min(BAR_WIDTH));
+        out.push_str(&format!(
+            "{name:<name_width$}  {bar:<BAR_WIDTH$}  {calls:>10}  {self_work:>12}  \
+             {total_work:>12}  {allocs:>10}\n"
+        ));
+    }
+    out
+}
+
+fn collect_rows(node: &FlameNode, depth: usize, rows: &mut Vec<(String, u64, u64, u64, u64)>) {
+    for (name, child) in &node.children {
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        rows.push((
+            label,
+            child.calls,
+            child.self_work(),
+            child.total_work(),
+            child.allocs,
+        ));
+        collect_rows(child, depth + 1, rows);
+    }
+}
+
+/// A one-line digest used by the CLI footer: total work, scope count,
+/// total allocations.
+#[must_use]
+pub fn flame_summary(root: &FlameNode) -> String {
+    fn count_scopes(node: &FlameNode) -> usize {
+        node.children.len() + node.children.values().map(count_scopes).sum::<usize>()
+    }
+    format!(
+        "total work: {} ops across {} scopes; allocs: {}",
+        root.total_work(),
+        count_scopes(root),
+        root.total_allocs()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "detect;calls 1\n\
+                          detect;work:template.eval 100\n\
+                          detect;fft;calls 1\n\
+                          detect;fft;work:fft.butterfly 2560\n\
+                          detect;fft;allocs 3\n";
+
+    #[test]
+    fn parses_the_profiler_export_format() {
+        let root = parse_collapsed(SAMPLE).expect("sample parses");
+        let detect = &root.children["detect"];
+        assert_eq!(detect.calls, 1);
+        assert_eq!(detect.work["template.eval"], 100);
+        let fft = &detect.children["fft"];
+        assert_eq!(fft.work["fft.butterfly"], 2560);
+        assert_eq!(fft.allocs, 3);
+        assert_eq!(root.total_work(), 2660);
+        assert_eq!(root.total_allocs(), 3);
+    }
+
+    #[test]
+    fn parse_round_trips_a_live_profile() {
+        // The parser must accept exactly what `ProfileNode::collapsed`
+        // emits — including root-level (scope-less) work.
+        let mut tree = uwb_obs::ProfileNode::default();
+        tree.work.insert("loose", 9);
+        tree.children.insert(
+            "scope",
+            uwb_obs::ProfileNode {
+                calls: 2,
+                ..Default::default()
+            },
+        );
+        let root = parse_collapsed(&tree.collapsed()).expect("live export parses");
+        assert_eq!(root.work["loose"], 9);
+        assert_eq!(root.children["scope"].calls, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = parse_collapsed("detect;calls 1\nbroken-line\n").unwrap_err();
+        assert!(err.contains("line 2"), "unhelpful error: {err}");
+        let err = parse_collapsed("detect;calls x\n").unwrap_err();
+        assert!(err.contains("non-integer"), "unhelpful error: {err}");
+        let err = parse_collapsed("detect;wat 5\n").unwrap_err();
+        assert!(
+            err.contains("unknown metric leaf"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn report_shows_scopes_columns_and_bars() {
+        let root = parse_collapsed(SAMPLE).expect("sample parses");
+        let report = flame_report(&root);
+        let mut lines = report.lines();
+        let header = lines.next().expect("header row");
+        for col in ["scope", "calls", "self-work", "total-work", "allocs"] {
+            assert!(header.contains(col), "missing column {col}: {header}");
+        }
+        let detect = lines.next().expect("detect row");
+        assert!(detect.starts_with("detect"), "{detect}");
+        // detect owns 100% of the work → a full bar.
+        assert!(detect.contains(&"#".repeat(BAR_WIDTH)), "{detect}");
+        let fft = lines.next().expect("fft row");
+        assert!(fft.starts_with("  fft"), "child rows indent: {fft}");
+        assert!(fft.contains("2560"), "{fft}");
+        assert_eq!(lines.next(), None, "exactly one row per scope");
+    }
+
+    #[test]
+    fn root_level_metrics_get_a_synthetic_row() {
+        let root = parse_collapsed("work:loose 7\n").expect("root metrics parse");
+        let report = flame_report(&root);
+        assert!(report.contains("(root)"), "{report}");
+        assert!(flame_summary(&root).contains("total work: 7 ops"));
+    }
+
+    #[test]
+    fn summary_digest_counts_scopes_recursively() {
+        let root = parse_collapsed(SAMPLE).expect("sample parses");
+        assert_eq!(
+            flame_summary(&root),
+            "total work: 2660 ops across 2 scopes; allocs: 3"
+        );
+    }
+}

@@ -20,8 +20,9 @@
 //!    warnings), residual/amplitude outlier hunting, ASCII CIR
 //!    rendering with truth vs. detected markers, trace-to-trace diffs,
 //!    causal span-chain reconstruction for a single frame
-//!    ([`causal()`]), and epoch telemetry tables with a shard-load
-//!    heatmap ([`mod@epochs`]).
+//!    ([`causal()`]), epoch telemetry tables with a shard-load heatmap
+//!    ([`mod@epochs`]), and an ASCII flame view over the profiler's
+//!    collapsed-stack work exports ([`mod@flame`]).
 //!
 //! ## Knobs
 //!
@@ -31,6 +32,7 @@
 //! | `--check` | exit non-zero on a regression vs. the baseline |
 //! | `--noise-pct X` | regression band, percent (default 15) |
 //! | `UWB_PERFWATCH_SPIN_NS` | test hook: busy-spin added inside every timed iteration |
+//! | `UWB_PERFWATCH_INFLATE_WORK` | test hook: phantom work ops added inside every profiled iteration |
 //! | `UWB_RESULTS_DIR` | relocates trace inputs for `uwb-trace` (via [`uwb_obs::results_dir`]) |
 //!
 //! Allocation accounting is compile-time gated behind the `count-alloc`
@@ -46,6 +48,7 @@ pub mod baseline;
 pub mod causal;
 pub mod compare;
 pub mod epochs;
+pub mod flame;
 pub mod suite;
 
 pub use analyze::{
@@ -55,4 +58,5 @@ pub use baseline::{BenchDoc, EnvFingerprint, WorkloadResult, BENCH_SCHEMA_VERSIO
 pub use causal::causal;
 pub use compare::{compare, Comparison, Delta};
 pub use epochs::{epochs_report, load_telemetry, resolve_telemetry_path, EpochLine, TelemetryDoc};
+pub use flame::{flame_report, flame_summary, parse_collapsed, FlameNode};
 pub use suite::{run_suite, workload_names, SuiteConfig};

@@ -10,10 +10,13 @@
 //!
 //! Measurement protocol per workload: `warmup` untimed runs, one
 //! allocation-bracketed run (populated only under the `count-alloc`
-//! feature), then `iters` timed runs. The reported statistics are
-//! robust — median and MAD over the per-iteration wall-clock samples,
-//! plus the minimum — so a single scheduler hiccup cannot move the
-//! headline number.
+//! feature), one profiled run that captures the deterministic work
+//! counters (`work_ops` — a pure function of the input, so a single
+//! sample is exact), then `iters` timed runs with the profiler off so
+//! the hot path pays only one relaxed atomic load per counted site.
+//! The reported statistics are robust — median and MAD over the
+//! per-iteration wall-clock samples, plus the minimum — so a single
+//! scheduler hiccup cannot move the headline number.
 //!
 //! The DSP and detection workloads hold a persistent plan/scratch
 //! context across iterations (the planned hot path — how the campaign
@@ -28,8 +31,9 @@ use concurrent_ranging::detection::{
     template_bank, DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
 };
 use concurrent_ranging::SlotPlan;
+use std::sync::{Mutex, OnceLock};
 use uwb_dsp::{BluesteinPlan, Complex64, DspContext, FftPlan, MatchedFilter};
-use uwb_obs::{measure_ns, median, median_abs_deviation, per_second, Stopwatch};
+use uwb_obs::{measure_ns, median, median_abs_deviation, per_second, ProfileNode, Stopwatch};
 use uwb_radio::{Channel, Cir, PulseShape, RadioConfig, TcPgDelay, CIR_SAMPLE_PERIOD_S};
 
 /// Deterministic seed shared by every synthetic workload input.
@@ -51,18 +55,26 @@ pub struct SuiteConfig {
     /// Busy-spin (ns) injected *inside* every timed region — the
     /// regression-gate test hook, parsed from `UWB_PERFWATCH_SPIN_NS`.
     pub spin_ns: u64,
+    /// Phantom work ops injected *inside* every profiled region — the
+    /// work-gate analogue of `spin_ns`, parsed from
+    /// `UWB_PERFWATCH_INFLATE_WORK`. Inflates `work_ops` without
+    /// touching the kernels or the timing, so the gating test can prove
+    /// the work gate fires while wall-clock stays honest.
+    pub inflate_work: u64,
     /// Only run workloads whose name contains one of these
     /// comma-separated substrings.
     pub filter: Option<String>,
 }
 
 impl SuiteConfig {
-    /// Reads the environment hooks (`UWB_PERFWATCH_SPIN_NS`) into an
-    /// otherwise-default configuration.
+    /// Reads the environment hooks (`UWB_PERFWATCH_SPIN_NS`,
+    /// `UWB_PERFWATCH_INFLATE_WORK`) into an otherwise-default
+    /// configuration.
     #[must_use]
     pub fn from_env() -> Self {
         SuiteConfig {
             spin_ns: spin_ns_from_env(),
+            inflate_work: inflate_work_from_env(),
             ..SuiteConfig::default()
         }
     }
@@ -72,6 +84,16 @@ impl SuiteConfig {
 #[must_use]
 pub fn spin_ns_from_env() -> u64 {
     std::env::var("UWB_PERFWATCH_SPIN_NS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Parses `UWB_PERFWATCH_INFLATE_WORK` (unset, empty, or unparsable
+/// → 0).
+#[must_use]
+pub fn inflate_work_from_env() -> u64 {
+    std::env::var("UWB_PERFWATCH_INFLATE_WORK")
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .unwrap_or(0)
@@ -419,8 +441,48 @@ pub fn workload_names() -> Vec<&'static str> {
     build_workloads(1).iter().map(|w| w.name).collect()
 }
 
-/// Runs one workload under the measurement protocol.
-fn measure(workload: &mut Workload, config: &SuiteConfig) -> WorkloadResult {
+/// Serialises the profiled bracket in [`measure`]: the work profiler is
+/// process-global, so two concurrent `measure` calls (parallel tests)
+/// must not interleave their enable/disable windows.
+fn profile_gate() -> &'static Mutex<()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+}
+
+/// The alloc probe handed to the profiler under `count-alloc`: the
+/// running allocation-call total, so every profile scope carries an
+/// alloc column in the flame view.
+fn alloc_probe() -> u64 {
+    alloc_count::snapshot().map_or(0, |snap| snap.allocs)
+}
+
+/// One profiled, untimed run: the deterministic work-counter tree for a
+/// single execution of the workload (plus any configured phantom
+/// inflation). Counters are a pure function of the input, so one sample
+/// is exact — no statistics needed.
+fn profile_once(workload: &mut Workload, config: &SuiteConfig) -> ProfileNode {
+    let _gate = profile_gate().lock().unwrap_or_else(|e| e.into_inner());
+    if alloc_count::enabled() {
+        uwb_obs::profile::set_alloc_probe(alloc_probe);
+    }
+    uwb_obs::profile::enable();
+    let ((), tree) = uwb_obs::profile::scoped(|| {
+        (workload.run)();
+        // The inflation hook lands *inside* the profiled region so a
+        // nonzero `UWB_PERFWATCH_INFLATE_WORK` registers as a real work
+        // regression.
+        if config.inflate_work > 0 {
+            uwb_obs::profile::work("test.inflated", config.inflate_work);
+        }
+    });
+    let _ = uwb_obs::profile::disable();
+    uwb_obs::profile::clear_alloc_probe();
+    tree
+}
+
+/// Runs one workload under the measurement protocol, returning the row
+/// plus its work-counter tree.
+fn measure(workload: &mut Workload, config: &SuiteConfig) -> (WorkloadResult, ProfileNode) {
     let iters = config.iters.unwrap_or(workload.default_iters).max(1);
     let warmup = config.warmup.unwrap_or(workload.default_warmup);
 
@@ -429,12 +491,16 @@ fn measure(workload: &mut Workload, config: &SuiteConfig) -> WorkloadResult {
     }
 
     // One allocation-bracketed, untimed run. `None` unless the crate
-    // was built with `count-alloc`.
+    // was built with `count-alloc`. Kept separate from the profiled run
+    // below: building the profile tree itself allocates, which would
+    // pollute the workload's own allocation count.
     let alloc_before = alloc_count::snapshot();
     (workload.run)();
     let alloc_delta = alloc_count::snapshot()
         .zip(alloc_before)
         .map(|(after, before)| after.since(before));
+
+    let profile = profile_once(workload, config);
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
@@ -452,7 +518,7 @@ fn measure(workload: &mut Workload, config: &SuiteConfig) -> WorkloadResult {
     let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
     let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
 
-    WorkloadResult {
+    let row = WorkloadResult {
         name: workload.name.to_string(),
         layer: workload.layer.to_string(),
         iters,
@@ -466,14 +532,23 @@ fn measure(workload: &mut Workload, config: &SuiteConfig) -> WorkloadResult {
         throughput_per_s: per_second(workload.units_per_iter, median_ns.round() as u64),
         allocs_per_iter: alloc_delta.map(|d| d.allocs),
         alloc_bytes_per_iter: alloc_delta.map(|d| d.bytes),
-    }
+        work_ops: Some(profile.total_work()),
+    };
+    (row, profile)
 }
 
-/// Runs the (optionally filtered) suite and returns one result row per
-/// workload, in fixed suite order. `progress` receives each workload
-/// name just before it runs (the CLI prints it; tests pass a no-op).
-pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> Vec<WorkloadResult> {
-    build_workloads(config.threads)
+/// Runs the (optionally filtered) suite. Returns one result row per
+/// workload in fixed suite order, plus the merged suite profile: each
+/// workload's work-counter tree grafted under a scope named after the
+/// workload, ready for `ProfileNode::collapsed` / `uwb-trace flame`.
+/// `progress` receives each workload name just before it runs (the CLI
+/// prints it; tests pass a no-op).
+pub fn run_suite(
+    config: &SuiteConfig,
+    mut progress: impl FnMut(&str),
+) -> (Vec<WorkloadResult>, ProfileNode) {
+    let mut suite_profile = ProfileNode::default();
+    let rows = build_workloads(config.threads)
         .iter_mut()
         .filter(|w| {
             config.filter.as_deref().is_none_or(|needles| {
@@ -484,9 +559,14 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> Vec<Wo
         })
         .map(|w| {
             progress(w.name);
-            measure(w, config)
+            let (row, profile) = measure(w, config);
+            let slot = suite_profile.children.entry(w.name).or_default();
+            slot.calls += 1;
+            slot.merge_from(&profile);
+            row
         })
-        .collect()
+        .collect();
+    (rows, suite_profile)
 }
 
 #[cfg(test)]
@@ -531,7 +611,7 @@ mod tests {
             ..SuiteConfig::default()
         };
         let mut seen = Vec::new();
-        let results = run_suite(&config, |name| seen.push(name.to_string()));
+        let (results, profile) = run_suite(&config, |name| seen.push(name.to_string()));
         assert_eq!(seen, vec!["rpm.decode".to_string()]);
         assert_eq!(results.len(), 1);
         let row = &results[0];
@@ -543,6 +623,54 @@ mod tests {
         // was compiled in (`count-alloc` — the baseline-regeneration
         // configuration).
         assert_eq!(row.allocs_per_iter.is_some(), crate::alloc_count::enabled());
+        // The work column is always populated: 1024 slot decodes per
+        // iteration, each counting one `rpm.decode` op.
+        assert_eq!(row.work_ops, Some(1024));
+        // The suite profile grafts the tree under the workload name.
+        let scope = profile.children.get("rpm.decode").expect("grafted scope");
+        assert_eq!(scope.work.get("rpm.decode").copied(), Some(1024));
+        assert!(profile
+            .collapsed()
+            .contains("rpm.decode;work:rpm.decode 1024\n"));
+    }
+
+    #[test]
+    fn work_counts_are_exact_across_repeat_runs() {
+        let config = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("dsp.fft_radix2_1024".to_string()),
+            ..SuiteConfig::default()
+        };
+        let (a, _) = run_suite(&config, |_| {});
+        let (b, _) = run_suite(&config, |_| {});
+        // Forward + inverse 1024-point FFT: 2 · (1024/2)·log2(1024)
+        // butterflies, a pure function of the input.
+        assert_eq!(a[0].work_ops, Some(2 * 512 * 10));
+        assert_eq!(a[0].work_ops, b[0].work_ops);
+    }
+
+    #[test]
+    fn inflate_work_hook_raises_work_ops_without_touching_kernels() {
+        let honest = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("rpm.decode".to_string()),
+            ..SuiteConfig::default()
+        };
+        let inflated = SuiteConfig {
+            inflate_work: 5_000,
+            ..honest.clone()
+        };
+        let (a, _) = run_suite(&honest, |_| {});
+        let (b, profile) = run_suite(&inflated, |_| {});
+        assert_eq!(a[0].work_ops, Some(1024));
+        assert_eq!(b[0].work_ops, Some(1024 + 5_000));
+        // The phantom ops are attributed to a dedicated kind, not to
+        // any real kernel counter.
+        let scope = profile.children.get("rpm.decode").expect("grafted scope");
+        assert_eq!(scope.work.get("test.inflated").copied(), Some(5_000));
+        assert_eq!(scope.work.get("rpm.decode").copied(), Some(1024));
     }
 
     #[test]
@@ -573,8 +701,8 @@ mod tests {
             spin_ns: 2_000_000,
             ..fast.clone()
         };
-        let fast_ns = run_suite(&fast, |_| {})[0].median_ns;
-        let slow_ns = run_suite(&slow, |_| {})[0].median_ns;
+        let fast_ns = run_suite(&fast, |_| {}).0[0].median_ns;
+        let slow_ns = run_suite(&slow, |_| {}).0[0].median_ns;
         assert!(
             slow_ns >= fast_ns + 1_500_000.0,
             "spin hook did not register: fast {fast_ns} ns, slow {slow_ns} ns"

@@ -44,8 +44,9 @@ fn workload() -> impl Strategy<Value = WorkloadResult> {
         ((1i64..10_000), (0i64..100)),
         (measurement(), measurement(), measurement(), measurement()),
         (measurement(), measurement(), opt_u64(), opt_u64()),
+        opt_u64(),
     )
-        .prop_map(|(strings, counts, times, rest)| {
+        .prop_map(|(strings, counts, times, rest, work_ops)| {
             let (name, layer, units) = strings;
             let (iters, warmup) = counts;
             let (median_ns, mad_ns, min_ns, mean_ns) = times;
@@ -64,6 +65,7 @@ fn workload() -> impl Strategy<Value = WorkloadResult> {
                 throughput_per_s,
                 allocs_per_iter,
                 alloc_bytes_per_iter,
+                work_ops,
             }
         })
 }
@@ -73,14 +75,16 @@ fn bench_doc() -> impl Strategy<Value = BenchDoc> {
         tricky_string(),
         (1usize..256),
         (0usize..256),
+        proptest::bool::ANY,
         proptest::collection::vec(workload(), 0..6),
     )
-        .prop_map(|(rustc, nproc, threads, workloads)| {
+        .prop_map(|(rustc, nproc, threads, count_alloc, workloads)| {
             BenchDoc::new(
                 EnvFingerprint {
                     rustc,
                     nproc,
                     threads,
+                    count_alloc,
                 },
                 workloads,
             )
@@ -118,6 +122,10 @@ proptest! {
             prop_assert_eq!(
                 row.get("allocs_per_iter").and_then(Json::as_u64),
                 expected.allocs_per_iter
+            );
+            prop_assert_eq!(
+                row.get("work_ops").and_then(Json::as_u64),
+                expected.work_ops
             );
         }
     }

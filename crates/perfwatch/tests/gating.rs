@@ -1,8 +1,9 @@
 //! End-to-end regression-gate tests: a real (tiny) suite run compared
-//! against manufactured baselines, and the `UWB_PERFWATCH_SPIN_NS`
-//! hook registering as a genuine regression.
+//! against manufactured baselines, and the `UWB_PERFWATCH_SPIN_NS` /
+//! `UWB_PERFWATCH_INFLATE_WORK` hooks registering as genuine
+//! regressions.
 
-use uwb_perfwatch::suite::spin_ns_from_env;
+use uwb_perfwatch::suite::{inflate_work_from_env, spin_ns_from_env};
 use uwb_perfwatch::{compare, run_suite, BenchDoc, EnvFingerprint, SuiteConfig};
 
 /// A one-workload configuration fast enough for a test.
@@ -18,7 +19,7 @@ fn tiny_config() -> SuiteConfig {
 fn doc_from(config: &SuiteConfig) -> BenchDoc {
     BenchDoc::new(
         EnvFingerprint::capture(config.threads),
-        run_suite(config, |_| {}),
+        run_suite(config, |_| {}).0,
     )
 }
 
@@ -77,6 +78,47 @@ fn scaled_baseline_arithmetic_matches_the_band() {
 }
 
 #[test]
+fn inflate_work_hook_fails_the_work_gate_with_honest_timing() {
+    let baseline = doc_from(&tiny_config());
+    let inflated = SuiteConfig {
+        inflate_work: 1,
+        ..tiny_config()
+    };
+    let current = doc_from(&inflated);
+    // One phantom op is invisible to any timing statistic, yet the
+    // zero-noise-band work gate must catch it even under a 400 % band.
+    let comparison = compare(&baseline, &current, 400.0);
+    assert!(
+        comparison.has_regression(),
+        "inflated work went undetected: {}",
+        comparison.render_table()
+    );
+    let delta = &comparison.deltas[0];
+    assert!(delta.work_regressed);
+    assert_eq!(delta.old_work, Some(1024));
+    assert_eq!(delta.new_work, Some(1025));
+    assert!(comparison.render_table().contains("WORK-REGRESSED"));
+}
+
+#[test]
+fn work_ops_are_byte_identical_across_runs_and_configs() {
+    // Unlike timing, the work column must round-trip *exactly* through
+    // the rendered document — identical runs render identical rows.
+    let a = doc_from(&tiny_config());
+    let b = doc_from(&tiny_config());
+    assert_eq!(a.workloads[0].work_ops, b.workloads[0].work_ops);
+    let work_lines = |doc: &BenchDoc| -> Vec<String> {
+        doc.render()
+            .lines()
+            .filter(|l| l.contains("work_ops"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(work_lines(&a), work_lines(&b));
+    assert!(!work_lines(&a).is_empty(), "work_ops must be rendered");
+}
+
+#[test]
 fn spin_env_hook_parses_like_the_binary_does() {
     std::env::set_var("UWB_PERFWATCH_SPIN_NS", "12345");
     let parsed = spin_ns_from_env();
@@ -86,6 +128,20 @@ fn spin_env_hook_parses_like_the_binary_does() {
     let unset = spin_ns_from_env();
 
     assert_eq!(parsed, 12345);
+    assert_eq!(garbage, 0, "unparsable values must disable the hook");
+    assert_eq!(unset, 0);
+}
+
+#[test]
+fn inflate_work_env_hook_parses_like_the_binary_does() {
+    std::env::set_var("UWB_PERFWATCH_INFLATE_WORK", "777");
+    let parsed = inflate_work_from_env();
+    std::env::set_var("UWB_PERFWATCH_INFLATE_WORK", "nope");
+    let garbage = inflate_work_from_env();
+    std::env::remove_var("UWB_PERFWATCH_INFLATE_WORK");
+    let unset = inflate_work_from_env();
+
+    assert_eq!(parsed, 777);
     assert_eq!(garbage, 0, "unparsable values must disable the hook");
     assert_eq!(unset, 0);
 }

@@ -120,7 +120,7 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
             deferrals: 0,
             epochs_run: 0,
             started: false,
-            telemetry: EpochTelemetry::new(),
+            telemetry: EpochTelemetry::from_env(),
         }
     }
 
@@ -232,17 +232,30 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
             let wall_start = std::time::Instant::now();
             let phases = run_ordered(shards.len(), threads, |i| {
                 let mut shard = shards[i].lock().expect("shard lock poisoned");
-                let (outbox, mut stats) = if obs_on {
-                    let (result, metrics) = uwb_obs::scoped_metrics(|| {
+                // Work counters are captured per shard phase (the
+                // `scoped_metrics` discipline) and absorbed at the
+                // barrier in shard index order, so profile totals stay
+                // bit-identical at any thread count. Events and
+                // deliveries are already deterministic windowed
+                // counters; translating them into work ops costs two
+                // map inserts per phase when profiling is on.
+                let ((outbox, mut stats), profile) = uwb_obs::profile::scoped(|| {
+                    let _work_scope = uwb_obs::profile::scope("worldsim.epoch");
+                    let (outbox, stats) = if obs_on {
+                        let (result, metrics) = uwb_obs::scoped_metrics(|| {
+                            shard.run_epoch(protocol, env, epoch_txes, epoch_end)
+                        });
+                        shard.metrics.merge(&metrics);
+                        result
+                    } else {
                         shard.run_epoch(protocol, env, epoch_txes, epoch_end)
-                    });
-                    shard.metrics.merge(&metrics);
-                    result
-                } else {
-                    shard.run_epoch(protocol, env, epoch_txes, epoch_end)
-                };
+                    };
+                    uwb_obs::profile::work("worldsim.event", stats.events);
+                    uwb_obs::profile::work("worldsim.delivery", stats.deliveries);
+                    (outbox, stats)
+                });
                 stats.shard = i as u32;
-                (outbox, stats)
+                (outbox, stats, profile)
             });
             // Wall clock is the one thread-count-dependent measurement;
             // EpochTelemetry keeps it out of equality and serialized
@@ -254,7 +267,8 @@ impl<Pr: WorldProtocol> WorldSim<Pr> {
             // epoch-causality invariant; record the shards' windowed
             // telemetry in the same order.
             let mut shard_stats = Vec::with_capacity(phases.len());
-            for (outbox, stats) in phases {
+            for (outbox, stats, profile) in phases {
+                uwb_obs::profile::absorb(&profile);
                 shard_stats.push(stats);
                 for mut tx in outbox {
                     if tx.fire_s < epoch_end {
