@@ -29,8 +29,12 @@ echo "==> exp_capacity_sweep smoke (N ≤ 64, 20 trials)"
 # The city-scale acceptance gate: the sharded world must complete the
 # capacity point at N = 64 with a deterministic report — the stdout
 # table is byte-identical for any --threads / UWB_WORLDSIM_THREADS.
-./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 1 > /tmp/capacity_t1.txt
-./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 4 > /tmp/capacity_t4.txt
+# UWB_RESULTS_DIR keeps every capacity smoke's reduced-resolution CSV
+# away from the committed full-sweep results/capacity_sweep.csv.
+UWB_RESULTS_DIR=/tmp/capacity_smoke_results \
+    ./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 1 > /tmp/capacity_t1.txt
+UWB_RESULTS_DIR=/tmp/capacity_smoke_results \
+    ./target/release/exp_capacity_sweep --n 64 --trials 20 --threads 4 > /tmp/capacity_t4.txt
 diff /tmp/capacity_t1.txt /tmp/capacity_t4.txt
 
 echo "==> epoch telemetry smoke (byte-identical at 1 vs 4 threads)"
@@ -38,9 +42,11 @@ echo "==> epoch telemetry smoke (byte-identical at 1 vs 4 threads)"
 # (JSONL and the Prometheus-style text exposition) must diff clean
 # across thread counts, and `uwb-trace epochs` must validate the schema
 # and render the table + shard heatmap.
-./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 1 \
+UWB_RESULTS_DIR=/tmp/capacity_smoke_results \
+    ./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 1 \
     --telemetry=/tmp/telemetry_t1.jsonl >/dev/null
-./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 4 \
+UWB_RESULTS_DIR=/tmp/capacity_smoke_results \
+    ./target/release/exp_capacity_sweep --n 64 --trials 5 --threads 4 \
     --telemetry=/tmp/telemetry_t4.jsonl >/dev/null
 diff /tmp/telemetry_t1.jsonl /tmp/telemetry_t4.jsonl
 diff /tmp/telemetry_t1.prom /tmp/telemetry_t4.prom
@@ -50,7 +56,8 @@ echo "==> causal frame tracing smoke (TX → identify chain reconstructs)"
 # Record one traced capacity run with unbounded shard rings, pick an
 # arbitrary identified frame, and require `uwb-trace causal` to walk
 # its span chain all the way back to the TX root.
-UWB_NETSIM_TRACE_QUOTA=0 ./target/release/exp_capacity_sweep \
+UWB_RESULTS_DIR=/tmp/capacity_smoke_results UWB_NETSIM_TRACE_QUOTA=0 \
+    ./target/release/exp_capacity_sweep \
     --n 64 --trials 1 --threads 4 --trace-out=/tmp/causal_smoke.jsonl >/dev/null
 # -m1 (not `| head`): head's early exit would SIGPIPE grep, which
 # pipefail turns into a spurious gate failure.
@@ -77,6 +84,23 @@ diff /tmp/profile_t1.collapsed /tmp/profile_t4.collapsed
 ./target/release/uwb-trace flame /tmp/profile_t1.collapsed > /tmp/flame_smoke.txt
 grep -q "total work:" /tmp/flame_smoke.txt
 grep -q "work:fft.butterfly" /tmp/profile_t1.collapsed
+
+echo "==> DSP backend smoke (f64 byte-identical; rfft/f32 run clean)"
+# The multi-backend acceptance gate: an explicit --dsp-backend f64 run
+# must emit a byte-identical report to the default run (the scalar f64
+# backend IS the historical pipeline), and the real-FFT and f32
+# backends must complete the same campaign cleanly.
+UWB_RESULTS_DIR=/tmp/backend_smoke_results REPRO_TRIALS=20 \
+    ./target/release/exp_fig7_overlap --threads 2 > /tmp/fig7_default.txt
+UWB_RESULTS_DIR=/tmp/backend_smoke_results REPRO_TRIALS=20 \
+    ./target/release/exp_fig7_overlap --threads 2 --dsp-backend f64 \
+    > /tmp/fig7_backend_f64.txt
+diff /tmp/fig7_default.txt /tmp/fig7_backend_f64.txt
+for backend in rfft f32; do
+    UWB_RESULTS_DIR=/tmp/backend_smoke_results REPRO_TRIALS=20 \
+        ./target/release/exp_fig7_overlap --threads 2 \
+        --dsp-backend "$backend" >/dev/null
+done
 
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still

@@ -14,7 +14,7 @@
 use crate::scenarios::{synthesize_responses_into, tx_grid_offset_ns};
 use crate::table::{fmt_f, Table};
 use concurrent_ranging::detection::{
-    DetectorContext, SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig,
+    Detector, DetectorContext, SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig,
     ThresholdDetector,
 };
 use rand::Rng;
@@ -201,9 +201,12 @@ pub fn overlap_trial_with(
         rng,
     );
 
-    let ss_out = ss.detect_with(ctx, cir, 2).expect("detection runs");
+    // Through the `Detector` trait (identical to the inherent methods),
+    // so swapping either detector for a future fusion variant only
+    // changes the construction site.
+    let ss_out = Detector::detect_with(ss, ctx, cir, 2).expect("detection runs");
     let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
-    let th_out = th.detect_with(ctx, cir, 2).expect("baseline runs");
+    let th_out = Detector::detect_with(th, ctx, cir, 2).expect("baseline runs");
     let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
     let search_subtract_ok = matches_both(&ss_taus, &truth, tol_ns);
     if !search_subtract_ok {

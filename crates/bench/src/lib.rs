@@ -24,13 +24,15 @@ pub use table::{fmt_f, sparkline, trials_from_env, Table};
 
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: exp_… [--threads N] [--trace-out[=PATH]] [--profile[=PATH]]";
+const USAGE: &str = "usage: exp_… [--threads N] [--dsp-backend f64|rfft|f32] \
+[--trace-out[=PATH]] [--profile[=PATH]]";
 
-/// The shared experiment CLI: the `--threads N` worker knob plus the
-/// observability knobs (`--trace-out[=PATH]`, `UWB_TRACE`,
-/// `UWB_FLIGHT_QUOTA`) and the work-accounting profiler
-/// (`--profile[=PATH]`, `UWB_PROFILE`), wired identically through every
-/// experiment binary.
+/// The shared experiment CLI: the `--threads N` worker knob, the DSP
+/// backend selector (`--dsp-backend LABEL`, or the `UWB_DSP_BACKEND`
+/// environment variable), plus the observability knobs
+/// (`--trace-out[=PATH]`, `UWB_TRACE`, `UWB_FLIGHT_QUOTA`) and the
+/// work-accounting profiler (`--profile[=PATH]`, `UWB_PROFILE`), wired
+/// identically through every experiment binary.
 ///
 /// Construct with [`ExpHarness::init`] at the top of `main` and call
 /// [`ExpHarness::finish`] before exiting so the trace sink is flushed
@@ -40,6 +42,9 @@ pub struct ExpHarness {
     /// Campaign worker count (0 = automatic); ignored by experiments
     /// that do not run on the campaign engine.
     pub threads: usize,
+    /// The DSP backend detection contexts will dispatch to (from
+    /// `--dsp-backend`, `UWB_DSP_BACKEND`, or the f64 default).
+    pub dsp_backend: uwb_dsp::DspBackend,
     trace_path: Option<PathBuf>,
     profile_path: Option<PathBuf>,
 }
@@ -86,8 +91,10 @@ impl ExpHarness {
         let (threads, rest) = uwb_campaign::parse_threads_arg(args)?;
         let mut trace_opt: Option<String> = None;
         let mut profile_opt: Option<String> = None;
+        let mut backend_opt: Option<String> = None;
         let mut leftover: Vec<String> = Vec::new();
-        for arg in rest {
+        let mut rest = rest.into_iter();
+        while let Some(arg) = rest.next() {
             if arg == "--trace-out" {
                 trace_opt = Some(String::new());
             } else if let Some(path) = arg.strip_prefix("--trace-out=") {
@@ -96,9 +103,25 @@ impl ExpHarness {
                 profile_opt = Some(String::new());
             } else if let Some(path) = arg.strip_prefix("--profile=") {
                 profile_opt = Some(path.to_string());
+            } else if arg == "--dsp-backend" {
+                backend_opt = Some(rest.next().ok_or("--dsp-backend needs a value")?);
+            } else if let Some(label) = arg.strip_prefix("--dsp-backend=") {
+                backend_opt = Some(label.to_string());
             } else {
                 leftover.push(arg);
             }
+        }
+        let dsp_backend = match &backend_opt {
+            Some(label) => uwb_dsp::DspBackend::parse(label)
+                .ok_or_else(|| format!("unknown DSP backend {label:?} (f64, rfft, f32)"))?,
+            None => uwb_dsp::DspBackend::from_env(),
+        };
+        if backend_opt.is_some() {
+            // Publish the selection through the shared environment knob so
+            // every DetectorContext::new() — including those built inside
+            // campaign workers — dispatches to it. Set before any worker
+            // thread exists (we are at the top of main).
+            std::env::set_var(uwb_dsp::BACKEND_ENV_VAR, dsp_backend.label());
         }
         let trace_path = uwb_obs::init_from_env(trace_opt.as_deref(), name)
             .map_err(|err| format!("cannot open trace output: {err}"))?;
@@ -109,6 +132,7 @@ impl ExpHarness {
         Ok((
             Self {
                 threads,
+                dsp_backend,
                 trace_path,
                 profile_path,
             },

@@ -4,13 +4,18 @@
 //! Both detectors re-run the same transform sizes for every CIR (1016
 //! taps upsampled ×8 → 8128 samples, matched-filtered per template). A
 //! [`DetectorContext`] owns a [`uwb_dsp::DspContext`] (FFT plan cache +
-//! scratch arena) and the detector-level buffers — the residual, the
-//! per-template matched-filter output and magnitudes — so a steady-state
+//! scratch arena) and the detector-level buffers — the residual and the
+//! per-template matched-filter magnitudes — so a steady-state
 //! `detect_with` call allocates (almost) nothing. Build one context per
 //! worker thread and reuse it across trials; outputs are bit-identical
 //! to the context-free entry points.
+//!
+//! The context also carries the [`DspBackend`] selection the detectors
+//! dispatch their kernels through: [`DetectorContext::new`] honors the
+//! `UWB_DSP_BACKEND` environment knob (unset → the bit-identical f64
+//! default), [`DetectorContext::with_backend`] pins one explicitly.
 
-use uwb_dsp::{Complex64, DspContext};
+use uwb_dsp::{Complex64, DspBackend, DspContext};
 
 /// Reusable state for repeated detection runs on one worker.
 ///
@@ -18,21 +23,24 @@ use uwb_dsp::{Complex64, DspContext};
 ///
 /// ```
 /// use concurrent_ranging::detection::DetectorContext;
+/// use uwb_dsp::DspBackend;
 ///
-/// let mut ctx = DetectorContext::new();
+/// let mut ctx = DetectorContext::new(); // backend from UWB_DSP_BACKEND
+/// assert_eq!(
+///     DetectorContext::with_backend(DspBackend::F32).backend(),
+///     DspBackend::F32,
+/// );
 /// // Pass to `SearchSubtractDetector::detect_with` /
 /// // `ThresholdDetector::detect_with` across many trials.
 /// # let _ = &mut ctx;
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DetectorContext {
-    /// FFT plans and complex scratch buffers.
+    /// FFT plans, complex scratch buffers, and the backend dispatch.
     pub(crate) dsp: DspContext,
     /// The upsampled CIR, iteratively reduced by subtraction.
     pub(crate) residual: Vec<Complex64>,
-    /// Matched-filter output of the template currently being scanned.
-    pub(crate) mf_out: Vec<Complex64>,
-    /// Magnitudes of `mf_out`.
+    /// Matched-filter magnitudes of the template currently being scanned.
     pub(crate) mags: Vec<f64>,
     /// Magnitudes of the best template seen this iteration.
     pub(crate) best_mf: Vec<f64>,
@@ -42,16 +50,45 @@ pub struct DetectorContext {
     pub(crate) best_scores: Vec<f64>,
 }
 
+impl Default for DetectorContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl DetectorContext {
     /// A context with empty caches; buffers grow to steady-state sizes on
-    /// first use.
+    /// first use. The DSP backend comes from the `UWB_DSP_BACKEND`
+    /// environment knob; when unset, the default scalar f64 kernels run
+    /// and outputs are bit-identical to the historical pipeline.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(DspBackend::from_env())
     }
 
-    /// The underlying DSP context (plan cache + scratch arena), for
-    /// callers that mix detection with their own planned DSP work.
+    /// A context pinned to the given DSP backend, ignoring the
+    /// environment.
+    #[must_use]
+    pub fn with_backend(backend: DspBackend) -> Self {
+        Self {
+            dsp: DspContext::with_backend(backend),
+            residual: Vec::new(),
+            mags: Vec::new(),
+            best_mf: Vec::new(),
+            scores: Vec::new(),
+            best_scores: Vec::new(),
+        }
+    }
+
+    /// The backend detection kernels dispatch to.
+    #[must_use]
+    pub fn backend(&self) -> DspBackend {
+        self.dsp.backend()
+    }
+
+    /// The underlying DSP context (plan cache + scratch arena + backend
+    /// selection), for callers that mix detection with their own planned
+    /// DSP work or switch backends mid-stream.
     pub fn dsp_mut(&mut self) -> &mut DspContext {
         &mut self.dsp
     }

@@ -8,14 +8,21 @@
 //!   (Sect. V) built in.
 //! - [`ThresholdDetector`]: the threshold-crossing baseline (Falsi et al.)
 //!   used as the comparison point in Sect. VI.
+//!
+//! Both implement the [`Detector`] trait (`detect` / `detect_with` /
+//! `detect_batch`), and both dispatch their DSP kernels through the
+//! backend carried by the [`DetectorContext`] (`UWB_DSP_BACKEND`, or
+//! [`DetectorContext::with_backend`]).
 
 mod context;
+mod detector;
 mod search_subtract;
 mod shape_scores;
 mod templates;
 mod threshold;
 
 pub use context::DetectorContext;
+pub use detector::Detector;
 pub use search_subtract::{
     DetectionDiagnostics, DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector,
 };

@@ -18,7 +18,7 @@ use crate::detection::shape_scores::ShapeScores;
 use crate::detection::templates::DetectionTemplate;
 use crate::detection::DetectedResponse;
 use crate::error::RangingError;
-use uwb_dsp::{parabolic_interpolation, upsample_fft_into};
+use uwb_dsp::{parabolic_interpolation, DspBackend, Kernels};
 use uwb_radio::Cir;
 
 /// Configuration of the search-and-subtract detector.
@@ -225,7 +225,6 @@ impl SearchSubtractDetector {
         let DetectorContext {
             dsp,
             residual,
-            mf_out,
             mags,
             best_mf,
             scores,
@@ -233,8 +232,9 @@ impl SearchSubtractDetector {
         } = ctx;
         let capture = self.config.capture_diagnostics;
 
-        // Step 1: upsample via FFT for a smoother signal.
-        upsample_fft_into(cir.taps(), self.config.upsample, residual, dsp)?;
+        // Step 1: upsample via FFT for a smoother signal (dispatched to
+        // the context's DSP backend).
+        dsp.upsample_into(cir.taps(), self.config.upsample, residual)?;
         let mut diagnostics = DetectionDiagnostics::default();
         if capture {
             diagnostics.upsampled_magnitude = residual.iter().map(|z| z.abs()).collect();
@@ -243,12 +243,12 @@ impl SearchSubtractDetector {
         let mut responses = Vec::with_capacity(count);
         for iteration in 0..count {
             // Steps 2–3: matched filter per template; global maximum across
-            // shapes and delays marks the strongest path.
+            // shapes and delays marks the strongest path. The kernel fuses
+            // convolution and magnitudes so non-default backends never
+            // materialize complex output they would immediately collapse.
             let mut best: Option<(usize, usize, f64)> = None; // (template, index, magnitude)
             for (ti, template) in self.templates.iter().enumerate() {
-                template.matched_filter_into(residual, mf_out, dsp);
-                mags.clear();
-                mags.extend(mf_out.iter().map(|z| z.abs()));
+                dsp.matched_filter_mags_into(template.filter(), residual, mags)?;
                 if capture && iteration == 0 {
                     diagnostics.first_mf_magnitude.push(mags.clone());
                 }
@@ -335,7 +335,12 @@ impl SearchSubtractDetector {
 
         // Joint refinement: re-estimate each response with all others
         // removed, fixing the biased fits the greedy pass leaves on
-        // overlapping pulses.
+        // overlapping pulses. The re-search scores at integer grid
+        // delays, so non-default backends correlate against the
+        // pre-sampled template (equal to the analytic score up to
+        // rounding); the scalar backend keeps the bit-identical
+        // analytic path.
+        let grid_scores = dsp.backend() != DspBackend::ScalarF64;
         for _ in 0..self.config.refinement_passes {
             for response in responses.iter_mut() {
                 let old = response.clone();
@@ -350,10 +355,15 @@ impl SearchSubtractDetector {
                     .min(residual.len().saturating_sub(1));
                 let mut best: Option<(usize, usize, f64)> = None;
                 for (ti, template) in self.templates.iter().enumerate() {
-                    scores.clear();
-                    scores.extend(
-                        (lo..=hi).map(|l| template.score_at(residual, l as f64 * sample_period_s)),
-                    );
+                    if grid_scores {
+                        template.score_grid_into(residual, lo, hi, scores);
+                    } else {
+                        scores.clear();
+                        scores.extend(
+                            (lo..=hi)
+                                .map(|l| template.score_at(residual, l as f64 * sample_period_s)),
+                        );
+                    }
                     if let Some((idx, val)) = uwb_dsp::argmax(scores) {
                         if best.is_none_or(|(_, _, b)| val > b) {
                             best = Some((ti, idx, val));

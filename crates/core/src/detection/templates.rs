@@ -19,6 +19,9 @@ pub struct DetectionTemplate {
     pub register: Option<TcPgDelay>,
     pulse: PulseShape,
     filter: MatchedFilter,
+    /// The unit-energy sampled pulse the filter was built from, kept for
+    /// integer-grid scoring ([`DetectionTemplate::score_grid_into`]).
+    grid: Vec<f64>,
     /// Offset in samples from template start to the pulse center.
     peak_offset: usize,
     sample_period_s: f64,
@@ -40,6 +43,7 @@ impl DetectionTemplate {
             register: pulse.register(),
             pulse,
             filter,
+            grid: sampled.samples,
             peak_offset: sampled.peak_index,
             sample_period_s,
         }
@@ -94,6 +98,13 @@ impl DetectionTemplate {
             .expect("signal validated by caller");
     }
 
+    /// The prepared matched filter behind this template, for callers that
+    /// dispatch through the backend-generic [`uwb_dsp::Kernels`] entry
+    /// points (which key their kernel-spectrum caches on the filter).
+    pub fn filter(&self) -> &MatchedFilter {
+        &self.filter
+    }
+
     /// Converts a start-aligned matched-filter peak index to the pulse
     /// center delay in seconds.
     pub fn center_delay_s(&self, start_index_frac: f64) -> f64 {
@@ -142,6 +153,42 @@ impl DetectionTemplate {
         } else {
             0.0
         }
+    }
+
+    /// Identification scores over a window of *integer-grid* delays:
+    /// `out[i]` agrees with `score_at(signal, (lo + i) · Ts)` to
+    /// floating-point rounding (the score is invariant to the template's
+    /// energy normalization), but correlates against the pre-sampled
+    /// pulse instead of re-evaluating the analytic shape per sample —
+    /// the dominant cost of the refinement re-search. The scalar f64
+    /// backend keeps the analytic [`DetectionTemplate::score_at`] path,
+    /// whose per-call rounding this does not reproduce bit-for-bit.
+    pub fn score_grid_into(&self, signal: &[Complex64], lo: usize, hi: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let peak = self.peak_offset as isize;
+        let mut macs = 0u64;
+        for l in lo..=hi.min(signal.len().saturating_sub(1)) {
+            let base = l as isize - peak;
+            let k_lo = (-base).max(0) as usize;
+            let k_hi = self
+                .grid
+                .len()
+                .min((signal.len() as isize - base).max(0) as usize);
+            let mut num = Complex64::ZERO;
+            let mut energy = 0.0;
+            for (k, &p) in self.grid[k_lo..k_hi].iter().enumerate() {
+                let n = (base + (k_lo + k) as isize) as usize;
+                num += signal[n].scale(p);
+                energy += p * p;
+            }
+            macs += k_hi.saturating_sub(k_lo) as u64;
+            out.push(if energy > 0.0 {
+                num.norm_sqr().sqrt() / energy.sqrt()
+            } else {
+                0.0
+            });
+        }
+        uwb_obs::profile::work("template.grid_mac", macs);
     }
 
     /// Subtracts `amplitude · p(t − tau_s)` from the signal in place —

@@ -15,7 +15,7 @@ use crate::detection::context::DetectorContext;
 use crate::detection::shape_scores::ShapeScores;
 use crate::detection::DetectedResponse;
 use crate::error::RangingError;
-use uwb_dsp::upsample_fft_into;
+use uwb_dsp::Kernels;
 use uwb_radio::Cir;
 
 /// Configuration of the threshold detector.
@@ -129,9 +129,8 @@ impl ThresholdDetector {
             mags,
             ..
         } = ctx;
-        upsample_fft_into(cir.taps(), self.config.upsample, up, dsp)?;
-        mags.clear();
-        mags.extend(up.iter().map(|z| z.abs()));
+        dsp.upsample_into(cir.taps(), self.config.upsample, up)?;
+        dsp.magnitudes_into(up, mags);
         let sample_period_s = cir.sample_period_s() / self.config.upsample as f64;
         let np = (self.config.pulse_duration_s / sample_period_s).ceil() as usize;
         let peak = mags.iter().cloned().fold(0.0, f64::max);

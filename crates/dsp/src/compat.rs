@@ -1,0 +1,159 @@
+//! Pre-plan-cache allocating kernel signatures, kept for callers that
+//! migrated before the `DspContext`/[`crate::Kernels`] redesign.
+//!
+//! **Deprecated in favor of the planned entry points.** Every wrapper
+//! here allocates its plans and working buffers per call; the planned
+//! `*_into` counterparts ([`crate::convolve_into`],
+//! [`crate::upsample_fft_into`], [`crate::MatchedFilter::apply_into`])
+//! and the backend-generic [`crate::Kernels`] trait amortize both and
+//! are bit-identical on the default backend. New code should hold a
+//! [`crate::DspContext`] and call through [`crate::Kernels`]; these
+//! wrappers exist so old call sites keep compiling (and stay covered by
+//! the equivalence tests) while they migrate.
+//!
+//! The wrappers are thin — each delegates to the current implementation
+//! of the same kernel, so behavior and outputs are exactly those of the
+//! modern paths.
+
+use crate::complex::Complex64;
+use crate::error::DspError;
+
+/// Allocating in-place forward FFT — the original free-function entry
+/// point. Prefer a cached plan ([`crate::PlanCache::bluestein`]) or
+/// [`crate::Kernels::fft_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::fft`].
+pub fn fft(data: &mut [Complex64]) -> Result<(), DspError> {
+    crate::fft::fft(data)
+}
+
+/// Allocating in-place inverse FFT. Prefer a cached plan or
+/// [`crate::Kernels::fft_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::ifft`].
+pub fn ifft(data: &mut [Complex64]) -> Result<(), DspError> {
+    crate::fft::ifft(data)
+}
+
+/// Allocating linear convolution. Prefer [`crate::convolve_into`] with
+/// a [`crate::DspContext`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::convolve`].
+pub fn convolve(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    crate::convolution::convolve(a, b)
+}
+
+/// Allocating FFT-path convolution (no direct-path fallback). Prefer
+/// [`crate::convolve_into`], which picks the faster path itself.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::convolve_fft`].
+pub fn convolve_fft(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    crate::convolution::convolve_fft(a, b)
+}
+
+/// Allocating cross-correlation. Prefer [`crate::correlate_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::correlate`].
+pub fn correlate(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DspError> {
+    crate::convolution::correlate(a, b)
+}
+
+/// Allocating FFT zero-padding upsampler. Prefer
+/// [`crate::upsample_fft_into`] or [`crate::Kernels::upsample_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::upsample_fft`].
+pub fn upsample_fft(signal: &[Complex64], factor: usize) -> Result<Vec<Complex64>, DspError> {
+    crate::resample::upsample_fft(signal, factor)
+}
+
+/// Allocating matched-filter application. Prefer
+/// [`crate::MatchedFilter::apply_into`] or
+/// [`crate::Kernels::matched_filter_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::MatchedFilter::apply`].
+pub fn matched_filter_apply(
+    filter: &crate::MatchedFilter,
+    signal: &[Complex64],
+) -> Result<Vec<Complex64>, DspError> {
+    filter.apply(signal)
+}
+
+/// Allocating normalized matched-filter magnitudes. Prefer
+/// [`crate::MatchedFilter::apply_normalized_into`] or
+/// [`crate::Kernels::matched_filter_mags_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::MatchedFilter::apply_normalized`].
+pub fn matched_filter_apply_normalized(
+    filter: &crate::MatchedFilter,
+    signal: &[Complex64],
+) -> Result<Vec<f64>, DspError> {
+    filter.apply_normalized(signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DspContext, Kernels, MatchedFilter};
+
+    #[test]
+    fn wrappers_delegate_to_the_modern_paths() {
+        let signal: Vec<Complex64> = (0..300)
+            .map(|i| Complex64::new((i as f64 * 0.2).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let kernel: Vec<Complex64> = (0..40)
+            .map(|i| Complex64::from_real(0.1 * i as f64))
+            .collect();
+
+        // fft/ifft are the power-of-two one-shots.
+        let mut data = signal[..256].to_vec();
+        fft(&mut data).unwrap();
+        let mut roundtrip = data.clone();
+        ifft(&mut roundtrip).unwrap();
+        assert!(signal[..256]
+            .iter()
+            .zip(&roundtrip)
+            .all(|(a, b)| (*a - *b).abs() < 1e-9));
+
+        assert_eq!(
+            convolve(&signal, &kernel).unwrap(),
+            crate::convolve(&signal, &kernel).unwrap()
+        );
+        assert_eq!(
+            correlate(&signal, &kernel).unwrap(),
+            crate::correlate(&signal, &kernel).unwrap()
+        );
+        assert_eq!(
+            upsample_fft(&signal, 4).unwrap(),
+            crate::upsample_fft(&signal, 4).unwrap()
+        );
+
+        let filter = MatchedFilter::from_real(&[0.2, 1.0, 0.2]).unwrap();
+        let mut ctx = DspContext::new();
+        let mut planned = Vec::new();
+        ctx.matched_filter_into(&filter, &signal, &mut planned)
+            .unwrap();
+        assert_eq!(matched_filter_apply(&filter, &signal).unwrap(), planned);
+        let allocated = matched_filter_apply_normalized(&filter, &signal).unwrap();
+        let mut planned_norm = Vec::new();
+        filter
+            .apply_normalized_into(&signal, &mut planned_norm, &mut ctx)
+            .unwrap();
+        assert_eq!(allocated, planned_norm);
+    }
+}

@@ -26,9 +26,10 @@ const FFT_COST_RATIO: usize = 4;
 
 /// `true` when the FFT path is predicted faster than the direct path
 /// for a convolution of an `a_len`-sample signal with a `b_len`-sample
-/// kernel. Shared by the allocating and planned entry points so both
-/// always take the same branch (bit-identical outputs).
-fn fft_wins(a_len: usize, b_len: usize) -> bool {
+/// kernel. Shared by the allocating and planned entry points — and by
+/// the backend kernels in [`crate::Kernels`] — so every path always
+/// takes the same branch (bit-identical outputs).
+pub(crate) fn fft_wins(a_len: usize, b_len: usize) -> bool {
     let conv_len = next_power_of_two(a_len + b_len - 1);
     // log₂K of the power-of-two transform length, clamped to ≥1 so the
     // degenerate K=1 case stays on the direct path.

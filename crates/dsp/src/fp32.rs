@@ -1,0 +1,645 @@
+//! Single-precision (f32) kernel set for the [`crate::DspBackend::F32`]
+//! backend.
+//!
+//! The DW1000 accumulator digitizes 16-bit I/Q samples and every paper
+//! scenario adds receiver noise orders of magnitude above f32 rounding
+//! (≈2⁻²⁴ relative), so the hot transforms can run in single precision:
+//! half the memory traffic through the 16384-point convolution FFTs
+//! that dominate a detection. The public API boundary stays
+//! [`Complex64`] — conversion happens at the edges, and the analytic
+//! stages (template subtraction, amplitude projection, sub-sample
+//! interpolation) remain f64.
+//!
+//! The kernels mirror their f64 counterparts operation for operation,
+//! including the deterministic work counters (`fft.butterfly`,
+//! `bluestein.cmul`) — a backend changes *precision*, never the counted
+//! work shape, except where an algorithm change (cached kernel spectra)
+//! legitimately removes work.
+
+use crate::complex::Complex64;
+use crate::error::DspError;
+use crate::fft::{next_power_of_two, Direction};
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Minimal single-precision complex number for the f32 kernel set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Additive identity.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+
+    /// Builds a value from parts.
+    #[must_use]
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}` with the angle computed in f64 for accurate twiddles.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos() as f32,
+            im: theta.sin() as f32,
+        }
+    }
+
+    /// Narrows a double-precision value.
+    #[must_use]
+    pub fn from_c64(z: Complex64) -> Self {
+        Self {
+            re: z.re as f32,
+            im: z.im as f32,
+        }
+    }
+
+    /// Widens back to double precision.
+    #[must_use]
+    pub fn to_c64(self) -> Complex64 {
+        Complex64::new(f64::from(self.re), f64::from(self.im))
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplication by a real scalar.
+    #[must_use]
+    pub fn scale(self, s: f32) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `re² + im²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::AddAssign for Complex32 {
+    fn add_assign(&mut self, rhs: Complex32) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::MulAssign for Complex32 {
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+/// Radix-2 FFT plan in single precision — the same iterative
+/// Cooley–Tukey structure as [`crate::FftPlan`].
+#[derive(Debug, Clone)]
+pub struct FftPlan32 {
+    size: usize,
+    reversed: Vec<u32>,
+    twiddles: Vec<Complex32>,
+}
+
+impl FftPlan32 {
+    /// Creates a plan for transforms of length `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] unless `size` is a power of
+    /// two and at least 1.
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { size });
+        }
+        let bits = size.trailing_zeros();
+        let reversed = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| if size == 1 { 0 } else { i })
+            .collect();
+        let twiddles = (0..size / 2)
+            .map(|k| Complex32::cis(-2.0 * PI * k as f64 / size as f64))
+            .collect();
+        Ok(Self {
+            size,
+            reversed,
+            twiddles,
+        })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan32::size`].
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse FFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan32::size`].
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction. Counts the same
+    /// `fft.butterfly` work as the f64 plan — precision does not change
+    /// the operation count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`FftPlan32::size`].
+    pub fn transform(&self, data: &mut [Complex32], direction: Direction) {
+        uwb_obs::profile::work(
+            "fft.butterfly",
+            (self.size as u64 / 2) * u64::from(self.size.trailing_zeros()),
+        );
+        self.transform_unprofiled(data, direction);
+    }
+
+    /// The transform core without work accounting (plan construction and
+    /// one-time cache fills).
+    pub(crate) fn transform_unprofiled(&self, data: &mut [Complex32], direction: Direction) {
+        assert_eq!(
+            data.len(),
+            self.size,
+            "f32 FFT plan size {} does not match buffer length {}",
+            self.size,
+            data.len()
+        );
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.reversed[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if direction == Direction::Inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        if direction == Direction::Inverse {
+            let scale = 1.0 / n as f32;
+            for z in data.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+    }
+}
+
+/// Arbitrary-length FFT in single precision via Bluestein's chirp-z
+/// trick — the same structure as [`crate::BluesteinPlan`]. Chirp phases
+/// are computed in f64 before narrowing, so plan accuracy is limited by
+/// the arithmetic, not the tables.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan32 {
+    size: usize,
+    inner: Inner32,
+}
+
+#[derive(Debug, Clone)]
+enum Inner32 {
+    Radix2(FftPlan32),
+    Chirp {
+        conv_len: usize,
+        plan: FftPlan32,
+        chirp: Vec<Complex32>,
+        kernel_fft: Vec<Complex32>,
+    },
+}
+
+impl BluesteinPlan32 {
+    /// Creates a plan for transforms of length `size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] when `size` is zero.
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if size.is_power_of_two() {
+            return Ok(Self {
+                size,
+                inner: Inner32::Radix2(FftPlan32::new(size)?),
+            });
+        }
+        let conv_len = next_power_of_two(2 * size - 1);
+        let plan = FftPlan32::new(conv_len)?;
+        let chirp: Vec<Complex32> = (0..size)
+            .map(|n| {
+                let sq = (n as u128 * n as u128) % (2 * size as u128);
+                Complex32::cis(-PI * sq as f64 / size as f64)
+            })
+            .collect();
+        let mut kernel = vec![Complex32::ZERO; conv_len];
+        kernel[0] = chirp[0].conj();
+        for n in 1..size {
+            let v = chirp[n].conj();
+            kernel[n] = v;
+            kernel[conv_len - n] = v;
+        }
+        plan.transform_unprofiled(&mut kernel, Direction::Forward);
+        Ok(Self {
+            size,
+            inner: Inner32::Chirp {
+                conv_len,
+                plan,
+                chirp,
+                kernel_fft: kernel,
+            },
+        })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place transform drawing working memory from `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`BluesteinPlan32::size`].
+    pub fn transform_with(
+        &self,
+        data: &mut [Complex32],
+        direction: Direction,
+        scratch: &mut Scratch32,
+    ) {
+        assert_eq!(
+            data.len(),
+            self.size,
+            "f32 Bluestein plan size {} does not match buffer length {}",
+            self.size,
+            data.len()
+        );
+        match &self.inner {
+            Inner32::Radix2(plan) => plan.transform(data, direction),
+            Inner32::Chirp {
+                conv_len,
+                plan,
+                chirp,
+                kernel_fft,
+            } => {
+                let n = self.size;
+                uwb_obs::profile::work("bluestein.cmul", 2 * n as u64 + *conv_len as u64);
+                let mut buf = scratch.acquire_zeroed(*conv_len);
+                if direction == Direction::Inverse {
+                    for z in data.iter_mut() {
+                        *z = z.conj();
+                    }
+                }
+                for i in 0..n {
+                    buf[i] = data[i] * chirp[i];
+                }
+                plan.forward(&mut buf);
+                for (b, k) in buf.iter_mut().zip(kernel_fft) {
+                    *b *= *k;
+                }
+                plan.inverse(&mut buf);
+                for k in 0..n {
+                    data[k] = buf[k] * chirp[k];
+                }
+                if direction == Direction::Inverse {
+                    let scale = 1.0 / n as f32;
+                    for z in data.iter_mut() {
+                        *z = z.conj().scale(scale);
+                    }
+                }
+                scratch.release(buf);
+            }
+        }
+    }
+}
+
+/// A pool of reusable `Vec<Complex32>` working buffers — the f32 twin
+/// of [`crate::DspScratch`].
+#[derive(Debug, Default)]
+pub struct Scratch32 {
+    pool: Vec<Vec<Complex32>>,
+}
+
+impl Scratch32 {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer of exactly `len` zeros, reusing pooled capacity.
+    pub fn acquire_zeroed(&mut self, len: usize) -> Vec<Complex32> {
+        let mut buf = self.acquire();
+        buf.resize(len, Complex32::ZERO);
+        buf
+    }
+
+    /// An empty buffer with the largest pooled capacity available, so
+    /// the big convolution transforms keep their big buffers and the
+    /// steady state stays allocation-free.
+    pub fn acquire(&mut self) -> Vec<Complex32> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, buf)| buf.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn release(&mut self, buf: Vec<Complex32>) {
+        self.pool.push(buf);
+    }
+
+    /// Buffers currently parked in the pool.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// The f32 planning/scratch state embedded in a [`crate::DspContext`]:
+/// cached single-precision plans plus an f32 scratch arena.
+#[derive(Debug, Default)]
+pub struct Fp32Engine {
+    radix2: HashMap<usize, Arc<FftPlan32>>,
+    bluestein: HashMap<usize, Arc<BluesteinPlan32>>,
+    /// Reusable f32 working buffers.
+    pub scratch: Scratch32,
+}
+
+impl Fp32Engine {
+    /// The f32 radix-2 plan for `size`, building and caching on first
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FftPlan32::new`] errors.
+    pub fn radix2(&mut self, size: usize) -> Result<Arc<FftPlan32>, DspError> {
+        if let Some(plan) = self.radix2.get(&size) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(FftPlan32::new(size)?);
+        self.radix2.insert(size, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The f32 arbitrary-length plan for `size`, building and caching
+    /// on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BluesteinPlan32::new`] errors.
+    pub fn bluestein(&mut self, size: usize) -> Result<Arc<BluesteinPlan32>, DspError> {
+        if let Some(plan) = self.bluestein.get(&size) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(BluesteinPlan32::new(size)?);
+        self.bluestein.insert(size, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Single-precision FFT zero-padding upsampling: the f32 mirror of
+    /// [`crate::upsample_fft_into`], converting from/to [`Complex64`]
+    /// at the boundary. Steady state allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::upsample_fft`].
+    pub fn upsample_into(
+        &mut self,
+        signal: &[Complex64],
+        factor: usize,
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if factor == 0 {
+            return Err(DspError::InvalidFactor { factor });
+        }
+        if factor == 1 {
+            out.clear();
+            out.extend_from_slice(signal);
+            return Ok(());
+        }
+        let n = signal.len();
+        let m = n * factor;
+        let forward = self.bluestein(n)?;
+        let inverse = self.bluestein(m)?;
+
+        let mut spectrum = self.scratch.acquire();
+        spectrum.extend(signal.iter().map(|&z| Complex32::from_c64(z)));
+        forward.transform_with(&mut spectrum, Direction::Forward, &mut self.scratch);
+
+        // Same Nyquist-split layout as the f64 path.
+        let mut padded = self.scratch.acquire_zeroed(m);
+        let half = n / 2;
+        if n.is_multiple_of(2) {
+            padded[..half].copy_from_slice(&spectrum[..half]);
+            let nyq = spectrum[half].scale(0.5);
+            padded[half] = nyq;
+            padded[m - half] = nyq;
+            padded[m - half + 1..].copy_from_slice(&spectrum[half + 1..]);
+        } else {
+            padded[..=half].copy_from_slice(&spectrum[..=half]);
+            padded[m - half..].copy_from_slice(&spectrum[half + 1..]);
+        }
+        self.scratch.release(spectrum);
+
+        inverse.transform_with(&mut padded, Direction::Inverse, &mut self.scratch);
+        let scale = factor as f32;
+        out.clear();
+        out.extend(padded.iter().map(|z| z.scale(scale).to_c64()));
+        self.scratch.release(padded);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_reference;
+    use crate::resample::upsample_fft;
+
+    fn widen(data: &[Complex32]) -> Vec<Complex64> {
+        data.iter().map(|z| z.to_c64()).collect()
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn fft32_matches_reference_within_f32_tolerance() {
+        for &n in &[2usize, 8, 64, 1024] {
+            let input64: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 1.71).cos()))
+                .collect();
+            let mut data: Vec<Complex32> =
+                input64.iter().map(|&z| Complex32::from_c64(z)).collect();
+            FftPlan32::new(n).unwrap().forward(&mut data);
+            let expected = dft_reference(&input64, Direction::Forward);
+            // The DFT sums n terms of magnitude ~1: absolute error scales
+            // with n·2⁻²⁴ and a log-depth constant.
+            assert_close(&widen(&data), &expected, 1e-5 * n as f64);
+        }
+    }
+
+    #[test]
+    fn fft32_roundtrip_recovers_input() {
+        let n = 256;
+        let plan = FftPlan32::new(n).unwrap();
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.9).cos()))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&widen(&data), &widen(&input), 1e-4);
+    }
+
+    #[test]
+    fn bluestein32_matches_reference_for_cir_length() {
+        for &n in &[15usize, 127, 1016] {
+            let input64: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.41).cos()))
+                .collect();
+            let mut data: Vec<Complex32> =
+                input64.iter().map(|&z| Complex32::from_c64(z)).collect();
+            let mut scratch = Scratch32::new();
+            BluesteinPlan32::new(n).unwrap().transform_with(
+                &mut data,
+                Direction::Forward,
+                &mut scratch,
+            );
+            let expected = dft_reference(&input64, Direction::Forward);
+            assert_close(&widen(&data), &expected, 2e-4 * n as f64);
+        }
+    }
+
+    #[test]
+    fn upsample32_tracks_the_f64_path() {
+        let mut engine = Fp32Engine::default();
+        let mut out = Vec::new();
+        for &n in &[8usize, 15, 254] {
+            let signal: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.21).sin(), (i as f64 * 0.34).cos()))
+                .collect();
+            for &factor in &[1usize, 2, 8] {
+                let reference = upsample_fft(&signal, factor).unwrap();
+                engine.upsample_into(&signal, factor, &mut out).unwrap();
+                // Band-limited interpolation of O(1) samples: f32
+                // rounding through two transforms stays ~1e-4 absolute.
+                assert_close(&out, &reference, 5e-4 * n as f64);
+            }
+        }
+        assert!(matches!(
+            engine.upsample_into(&[], 2, &mut out),
+            Err(DspError::EmptyInput)
+        ));
+        assert!(matches!(
+            engine.upsample_into(&[Complex64::ONE], 0, &mut out),
+            Err(DspError::InvalidFactor { factor: 0 })
+        ));
+    }
+
+    #[test]
+    fn upsample32_is_allocation_free_in_steady_state() {
+        let mut engine = Fp32Engine::default();
+        let signal: Vec<Complex64> = (0..254)
+            .map(|i| Complex64::new((i as f64 * 0.21).sin(), 0.0))
+            .collect();
+        let mut out = Vec::new();
+        engine.upsample_into(&signal, 8, &mut out).unwrap();
+        // Warm state: both working buffers parked back in the pool.
+        assert_eq!(engine.scratch.pooled(), 2);
+        engine.upsample_into(&signal, 8, &mut out).unwrap();
+        assert_eq!(engine.scratch.pooled(), 2);
+    }
+
+    #[test]
+    fn plans_are_cached() {
+        let mut engine = Fp32Engine::default();
+        let a = engine.radix2(64).unwrap();
+        let b = engine.radix2(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = engine.bluestein(1016).unwrap();
+        let d = engine.bluestein(1016).unwrap();
+        assert!(Arc::ptr_eq(&c, &d));
+    }
+}

@@ -1,0 +1,688 @@
+//! Backend-generic kernel entry points for the detection pipeline.
+//!
+//! [`Kernels`] is the seam between the detector logic (peak search,
+//! template subtraction, sub-sample refinement — always f64) and the
+//! numeric kernels that dominate its runtime (FFT upsampling, the
+//! matched-filter bank, shape-classification correlations). A
+//! [`DspContext`] implements the trait by dispatching on its
+//! [`DspBackend`] selection:
+//!
+//! - [`DspBackend::ScalarF64`] routes to the historical planned f64
+//!   kernels — outputs are **bit-identical** to the pre-redesign
+//!   pipeline, which the campaign determinism contract relies on.
+//! - [`DspBackend::RealFft`] keeps f64 arithmetic but caches the
+//!   forward spectra of matched-filter kernels (built through the
+//!   half-cost real-input FFT when the template is real), removing one
+//!   of the three transforms from every FFT-path matched filter.
+//! - [`DspBackend::F32`] runs the transforms in single precision —
+//!   half the memory traffic through the 16384-point convolution FFTs —
+//!   while keeping the [`Complex64`] API boundary.
+//!
+//! Small shapes take the direct convolution path on *every* backend
+//! (same [`fft_wins`] branch), so backends differ only where the FFT
+//! machinery actually runs.
+
+use crate::backend::DspBackend;
+use crate::complex::Complex64;
+use crate::convolution::{convolve_into, fft_wins};
+use crate::error::DspError;
+use crate::fft::{next_power_of_two, Direction};
+use crate::fp32::Complex32;
+use crate::matched_filter::MatchedFilter;
+use crate::plan::DspContext;
+use crate::resample::upsample_fft_into;
+use std::sync::Arc;
+
+/// The backend-generic kernel set the detectors are written against.
+///
+/// All entry points write into caller-owned buffers and draw working
+/// memory from the implementor's scratch arenas, so steady-state calls
+/// allocate nothing. Magnitude outputs are plain `f64` regardless of
+/// backend; the tolerance contract between backends is asserted by
+/// `tests/backend_tolerance.rs`.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_dsp::{Complex64, DspBackend, DspContext, Kernels, MatchedFilter};
+///
+/// # fn main() -> Result<(), uwb_dsp::DspError> {
+/// let filter = MatchedFilter::from_real(&[0.2, 1.0, 0.2])?;
+/// let signal: Vec<Complex64> = (0..400)
+///     .map(|i| Complex64::from_real((i as f64 * 0.1).sin()))
+///     .collect();
+/// let mut f64_ctx = DspContext::new();
+/// let mut f32_ctx = DspContext::with_backend(DspBackend::F32);
+/// let (mut a, mut b) = (Vec::new(), Vec::new());
+/// f64_ctx.matched_filter_mags_into(&filter, &signal, &mut a)?;
+/// f32_ctx.matched_filter_mags_into(&filter, &signal, &mut b)?;
+/// assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-3));
+/// # Ok(())
+/// # }
+/// ```
+pub trait Kernels {
+    /// The backend this kernel set dispatches to.
+    fn backend(&self) -> DspBackend;
+
+    /// In-place FFT of `data` in the given direction (arbitrary length;
+    /// inverse is normalized by `1/N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty buffer.
+    fn fft_into(&mut self, data: &mut [Complex64], direction: Direction) -> Result<(), DspError>;
+
+    /// FFT zero-padding interpolation of `signal` by `factor`, written
+    /// into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal and
+    /// [`DspError::InvalidFactor`] for `factor == 0`.
+    fn upsample_into(
+        &mut self,
+        signal: &[Complex64],
+        factor: usize,
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), DspError>;
+
+    /// Signal-aligned matched-filter output (complex), the backend
+    /// dispatch of [`MatchedFilter::apply_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal.
+    fn matched_filter_into(
+        &mut self,
+        filter: &MatchedFilter,
+        signal: &[Complex64],
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), DspError>;
+
+    /// Signal-aligned matched-filter output *magnitudes* — the form the
+    /// search-and-subtract peak scan actually consumes. Fusing the
+    /// magnitude step into the kernel lets the f32 backend skip
+    /// widening the complex samples it would immediately collapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty signal.
+    fn matched_filter_mags_into(
+        &mut self,
+        filter: &MatchedFilter,
+        signal: &[Complex64],
+        mags: &mut Vec<f64>,
+    ) -> Result<(), DspError>;
+
+    /// Element magnitudes of `signal`, written into `out` (cleared
+    /// first).
+    fn magnitudes_into(&mut self, signal: &[Complex64], out: &mut Vec<f64>);
+
+    /// Batched correlation scores: `out[b * templates.len() + t]` is the
+    /// zero-lag correlation magnitude `|Σ_n signals[b][n] ·
+    /// conj(templates[t][n])|` over the common support. This is the
+    /// batched kernel behind pulse-shape classification
+    /// (`detect_batch`-style workloads race it in perfwatch as
+    /// `detect.batch_classify_64`).
+    fn accumulate_scores(
+        &mut self,
+        signals: &[&[Complex64]],
+        templates: &[&[Complex64]],
+        out: &mut Vec<f64>,
+    );
+}
+
+/// Where a matched-filter dispatch writes its result.
+enum MfSink<'a> {
+    Complex(&'a mut Vec<Complex64>),
+    Mags(&'a mut Vec<f64>),
+}
+
+/// Overlap-save FFT length for a linear convolution of `out_len` total
+/// samples with a kernel of `kernel_len` taps: the power of two that
+/// minimizes the modeled transform-plus-multiply cost
+/// `blocks · (B·log₂B + B)`. For long kernels this is the single
+/// full-length transform; for the Fig. 7 shape (8128-sample signal,
+/// 233-tap template) it picks 2048-point blocks, roughly halving the
+/// butterfly work of the 16384-point transform the padded length would
+/// otherwise force.
+fn overlap_save_len(out_len: usize, kernel_len: usize) -> usize {
+    let full = next_power_of_two(out_len);
+    let produced = out_len - (kernel_len - 1);
+    let mut best = full;
+    let mut best_cost = u64::MAX;
+    let mut b = next_power_of_two(kernel_len);
+    while b <= full {
+        let step = b - (kernel_len - 1);
+        let blocks = produced.div_ceil(step) as u64;
+        let cost = blocks * (b as u64) * (u64::from(b.trailing_zeros()) + 1);
+        if cost < best_cost {
+            best_cost = cost;
+            best = b;
+        }
+        b *= 2;
+    }
+    best
+}
+
+impl DspContext {
+    /// The cached f64 forward spectrum of `filter`'s impulse response,
+    /// zero-padded to transform length `k`. Built once per
+    /// `(kernel, k)` pair — through the half-cost real FFT when the
+    /// template is purely real — then shared via [`Arc`]. Cache fills
+    /// use the unprofiled transform paths so work counters stay
+    /// invariant to how many workers warmed their caches.
+    fn kernel_spectrum_f64(
+        &mut self,
+        filter: &MatchedFilter,
+        k: usize,
+    ) -> Result<Arc<Vec<Complex64>>, DspError> {
+        let key = (filter.kernel_id(), k);
+        if let Some(spectrum) = self.kernel_spectra.get(&key) {
+            return Ok(Arc::clone(spectrum));
+        }
+        let mut spectrum;
+        if let Some(real) = filter.reversed_real() {
+            let plan = self.plans.rfft(k)?;
+            let mut padded = vec![0.0f64; k];
+            padded[..real.len()].copy_from_slice(real);
+            spectrum = Vec::new();
+            plan.forward_into_unprofiled(&padded, &mut spectrum, &mut self.scratch);
+        } else {
+            let plan = self.plans.radix2(k)?;
+            spectrum = vec![Complex64::ZERO; k];
+            spectrum[..filter.reversed().len()].copy_from_slice(filter.reversed());
+            plan.transform_unprofiled(&mut spectrum, Direction::Forward);
+        }
+        let spectrum = Arc::new(spectrum);
+        self.kernel_spectra.insert(key, Arc::clone(&spectrum));
+        Ok(spectrum)
+    }
+
+    /// The single-precision twin of
+    /// [`DspContext::kernel_spectrum_f64`].
+    fn kernel_spectrum_f32(
+        &mut self,
+        filter: &MatchedFilter,
+        k: usize,
+    ) -> Result<Arc<Vec<Complex32>>, DspError> {
+        let key = (filter.kernel_id(), k);
+        if let Some(spectrum) = self.kernel_spectra32.get(&key) {
+            return Ok(Arc::clone(spectrum));
+        }
+        let plan = self.fp32.radix2(k)?;
+        let mut spectrum = vec![Complex32::ZERO; k];
+        for (slot, z) in spectrum.iter_mut().zip(filter.reversed()) {
+            *slot = Complex32::from_c64(*z);
+        }
+        plan.transform_unprofiled(&mut spectrum, Direction::Forward);
+        let spectrum = Arc::new(spectrum);
+        self.kernel_spectra32.insert(key, Arc::clone(&spectrum));
+        Ok(spectrum)
+    }
+
+    /// Shared matched-filter dispatch: runs the convolution on the
+    /// selected backend and extracts either the complex signal-aligned
+    /// window or its magnitudes.
+    fn mf_dispatch(
+        &mut self,
+        filter: &MatchedFilter,
+        signal: &[Complex64],
+        sink: MfSink<'_>,
+    ) -> Result<(), DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let kernel_len = filter.len();
+        let start = kernel_len - 1;
+        let backend = self.backend();
+
+        // The scalar backend always takes the historical f64 path
+        // (bit-identical contract); the others join it for small shapes
+        // where the direct convolution wins anyway.
+        if backend == DspBackend::ScalarF64 || !fft_wins(signal.len(), kernel_len) {
+            let mut full = self.scratch.acquire();
+            convolve_into(signal, filter.reversed(), &mut full, self)?;
+            let window = &full[start..start + signal.len()];
+            match sink {
+                MfSink::Complex(out) => {
+                    out.clear();
+                    out.extend_from_slice(window);
+                }
+                MfSink::Mags(mags) => {
+                    mags.clear();
+                    if backend == DspBackend::ScalarF64 {
+                        mags.extend(window.iter().map(|z| z.abs()));
+                    } else {
+                        mags.extend(window.iter().map(|z| z.norm_sqr().sqrt()));
+                    }
+                }
+            }
+            self.scratch.release(full);
+            return Ok(());
+        }
+
+        // Overlap-save convolution: the cached kernel spectrum lives at
+        // the cost-optimal block length, and each block pays two
+        // transforms there instead of one pair at the padded full
+        // length. Block `j` loads signal samples `[j·step, j·step + k)`
+        // (zero-padded past the end); the circular convolution is free
+        // of wraparound from index `kernel_len − 1` on, which yields
+        // `step` signal-aligned outputs per block.
+        let k = overlap_save_len(signal.len() + kernel_len - 1, kernel_len);
+        let step = k - start;
+        let mut sink = sink;
+        match &mut sink {
+            MfSink::Complex(out) => {
+                out.clear();
+                out.reserve(signal.len());
+            }
+            MfSink::Mags(mags) => {
+                mags.clear();
+                mags.reserve(signal.len());
+            }
+        }
+        match backend {
+            DspBackend::RealFft => {
+                let spectrum = self.kernel_spectrum_f64(filter, k)?;
+                let plan = self.plans.radix2(k)?;
+                let mut buf = self.scratch.acquire();
+                let mut produced = 0usize;
+                while produced < signal.len() {
+                    // Same per-block accounting as convolve_into's FFT
+                    // path, minus the kernel transform the cache removed.
+                    uwb_obs::profile::work("conv.mac", k as u64);
+                    buf.clear();
+                    buf.resize(k, Complex64::ZERO);
+                    let seg_end = (produced + k).min(signal.len());
+                    buf[..seg_end - produced].copy_from_slice(&signal[produced..seg_end]);
+                    plan.forward(&mut buf);
+                    for (b, s) in buf.iter_mut().zip(spectrum.iter()) {
+                        *b *= *s;
+                    }
+                    plan.inverse(&mut buf);
+                    let take = step.min(signal.len() - produced);
+                    let window = &buf[start..start + take];
+                    match &mut sink {
+                        MfSink::Complex(out) => out.extend_from_slice(window),
+                        MfSink::Mags(mags) => {
+                            mags.extend(window.iter().map(|z| z.norm_sqr().sqrt()));
+                        }
+                    }
+                    produced += take;
+                }
+                self.scratch.release(buf);
+            }
+            DspBackend::F32 => {
+                let spectrum = self.kernel_spectrum_f32(filter, k)?;
+                let plan = self.fp32.radix2(k)?;
+                let mut buf = self.fp32.scratch.acquire();
+                let mut produced = 0usize;
+                while produced < signal.len() {
+                    uwb_obs::profile::work("conv.mac", k as u64);
+                    buf.clear();
+                    buf.resize(k, Complex32::ZERO);
+                    let seg_end = (produced + k).min(signal.len());
+                    for (slot, z) in buf.iter_mut().zip(&signal[produced..seg_end]) {
+                        *slot = Complex32::from_c64(*z);
+                    }
+                    plan.forward(&mut buf);
+                    for (b, s) in buf.iter_mut().zip(spectrum.iter()) {
+                        *b *= *s;
+                    }
+                    plan.inverse(&mut buf);
+                    let take = step.min(signal.len() - produced);
+                    let window = &buf[start..start + take];
+                    match &mut sink {
+                        MfSink::Complex(out) => {
+                            out.extend(window.iter().map(|z| z.to_c64()));
+                        }
+                        MfSink::Mags(mags) => {
+                            mags.extend(window.iter().map(|z| f64::from(z.norm_sqr()).sqrt()));
+                        }
+                    }
+                    produced += take;
+                }
+                self.fp32.scratch.release(buf);
+            }
+            DspBackend::ScalarF64 => unreachable!("scalar handled above"),
+        }
+        Ok(())
+    }
+}
+
+impl Kernels for DspContext {
+    fn backend(&self) -> DspBackend {
+        DspContext::backend(self)
+    }
+
+    fn fft_into(&mut self, data: &mut [Complex64], direction: Direction) -> Result<(), DspError> {
+        match self.backend() {
+            DspBackend::ScalarF64 | DspBackend::RealFft => {
+                let plan = self.plans.bluestein(data.len())?;
+                plan.transform_with(data, direction, &mut self.scratch);
+                Ok(())
+            }
+            DspBackend::F32 => {
+                let plan = self.fp32.bluestein(data.len())?;
+                let mut buf = self.fp32.scratch.acquire();
+                buf.extend(data.iter().map(|&z| Complex32::from_c64(z)));
+                plan.transform_with(&mut buf, direction, &mut self.fp32.scratch);
+                for (d, s) in data.iter_mut().zip(&buf) {
+                    *d = s.to_c64();
+                }
+                self.fp32.scratch.release(buf);
+                Ok(())
+            }
+        }
+    }
+
+    fn upsample_into(
+        &mut self,
+        signal: &[Complex64],
+        factor: usize,
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), DspError> {
+        match self.backend() {
+            DspBackend::ScalarF64 | DspBackend::RealFft => {
+                upsample_fft_into(signal, factor, out, self)
+            }
+            DspBackend::F32 => self.fp32.upsample_into(signal, factor, out),
+        }
+    }
+
+    fn matched_filter_into(
+        &mut self,
+        filter: &MatchedFilter,
+        signal: &[Complex64],
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), DspError> {
+        self.mf_dispatch(filter, signal, MfSink::Complex(out))
+    }
+
+    fn matched_filter_mags_into(
+        &mut self,
+        filter: &MatchedFilter,
+        signal: &[Complex64],
+        mags: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.mf_dispatch(filter, signal, MfSink::Mags(mags))
+    }
+
+    fn magnitudes_into(&mut self, signal: &[Complex64], out: &mut Vec<f64>) {
+        out.clear();
+        match self.backend() {
+            // Historical path: hypot-based |z| (bit-identical default).
+            DspBackend::ScalarF64 => out.extend(signal.iter().map(|z| z.abs())),
+            DspBackend::RealFft => out.extend(signal.iter().map(|z| z.norm_sqr().sqrt())),
+            DspBackend::F32 => out.extend(
+                signal
+                    .iter()
+                    .map(|z| f64::from(Complex32::from_c64(*z).norm_sqr()).sqrt()),
+            ),
+        }
+    }
+
+    fn accumulate_scores(
+        &mut self,
+        signals: &[&[Complex64]],
+        templates: &[&[Complex64]],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(signals.len() * templates.len());
+        let backend = self.backend();
+        let mut macs = 0u64;
+        for signal in signals {
+            for template in templates {
+                let n = signal.len().min(template.len());
+                macs += n as u64;
+                let score = match backend {
+                    DspBackend::F32 => {
+                        let mut re = 0.0f32;
+                        let mut im = 0.0f32;
+                        for (s, t) in signal[..n].iter().zip(&template[..n]) {
+                            let s = Complex32::from_c64(*s);
+                            let t = Complex32::from_c64(*t);
+                            re += s.re * t.re + s.im * t.im;
+                            im += s.im * t.re - s.re * t.im;
+                        }
+                        f64::from(re * re + im * im).sqrt()
+                    }
+                    _ => {
+                        let mut acc = Complex64::ZERO;
+                        for (s, t) in signal[..n].iter().zip(&template[..n]) {
+                            acc += *s * t.conj();
+                        }
+                        match backend {
+                            DspBackend::ScalarF64 => acc.abs(),
+                            _ => acc.norm_sqr().sqrt(),
+                        }
+                    }
+                };
+                out.push(score);
+            }
+        }
+        uwb_obs::profile::work("score.mac", macs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resample::upsample_fft;
+
+    fn synth_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.13).cos()))
+            .collect()
+    }
+
+    fn fig7_like_filter() -> MatchedFilter {
+        let template: Vec<f64> = (0..64)
+            .map(|i| {
+                let t = (i as f64 - 32.0) / 8.0;
+                (-t * t).exp()
+            })
+            .collect();
+        MatchedFilter::from_real(&template).unwrap()
+    }
+
+    #[test]
+    fn scalar_backend_is_bit_identical_to_apply_into() {
+        let filter = fig7_like_filter();
+        let signal = synth_signal(2000);
+        let mut reference_ctx = DspContext::new();
+        let mut reference = Vec::new();
+        filter
+            .apply_into(&signal, &mut reference, &mut reference_ctx)
+            .unwrap();
+
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        ctx.matched_filter_into(&filter, &signal, &mut out).unwrap();
+        assert_eq!(out, reference);
+
+        let mut mags = Vec::new();
+        ctx.matched_filter_mags_into(&filter, &signal, &mut mags)
+            .unwrap();
+        let expected: Vec<f64> = reference.iter().map(|z| z.abs()).collect();
+        assert_eq!(mags, expected, "mags must match the historical |z| path");
+    }
+
+    #[test]
+    fn rfft_backend_matches_scalar_within_f64_tolerance() {
+        let filter = fig7_like_filter();
+        // Fig. 7 scale (1016 taps × 8 upsampling) — large enough that
+        // fft_wins picks the FFT path and the spectrum cache engages.
+        let signal = synth_signal(8128);
+        let mut scalar = DspContext::new();
+        let mut rfft = DspContext::with_backend(DspBackend::RealFft);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar
+            .matched_filter_mags_into(&filter, &signal, &mut a)
+            .unwrap();
+        rfft.matched_filter_mags_into(&filter, &signal, &mut b)
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "sample {i}: {x} vs {y}");
+        }
+        assert_eq!(
+            rfft.kernel_spectra.len(),
+            1,
+            "kernel spectrum must be cached"
+        );
+        // Second call hits the cache — same result.
+        let mut c = Vec::new();
+        rfft.matched_filter_mags_into(&filter, &signal, &mut c)
+            .unwrap();
+        assert_eq!(b, c);
+        assert_eq!(rfft.kernel_spectra.len(), 1);
+    }
+
+    #[test]
+    fn f32_backend_matches_scalar_within_f32_tolerance() {
+        let filter = fig7_like_filter();
+        let signal = synth_signal(8128);
+        let mut scalar = DspContext::new();
+        let mut f32_ctx = DspContext::with_backend(DspBackend::F32);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        scalar
+            .matched_filter_mags_into(&filter, &signal, &mut a)
+            .unwrap();
+        f32_ctx
+            .matched_filter_mags_into(&filter, &signal, &mut b)
+            .unwrap();
+        let peak = a.iter().cloned().fold(0.0f64, f64::max);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            // Relative to the peak: f32 rounding through two 4096-point
+            // transforms stays far below any detection threshold.
+            assert!((x - y).abs() < 1e-3 * peak, "sample {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_shapes_take_the_direct_path_on_every_backend() {
+        let filter = MatchedFilter::from_real(&[0.2, 1.0, 0.2]).unwrap();
+        let signal = synth_signal(64);
+        let mut reference = Vec::new();
+        let mut ctx = DspContext::new();
+        ctx.matched_filter_mags_into(&filter, &signal, &mut reference)
+            .unwrap();
+        for backend in [DspBackend::RealFft, DspBackend::F32] {
+            let mut ctx = DspContext::with_backend(backend);
+            let mut out = Vec::new();
+            ctx.matched_filter_mags_into(&filter, &signal, &mut out)
+                .unwrap();
+            for (x, y) in reference.iter().zip(&out) {
+                assert!((x - y).abs() < 1e-12, "{backend}: {x} vs {y}");
+            }
+            assert!(
+                ctx.kernel_spectra.is_empty() && ctx.kernel_spectra32.is_empty(),
+                "{backend}: direct path must not build kernel spectra"
+            );
+        }
+    }
+
+    #[test]
+    fn upsample_dispatches_per_backend() {
+        let signal = synth_signal(254);
+        let reference = upsample_fft(&signal, 8).unwrap();
+        for backend in DspBackend::ALL {
+            let mut ctx = DspContext::with_backend(backend);
+            let mut out = Vec::new();
+            ctx.upsample_into(&signal, 8, &mut out).unwrap();
+            assert_eq!(out.len(), reference.len());
+            let tol = match backend {
+                DspBackend::F32 => 5e-4 * signal.len() as f64,
+                _ => 0.0,
+            };
+            for (i, (x, y)) in out.iter().zip(&reference).enumerate() {
+                if tol == 0.0 {
+                    assert_eq!(*x, *y, "{backend}: sample {i} must be bit-identical");
+                } else {
+                    assert!((*x - *y).abs() < tol, "{backend}: sample {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft_into_matches_the_planned_path_per_backend() {
+        let signal = synth_signal(127);
+        let mut reference = signal.clone();
+        crate::fft::fft(&mut reference).ok();
+        // 127 is not a power of two — exercise Bluestein on each backend.
+        let mut planned = signal.clone();
+        let mut ctx = DspContext::new();
+        let plan = ctx.plans.bluestein(127).unwrap();
+        plan.transform_with(&mut planned, Direction::Forward, &mut ctx.scratch);
+        for backend in DspBackend::ALL {
+            let mut ctx = DspContext::with_backend(backend);
+            let mut data = signal.clone();
+            ctx.fft_into(&mut data, Direction::Forward).unwrap();
+            let tol = match backend {
+                DspBackend::F32 => 2e-4 * signal.len() as f64,
+                _ => 0.0,
+            };
+            for (i, (x, y)) in data.iter().zip(&planned).enumerate() {
+                if tol == 0.0 {
+                    assert_eq!(*x, *y, "{backend}: bin {i}");
+                } else {
+                    assert!((*x - *y).abs() < tol, "{backend}: bin {i}: {x} vs {y}");
+                }
+            }
+        }
+        let mut ctx = DspContext::new();
+        assert!(matches!(
+            ctx.fft_into(&mut [], Direction::Forward),
+            Err(DspError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn accumulate_scores_matches_naive_correlation() {
+        let signals: Vec<Vec<Complex64>> = (0..3).map(|i| synth_signal(40 + i)).collect();
+        let templates: Vec<Vec<Complex64>> = (0..2).map(|i| synth_signal(38 + 2 * i)).collect();
+        let signal_refs: Vec<&[Complex64]> = signals.iter().map(Vec::as_slice).collect();
+        let template_refs: Vec<&[Complex64]> = templates.iter().map(Vec::as_slice).collect();
+        let mut ctx = DspContext::new();
+        let mut out = Vec::new();
+        ctx.accumulate_scores(&signal_refs, &template_refs, &mut out);
+        assert_eq!(out.len(), signals.len() * templates.len());
+        for (b, signal) in signals.iter().enumerate() {
+            for (t, template) in templates.iter().enumerate() {
+                let n = signal.len().min(template.len());
+                let mut acc = Complex64::ZERO;
+                for i in 0..n {
+                    acc += signal[i] * template[i].conj();
+                }
+                let got = out[b * templates.len() + t];
+                assert!((got - acc.abs()).abs() < 1e-12, "({b},{t})");
+            }
+        }
+        // The f32 backend agrees within single-precision tolerance.
+        let mut ctx32 = DspContext::with_backend(DspBackend::F32);
+        let mut out32 = Vec::new();
+        ctx32.accumulate_scores(&signal_refs, &template_refs, &mut out32);
+        for (x, y) in out.iter().zip(&out32) {
+            assert!((x - y).abs() < 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn magnitudes_match_across_backends() {
+        let signal = synth_signal(100);
+        let mut reference = Vec::new();
+        DspContext::new().magnitudes_into(&signal, &mut reference);
+        assert_eq!(reference.len(), signal.len());
+        for backend in [DspBackend::RealFft, DspBackend::F32] {
+            let mut out = Vec::new();
+            DspContext::with_backend(backend).magnitudes_into(&signal, &mut out);
+            for (x, y) in reference.iter().zip(&out) {
+                assert!((x - y).abs() < 1e-6, "{backend}");
+            }
+        }
+    }
+}

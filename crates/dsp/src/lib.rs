@@ -15,8 +15,18 @@
 //! - [`plan`]: plan-once/execute-many engine — [`DspContext`] caches FFT
 //!   plans and recycles working buffers so the `*_into` entry points run
 //!   allocation-free in steady state.
+//! - [`Kernels`] / [`DspBackend`]: the backend-generic kernel set — a
+//!   [`DspContext`] dispatches upsampling, matched filtering and batched
+//!   correlation scoring to the bit-identical scalar f64 kernels
+//!   (default), the cached real-FFT kernel-spectrum path
+//!   ([`DspBackend::RealFft`]), or the single-precision set
+//!   ([`DspBackend::F32`]). Selected via [`DspContext::with_backend`] or
+//!   the `UWB_DSP_BACKEND` environment knob.
+//! - [`RealFftPlan`]: half-cost FFT for real input (pack-two-reals).
 //! - [`peaks`]: maxima, noise floor and sub-sample refinement utilities.
 //! - [`stats`]: summary statistics used by the evaluation harness.
+//! - [`compat`]: the pre-plan-cache allocating signatures, kept as thin
+//!   wrappers for unmigrated callers.
 //!
 //! # Examples
 //!
@@ -42,17 +52,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod bluestein;
+pub mod compat;
 mod complex;
 mod convolution;
 mod error;
 mod fft;
+mod fp32;
+mod kernels;
 mod matched_filter;
 pub mod peaks;
 pub mod plan;
+mod real_fft;
 mod resample;
 pub mod stats;
 
+pub use backend::{DspBackend, BACKEND_ENV_VAR};
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
 pub use convolution::{
@@ -61,7 +77,10 @@ pub use convolution::{
 };
 pub use error::DspError;
 pub use fft::{dft_reference, fft, ifft, next_power_of_two, Direction, FftPlan};
+pub use fp32::{BluesteinPlan32, Complex32, FftPlan32, Fp32Engine, Scratch32};
+pub use kernels::Kernels;
 pub use matched_filter::MatchedFilter;
 pub use peaks::{argmax, find_peaks, leading_edge, noise_floor, parabolic_interpolation, Peak};
 pub use plan::{DspContext, DspScratch, PlanCache};
+pub use real_fft::RealFftPlan;
 pub use resample::{fractional_delay, upsample_fft, upsample_fft_into, upsample_real};

@@ -12,6 +12,11 @@ use crate::complex::Complex64;
 use crate::convolution::{convolve, convolve_into};
 use crate::error::DspError;
 use crate::plan::DspContext;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of [`MatchedFilter::kernel_id`] values. Clones keep
+/// their source's id (same template content → same cached spectra).
+static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(0);
 
 /// A matched filter for a fixed template.
 ///
@@ -45,8 +50,16 @@ pub struct MatchedFilter {
     /// of `s`, built once at construction so `apply` does not rebuild it
     /// per call.
     reversed: Vec<Complex64>,
+    /// The real parts of `reversed` when the template is purely real
+    /// (always the case for the pulse-shape templates, which are sampled
+    /// real pulses) — lets the real-FFT backend build kernel spectra at
+    /// half cost.
+    reversed_real: Option<Vec<f64>>,
     /// Template energy `Σ|s|²`, used for normalized output.
     energy: f64,
+    /// Process-unique identity for kernel-spectrum caching in
+    /// [`DspContext`].
+    kernel_id: u64,
 }
 
 impl MatchedFilter {
@@ -60,11 +73,18 @@ impl MatchedFilter {
             return Err(DspError::EmptyInput);
         }
         let energy = template.iter().map(|z| z.norm_sqr()).sum();
-        let reversed = template.iter().rev().map(|z| z.conj()).collect();
+        let reversed: Vec<Complex64> = template.iter().rev().map(|z| z.conj()).collect();
+        let reversed_real = if template.iter().all(|z| z.im == 0.0) {
+            Some(reversed.iter().map(|z| z.re).collect())
+        } else {
+            None
+        };
         Ok(Self {
             template: template.to_vec(),
             reversed,
+            reversed_real,
             energy,
+            kernel_id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -97,6 +117,26 @@ impl MatchedFilter {
     /// Template energy `Σ|s[n]|²`.
     pub fn energy(&self) -> f64 {
         self.energy
+    }
+
+    /// The precomputed impulse response `h_MF` (time-reversed conjugate
+    /// of the template) — what the backend kernels convolve with.
+    pub fn reversed(&self) -> &[Complex64] {
+        &self.reversed
+    }
+
+    /// The impulse response as plain reals when the template is purely
+    /// real; `None` for genuinely complex templates.
+    pub fn reversed_real(&self) -> Option<&[f64]> {
+        self.reversed_real.as_deref()
+    }
+
+    /// Process-unique identity of this filter's kernel, used to key the
+    /// spectrum caches in [`DspContext`]. Clones share the id (and
+    /// therefore the cached spectra), which is sound because a clone's
+    /// template content is identical.
+    pub fn kernel_id(&self) -> u64 {
+        self.kernel_id
     }
 
     /// Applies the filter and returns the signal-aligned output.

@@ -48,6 +48,47 @@ pub fn quota_from_env(var: &str, default: u64) -> u64 {
     }
 }
 
+/// Parses one already-read label value against a closed set of
+/// `allowed` labels, warning on stderr and falling back to `default`
+/// when `raw` matches none of them.
+///
+/// Matching trims surrounding whitespace and ignores ASCII case, so
+/// `UWB_DSP_BACKEND=" F32 "` selects `f32`. Split from
+/// [`label_from_env`] for the same reason as [`parse_quota`]: the
+/// policy is testable without mutating the process environment.
+#[must_use]
+pub fn parse_label<'a>(var: &str, raw: &str, default: &'a str, allowed: &[&'a str]) -> &'a str {
+    let trimmed = raw.trim();
+    for label in allowed {
+        if label.eq_ignore_ascii_case(trimmed) {
+            return label;
+        }
+    }
+    eprintln!(
+        "warning: {var}={raw:?} is not a recognized value \
+         (expected one of {allowed:?}); using default {default:?}"
+    );
+    default
+}
+
+/// Reads the label knob `var` from the environment.
+///
+/// Unset → `default` (silently). Set but unrecognized (not in
+/// `allowed`, or non-unicode) → warn on stderr, then `default`. The
+/// returned label is always one of `allowed` (callers should include
+/// `default` in the set).
+#[must_use]
+pub fn label_from_env<'a>(var: &str, default: &'a str, allowed: &[&'a str]) -> &'a str {
+    match std::env::var(var) {
+        Ok(raw) => parse_label(var, &raw, default, allowed),
+        Err(VarError::NotPresent) => default,
+        Err(VarError::NotUnicode(_)) => {
+            eprintln!("warning: {var} is set to a non-unicode value; using default {default:?}");
+            default
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +117,26 @@ mod tests {
             "18446744073709551616",
         ] {
             assert_eq!(parse_quota("K", raw, 42), 42, "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_case_insensitively_with_whitespace() {
+        let allowed = ["f64", "rfft", "f32"];
+        assert_eq!(parse_label("K", "rfft", "f64", &allowed), "rfft");
+        assert_eq!(parse_label("K", " F32 ", "f64", &allowed), "f32");
+        assert_eq!(parse_label("K", "F64", "f64", &allowed), "f64");
+    }
+
+    #[test]
+    fn unrecognized_labels_fall_back_to_the_default() {
+        let allowed = ["f64", "rfft", "f32"];
+        for raw in ["", "f16", "real", "rfft32", "f 32"] {
+            assert_eq!(
+                parse_label("K", raw, "f64", &allowed),
+                "f64",
+                "raw = {raw:?}"
+            );
         }
     }
 }

@@ -49,13 +49,14 @@ pub mod metrics;
 pub mod paths;
 pub mod profile;
 pub mod recorder;
+pub mod render;
 pub mod stats;
 pub mod telemetry;
 pub mod timer;
 pub mod trace;
 pub mod value;
 
-pub use envknob::{parse_quota, quota_from_env};
+pub use envknob::{label_from_env, parse_label, parse_quota, quota_from_env};
 pub use flight::{CirSnapshot, SnapshotPeak, FLIGHT_STAGE};
 pub use metrics::{LatencyHistogram, MetricsRegistry, LATENCY_BINS};
 pub use paths::{results_dir, traces_dir};
@@ -65,6 +66,7 @@ pub use recorder::{
     install_jsonl, install_metrics_only, install_with_quota, latency_table, metrics_snapshot,
     record_ns, scoped_metrics, timed, trial_scope, uninstall, DEFAULT_FLIGHT_QUOTA,
 };
+pub use render::{fmt_ns, render_aligned, Align};
 pub use stats::{median, median_abs_deviation, Counter, Histogram, ScalarStats};
 pub use telemetry::{
     fmt_trace_id, frame_trace_id, parse_trace_id, span_id, EpochRecord, EpochTelemetry,

@@ -280,10 +280,11 @@ impl MetricsRegistry {
     /// a duration.
     #[must_use]
     pub fn latency_table(&self) -> String {
+        use crate::render::{fmt_ns, render_aligned, Align};
         if self.latencies.is_empty() {
             return String::new();
         }
-        let mut rows = vec![[
+        let mut rows = vec![vec![
             "stage".to_string(),
             "count".to_string(),
             "p50".to_string(),
@@ -294,7 +295,7 @@ impl MetricsRegistry {
         ]];
         for (stage, h) in &self.latencies {
             let pct = |p: f64| fmt_ns(h.value_at_percentile(p).unwrap_or(0.0));
-            rows.push([
+            rows.push(vec![
                 stage.clone(),
                 h.count().to_string(),
                 pct(50.0),
@@ -304,43 +305,22 @@ impl MetricsRegistry {
                 fmt_ns(h.sum_ns() as f64),
             ]);
         }
-        let mut widths = [0usize; 7];
-        for row in &rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.chars().count());
-            }
-        }
-        let mut out = String::new();
-        for row in &rows {
-            for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
-                if i == 0 {
-                    out.push_str(&format!("{cell:<w$}"));
-                } else {
-                    out.push_str(&format!("  {cell:>w$}"));
-                }
-            }
-            out.push('\n');
-        }
-        out
+        const ALIGNS: [Align; 7] = [
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ];
+        render_aligned(&rows, &ALIGNS)
     }
 }
 
 impl fmt::Display for MetricsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.latency_table())
-    }
-}
-
-/// Formats a nanosecond quantity with an adaptive unit.
-fn fmt_ns(ns: f64) -> String {
-    if ns >= 1e9 {
-        format!("{:.2} s", ns / 1e9)
-    } else if ns >= 1e6 {
-        format!("{:.2} ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.2} µs", ns / 1e3)
-    } else {
-        format!("{ns:.0} ns")
     }
 }
 
@@ -475,13 +455,5 @@ mod tests {
         assert!(table.contains("campaign.trial"));
         assert!(table.contains("ms"));
         assert!(MetricsRegistry::new().latency_table().is_empty());
-    }
-
-    #[test]
-    fn fmt_ns_picks_units() {
-        assert_eq!(fmt_ns(12.0), "12 ns");
-        assert_eq!(fmt_ns(1.2e4), "12.00 µs");
-        assert_eq!(fmt_ns(3.45e7), "34.50 ms");
-        assert_eq!(fmt_ns(2.5e9), "2.50 s");
     }
 }

@@ -1,0 +1,112 @@
+//! Shared plain-text rendering helpers for latency / delta tables.
+//!
+//! The per-stage latency table ([`crate::MetricsRegistry::latency_table`])
+//! and the perfwatch baseline-delta table historically carried private
+//! near-copies of the same two primitives — an adaptive nanosecond
+//! formatter and a width-aligned row renderer — which had already
+//! drifted (`"12.00 µs"` vs `"12.00us"`). Both now call into this
+//! module, so a formatting change lands everywhere at once.
+
+/// Column alignment for [`render_aligned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (names, labels).
+    Left,
+    /// Pad on the left (numeric cells).
+    Right,
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+///
+/// The canonical rendering used by every table in the workspace:
+/// two decimals above 1 µs, integral nanoseconds below, a space
+/// between value and unit.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders `rows` as a width-aligned plain-text table.
+///
+/// Column widths are the per-column maxima (in characters, so `µ`
+/// counts as one). Cells are joined by two spaces, each line is
+/// trimmed of trailing whitespace, and every line ends with `\n`.
+/// Columns beyond the length of `aligns` fall back to left alignment.
+#[must_use]
+pub fn render_aligned(rows: &[Vec<String>], aligns: &[Align]) -> String {
+    let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            match aligns.get(i).copied().unwrap_or(Align::Left) {
+                Align::Left => {
+                    line.push_str(cell);
+                    line.extend(std::iter::repeat_n(' ', pad));
+                }
+                Align::Right => {
+                    line.extend(std::iter::repeat_n(' ', pad));
+                    line.push_str(cell);
+                }
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.00 µs");
+        assert_eq!(fmt_ns(3.45e7), "34.50 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.50 s");
+    }
+
+    #[test]
+    fn render_aligned_pads_per_alignment_and_trims_lines() {
+        let rows = vec![
+            vec!["stage".to_string(), "count".to_string()],
+            vec!["rx".to_string(), "7".to_string()],
+        ];
+        let table = render_aligned(&rows, &[Align::Left, Align::Right]);
+        assert_eq!(table, "stage  count\nrx         7\n");
+        for line in table.lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn missing_alignments_default_to_left() {
+        let rows = vec![vec!["a".to_string(), "bb".to_string()]];
+        assert_eq!(render_aligned(&rows, &[]), "a  bb\n");
+    }
+
+    #[test]
+    fn empty_input_renders_nothing() {
+        assert!(render_aligned(&[], &[Align::Left]).is_empty());
+    }
+}

@@ -94,7 +94,8 @@ impl Comparison {
     /// baseline workload, flagged rows marked).
     #[must_use]
     pub fn render_table(&self) -> String {
-        let mut rows: Vec<[String; 7]> = vec![[
+        use uwb_obs::render::{fmt_ns, render_aligned, Align};
+        let mut rows: Vec<Vec<String>> = vec![vec![
             "workload".to_string(),
             "baseline(min)".to_string(),
             "current(min)".to_string(),
@@ -113,12 +114,12 @@ impl Comparison {
                 _ => "-".to_string(),
             };
             let (current, change, verdict) = match (d.new_min_ns, d.change_pct) {
-                (Some(new), Some(pct)) => (format_ns(new), format!("{pct:+.1}%"), verdict_for(d)),
+                (Some(new), Some(pct)) => (fmt_ns(new), format!("{pct:+.1}%"), verdict_for(d)),
                 _ => ("-".to_string(), "-".to_string(), "MISSING".to_string()),
             };
-            rows.push([
+            rows.push(vec![
                 d.name.clone(),
-                format_ns(d.old_min_ns),
+                fmt_ns(d.old_min_ns),
                 current,
                 change,
                 allocs,
@@ -127,7 +128,7 @@ impl Comparison {
             ]);
         }
         for name in &self.new_workloads {
-            rows.push([
+            rows.push(vec![
                 name.clone(),
                 "-".to_string(),
                 "-".to_string(),
@@ -137,23 +138,7 @@ impl Comparison {
                 "new".to_string(),
             ]);
         }
-        let mut widths = [0usize; 7];
-        for row in &rows {
-            for (w, cell) in widths.iter_mut().zip(row.iter()) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        for row in &rows {
-            let line = row
-                .iter()
-                .enumerate()
-                .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ");
-            out.push_str(line.trim_end());
-            out.push('\n');
-        }
+        let mut out = render_aligned(&rows, &[Align::Left; 7]);
         if self.env_mismatch {
             out.push_str(
                 "note: environment fingerprints differ; numbers are only loosely comparable\n",
@@ -181,19 +166,6 @@ fn verdict_for(d: &Delta) -> String {
         (true, false, true) => "REGRESSED+WORK".to_string(),
         (false, true, true) => "ALLOC+WORK-REGRESSED".to_string(),
         (true, true, true) => "REGRESSED+ALLOC+WORK".to_string(),
-    }
-}
-
-/// Human-scale duration: ns with unit scaling.
-fn format_ns(ns: f64) -> String {
-    if ns >= 1e9 {
-        format!("{:.2}s", ns / 1e9)
-    } else if ns >= 1e6 {
-        format!("{:.2}ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.2}us", ns / 1e3)
-    } else {
-        format!("{ns:.0}ns")
     }
 }
 

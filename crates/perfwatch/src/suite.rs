@@ -32,7 +32,10 @@ use concurrent_ranging::detection::{
 };
 use concurrent_ranging::SlotPlan;
 use std::sync::{Mutex, OnceLock};
-use uwb_dsp::{BluesteinPlan, Complex64, DspContext, FftPlan, MatchedFilter};
+use uwb_dsp::{
+    BluesteinPlan, Complex64, DspBackend, DspContext, DspScratch, FftPlan, Kernels, MatchedFilter,
+    RealFftPlan,
+};
 use uwb_obs::{measure_ns, median, median_abs_deviation, per_second, ProfileNode, Stopwatch};
 use uwb_radio::{Channel, Cir, PulseShape, RadioConfig, TcPgDelay, CIR_SAMPLE_PERIOD_S};
 
@@ -193,6 +196,30 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
     }
 
     {
+        // The real-input forward FFT (pack-two-reals): the transform the
+        // RealFft backend feeds real-valued matched-filter kernels
+        // through. Its work column evidences the saving — a 512-point
+        // half-size transform plus N/2 untangle ops instead of the full
+        // 1024-point complex butterfly count of the radix-2 row above.
+        let plan = RealFftPlan::new(1024).expect("power-of-two real-FFT plan");
+        let input: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut scratch = DspScratch::new();
+        let mut out: Vec<Complex64> = Vec::new();
+        workloads.push(Workload {
+            name: "dsp.rfft_1024",
+            layer: "dsp",
+            units: "points",
+            units_per_iter: 1024.0,
+            default_iters: 300,
+            default_warmup: 10,
+            run: Box::new(move || {
+                plan.forward_into(&input, &mut out, &mut scratch);
+                std::hint::black_box(&out);
+            }),
+        });
+    }
+
+    {
         // 1016 is the DW1000 accumulator length — the exact size the
         // Bluestein path exists for.
         let plan = BluesteinPlan::new(1016).expect("Bluestein plan");
@@ -274,6 +301,28 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
     }
 
     {
+        // The same Fig. 7 stress case on the f32 backend: single-precision
+        // transforms plus cached kernel spectra, racing the f64 row above.
+        // The delta between the two rows is what the precision trade buys
+        // on the paper's headline workload.
+        let detector = default_detector();
+        let cir = fig7_overlap_cir();
+        let mut ctx = DetectorContext::with_backend(DspBackend::F32);
+        workloads.push(Workload {
+            name: "detect.search_subtract_fig7_f32",
+            layer: "detect",
+            units: "trials",
+            units_per_iter: 1.0,
+            default_iters: 60,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let outcome = detector.detect_with(&mut ctx, &cir, 2).expect("detection");
+                std::hint::black_box(outcome);
+            }),
+        });
+    }
+
+    {
         // The resilience hot path: search-subtract on a CIR whose taps
         // are 20 % corrupted by the fault plane. Corrupted taps replace
         // real energy with spikes up to the true peak, so the detector
@@ -332,6 +381,50 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
                     .max_by(|a, b| a.1.total_cmp(&b.1))
                     .map(|(i, _)| i);
                 std::hint::black_box(best);
+            }),
+        });
+    }
+
+    {
+        // The batched-detection kernel: one `accumulate_scores` call
+        // scores 64 CIR windows against the Fig. 5 register bank — the
+        // inner product `detect_batch`-style classification reduces to
+        // once windows are extracted.
+        let taps: Vec<Complex64> = single_response_cir().taps().to_vec();
+        let window = 64usize;
+        let signals: Vec<Vec<Complex64>> = (0..64usize)
+            .map(|i| {
+                let start = (i * 13) % (taps.len() - window);
+                taps[start..start + window].to_vec()
+            })
+            .collect();
+        let templates: Vec<Vec<Complex64>> = TcPgDelay::paper_figure5()
+            .iter()
+            .map(|&reg| {
+                PulseShape::from_register(reg, Channel::Ch7)
+                    .sample(CIR_SAMPLE_PERIOD_S)
+                    .samples
+                    .iter()
+                    .map(|&x| Complex64::from_real(x))
+                    .collect()
+            })
+            .collect();
+        let pairs = (signals.len() * templates.len()) as f64;
+        let mut ctx = DspContext::new();
+        let mut scores: Vec<f64> = Vec::new();
+        workloads.push(Workload {
+            name: "detect.batch_classify_64",
+            layer: "detect",
+            units: "scores",
+            units_per_iter: pairs,
+            default_iters: 300,
+            default_warmup: 10,
+            run: Box::new(move || {
+                let signal_refs: Vec<&[Complex64]> = signals.iter().map(Vec::as_slice).collect();
+                let template_refs: Vec<&[Complex64]> =
+                    templates.iter().map(Vec::as_slice).collect();
+                ctx.accumulate_scores(&signal_refs, &template_refs, &mut scores);
+                std::hint::black_box(&scores);
             }),
         });
     }
@@ -648,6 +741,46 @@ mod tests {
         // butterflies, a pure function of the input.
         assert_eq!(a[0].work_ops, Some(2 * 512 * 10));
         assert_eq!(a[0].work_ops, b[0].work_ops);
+    }
+
+    #[test]
+    fn rfft_row_does_half_the_butterfly_work_of_the_complex_row() {
+        let config = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("dsp.rfft_1024".to_string()),
+            ..SuiteConfig::default()
+        };
+        let (rows, profile) = run_suite(&config, |_| {});
+        // One forward real FFT of N = 1024: a 512-point half-size
+        // transform ((512/2)·log2(512) butterflies) plus N/2 untangle
+        // ops — well under the 5120 butterflies of one 1024-point
+        // complex transform.
+        assert_eq!(rows[0].work_ops, Some(256 * 9 + 512));
+        let scope = profile.children.get("dsp.rfft_1024").expect("scope");
+        assert_eq!(scope.work.get("rfft.untangle").copied(), Some(512));
+    }
+
+    #[test]
+    fn batch_classify_row_counts_score_macs() {
+        let config = SuiteConfig {
+            iters: Some(1),
+            warmup: Some(0),
+            filter: Some("detect.batch_classify_64".to_string()),
+            ..SuiteConfig::default()
+        };
+        let (rows, profile) = run_suite(&config, |_| {});
+        let scope = profile
+            .children
+            .get("detect.batch_classify_64")
+            .expect("scope");
+        let macs = scope.work.get("score.mac").copied().expect("score.mac");
+        // 64 windows × the Fig. 5 bank; each pair's inner product runs
+        // over the shorter of window and template, so the per-signal MAC
+        // total is identical across the 64 windows.
+        assert_eq!(macs % 64, 0, "macs {macs}");
+        assert!(macs > 0);
+        assert_eq!(rows[0].work_ops, Some(macs));
     }
 
     #[test]
