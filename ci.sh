@@ -7,6 +7,16 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> compat shim gate (no in-tree callers of uwb_dsp::compat)"
+# The deprecated pre-context allocating wrappers exist only for
+# out-of-tree code. Every in-tree caller is migrated to the
+# DspContext/Detector API; any new `compat::` use outside crates/dsp
+# (where the module and its equivalence tests live) fails the gate.
+if git grep -nE 'uwb_dsp::compat|[^[:alnum:]_]compat::' -- '*.rs' ':!crates/dsp'; then
+    echo "compat gate FAILED: migrate the uses above off uwb_dsp::compat" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -101,6 +111,15 @@ for backend in rfft f32; do
         ./target/release/exp_fig7_overlap --threads 2 \
         --dsp-backend "$backend" >/dev/null
 done
+
+echo "==> streaming pipeline smoke (feed_round byte-identical to batch)"
+# The pipeline-layer acceptance gate: driving the same Fig. 7 workload
+# through the streaming RangingPipeline (one round at a time, one
+# long-lived warmed context) must print a byte-identical report to the
+# batch campaign run captured above.
+UWB_RESULTS_DIR=/tmp/backend_smoke_results REPRO_TRIALS=20 \
+    ./target/release/exp_fig7_overlap --stream > /tmp/fig7_stream.txt
+diff /tmp/fig7_default.txt /tmp/fig7_stream.txt
 
 echo "==> perfwatch bench smoke (1 iteration, no warmup)"
 # Not a performance measurement — only proves the whole suite still

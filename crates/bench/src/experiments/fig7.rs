@@ -7,20 +7,24 @@
 //! search-and-subtract algorithm succeeding in 92.6 % of overlapping
 //! trials vs 48 % for the threshold baseline.
 //!
-//! Runs on the [`uwb_campaign`] engine: trials execute in parallel with
-//! per-trial seed derivation, so the report is bit-identical for any
-//! worker count.
+//! The trial body is an [`OverlapProgram`] — a
+//! [`concurrent_ranging::RoundProgram`] over the shared pipeline layers —
+//! so the same implementation runs under the [`uwb_campaign`] batch
+//! engine ([`campaign`]: trials in parallel, per-trial seed derivation,
+//! bit-identical for any worker count) and the streaming
+//! [`RangingPipeline`] driver ([`run_streaming`]: one round at a time
+//! through a long-lived warmed context, byte-identical to the batch).
 
 use crate::scenarios::{synthesize_responses_into, tx_grid_offset_ns};
 use crate::table::{fmt_f, Table};
 use concurrent_ranging::detection::{
-    Detector, DetectorContext, SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig,
-    ThresholdDetector,
+    SearchSubtractConfig, SearchSubtractDetector, ThresholdConfig, ThresholdDetector,
 };
+use concurrent_ranging::{DetectStage, RangingPipeline, RoundContext, RoundProgram};
 use rand::Rng;
 use std::fmt;
 use uwb_campaign::{Campaign, Collect, TrialRng};
-use uwb_radio::{Channel, Cir, Prf, PulseShape, RadioConfig, TcPgDelay};
+use uwb_radio::{Channel, PulseShape, RadioConfig, TcPgDelay};
 
 /// Result of the overlap experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +120,7 @@ pub fn run_campaign(
     seed: u64,
     threads: usize,
 ) -> uwb_campaign::CampaignReport<OverlapTally> {
-    let pulse = PulseShape::from_config(&RadioConfig::default());
-    campaign(trials, seed, pulse.main_lobe_s() * 1e9, 0.75, threads)
+    campaign_program(trials, seed, threads, &OverlapProgram::paper())
 }
 
 /// Like [`run`], with an explicit overlap-window (ns) — the pulse duration
@@ -129,111 +132,122 @@ pub fn run_with(trials: usize, seed: u64, overlap_window_ns: f64, tol_ns: f64) -
         .into()
 }
 
-/// Per-worker scratch for the overlap campaign: detector plans and
-/// buffers plus a reusable CIR. The campaign engine builds one per worker
-/// thread, so steady-state trials allocate only their response vectors.
+/// The Fig. 7 trial body as a round program: detector stages plus the
+/// experiment's scoring knobs. One instance serves every driver — the
+/// batch campaign borrows it from the dispatcher thread, a streaming
+/// [`RangingPipeline`] owns it.
 #[derive(Debug)]
-pub struct TrialScratch {
-    ctx: DetectorContext,
-    cir: Cir,
+pub struct OverlapProgram {
+    pulse: PulseShape,
+    ss: DetectStage<SearchSubtractDetector>,
+    th: DetectStage<ThresholdDetector>,
+    overlap_window_ns: f64,
+    tol_ns: f64,
 }
 
-impl TrialScratch {
-    /// Fresh scratch sized for PRF-64 CIRs.
+impl OverlapProgram {
+    /// A program with an explicit overlap window and success tolerance
+    /// (both ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detectors cannot be constructed from the default
+    /// radio configuration — a bug in the experiment definition.
     #[must_use]
-    pub fn new() -> Self {
+    pub fn new(overlap_window_ns: f64, tol_ns: f64) -> Self {
+        // The campaign scores responses only, so per-iteration diagnostics
+        // capture is switched off: same verdicts, no magnitude-trace copies.
+        let ss = SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig {
+                capture_diagnostics: false,
+                ..SearchSubtractConfig::default()
+            },
+        )
+        .expect("detector construction");
+        let th = ThresholdDetector::new(ThresholdConfig {
+            pulse_duration_s: overlap_window_ns * 1e-9,
+            ..ThresholdConfig::default()
+        })
+        .expect("baseline construction");
         Self {
-            ctx: DetectorContext::new(),
-            cir: Cir::zeroed(Prf::Mhz64),
+            pulse: PulseShape::from_config(&RadioConfig::default()),
+            ss: DetectStage::new(ss),
+            th: DetectStage::new(th),
+            overlap_window_ns,
+            tol_ns,
         }
     }
-}
 
-impl Default for TrialScratch {
-    fn default() -> Self {
-        Self::new()
+    /// The paper-matched program: overlap window = pulse main lobe,
+    /// tolerance 0.75 ns.
+    #[must_use]
+    pub fn paper() -> Self {
+        let pulse = PulseShape::from_config(&RadioConfig::default());
+        Self::new(pulse.main_lobe_s() * 1e9, 0.75)
     }
 }
 
-/// One Fig. 7 trial against shared detectors: draws the TX-grid offset,
-/// synthesizes the two-response CIR, and scores both detectors.
-pub fn overlap_trial(
-    rng: &mut TrialRng,
-    pulse: PulseShape,
-    ss: &SearchSubtractDetector,
-    th: &ThresholdDetector,
-    overlap_window_ns: f64,
-    tol_ns: f64,
-) -> OverlapTrial {
-    let mut scratch = TrialScratch::new();
-    overlap_trial_with(&mut scratch, rng, pulse, ss, th, overlap_window_ns, tol_ns)
-}
+impl RoundProgram for OverlapProgram {
+    type Output = OverlapTrial;
 
-/// [`overlap_trial`] reusing a worker's [`TrialScratch`]. Bit-identical
-/// outcomes — the CIR render and both detectors are exact under buffer
-/// reuse — with no per-trial plan or buffer allocation.
-pub fn overlap_trial_with(
-    scratch: &mut TrialScratch,
-    rng: &mut TrialRng,
-    pulse: PulseShape,
-    ss: &SearchSubtractDetector,
-    th: &ThresholdDetector,
-    overlap_window_ns: f64,
-    tol_ns: f64,
-) -> OverlapTrial {
-    let TrialScratch { ctx, cir } = scratch;
-    let offset_ns = tx_grid_offset_ns(rng);
-    if offset_ns.abs() >= overlap_window_ns {
-        // Paper: only actually-overlapping trials are scored.
-        return OverlapTrial {
-            overlapped: false,
-            search_subtract_ok: false,
-            threshold_ok: false,
-        };
-    }
-    let base_ns = 100.0 + rng.random::<f64>(); // sub-tap phase varies
-    let amp2 = 0.7 + 0.6 * rng.random::<f64>();
-    let truth = [base_ns, base_ns + offset_ns];
-    synthesize_responses_into(
-        &[(truth[0], 1.0, pulse), (truth[1], amp2, pulse)],
-        30.0,
-        cir,
-        rng,
-    );
+    /// One Fig. 7 trial: draws the TX-grid offset, renders the
+    /// two-response CIR into the context's scratch, and scores both
+    /// detector stages. Outcomes are a pure function of `rng`'s seed —
+    /// context reuse is bit-identical to fresh contexts.
+    fn run_round(&self, ctx: &mut RoundContext, _round: u64, rng: &mut TrialRng) -> OverlapTrial {
+        let offset_ns = tx_grid_offset_ns(rng);
+        if offset_ns.abs() >= self.overlap_window_ns {
+            // Paper: only actually-overlapping trials are scored.
+            return OverlapTrial {
+                overlapped: false,
+                search_subtract_ok: false,
+                threshold_ok: false,
+            };
+        }
+        let base_ns = 100.0 + rng.random::<f64>(); // sub-tap phase varies
+        let amp2 = 0.7 + 0.6 * rng.random::<f64>();
+        let truth = [base_ns, base_ns + offset_ns];
+        synthesize_responses_into(
+            &[(truth[0], 1.0, self.pulse), (truth[1], amp2, self.pulse)],
+            30.0,
+            ctx.cir_mut(),
+            rng,
+        );
 
-    // Through the `Detector` trait (identical to the inherent methods),
-    // so swapping either detector for a future fusion variant only
-    // changes the construction site.
-    let ss_out = Detector::detect_with(ss, ctx, cir, 2).expect("detection runs");
-    let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
-    let th_out = Detector::detect_with(th, ctx, cir, 2).expect("baseline runs");
-    let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
-    let search_subtract_ok = matches_both(&ss_taus, &truth, tol_ns);
-    if !search_subtract_ok {
-        // Post-mortem material for the paper's headline experiment: the
-        // CIR, the detector's peaks, and the truth positions of a
-        // misdetected overlap trial (subject to the flight quota).
-        uwb_obs::flight_record(|| uwb_obs::CirSnapshot {
-            reason: "misdetection",
-            taps_re: cir.taps().iter().map(|z| z.re).collect(),
-            taps_im: cir.taps().iter().map(|z| z.im).collect(),
-            sample_period_s: cir.sample_period_s(),
-            peaks: ss_out
-                .responses
-                .iter()
-                .map(|r| uwb_obs::SnapshotPeak {
-                    tau_s: r.tau_s,
-                    amplitude: r.amplitude.abs(),
-                    shape: r.shape_index,
-                })
-                .collect(),
-            truth_tau_s: truth.iter().map(|t| t * 1e-9).collect(),
-        });
-    }
-    OverlapTrial {
-        overlapped: true,
-        search_subtract_ok,
-        threshold_ok: matches_both(&th_taus, &truth, tol_ns),
+        let ss_out = self.ss.detect_scratch(ctx, 2).expect("detection runs");
+        let ss_taus: Vec<f64> = ss_out.responses.iter().map(|p| p.tau_s * 1e9).collect();
+        let th_out = self.th.detect_scratch(ctx, 2).expect("baseline runs");
+        let th_taus: Vec<f64> = th_out.iter().map(|p| p.tau_s * 1e9).collect();
+        let search_subtract_ok = matches_both(&ss_taus, &truth, self.tol_ns);
+        if !search_subtract_ok {
+            // Post-mortem material for the paper's headline experiment: the
+            // CIR, the detector's peaks, and the truth positions of a
+            // misdetected overlap trial (subject to the flight quota).
+            let cir = ctx.cir_mut();
+            uwb_obs::flight_record(|| uwb_obs::CirSnapshot {
+                reason: "misdetection",
+                taps_re: cir.taps().iter().map(|z| z.re).collect(),
+                taps_im: cir.taps().iter().map(|z| z.im).collect(),
+                sample_period_s: cir.sample_period_s(),
+                peaks: ss_out
+                    .responses
+                    .iter()
+                    .map(|r| uwb_obs::SnapshotPeak {
+                        tau_s: r.tau_s,
+                        amplitude: r.amplitude.abs(),
+                        shape: r.shape_index,
+                    })
+                    .collect(),
+                truth_tau_s: truth.iter().map(|t| t * 1e-9).collect(),
+            });
+        }
+        OverlapTrial {
+            overlapped: true,
+            search_subtract_ok,
+            threshold_ok: matches_both(&th_taus, &truth, self.tol_ns),
+        }
     }
 }
 
@@ -247,33 +261,56 @@ pub fn campaign(
     tol_ns: f64,
     threads: usize,
 ) -> uwb_campaign::CampaignReport<OverlapTally> {
-    let pulse = PulseShape::from_config(&RadioConfig::default());
-    // The campaign scores responses only, so per-iteration diagnostics
-    // capture is switched off: same verdicts, no magnitude-trace copies.
-    let ss = SearchSubtractDetector::from_registers(
-        &[TcPgDelay::DEFAULT],
-        Channel::Ch7,
-        SearchSubtractConfig {
-            capture_diagnostics: false,
-            ..SearchSubtractConfig::default()
-        },
+    campaign_program(
+        trials,
+        seed,
+        threads,
+        &OverlapProgram::new(overlap_window_ns, tol_ns),
     )
-    .expect("detector construction");
-    let th = ThresholdDetector::new(ThresholdConfig {
-        pulse_duration_s: overlap_window_ns * 1e-9,
-        ..ThresholdConfig::default()
-    })
-    .expect("baseline construction");
+}
 
+/// The batch driver: runs `program` under the campaign engine, one warmed
+/// [`RoundContext`] per worker.
+fn campaign_program(
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    program: &OverlapProgram,
+) -> uwb_campaign::CampaignReport<OverlapTally> {
     Campaign::new(trials as u64, seed)
         .threads(threads)
         .run_with_context(
-            TrialScratch::new,
-            |scratch, _, rng| {
-                overlap_trial_with(scratch, rng, pulse, &ss, &th, overlap_window_ns, tol_ns)
-            },
+            RoundContext::new,
+            |ctx, trial, rng| program.run_round(ctx, trial, rng),
             OverlapTally::default(),
         )
+}
+
+/// The streaming driver: feeds the same rounds one at a time through a
+/// single long-lived [`RangingPipeline`], deriving each round's RNG
+/// exactly as the campaign engine does. The tally is byte-identical to
+/// [`campaign`]'s at any worker count — the equivalence the
+/// `pipeline_equivalence` suite pins.
+pub fn run_streaming(
+    trials: usize,
+    seed: u64,
+    overlap_window_ns: f64,
+    tol_ns: f64,
+) -> OverlapTally {
+    let mut pipeline = RangingPipeline::new(OverlapProgram::new(overlap_window_ns, tol_ns));
+    let mut tally = OverlapTally::default();
+    for trial in 0..trials as u64 {
+        let outcome = pipeline.feed_round(trial, &mut uwb_campaign::trial_rng(seed, trial));
+        tally.record(trial, outcome);
+    }
+    tally
+}
+
+/// [`run_streaming`] with the paper-matched window and tolerance —
+/// the streaming counterpart of [`run`] / [`run_campaign`].
+pub fn run_streaming_paper(trials: usize, seed: u64) -> Fig7Report {
+    let pulse = PulseShape::from_config(&RadioConfig::default());
+    run_streaming(trials, seed, pulse.main_lobe_s() * 1e9, 0.75).into()
 }
 
 impl fmt::Display for Fig7Report {
@@ -341,41 +378,27 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reuse_is_bit_identical_to_fresh_trials() {
-        let pulse = PulseShape::from_config(&RadioConfig::default());
-        let window = pulse.main_lobe_s() * 1e9;
-        let ss = SearchSubtractDetector::from_registers(
-            &[TcPgDelay::DEFAULT],
-            Channel::Ch7,
-            SearchSubtractConfig::default(),
-        )
-        .unwrap();
-        let th = ThresholdDetector::new(ThresholdConfig {
-            pulse_duration_s: window * 1e-9,
-            ..ThresholdConfig::default()
-        })
-        .unwrap();
-        let mut scratch = TrialScratch::new();
+    fn context_reuse_is_bit_identical_to_fresh_contexts() {
+        let program = OverlapProgram::paper();
+        let mut reused = RoundContext::new();
         for trial in 0..8u64 {
-            let fresh = overlap_trial(
+            let fresh = program.run_round(
+                &mut RoundContext::new(),
+                trial,
                 &mut uwb_campaign::trial_rng(17, trial),
-                pulse,
-                &ss,
-                &th,
-                window,
-                0.75,
             );
-            let reused = overlap_trial_with(
-                &mut scratch,
-                &mut uwb_campaign::trial_rng(17, trial),
-                pulse,
-                &ss,
-                &th,
-                window,
-                0.75,
-            );
-            assert_eq!(fresh, reused, "trial {trial}");
+            let warm =
+                program.run_round(&mut reused, trial, &mut uwb_campaign::trial_rng(17, trial));
+            assert_eq!(fresh, warm, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn streaming_matches_batch_campaign() {
+        let window = PulseShape::from_config(&RadioConfig::default()).main_lobe_s() * 1e9;
+        let streamed = run_streaming(64, 17, window, 0.75);
+        let batch = campaign(64, 17, window, 0.75, 2).collector;
+        assert_eq!(streamed, batch);
     }
 
     #[test]

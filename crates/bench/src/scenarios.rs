@@ -2,11 +2,12 @@
 //! layouts, engines and synthetic CIR generators used across figures.
 
 use concurrent_ranging::{
-    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, RoundOutcome, SsTwrEngine,
+    CombinedScheme, ConcurrentConfig, ConcurrentEngine, RangingMessage, RenderStage, RoundOutcome,
+    SsTwrEngine,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use uwb_channel::{random, Arrival, ChannelModel, CirSynthesizer, Point2};
+use uwb_channel::{random, Arrival, ChannelModel, Point2};
 use uwb_dsp::Complex64;
 use uwb_netsim::{NodeConfig, SimConfig, Simulator};
 use uwb_radio::{Cir, Prf, PulseShape, TcPgDelay};
@@ -113,9 +114,7 @@ pub fn synthesize_responses_into(
             pulse,
         })
         .collect();
-    CirSynthesizer::new(Prf::Mhz64)
-        .with_noise_sigma(noise)
-        .render_into(cir, &arrivals, rng);
+    RenderStage::new(Prf::Mhz64).render_into(cir, &arrivals, noise, rng);
 }
 
 /// Draws the concurrency offset between two "simultaneous" responders

@@ -9,26 +9,24 @@ pub const THREADS_ENV: &str = "UWB_CAMPAIGN_THREADS";
 /// Resolves the worker count: `UWB_CAMPAIGN_THREADS` when set to a
 /// positive integer, otherwise `default`, otherwise (when `default` is
 /// 0) the machine's available parallelism.
+///
+/// A malformed variable warns on stderr and falls back to automatic
+/// selection — the shared [`uwb_obs::envknob`] precedence policy, also
+/// used by `uwb-worldsim`'s `UWB_WORLDSIM_THREADS`.
 #[must_use]
 pub fn threads_from_env(default: usize) -> usize {
     threads_from_named_env(THREADS_ENV, default)
 }
 
-/// [`threads_from_env`] against an arbitrary environment variable — the
-/// same resolution order (env when a positive integer, then `default`,
-/// then available parallelism) for subsystems with their own knob, e.g.
-/// `uwb-worldsim`'s `UWB_WORLDSIM_THREADS`.
+/// [`threads_from_env`] against an arbitrary environment variable.
+///
+/// Re-exported delegation to
+/// [`uwb_obs::envknob::threads_from_named_env`], where the single
+/// thread-count precedence policy now lives; kept so existing
+/// `uwb_campaign::threads_from_named_env` callers keep compiling.
 #[must_use]
 pub fn threads_from_named_env(var: &str, default: usize) -> usize {
-    let from_env = std::env::var(var)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0);
-    match (from_env, default) {
-        (Some(n), _) => n,
-        (None, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        (None, d) => d,
-    }
+    uwb_obs::envknob::threads_from_named_env(var, default)
 }
 
 /// Parses a `--threads N` / `--threads=N` knob out of an argument list,

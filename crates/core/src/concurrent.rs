@@ -17,15 +17,16 @@
 //!    from Eq. 4 with slot-delay compensation.
 
 use crate::assignment::CombinedScheme;
-use crate::detection::{
-    DetectionOutcome, DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
-};
+use crate::detection::{DetectionOutcome, SearchSubtractConfig, SearchSubtractDetector};
 use crate::error::RangingError;
-use crate::estimate::{concurrent_distance_with_rpm_m, TwrTimestamps};
+use crate::estimate::TwrTimestamps;
+use crate::pipeline::{
+    DetectStage, RenderStage, RoundContext, SlotDecodeStage, SlotReference, SolveStage,
+};
 use crate::protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_channel::Arrival;
 use uwb_netsim::{FaultInjector, NodeApi, NodeId, Protocol, ReceivedFrame, Reception};
 use uwb_radio::{Cir, DeviceTime, Prf, CIR_SAMPLE_PERIOD_S, PAPER_RESPONSE_DELAY_S};
 
@@ -239,21 +240,24 @@ pub struct ConcurrentEngine {
     /// Responder node ↔ responder ID (determines slot + pulse shape).
     responder_ids: Vec<(NodeId, u32)>,
     config: ConcurrentConfig,
-    detector: SearchSubtractDetector,
-    /// Reused detection plans/buffers — one context per engine, so every
-    /// round after the first runs the detector allocation-free.
-    detector_ctx: DetectorContext,
-    synth_prf: Prf,
+    /// The pipeline stages this plane drives: render → detect → slot
+    /// decode → solve, each the workspace's single implementation.
+    render: RenderStage,
+    detect: DetectStage<SearchSubtractDetector>,
+    slot_decode: SlotDecodeStage,
+    solve: SolveStage,
+    /// Reused per-round resources (detection plans/buffers and — lazily,
+    /// from the simulator's fault plan — the receiver-side fault
+    /// injector, which shares the plan seed with the in-flight injector
+    /// but draws from disjoint domains, so the two never correlate). One
+    /// context per engine, so every round after the first runs the
+    /// detector allocation-free.
+    ctx: RoundContext,
     rng: StdRng,
     current_round: u32,
     init_tx: Option<DeviceTime>,
     /// Broadcast attempts made for the current round (0 = none yet).
     attempts: u32,
-    /// Receiver-side fault injector, created lazily from the simulator's
-    /// fault plan ([`uwb_netsim::NodeApi::faults`]). Shares the plan seed
-    /// with the in-flight injector but draws from disjoint domains, so the
-    /// two never correlate.
-    cir_injector: Option<FaultInjector>,
     /// Completed round outcomes.
     pub outcomes: Vec<RoundOutcome>,
     /// Rounds that failed (no decodable payload / detection error).
@@ -286,18 +290,24 @@ impl ConcurrentEngine {
             uwb_radio::Channel::Ch7,
             config.detector,
         )?;
+        // Offsets are measured between detected peaks, so the anchor
+        // reference is the *observed* arrival (the delayed-TX truncation
+        // shifts every offset equally and cancels in the difference).
+        let slot_decode =
+            SlotDecodeStage::new(*config.scheme.plan(), SlotReference::ObservedAnchor);
         Ok(Self {
             initiator,
             responder_ids,
             config,
-            detector,
-            detector_ctx: DetectorContext::new(),
-            synth_prf: Prf::Mhz64,
+            render: RenderStage::new(Prf::Mhz64),
+            detect: DetectStage::new(detector),
+            slot_decode,
+            solve: SolveStage,
+            ctx: RoundContext::new(),
             rng: StdRng::seed_from_u64(seed),
             current_round: 0,
             init_tx: None,
             attempts: 0,
-            cir_injector: None,
             outcomes: Vec::new(),
             failed_rounds: Vec::new(),
             retries: 0,
@@ -386,16 +396,15 @@ impl ConcurrentEngine {
         // Receiver-side faults: an SNR dip raises this round's noise floor…
         let snr_db = self.config.cir_snr_db
             - self
-                .cir_injector
-                .as_mut()
+                .ctx
+                .injector_mut()
                 .map_or(0.0, |inj| inj.snr_dip_db(u64::from(round)));
         let noise_sigma = strongest * 10f64.powf(-snr_db / 20.0);
-        let synth = CirSynthesizer::new(self.synth_prf)
-            .with_window_start(window_start)
-            .with_noise_sigma(noise_sigma);
-        let mut cir = synth.render(&arrivals, &mut self.rng);
+        let mut cir = self
+            .render
+            .render(&arrivals, window_start, noise_sigma, &mut self.rng);
         // …and accumulator read-out glitches replace taps with garbage.
-        if let Some(inj) = self.cir_injector.as_mut() {
+        if let Some(inj) = self.ctx.injector_mut() {
             uwb_channel::apply_tap_corruption(&mut cir, inj, u64::from(round));
         }
         (cir, fp_index)
@@ -426,7 +435,7 @@ impl ConcurrentEngine {
             resp_rx: rx_timestamp,
             resp_tx: tx_timestamp,
         };
-        let d_twr_m = timestamps.distance_m();
+        let d_twr_m = self.solve.anchor_m(&timestamps);
         let anchor_slot = self.config.scheme.assign(anchor_id)?.slot;
 
         // Physics: synthesize what the accumulator holds.
@@ -440,9 +449,7 @@ impl ConcurrentEngine {
         } else {
             expected
         };
-        let detection = self
-            .detector
-            .detect_with(&mut self.detector_ctx, &cir, detect_count)?;
+        let detection = self.detect.detect(&mut self.ctx, &cir, detect_count)?;
 
         // The anchor response is the one nearest the reported FP_INDEX.
         let tau_anchor_nominal = fp_index * CIR_SAMPLE_PERIOD_S;
@@ -461,21 +468,21 @@ impl ConcurrentEngine {
                 found: 0,
             })?;
 
-        let plan = *self.config.scheme.plan();
+        let slot_spacing_s = self.slot_decode.plan().slot_spacing_s();
         let mut estimates: Vec<ResponderEstimate> = detection
             .responses
             .iter()
             .map(|resp| {
                 let offset = resp.tau_s - anchor_tau;
-                let slot = plan.decode_slot(offset, anchor_slot, d_twr_m);
+                let slot = self.slot_decode.decode(offset, anchor_slot, d_twr_m);
                 let id = slot.and_then(|s| self.config.scheme.id_from(s, resp.shape_index));
-                let distance_m = concurrent_distance_with_rpm_m(
+                let distance_m = self.solve.concurrent_m(
                     d_twr_m,
                     resp.tau_s,
                     anchor_tau,
                     slot.unwrap_or(anchor_slot),
                     anchor_slot,
-                    plan.slot_spacing_s(),
+                    slot_spacing_s,
                 );
                 ResponderEstimate {
                     id,
@@ -690,8 +697,8 @@ impl Protocol<RangingMessage> for ConcurrentEngine {
             RangingMessage::Resp { round, .. }
                 if node == self.initiator && round == self.current_round =>
             {
-                if self.cir_injector.is_none() && api.faults().is_active() {
-                    self.cir_injector = Some(FaultInjector::new(api.faults()));
+                if !self.ctx.has_injector() && api.faults().is_active() {
+                    self.ctx.install_injector(FaultInjector::new(api.faults()));
                 }
                 let decoded = decoded.clone();
                 match self.process_round(reception, &decoded) {

@@ -73,6 +73,7 @@ mod error;
 mod estimate;
 pub(crate) mod localization;
 mod network;
+pub mod pipeline;
 mod protocol;
 mod rpm;
 mod session;
@@ -90,6 +91,10 @@ pub use error::RangingError;
 pub use estimate::{concurrent_distance_m, concurrent_distance_with_rpm_m, TwrTimestamps};
 pub use localization::{multilaterate, PositionFix, RangeToAnchor};
 pub use network::{DistanceMatrix, NetworkRanging, TrafficCounter};
+pub use pipeline::{
+    DetectStage, RangingPipeline, RenderStage, RoundContext, RoundProgram, ShapeClassifyStage,
+    SlotDecodeStage, SlotReference, SolveStage,
+};
 pub use protocol::{RangingMessage, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES};
 pub use rpm::{SlotPlan, DELTA_MAX_S};
 pub use session::{RangingSession, ResponderStats, RoundSample};

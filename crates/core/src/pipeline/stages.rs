@@ -1,0 +1,484 @@
+//! The stage layer: each technique of the paper's round pipeline as an
+//! explicit, single-implementation stage.
+//!
+//! Every stage is a thin, deterministic wrapper over the primitive the
+//! execution planes already called — the point is not new math but a
+//! single owner per technique: render ([`uwb_channel::CirSynthesizer`]),
+//! detect ([`crate::detection::Detector`]), slot decode
+//! ([`crate::SlotPlan::decode_slot`]), shape classify (the register
+//! inverse map formerly private to the worldsim capacity scenario), and
+//! TWR solve ([`crate::TwrTimestamps`] / Eq. 4). Floating-point
+//! operation order and RNG draw discipline match the pre-refactor call
+//! sites exactly, keeping every plane's output bit-identical.
+
+use crate::assignment::CombinedScheme;
+use crate::detection::Detector;
+use crate::error::RangingError;
+use crate::estimate::{concurrent_distance_with_rpm_m, TwrTimestamps};
+use crate::pipeline::RoundContext;
+use crate::rpm::SlotPlan;
+use rand::Rng;
+use std::collections::BTreeMap;
+use uwb_channel::{Arrival, CirSynthesizer};
+use uwb_radio::{Cir, Prf, TcPgDelay, SPEED_OF_LIGHT};
+
+/// Stage 1 — CIR synthesis: renders arrival sets into accumulator
+/// windows, the physics step standing in for the DW1000's accumulator
+/// readout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderStage {
+    prf: Prf,
+}
+
+impl RenderStage {
+    /// A render stage for the given pulse-repetition frequency.
+    #[must_use]
+    pub fn new(prf: Prf) -> Self {
+        Self { prf }
+    }
+
+    /// The accumulator PRF rendered into.
+    #[must_use]
+    pub fn prf(&self) -> Prf {
+        self.prf
+    }
+
+    /// Renders a window anchored at `window_start_s` with AWGN of the
+    /// given sigma — the protocol-engine path (allocating; the engine
+    /// keeps the returned CIR in its round outcome).
+    pub fn render<R: Rng + ?Sized>(
+        &self,
+        arrivals: &[Arrival],
+        window_start_s: f64,
+        noise_sigma: f64,
+        rng: &mut R,
+    ) -> Cir {
+        CirSynthesizer::new(self.prf)
+            .with_window_start(window_start_s)
+            .with_noise_sigma(noise_sigma)
+            .render(arrivals, rng)
+    }
+
+    /// Renders into a reusable buffer with the default (zero) window
+    /// start — the campaign-worker path. Bit-identical to
+    /// [`RenderStage::render`] from the same RNG state.
+    pub fn render_into<R: Rng + ?Sized>(
+        &self,
+        cir: &mut Cir,
+        arrivals: &[Arrival],
+        noise_sigma: f64,
+        rng: &mut R,
+    ) {
+        CirSynthesizer::new(self.prf)
+            .with_noise_sigma(noise_sigma)
+            .render_into(cir, arrivals, rng);
+    }
+
+    /// Renders one CIR per arrival set into a reusable vector, noise
+    /// drawn sequentially from the single `rng` — the batch producer
+    /// pairing with [`DetectStage::detect_batch`]. Equivalent to a
+    /// sequential [`RenderStage::render_into`] loop, bit for bit.
+    pub fn render_batch_into<R: Rng + ?Sized>(
+        &self,
+        out: &mut Vec<Cir>,
+        arrival_sets: &[&[Arrival]],
+        noise_sigma: f64,
+        rng: &mut R,
+    ) {
+        CirSynthesizer::new(self.prf)
+            .with_noise_sigma(noise_sigma)
+            .render_batch_into(out, arrival_sets, rng);
+    }
+}
+
+/// Stage 2 — response detection (Sect. IV/VI): dispatches any
+/// [`Detector`] through the round context's plans and buffers.
+#[derive(Debug)]
+pub struct DetectStage<D> {
+    detector: D,
+}
+
+impl<D: Detector> DetectStage<D> {
+    /// Wraps a detector.
+    pub fn new(detector: D) -> Self {
+        Self { detector }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Runs detection for up to `count` responses against the context's
+    /// plans, buffers and backend selection.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect_with`].
+    pub fn detect(
+        &self,
+        ctx: &mut RoundContext,
+        cir: &Cir,
+        count: usize,
+    ) -> Result<D::Output, RangingError> {
+        self.detector.detect_with(ctx.detector_ctx(), cir, count)
+    }
+
+    /// Runs detection against the CIR most recently rendered into the
+    /// context's own scratch buffer — the campaign/streaming hot path,
+    /// where render and detect share one [`RoundContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::detect_with`].
+    pub fn detect_scratch(
+        &self,
+        ctx: &mut RoundContext,
+        count: usize,
+    ) -> Result<D::Output, RangingError> {
+        let (detector_ctx, cir) = ctx.detect_parts();
+        self.detector.detect_with(detector_ctx, cir, count)
+    }
+
+    /// Detects on every CIR in order through the shared context —
+    /// exactly equivalent to per-item [`DetectStage::detect`] calls.
+    ///
+    /// # Errors
+    ///
+    /// The first per-CIR error aborts the batch.
+    pub fn detect_batch(
+        &self,
+        ctx: &mut RoundContext,
+        cirs: &[Cir],
+        count: usize,
+    ) -> Result<Vec<D::Output>, RangingError> {
+        self.detector.detect_batch(ctx.detector_ctx(), cirs, count)
+    }
+}
+
+/// Which event on the CIR timeline slot offsets are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotReference {
+    /// The anchor response as *observed* in the accumulator (the
+    /// protocol-engine plane): offsets are `τ_i − τ_anchor` between
+    /// detected peaks, so the anchor's delayed-TX truncation shifts
+    /// every offset equally and cancels in the difference.
+    ObservedAnchor,
+    /// The *predicted* anchor arrival `t_poll + Δ + δ_a + 2·d_TWR/c`
+    /// (the worldsim capacity plane): referencing the prediction rather
+    /// than the observed arrival cancels the anchor's own delayed-TX
+    /// truncation (up to −8 ns) and clock-drift error, which would
+    /// otherwise shift every frame's residual and eat an eighth of the
+    /// slot budget.
+    PredictedAnchor,
+}
+
+/// Stage 3 — RPM slot decode (Sect. VII): maps arrival offsets to slot
+/// indices against a configured anchor reference.
+///
+/// This is the workspace's single slot-decode implementation; both
+/// anchor-reference conventions fold into it, and the arithmetic
+/// delegates to [`SlotPlan::decode_slot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotDecodeStage {
+    plan: SlotPlan,
+    reference: SlotReference,
+}
+
+impl SlotDecodeStage {
+    /// A decode stage over `plan` using the given anchor reference.
+    #[must_use]
+    pub fn new(plan: SlotPlan, reference: SlotReference) -> Self {
+        Self { plan, reference }
+    }
+
+    /// The slot plan decoded against.
+    #[must_use]
+    pub fn plan(&self) -> &SlotPlan {
+        &self.plan
+    }
+
+    /// The configured anchor reference.
+    #[must_use]
+    pub fn reference(&self) -> SlotReference {
+        self.reference
+    }
+
+    /// The predicted anchor arrival `t_poll + Δ + δ_a + 2·d_TWR/c` on
+    /// the initiator's timeline — the reference a
+    /// [`SlotReference::PredictedAnchor`] stage measures offsets
+    /// against. The `2·d_TWR/c` term uses the anchor's SS-TWR distance,
+    /// whose delayed-TX truncation is the same one baked into the
+    /// observed arrivals — so the truncation cancels in the offsets.
+    ///
+    /// # Errors
+    ///
+    /// [`RangingError`] when `anchor_slot` lies outside the plan.
+    pub fn predicted_anchor_s(
+        &self,
+        poll_tx_s: f64,
+        response_delay_s: f64,
+        anchor_slot: usize,
+        d_anchor_m: f64,
+    ) -> Result<f64, RangingError> {
+        debug_assert_eq!(self.reference, SlotReference::PredictedAnchor);
+        let anchor_delay = self.plan.slot_delay_s(anchor_slot)?;
+        Ok(poll_tx_s + response_delay_s + anchor_delay + 2.0 * d_anchor_m / SPEED_OF_LIGHT)
+    }
+
+    /// Decodes an arrival's slot from its offset against the anchor
+    /// reference. Delegates to [`SlotPlan::decode_slot`]: `None` when
+    /// the offset matches no slot's guard band.
+    #[must_use]
+    pub fn decode(&self, offset_s: f64, anchor_slot: usize, d_anchor_m: f64) -> Option<usize> {
+        self.plan.decode_slot(offset_s, anchor_slot, d_anchor_m)
+    }
+}
+
+/// Stage 4 — pulse-shape classification from an observed `TC_PGDELAY`
+/// register (Sect. V, protocol-plane variant): the registers a scheme
+/// spreads over are not contiguous, so classification needs the inverse
+/// map. An optional misclassification probability models receiver-side
+/// observation error.
+///
+/// The matched-filter-bank shape scoring inside
+/// [`crate::detection::SearchSubtractDetector`] is the signal-level
+/// classifier; this stage is its frame-level counterpart, formerly
+/// private to the worldsim capacity scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeClassifyStage {
+    /// Observed register → shape index.
+    shape_of_register: BTreeMap<TcPgDelay, usize>,
+    n_shapes: usize,
+    misclass: f64,
+}
+
+impl ShapeClassifyStage {
+    /// The classify stage for a scheme's shape assignment.
+    #[must_use]
+    pub fn new(scheme: &CombinedScheme) -> Self {
+        Self {
+            shape_of_register: scheme
+                .shapes()
+                .iter()
+                .enumerate()
+                .map(|(i, &reg)| (reg, i))
+                .collect(),
+            n_shapes: scheme.n_shapes(),
+            misclass: 0.0,
+        }
+    }
+
+    /// Sets the probability that a resolved shape is misclassified into
+    /// the adjacent index (clamped to [0, 1]).
+    #[must_use]
+    pub fn with_misclass(mut self, p: f64) -> Self {
+        self.misclass = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The configured misclassification probability.
+    #[must_use]
+    pub fn misclass(&self) -> f64 {
+        self.misclass
+    }
+
+    /// Classifies an observed register into a shape index; `None` when
+    /// no register was observed or it maps to no scheme shape.
+    ///
+    /// RNG discipline: the misclassification draw fires exactly when
+    /// the register resolved — callers gating on an earlier stage (the
+    /// slot decode) must call this only after that stage succeeded, so
+    /// the stream stays identical to the fused decoder it replaced.
+    pub fn classify<R: Rng + ?Sized>(
+        &self,
+        register: Option<TcPgDelay>,
+        rng: &mut R,
+    ) -> Option<usize> {
+        let mut shape = *self.shape_of_register.get(&register?)?;
+        if self.misclass > 0.0 && rng.random::<f64>() < self.misclass {
+            shape = (shape + 1) % self.n_shapes;
+        }
+        Some(shape)
+    }
+}
+
+/// Stage 5 — distance solve: the paper's Eq. 2 (SS-TWR) and Eq. 4
+/// (CIR-relative, RPM-compensated), plus the reply-time reconstruction
+/// the capacity plane uses for non-anchor frames. Pure delegation to
+/// [`TwrTimestamps`] / [`concurrent_distance_with_rpm_m`] — the
+/// workspace's single TWR-solve implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStage;
+
+impl SolveStage {
+    /// SS-TWR anchor distance (Eq. 2).
+    #[must_use]
+    pub fn anchor_m(&self, timestamps: &TwrTimestamps) -> f64 {
+        timestamps.distance_m()
+    }
+
+    /// Concurrent distance from CIR delays with RPM slot compensation
+    /// (Eq. 4 extended, [`concurrent_distance_with_rpm_m`]).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn concurrent_m(
+        &self,
+        d_twr_m: f64,
+        tau_s: f64,
+        anchor_tau_s: f64,
+        slot: usize,
+        anchor_slot: usize,
+        slot_spacing_s: f64,
+    ) -> f64 {
+        concurrent_distance_with_rpm_m(
+            d_twr_m,
+            tau_s,
+            anchor_tau_s,
+            slot,
+            anchor_slot,
+            slot_spacing_s,
+        )
+    }
+
+    /// Distance from a measured round trip and a *known* reply time
+    /// (Eq. 2's core with the reply reconstructed from the decoded
+    /// slot's delay — the capacity plane's non-anchor estimate).
+    #[must_use]
+    pub fn from_reply_m(&self, round_trip_s: f64, reply_s: f64) -> f64 {
+        (round_trip_s - reply_s) / 2.0 * SPEED_OF_LIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scheme(slots: usize, shapes: usize) -> CombinedScheme {
+        CombinedScheme::new(SlotPlan::new(slots).unwrap(), shapes).unwrap()
+    }
+
+    #[test]
+    fn render_stage_matches_direct_synthesizer_calls() {
+        let arrivals = [Arrival {
+            delay_s: 40e-9,
+            amplitude: uwb_dsp::Complex64::new(0.8, 0.1),
+            pulse: uwb_radio::PulseShape::from_config(&uwb_radio::RadioConfig::default()),
+        }];
+        let stage = RenderStage::new(Prf::Mhz64);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let direct = CirSynthesizer::new(Prf::Mhz64)
+            .with_window_start(10e-9)
+            .with_noise_sigma(0.02)
+            .render(&arrivals, &mut a);
+        let staged = stage.render(&arrivals, 10e-9, 0.02, &mut b);
+        assert_eq!(direct.taps(), staged.taps());
+
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let mut direct_buf = Cir::zeroed(Prf::Mhz64);
+        let mut staged_buf = Cir::zeroed(Prf::Mhz64);
+        CirSynthesizer::new(Prf::Mhz64)
+            .with_noise_sigma(0.01)
+            .render_into(&mut direct_buf, &arrivals, &mut a);
+        stage.render_into(&mut staged_buf, &arrivals, 0.01, &mut b);
+        assert_eq!(direct_buf.taps(), staged_buf.taps());
+    }
+
+    #[test]
+    fn render_batch_equals_sequential_renders() {
+        let pulse = uwb_radio::PulseShape::from_config(&uwb_radio::RadioConfig::default());
+        let set_a = [Arrival {
+            delay_s: 30e-9,
+            amplitude: uwb_dsp::Complex64::new(1.0, 0.0),
+            pulse,
+        }];
+        let set_b = [Arrival {
+            delay_s: 55e-9,
+            amplitude: uwb_dsp::Complex64::new(0.5, 0.2),
+            pulse,
+        }];
+        let stage = RenderStage::new(Prf::Mhz64);
+        let mut batch = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        stage.render_batch_into(&mut batch, &[&set_a, &set_b], 0.01, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seq_a = Cir::zeroed(Prf::Mhz64);
+        let mut seq_b = Cir::zeroed(Prf::Mhz64);
+        stage.render_into(&mut seq_a, &set_a, 0.01, &mut rng);
+        stage.render_into(&mut seq_b, &set_b, 0.01, &mut rng);
+        assert_eq!(batch[0].taps(), seq_a.taps());
+        assert_eq!(batch[1].taps(), seq_b.taps());
+    }
+
+    #[test]
+    fn slot_decode_matches_plan_primitive() {
+        let plan = SlotPlan::new(4).unwrap();
+        let stage = SlotDecodeStage::new(plan, SlotReference::ObservedAnchor);
+        for slot in 0..4 {
+            let offset = (slot as f64) * plan.slot_spacing_s();
+            assert_eq!(
+                stage.decode(offset, 0, 3.0),
+                plan.decode_slot(offset, 0, 3.0),
+                "slot {slot}"
+            );
+        }
+        assert_eq!(stage.decode(1.0, 0, 3.0), plan.decode_slot(1.0, 0, 3.0));
+    }
+
+    #[test]
+    fn predicted_anchor_reproduces_worldsim_expression() {
+        let plan = SlotPlan::new(15).unwrap();
+        let stage = SlotDecodeStage::new(plan, SlotReference::PredictedAnchor);
+        let (poll_tx_s, delta, slot, d) = (1.25e-3, 290e-6, 7, 8.2);
+        let by_hand =
+            poll_tx_s + delta + plan.slot_delay_s(slot).unwrap() + 2.0 * d / SPEED_OF_LIGHT;
+        assert_eq!(
+            stage.predicted_anchor_s(poll_tx_s, delta, slot, d).unwrap(),
+            by_hand
+        );
+        assert!(stage.predicted_anchor_s(0.0, delta, 99, d).is_err());
+    }
+
+    #[test]
+    fn shape_classify_inverts_the_scheme_registers() {
+        let scheme = scheme(1, 3);
+        let stage = ShapeClassifyStage::new(&scheme);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (i, &reg) in scheme.shapes().iter().enumerate() {
+            assert_eq!(stage.classify(Some(reg), &mut rng), Some(i));
+        }
+        assert_eq!(stage.classify(None, &mut rng), None);
+    }
+
+    #[test]
+    fn misclass_draw_fires_only_on_resolved_shapes() {
+        let scheme = scheme(1, 3);
+        let stage = ShapeClassifyStage::new(&scheme).with_misclass(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Unresolved register: no draw consumed…
+        assert_eq!(stage.classify(None, &mut rng), None);
+        let mut untouched = StdRng::seed_from_u64(2);
+        assert_eq!(rng.random::<u64>(), untouched.random::<u64>());
+        // …resolved register at p = 1: always the adjacent shape.
+        let reg0 = scheme.shapes()[0];
+        assert_eq!(stage.classify(Some(reg0), &mut rng), Some(1));
+    }
+
+    #[test]
+    fn solve_stage_delegates_to_estimate() {
+        let solve = SolveStage;
+        assert_eq!(
+            solve.concurrent_m(3.0, 50e-9, 10e-9, 2, 0, 250e-9),
+            concurrent_distance_with_rpm_m(3.0, 50e-9, 10e-9, 2, 0, 250e-9)
+        );
+        let (rt, reply) = (600e-6, 590e-6);
+        assert_eq!(
+            solve.from_reply_m(rt, reply),
+            (rt - reply) / 2.0 * SPEED_OF_LIGHT
+        );
+    }
+}

@@ -89,6 +89,56 @@ pub fn label_from_env<'a>(var: &str, default: &'a str, allowed: &[&'a str]) -> &
     }
 }
 
+/// Parses one already-read worker-thread value, returning `Some(n)` for
+/// a positive integer, `None` (quietly) for `0` — the documented
+/// "automatic" value, matching the `--threads 0` CLI contract — and
+/// `None` with a stderr warning for anything else.
+///
+/// Split from [`threads_from_named_env`] so the policy is testable
+/// without mutating the process environment, like [`parse_quota`].
+#[must_use]
+pub fn parse_threads(var: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!(
+                "warning: {var}={raw:?} is not a valid thread count \
+                 (expected a non-negative integer); using automatic selection"
+            );
+            None
+        }
+    }
+}
+
+/// Resolves a worker-thread knob: the environment variable `var` when
+/// set to a positive integer, otherwise `default`, otherwise (when
+/// `default` is 0) the machine's available parallelism.
+///
+/// The single thread-count precedence policy shared by the campaign
+/// engine (`UWB_CAMPAIGN_THREADS`) and the sharded world simulator
+/// (`UWB_WORLDSIM_THREADS`): a positive environment value overrides the
+/// caller's `default` (which carries the `--threads N` CLI knob, 0 =
+/// automatic), and a malformed variable warns on stderr and falls back
+/// — the quota-knob contract. Thread count never changes results, only
+/// wall-clock time.
+#[must_use]
+pub fn threads_from_named_env(var: &str, default: usize) -> usize {
+    let from_env = match std::env::var(var) {
+        Ok(raw) => parse_threads(var, &raw),
+        Err(VarError::NotPresent) => None,
+        Err(VarError::NotUnicode(_)) => {
+            eprintln!("warning: {var} is set to a non-unicode value; using automatic selection");
+            None
+        }
+    };
+    match (from_env, default) {
+        (Some(n), _) => n,
+        (None, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        (None, d) => d,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +187,32 @@ mod tests {
                 "f64",
                 "raw = {raw:?}"
             );
+        }
+    }
+
+    #[test]
+    fn positive_thread_counts_pass_through() {
+        assert_eq!(parse_threads("K", "1"), Some(1));
+        assert_eq!(parse_threads("K", " 8 "), Some(8), "whitespace tolerated");
+    }
+
+    #[test]
+    fn zero_and_malformed_thread_counts_mean_automatic() {
+        // 0 is the documented "automatic" value (the --threads contract);
+        // malformed values warn and resolve the same way.
+        for raw in ["0", "", "many", "-2", "1.5", "4O96"] {
+            assert_eq!(parse_threads("K", raw), None, "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn thread_default_wins_when_env_unset() {
+        // The test environment never sets this probe variable; reading
+        // it mutates nothing, so the resolution order is safe to assert.
+        let var = "UWB_ENVKNOB_TEST_THREADS_UNSET";
+        if std::env::var(var).is_err() {
+            assert_eq!(threads_from_named_env(var, 3), 3);
+            assert!(threads_from_named_env(var, 0) >= 1, "automatic >= 1");
         }
     }
 }

@@ -3,8 +3,8 @@
 //! Every workload exercises one stage of the pipeline the paper's
 //! numbers flow through — DSP kernels, the search-and-subtract
 //! detector, pulse-shape classification, RPM slot decoding, the
-//! Monte-Carlo campaign engine, the netsim TWR dispatch path, and the
-//! sharded worldsim capacity round. The
+//! streaming round pipeline, the Monte-Carlo campaign engine, the
+//! netsim TWR dispatch path, and the sharded worldsim capacity round. The
 //! set is *fixed* so `BENCH_pipeline.json` files from different
 //! commits compare workload-by-workload.
 //!
@@ -30,7 +30,7 @@ use crate::baseline::WorkloadResult;
 use concurrent_ranging::detection::{
     template_bank, DetectorContext, SearchSubtractConfig, SearchSubtractDetector,
 };
-use concurrent_ranging::SlotPlan;
+use concurrent_ranging::{RangingPipeline, RoundContext, RoundProgram, SlotPlan};
 use std::sync::{Mutex, OnceLock};
 use uwb_dsp::{
     BluesteinPlan, Complex64, DspBackend, DspContext, DspScratch, FftPlan, Kernels, MatchedFilter,
@@ -450,6 +450,40 @@ fn build_workloads(threads: usize) -> Vec<Workload> {
         });
     }
 
+    {
+        // The streaming driver: one warmed [`RangingPipeline`] kept
+        // across iterations, fed a single Fig. 7 overlap round per call
+        // — the steady-state cost of `feed_round` through a long-lived
+        // context (render + both detector stages, no campaign fan-out).
+        // The round index is fixed at the first seed-derived round that
+        // actually overlaps, so the row times detection (not the
+        // non-overlap early-out) and its work counters stay a pure
+        // function of the suite seed.
+        let program = repro_bench::experiments::fig7::OverlapProgram::paper();
+        let round = (0..64u64)
+            .find(|&r| {
+                let mut probe = RoundContext::new();
+                program
+                    .run_round(&mut probe, r, &mut uwb_campaign::trial_rng(SUITE_SEED, r))
+                    .overlapped
+            })
+            .expect("an overlapping round within the probe window");
+        let mut pipeline = RangingPipeline::new(program);
+        workloads.push(Workload {
+            name: "pipeline.round_stream",
+            layer: "pipeline",
+            units: "rounds",
+            units_per_iter: 1.0,
+            default_iters: 60,
+            default_warmup: 3,
+            run: Box::new(move || {
+                let outcome =
+                    pipeline.feed_round(round, &mut uwb_campaign::trial_rng(SUITE_SEED, round));
+                std::hint::black_box(outcome);
+            }),
+        });
+    }
+
     for (name, campaign_threads, iters) in [
         ("campaign.fig7_t1", 1usize, 4u32),
         ("campaign.fig7_tN", threads, 4),
@@ -674,6 +708,7 @@ mod tests {
             "dsp.",
             "detect.",
             "rpm.",
+            "pipeline.",
             "campaign.",
             "netsim.",
             "worldsim.",

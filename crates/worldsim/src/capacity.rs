@@ -20,8 +20,8 @@ use crate::config::WorldConfig;
 use crate::engine::WorldSim;
 use crate::rng::{site_key, site_rng, DOMAIN_SCENARIO, DOMAIN_SHAPE_OBS};
 use concurrent_ranging::{
-    CombinedScheme, RangingError, RangingSession, RoundSample, SlotPlan, TwrTimestamps,
-    INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES,
+    CombinedScheme, RangingError, RangingSession, RoundSample, ShapeClassifyStage, SlotDecodeStage,
+    SlotPlan, SlotReference, SolveStage, TwrTimestamps, INIT_PAYLOAD_BYTES, RESP_PAYLOAD_BYTES,
 };
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -30,7 +30,7 @@ use uwb_faults::{FaultPlan, FaultStats};
 use uwb_netsim::{ClockModel, NodeConfig, NodeId};
 use uwb_obs::telemetry::EpochTelemetry;
 use uwb_obs::{fmt_trace_id, frame_trace_id, span_id};
-use uwb_radio::{DeviceTime, TcPgDelay, PAPER_RESPONSE_DELAY_S, SPEED_OF_LIGHT};
+use uwb_radio::{DeviceTime, PAPER_RESPONSE_DELAY_S};
 
 /// Timer token: initiator round watchdog / next-round kick.
 const TOKEN_ROUND: u64 = 1;
@@ -339,12 +339,15 @@ enum CapacityNode {
 
 struct CapacityProtocol {
     scheme: CombinedScheme,
-    /// Observed `TC_PGDELAY` register → shape index (the registers
-    /// `TcPgDelay::spread` picks are not contiguous, so decoding needs
-    /// the inverse map).
-    shape_of_register: BTreeMap<TcPgDelay, usize>,
+    /// The shared pipeline stages this plane drives. The slot decode is
+    /// referenced to the *predicted* anchor arrival
+    /// ([`SlotReference::PredictedAnchor`]); the shape classifier owns
+    /// the register inverse map (the registers `TcPgDelay::spread` picks
+    /// are not contiguous) and the misclassification knob.
+    slot_decode: SlotDecodeStage,
+    shape_classify: ShapeClassifyStage,
+    solve: SolveStage,
     seed: u64,
-    shape_misclass: f64,
     round_period_s: f64,
 }
 
@@ -395,13 +398,12 @@ impl CapacityProtocol {
         };
         // Full SS-TWR on the anchor: its payload carries both
         // responder-side timestamps.
-        let d_anchor = TwrTimestamps {
+        let d_anchor = self.solve.anchor_m(&TwrTimestamps {
             init_tx: st.poll_tx,
             init_rx: rec.reception.rx_device_time,
             resp_rx: poll_rx,
             resp_tx,
-        }
-        .distance_m();
+        });
 
         let poll_tx_s = st.poll_tx.as_seconds();
         // Reference the slot decode to the *predicted* anchor arrival
@@ -409,13 +411,15 @@ impl CapacityProtocol {
         // observed arrival carries the anchor's own delayed-TX truncation
         // (up to −8 ns) and clock-drift error, which would shift every
         // frame's residual and eat an eighth of the 67.8 ns slot budget.
-        let anchor_delay = self
-            .scheme
-            .plan()
-            .slot_delay_s(anchor_assign.slot)
+        let t_anchor = self
+            .slot_decode
+            .predicted_anchor_s(
+                poll_tx_s,
+                PAPER_RESPONSE_DELAY_S,
+                anchor_assign.slot,
+                d_anchor,
+            )
             .expect("anchor slot within plan");
-        let t_anchor =
-            poll_tx_s + PAPER_RESPONSE_DELAY_S + anchor_delay + 2.0 * d_anchor / SPEED_OF_LIGHT;
         let window_key = site_key(node.0, st.windows_seen);
         let mut shape_rng = site_rng(self.seed, DOMAIN_SHAPE_OBS, window_key, 0);
 
@@ -455,9 +459,9 @@ impl CapacityProtocol {
                 decoded_id.and_then(|id| {
                     let slot = self.scheme.assign(id).ok()?.slot;
                     let reply_s =
-                        PAPER_RESPONSE_DELAY_S + self.scheme.plan().slot_delay_s(slot).ok()?;
+                        PAPER_RESPONSE_DELAY_S + self.slot_decode.plan().slot_delay_s(slot).ok()?;
                     let round_trip_s = rec.frame_local_s[i] - poll_tx_s;
-                    Some((round_trip_s - reply_s) / 2.0 * SPEED_OF_LIGHT)
+                    Some(self.solve.from_reply_m(round_trip_s, reply_s))
                 })
             };
 
@@ -566,9 +570,10 @@ impl CapacityProtocol {
 
     /// Slot from the arrival offset, shape from the received pulse,
     /// ID from both — with the stage each loss happened at preserved for
-    /// cause attribution. The misclassification draw fires exactly when
-    /// both the slot and the shape resolved, keeping the RNG stream
-    /// identical to the pre-attribution decoder.
+    /// cause attribution. The slot decode gates the shape classifier, so
+    /// its misclassification draw fires exactly when both the slot and
+    /// the shape resolved, keeping the RNG stream identical to the
+    /// pre-attribution decoder.
     fn decode_frame(
         &self,
         frame: &uwb_netsim::ReceivedFrame<CapacityMsg>,
@@ -577,27 +582,16 @@ impl CapacityProtocol {
         d_anchor_m: f64,
         shape_rng: &mut impl Rng,
     ) -> FrameDecode {
-        let Some(slot) = self
-            .scheme
-            .plan()
-            .decode_slot(offset_s, anchor_slot, d_anchor_m)
-        else {
+        let Some(slot) = self.slot_decode.decode(offset_s, anchor_slot, d_anchor_m) else {
             return FrameDecode::default();
         };
-        let shape = frame
-            .arrivals
-            .first()
-            .and_then(|a| a.pulse.register())
-            .and_then(|reg| self.shape_of_register.get(&reg).copied());
-        let Some(mut shape) = shape else {
+        let register = frame.arrivals.first().and_then(|a| a.pulse.register());
+        let Some(shape) = self.shape_classify.classify(register, shape_rng) else {
             return FrameDecode {
                 slot: Some(slot),
                 ..FrameDecode::default()
             };
         };
-        if self.shape_misclass > 0.0 && shape_rng.random::<f64>() < self.shape_misclass {
-            shape = (shape + 1) % self.scheme.n_shapes();
-        }
         FrameDecode {
             slot: Some(slot),
             shape: Some(shape),
@@ -748,16 +742,11 @@ pub fn run_capacity(cfg: &CapacityConfig) -> CapacityOutcome {
         cfg.n_responders,
         scheme.capacity()
     );
-    let shape_of_register = scheme
-        .shapes()
-        .iter()
-        .enumerate()
-        .map(|(i, &reg)| (reg, i))
-        .collect();
     let protocol = CapacityProtocol {
-        shape_of_register,
+        slot_decode: SlotDecodeStage::new(plan, SlotReference::PredictedAnchor),
+        shape_classify: ShapeClassifyStage::new(&scheme).with_misclass(cfg.shape_misclass),
+        solve: SolveStage,
         seed: cfg.seed,
-        shape_misclass: cfg.shape_misclass,
         round_period_s: cfg.round_period_s,
         scheme,
     };

@@ -1,13 +1,15 @@
 //! World geometry, epoch length and worker-thread configuration.
 
-use uwb_campaign::threads_from_named_env;
 use uwb_netsim::SimConfig;
+use uwb_obs::envknob::threads_from_named_env;
 
 /// Environment knob selecting the worldsim worker-thread count, the
-/// sharded-engine sibling of `UWB_CAMPAIGN_THREADS`. An explicit
-/// `--threads N` / [`WorldConfig::with_threads`] wins over the
-/// environment; `0` (or an unset/invalid variable) means "use all
-/// available parallelism".
+/// sharded-engine sibling of `UWB_CAMPAIGN_THREADS` — both resolve
+/// through the shared [`uwb_obs::envknob::threads_from_named_env`]
+/// policy: a positive variable overrides `--threads N` /
+/// [`WorldConfig::with_threads`], a malformed variable warns on stderr
+/// and is ignored, and `0` everywhere means "use all available
+/// parallelism".
 pub const WORLDSIM_THREADS_ENV: &str = "UWB_WORLDSIM_THREADS";
 
 /// Default epoch length in seconds (100 µs).

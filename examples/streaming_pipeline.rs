@@ -1,0 +1,128 @@
+//! Streaming round pipeline: how a new driver plugs in.
+//!
+//! Run with `cargo run --release --example streaming_pipeline`.
+//!
+//! One [`RoundProgram`] — render two overlapping responses, detect them
+//! with the search-and-subtract stage — is driven two ways: streamed one
+//! round at a time through a [`RangingPipeline`] (a long-lived warmed
+//! [`RoundContext`], the shape a ranging service would use), and fanned
+//! across worker threads by the batch campaign engine. Both drivers
+//! derive each round's RNG as `trial_rng(seed, round)`, so the outputs
+//! agree *bit for bit* — the equivalence `exp_fig7_overlap --stream`
+//! smokes in CI and `crates/bench/tests/pipeline_equivalence.rs` pins.
+
+use concurrent_ranging::detection::{SearchSubtractConfig, SearchSubtractDetector};
+use concurrent_ranging::{DetectStage, RangingPipeline, RenderStage, RoundContext, RoundProgram};
+use rand::Rng;
+use uwb_campaign::{trial_rng, Campaign, Collect, TrialRng};
+use uwb_channel::Arrival;
+use uwb_dsp::Complex64;
+use uwb_radio::{Channel, Prf, PulseShape, RadioConfig, TcPgDelay};
+
+const ROUNDS: u64 = 32;
+const SEED: u64 = 7;
+
+/// Two responders whose replies land within the DW1000's ±8 ns TX-grid
+/// jitter of each other — the paper's Fig. 7 overlap geometry.
+struct TwoResponderProgram {
+    render: RenderStage,
+    detect: DetectStage<SearchSubtractDetector>,
+    pulse: PulseShape,
+}
+
+impl TwoResponderProgram {
+    fn new() -> Self {
+        let detector = SearchSubtractDetector::from_registers(
+            &[TcPgDelay::DEFAULT],
+            Channel::Ch7,
+            SearchSubtractConfig {
+                capture_diagnostics: false,
+                ..SearchSubtractConfig::default()
+            },
+        )
+        .expect("detector construction");
+        Self {
+            render: RenderStage::new(Prf::Mhz64),
+            detect: DetectStage::new(detector),
+            pulse: PulseShape::from_config(&RadioConfig::default()),
+        }
+    }
+}
+
+impl RoundProgram for TwoResponderProgram {
+    /// The two detected arrival times [ns] (NaN when a peak is missed).
+    type Output = [f64; 2];
+
+    fn run_round(&self, ctx: &mut RoundContext, _round: u64, rng: &mut TrialRng) -> [f64; 2] {
+        let offset_ns = 8.0 * (2.0 * rng.random::<f64>() - 1.0); // TX-grid jitter
+        let base_ns = 100.0 + rng.random::<f64>();
+        let arrivals: Vec<Arrival> = [base_ns, base_ns + offset_ns]
+            .iter()
+            .zip([1.0, 0.8])
+            .map(|(&tau_ns, amp)| Arrival {
+                delay_s: tau_ns * 1e-9,
+                amplitude: Complex64::from_polar(amp, 0.05 * tau_ns),
+                pulse: self.pulse,
+            })
+            .collect();
+        self.render.render_into(ctx.cir_mut(), &arrivals, 0.02, rng);
+        let outcome = self.detect.detect_scratch(ctx, 2).expect("detection runs");
+        let mut taus_ns = [f64::NAN; 2];
+        for (slot, r) in taus_ns.iter_mut().zip(outcome.responses.iter()) {
+            *slot = r.tau_s * 1e9;
+        }
+        taus_ns
+    }
+}
+
+/// Per-round outputs in round order — the campaign's chunk-ordered merge
+/// reassembles exactly the sequence the streaming loop produces.
+#[derive(Debug, Clone, Default)]
+struct Rounds(Vec<(u64, [f64; 2])>);
+
+impl Collect<[f64; 2]> for Rounds {
+    fn record(&mut self, round: u64, taus_ns: [f64; 2]) {
+        self.0.push((round, taus_ns));
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+fn main() {
+    // Driver 1 — streaming: one warmed context, rounds arrive one at a
+    // time and each result is available immediately (no batch barrier).
+    let mut pipeline = RangingPipeline::new(TwoResponderProgram::new());
+    let mut streamed = Rounds::default();
+    for round in 0..ROUNDS {
+        let taus = pipeline.feed_round(round, &mut trial_rng(SEED, round));
+        streamed.record(round, taus);
+    }
+
+    // Driver 2 — batch: the same program under the campaign engine on
+    // four worker threads, one warmed context per worker.
+    let program = TwoResponderProgram::new();
+    let batch = Campaign::new(ROUNDS, SEED)
+        .threads(4)
+        .run_with_context(
+            RoundContext::new,
+            |ctx, round, rng| program.run_round(ctx, round, rng),
+            Rounds::default(),
+        )
+        .collector;
+
+    println!("round  first [ns]  second [ns]");
+    for (round, taus) in streamed.0.iter().take(8) {
+        println!("{round:>5}  {:>10.4}  {:>11.4}", taus[0], taus[1]);
+    }
+    println!("  ...  ({ROUNDS} rounds total)");
+
+    // Bit-for-bit, not approximately: compare the f64 bit patterns.
+    let identical = streamed.0.len() == batch.0.len()
+        && streamed.0.iter().zip(&batch.0).all(|((ri, a), (rj, b))| {
+            ri == rj && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+    assert!(identical, "streaming and batch outputs diverged");
+    println!("\nstreaming (1 warmed context) == batch campaign (4 threads): bit-identical");
+}

@@ -10,7 +10,3 @@ pub use uwb_radio as radio;
 // The unified fallible surface, flattened for `?`-friendly application
 // code: `use uwb_concurrent_ranging::{Error, Layer};`.
 pub use uwb_error::{Error, Layer};
-
-// The pre-`DspContext` allocating DSP entry points, kept callable for
-// downstream code that has not migrated to the planned kernel API.
-pub use uwb_dsp::compat;
